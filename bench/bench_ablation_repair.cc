@@ -1,0 +1,73 @@
+// Ablation: the user sweep order of Algorithm 1's capacity repair (lines
+// 4-7, DESIGN.md §6). The paper iterates users in index order; this compares
+// index vs random vs heaviest-sampled-set-first under tight event capacities
+// (where repair actually fires), plus the optional local-search post-pass.
+
+#include <cstdio>
+
+#include "algo/local_search.h"
+#include "bench/bench_common.h"
+#include "core/lp_packing.h"
+#include "gen/synthetic.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace igepa;
+  const int32_t repeats = bench::Repeats(20);
+  gen::SyntheticConfig config;
+  config.num_users =
+      static_cast<int32_t>(GetEnvInt("IGEPA_ABLATION_USERS", 1500));
+  config.max_event_capacity = 8;  // tight: repairs are frequent
+
+  struct Variant {
+    const char* name;
+    core::RepairOrder order;
+    bool local_search;
+  };
+  const Variant variants[] = {
+      {"user-index", core::RepairOrder::kUserIndex, false},
+      {"random", core::RepairOrder::kRandom, false},
+      {"weight-desc", core::RepairOrder::kWeightDesc, false},
+      {"user-index+LS", core::RepairOrder::kUserIndex, true},
+  };
+
+  std::printf("igepa ablation — capacity-repair sweep order "
+              "(|V|=%d, |U|=%d, max c_v=%d, %d repeats)\n\n",
+              config.num_events, config.num_users, config.max_event_capacity,
+              repeats);
+  std::printf("%-16s %14s %12s %14s\n", "variant", "utility", "stddev",
+              "pairs_repaired");
+
+  Rng master(GetEnvInt("IGEPA_SEED", 20190408));
+  for (const Variant& variant : variants) {
+    RunningStat utility, repaired;
+    Rng sweep_master = master;
+    for (int32_t rep = 0; rep < repeats; ++rep) {
+      Rng rep_rng = sweep_master.Fork();
+      auto instance = gen::GenerateSynthetic(config, &rep_rng);
+      if (!instance.ok()) return 1;
+      Rng alg_rng = rep_rng.Fork();
+      core::LpPackingOptions options;
+      options.repair_order = variant.order;
+      core::LpPackingStats stats;
+      auto arrangement = core::LpPacking(*instance, &alg_rng, options, &stats);
+      if (!arrangement.ok()) return 1;
+      if (variant.local_search) {
+        auto improved =
+            algo::ImproveLocalSearch(*instance, std::move(arrangement).value(),
+                                     {});
+        if (!improved.ok()) return 1;
+        utility.Add(improved->Utility(*instance));
+      } else {
+        utility.Add(arrangement->Utility(*instance));
+      }
+      repaired.Add(stats.pairs_repaired);
+    }
+    std::printf("%-16s %14.2f %12.2f %14.1f\n", variant.name, utility.mean(),
+                utility.stddev(), repaired.mean());
+  }
+  std::printf("\nexpected shape: weight-desc repairs away cheaper pairs and "
+              "edges out index order; the local-search post-pass adds the "
+              "largest improvement by refilling repaired capacity.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: the admissible-set enumeration cap |A_u| (DESIGN.md §6). The
+// paper assumes users bid few events so A_u stays small; this sweep shows how
+// aggressively the weight-prioritized cap can truncate before utility drops.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/lp_packing.h"
+#include "gen/synthetic.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace igepa;
+  const int32_t repeats = bench::Repeats(15);
+  gen::SyntheticConfig config;
+  config.num_users =
+      static_cast<int32_t>(GetEnvInt("IGEPA_ABLATION_USERS", 1000));
+  // Heavier bid sets than the default so the cap actually binds.
+  config.max_user_capacity = 6;
+  config.min_groups_per_user = 2;
+  config.max_groups_per_user = 3;
+  config.min_conflicts_per_group = 2;
+  config.max_conflicts_per_group = 4;
+
+  std::printf("igepa ablation — admissible-set cap "
+              "(|V|=%d, |U|=%d, heavy bids, %d repeats)\n\n",
+              config.num_events, config.num_users, repeats);
+  std::printf("%-8s %14s %12s %12s %12s\n", "cap", "utility", "stddev",
+              "columns", "truncated");
+
+  Rng master(GetEnvInt("IGEPA_SEED", 20190408));
+  for (int32_t cap : {2, 4, 8, 16, 64, 256, 4096}) {
+    RunningStat utility, columns;
+    int32_t truncated_runs = 0;
+    Rng sweep_master = master;
+    for (int32_t rep = 0; rep < repeats; ++rep) {
+      Rng rep_rng = sweep_master.Fork();
+      auto instance = gen::GenerateSynthetic(config, &rep_rng);
+      if (!instance.ok()) return 1;
+      Rng alg_rng = rep_rng.Fork();
+      core::LpPackingOptions options;
+      options.admissible.max_sets_per_user = cap;
+      core::LpPackingStats stats;
+      auto arrangement = core::LpPacking(*instance, &alg_rng, options, &stats);
+      if (!arrangement.ok()) return 1;
+      utility.Add(arrangement->Utility(*instance));
+      columns.Add(stats.num_columns);
+      truncated_runs += stats.admissible_truncated ? 1 : 0;
+    }
+    std::printf("%-8d %14.2f %12.2f %12.0f %9d/%d\n", cap, utility.mean(),
+                utility.stddev(), columns.mean(), truncated_runs, repeats);
+  }
+  std::printf("\nexpected shape: utility saturates at a small cap because "
+              "enumeration is weight-prioritized; columns (LP size) keep "
+              "growing with the cap.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef IGEPA_BENCH_BENCH_COMMON_H_
+#define IGEPA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/figures.h"
+#include "exp/harness.h"
+#include "exp/report.h"
+#include "util/env.h"
+#include "util/stopwatch.h"
+
+namespace igepa {
+namespace bench {
+
+/// Repetitions per configuration. The paper averages 50 runs; override with
+/// IGEPA_REPEATS for quicker passes.
+inline int32_t Repeats(int32_t fallback = 50) {
+  return static_cast<int32_t>(GetEnvInt("IGEPA_REPEATS", fallback));
+}
+
+/// Harness options shared by the figure benches (paper protocol: fresh
+/// synthetic instance per repetition, α = 1, β = 0.5 baked into the
+/// generator configs).
+inline exp::HarnessOptions FigureOptions() {
+  exp::HarnessOptions options;
+  options.repeats = Repeats();
+  options.seed = GetEnvInt("IGEPA_SEED", 20190408);
+  return options;
+}
+
+/// Runs one Fig. 1 sweep end to end and prints the utility table plus CSV.
+inline int RunFigureBench(const exp::FigureSpec& spec) {
+  const exp::HarnessOptions options = FigureOptions();
+  const auto algorithms = exp::PaperAlgorithms();
+  std::printf("igepa reproduction — %s (%s), %d repetitions per point\n",
+              spec.id.c_str(), spec.title.c_str(), options.repeats);
+  Stopwatch watch;
+  auto rows = exp::RunFigure(spec, algorithms, options);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  exp::PrintFigureTable(std::cout, spec, algorithms, *rows);
+  std::printf("\nCSV:\n");
+  exp::WriteFigureCsv(std::cout, spec, algorithms, *rows);
+  std::printf("total wall time: %.1fs\n", watch.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace igepa
+
+#endif  // IGEPA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,6 @@
+// Reproduces Fig. 1(d) of "Interaction-Aware Arrangement for Event-Based
+// Social Networks" (ICDE'19). See DESIGN.md §4 and EXPERIMENTS.md.
+
+#include "bench/bench_common.h"
+
+int main() { return igepa::bench::RunFigureBench(igepa::exp::Fig1d()); }

@@ -1,0 +1,135 @@
+// google-benchmark microbenchmarks for the core pipeline stages: dataset
+// generation, admissible-set enumeration, Algorithm 1 rounding, baselines and
+// the feasibility validator.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/baselines.h"
+#include "conflict/conflict_graph.h"
+#include "core/lp_packing.h"
+#include "gen/meetup_sim.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace igepa;
+
+core::Instance MakeInstance(int32_t users) {
+  Rng rng(11);
+  gen::SyntheticConfig config;
+  config.num_users = users;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  return std::move(instance).value();
+}
+
+void BM_GenerateSynthetic(benchmark::State& state) {
+  gen::SyntheticConfig config;
+  config.num_users = static_cast<int32_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto instance = gen::GenerateSynthetic(config, &rng);
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_GenerateSynthetic)->Arg(500)->Arg(2000);
+
+void BM_GenerateMeetup(benchmark::State& state) {
+  gen::MeetupConfig config;
+  config.num_users = static_cast<int32_t>(state.range(0));
+  config.num_events = 100;
+  Rng rng(1);
+  for (auto _ : state) {
+    auto instance = gen::GenerateMeetup(config, &rng);
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_GenerateMeetup)->Arg(1000);
+
+void BM_EnumerateAdmissibleSets(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto sets = core::EnumerateAdmissibleSets(instance, {});
+    benchmark::DoNotOptimize(sets);
+  }
+}
+BENCHMARK(BM_EnumerateAdmissibleSets)->Arg(500)->Arg(2000);
+
+void BM_RoundFractional(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  const auto admissible = core::EnumerateAdmissibleSets(instance, {});
+  auto fractional =
+      core::SolveBenchmarkLpForPacking(instance, admissible, {});
+  Rng rng(3);
+  for (auto _ : state) {
+    auto arrangement =
+        core::RoundFractional(instance, admissible, *fractional, &rng, {});
+    benchmark::DoNotOptimize(arrangement);
+  }
+}
+BENCHMARK(BM_RoundFractional)->Arg(500)->Arg(2000);
+
+void BM_LpPackingEndToEnd(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    auto arrangement = core::LpPacking(instance, &rng, {});
+    benchmark::DoNotOptimize(arrangement);
+  }
+}
+BENCHMARK(BM_LpPackingEndToEnd)->Arg(500)->Arg(2000);
+
+void BM_GreedyGg(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto arrangement = algo::GreedyGg(instance);
+    benchmark::DoNotOptimize(arrangement);
+  }
+}
+BENCHMARK(BM_GreedyGg)->Arg(500)->Arg(2000);
+
+void BM_RandomU(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  Rng rng(5);
+  for (auto _ : state) {
+    auto arrangement = algo::RandomU(instance, &rng);
+    benchmark::DoNotOptimize(arrangement);
+  }
+}
+BENCHMARK(BM_RandomU)->Arg(2000);
+
+void BM_CheckFeasible(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  auto arrangement = algo::GreedyGg(instance);
+  for (auto _ : state) {
+    auto status = arrangement->CheckFeasible(instance);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_CheckFeasible)->Arg(2000);
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    auto g = graph::ErdosRenyi(static_cast<graph::NodeId>(state.range(0)),
+                               0.5, &rng);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_ErdosRenyi)->Arg(1000)->Arg(2000);
+
+void BM_ConflictGraphColoring(benchmark::State& state) {
+  Rng rng(9);
+  const auto m = conflict::MatrixConflict::Bernoulli(
+      static_cast<conflict::EventId>(state.range(0)), 0.3, &rng);
+  for (auto _ : state) {
+    auto colors = conflict::GreedyColoring(m);
+    benchmark::DoNotOptimize(colors);
+  }
+}
+BENCHMARK(BM_ConflictGraphColoring)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Approximation-ratio study (Theorem 2): sweeps the sampling scale α and
+// measures the empirical E[ALG]/OPT on tiny instances against the theoretical
+// worst-case curve α(1-α) — the quantity the proof of Theorem 2 bounds, which
+// is maximized at α = 1/2 giving the paper's 1/4 guarantee. Also shows why
+// the experiments use α = 1: in non-adversarial instances the capacity-repair
+// loss is tiny, so more sampled mass is simply more utility.
+//
+//   $ ./build/examples/ratio_study
+
+#include <cstdio>
+
+#include "algo/exact.h"
+#include "core/lp_packing.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace igepa;
+
+int main() {
+  constexpr int kInstances = 12;
+  constexpr int kTrials = 300;
+
+  gen::SyntheticConfig config;
+  config.num_events = 8;
+  config.num_users = 7;
+  config.max_event_capacity = 3;
+  config.max_user_capacity = 3;
+
+  std::printf("Theorem 2 study: E[LP-packing]/OPT vs alpha "
+              "(%d instances x %d trials)\n\n",
+              kInstances, kTrials);
+  std::printf("%-8s %14s %14s %16s\n", "alpha", "alpha(1-alpha)",
+              "mean ratio", "min ratio");
+
+  Rng master(20190408);
+  // Pre-generate instances and their exact optima (shared across alphas).
+  struct Prepared {
+    core::Instance instance;
+    double opt;
+  };
+  std::vector<Prepared> prepared;
+  while (prepared.size() < kInstances) {
+    Rng gen_rng = master.Fork();
+    auto instance = gen::GenerateSynthetic(config, &gen_rng);
+    if (!instance.ok()) return 1;
+    algo::ExactStats stats;
+    auto exact = algo::SolveExact(*instance, {}, &stats);
+    if (!exact.ok() || stats.optimum <= 1e-9) continue;
+    prepared.push_back({std::move(instance).value(), stats.optimum});
+  }
+
+  for (double alpha : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    RunningStat ratios;
+    double min_ratio = 1e18;
+    for (const Prepared& p : prepared) {
+      core::LpPackingOptions options;
+      options.alpha = alpha;
+      const auto admissible = core::EnumerateAdmissibleSets(p.instance, {});
+      auto fractional =
+          core::SolveBenchmarkLpForPacking(p.instance, admissible, options);
+      if (!fractional.ok()) return 1;
+      double total = 0.0;
+      for (int t = 0; t < kTrials; ++t) {
+        Rng rng = master.Fork();
+        auto arrangement = core::RoundFractional(p.instance, admissible,
+                                                 *fractional, &rng, options);
+        if (!arrangement.ok()) return 1;
+        total += arrangement->Utility(p.instance);
+      }
+      const double ratio = total / kTrials / p.opt;
+      ratios.Add(ratio);
+      min_ratio = std::min(min_ratio, ratio);
+    }
+    std::printf("%-8.2f %14.4f %14.4f %16.4f\n", alpha, alpha * (1 - alpha),
+                ratios.mean(), min_ratio);
+  }
+  std::printf("\nreading: every measured ratio sits far above the worst-case "
+              "curve; the curve peaks at alpha=1/2 (the 1/4 guarantee), while "
+              "realized utility keeps growing to alpha=1 — exactly why the "
+              "paper evaluates with alpha=1.\n");
+  return 0;
+}

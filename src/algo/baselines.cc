@@ -1,0 +1,102 @@
+#include "algo/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+namespace igepa {
+namespace algo {
+
+using core::Arrangement;
+using core::EventId;
+using core::Instance;
+using core::UserId;
+
+namespace {
+
+/// True when adding event v to user u's current events keeps u feasible.
+bool UserCanTake(const Instance& instance, const Arrangement& arrangement,
+                 UserId u, EventId v) {
+  const auto& events = arrangement.EventsOf(u);
+  if (static_cast<int64_t>(events.size()) >= instance.user_capacity(u)) {
+    return false;
+  }
+  for (EventId held : events) {
+    if (instance.Conflicts(held, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Arrangement> RandomU(const Instance& instance, Rng* rng) {
+  Arrangement arrangement(instance.num_events(), instance.num_users());
+  std::vector<UserId> users(static_cast<size_t>(instance.num_users()));
+  std::iota(users.begin(), users.end(), 0);
+  rng->Shuffle(&users);
+  std::vector<int32_t> load(static_cast<size_t>(instance.num_events()), 0);
+  for (UserId u : users) {
+    std::vector<EventId> bids = instance.bids(u);
+    rng->Shuffle(&bids);
+    for (EventId v : bids) {
+      if (load[static_cast<size_t>(v)] >= instance.event_capacity(v)) continue;
+      if (!UserCanTake(instance, arrangement, u, v)) continue;
+      ++load[static_cast<size_t>(v)];
+      IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+    }
+  }
+  return arrangement;
+}
+
+Result<Arrangement> RandomV(const Instance& instance, Rng* rng) {
+  Arrangement arrangement(instance.num_events(), instance.num_users());
+  std::vector<EventId> events(static_cast<size_t>(instance.num_events()));
+  std::iota(events.begin(), events.end(), 0);
+  rng->Shuffle(&events);
+  for (EventId v : events) {
+    std::vector<UserId> bidders = instance.bidders(v);
+    rng->Shuffle(&bidders);
+    int32_t admitted = 0;
+    for (UserId u : bidders) {
+      if (admitted >= instance.event_capacity(v)) break;
+      if (!UserCanTake(instance, arrangement, u, v)) continue;
+      ++admitted;
+      IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+    }
+  }
+  return arrangement;
+}
+
+Result<Arrangement> GreedyGg(const Instance& instance) {
+  Arrangement arrangement(instance.num_events(), instance.num_users());
+  // Candidate pairs: (weight, v, u) for every bid.
+  std::vector<std::tuple<double, EventId, UserId>> candidates;
+  candidates.reserve(static_cast<size_t>(instance.TotalBids()));
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (EventId v : instance.bids(u)) {
+      candidates.emplace_back(instance.Weight(v, u), v, u);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (std::get<0>(a) != std::get<0>(b)) {
+                return std::get<0>(a) > std::get<0>(b);
+              }
+              if (std::get<1>(a) != std::get<1>(b)) {
+                return std::get<1>(a) < std::get<1>(b);
+              }
+              return std::get<2>(a) < std::get<2>(b);
+            });
+  std::vector<int32_t> load(static_cast<size_t>(instance.num_events()), 0);
+  for (const auto& [w, v, u] : candidates) {
+    (void)w;
+    if (load[static_cast<size_t>(v)] >= instance.event_capacity(v)) continue;
+    if (!UserCanTake(instance, arrangement, u, v)) continue;
+    ++load[static_cast<size_t>(v)];
+    IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+  }
+  return arrangement;
+}
+
+}  // namespace algo
+}  // namespace igepa

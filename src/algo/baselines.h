@@ -1,0 +1,33 @@
+#ifndef IGEPA_ALGO_BASELINES_H_
+#define IGEPA_ALGO_BASELINES_H_
+
+#include "core/arrangement.h"
+#include "core/instance.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace algo {
+
+/// Random-U baseline (from GEACC [4], as used in §IV): visit users in random
+/// order; each user scans its bids in random order and takes every event that
+/// is still feasible (residual event capacity, own capacity, no conflict with
+/// the events already taken). Output is always feasible.
+Result<core::Arrangement> RandomU(const core::Instance& instance, Rng* rng);
+
+/// Random-V baseline: visit events in random order; each event admits its
+/// bidders in random order while residual capacity remains and the bidder
+/// stays feasible (own capacity, no conflict with the bidder's current
+/// events). Output is always feasible.
+Result<core::Arrangement> RandomV(const core::Instance& instance, Rng* rng);
+
+/// GG — the paper's extension of Greedy-GEACC [4]: sort all candidate pairs
+/// (v, u), u ∈ N_v, by weight w(u, v) = β·SI + (1-β)·D descending (ties by
+/// (v, u) for determinism) and insert each pair that keeps the arrangement
+/// feasible. Deterministic. Output is always feasible.
+Result<core::Arrangement> GreedyGg(const core::Instance& instance);
+
+}  // namespace algo
+}  // namespace igepa
+
+#endif  // IGEPA_ALGO_BASELINES_H_

@@ -1,0 +1,165 @@
+#include "algo/exact.h"
+
+#include <algorithm>
+
+namespace igepa {
+namespace algo {
+
+using core::AdmissibleSets;
+using core::Arrangement;
+using core::EventId;
+using core::Instance;
+using core::UserId;
+
+namespace {
+
+struct SearchState {
+  const Instance* instance;
+  const std::vector<AdmissibleSets>* admissible;
+  // Per-user candidate sets sorted by descending weight; index 0 is "empty".
+  std::vector<std::vector<int32_t>> order;    // set indices, -1 for empty
+  std::vector<std::vector<double>> weights;   // parallel to order
+  std::vector<double> suffix_best;            // optimistic bound from user u on
+  std::vector<int32_t> load;                  // event usage
+  std::vector<int32_t> chosen;                // chosen set index per user
+  std::vector<int32_t> best_chosen;
+  double current = 0.0;
+  double best = 0.0;
+  int64_t nodes = 0;
+  int64_t max_nodes = 0;
+  bool exhausted = false;
+
+  void Dfs(UserId u) {
+    if (exhausted) return;
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      return;
+    }
+    const int32_t nu = instance->num_users();
+    if (u == nu) {
+      if (current > best) {
+        best = current;
+        best_chosen = chosen;
+      }
+      return;
+    }
+    // Prune: even taking every remaining user's best set cannot beat best.
+    if (current + suffix_best[static_cast<size_t>(u)] <= best + 1e-12) {
+      return;
+    }
+    const auto& sets = (*admissible)[static_cast<size_t>(u)].sets;
+    const auto& ord = order[static_cast<size_t>(u)];
+    const auto& wts = weights[static_cast<size_t>(u)];
+    for (size_t k = 0; k < ord.size(); ++k) {
+      const int32_t set_index = ord[k];
+      if (set_index < 0) {
+        chosen[static_cast<size_t>(u)] = -1;
+        Dfs(u + 1);
+        if (exhausted) return;
+        continue;
+      }
+      const auto& set = sets[static_cast<size_t>(set_index)];
+      bool fits = true;
+      for (EventId v : set) {
+        if (load[static_cast<size_t>(v)] >= instance->event_capacity(v)) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      for (EventId v : set) ++load[static_cast<size_t>(v)];
+      current += wts[k];
+      chosen[static_cast<size_t>(u)] = set_index;
+      Dfs(u + 1);
+      current -= wts[k];
+      for (EventId v : set) --load[static_cast<size_t>(v)];
+      if (exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+Result<Arrangement> SolveExact(const Instance& instance,
+                               const ExactOptions& options,
+                               ExactStats* stats) {
+  const std::vector<AdmissibleSets> admissible =
+      core::EnumerateAdmissibleSets(instance, options.admissible);
+  for (const auto& a : admissible) {
+    if (a.truncated) {
+      return Status::FailedPrecondition(
+          "admissible-set enumeration truncated; exact optimum cannot be "
+          "certified (raise AdmissibleOptions::max_sets_per_user)");
+    }
+  }
+
+  SearchState state;
+  state.instance = &instance;
+  state.admissible = &admissible;
+  state.max_nodes = options.max_nodes;
+  const int32_t nu = instance.num_users();
+  state.order.resize(static_cast<size_t>(nu));
+  state.weights.resize(static_cast<size_t>(nu));
+  state.suffix_best.assign(static_cast<size_t>(nu) + 1, 0.0);
+  state.load.assign(static_cast<size_t>(instance.num_events()), 0);
+  state.chosen.assign(static_cast<size_t>(nu), -1);
+  state.best_chosen = state.chosen;
+
+  for (UserId u = 0; u < nu; ++u) {
+    const auto& sets = admissible[static_cast<size_t>(u)].sets;
+    auto& ord = state.order[static_cast<size_t>(u)];
+    auto& wts = state.weights[static_cast<size_t>(u)];
+    for (int32_t k = 0; k < static_cast<int32_t>(sets.size()); ++k) {
+      ord.push_back(k);
+      wts.push_back(core::SetWeight(instance, u,
+                                    sets[static_cast<size_t>(k)]));
+    }
+    ord.push_back(-1);  // the empty choice
+    wts.push_back(0.0);
+    // Descending weight visits promising branches first (better pruning).
+    std::vector<size_t> perm(ord.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](size_t a, size_t b) { return wts[a] > wts[b]; });
+    std::vector<int32_t> ord2;
+    std::vector<double> wts2;
+    for (size_t i : perm) {
+      ord2.push_back(ord[i]);
+      wts2.push_back(wts[i]);
+    }
+    ord = std::move(ord2);
+    wts = std::move(wts2);
+  }
+  for (UserId u = nu - 1; u >= 0; --u) {
+    const double user_best = state.weights[static_cast<size_t>(u)].empty()
+                                 ? 0.0
+                                 : state.weights[static_cast<size_t>(u)][0];
+    state.suffix_best[static_cast<size_t>(u)] =
+        state.suffix_best[static_cast<size_t>(u) + 1] + user_best;
+  }
+
+  state.Dfs(0);
+  if (state.exhausted) {
+    return Status::ResourceExhausted(
+        "exact search node budget exceeded (" +
+        std::to_string(options.max_nodes) + " nodes)");
+  }
+  if (stats != nullptr) {
+    stats->nodes = state.nodes;
+    stats->optimum = state.best;
+  }
+
+  Arrangement out(instance.num_events(), nu);
+  for (UserId u = 0; u < nu; ++u) {
+    const int32_t k = state.best_chosen[static_cast<size_t>(u)];
+    if (k < 0) continue;
+    for (EventId v :
+         admissible[static_cast<size_t>(u)].sets[static_cast<size_t>(k)]) {
+      IGEPA_RETURN_IF_ERROR(out.Add(v, u));
+    }
+  }
+  return out;
+}
+
+}  // namespace algo
+}  // namespace igepa

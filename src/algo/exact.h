@@ -1,0 +1,42 @@
+#ifndef IGEPA_ALGO_EXACT_H_
+#define IGEPA_ALGO_EXACT_H_
+
+#include <cstdint>
+
+#include "core/admissible.h"
+#include "core/arrangement.h"
+#include "core/instance.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace algo {
+
+/// Options for the exact solver.
+struct ExactOptions {
+  /// Search-node budget; exceeded => ResourceExhausted (instance too large).
+  int64_t max_nodes = 50'000'000;
+  core::AdmissibleOptions admissible;
+};
+
+/// Diagnostics from one exact solve.
+struct ExactStats {
+  int64_t nodes = 0;
+  double optimum = 0.0;
+};
+
+/// Exact IGEPA optimum by branch-and-bound over per-user admissible sets
+/// (DFS user by user, event-capacity bookkeeping, optimistic suffix bound
+/// for pruning). Complete because every feasible per-user assignment IS an
+/// admissible set; FailedPrecondition is returned if the admissible-set cap
+/// truncated (optimality could not be certified).
+///
+/// Only for tiny instances (≈ ≤ 12 users with ≤ dozens of sets each); used by
+/// the Theorem-2 ratio validation (tests, bench_ratio, examples/ratio_study).
+Result<core::Arrangement> SolveExact(const core::Instance& instance,
+                                     const ExactOptions& options = {},
+                                     ExactStats* stats = nullptr);
+
+}  // namespace algo
+}  // namespace igepa
+
+#endif  // IGEPA_ALGO_EXACT_H_

@@ -1,0 +1,102 @@
+#include "algo/local_search.h"
+
+#include <algorithm>
+
+namespace igepa {
+namespace algo {
+
+using core::Arrangement;
+using core::EventId;
+using core::Instance;
+using core::UserId;
+
+namespace {
+
+bool ConflictsWithHeld(const Instance& instance,
+                       const std::vector<EventId>& held, EventId v,
+                       EventId skip = -1) {
+  for (EventId h : held) {
+    if (h == skip || h == v) continue;
+    if (instance.Conflicts(h, v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Arrangement> ImproveLocalSearch(const Instance& instance,
+                                       Arrangement arrangement,
+                                       const LocalSearchOptions& options,
+                                       LocalSearchStats* stats) {
+  IGEPA_RETURN_IF_ERROR(arrangement.CheckFeasible(instance));
+  if (stats != nullptr) {
+    *stats = LocalSearchStats{};
+    stats->initial_utility = arrangement.Utility(instance);
+  }
+  std::vector<int32_t> load(static_cast<size_t>(instance.num_events()), 0);
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    load[static_cast<size_t>(v)] =
+        static_cast<int32_t>(arrangement.UsersOf(v).size());
+  }
+
+  for (int32_t round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      const auto& bids = instance.bids(u);
+      // --- Add moves: any feasible missing bid. ---------------------------
+      for (EventId v : bids) {
+        if (arrangement.Contains(v, u)) continue;
+        if (load[static_cast<size_t>(v)] >= instance.event_capacity(v)) {
+          continue;
+        }
+        const auto& held = arrangement.EventsOf(u);
+        if (static_cast<int64_t>(held.size()) >= instance.user_capacity(u)) {
+          continue;
+        }
+        if (ConflictsWithHeld(instance, held, v)) continue;
+        IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+        ++load[static_cast<size_t>(v)];
+        improved = true;
+        if (stats != nullptr) ++stats->additions;
+      }
+      if (!options.enable_swaps) continue;
+      // --- Swap moves: replace a held event with a strictly better bid. ----
+      bool swapped = true;
+      while (swapped) {
+        swapped = false;
+        const std::vector<EventId> held = arrangement.EventsOf(u);  // copy
+        for (EventId old_v : held) {
+          const double old_w = instance.Weight(old_v, u);
+          for (EventId new_v : bids) {
+            if (new_v == old_v || arrangement.Contains(new_v, u)) continue;
+            if (instance.Weight(new_v, u) <= old_w + 1e-12) continue;
+            if (load[static_cast<size_t>(new_v)] >=
+                instance.event_capacity(new_v)) {
+              continue;
+            }
+            if (ConflictsWithHeld(instance, arrangement.EventsOf(u), new_v,
+                                  /*skip=*/old_v)) {
+              continue;
+            }
+            IGEPA_RETURN_IF_ERROR(arrangement.Remove(old_v, u));
+            --load[static_cast<size_t>(old_v)];
+            IGEPA_RETURN_IF_ERROR(arrangement.Add(new_v, u));
+            ++load[static_cast<size_t>(new_v)];
+            improved = true;
+            swapped = true;
+            if (stats != nullptr) ++stats->swaps;
+            break;
+          }
+          if (swapped) break;
+        }
+      }
+    }
+    if (stats != nullptr) stats->rounds = round + 1;
+    if (!improved) break;
+  }
+  if (stats != nullptr) stats->final_utility = arrangement.Utility(instance);
+  return arrangement;
+}
+
+}  // namespace algo
+}  // namespace igepa

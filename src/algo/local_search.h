@@ -1,0 +1,44 @@
+#ifndef IGEPA_ALGO_LOCAL_SEARCH_H_
+#define IGEPA_ALGO_LOCAL_SEARCH_H_
+
+#include <cstdint>
+
+#include "core/arrangement.h"
+#include "core/instance.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace algo {
+
+/// Options for the local-search improver.
+struct LocalSearchOptions {
+  /// Full improvement sweeps before giving up (each sweep tries every
+  /// candidate move once).
+  int32_t max_rounds = 16;
+  /// Enable replace moves (swap a user's assigned event for a better bid).
+  bool enable_swaps = true;
+};
+
+/// Diagnostics from one local-search run.
+struct LocalSearchStats {
+  int32_t rounds = 0;
+  int32_t additions = 0;
+  int32_t swaps = 0;
+  double initial_utility = 0.0;
+  double final_utility = 0.0;
+};
+
+/// Hill-climbing post-processor over feasible arrangements — the library's
+/// extension beyond the paper (DESIGN.md §6 ablation): repeatedly applies
+/// (a) *add* moves — insert any feasible missing (v, u) bid pair — and
+/// (b) *swap* moves — replace a user's assigned event v with a strictly
+/// heavier bid v' when doing so stays feasible — until a sweep makes no
+/// progress. Utility never decreases; feasibility is preserved.
+Result<core::Arrangement> ImproveLocalSearch(
+    const core::Instance& instance, core::Arrangement start,
+    const LocalSearchOptions& options = {}, LocalSearchStats* stats = nullptr);
+
+}  // namespace algo
+}  // namespace igepa
+
+#endif  // IGEPA_ALGO_LOCAL_SEARCH_H_

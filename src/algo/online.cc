@@ -1,0 +1,106 @@
+#include "algo/online.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/admissible.h"
+
+namespace igepa {
+namespace algo {
+
+using core::Arrangement;
+using core::EventId;
+using core::Instance;
+using core::UserId;
+
+Result<Arrangement> OnlineArrange(const Instance& instance,
+                                  const std::vector<UserId>& arrival_order,
+                                  const OnlineOptions& options,
+                                  OnlineStats* stats) {
+  const int32_t nu = instance.num_users();
+  if (static_cast<int32_t>(arrival_order.size()) != nu) {
+    return Status::InvalidArgument("arrival order size mismatch");
+  }
+  std::vector<bool> seen(static_cast<size_t>(nu), false);
+  for (UserId u : arrival_order) {
+    if (u < 0 || u >= nu || seen[static_cast<size_t>(u)]) {
+      return Status::InvalidArgument("arrival order is not a permutation");
+    }
+    seen[static_cast<size_t>(u)] = true;
+  }
+  if (options.threshold_fraction < 0.0 || options.threshold_fraction > 1.0) {
+    return Status::InvalidArgument("threshold_fraction outside [0,1]");
+  }
+  if (stats != nullptr) *stats = OnlineStats{};
+
+  Arrangement arrangement(instance.num_events(), nu);
+  std::vector<int32_t> residual(static_cast<size_t>(instance.num_events()));
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    residual[static_cast<size_t>(v)] = instance.event_capacity(v);
+  }
+  core::AdmissibleOptions admissible_options;
+  admissible_options.max_sets_per_user = options.max_sets_per_user;
+
+  for (UserId u : arrival_order) {
+    // The user's feasible menu right now: bids with residual capacity, and —
+    // under the threshold policy — weight at least the fraction of the
+    // user's best bid weight.
+    double best_bid_weight = 0.0;
+    for (EventId v : instance.bids(u)) {
+      best_bid_weight = std::max(best_bid_weight, instance.Weight(v, u));
+    }
+    const double cutoff = options.policy == OnlinePolicy::kThreshold
+                              ? options.threshold_fraction * best_bid_weight
+                              : 0.0;
+    // Enumerate this user's admissible sets and take the best one whose
+    // events all clear residual capacity and the cutoff.
+    const core::AdmissibleSets sets =
+        core::EnumerateAdmissibleSetsForUser(instance, u, admissible_options);
+    double best_weight = 0.0;
+    const std::vector<EventId>* best_set = nullptr;
+    for (const auto& set : sets.sets) {
+      bool ok = true;
+      double w = 0.0;
+      for (EventId v : set) {
+        if (residual[static_cast<size_t>(v)] <= 0) {
+          ok = false;
+          break;
+        }
+        const double pair_w = instance.Weight(v, u);
+        if (pair_w < cutoff) {
+          ok = false;
+          if (stats != nullptr) ++stats->pairs_rejected_by_threshold;
+          break;
+        }
+        w += pair_w;
+      }
+      if (ok && w > best_weight) {
+        best_weight = w;
+        best_set = &set;
+      }
+    }
+    if (best_set == nullptr) {
+      if (stats != nullptr) ++stats->users_empty;
+      continue;
+    }
+    for (EventId v : *best_set) {
+      --residual[static_cast<size_t>(v)];
+      IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+    }
+    if (stats != nullptr) ++stats->users_served;
+  }
+  return arrangement;
+}
+
+Result<Arrangement> OnlineArrangeRandomOrder(const Instance& instance,
+                                             Rng* rng,
+                                             const OnlineOptions& options,
+                                             OnlineStats* stats) {
+  std::vector<UserId> order(static_cast<size_t>(instance.num_users()));
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  return OnlineArrange(instance, order, options, stats);
+}
+
+}  // namespace algo
+}  // namespace igepa

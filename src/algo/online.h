@@ -1,0 +1,64 @@
+#ifndef IGEPA_ALGO_ONLINE_H_
+#define IGEPA_ALGO_ONLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arrangement.h"
+#include "core/instance.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace algo {
+
+/// Decision policy for the online arrival model.
+enum class OnlinePolicy : uint8_t {
+  /// Assign each arriving user its maximum-weight admissible set that fits
+  /// the residual event capacities.
+  kGreedy,
+  /// Like kGreedy but only takes pairs whose weight reaches a fraction of the
+  /// user's own best pair weight — keeping capacity for later arrivals at the
+  /// cost of rejecting lukewarm matches.
+  kThreshold,
+};
+
+/// Options for the online arrangement.
+struct OnlineOptions {
+  OnlinePolicy policy = OnlinePolicy::kGreedy;
+  /// kThreshold: accept (v, u) only when w(u, v) >= fraction * max_v' w(u, v').
+  double threshold_fraction = 0.5;
+  /// Cap on per-user set enumeration (same semantics as AdmissibleOptions).
+  int32_t max_sets_per_user = 4096;
+};
+
+/// Per-run diagnostics.
+struct OnlineStats {
+  int32_t users_served = 0;
+  int32_t users_empty = 0;
+  int64_t pairs_rejected_by_threshold = 0;
+};
+
+/// Online IGEPA — the arrival model studied by the paper's companion line of
+/// work (She et al., TKDE'16 "…and its variant for online setting"): users
+/// arrive one at a time and must be irrevocably given a (possibly empty)
+/// conflict-free subset of their bids, subject to the residual event
+/// capacities at arrival time. Offline algorithms (LP-packing, GG) see the
+/// whole instance; this one never looks ahead. Output is always feasible.
+///
+/// `arrival_order` must be a permutation of the users (checked).
+Result<core::Arrangement> OnlineArrange(const core::Instance& instance,
+                                        const std::vector<core::UserId>& arrival_order,
+                                        const OnlineOptions& options = {},
+                                        OnlineStats* stats = nullptr);
+
+/// OnlineArrange with a uniformly random arrival order drawn from `rng` —
+/// the random-order (secretary-style) arrival model.
+Result<core::Arrangement> OnlineArrangeRandomOrder(
+    const core::Instance& instance, Rng* rng, const OnlineOptions& options = {},
+    OnlineStats* stats = nullptr);
+
+}  // namespace algo
+}  // namespace igepa
+
+#endif  // IGEPA_ALGO_ONLINE_H_

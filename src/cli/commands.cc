@@ -1,0 +1,244 @@
+#include "cli/commands.h"
+
+#include "algo/baselines.h"
+#include "algo/online.h"
+#include "core/lp_packing.h"
+#include "exp/report.h"
+#include "gen/meetup_sim.h"
+#include "gen/synthetic.h"
+#include "io/instance_io.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace igepa {
+namespace cli {
+namespace {
+
+constexpr const char* kTopUsage =
+    "usage: igepa <generate|solve|evaluate|describe> [flags]\n"
+    "run `igepa <command> --help` for per-command flags\n";
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+// ---- generate --------------------------------------------------------------
+
+int CmdGenerate(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  ArgParser parser("igepa generate", "sample an IGEPA instance to CSV");
+  parser.AddString("kind", "synthetic", "generator: synthetic | meetup");
+  parser.AddString("out", "", "output CSV path (required)");
+  parser.AddInt("seed", 20190408, "random seed");
+  parser.AddInt("events", 200, "number of events |V|");
+  parser.AddInt("users", 2000, "number of users |U|");
+  parser.AddInt("max-cv", 50, "maximum event capacity (synthetic)");
+  parser.AddInt("max-cu", 4, "maximum user capacity (synthetic)");
+  parser.AddDouble("pcf", 0.3, "event conflict probability (synthetic)");
+  parser.AddDouble("pdeg", 0.5, "friendship probability (synthetic)");
+  parser.AddDouble("beta", 0.5, "interest/interaction balance");
+  parser.AddBool("help", false, "show this help");
+  if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
+  if (parser.GetBool("help")) {
+    out << parser.Usage();
+    return 0;
+  }
+  if (parser.GetString("out").empty()) {
+    return Fail(err, Status::InvalidArgument("--out is required"));
+  }
+
+  Rng rng(static_cast<uint64_t>(parser.GetInt("seed")));
+  Result<core::Instance> instance = Status::Internal("unset");
+  const std::string& kind = parser.GetString("kind");
+  if (kind == "synthetic") {
+    gen::SyntheticConfig config;
+    config.num_events = static_cast<int32_t>(parser.GetInt("events"));
+    config.num_users = static_cast<int32_t>(parser.GetInt("users"));
+    config.max_event_capacity = static_cast<int32_t>(parser.GetInt("max-cv"));
+    config.max_user_capacity = static_cast<int32_t>(parser.GetInt("max-cu"));
+    config.p_conflict = parser.GetDouble("pcf");
+    config.p_friend = parser.GetDouble("pdeg");
+    config.beta = parser.GetDouble("beta");
+    instance = gen::GenerateSynthetic(config, &rng);
+  } else if (kind == "meetup") {
+    gen::MeetupConfig config;
+    if (parser.Provided("events")) {
+      config.num_events = static_cast<int32_t>(parser.GetInt("events"));
+    }
+    if (parser.Provided("users")) {
+      config.num_users = static_cast<int32_t>(parser.GetInt("users"));
+    }
+    config.beta = parser.GetDouble("beta");
+    instance = gen::GenerateMeetup(config, &rng);
+  } else {
+    return Fail(err, Status::InvalidArgument("unknown --kind '" + kind +
+                                             "' (synthetic | meetup)"));
+  }
+  if (!instance.ok()) return Fail(err, instance.status());
+  if (Status s = io::WriteInstanceCsv(*instance, parser.GetString("out"));
+      !s.ok()) {
+    return Fail(err, s);
+  }
+  out << "wrote " << parser.GetString("out") << ": "
+      << exp::DescribeInstance(*instance) << "\n";
+  return 0;
+}
+
+// ---- solve -----------------------------------------------------------------
+
+int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  ArgParser parser("igepa solve", "arrange an instance CSV");
+  parser.AddString("in", "", "instance CSV path (required)");
+  parser.AddString("out", "", "optional arrangement CSV output path");
+  parser.AddString("algorithm", "lp-packing",
+                   "lp-packing | gg | random-u | random-v | online");
+  parser.AddDouble("alpha", 1.0, "LP-packing sampling scale in (0,1]");
+  parser.AddInt("seed", 42, "random seed for randomized algorithms");
+  parser.AddBool("help", false, "show this help");
+  if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
+  if (parser.GetBool("help")) {
+    out << parser.Usage();
+    return 0;
+  }
+  if (parser.GetString("in").empty()) {
+    return Fail(err, Status::InvalidArgument("--in is required"));
+  }
+  auto instance = io::ReadInstanceCsv(parser.GetString("in"));
+  if (!instance.ok()) return Fail(err, instance.status());
+
+  Rng rng(static_cast<uint64_t>(parser.GetInt("seed")));
+  const std::string& algorithm = parser.GetString("algorithm");
+  Stopwatch watch;
+  Result<core::Arrangement> arrangement = Status::Internal("unset");
+  if (algorithm == "lp-packing") {
+    core::LpPackingOptions options;
+    options.alpha = parser.GetDouble("alpha");
+    arrangement = core::LpPacking(*instance, &rng, options);
+  } else if (algorithm == "gg") {
+    arrangement = algo::GreedyGg(*instance);
+  } else if (algorithm == "random-u") {
+    arrangement = algo::RandomU(*instance, &rng);
+  } else if (algorithm == "random-v") {
+    arrangement = algo::RandomV(*instance, &rng);
+  } else if (algorithm == "online") {
+    arrangement = algo::OnlineArrangeRandomOrder(*instance, &rng, {});
+  } else {
+    return Fail(err, Status::InvalidArgument("unknown --algorithm '" +
+                                             algorithm + "'"));
+  }
+  if (!arrangement.ok()) return Fail(err, arrangement.status());
+  const double seconds = watch.ElapsedSeconds();
+  if (Status s = arrangement->CheckFeasible(*instance); !s.ok()) {
+    return Fail(err, s);
+  }
+  const auto breakdown = arrangement->Breakdown(*instance);
+  out << algorithm << ": utility " << FormatDouble(breakdown.total, 4)
+      << " (interest " << FormatDouble(breakdown.interest_total, 4)
+      << ", degree " << FormatDouble(breakdown.degree_total, 4) << ") over "
+      << arrangement->size() << " pairs in "
+      << FormatDouble(seconds * 1e3, 1) << " ms\n";
+  if (!parser.GetString("out").empty()) {
+    if (Status s =
+            io::WriteArrangementCsv(*arrangement, parser.GetString("out"));
+        !s.ok()) {
+      return Fail(err, s);
+    }
+    out << "wrote " << parser.GetString("out") << "\n";
+  }
+  return 0;
+}
+
+// ---- evaluate ---------------------------------------------------------------
+
+int CmdEvaluate(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  ArgParser parser("igepa evaluate",
+                   "check an arrangement against an instance");
+  parser.AddString("in", "", "instance CSV path (required)");
+  parser.AddString("arrangement", "", "arrangement CSV path (required)");
+  parser.AddBool("help", false, "show this help");
+  if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
+  if (parser.GetBool("help")) {
+    out << parser.Usage();
+    return 0;
+  }
+  if (parser.GetString("in").empty() ||
+      parser.GetString("arrangement").empty()) {
+    return Fail(err,
+                Status::InvalidArgument("--in and --arrangement are required"));
+  }
+  auto instance = io::ReadInstanceCsv(parser.GetString("in"));
+  if (!instance.ok()) return Fail(err, instance.status());
+  auto arrangement = io::ReadArrangementCsv(parser.GetString("arrangement"));
+  if (!arrangement.ok()) return Fail(err, arrangement.status());
+  const Status feasible = arrangement->CheckFeasible(*instance);
+  if (!feasible.ok()) {
+    out << "INFEASIBLE: " << feasible.message() << "\n";
+    return 2;
+  }
+  const auto breakdown = arrangement->Breakdown(*instance);
+  out << "feasible: yes\n"
+      << "pairs: " << arrangement->size() << "\n"
+      << "utility: " << FormatDouble(breakdown.total, 4) << "\n"
+      << "  interest term (sum SI): "
+      << FormatDouble(breakdown.interest_total, 4) << "\n"
+      << "  degree term   (sum D) : "
+      << FormatDouble(breakdown.degree_total, 4) << "\n";
+  return 0;
+}
+
+// ---- describe ----------------------------------------------------------------
+
+int CmdDescribe(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  ArgParser parser("igepa describe", "print instance statistics");
+  parser.AddString("in", "", "instance CSV path (required)");
+  parser.AddBool("help", false, "show this help");
+  if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
+  if (parser.GetBool("help")) {
+    out << parser.Usage();
+    return 0;
+  }
+  if (parser.GetString("in").empty()) {
+    return Fail(err, Status::InvalidArgument("--in is required"));
+  }
+  auto instance = io::ReadInstanceCsv(parser.GetString("in"));
+  if (!instance.ok()) return Fail(err, instance.status());
+  out << exp::DescribeInstance(*instance) << "\n";
+  // Bid-size histogram: a quick shape check for generated datasets.
+  std::map<size_t, int32_t> histogram;
+  for (core::UserId u = 0; u < instance->num_users(); ++u) {
+    ++histogram[instance->bids(u).size()];
+  }
+  out << "bid-set sizes:";
+  for (const auto& [size, count] : histogram) {
+    out << " " << size << ":" << count;
+  }
+  out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    out << kTopUsage;
+    return args.empty() ? 1 : 0;
+  }
+  const std::string command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "generate") return CmdGenerate(rest, out, err);
+  if (command == "solve") return CmdSolve(rest, out, err);
+  if (command == "evaluate") return CmdEvaluate(rest, out, err);
+  if (command == "describe") return CmdDescribe(rest, out, err);
+  err << "unknown command '" << command << "'\n" << kTopUsage;
+  return 1;
+}
+
+}  // namespace cli
+}  // namespace igepa

@@ -1,0 +1,32 @@
+#ifndef IGEPA_CLI_COMMANDS_H_
+#define IGEPA_CLI_COMMANDS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace igepa {
+namespace cli {
+
+/// Entry point of the `igepa` command-line tool. Subcommands:
+///
+///   igepa generate --kind=synthetic|meetup --out=FILE [generator flags]
+///       Samples an instance and writes it as CSV.
+///   igepa solve --in=FILE --algorithm=lp-packing|gg|random-u|random-v|online
+///               [--out=ARR_FILE] [--alpha=A] [--seed=S]
+///       Arranges the instance and reports utility (optionally saving pairs).
+///   igepa evaluate --in=FILE --arrangement=ARR_FILE
+///       Checks feasibility and reports the utility breakdown.
+///   igepa describe --in=FILE
+///       Prints instance statistics.
+///
+/// Returns a process exit code; all human-readable output goes to `out`,
+/// errors to `err`. Exposed as a library function so the test suite drives it
+/// without spawning processes.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace cli
+}  // namespace igepa
+
+#endif  // IGEPA_CLI_COMMANDS_H_

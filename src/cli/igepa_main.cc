@@ -1,0 +1,13 @@
+// The `igepa` command-line tool: generate, solve, evaluate and describe
+// IGEPA instances from the shell. See cli/commands.h for the subcommands.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return igepa::cli::RunCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,106 @@
+#include "conflict/conflict.h"
+
+#include "util/logging.h"
+
+namespace igepa {
+namespace conflict {
+
+bool ConflictFn::IsConflictFree(const std::vector<EventId>& events) const {
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (Conflicts(events[i], events[j])) return false;
+    }
+  }
+  return true;
+}
+
+MatrixConflict::MatrixConflict(EventId n) : n_(n) {
+  IGEPA_CHECK(n >= 0) << "negative event count";
+  const size_t pairs =
+      static_cast<size_t>(n) * (static_cast<size_t>(n) > 0
+                                    ? static_cast<size_t>(n) - 1
+                                    : 0) /
+      2;
+  bits_.assign(pairs, 0);
+}
+
+size_t MatrixConflict::Index(EventId a, EventId b) const {
+  // Strict upper triangle, row-major: row a occupies (n-1-a) slots starting
+  // at a*(n-1) - a*(a-1)/2... computed incrementally-free via closed form.
+  IGEPA_CHECK(a < b) << "Index requires a < b";
+  const size_t an = static_cast<size_t>(a);
+  const size_t bn = static_cast<size_t>(b);
+  const size_t n = static_cast<size_t>(n_);
+  return an * (n - 1) - an * (an + 1) / 2 + (bn - 1);
+}
+
+bool MatrixConflict::Conflicts(EventId a, EventId b) const {
+  if (a == b) return false;
+  if (a > b) std::swap(a, b);
+  IGEPA_CHECK(a >= 0 && b < n_) << "event id out of range";
+  return bits_[Index(a, b)] != 0;
+}
+
+void MatrixConflict::Set(EventId a, EventId b, bool conflicting) {
+  if (a == b) return;
+  if (a > b) std::swap(a, b);
+  IGEPA_CHECK(a >= 0 && b < n_) << "event id out of range";
+  bits_[Index(a, b)] = conflicting ? 1 : 0;
+}
+
+int64_t MatrixConflict::CountConflicts() const {
+  int64_t count = 0;
+  for (uint8_t bit : bits_) count += bit;
+  return count;
+}
+
+MatrixConflict MatrixConflict::Bernoulli(EventId n, double p, Rng* rng) {
+  MatrixConflict m(n);
+  for (auto& bit : m.bits_) bit = rng->Bernoulli(p) ? 1 : 0;
+  return m;
+}
+
+MatrixConflict MatrixConflict::FromFn(const ConflictFn& fn) {
+  MatrixConflict m(fn.num_events());
+  for (EventId a = 0; a < m.n_; ++a) {
+    for (EventId b = a + 1; b < m.n_; ++b) {
+      if (fn.Conflicts(a, b)) m.Set(a, b, true);
+    }
+  }
+  return m;
+}
+
+IntervalConflict::IntervalConflict(std::vector<TimeInterval> intervals)
+    : intervals_(std::move(intervals)) {
+  for (const auto& iv : intervals_) {
+    IGEPA_CHECK(iv.valid()) << "invalid interval [" << iv.start << ","
+                            << iv.end << ")";
+  }
+}
+
+bool IntervalConflict::Conflicts(EventId a, EventId b) const {
+  if (a == b) return false;
+  return intervals_[static_cast<size_t>(a)].Overlaps(
+      intervals_[static_cast<size_t>(b)]);
+}
+
+Status ValidateConflictFn(const ConflictFn& fn) {
+  const EventId n = fn.num_events();
+  for (EventId a = 0; a < n; ++a) {
+    if (fn.Conflicts(a, a)) {
+      return Status::Internal("conflict function is reflexive at event " +
+                              std::to_string(a));
+    }
+    for (EventId b = a + 1; b < n; ++b) {
+      if (fn.Conflicts(a, b) != fn.Conflicts(b, a)) {
+        return Status::Internal("conflict function asymmetric at (" +
+                                std::to_string(a) + "," + std::to_string(b) +
+                                ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace conflict
+}  // namespace igepa

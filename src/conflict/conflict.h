@@ -1,0 +1,102 @@
+#ifndef IGEPA_CONFLICT_CONFLICT_H_
+#define IGEPA_CONFLICT_CONFLICT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "conflict/interval.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace conflict {
+
+using EventId = int32_t;
+
+/// The paper's conflict function σ(l_v, l_v') ∈ {0,1} (Definition 3),
+/// abstracted over its representation. Implementations must be symmetric and
+/// irreflexive (an event never conflicts with itself).
+class ConflictFn {
+ public:
+  virtual ~ConflictFn() = default;
+
+  /// Number of events the function is defined over.
+  virtual EventId num_events() const = 0;
+
+  /// σ(a, b): true iff events a and b conflict. Must satisfy
+  /// Conflicts(a, a) == false and Conflicts(a, b) == Conflicts(b, a).
+  virtual bool Conflicts(EventId a, EventId b) const = 0;
+
+  /// True when every pair in `events` is mutually non-conflicting.
+  bool IsConflictFree(const std::vector<EventId>& events) const;
+};
+
+/// Dense symmetric boolean matrix; the workhorse for synthetic instances.
+class MatrixConflict final : public ConflictFn {
+ public:
+  /// Creates an n-event matrix with no conflicts.
+  explicit MatrixConflict(EventId n);
+
+  EventId num_events() const override { return n_; }
+  bool Conflicts(EventId a, EventId b) const override;
+
+  /// Marks (a, b) as conflicting (symmetric; (a,a) ignored).
+  void Set(EventId a, EventId b, bool conflicting = true);
+
+  /// Total number of conflicting unordered pairs.
+  int64_t CountConflicts() const;
+
+  /// Samples each unordered pair as conflicting with probability p — the
+  /// synthetic-dataset rule of §IV ("two events conflict with each other with
+  /// the probability p_cf").
+  static MatrixConflict Bernoulli(EventId n, double p, Rng* rng);
+
+  /// Builds the matrix view of an arbitrary conflict function (tests, IO).
+  static MatrixConflict FromFn(const ConflictFn& fn);
+
+ private:
+  size_t Index(EventId a, EventId b) const;
+
+  EventId n_;
+  std::vector<uint8_t> bits_;  // strict upper triangle, row-major
+};
+
+/// Conflict via time overlap of event intervals — the real-dataset rule
+/// ("if two events overlap in time, they conflict with each other").
+class IntervalConflict final : public ConflictFn {
+ public:
+  explicit IntervalConflict(std::vector<TimeInterval> intervals);
+
+  EventId num_events() const override {
+    return static_cast<EventId>(intervals_.size());
+  }
+  bool Conflicts(EventId a, EventId b) const override;
+
+  const TimeInterval& interval(EventId v) const {
+    return intervals_[static_cast<size_t>(v)];
+  }
+
+ private:
+  std::vector<TimeInterval> intervals_;
+};
+
+/// The all-clear conflict function (σ ≡ 0); reduces IGEPA to a conflict-free
+/// assignment problem, used in tests and β=1 GEACC-style comparisons.
+class NoConflict final : public ConflictFn {
+ public:
+  explicit NoConflict(EventId n) : n_(n) {}
+  EventId num_events() const override { return n_; }
+  bool Conflicts(EventId, EventId) const override { return false; }
+
+ private:
+  EventId n_;
+};
+
+/// Validates symmetry/irreflexivity of an implementation (test helper; O(n²)).
+Status ValidateConflictFn(const ConflictFn& fn);
+
+}  // namespace conflict
+}  // namespace igepa
+
+#endif  // IGEPA_CONFLICT_CONFLICT_H_

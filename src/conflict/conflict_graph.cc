@@ -1,0 +1,93 @@
+#include "conflict/conflict_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace igepa {
+namespace conflict {
+
+graph::Graph BuildConflictGraph(const ConflictFn& fn) {
+  const EventId n = fn.num_events();
+  graph::Graph g(n);
+  for (EventId a = 0; a < n; ++a) {
+    for (EventId b = a + 1; b < n; ++b) {
+      if (fn.Conflicts(a, b)) {
+        g.AddEdge(a, b);  // in-range by construction
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+graph::Graph BuildConflictSubgraph(const ConflictFn& fn,
+                                   const std::vector<EventId>& events) {
+  graph::Graph g(static_cast<graph::NodeId>(events.size()));
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (fn.Conflicts(events[i], events[j])) {
+        g.AddEdge(static_cast<graph::NodeId>(i),
+                  static_cast<graph::NodeId>(j));
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+std::vector<int32_t> ConflictComponents(const ConflictFn& fn) {
+  const graph::Graph g = BuildConflictGraph(fn);
+  std::vector<int32_t> component(static_cast<size_t>(g.num_nodes()), -1);
+  int32_t next = 0;
+  std::deque<graph::NodeId> frontier;
+  for (graph::NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (component[static_cast<size_t>(root)] != -1) continue;
+    component[static_cast<size_t>(root)] = next;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      const graph::NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const graph::NodeId* it = g.NeighborsBegin(cur);
+           it != g.NeighborsEnd(cur); ++it) {
+        if (component[static_cast<size_t>(*it)] == -1) {
+          component[static_cast<size_t>(*it)] = next;
+          frontier.push_back(*it);
+        }
+      }
+    }
+    ++next;
+  }
+  return component;
+}
+
+std::vector<int32_t> GreedyColoring(const ConflictFn& fn) {
+  const graph::Graph g = BuildConflictGraph(fn);
+  const graph::NodeId n = g.num_nodes();
+  std::vector<int32_t> color(static_cast<size_t>(n), -1);
+  std::vector<bool> used;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    used.assign(static_cast<size_t>(g.Degree(v)) + 1, false);
+    for (const graph::NodeId* it = g.NeighborsBegin(v); it != g.NeighborsEnd(v);
+         ++it) {
+      const int32_t c = color[static_cast<size_t>(*it)];
+      if (c >= 0 && c < static_cast<int32_t>(used.size())) {
+        used[static_cast<size_t>(c)] = true;
+      }
+    }
+    int32_t c = 0;
+    while (used[static_cast<size_t>(c)]) ++c;
+    color[static_cast<size_t>(v)] = c;
+  }
+  return color;
+}
+
+std::vector<EventId> ConflictNeighbors(const ConflictFn& fn, EventId v) {
+  std::vector<EventId> out;
+  for (EventId b = 0; b < fn.num_events(); ++b) {
+    if (b != v && fn.Conflicts(v, b)) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace conflict
+}  // namespace igepa

@@ -1,0 +1,38 @@
+#ifndef IGEPA_CONFLICT_CONFLICT_GRAPH_H_
+#define IGEPA_CONFLICT_CONFLICT_GRAPH_H_
+
+#include <vector>
+
+#include "conflict/conflict.h"
+#include "graph/graph.h"
+
+namespace igepa {
+namespace conflict {
+
+/// Materializes the conflict graph over all events (node per event, edge per
+/// conflicting pair). O(n²) probes of the conflict function.
+graph::Graph BuildConflictGraph(const ConflictFn& fn);
+
+/// Conflict graph restricted to a subset of events; node i of the result is
+/// events[i].
+graph::Graph BuildConflictSubgraph(const ConflictFn& fn,
+                                   const std::vector<EventId>& events);
+
+/// Connected components of the conflict graph; component[v] is a dense label
+/// in [0, num_components). Users "bid for a group of similar and often
+/// conflicting events" (§IV) — the synthetic generator uses these components
+/// as bid clusters.
+std::vector<int32_t> ConflictComponents(const ConflictFn& fn);
+
+/// Greedy sequential colouring of the conflict graph. Colour classes are
+/// pairwise conflict-free sets; the number of colours upper-bounds how many
+/// conflicting alternatives a user can hold simultaneously.
+std::vector<int32_t> GreedyColoring(const ConflictFn& fn);
+
+/// All events that conflict with `v`.
+std::vector<EventId> ConflictNeighbors(const ConflictFn& fn, EventId v);
+
+}  // namespace conflict
+}  // namespace igepa
+
+#endif  // IGEPA_CONFLICT_CONFLICT_GRAPH_H_

@@ -1,0 +1,9 @@
+#include "conflict/interval.h"
+
+// TimeInterval is header-only; this translation unit exists so the library
+// has a stable archive member for the interval component (and a place for
+// future out-of-line helpers).
+
+namespace igepa {
+namespace conflict {}  // namespace conflict
+}  // namespace igepa

@@ -1,0 +1,46 @@
+#ifndef IGEPA_CONFLICT_INTERVAL_H_
+#define IGEPA_CONFLICT_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace igepa {
+namespace conflict {
+
+/// Half-open time interval [start, end) in abstract minutes. The paper's real
+/// dataset attaches "a start time and a duration" to each event and declares
+/// two events conflicting iff they overlap in time.
+struct TimeInterval {
+  int64_t start = 0;
+  int64_t end = 0;  // exclusive
+
+  int64_t duration() const { return end - start; }
+  bool valid() const { return end >= start; }
+
+  /// True when the two half-open intervals share at least one instant.
+  /// Touching intervals ([0,10) and [10,20)) do NOT overlap; an empty
+  /// interval overlaps nothing (including itself).
+  bool Overlaps(const TimeInterval& other) const {
+    if (duration() <= 0 || other.duration() <= 0) return false;
+    return start < other.end && other.start < end;
+  }
+
+  /// True when `t` lies inside the interval.
+  bool Contains(int64_t t) const { return t >= start && t < end; }
+
+  /// Intersection of the two intervals; empty (start==end) when disjoint.
+  TimeInterval Intersect(const TimeInterval& other) const {
+    const int64_t s = std::max(start, other.start);
+    const int64_t e = std::min(end, other.end);
+    return TimeInterval{s, std::max(s, e)};
+  }
+
+  bool operator==(const TimeInterval& other) const {
+    return start == other.start && end == other.end;
+  }
+};
+
+}  // namespace conflict
+}  // namespace igepa
+
+#endif  // IGEPA_CONFLICT_INTERVAL_H_

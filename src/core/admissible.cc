@@ -1,0 +1,102 @@
+#include "core/admissible.h"
+
+#include <algorithm>
+
+namespace igepa {
+namespace core {
+namespace {
+
+/// DFS over the user's bids (pre-sorted by descending weight), emitting every
+/// conflict-free subset of size <= capacity until the cap is hit. Exploring
+/// the include-branch first makes high-weight sets surface before the cap.
+class SetEnumerator {
+ public:
+  SetEnumerator(const Instance& instance, std::vector<EventId> ordered_bids,
+                int32_t capacity, int32_t max_sets)
+      : instance_(instance),
+        bids_(std::move(ordered_bids)),
+        capacity_(capacity),
+        max_sets_(max_sets) {}
+
+  AdmissibleSets Run() {
+    AdmissibleSets out;
+    if (capacity_ <= 0 || bids_.empty() || max_sets_ <= 0) return out;
+    current_.clear();
+    Dfs(0, &out);
+    // Canonical order inside each set: ascending event id.
+    for (auto& s : out.sets) std::sort(s.begin(), s.end());
+    return out;
+  }
+
+ private:
+  void Dfs(size_t index, AdmissibleSets* out) {
+    if (static_cast<int32_t>(out->sets.size()) >= max_sets_) {
+      out->truncated = true;
+      return;
+    }
+    if (index == bids_.size()) return;
+    const EventId v = bids_[index];
+    // Include v when it fits and does not conflict with the chosen prefix.
+    if (static_cast<int32_t>(current_.size()) < capacity_ &&
+        CompatibleWithCurrent(v)) {
+      current_.push_back(v);
+      out->sets.push_back(current_);
+      Dfs(index + 1, out);
+      current_.pop_back();
+    }
+    // Exclude v.
+    Dfs(index + 1, out);
+  }
+
+  bool CompatibleWithCurrent(EventId v) const {
+    for (EventId chosen : current_) {
+      if (instance_.Conflicts(chosen, v)) return false;
+    }
+    return true;
+  }
+
+  const Instance& instance_;
+  std::vector<EventId> bids_;
+  int32_t capacity_;
+  int32_t max_sets_;
+  std::vector<EventId> current_;
+};
+
+}  // namespace
+
+AdmissibleSets EnumerateAdmissibleSetsForUser(
+    const Instance& instance, UserId u, const AdmissibleOptions& options) {
+  std::vector<EventId> ordered = instance.bids(u);
+  // Descending weight; ties broken by event id for determinism.
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](EventId a, EventId b) {
+                     const double wa = instance.Weight(a, u);
+                     const double wb = instance.Weight(b, u);
+                     if (wa != wb) return wa > wb;
+                     return a < b;
+                   });
+  SetEnumerator enumerator(instance, std::move(ordered),
+                           instance.user_capacity(u),
+                           options.max_sets_per_user);
+  return enumerator.Run();
+}
+
+std::vector<AdmissibleSets> EnumerateAdmissibleSets(
+    const Instance& instance, const AdmissibleOptions& options) {
+  std::vector<AdmissibleSets> out;
+  out.reserve(static_cast<size_t>(instance.num_users()));
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    out.push_back(EnumerateAdmissibleSetsForUser(instance, u, options));
+  }
+  return out;
+}
+
+double SetWeight(const Instance& instance, UserId u,
+                 const std::vector<EventId>& set) {
+  double w = 0.0;
+  for (EventId v : set) w += instance.Weight(v, u);
+  return w;
+}
+
+}  // namespace core
+}  // namespace igepa

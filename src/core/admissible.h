@@ -1,0 +1,48 @@
+#ifndef IGEPA_CORE_ADMISSIBLE_H_
+#define IGEPA_CORE_ADMISSIBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace core {
+
+/// Options for admissible-set enumeration.
+struct AdmissibleOptions {
+  /// Cap on |A_u| per user. The paper argues |A_u| stays reasonable because
+  /// users bid few events; the cap guards adversarial inputs. When the cap
+  /// binds, enumeration prioritizes sets containing high-weight events (bids
+  /// are explored in descending w(u,v) order, include-branch first), so the
+  /// dropped sets are the least valuable ones.
+  int32_t max_sets_per_user = 4096;
+};
+
+/// The admissible event sets A_u of one user: every non-empty S ⊆ N_u with
+/// |S| ≤ c_u and no conflicting pair inside S (§III). `sets[k]` is sorted by
+/// event id; `truncated` reports whether the cap bound.
+struct AdmissibleSets {
+  std::vector<std::vector<EventId>> sets;
+  bool truncated = false;
+};
+
+/// Enumerates A_u for one user.
+AdmissibleSets EnumerateAdmissibleSetsForUser(const Instance& instance,
+                                              UserId u,
+                                              const AdmissibleOptions& options);
+
+/// Enumerates A_u for every user.
+std::vector<AdmissibleSets> EnumerateAdmissibleSets(
+    const Instance& instance, const AdmissibleOptions& options = {});
+
+/// Σ_v∈S w(u, v) — the LP objective coefficient w(u, S).
+double SetWeight(const Instance& instance, UserId u,
+                 const std::vector<EventId>& set);
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_ADMISSIBLE_H_

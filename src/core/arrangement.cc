@@ -1,0 +1,119 @@
+#include "core/arrangement.h"
+
+#include <algorithm>
+
+namespace igepa {
+namespace core {
+
+Arrangement::Arrangement(int32_t num_events, int32_t num_users)
+    : num_events_(num_events), num_users_(num_users) {
+  by_user_.resize(static_cast<size_t>(num_users));
+  by_event_.resize(static_cast<size_t>(num_events));
+}
+
+Status Arrangement::Add(EventId v, UserId u) {
+  if (v < 0 || v >= num_events_ || u < 0 || u >= num_users_) {
+    return Status::InvalidArgument("pair (" + std::to_string(v) + "," +
+                                   std::to_string(u) + ") out of range");
+  }
+  auto& events = by_user_[static_cast<size_t>(u)];
+  const auto it = std::lower_bound(events.begin(), events.end(), v);
+  if (it != events.end() && *it == v) {
+    return Status::AlreadyExists("pair (" + std::to_string(v) + "," +
+                                 std::to_string(u) + ") already present");
+  }
+  events.insert(it, v);
+  auto& users = by_event_[static_cast<size_t>(v)];
+  users.insert(std::lower_bound(users.begin(), users.end(), u), u);
+  pairs_.emplace_back(v, u);
+  return Status::OK();
+}
+
+Status Arrangement::Remove(EventId v, UserId u) {
+  if (v < 0 || v >= num_events_ || u < 0 || u >= num_users_) {
+    return Status::InvalidArgument("pair out of range");
+  }
+  auto& events = by_user_[static_cast<size_t>(u)];
+  const auto it = std::lower_bound(events.begin(), events.end(), v);
+  if (it == events.end() || *it != v) {
+    return Status::NotFound("pair (" + std::to_string(v) + "," +
+                            std::to_string(u) + ") not present");
+  }
+  events.erase(it);
+  auto& users = by_event_[static_cast<size_t>(v)];
+  users.erase(std::lower_bound(users.begin(), users.end(), u));
+  pairs_.erase(std::find(pairs_.begin(), pairs_.end(), std::make_pair(v, u)));
+  return Status::OK();
+}
+
+bool Arrangement::Contains(EventId v, UserId u) const {
+  if (v < 0 || v >= num_events_ || u < 0 || u >= num_users_) return false;
+  const auto& events = by_user_[static_cast<size_t>(u)];
+  return std::binary_search(events.begin(), events.end(), v);
+}
+
+double Arrangement::Utility(const Instance& instance) const {
+  double total = 0.0;
+  for (const auto& [v, u] : pairs_) total += instance.Weight(v, u);
+  return total;
+}
+
+UtilityBreakdown Arrangement::Breakdown(const Instance& instance) const {
+  UtilityBreakdown out;
+  for (const auto& [v, u] : pairs_) {
+    out.interest_total += instance.Interest(v, u);
+    out.degree_total += instance.Degree(u);
+  }
+  out.total = instance.beta() * out.interest_total +
+              (1.0 - instance.beta()) * out.degree_total;
+  return out;
+}
+
+Status Arrangement::CheckFeasible(const Instance& instance) const {
+  if (num_events_ != instance.num_events() ||
+      num_users_ != instance.num_users()) {
+    return Status::FailedPrecondition("arrangement/instance size mismatch");
+  }
+  // Bid constraint: {v | (v,u) ∈ M} ⊆ N_u.
+  for (const auto& [v, u] : pairs_) {
+    if (!instance.HasBid(u, v)) {
+      return Status::FailedPrecondition(
+          "bid constraint violated: user " + std::to_string(u) +
+          " did not bid for event " + std::to_string(v));
+    }
+  }
+  // Capacity constraints.
+  for (EventId v = 0; v < num_events_; ++v) {
+    const auto& users = by_event_[static_cast<size_t>(v)];
+    if (static_cast<int64_t>(users.size()) > instance.event_capacity(v)) {
+      return Status::FailedPrecondition(
+          "event capacity violated: event " + std::to_string(v) + " has " +
+          std::to_string(users.size()) + " attendees, capacity " +
+          std::to_string(instance.event_capacity(v)));
+    }
+  }
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto& events = by_user_[static_cast<size_t>(u)];
+    if (static_cast<int64_t>(events.size()) > instance.user_capacity(u)) {
+      return Status::FailedPrecondition(
+          "user capacity violated: user " + std::to_string(u) +
+          " attends " + std::to_string(events.size()) + " events, capacity " +
+          std::to_string(instance.user_capacity(u)));
+    }
+    // Conflict constraint within the user's assigned events.
+    for (size_t i = 0; i < events.size(); ++i) {
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (instance.Conflicts(events[i], events[j])) {
+          return Status::FailedPrecondition(
+              "conflict constraint violated: user " + std::to_string(u) +
+              " assigned conflicting events " + std::to_string(events[i]) +
+              " and " + std::to_string(events[j]));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace igepa

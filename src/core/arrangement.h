@@ -1,0 +1,86 @@
+#ifndef IGEPA_CORE_ARRANGEMENT_H_
+#define IGEPA_CORE_ARRANGEMENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace igepa {
+namespace core {
+
+/// Decomposition of an arrangement's utility into its two terms
+/// (Definition 7): Utility = β·interest_total + (1-β)·degree_total.
+struct UtilityBreakdown {
+  double total = 0.0;
+  double interest_total = 0.0;  // Σ SI(l_v, l_u), unweighted
+  double degree_total = 0.0;    // Σ D(G, u), unweighted
+};
+
+/// An event-participant arrangement M ⊆ V × U (Definition 4), stored as a
+/// pair list with per-user and per-event indexes built on demand.
+class Arrangement {
+ public:
+  Arrangement() = default;
+
+  /// Creates an arrangement sized for the instance's id ranges.
+  Arrangement(int32_t num_events, int32_t num_users);
+
+  int32_t num_events() const { return num_events_; }
+  int32_t num_users() const { return num_users_; }
+
+  /// Adds the pair (v, u). Duplicate pairs are rejected with AlreadyExists;
+  /// out-of-range ids with InvalidArgument. Feasibility against an instance
+  /// is NOT checked here — use CheckFeasible.
+  Status Add(EventId v, UserId u);
+
+  /// Removes the pair (v, u); NotFound if absent.
+  Status Remove(EventId v, UserId u);
+
+  bool Contains(EventId v, UserId u) const;
+
+  /// Number of pairs |M|.
+  int64_t size() const { return static_cast<int64_t>(pairs_.size()); }
+  bool empty() const { return pairs_.empty(); }
+
+  /// All pairs in insertion order.
+  const std::vector<std::pair<EventId, UserId>>& pairs() const {
+    return pairs_;
+  }
+
+  /// Events assigned to user u (sorted).
+  const std::vector<EventId>& EventsOf(UserId u) const {
+    return by_user_[static_cast<size_t>(u)];
+  }
+
+  /// Users assigned to event v (sorted).
+  const std::vector<UserId>& UsersOf(EventId v) const {
+    return by_event_[static_cast<size_t>(v)];
+  }
+
+  /// Utility(M) per Definition 7.
+  double Utility(const Instance& instance) const;
+
+  /// Utility with the interest/degree split.
+  UtilityBreakdown Breakdown(const Instance& instance) const;
+
+  /// Verifies the three feasibility constraints of Definition 4 — bid,
+  /// capacity (both sides) and conflict — plus id-range/duplicate sanity.
+  /// Returns OK or a FailedPrecondition naming the first violation.
+  Status CheckFeasible(const Instance& instance) const;
+
+ private:
+  int32_t num_events_ = 0;
+  int32_t num_users_ = 0;
+  std::vector<std::pair<EventId, UserId>> pairs_;
+  std::vector<std::vector<EventId>> by_user_;
+  std::vector<std::vector<UserId>> by_event_;
+};
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_ARRANGEMENT_H_

@@ -1,0 +1,279 @@
+#include "core/benchmark_dual.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igepa {
+namespace core {
+
+Result<lp::LpSolution> SolveBenchmarkLpStructured(
+    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
+    const BenchmarkLp& bench, const StructuredDualOptions& options) {
+  const int32_t nu = instance.num_users();
+  const int32_t nv = instance.num_events();
+  const int32_t cols = bench.model.num_cols();
+  if (static_cast<int32_t>(admissible.size()) != nu) {
+    return Status::InvalidArgument("admissible sets size mismatch");
+  }
+
+  // Per-column data (hot loop friendly): owning user, weight, event list.
+  std::vector<double> weight(static_cast<size_t>(cols), 0.0);
+  std::vector<int32_t> col_user(static_cast<size_t>(cols), 0);
+  std::vector<int32_t> event_offsets(static_cast<size_t>(cols) + 1, 0);
+  std::vector<EventId> event_items;
+  event_items.reserve(static_cast<size_t>(bench.model.num_entries()));
+  for (int32_t j = 0; j < cols; ++j) {
+    const auto [u, k] = bench.column_map[static_cast<size_t>(j)];
+    col_user[static_cast<size_t>(j)] = u;
+    weight[static_cast<size_t>(j)] = bench.model.objective(j);
+    const auto& set =
+        admissible[static_cast<size_t>(u)].sets[static_cast<size_t>(k)];
+    for (EventId v : set) event_items.push_back(v);
+    event_offsets[static_cast<size_t>(j) + 1] =
+        static_cast<int32_t>(event_items.size());
+  }
+  std::vector<double> capacity(static_cast<size_t>(nv), 0.0);
+  for (EventId v = 0; v < nv; ++v) {
+    capacity[static_cast<size_t>(v)] =
+        static_cast<double>(instance.event_capacity(v));
+  }
+
+  double wmax = 0.0;
+  for (double w : weight) wmax = std::max(wmax, w);
+  lp::LpSolution sol;
+  sol.x.assign(static_cast<size_t>(cols), 0.0);
+  sol.duals.assign(static_cast<size_t>(bench.model.num_rows()), 0.0);
+  if (cols == 0 || wmax <= 0.0) {
+    sol.status = lp::SolveStatus::kOptimal;
+    return sol;
+  }
+
+  // Columns sorted by descending weight for the greedy polish pass.
+  std::vector<int32_t> by_weight(static_cast<size_t>(cols));
+  for (int32_t j = 0; j < cols; ++j) by_weight[static_cast<size_t>(j)] = j;
+  std::sort(by_weight.begin(), by_weight.end(), [&](int32_t a, int32_t b) {
+    if (weight[static_cast<size_t>(a)] != weight[static_cast<size_t>(b)]) {
+      return weight[static_cast<size_t>(a)] > weight[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+
+  std::vector<double> mu(static_cast<size_t>(nv), 0.0);
+  std::vector<double> best_mu = mu;
+  std::vector<double> usage(static_cast<size_t>(nv), 0.0);
+  std::vector<double> ext_usage(static_cast<size_t>(nv), 0.0);
+  std::vector<int64_t> chosen_count(static_cast<size_t>(cols), 0);
+  std::vector<int32_t> current_choice(static_cast<size_t>(nu), -1);
+  std::vector<double> xtry(static_cast<size_t>(cols), 0.0);
+  std::vector<double> user_mass(static_cast<size_t>(nu), 0.0);
+  std::vector<double> best_x(static_cast<size_t>(cols), 0.0);
+  double best_primal = 0.0;
+  double best_ub = lp::kInf;
+  int64_t avg_started_at = 1;
+  int64_t avg_count = 0;
+
+  // Builds a feasible primal from the averaged oracle choices: scale columns
+  // through overloaded events, then greedily refill leftover event capacity
+  // and user mass by descending weight. Returns its objective value.
+  auto extract_primal = [&]() -> double {
+    const double inv = 1.0 / static_cast<double>(std::max<int64_t>(1, avg_count));
+    std::fill(ext_usage.begin(), ext_usage.end(), 0.0);
+    for (int32_t j = 0; j < cols; ++j) {
+      const double xj =
+          static_cast<double>(chosen_count[static_cast<size_t>(j)]) * inv;
+      xtry[static_cast<size_t>(j)] = xj;
+      if (xj <= 0.0) continue;
+      for (int32_t e = event_offsets[static_cast<size_t>(j)];
+           e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
+        ext_usage[static_cast<size_t>(event_items[static_cast<size_t>(e)])] += xj;
+      }
+    }
+    // Scale down through overloaded events.
+    for (int32_t j = 0; j < cols; ++j) {
+      double xj = xtry[static_cast<size_t>(j)];
+      if (xj <= 0.0) continue;
+      double factor = 1.0;
+      for (int32_t e = event_offsets[static_cast<size_t>(j)];
+           e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
+        const EventId v = event_items[static_cast<size_t>(e)];
+        const double cap = capacity[static_cast<size_t>(v)];
+        const double used = ext_usage[static_cast<size_t>(v)];
+        if (used > cap) {
+          factor = std::min(factor, cap <= 0.0 ? 0.0 : cap / used);
+        }
+      }
+      xtry[static_cast<size_t>(j)] = xj * factor;
+    }
+    // Exact activities and user masses of the scaled point.
+    std::fill(ext_usage.begin(), ext_usage.end(), 0.0);
+    std::fill(user_mass.begin(), user_mass.end(), 0.0);
+    for (int32_t j = 0; j < cols; ++j) {
+      const double xj = xtry[static_cast<size_t>(j)];
+      if (xj <= 0.0) continue;
+      user_mass[static_cast<size_t>(col_user[static_cast<size_t>(j)])] += xj;
+      for (int32_t e = event_offsets[static_cast<size_t>(j)];
+           e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
+        ext_usage[static_cast<size_t>(event_items[static_cast<size_t>(e)])] += xj;
+      }
+    }
+    // Greedy polish: refill by descending weight, respecting both the user's
+    // residual mass (constraint (2)) and the events' residual capacity (3).
+    double value = 0.0;
+    for (int32_t jj = 0; jj < cols; ++jj) {
+      const int32_t j = by_weight[static_cast<size_t>(jj)];
+      double& xj = xtry[static_cast<size_t>(j)];
+      const int32_t u = col_user[static_cast<size_t>(j)];
+      double room = std::min(1.0 - xj,
+                             1.0 - user_mass[static_cast<size_t>(u)]);
+      if (room > 1e-12) {
+        for (int32_t e = event_offsets[static_cast<size_t>(j)];
+             e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
+          const EventId v = event_items[static_cast<size_t>(e)];
+          room = std::min(room, capacity[static_cast<size_t>(v)] -
+                                    ext_usage[static_cast<size_t>(v)]);
+          if (room <= 1e-12) break;
+        }
+        if (room > 1e-12) {
+          xj += room;
+          user_mass[static_cast<size_t>(u)] += room;
+          for (int32_t e = event_offsets[static_cast<size_t>(j)];
+               e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
+            ext_usage[static_cast<size_t>(event_items[static_cast<size_t>(e)])] +=
+                room;
+          }
+        }
+      }
+      value += weight[static_cast<size_t>(j)] * xj;
+    }
+    return value;
+  };
+
+  const double step0 = options.step_scale * wmax;
+  int64_t t = 1;
+  std::vector<double> grad(static_cast<size_t>(nv), 0.0);
+  for (; t <= options.max_iterations; ++t) {
+    // ---- Oracle: best admissible set per user under reduced weights. ------
+    std::fill(usage.begin(), usage.end(), 0.0);
+    double lagrangian = 0.0;
+    for (EventId v = 0; v < nv; ++v) {
+      lagrangian += capacity[static_cast<size_t>(v)] *
+                    mu[static_cast<size_t>(v)];
+    }
+    for (UserId u = 0; u < nu; ++u) {
+      const int32_t begin = bench.user_col_begin[static_cast<size_t>(u)];
+      const int32_t end = bench.user_col_begin[static_cast<size_t>(u) + 1];
+      double best = 0.0;
+      int32_t best_col = -1;
+      for (int32_t j = begin; j < end; ++j) {
+        double reduced = weight[static_cast<size_t>(j)];
+        for (int32_t e = event_offsets[static_cast<size_t>(j)];
+             e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
+          reduced -=
+              mu[static_cast<size_t>(event_items[static_cast<size_t>(e)])];
+        }
+        if (reduced > best) {
+          best = reduced;
+          best_col = j;
+        }
+      }
+      current_choice[static_cast<size_t>(u)] = best_col;
+      if (best_col >= 0) {
+        lagrangian += best;
+        ++chosen_count[static_cast<size_t>(best_col)];
+        for (int32_t e = event_offsets[static_cast<size_t>(best_col)];
+             e < event_offsets[static_cast<size_t>(best_col) + 1]; ++e) {
+          usage[static_cast<size_t>(event_items[static_cast<size_t>(e)])] +=
+              1.0;
+        }
+      }
+    }
+    ++avg_count;
+    if (lagrangian < best_ub) {
+      best_ub = lagrangian;
+      best_mu = mu;
+    }
+
+    // ---- Periodic primal extraction & certified-gap check. ----------------
+    if (t % options.check_every == 0 || t == options.max_iterations) {
+      const double value = extract_primal();
+      if (value > best_primal) {
+        best_primal = value;
+        best_x = xtry;
+      }
+      const double gap =
+          (best_ub - best_primal) / std::max(1.0, std::abs(best_ub));
+      if (gap <= options.target_gap) break;
+    }
+
+    // ---- Suffix averaging with doubling restarts. --------------------------
+    if (t + 1 >= 2 * avg_started_at) {
+      std::fill(chosen_count.begin(), chosen_count.end(), 0);
+      avg_count = 0;
+      avg_started_at = t + 1;
+    }
+
+    // ---- Projected subgradient step on μ. ----------------------------------
+    double gnorm2 = 0.0;
+    for (EventId v = 0; v < nv; ++v) {
+      const double g = capacity[static_cast<size_t>(v)] -
+                       usage[static_cast<size_t>(v)];
+      grad[static_cast<size_t>(v)] = g;
+      gnorm2 += g * g;
+    }
+    if (gnorm2 <= 1e-18) {
+      // Every event is exactly at capacity under the current oracle choice:
+      // that choice is primal-feasible with value Σ_u w(S*_u) = L(μ) (the
+      // complementary-slackness identity), hence OPTIMAL. Replace the
+      // averaging window with this single iterate and extract it.
+      std::fill(chosen_count.begin(), chosen_count.end(), 0);
+      for (UserId u = 0; u < nu; ++u) {
+        const int32_t j = current_choice[static_cast<size_t>(u)];
+        if (j >= 0) chosen_count[static_cast<size_t>(j)] = 1;
+      }
+      avg_count = 1;
+      const double value = extract_primal();
+      if (value > best_primal) {
+        best_primal = value;
+        best_x = xtry;
+      }
+      break;
+    }
+    const double step = step0 / std::sqrt(static_cast<double>(t) * gnorm2);
+    for (EventId v = 0; v < nv; ++v) {
+      mu[static_cast<size_t>(v)] = std::max(
+          0.0, mu[static_cast<size_t>(v)] - step * grad[static_cast<size_t>(v)]);
+    }
+  }
+
+  sol.x = best_x;
+  sol.objective = best_primal;
+  sol.upper_bound = best_ub;
+  sol.iterations = std::min<int64_t>(t, options.max_iterations);
+  // Duals: μ on event rows; π_u (the oracle value at best μ) on user rows.
+  for (UserId u = 0; u < nu; ++u) {
+    const int32_t begin = bench.user_col_begin[static_cast<size_t>(u)];
+    const int32_t end = bench.user_col_begin[static_cast<size_t>(u) + 1];
+    double pi = 0.0;
+    for (int32_t j = begin; j < end; ++j) {
+      double reduced = weight[static_cast<size_t>(j)];
+      for (int32_t e = event_offsets[static_cast<size_t>(j)];
+           e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
+        reduced -=
+            best_mu[static_cast<size_t>(event_items[static_cast<size_t>(e)])];
+      }
+      pi = std::max(pi, reduced);
+    }
+    sol.duals[static_cast<size_t>(bench.UserRow(u))] = pi;
+  }
+  for (EventId v = 0; v < nv; ++v) {
+    sol.duals[static_cast<size_t>(bench.EventRow(instance, v))] =
+        best_mu[static_cast<size_t>(v)];
+  }
+  const double gap = sol.RelativeGap();
+  sol.status = gap <= options.target_gap ? lp::SolveStatus::kApproximate
+                                         : lp::SolveStatus::kIterationLimit;
+  return sol;
+}
+
+}  // namespace core
+}  // namespace igepa

@@ -1,0 +1,88 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <string>
+
+namespace igepa {
+namespace core {
+
+Instance::Instance(std::vector<EventDef> events, std::vector<UserDef> users,
+                   std::shared_ptr<const conflict::ConflictFn> conflicts,
+                   std::shared_ptr<const interest::InterestFn> interest,
+                   std::shared_ptr<const graph::InteractionModel> interaction,
+                   double beta)
+    : events_(std::move(events)),
+      users_(std::move(users)),
+      conflicts_(std::move(conflicts)),
+      interest_(std::move(interest)),
+      interaction_(std::move(interaction)),
+      beta_(beta) {}
+
+bool Instance::HasBid(UserId u, EventId v) const {
+  const auto& b = users_[static_cast<size_t>(u)].bids;
+  return std::binary_search(b.begin(), b.end(), v);
+}
+
+Status Instance::Validate() {
+  if (beta_ < 0.0 || beta_ > 1.0) {
+    return Status::InvalidArgument("beta must be in [0,1], got " +
+                                   std::to_string(beta_));
+  }
+  if (conflicts_ == nullptr || interest_ == nullptr ||
+      interaction_ == nullptr) {
+    return Status::InvalidArgument("instance component is null");
+  }
+  const int32_t nv = num_events();
+  const int32_t nu = num_users();
+  if (conflicts_->num_events() != nv) {
+    return Status::InvalidArgument("conflict function covers " +
+                                   std::to_string(conflicts_->num_events()) +
+                                   " events, instance has " +
+                                   std::to_string(nv));
+  }
+  if (interest_->num_events() != nv || interest_->num_users() != nu) {
+    return Status::InvalidArgument("interest function dimensions mismatch");
+  }
+  if (interaction_->num_users() != nu) {
+    return Status::InvalidArgument("interaction model covers " +
+                                   std::to_string(interaction_->num_users()) +
+                                   " users, instance has " +
+                                   std::to_string(nu));
+  }
+  for (int32_t v = 0; v < nv; ++v) {
+    if (events_[static_cast<size_t>(v)].capacity < 0) {
+      return Status::InvalidArgument("event " + std::to_string(v) +
+                                     " has negative capacity");
+    }
+  }
+  bidders_.assign(static_cast<size_t>(nv), {});
+  for (int32_t u = 0; u < nu; ++u) {
+    auto& def = users_[static_cast<size_t>(u)];
+    if (def.capacity < 0) {
+      return Status::InvalidArgument("user " + std::to_string(u) +
+                                     " has negative capacity");
+    }
+    std::sort(def.bids.begin(), def.bids.end());
+    def.bids.erase(std::unique(def.bids.begin(), def.bids.end()),
+                   def.bids.end());
+    for (EventId v : def.bids) {
+      if (v < 0 || v >= nv) {
+        return Status::InvalidArgument("user " + std::to_string(u) +
+                                       " bids for out-of-range event " +
+                                       std::to_string(v));
+      }
+      bidders_[static_cast<size_t>(v)].push_back(u);
+    }
+  }
+  validated_ = true;
+  return Status::OK();
+}
+
+int64_t Instance::TotalBids() const {
+  int64_t total = 0;
+  for (const auto& u : users_) total += static_cast<int64_t>(u.bids.size());
+  return total;
+}
+
+}  // namespace core
+}  // namespace igepa

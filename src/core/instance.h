@@ -1,0 +1,113 @@
+#ifndef IGEPA_CORE_INSTANCE_H_
+#define IGEPA_CORE_INSTANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "conflict/conflict.h"
+#include "core/types.h"
+#include "graph/interaction_model.h"
+#include "interest/interest.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace core {
+
+/// A complete IGEPA problem instance (Definition 8): events V with
+/// capacities, users U with capacities and bids, the conflict function σ, the
+/// interest function SI, the social-interaction model D(G, ·), and the
+/// balance parameter β.
+///
+/// The instance owns shared, immutable handles to its functional components
+/// so that cheap copies can be taken by algorithms and experiment harnesses.
+class Instance {
+ public:
+  /// Builds an instance. Call Validate() before use; algorithms assume a
+  /// validated instance (in-range bids, consistent component sizes).
+  Instance(std::vector<EventDef> events, std::vector<UserDef> users,
+           std::shared_ptr<const conflict::ConflictFn> conflicts,
+           std::shared_ptr<const interest::InterestFn> interest,
+           std::shared_ptr<const graph::InteractionModel> interaction,
+           double beta);
+
+  int32_t num_events() const { return static_cast<int32_t>(events_.size()); }
+  int32_t num_users() const { return static_cast<int32_t>(users_.size()); }
+  double beta() const { return beta_; }
+
+  int32_t event_capacity(EventId v) const {
+    return events_[static_cast<size_t>(v)].capacity;
+  }
+  int32_t user_capacity(UserId u) const {
+    return users_[static_cast<size_t>(u)].capacity;
+  }
+
+  /// The user's bid set N_u (sorted, deduplicated at validation).
+  const std::vector<EventId>& bids(UserId u) const {
+    return users_[static_cast<size_t>(u)].bids;
+  }
+
+  /// The event's bidder set N_v (derived from user bids at validation).
+  const std::vector<UserId>& bidders(EventId v) const {
+    return bidders_[static_cast<size_t>(v)];
+  }
+
+  /// True when user u bid for event v (binary search over sorted bids).
+  bool HasBid(UserId u, EventId v) const;
+
+  /// σ(l_v, l_v').
+  bool Conflicts(EventId a, EventId b) const {
+    return conflicts_->Conflicts(a, b);
+  }
+
+  /// SI(l_v, l_u) in [0, 1].
+  double Interest(EventId v, UserId u) const {
+    return interest_->Interest(v, u);
+  }
+
+  /// D(G, u) in [0, 1].
+  double Degree(UserId u) const { return interaction_->Degree(u); }
+
+  /// Pair weight w(u, v) = β·SI(l_v, l_u) + (1-β)·D(G, u) — the per-pair
+  /// utility contribution the algorithms optimize.
+  double Weight(EventId v, UserId u) const {
+    return beta_ * Interest(v, u) + (1.0 - beta_) * Degree(u);
+  }
+
+  const conflict::ConflictFn& conflict_fn() const { return *conflicts_; }
+  const interest::InterestFn& interest_fn() const { return *interest_; }
+  const graph::InteractionModel& interaction_model() const {
+    return *interaction_;
+  }
+  std::shared_ptr<const conflict::ConflictFn> conflict_ptr() const {
+    return conflicts_;
+  }
+  std::shared_ptr<const interest::InterestFn> interest_ptr() const {
+    return interest_;
+  }
+  std::shared_ptr<const graph::InteractionModel> interaction_ptr() const {
+    return interaction_;
+  }
+
+  /// Checks structural consistency (component sizes, bid ranges, capacities,
+  /// β ∈ [0,1]); sorts and deduplicates bids and materializes the per-event
+  /// bidder lists. Must be called (and return OK) before running algorithms.
+  Status Validate();
+
+  /// Total bid pairs Σ_u |N_u| (after validation).
+  int64_t TotalBids() const;
+
+ private:
+  std::vector<EventDef> events_;
+  std::vector<UserDef> users_;
+  std::vector<std::vector<UserId>> bidders_;
+  std::shared_ptr<const conflict::ConflictFn> conflicts_;
+  std::shared_ptr<const interest::InterestFn> interest_;
+  std::shared_ptr<const graph::InteractionModel> interaction_;
+  double beta_;
+  bool validated_ = false;
+};
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_INSTANCE_H_

@@ -1,0 +1,127 @@
+#ifndef IGEPA_CORE_LP_PACKING_H_
+#define IGEPA_CORE_LP_PACKING_H_
+
+#include <cstdint>
+
+#include "core/admissible.h"
+#include "core/arrangement.h"
+#include "core/benchmark_dual.h"
+#include "core/benchmark_lp.h"
+#include "core/instance.h"
+#include "lp/solver.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace core {
+
+/// Order in which lines 4-7 of Algorithm 1 sweep users while repairing event
+/// capacities. The paper's pseudo-code iterates "for u ∈ U" (index order);
+/// the alternatives are ablation knobs (DESIGN.md §6).
+enum class RepairOrder : uint8_t {
+  kUserIndex,
+  kRandom,
+  /// Users with heavier sampled sets first (keeps the valuable assignments
+  /// when capacity runs out).
+  kWeightDesc,
+};
+
+/// How line 1 of Algorithm 1 solves the benchmark LP.
+enum class BenchmarkSolverKind : uint8_t {
+  /// Exact dense simplex while the tableau fits (small instances), the
+  /// structured Lagrangian solver beyond that. The right default.
+  kAuto,
+  /// Always route through the generic lp:: facade (exact simplex tiers or the
+  /// generic packing dual, per lp::LpSolverOptions).
+  kLpFacade,
+  /// Always use the structured block-angular solver (benchmark_dual.h).
+  kStructuredDual,
+};
+
+/// Options for LpPacking.
+struct LpPackingOptions {
+  /// Sampling scale α of Algorithm 1, in (0, 1]. The approximation proof uses
+  /// α = 1/2 (ratio α(1-α) >= 1/4); the paper's experiments set α = 1.
+  double alpha = 1.0;
+  /// Which engine solves the benchmark LP.
+  BenchmarkSolverKind benchmark_solver = BenchmarkSolverKind::kAuto;
+  /// Generic lp:: engine selection (used by kLpFacade, and by kAuto below the
+  /// dense-tableau threshold).
+  lp::LpSolverOptions solver;
+  /// Structured-solver options (used by kStructuredDual / large kAuto).
+  StructuredDualOptions structured;
+  /// Admissible-set enumeration controls.
+  AdmissibleOptions admissible;
+  RepairOrder repair_order = RepairOrder::kUserIndex;
+};
+
+/// Diagnostics from one LpPacking run.
+struct LpPackingStats {
+  /// Value of the fractional benchmark-LP solution actually used.
+  double lp_objective = 0.0;
+  /// Certified upper bound on the LP optimum (Lemma 1: also an upper bound on
+  /// the IGEPA optimum, up to the admissible-set cap).
+  double lp_upper_bound = 0.0;
+  int64_t lp_iterations = 0;
+  lp::SolverKind solver_used = lp::SolverKind::kAuto;
+  /// True when the structured block-angular solver handled line 1 (then
+  /// solver_used is meaningless).
+  bool used_structured_dual = false;
+  int32_t num_columns = 0;
+  /// Users whose sampled set was non-empty (before repair).
+  int32_t users_sampled = 0;
+  /// Pairs dropped by the capacity repair sweep (lines 4-7).
+  int32_t pairs_repaired = 0;
+  /// True when some user's admissible-set enumeration hit its cap.
+  bool admissible_truncated = false;
+};
+
+/// LP-packing (Algorithm 1): solves the benchmark LP (1)-(4), samples one
+/// admissible set per user with probability α·x*_{u,S}, repairs event
+/// capacity violations with a user sweep, and returns the surviving pairs.
+///
+/// The returned arrangement is always feasible (CheckFeasible passes). With
+/// α = 1/2 and the exact LP tier, the expected utility is at least OPT/4
+/// (Theorem 2); with the approximate LP tier the bound scales by the
+/// certified (1 - gap).
+Result<Arrangement> LpPacking(const Instance& instance, Rng* rng,
+                              const LpPackingOptions& options = {},
+                              LpPackingStats* stats = nullptr);
+
+/// LP-packing on pre-enumerated admissible sets (lets callers reuse the
+/// enumeration across repetitions or inspect it).
+Result<Arrangement> LpPackingWithSets(
+    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
+    Rng* rng, const LpPackingOptions& options = {},
+    LpPackingStats* stats = nullptr);
+
+/// The fractional benchmark-LP solution of line 1 of Algorithm 1, kept
+/// together with the column bookkeeping needed by the rounding step.
+/// The LP depends only on the instance — not on the sampling randomness — so
+/// experiment harnesses solve it once per instance and re-round many times
+/// (this is how the paper's 50-repetition real-dataset protocol stays cheap).
+struct FractionalSolution {
+  BenchmarkLp bench;
+  lp::LpSolution lp;
+  /// True when the structured block-angular solver produced `lp`.
+  bool structured = false;
+};
+
+/// Line 1 of Algorithm 1: build and solve the benchmark LP (1)-(4).
+Result<FractionalSolution> SolveBenchmarkLpForPacking(
+    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
+    const LpPackingOptions& options = {});
+
+/// Lines 2-8 of Algorithm 1: sample one admissible set per user with
+/// probability α·x*, repair event capacities, emit the surviving pairs.
+Result<Arrangement> RoundFractional(const Instance& instance,
+                                    const std::vector<AdmissibleSets>& admissible,
+                                    const FractionalSolution& fractional,
+                                    Rng* rng,
+                                    const LpPackingOptions& options = {},
+                                    LpPackingStats* stats = nullptr);
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_LP_PACKING_H_

@@ -1,0 +1,32 @@
+#ifndef IGEPA_CORE_TYPES_H_
+#define IGEPA_CORE_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace igepa {
+namespace core {
+
+/// Dense event identifier, [0, num_events).
+using EventId = int32_t;
+/// Dense user identifier, [0, num_users).
+using UserId = int32_t;
+
+/// Static description of an event (Definition 1): its attendance capacity
+/// c_v. Attribute-vector content (time, categories) lives in the conflict and
+/// interest functions, which are the paper's σ(l_v, ·) and SI(l_v, ·).
+struct EventDef {
+  int32_t capacity = 0;
+};
+
+/// Static description of a user (Definition 2): capacity c_u (maximum number
+/// of events attendable) and the bid set N_u.
+struct UserDef {
+  int32_t capacity = 0;
+  std::vector<EventId> bids;
+};
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_TYPES_H_

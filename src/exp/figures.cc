@@ -1,0 +1,111 @@
+#include "exp/figures.h"
+
+#include "util/string_util.h"
+
+namespace igepa {
+namespace exp {
+namespace {
+
+template <typename Apply>
+FigureSpec MakeSpec(std::string id, std::string title, std::string x_label,
+                    const std::vector<double>& values, Apply apply,
+                    bool integer_labels) {
+  FigureSpec spec;
+  spec.id = std::move(id);
+  spec.title = std::move(title);
+  spec.x_label = std::move(x_label);
+  for (double value : values) {
+    SweepPoint point;
+    point.label = integer_labels
+                      ? std::to_string(static_cast<int64_t>(value))
+                      : FormatDouble(value, 1);
+    apply(&point.config, value);
+    spec.points.push_back(std::move(point));
+  }
+  return spec;
+}
+
+}  // namespace
+
+FigureSpec Fig1a() {
+  return MakeSpec(
+      "fig1a", "utility vs number of events", "|V|",
+      {100, 150, 200, 250, 300},
+      [](gen::SyntheticConfig* c, double v) {
+        c->num_events = static_cast<int32_t>(v);
+      },
+      /*integer_labels=*/true);
+}
+
+FigureSpec Fig1b() {
+  return MakeSpec(
+      "fig1b", "utility vs number of users", "|U|",
+      {1000, 2000, 4000, 6000, 10000},
+      [](gen::SyntheticConfig* c, double v) {
+        c->num_users = static_cast<int32_t>(v);
+      },
+      /*integer_labels=*/true);
+}
+
+FigureSpec Fig1c() {
+  return MakeSpec(
+      "fig1c", "utility vs probability of event conflict", "p_cf",
+      {0.1, 0.2, 0.3, 0.4, 0.5},
+      [](gen::SyntheticConfig* c, double v) { c->p_conflict = v; },
+      /*integer_labels=*/false);
+}
+
+FigureSpec Fig1d() {
+  return MakeSpec(
+      "fig1d", "utility vs probability that two users are friends", "p_deg",
+      {0.1, 0.3, 0.5, 0.7, 0.9},
+      [](gen::SyntheticConfig* c, double v) { c->p_friend = v; },
+      /*integer_labels=*/false);
+}
+
+FigureSpec Fig1e() {
+  return MakeSpec(
+      "fig1e", "utility vs maximum capacity of events", "max c_v",
+      {10, 30, 50, 70, 90},
+      [](gen::SyntheticConfig* c, double v) {
+        c->max_event_capacity = static_cast<int32_t>(v);
+      },
+      /*integer_labels=*/true);
+}
+
+FigureSpec Fig1f() {
+  return MakeSpec(
+      "fig1f", "utility vs maximum capacity of users", "max c_u",
+      {2, 4, 6, 8, 10},
+      [](gen::SyntheticConfig* c, double v) {
+        c->max_user_capacity = static_cast<int32_t>(v);
+      },
+      /*integer_labels=*/true);
+}
+
+std::vector<FigureSpec> AllFigures() {
+  return {Fig1a(), Fig1b(), Fig1c(), Fig1d(), Fig1e(), Fig1f()};
+}
+
+Result<std::vector<FigureRow>> RunFigure(const FigureSpec& spec,
+                                         const std::vector<Algorithm>& algos,
+                                         const HarnessOptions& options) {
+  std::vector<FigureRow> rows;
+  rows.reserve(spec.points.size());
+  uint64_t point_seed = options.seed;
+  for (const SweepPoint& point : spec.points) {
+    HarnessOptions point_options = options;
+    point_options.seed = point_seed++;
+    const gen::SyntheticConfig config = point.config;
+    auto factory = [config](Rng* rng) {
+      return gen::GenerateSynthetic(config, rng);
+    };
+    IGEPA_ASSIGN_OR_RETURN(std::vector<AlgorithmSummary> summaries,
+                           RunComparison(factory, algos, point_options));
+    rows.push_back(FigureRow{point.label, std::move(summaries)});
+  }
+  return rows;
+}
+
+}  // namespace exp
+}  // namespace igepa

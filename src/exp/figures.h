@@ -1,0 +1,60 @@
+#ifndef IGEPA_EXP_FIGURES_H_
+#define IGEPA_EXP_FIGURES_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/harness.h"
+#include "gen/synthetic.h"
+
+namespace igepa {
+namespace exp {
+
+/// One x-axis point of a Fig. 1 sweep: a label (the x value) and the full
+/// synthetic configuration realizing it (all other factors at Table I
+/// defaults).
+struct SweepPoint {
+  std::string label;
+  gen::SyntheticConfig config;
+};
+
+/// A figure specification: which factor is swept and its points.
+struct FigureSpec {
+  std::string id;       // "fig1a" ... "fig1f"
+  std::string title;    // paper caption fragment
+  std::string x_label;  // "|V|", "|U|", "p_cf", ...
+  std::vector<SweepPoint> points;
+};
+
+/// Fig. 1(a): number of events |V| ∈ {100, 150, 200, 250, 300}.
+FigureSpec Fig1a();
+/// Fig. 1(b): number of users |U| ∈ {1000, 2000, 4000, 6000, 10000}.
+FigureSpec Fig1b();
+/// Fig. 1(c): conflict probability p_cf ∈ {0.1, 0.2, 0.3, 0.4, 0.5}.
+FigureSpec Fig1c();
+/// Fig. 1(d): friendship probability p_deg ∈ {0.1, 0.3, 0.5, 0.7, 0.9}.
+FigureSpec Fig1d();
+/// Fig. 1(e): maximum event capacity max c_v ∈ {10, 30, 50, 70, 90}.
+FigureSpec Fig1e();
+/// Fig. 1(f): maximum user capacity max c_u ∈ {2, 4, 6, 8, 10}.
+FigureSpec Fig1f();
+
+/// All six sweeps.
+std::vector<FigureSpec> AllFigures();
+
+/// Aggregated results for one sweep point.
+struct FigureRow {
+  std::string label;
+  std::vector<AlgorithmSummary> summaries;  // parallel to the algorithm list
+};
+
+/// Runs one figure sweep: for each point, RunComparison on fresh synthetic
+/// instances. Returns one row per point.
+Result<std::vector<FigureRow>> RunFigure(const FigureSpec& spec,
+                                         const std::vector<Algorithm>& algos,
+                                         const HarnessOptions& options);
+
+}  // namespace exp
+}  // namespace igepa
+
+#endif  // IGEPA_EXP_FIGURES_H_

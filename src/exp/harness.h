@@ -1,0 +1,94 @@
+#ifndef IGEPA_EXP_HARNESS_H_
+#define IGEPA_EXP_HARNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/baselines.h"
+#include "algo/local_search.h"
+#include "core/instance.h"
+#include "core/lp_packing.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace igepa {
+namespace exp {
+
+/// The algorithms compared in the paper's evaluation (§IV), plus the
+/// library's extensions for ablation studies.
+enum class Algorithm : uint8_t {
+  kLpPacking,   // Algorithm 1, α per options (paper: α = 1)
+  kGreedyGg,    // GG
+  kRandomU,
+  kRandomV,
+  /// Extension: GG followed by the local-search improver.
+  kGreedyLocalSearch,
+  /// Extension: LP-packing followed by the local-search improver.
+  kLpPackingLocalSearch,
+};
+
+/// Stable display name ("LP-packing", "GG", ...) matching the paper's tables.
+const char* AlgorithmName(Algorithm algorithm);
+
+/// The four algorithms of Table II, in the paper's column order.
+std::vector<Algorithm> PaperAlgorithms();
+
+/// Options for the comparison harness.
+struct HarnessOptions {
+  /// Repetitions per configuration; the paper reports 50-run averages.
+  int32_t repeats = 50;
+  /// Master seed; every repetition forks an independent stream.
+  uint64_t seed = 20190408;
+  /// LP-packing configuration (α, LP engine, admissible cap).
+  core::LpPackingOptions lp;
+  /// Local-search configuration for the *LocalSearch extensions.
+  algo::LocalSearchOptions local_search;
+  /// Validate every arrangement against Definition 4 (cheap; keep on).
+  bool check_feasibility = true;
+  /// Generate one instance and share it across repetitions (real-dataset
+  /// protocol) instead of a fresh instance per repetition (synthetic
+  /// protocol).
+  bool reuse_instance = false;
+};
+
+/// One algorithm run on one instance.
+struct TrialOutcome {
+  double utility = 0.0;
+  double seconds = 0.0;
+  int64_t pairs = 0;
+  core::LpPackingStats lp_stats;  // populated for LP-packing variants
+};
+
+/// Aggregated outcomes of one algorithm across repetitions.
+struct AlgorithmSummary {
+  Algorithm algorithm = Algorithm::kLpPacking;
+  RunningStat utility;
+  RunningStat seconds;
+  RunningStat pairs;
+  /// LP diagnostics (LP-packing variants only).
+  RunningStat lp_objective;
+  RunningStat lp_gap;
+};
+
+/// Produces a fresh instance per repetition (synthetic protocol) from the
+/// repetition's RNG stream.
+using InstanceFactory = std::function<Result<core::Instance>(Rng*)>;
+
+/// Runs `algorithm` once on `instance` using `rng` for its random choices.
+Result<TrialOutcome> RunOnInstance(const core::Instance& instance,
+                                   Algorithm algorithm, Rng* rng,
+                                   const HarnessOptions& options);
+
+/// Full §IV comparison protocol: `repeats` repetitions; each repetition draws
+/// an instance from `factory` (or reuses one, per options) and runs every
+/// algorithm on that same instance; per-algorithm statistics are aggregated.
+Result<std::vector<AlgorithmSummary>> RunComparison(
+    const InstanceFactory& factory, const std::vector<Algorithm>& algorithms,
+    const HarnessOptions& options);
+
+}  // namespace exp
+}  // namespace igepa
+
+#endif  // IGEPA_EXP_HARNESS_H_

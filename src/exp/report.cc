@@ -1,0 +1,107 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace igepa {
+namespace exp {
+namespace {
+
+constexpr size_t kCellWidth = 20;
+
+std::string Cell(double mean, double stddev, bool show_stddev) {
+  std::string text = FormatDouble(mean, 2);
+  if (show_stddev) text += " ±" + FormatDouble(stddev, 2);
+  return text;
+}
+
+}  // namespace
+
+void PrintFigureTable(std::ostream& os, const FigureSpec& spec,
+                      const std::vector<Algorithm>& algos,
+                      const std::vector<FigureRow>& rows, bool show_stddev) {
+  os << "== " << spec.id << ": " << spec.title << " ==\n";
+  os << PadRight(spec.x_label, 10);
+  for (Algorithm a : algos) os << PadLeft(AlgorithmName(a), kCellWidth);
+  os << "\n";
+  for (const FigureRow& row : rows) {
+    os << PadRight(row.label, 10);
+    for (size_t a = 0; a < algos.size(); ++a) {
+      const auto& s = row.summaries[a];
+      os << PadLeft(Cell(s.utility.mean(), s.utility.stddev(), show_stddev),
+                    kCellWidth);
+    }
+    os << "\n";
+  }
+  if (!rows.empty() && !rows.front().summaries.empty()) {
+    os << "(" << rows.front().summaries.front().utility.count()
+       << " repetitions per point; utility = " << "β·ΣSI + (1-β)·ΣD" << ")\n";
+  }
+}
+
+void PrintComparisonTable(std::ostream& os, const std::string& title,
+                          const std::vector<Algorithm>& algos,
+                          const std::vector<AlgorithmSummary>& summaries) {
+  os << "== " << title << " ==\n";
+  os << PadRight("Algorithm", 16) << PadLeft("Utility", 16)
+     << PadLeft("Stddev", 12) << PadLeft("Pairs", 12)
+     << PadLeft("Time [ms]", 12) << "\n";
+  for (size_t a = 0; a < algos.size() && a < summaries.size(); ++a) {
+    const auto& s = summaries[a];
+    os << PadRight(AlgorithmName(algos[a]), 16)
+       << PadLeft(FormatDouble(s.utility.mean(), 2), 16)
+       << PadLeft(FormatDouble(s.utility.stddev(), 2), 12)
+       << PadLeft(FormatDouble(s.pairs.mean(), 1), 12)
+       << PadLeft(FormatDouble(s.seconds.mean() * 1e3, 2), 12) << "\n";
+  }
+}
+
+void WriteFigureCsv(std::ostream& os, const FigureSpec& spec,
+                    const std::vector<Algorithm>& algos,
+                    const std::vector<FigureRow>& rows) {
+  os << "figure,x,algorithm,utility_mean,utility_stddev,repeats\n";
+  for (const FigureRow& row : rows) {
+    for (size_t a = 0; a < algos.size(); ++a) {
+      const auto& s = row.summaries[a];
+      os << spec.id << "," << row.label << "," << AlgorithmName(algos[a])
+         << "," << FormatDouble(s.utility.mean(), 4) << ","
+         << FormatDouble(s.utility.stddev(), 4) << "," << s.utility.count()
+         << "\n";
+    }
+  }
+}
+
+std::string DescribeInstance(const core::Instance& instance) {
+  int64_t conflict_pairs = 0;
+  const int32_t nv = instance.num_events();
+  for (int32_t a = 0; a < nv; ++a) {
+    for (int32_t b = a + 1; b < nv; ++b) {
+      if (instance.Conflicts(a, b)) ++conflict_pairs;
+    }
+  }
+  double total_degree = 0.0;
+  for (int32_t u = 0; u < instance.num_users(); ++u) {
+    total_degree += instance.Degree(u);
+  }
+  int64_t total_event_capacity = 0;
+  for (int32_t v = 0; v < nv; ++v) {
+    total_event_capacity += instance.event_capacity(v);
+  }
+  std::ostringstream os;
+  os << "|V|=" << nv << " |U|=" << instance.num_users()
+     << " beta=" << FormatDouble(instance.beta(), 2)
+     << " bids=" << instance.TotalBids()
+     << " conflict_pairs=" << conflict_pairs
+     << " avg_D=" << FormatDouble(
+            instance.num_users() > 0
+                ? total_degree / instance.num_users()
+                : 0.0,
+            4)
+     << " total_cv=" << total_event_capacity;
+  return os.str();
+}
+
+}  // namespace exp
+}  // namespace igepa

@@ -1,0 +1,42 @@
+#ifndef IGEPA_EXP_REPORT_H_
+#define IGEPA_EXP_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "exp/figures.h"
+#include "exp/harness.h"
+
+namespace igepa {
+namespace exp {
+
+/// Pretty-prints a figure's utility table: one row per sweep point, one
+/// column per algorithm, "mean ± stddev" cells. This is the console stand-in
+/// for the paper's plotted series.
+void PrintFigureTable(std::ostream& os, const FigureSpec& spec,
+                      const std::vector<Algorithm>& algos,
+                      const std::vector<FigureRow>& rows,
+                      bool show_stddev = true);
+
+/// Pretty-prints a single comparison (Table II style): one row per
+/// algorithm with utility, time and pair-count statistics.
+void PrintComparisonTable(std::ostream& os, const std::string& title,
+                          const std::vector<Algorithm>& algos,
+                          const std::vector<AlgorithmSummary>& summaries);
+
+/// Emits a figure's rows as machine-readable CSV
+/// (x,algorithm,mean,stddev,repeats).
+void WriteFigureCsv(std::ostream& os, const FigureSpec& spec,
+                    const std::vector<Algorithm>& algos,
+                    const std::vector<FigureRow>& rows);
+
+/// One-paragraph instance statistics (sizes, bid/conflict density, degree
+/// mass) used by benches and examples to describe what they run on.
+std::string DescribeInstance(const core::Instance& instance);
+
+}  // namespace exp
+}  // namespace igepa
+
+#endif  // IGEPA_EXP_REPORT_H_

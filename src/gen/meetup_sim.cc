@@ -1,0 +1,215 @@
+#include "gen/meetup_sim.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "conflict/interval.h"
+#include "graph/generators.h"
+
+namespace igepa {
+namespace gen {
+
+using conflict::TimeInterval;
+using core::EventDef;
+using core::EventId;
+using core::Instance;
+using core::UserDef;
+using core::UserId;
+
+namespace {
+
+/// Evening-biased start hour (Meetup events cluster after work): weights over
+/// hours 8..22 peaking at 18-20.
+int64_t SampleStartHour(Rng* rng) {
+  static const std::vector<double> kHourWeights = {
+      // 8   9   10  11  12  13  14  15  16  17  18  19  20  21  22
+      1.0, 1.5, 2.5, 2.5, 3.0, 2.0, 2.0, 2.0, 2.5, 4.0, 8.0, 9.0, 6.0, 3.0,
+      1.5};
+  const size_t pick = rng->Discrete(kHourWeights);
+  return 8 + static_cast<int64_t>(pick);
+}
+
+/// Normalizes a non-negative vector to unit L1 mass (no-op for zero mass).
+void NormalizeL1(std::vector<double>* v) {
+  double total = 0.0;
+  for (double x : *v) total += x;
+  if (total <= 0.0) return;
+  for (double& x : *v) x /= total;
+}
+
+}  // namespace
+
+Result<Instance> GenerateMeetup(const MeetupConfig& config, Rng* rng) {
+  if (config.num_events <= 0 || config.num_users <= 0 ||
+      config.num_groups <= 0 || config.num_categories <= 0) {
+    return Status::InvalidArgument("meetup config dimensions must be positive");
+  }
+  if (config.min_duration_min <= 0 ||
+      config.max_duration_min < config.min_duration_min) {
+    return Status::InvalidArgument("invalid duration range");
+  }
+  if (config.mean_attended < 1.0) {
+    return Status::InvalidArgument("mean_attended must be >= 1");
+  }
+  const int32_t nv = config.num_events;
+  const int32_t nu = config.num_users;
+
+  // --- Groups with category profiles. --------------------------------------
+  std::vector<std::vector<double>> group_profile(
+      static_cast<size_t>(config.num_groups),
+      std::vector<double>(static_cast<size_t>(config.num_categories), 0.0));
+  for (auto& profile : group_profile) {
+    const size_t primary = static_cast<size_t>(
+        rng->NextIndex(static_cast<uint64_t>(config.num_categories)));
+    profile[primary] = 0.8;
+    // Light secondary interests.
+    for (auto& x : profile) x += 0.2 * rng->NextDouble() / config.num_categories;
+    NormalizeL1(&profile);
+  }
+
+  // --- Events: owning group, category vector, schedule, capacity. ----------
+  std::vector<int32_t> event_group(static_cast<size_t>(nv));
+  std::vector<std::vector<double>> event_attrs(static_cast<size_t>(nv));
+  std::vector<TimeInterval> schedule(static_cast<size_t>(nv));
+  std::vector<EventDef> events(static_cast<size_t>(nv));
+  for (EventId v = 0; v < nv; ++v) {
+    const int32_t g = static_cast<int32_t>(
+        rng->Zipf(config.num_groups, config.group_popularity_skew));
+    event_group[static_cast<size_t>(v)] = g;
+    auto attrs = group_profile[static_cast<size_t>(g)];
+    for (auto& x : attrs) {
+      x = std::max(0.0, x + rng->UniformDouble(-0.02, 0.02));
+    }
+    NormalizeL1(&attrs);
+    event_attrs[static_cast<size_t>(v)] = std::move(attrs);
+
+    const int64_t day = rng->UniformInt(0, config.horizon_days - 1);
+    const int64_t start =
+        day * 24 * 60 + SampleStartHour(rng) * 60 + 15 * rng->UniformInt(0, 3);
+    const int64_t duration =
+        rng->UniformInt(config.min_duration_min, config.max_duration_min);
+    schedule[static_cast<size_t>(v)] = TimeInterval{start, start + duration};
+
+    events[static_cast<size_t>(v)].capacity =
+        rng->Bernoulli(config.p_explicit_capacity)
+            ? static_cast<int32_t>(
+                  rng->UniformInt(config.min_capacity, config.max_capacity))
+            : nu;  // unspecified capacity -> total number of users (§IV)
+  }
+  auto conflicts =
+      std::make_shared<conflict::IntervalConflict>(std::move(schedule));
+
+  // --- Users: group memberships, category preferences. ---------------------
+  std::vector<std::vector<graph::NodeId>> group_members(
+      static_cast<size_t>(config.num_groups));
+  std::vector<std::vector<int32_t>> user_groups(static_cast<size_t>(nu));
+  std::vector<std::vector<double>> user_attrs(static_cast<size_t>(nu));
+  for (UserId u = 0; u < nu; ++u) {
+    const int64_t count = rng->UniformInt(config.min_groups_per_user,
+                                          config.max_groups_per_user);
+    std::set<int32_t> joined;
+    int64_t guard = 0;
+    while (static_cast<int64_t>(joined.size()) < count &&
+           guard++ < 16 * count) {
+      joined.insert(static_cast<int32_t>(
+          rng->Zipf(config.num_groups, config.group_popularity_skew)));
+    }
+    std::vector<double> prefs(static_cast<size_t>(config.num_categories), 0.0);
+    for (int32_t g : joined) {
+      group_members[static_cast<size_t>(g)].push_back(u);
+      user_groups[static_cast<size_t>(u)].push_back(g);
+      const auto& profile = group_profile[static_cast<size_t>(g)];
+      for (size_t c = 0; c < prefs.size(); ++c) prefs[c] += profile[c];
+    }
+    for (auto& x : prefs) {
+      x = std::max(0.0, x + rng->UniformDouble(-0.05, 0.05));
+    }
+    NormalizeL1(&prefs);
+    user_attrs[static_cast<size_t>(u)] = std::move(prefs);
+  }
+
+  // --- Social graph: edge iff two users share >= 1 group. ------------------
+  IGEPA_ASSIGN_OR_RETURN(graph::Graph social,
+                         graph::GroupOverlapGraph(nu, group_members));
+  auto interaction =
+      std::make_shared<graph::GraphInteractionModel>(std::move(social));
+
+  // --- Interest: category cosine similarity as in GEACC [4]. ---------------
+  auto interest = std::make_shared<interest::CosineInterest>(
+      std::move(event_attrs), std::move(user_attrs));
+
+  // --- Attendance, capacities, bids. ----------------------------------------
+  // Events of each user's groups, the candidate pool for attendance.
+  std::vector<std::vector<EventId>> group_events(
+      static_cast<size_t>(config.num_groups));
+  for (EventId v = 0; v < nv; ++v) {
+    group_events[static_cast<size_t>(event_group[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+
+  std::vector<UserDef> users(static_cast<size_t>(nu));
+  std::vector<EventId> all_events(static_cast<size_t>(nv));
+  for (EventId v = 0; v < nv; ++v) all_events[static_cast<size_t>(v)] = v;
+
+  for (UserId u = 0; u < nu; ++u) {
+    // Candidate pool: own groups' events first, globally ranked by interest.
+    std::set<EventId> pool;
+    for (int32_t g : user_groups[static_cast<size_t>(u)]) {
+      for (EventId v : group_events[static_cast<size_t>(g)]) pool.insert(v);
+    }
+    std::vector<EventId> ranked(pool.begin(), pool.end());
+    std::stable_sort(ranked.begin(), ranked.end(), [&](EventId a, EventId b) {
+      return interest->Interest(a, u) > interest->Interest(b, u);
+    });
+
+    const int64_t target =
+        1 + rng->Poisson(config.mean_attended - 1.0);
+    std::vector<EventId> attended;
+    auto try_attend = [&](EventId v) {
+      if (static_cast<int64_t>(attended.size()) >= target) return;
+      for (EventId held : attended) {
+        if (conflicts->Conflicts(held, v)) return;  // cannot attend overlaps
+      }
+      attended.push_back(v);
+    };
+    for (EventId v : ranked) try_attend(v);
+    if (static_cast<int64_t>(attended.size()) < target) {
+      // Fill from the global ranking when the user's groups run dry.
+      std::vector<EventId> global = all_events;
+      std::stable_sort(global.begin(), global.end(),
+                       [&](EventId a, EventId b) {
+                         return interest->Interest(a, u) >
+                                interest->Interest(b, u);
+                       });
+      for (EventId v : global) try_attend(v);
+    }
+    if (attended.empty()) attended.push_back(static_cast<EventId>(
+        rng->NextIndex(static_cast<uint64_t>(nv))));
+
+    auto& def = users[static_cast<size_t>(u)];
+    def.capacity = 2 * static_cast<int32_t>(attended.size());  // c_u = 2·|att|
+
+    // Bids: attended events + the c_u/2 most interesting other events.
+    std::set<EventId> bids(attended.begin(), attended.end());
+    const int32_t extra = def.capacity / 2;
+    std::vector<EventId> global = all_events;
+    std::stable_sort(global.begin(), global.end(), [&](EventId a, EventId b) {
+      return interest->Interest(a, u) > interest->Interest(b, u);
+    });
+    int32_t added = 0;
+    for (EventId v : global) {
+      if (added >= extra) break;
+      if (bids.insert(v).second) ++added;
+    }
+    def.bids.assign(bids.begin(), bids.end());
+  }
+
+  Instance instance(std::move(events), std::move(users), std::move(conflicts),
+                    std::move(interest), std::move(interaction), config.beta);
+  IGEPA_RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+}  // namespace gen
+}  // namespace igepa

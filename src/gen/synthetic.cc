@@ -1,0 +1,120 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "conflict/conflict_graph.h"
+#include "graph/generators.h"
+
+namespace igepa {
+namespace gen {
+
+using core::EventDef;
+using core::EventId;
+using core::Instance;
+using core::UserDef;
+using core::UserId;
+
+Result<Instance> GenerateSynthetic(const SyntheticConfig& config, Rng* rng) {
+  if (config.num_events <= 0 || config.num_users <= 0) {
+    return Status::InvalidArgument("num_events/num_users must be positive");
+  }
+  if (config.max_event_capacity < 1 || config.max_user_capacity < 1) {
+    return Status::InvalidArgument("capacities must be >= 1");
+  }
+  if (config.p_conflict < 0.0 || config.p_conflict > 1.0 ||
+      config.p_friend < 0.0 || config.p_friend > 1.0) {
+    return Status::InvalidArgument("probabilities must be in [0,1]");
+  }
+  if (config.min_groups_per_user < 1 ||
+      config.max_groups_per_user < config.min_groups_per_user ||
+      config.min_conflicts_per_group < 0 ||
+      config.max_conflicts_per_group < config.min_conflicts_per_group) {
+    return Status::InvalidArgument("invalid bid-model parameters");
+  }
+
+  const int32_t nv = config.num_events;
+  const int32_t nu = config.num_users;
+
+  // --- Conflicts: Bernoulli(p_cf) per pair. --------------------------------
+  auto conflicts = std::make_shared<conflict::MatrixConflict>(
+      conflict::MatrixConflict::Bernoulli(nv, config.p_conflict, rng));
+
+  // Precompute conflict neighbourhoods once for the bid sampler.
+  std::vector<std::vector<EventId>> neighbours(static_cast<size_t>(nv));
+  for (EventId v = 0; v < nv; ++v) {
+    neighbours[static_cast<size_t>(v)] =
+        conflict::ConflictNeighbors(*conflicts, v);
+  }
+
+  // --- Events: capacities Uniform{1..max}. ---------------------------------
+  std::vector<EventDef> events(static_cast<size_t>(nv));
+  for (auto& e : events) {
+    e.capacity =
+        static_cast<int32_t>(rng->UniformInt(1, config.max_event_capacity));
+  }
+
+  // --- Users: capacities Uniform{1..max}; dependent bids. ------------------
+  std::vector<UserDef> users(static_cast<size_t>(nu));
+  for (auto& user : users) {
+    user.capacity =
+        static_cast<int32_t>(rng->UniformInt(1, config.max_user_capacity));
+    std::set<EventId> bids;
+    const int64_t groups = rng->UniformInt(config.min_groups_per_user,
+                                           config.max_groups_per_user);
+    for (int64_t g = 0; g < groups; ++g) {
+      // Anchor event, then a cluster of events conflicting with it — the
+      // "similar and often conflicting" alternatives the user hedges across.
+      const EventId anchor =
+          static_cast<EventId>(rng->NextIndex(static_cast<uint64_t>(nv)));
+      bids.insert(anchor);
+      const auto& conflict_pool = neighbours[static_cast<size_t>(anchor)];
+      const int64_t want = rng->UniformInt(config.min_conflicts_per_group,
+                                           config.max_conflicts_per_group);
+      if (!conflict_pool.empty()) {
+        const auto picks = rng->SampleIndices(
+            conflict_pool.size(),
+            static_cast<size_t>(std::min<int64_t>(
+                want, static_cast<int64_t>(conflict_pool.size()))));
+        for (size_t index : picks) bids.insert(conflict_pool[index]);
+      } else {
+        // Conflict-free regime (p_cf = 0): fall back to unrelated events so
+        // the bid-set size distribution stays comparable.
+        for (int64_t k = 0; k < want; ++k) {
+          bids.insert(
+              static_cast<EventId>(rng->NextIndex(static_cast<uint64_t>(nv))));
+        }
+      }
+    }
+    user.bids.assign(bids.begin(), bids.end());
+  }
+
+  // --- Interest: pairwise Uniform[0,1] without storage. --------------------
+  auto interest = std::make_shared<interest::HashUniformInterest>(
+      nv, nu, rng->Next() ^ config.interest_seed_salt);
+
+  // --- Social interaction: explicit G(n, p_deg) or degree model. -----------
+  std::shared_ptr<const graph::InteractionModel> interaction;
+  const bool use_degree_model =
+      config.interaction_mode == InteractionMode::kDegreeModel ||
+      (config.interaction_mode == InteractionMode::kAuto &&
+       nu > config.degree_model_threshold);
+  if (use_degree_model) {
+    interaction =
+        std::make_shared<graph::BinomialDegreeModel>(nu, config.p_friend, rng);
+  } else {
+    IGEPA_ASSIGN_OR_RETURN(graph::Graph g,
+                           graph::ErdosRenyi(nu, config.p_friend, rng));
+    interaction =
+        std::make_shared<graph::GraphInteractionModel>(std::move(g));
+  }
+
+  Instance instance(std::move(events), std::move(users), std::move(conflicts),
+                    std::move(interest), std::move(interaction), config.beta);
+  IGEPA_RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+}  // namespace gen
+}  // namespace igepa

@@ -1,0 +1,63 @@
+#ifndef IGEPA_GEN_SYNTHETIC_H_
+#define IGEPA_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace gen {
+
+/// How the social-interaction term D(G, u) is realized.
+enum class InteractionMode : uint8_t {
+  /// Explicit Erdős–Rényi graph below `degree_model_threshold` users, the
+  /// binomial degree model above it (substitution S6 in DESIGN.md).
+  kAuto,
+  kExplicitGraph,
+  kDegreeModel,
+};
+
+/// Synthetic-dataset configuration following Table I of the paper. Field
+/// defaults ARE the paper's defaults: |V|=200, |U|=2000, max c_v=50,
+/// max c_u=4, p_cf=0.3, p_deg=0.5 (and β=0.5 from §IV Metrics).
+struct SyntheticConfig {
+  int32_t num_events = 200;
+  int32_t num_users = 2000;
+  /// Capacities are Uniform{1..max} ("generated from uniform distributions").
+  int32_t max_event_capacity = 50;
+  int32_t max_user_capacity = 4;
+  /// Each unordered event pair conflicts independently with this probability.
+  double p_conflict = 0.3;
+  /// Each unordered user pair is befriended independently with this
+  /// probability.
+  double p_friend = 0.5;
+  double beta = 0.5;
+
+  /// Bid model per §IV: "users tend to bid a group of similar and often
+  /// conflicting events ... bids are sampled dependently from several sets of
+  /// conflicting events". Each user picks `groups` anchor events and bids the
+  /// anchor plus `conflicts_per_group` of its conflict neighbours.
+  int32_t min_groups_per_user = 1;
+  int32_t max_groups_per_user = 2;
+  int32_t min_conflicts_per_group = 1;
+  int32_t max_conflicts_per_group = 3;
+
+  InteractionMode interaction_mode = InteractionMode::kAuto;
+  /// kAuto switches to the degree model above this many users.
+  int32_t degree_model_threshold = 4000;
+
+  /// Seed for the per-pair Uniform[0,1] interest table.
+  uint64_t interest_seed_salt = 0x5157;
+};
+
+/// Generates a validated IGEPA instance per the synthetic protocol of §IV.
+/// All randomness is drawn from `rng`, so instances are reproducible.
+Result<core::Instance> GenerateSynthetic(const SyntheticConfig& config,
+                                         Rng* rng);
+
+}  // namespace gen
+}  // namespace igepa
+
+#endif  // IGEPA_GEN_SYNTHETIC_H_

@@ -1,0 +1,113 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace igepa {
+namespace graph {
+
+Result<Graph> ErdosRenyi(NodeId n, double p, Rng* rng) {
+  if (n < 0) return Status::InvalidArgument("ErdosRenyi: negative n");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("ErdosRenyi: p outside [0,1]");
+  }
+  Graph g(n);
+  if (n >= 2 && p > 0.0) {
+    if (p >= 1.0) {
+      for (NodeId a = 0; a < n; ++a) {
+        for (NodeId b = a + 1; b < n; ++b) {
+          IGEPA_RETURN_IF_ERROR(g.AddEdge(a, b));
+        }
+      }
+    } else {
+      // Batagelj-Brandes skipping over the implicit pair enumeration
+      // (a, b), b > a, in row-major order.
+      const double log1mp = std::log1p(-p);
+      int64_t a = 0;
+      int64_t b = 0;  // b tracks "last emitted column" within row a
+      while (a < n) {
+        double u = rng->NextDouble();
+        if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+        const int64_t skip =
+            static_cast<int64_t>(std::floor(std::log1p(-u) / log1mp));
+        b += skip + 1;
+        while (a < n && b > n - 1 - (a + 1)) {
+          // Move to the next row; row a has n-1-a candidate columns
+          // (a+1 .. n-1), indexed 1-based by b.
+          b -= n - 1 - a;
+          ++a;
+        }
+        if (a < n) {
+          IGEPA_RETURN_IF_ERROR(
+              g.AddEdge(static_cast<NodeId>(a),
+                        static_cast<NodeId>(a + b)));
+        }
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Result<Graph> BarabasiAlbert(NodeId n, int m, Rng* rng) {
+  if (n < 0) return Status::InvalidArgument("BarabasiAlbert: negative n");
+  if (m < 1) return Status::InvalidArgument("BarabasiAlbert: m must be >= 1");
+  Graph g(n);
+  if (n <= 1) {
+    g.Finalize();
+    return g;
+  }
+  // Repeated-nodes list: sampling uniformly from it realizes preferential
+  // attachment. Seed with a small clique of size min(m+1, n).
+  std::vector<NodeId> endpoint_pool;
+  const NodeId seed = std::min<NodeId>(static_cast<NodeId>(m) + 1, n);
+  for (NodeId a = 0; a < seed; ++a) {
+    for (NodeId b = a + 1; b < seed; ++b) {
+      IGEPA_RETURN_IF_ERROR(g.AddEdge(a, b));
+      endpoint_pool.push_back(a);
+      endpoint_pool.push_back(b);
+    }
+  }
+  for (NodeId v = seed; v < n; ++v) {
+    std::unordered_set<NodeId> targets;
+    const int want = std::min<int>(m, v);
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < want && guard < 64 * want) {
+      ++guard;
+      const NodeId t = endpoint_pool[static_cast<size_t>(
+          rng->NextIndex(endpoint_pool.size()))];
+      if (t != v) targets.insert(t);
+    }
+    // Fallback for pathological pools: fill with the lowest-id nodes.
+    for (NodeId t = 0; static_cast<int>(targets.size()) < want && t < v; ++t) {
+      targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      IGEPA_RETURN_IF_ERROR(g.AddEdge(v, t));
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Result<Graph> GroupOverlapGraph(
+    NodeId n, const std::vector<std::vector<NodeId>>& memberships) {
+  Graph g(n);
+  for (const auto& members : memberships) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i] < 0 || members[i] >= n) {
+        return Status::InvalidArgument("GroupOverlapGraph: member out of range");
+      }
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        IGEPA_RETURN_IF_ERROR(g.AddEdge(members[i], members[j]));
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace graph
+}  // namespace igepa

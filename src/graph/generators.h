@@ -1,0 +1,33 @@
+#ifndef IGEPA_GRAPH_GENERATORS_H_
+#define IGEPA_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace graph {
+
+/// Erdős–Rényi G(n, p): each of the n(n-1)/2 pairs is an edge independently
+/// with probability p. This is the synthetic social network of §IV ("each pair
+/// of users are friends ... with the probability of p_deg"). Implemented with
+/// geometric skipping, so expected time is O(n + |E|) not O(n^2).
+Result<Graph> ErdosRenyi(NodeId n, double p, Rng* rng);
+
+/// Barabási–Albert preferential attachment with `m` edges per new node.
+/// Not used by the paper's evaluation; provided for heavy-tailed-degree
+/// ablations of the interaction term.
+Result<Graph> BarabasiAlbert(NodeId n, int m, Rng* rng);
+
+/// Builds the "shared group" social graph of the paper's real dataset: nodes
+/// u, u' are adjacent iff they are members of at least one common group.
+/// `memberships[g]` lists the member nodes of group g.
+Result<Graph> GroupOverlapGraph(NodeId n,
+                                const std::vector<std::vector<NodeId>>& memberships);
+
+}  // namespace graph
+}  // namespace igepa
+
+#endif  // IGEPA_GRAPH_GENERATORS_H_

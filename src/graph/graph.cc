@@ -1,0 +1,90 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace igepa {
+namespace graph {
+
+Graph::Graph(NodeId num_nodes) : num_nodes_(num_nodes) {
+  IGEPA_CHECK(num_nodes >= 0) << "negative node count " << num_nodes;
+}
+
+Status Graph::AddEdge(NodeId a, NodeId b) {
+  if (finalized_) {
+    return Status::FailedPrecondition("AddEdge after Finalize");
+  }
+  if (a < 0 || a >= num_nodes_ || b < 0 || b >= num_nodes_) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (a == b) return Status::OK();  // ignore self-loops
+  if (a > b) std::swap(a, b);
+  pending_.emplace_back(a, b);
+  return Status::OK();
+}
+
+void Graph::Finalize() {
+  if (finalized_) return;
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+  num_edges_ = static_cast<int64_t>(pending_.size());
+
+  std::vector<int64_t> counts(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (const auto& [a, b] : pending_) {
+    ++counts[static_cast<size_t>(a) + 1];
+    ++counts[static_cast<size_t>(b) + 1];
+  }
+  offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    offsets_[static_cast<size_t>(n) + 1] =
+        offsets_[static_cast<size_t>(n)] + counts[static_cast<size_t>(n) + 1];
+  }
+  adjacency_.assign(static_cast<size_t>(2) * num_edges_, 0);
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [a, b] : pending_) {
+    adjacency_[static_cast<size_t>(cursor[static_cast<size_t>(a)]++)] = b;
+    adjacency_[static_cast<size_t>(cursor[static_cast<size_t>(b)]++)] = a;
+  }
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    std::sort(adjacency_.begin() + offsets_[static_cast<size_t>(n)],
+              adjacency_.begin() + offsets_[static_cast<size_t>(n) + 1]);
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  finalized_ = true;
+}
+
+int32_t Graph::Degree(NodeId n) const {
+  IGEPA_CHECK(finalized_) << "Degree before Finalize";
+  IGEPA_CHECK(n >= 0 && n < num_nodes_) << "node " << n << " out of range";
+  return static_cast<int32_t>(offsets_[static_cast<size_t>(n) + 1] -
+                              offsets_[static_cast<size_t>(n)]);
+}
+
+const NodeId* Graph::NeighborsBegin(NodeId n) const {
+  IGEPA_CHECK(finalized_) << "Neighbors before Finalize";
+  return adjacency_.data() + offsets_[static_cast<size_t>(n)];
+}
+
+const NodeId* Graph::NeighborsEnd(NodeId n) const {
+  IGEPA_CHECK(finalized_) << "Neighbors before Finalize";
+  return adjacency_.data() + offsets_[static_cast<size_t>(n) + 1];
+}
+
+std::vector<NodeId> Graph::Neighbors(NodeId n) const {
+  return std::vector<NodeId>(NeighborsBegin(n), NeighborsEnd(n));
+}
+
+bool Graph::HasEdge(NodeId a, NodeId b) const {
+  IGEPA_CHECK(finalized_) << "HasEdge before Finalize";
+  if (a < 0 || a >= num_nodes_ || b < 0 || b >= num_nodes_) return false;
+  return std::binary_search(NeighborsBegin(a), NeighborsEnd(a), b);
+}
+
+int64_t Graph::DegreeSum() const { return 2 * num_edges_; }
+
+}  // namespace graph
+}  // namespace igepa

@@ -1,0 +1,68 @@
+#ifndef IGEPA_GRAPH_GRAPH_H_
+#define IGEPA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace igepa {
+namespace graph {
+
+/// Node identifier. Nodes are dense integers [0, num_nodes).
+using NodeId = int32_t;
+
+/// An undirected simple graph stored in CSR-like adjacency form.
+///
+/// The social network G = (U, E) of the paper (Definition 6) is an instance
+/// of this class over user ids. Construction is two-phase: add edges into a
+/// builder-style edge list, then Finalize() to build sorted adjacency; after
+/// finalization the graph is immutable and queries are O(log deg) / O(1).
+class Graph {
+ public:
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit Graph(NodeId num_nodes = 0);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Number of undirected edges (each counted once).
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Queues an undirected edge. Self-loops and duplicate edges are ignored at
+  /// Finalize() time. Returns InvalidArgument for out-of-range endpoints.
+  Status AddEdge(NodeId a, NodeId b);
+
+  /// Builds the adjacency structure. Idempotent; called implicitly by
+  /// accessors if needed (const_cast-free: callers should Finalize once).
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Degree of node `n`. Requires Finalize() has been called.
+  int32_t Degree(NodeId n) const;
+
+  /// Sorted neighbor span of node `n`. Requires Finalize().
+  const NodeId* NeighborsBegin(NodeId n) const;
+  const NodeId* NeighborsEnd(NodeId n) const;
+
+  /// Convenience copy of a node's neighbor list.
+  std::vector<NodeId> Neighbors(NodeId n) const;
+
+  /// True when an (a, b) edge exists. O(log deg(a)). Requires Finalize().
+  bool HasEdge(NodeId a, NodeId b) const;
+
+  /// Sum of all degrees == 2 * num_edges().
+  int64_t DegreeSum() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  bool finalized_ = false;
+  std::vector<std::pair<NodeId, NodeId>> pending_;
+  std::vector<int64_t> offsets_;  // size num_nodes_+1
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace graph
+}  // namespace igepa
+
+#endif  // IGEPA_GRAPH_GRAPH_H_

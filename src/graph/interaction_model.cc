@@ -1,0 +1,28 @@
+#include "graph/interaction_model.h"
+
+#include <utility>
+
+#include "graph/metrics.h"
+#include "util/logging.h"
+
+namespace igepa {
+namespace graph {
+
+GraphInteractionModel::GraphInteractionModel(Graph g) : graph_(std::move(g)) {
+  IGEPA_CHECK(graph_.finalized()) << "GraphInteractionModel needs Finalize()";
+  centrality_ = AllDegreeCentrality(graph_);
+}
+
+BinomialDegreeModel::BinomialDegreeModel(int32_t num_users, double p,
+                                         Rng* rng) {
+  degree_.resize(static_cast<size_t>(num_users), 0.0);
+  if (num_users <= 1) return;
+  const int64_t trials = num_users - 1;
+  for (auto& d : degree_) {
+    d = static_cast<double>(rng->Binomial(trials, p)) /
+        static_cast<double>(trials);
+  }
+}
+
+}  // namespace graph
+}  // namespace igepa

@@ -1,0 +1,88 @@
+#ifndef IGEPA_GRAPH_INTERACTION_MODEL_H_
+#define IGEPA_GRAPH_INTERACTION_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace graph {
+
+/// Supplier of the paper's "degree of potential interaction" D(G, u)
+/// (Definition 6) for every user. Abstracting this lets the core library run
+/// either on a materialized social network or on a degree-only simulation for
+/// very large |U| sweeps (Fig. 1(b) reaches |U| = 10^4 with p_deg = 0.5, i.e.
+/// ~25M edges, where edge materialization dominates runtime without changing
+/// the utility, which depends on degrees only).
+class InteractionModel {
+ public:
+  virtual ~InteractionModel() = default;
+
+  /// Number of users covered by the model.
+  virtual int32_t num_users() const = 0;
+
+  /// D(G, u) in [0, 1].
+  virtual double Degree(int32_t user) const = 0;
+};
+
+/// InteractionModel backed by an explicit Graph (the default).
+class GraphInteractionModel final : public InteractionModel {
+ public:
+  /// Takes ownership of a finalized graph.
+  explicit GraphInteractionModel(Graph g);
+
+  int32_t num_users() const override { return graph_.num_nodes(); }
+  double Degree(int32_t user) const override {
+    return centrality_[static_cast<size_t>(user)];
+  }
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  Graph graph_;
+  std::vector<double> centrality_;
+};
+
+/// Degree-only Erdős–Rényi simulation: each user's degree is drawn
+/// Binomial(n-1, p), matching the exact marginal degree law of G(n, p).
+/// Pairwise degree correlations (which the utility, a sum of per-user terms,
+/// does not observe beyond variance of order 1/n) are dropped. Documented as
+/// substitution S6 in DESIGN.md.
+class BinomialDegreeModel final : public InteractionModel {
+ public:
+  BinomialDegreeModel(int32_t num_users, double p, Rng* rng);
+
+  int32_t num_users() const override {
+    return static_cast<int32_t>(degree_.size());
+  }
+  double Degree(int32_t user) const override {
+    return degree_[static_cast<size_t>(user)];
+  }
+
+ private:
+  std::vector<double> degree_;
+};
+
+/// Fixed degree table (used by IO round-trips and tests).
+class TableInteractionModel final : public InteractionModel {
+ public:
+  explicit TableInteractionModel(std::vector<double> degrees)
+      : degree_(std::move(degrees)) {}
+
+  int32_t num_users() const override {
+    return static_cast<int32_t>(degree_.size());
+  }
+  double Degree(int32_t user) const override {
+    return degree_[static_cast<size_t>(user)];
+  }
+
+ private:
+  std::vector<double> degree_;
+};
+
+}  // namespace graph
+}  // namespace igepa
+
+#endif  // IGEPA_GRAPH_INTERACTION_MODEL_H_

@@ -1,0 +1,85 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace igepa {
+namespace graph {
+
+double DegreeCentrality(const Graph& g, NodeId n) {
+  if (g.num_nodes() <= 1) return 0.0;
+  return static_cast<double>(g.Degree(n)) /
+         static_cast<double>(g.num_nodes() - 1);
+}
+
+std::vector<double> AllDegreeCentrality(const Graph& g) {
+  std::vector<double> out(static_cast<size_t>(g.num_nodes()), 0.0);
+  if (g.num_nodes() <= 1) return out;
+  const double denom = static_cast<double>(g.num_nodes() - 1);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    out[static_cast<size_t>(n)] = static_cast<double>(g.Degree(n)) / denom;
+  }
+  return out;
+}
+
+double AverageDegree(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return static_cast<double>(g.DegreeSum()) /
+         static_cast<double>(g.num_nodes());
+}
+
+double Density(const Graph& g) {
+  const int64_t n = g.num_nodes();
+  if (n <= 1) return 0.0;
+  return static_cast<double>(g.num_edges()) /
+         (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+}
+
+double LocalClustering(const Graph& g, NodeId n) {
+  const int32_t deg = g.Degree(n);
+  if (deg < 2) return 0.0;
+  int64_t closed = 0;
+  for (const NodeId* a = g.NeighborsBegin(n); a != g.NeighborsEnd(n); ++a) {
+    for (const NodeId* b = a + 1; b != g.NeighborsEnd(n); ++b) {
+      if (g.HasEdge(*a, *b)) ++closed;
+    }
+  }
+  const double pairs =
+      static_cast<double>(deg) * static_cast<double>(deg - 1) / 2.0;
+  return static_cast<double>(closed) / pairs;
+}
+
+double AverageClustering(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) total += LocalClustering(g, n);
+  return total / static_cast<double>(g.num_nodes());
+}
+
+int32_t ConnectedComponents(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  int32_t components = 0;
+  std::deque<NodeId> frontier;
+  for (NodeId root = 0; root < n; ++root) {
+    if (seen[static_cast<size_t>(root)]) continue;
+    ++components;
+    seen[static_cast<size_t>(root)] = true;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const NodeId* it = g.NeighborsBegin(cur); it != g.NeighborsEnd(cur);
+           ++it) {
+        if (!seen[static_cast<size_t>(*it)]) {
+          seen[static_cast<size_t>(*it)] = true;
+          frontier.push_back(*it);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace graph
+}  // namespace igepa

@@ -1,0 +1,38 @@
+#ifndef IGEPA_GRAPH_METRICS_H_
+#define IGEPA_GRAPH_METRICS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igepa {
+namespace graph {
+
+/// Degree centrality of one node: deg(u) / (n - 1); 0 for n <= 1.
+/// This is exactly the paper's "degree of potential interaction" D(G, u)
+/// (Definition 6).
+double DegreeCentrality(const Graph& g, NodeId n);
+
+/// Degree centrality of every node.
+std::vector<double> AllDegreeCentrality(const Graph& g);
+
+/// Average degree of the graph; 0 for the empty graph.
+double AverageDegree(const Graph& g);
+
+/// Graph density: |E| / C(n, 2); 0 for n <= 1.
+double Density(const Graph& g);
+
+/// Local clustering coefficient of a node (triangle closure rate among its
+/// neighbors); 0 for degree < 2. Used by dataset statistics reporting.
+double LocalClustering(const Graph& g, NodeId n);
+
+/// Mean local clustering over all nodes (Watts-Strogatz average).
+double AverageClustering(const Graph& g);
+
+/// Number of connected components (iterative BFS).
+int32_t ConnectedComponents(const Graph& g);
+
+}  // namespace graph
+}  // namespace igepa
+
+#endif  // IGEPA_GRAPH_METRICS_H_

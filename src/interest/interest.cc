@@ -1,0 +1,91 @@
+#include "interest/interest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igepa {
+namespace interest {
+namespace {
+
+/// SplitMix64-style 64-bit finalizer with good avalanche behaviour.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+HashUniformInterest::HashUniformInterest(int32_t num_events, int32_t num_users,
+                                         uint64_t seed)
+    : num_events_(num_events), num_users_(num_users), seed_(seed) {
+  IGEPA_CHECK(num_events >= 0 && num_users >= 0) << "negative dimension";
+}
+
+double HashUniformInterest::Interest(int32_t event, int32_t user) const {
+  IGEPA_CHECK(event >= 0 && event < num_events_) << "event out of range";
+  IGEPA_CHECK(user >= 0 && user < num_users_) << "user out of range";
+  uint64_t h = seed_;
+  h = Mix64(h ^ (0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(event)));
+  h = Mix64(h ^ (0xC2B2AE3D27D4EB4FULL + static_cast<uint64_t>(user)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+TableInterest::TableInterest(int32_t num_events, int32_t num_users)
+    : num_events_(num_events), num_users_(num_users) {
+  IGEPA_CHECK(num_events >= 0 && num_users >= 0) << "negative dimension";
+  table_.assign(
+      static_cast<size_t>(num_events) * static_cast<size_t>(num_users), 0.0);
+}
+
+void TableInterest::Set(int32_t event, int32_t user, double value) {
+  table_[Index(event, user)] = std::clamp(value, 0.0, 1.0);
+}
+
+namespace {
+
+double L2Norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+CosineInterest::CosineInterest(std::vector<std::vector<double>> event_attrs,
+                               std::vector<std::vector<double>> user_attrs)
+    : event_attrs_(std::move(event_attrs)),
+      user_attrs_(std::move(user_attrs)) {
+  size_t dim = 0;
+  if (!event_attrs_.empty()) {
+    dim = event_attrs_.front().size();
+  } else if (!user_attrs_.empty()) {
+    dim = user_attrs_.front().size();
+  }
+  for (const auto& a : event_attrs_) {
+    IGEPA_CHECK(a.size() == dim) << "ragged event attribute vectors";
+  }
+  for (const auto& a : user_attrs_) {
+    IGEPA_CHECK(a.size() == dim) << "ragged user attribute vectors";
+  }
+  event_norms_.reserve(event_attrs_.size());
+  for (const auto& a : event_attrs_) event_norms_.push_back(L2Norm(a));
+  user_norms_.reserve(user_attrs_.size());
+  for (const auto& a : user_attrs_) user_norms_.push_back(L2Norm(a));
+}
+
+double CosineInterest::Interest(int32_t event, int32_t user) const {
+  const auto& ev = event_attrs_[static_cast<size_t>(event)];
+  const auto& us = user_attrs_[static_cast<size_t>(user)];
+  const double nv = event_norms_[static_cast<size_t>(event)];
+  const double nu = user_norms_[static_cast<size_t>(user)];
+  if (nv <= 0.0 || nu <= 0.0) return 0.0;
+  double dot = 0.0;
+  for (size_t i = 0; i < ev.size(); ++i) dot += ev[i] * us[i];
+  // Non-negative attributes make cosine land in [0, 1]; clamp for safety
+  // against floating-point drift.
+  return std::clamp(dot / (nv * nu), 0.0, 1.0);
+}
+
+}  // namespace interest
+}  // namespace igepa

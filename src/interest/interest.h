@@ -1,0 +1,111 @@
+#ifndef IGEPA_INTEREST_INTEREST_H_
+#define IGEPA_INTEREST_INTEREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace igepa {
+namespace interest {
+
+/// The paper's interest function SI(l_v, l_u) ∈ [0, 1] (Definition 5),
+/// abstracted over its representation. Implementations must be deterministic:
+/// repeated queries return the same value.
+class InterestFn {
+ public:
+  virtual ~InterestFn() = default;
+
+  virtual int32_t num_events() const = 0;
+  virtual int32_t num_users() const = 0;
+
+  /// SI for the (event, user) pair; always in [0, 1].
+  virtual double Interest(int32_t event, int32_t user) const = 0;
+};
+
+/// Deterministic pairwise Uniform[0,1] interest without |V|×|U| storage —
+/// the §IV synthetic rule ("the interest values of users in events are
+/// uniformly sampled"). The value is a mix of (event, user, seed) through a
+/// 64-bit finalizer, so instances are reproducible from the seed and two
+/// different pairs are statistically independent uniforms.
+class HashUniformInterest final : public InterestFn {
+ public:
+  HashUniformInterest(int32_t num_events, int32_t num_users, uint64_t seed);
+
+  int32_t num_events() const override { return num_events_; }
+  int32_t num_users() const override { return num_users_; }
+  double Interest(int32_t event, int32_t user) const override;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  int32_t num_events_;
+  int32_t num_users_;
+  uint64_t seed_;
+};
+
+/// Dense interest table (row per event); used for the Meetup-style dataset,
+/// IO round-trips and tests.
+class TableInterest final : public InterestFn {
+ public:
+  TableInterest(int32_t num_events, int32_t num_users);
+
+  int32_t num_events() const override { return num_events_; }
+  int32_t num_users() const override { return num_users_; }
+  double Interest(int32_t event, int32_t user) const override {
+    return table_[Index(event, user)];
+  }
+
+  /// Sets SI(event, user); clamped to [0, 1].
+  void Set(int32_t event, int32_t user, double value);
+
+ private:
+  size_t Index(int32_t event, int32_t user) const {
+    IGEPA_CHECK(event >= 0 && event < num_events_) << "event out of range";
+    IGEPA_CHECK(user >= 0 && user < num_users_) << "user out of range";
+    return static_cast<size_t>(event) * static_cast<size_t>(num_users_) +
+           static_cast<size_t>(user);
+  }
+
+  int32_t num_events_;
+  int32_t num_users_;
+  std::vector<double> table_;
+};
+
+/// Attribute-similarity interest "as in [4]" (GEACC): events and users carry
+/// non-negative category weight vectors; SI is their cosine similarity
+/// (0 when either vector is all-zero). Used by the Meetup simulator.
+class CosineInterest final : public InterestFn {
+ public:
+  /// `event_attrs` / `user_attrs`: one weight vector per event / user; all
+  /// vectors must share the same dimensionality.
+  CosineInterest(std::vector<std::vector<double>> event_attrs,
+                 std::vector<std::vector<double>> user_attrs);
+
+  int32_t num_events() const override {
+    return static_cast<int32_t>(event_attrs_.size());
+  }
+  int32_t num_users() const override {
+    return static_cast<int32_t>(user_attrs_.size());
+  }
+  double Interest(int32_t event, int32_t user) const override;
+
+  const std::vector<double>& event_attr(int32_t v) const {
+    return event_attrs_[static_cast<size_t>(v)];
+  }
+  const std::vector<double>& user_attr(int32_t u) const {
+    return user_attrs_[static_cast<size_t>(u)];
+  }
+
+ private:
+  std::vector<std::vector<double>> event_attrs_;
+  std::vector<std::vector<double>> user_attrs_;
+  std::vector<double> event_norms_;
+  std::vector<double> user_norms_;
+};
+
+}  // namespace interest
+}  // namespace igepa
+
+#endif  // IGEPA_INTEREST_INTEREST_H_

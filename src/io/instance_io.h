@@ -1,0 +1,45 @@
+#ifndef IGEPA_IO_INSTANCE_IO_H_
+#define IGEPA_IO_INSTANCE_IO_H_
+
+#include <string>
+
+#include "core/arrangement.h"
+#include "core/instance.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace io {
+
+/// Serializes an instance to a sectioned CSV file:
+///
+///   igepa,1,<num_events>,<num_users>,<beta>
+///   event,<id>,<capacity>
+///   user,<id>,<capacity>,<bid;bid;...>
+///   conflict,<a>,<b>                       (one line per conflicting pair)
+///   interest,<event>,<user>,<value>        (bid pairs only — the only pairs
+///                                           algorithms ever evaluate)
+///   degree,<user>,<value>
+///
+/// Functional components are materialized: conflicts become an explicit
+/// matrix, interest a table over bid pairs, interaction a degree table. The
+/// re-read instance is therefore *algorithm-equivalent* to the original (all
+/// reachable σ/SI/D evaluations agree) even when the original used implicit
+/// representations (hash interest, interval conflicts).
+Status WriteInstanceCsv(const core::Instance& instance,
+                        const std::string& path);
+
+/// Reads an instance written by WriteInstanceCsv.
+Result<core::Instance> ReadInstanceCsv(const std::string& path);
+
+/// Serializes an arrangement: header line "arrangement,<nv>,<nu>" then one
+/// "pair,<event>,<user>" line per pair.
+Status WriteArrangementCsv(const core::Arrangement& arrangement,
+                           const std::string& path);
+
+/// Reads an arrangement written by WriteArrangementCsv.
+Result<core::Arrangement> ReadArrangementCsv(const std::string& path);
+
+}  // namespace io
+}  // namespace igepa
+
+#endif  // IGEPA_IO_INSTANCE_IO_H_

@@ -1,0 +1,48 @@
+#ifndef IGEPA_LP_DENSE_SIMPLEX_H_
+#define IGEPA_LP_DENSE_SIMPLEX_H_
+
+#include <cstdint>
+
+#include "lp/model.h"
+#include "lp/solution.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace lp {
+
+/// Options for DenseSimplex.
+struct DenseSimplexOptions {
+  /// Numerical tolerance for reduced costs / pivots / feasibility.
+  double tolerance = 1e-9;
+  /// Hard pivot budget across both phases; 0 means automatic
+  /// (64 * (rows + cols) + 4096).
+  int64_t max_iterations = 0;
+  /// Pivot count after which the solver switches from Dantzig pricing to
+  /// Bland's anti-cycling rule; 0 means automatic (8 * (rows + cols) + 512).
+  int64_t bland_threshold = 0;
+};
+
+/// General-purpose exact LP solver: two-phase primal simplex on a dense
+/// tableau. Supports <=, >=, = rows and arbitrary (including free) variable
+/// bounds. Memory is O(rows * cols); intended for small and medium models —
+/// unit tests, tiny exact IGEPA instances, and as ground truth for the
+/// approximate packing solvers.
+///
+/// This class is the library's stand-in for the commercial solver used by the
+/// paper (substitution S5/1 in DESIGN.md).
+class DenseSimplex {
+ public:
+  explicit DenseSimplex(DenseSimplexOptions options = {});
+
+  /// Solves `model` (maximization). The model must pass Validate().
+  /// Returns kOptimal/kInfeasible/kUnbounded/kIterationLimit.
+  Result<LpSolution> Solve(const LpModel& model) const;
+
+ private:
+  DenseSimplexOptions options_;
+};
+
+}  // namespace lp
+}  // namespace igepa
+
+#endif  // IGEPA_LP_DENSE_SIMPLEX_H_

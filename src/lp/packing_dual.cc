@@ -1,0 +1,254 @@
+#include "lp/packing_dual.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace igepa {
+namespace lp {
+
+PackingDualSolver::PackingDualSolver(PackingDualOptions options)
+    : options_(options) {}
+
+Result<LpSolution> PackingDualSolver::Solve(const LpModel& model) const {
+  LpModel copy = model;
+  IGEPA_RETURN_IF_ERROR(copy.Validate());
+  if (!copy.IsPackingForm()) {
+    return Status::InvalidArgument(
+        "PackingDualSolver requires packing canonical form");
+  }
+  const int32_t m = copy.num_rows();
+  const int32_t n = copy.num_cols();
+
+  // Effective upper bounds: finite box, tightened by single-column implied
+  // bounds u_j <= min_i b_i / A_ij. Columns touching a zero-rhs row are fixed
+  // to zero. Empty columns sit at their best bound directly.
+  std::vector<double> ub(static_cast<size_t>(n));
+  for (int32_t j = 0; j < n; ++j) {
+    double u = copy.upper(j);
+    for (const auto& e : copy.column(j)) {
+      if (e.value <= 0.0) continue;
+      const double implied = copy.row(e.row).rhs / e.value;
+      u = std::min(u, implied);
+    }
+    if (u == kInf) {
+      if (copy.objective(j) > 0.0) {
+        LpSolution sol;
+        sol.status = SolveStatus::kUnbounded;
+        sol.x.assign(static_cast<size_t>(n), 0.0);
+        return sol;
+      }
+      u = 0.0;  // c_j <= 0: never profitable, pin to zero
+    }
+    ub[static_cast<size_t>(j)] = std::max(0.0, u);
+  }
+
+  // Row scaling: work with hat-rows A_ij / b_i <= 1. Zero-rhs rows were
+  // folded into ub above and are skipped (their dual is irrelevant).
+  std::vector<double> inv_b(static_cast<size_t>(m), 0.0);
+  for (int32_t i = 0; i < m; ++i) {
+    const double b = copy.row(i).rhs;
+    inv_b[static_cast<size_t>(i)] = b > 0.0 ? 1.0 / b : 0.0;
+  }
+
+  std::vector<double> y(static_cast<size_t>(m), 0.0);  // scaled duals >= 0
+  std::vector<double> d(static_cast<size_t>(n), 0.0);  // reduced objectives
+  std::vector<double> act(static_cast<size_t>(m), 0.0);
+  std::vector<double> xavg(static_cast<size_t>(n), 0.0);
+  std::vector<double> xtry(static_cast<size_t>(n), 0.0);
+  std::vector<double> best_x(static_cast<size_t>(n), 0.0);
+  double best_primal = 0.0;  // x = 0 is always feasible for packing
+  double best_ub = kInf;
+  std::vector<double> best_y(static_cast<size_t>(m), 0.0);
+  int64_t avg_count = 0;
+  int64_t avg_started_at = 1;
+
+  double cmax = 0.0;
+  for (int32_t j = 0; j < n; ++j) cmax = std::max(cmax, copy.objective(j));
+  if (cmax <= 0.0) {
+    // Optimal is x = 0.
+    LpSolution sol;
+    sol.status = SolveStatus::kOptimal;
+    sol.objective = 0.0;
+    sol.upper_bound = 0.0;
+    sol.x.assign(static_cast<size_t>(n), 0.0);
+    sol.duals.assign(static_cast<size_t>(m), 0.0);
+    return sol;
+  }
+  const double step0 = options_.step_scale * cmax;
+
+  // Columns sorted by descending objective, for the greedy polish pass.
+  std::vector<int32_t> by_objective(static_cast<size_t>(n));
+  for (int32_t j = 0; j < n; ++j) by_objective[static_cast<size_t>(j)] = j;
+  std::sort(by_objective.begin(), by_objective.end(), [&](int32_t a, int32_t b) {
+    const double ca = copy.objective(a);
+    const double cb = copy.objective(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+
+  // Repairs an arbitrary 0 <= x <= ub point into row feasibility by scaling
+  // every column with the worst factor among its rows, then greedily fills
+  // any residual row slack by descending objective (primal polish: crucial
+  // when constraints are loose and the ergodic average under-uses them).
+  // Returns the objective of the repaired point.
+  auto repair_and_value = [&](std::vector<double>* x) -> double {
+    std::fill(act.begin(), act.end(), 0.0);
+    for (int32_t j = 0; j < n; ++j) {
+      const double v = (*x)[static_cast<size_t>(j)];
+      if (v <= 0.0) continue;
+      for (const auto& e : copy.column(j)) {
+        act[static_cast<size_t>(e.row)] += e.value * v;
+      }
+    }
+    for (int32_t j = 0; j < n; ++j) {
+      double v = (*x)[static_cast<size_t>(j)];
+      if (v <= 0.0) {
+        (*x)[static_cast<size_t>(j)] = 0.0;
+        continue;
+      }
+      double factor = 1.0;
+      for (const auto& e : copy.column(j)) {
+        const double a = act[static_cast<size_t>(e.row)];
+        const double b = copy.row(e.row).rhs;
+        if (a > b) factor = std::min(factor, b / a);
+      }
+      (*x)[static_cast<size_t>(j)] = v * factor;
+    }
+    // Recompute exact activities of the scaled point, then fill.
+    std::fill(act.begin(), act.end(), 0.0);
+    for (int32_t j = 0; j < n; ++j) {
+      const double v = (*x)[static_cast<size_t>(j)];
+      if (v <= 0.0) continue;
+      for (const auto& e : copy.column(j)) {
+        act[static_cast<size_t>(e.row)] += e.value * v;
+      }
+    }
+    double value = 0.0;
+    for (int32_t jj = 0; jj < n; ++jj) {
+      const int32_t j = by_objective[static_cast<size_t>(jj)];
+      if (copy.objective(j) <= 0.0) break;  // no further gain possible
+      double& v = (*x)[static_cast<size_t>(j)];
+      double room = ub[static_cast<size_t>(j)] - v;
+      if (room > 1e-15) {
+        for (const auto& e : copy.column(j)) {
+          if (e.value <= 0.0) continue;
+          const double slack =
+              copy.row(e.row).rhs - act[static_cast<size_t>(e.row)];
+          room = std::min(room, slack / e.value);
+          if (room <= 1e-15) break;
+        }
+        if (room > 1e-15) {
+          v += room;
+          for (const auto& e : copy.column(j)) {
+            act[static_cast<size_t>(e.row)] += e.value * room;
+          }
+        }
+      }
+      value += copy.objective(j) * v;
+    }
+    // Account for any remaining columns (non-positive objectives skipped by
+    // the fill loop above still contribute their scaled value).
+    for (int32_t jj = 0; jj < n; ++jj) {
+      const int32_t j = by_objective[static_cast<size_t>(jj)];
+      if (copy.objective(j) > 0.0) continue;
+      value += copy.objective(j) * (*x)[static_cast<size_t>(j)];
+    }
+    return value;
+  };
+
+  LpSolution sol;
+  const int64_t check_every = 25;
+  int64_t t = 1;
+  for (; t <= options_.max_iterations; ++t) {
+    // Oracle at y: x_j = ub_j iff reduced objective positive.
+    double lagrangian = 0.0;
+    for (int32_t i = 0; i < m; ++i) {
+      lagrangian += y[static_cast<size_t>(i)];  // y_hat · 1
+      act[static_cast<size_t>(i)] = 0.0;
+    }
+    for (int32_t j = 0; j < n; ++j) {
+      double dj = copy.objective(j);
+      for (const auto& e : copy.column(j)) {
+        dj -= y[static_cast<size_t>(e.row)] * e.value *
+              inv_b[static_cast<size_t>(e.row)];
+      }
+      d[static_cast<size_t>(j)] = dj;
+      if (dj > 0.0 && ub[static_cast<size_t>(j)] > 0.0) {
+        const double v = ub[static_cast<size_t>(j)];
+        lagrangian += dj * v;
+        for (const auto& e : copy.column(j)) {
+          act[static_cast<size_t>(e.row)] +=
+              e.value * v * inv_b[static_cast<size_t>(e.row)];
+        }
+      }
+    }
+    if (lagrangian < best_ub) {
+      best_ub = lagrangian;
+      best_y = y;
+    }
+
+    // Suffix averaging with doubling restarts: the final average covers the
+    // most recent half of the iterations.
+    if (t >= 2 * avg_started_at) {
+      std::fill(xavg.begin(), xavg.end(), 0.0);
+      avg_count = 0;
+      avg_started_at = t;
+    }
+    ++avg_count;
+    const double alpha = 1.0 / static_cast<double>(avg_count);
+    for (int32_t j = 0; j < n; ++j) {
+      const double xt = (d[static_cast<size_t>(j)] > 0.0)
+                            ? ub[static_cast<size_t>(j)]
+                            : 0.0;
+      xavg[static_cast<size_t>(j)] += alpha * (xt - xavg[static_cast<size_t>(j)]);
+    }
+
+    // Periodically extract a feasible primal and test the certified gap.
+    if (t % check_every == 0 || t == options_.max_iterations) {
+      xtry = xavg;
+      const double value = repair_and_value(&xtry);
+      if (value > best_primal) {
+        best_primal = value;
+        best_x = xtry;
+      }
+      const double gap =
+          (best_ub - best_primal) / std::max(1.0, std::abs(best_ub));
+      if (gap <= options_.target_gap) break;
+    }
+
+    // Projected subgradient step on the scaled dual: g_i = 1 - act_i.
+    double gnorm2 = 0.0;
+    for (int32_t i = 0; i < m; ++i) {
+      const double g = 1.0 - act[static_cast<size_t>(i)];
+      gnorm2 += g * g;
+    }
+    if (gnorm2 <= 1e-18) continue;
+    const double step = step0 / std::sqrt(static_cast<double>(t) * gnorm2);
+    for (int32_t i = 0; i < m; ++i) {
+      if (inv_b[static_cast<size_t>(i)] == 0.0) continue;
+      const double g = 1.0 - act[static_cast<size_t>(i)];
+      y[static_cast<size_t>(i)] =
+          std::max(0.0, y[static_cast<size_t>(i)] - step * g);
+    }
+  }
+
+  sol.iterations = std::min<int64_t>(t, options_.max_iterations);
+  sol.x = best_x;
+  sol.objective = best_primal;
+  sol.upper_bound = best_ub;
+  sol.duals.assign(static_cast<size_t>(m), 0.0);
+  for (int32_t i = 0; i < m; ++i) {
+    sol.duals[static_cast<size_t>(i)] =
+        best_y[static_cast<size_t>(i)] * inv_b[static_cast<size_t>(i)];
+  }
+  const double gap = sol.RelativeGap();
+  sol.status = (gap <= options_.target_gap) ? SolveStatus::kApproximate
+                                            : SolveStatus::kIterationLimit;
+  return sol;
+}
+
+}  // namespace lp
+}  // namespace igepa

@@ -1,0 +1,376 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace igepa {
+namespace lp {
+namespace {
+
+enum class VarStatus : uint8_t { kAtLower, kAtUpper, kBasic };
+
+/// Dense m×m matrix with row-major storage.
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(int32_t m) : m_(m) {
+    data_.assign(static_cast<size_t>(m) * static_cast<size_t>(m), 0.0);
+  }
+  double& At(int32_t i, int32_t j) {
+    return data_[static_cast<size_t>(i) * static_cast<size_t>(m_) +
+                 static_cast<size_t>(j)];
+  }
+  double At(int32_t i, int32_t j) const {
+    return data_[static_cast<size_t>(i) * static_cast<size_t>(m_) +
+                 static_cast<size_t>(j)];
+  }
+  void SetIdentity() {
+    std::fill(data_.begin(), data_.end(), 0.0);
+    for (int32_t i = 0; i < m_; ++i) At(i, i) = 1.0;
+  }
+  int32_t size() const { return m_; }
+  double* Row(int32_t i) {
+    return data_.data() + static_cast<size_t>(i) * static_cast<size_t>(m_);
+  }
+  const double* Row(int32_t i) const {
+    return data_.data() + static_cast<size_t>(i) * static_cast<size_t>(m_);
+  }
+
+ private:
+  int32_t m_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+RevisedSimplex::RevisedSimplex(RevisedSimplexOptions options)
+    : options_(options) {}
+
+Result<LpSolution> RevisedSimplex::Solve(const LpModel& model) const {
+  LpModel copy = model;
+  IGEPA_RETURN_IF_ERROR(copy.Validate());
+  if (!copy.IsPackingForm()) {
+    return Status::InvalidArgument(
+        "RevisedSimplex requires packing canonical form "
+        "(<= rows, rhs >= 0, coefficients >= 0, 0 <= lower <= upper)");
+  }
+  const int32_t m = copy.num_rows();
+  const int32_t n = copy.num_cols();
+  const double tol = options_.tolerance;
+
+  // A variable with positive objective, no entries and infinite upper bound
+  // makes the LP unbounded; with finite bound it just sits at its upper bound.
+  for (int32_t j = 0; j < n; ++j) {
+    if (copy.column(j).empty() && copy.objective(j) > tol &&
+        copy.upper(j) == kInf) {
+      LpSolution sol;
+      sol.status = SolveStatus::kUnbounded;
+      sol.x.assign(static_cast<size_t>(n), 0.0);
+      return sol;
+    }
+  }
+
+  // Extended column space: [0, n) structural, [n, n+m) slack of row i.
+  const int32_t total = n + m;
+  auto obj_of = [&](int32_t j) -> double {
+    return j < n ? copy.objective(j) : 0.0;
+  };
+  auto lower_of = [&](int32_t j) -> double {
+    return j < n ? copy.lower(j) : 0.0;
+  };
+  auto upper_of = [&](int32_t j) -> double {
+    return j < n ? copy.upper(j) : kInf;
+  };
+
+  std::vector<VarStatus> status(static_cast<size_t>(total),
+                                VarStatus::kAtLower);
+  std::vector<int32_t> basis(static_cast<size_t>(m));
+  std::vector<int32_t> basis_pos(static_cast<size_t>(total), -1);
+  for (int32_t i = 0; i < m; ++i) {
+    basis[static_cast<size_t>(i)] = n + i;
+    basis_pos[static_cast<size_t>(n + i)] = i;
+    status[static_cast<size_t>(n + i)] = VarStatus::kBasic;
+  }
+
+  DenseMatrix binv(m);
+  binv.SetIdentity();
+
+  // Basic variable values. Initially x = lower (=0 in packing form) for all
+  // structural vars, so slacks are at b.
+  std::vector<double> xb(static_cast<size_t>(m));
+  auto recompute_xb = [&]() {
+    // xb = Binv * (b - sum_{nonbasic at upper} A_j * u_j).
+    std::vector<double> rhs(static_cast<size_t>(m));
+    for (int32_t i = 0; i < m; ++i) {
+      rhs[static_cast<size_t>(i)] = copy.row(i).rhs;
+    }
+    for (int32_t j = 0; j < total; ++j) {
+      if (status[static_cast<size_t>(j)] != VarStatus::kAtUpper) continue;
+      const double u = upper_of(j);
+      if (j < n) {
+        for (const auto& e : copy.column(j)) {
+          rhs[static_cast<size_t>(e.row)] -= e.value * u;
+        }
+      } else {
+        rhs[static_cast<size_t>(j - n)] -= u;
+      }
+    }
+    for (int32_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      const double* row = binv.Row(i);
+      for (int32_t k = 0; k < m; ++k) acc += row[k] * rhs[static_cast<size_t>(k)];
+      xb[static_cast<size_t>(i)] = acc;
+    }
+  };
+  recompute_xb();
+
+  // Rebuilds Binv from scratch by Gauss-Jordan elimination of the basis
+  // matrix (numerical hygiene after many product-form updates).
+  auto refactor = [&]() -> Status {
+    DenseMatrix bmat(m);
+    for (int32_t i = 0; i < m; ++i) {
+      const int32_t j = basis[static_cast<size_t>(i)];
+      if (j < n) {
+        for (const auto& e : copy.column(j)) {
+          bmat.At(e.row, i) = e.value;
+        }
+      } else {
+        bmat.At(j - n, i) = 1.0;
+      }
+    }
+    binv.SetIdentity();
+    // Gauss-Jordan with partial pivoting on the augmented [bmat | binv].
+    for (int32_t col = 0; col < m; ++col) {
+      int32_t piv = col;
+      double best = std::abs(bmat.At(col, col));
+      for (int32_t r = col + 1; r < m; ++r) {
+        const double v = std::abs(bmat.At(r, col));
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      if (best < 1e-12) {
+        return Status::Internal("singular basis during refactorization");
+      }
+      if (piv != col) {
+        for (int32_t k = 0; k < m; ++k) {
+          std::swap(bmat.At(piv, k), bmat.At(col, k));
+          std::swap(binv.At(piv, k), binv.At(col, k));
+        }
+      }
+      const double inv = 1.0 / bmat.At(col, col);
+      for (int32_t k = 0; k < m; ++k) {
+        bmat.At(col, k) *= inv;
+        binv.At(col, k) *= inv;
+      }
+      for (int32_t r = 0; r < m; ++r) {
+        if (r == col) continue;
+        const double f = bmat.At(r, col);
+        if (f == 0.0) continue;
+        for (int32_t k = 0; k < m; ++k) {
+          bmat.At(r, k) -= f * bmat.At(col, k);
+          binv.At(r, k) -= f * binv.At(col, k);
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  const int64_t dims = static_cast<int64_t>(m) + n;
+  const int64_t max_iters = options_.max_iterations > 0
+                                ? options_.max_iterations
+                                : 64 * dims + 4096;
+  const int64_t bland_after = options_.bland_threshold > 0
+                                  ? options_.bland_threshold
+                                  : 8 * dims + 512;
+  int64_t iterations = 0;
+
+  std::vector<double> y(static_cast<size_t>(m));    // duals
+  std::vector<double> w(static_cast<size_t>(m));    // Binv * A_enter
+
+  while (iterations < max_iters) {
+    // ---- Duals: y^T = c_B^T * Binv. ---------------------------------------
+    std::fill(y.begin(), y.end(), 0.0);
+    for (int32_t i = 0; i < m; ++i) {
+      const double cb = obj_of(basis[static_cast<size_t>(i)]);
+      if (cb == 0.0) continue;
+      const double* row = binv.Row(i);
+      for (int32_t k = 0; k < m; ++k) y[static_cast<size_t>(k)] += cb * row[k];
+    }
+
+    // ---- Pricing. ----------------------------------------------------------
+    const bool bland = iterations >= bland_after;
+    int32_t enter = -1;
+    double enter_dir = 1.0;  // +1: increase from lower; -1: decrease from upper
+    double best_score = tol;
+    for (int32_t j = 0; j < total; ++j) {
+      const VarStatus st = status[static_cast<size_t>(j)];
+      if (st == VarStatus::kBasic) continue;
+      double d = obj_of(j);
+      if (j < n) {
+        for (const auto& e : copy.column(j)) {
+          d -= y[static_cast<size_t>(e.row)] * e.value;
+        }
+      } else {
+        d -= y[static_cast<size_t>(j - n)];
+      }
+      double score = 0.0;
+      double dir = 1.0;
+      if (st == VarStatus::kAtLower && d > tol) {
+        score = d;
+        dir = 1.0;
+      } else if (st == VarStatus::kAtUpper && d < -tol) {
+        score = -d;
+        dir = -1.0;
+      } else {
+        continue;
+      }
+      if (score > best_score) {
+        enter = j;
+        enter_dir = dir;
+        best_score = score;
+        if (bland) break;
+      }
+    }
+    if (enter < 0) break;  // optimal
+
+    // ---- FTRAN: w = Binv * A_enter. ---------------------------------------
+    std::fill(w.begin(), w.end(), 0.0);
+    if (enter < n) {
+      for (const auto& e : copy.column(enter)) {
+        const double v = e.value;
+        for (int32_t i = 0; i < m; ++i) {
+          w[static_cast<size_t>(i)] += binv.At(i, e.row) * v;
+        }
+      }
+    } else {
+      const int32_t r = enter - n;
+      for (int32_t i = 0; i < m; ++i) {
+        w[static_cast<size_t>(i)] = binv.At(i, r);
+      }
+    }
+
+    // ---- Bounded ratio test. ----------------------------------------------
+    // Entering moves by t >= 0 in direction enter_dir; basic i changes by
+    // -enter_dir * w_i * t.
+    double t_max = upper_of(enter) - lower_of(enter);  // bound-flip cap
+    int32_t leave = -1;  // basis position of leaving variable
+    bool leave_to_upper = false;
+    for (int32_t i = 0; i < m; ++i) {
+      const double delta = enter_dir * w[static_cast<size_t>(i)];
+      const int32_t bj = basis[static_cast<size_t>(i)];
+      if (delta > tol) {
+        // Basic variable decreases toward its lower bound.
+        const double room =
+            (xb[static_cast<size_t>(i)] - lower_of(bj)) / delta;
+        if (room < t_max - tol ||
+            (leave >= 0 && room < t_max + tol &&
+             bj < basis[static_cast<size_t>(leave)])) {
+          t_max = std::max(0.0, room);
+          leave = i;
+          leave_to_upper = false;
+        }
+      } else if (delta < -tol) {
+        // Basic variable increases toward its upper bound.
+        const double ub = upper_of(bj);
+        if (ub == kInf) continue;
+        const double room = (ub - xb[static_cast<size_t>(i)]) / (-delta);
+        if (room < t_max - tol ||
+            (leave >= 0 && room < t_max + tol &&
+             bj < basis[static_cast<size_t>(leave)])) {
+          t_max = std::max(0.0, room);
+          leave = i;
+          leave_to_upper = true;
+        }
+      }
+    }
+    if (t_max == kInf) {
+      LpSolution sol;
+      sol.status = SolveStatus::kUnbounded;
+      sol.x.assign(static_cast<size_t>(n), 0.0);
+      return sol;
+    }
+
+    // ---- Apply the step. ----------------------------------------------------
+    for (int32_t i = 0; i < m; ++i) {
+      xb[static_cast<size_t>(i)] -=
+          enter_dir * w[static_cast<size_t>(i)] * t_max;
+    }
+    if (leave < 0) {
+      // Bound flip: entering variable runs to its opposite bound.
+      status[static_cast<size_t>(enter)] =
+          (enter_dir > 0) ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    } else {
+      const int32_t out = basis[static_cast<size_t>(leave)];
+      status[static_cast<size_t>(out)] =
+          leave_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      basis_pos[static_cast<size_t>(out)] = -1;
+      // Entering variable becomes basic with its new value.
+      const double enter_value =
+          (enter_dir > 0 ? lower_of(enter) + t_max : upper_of(enter) - t_max);
+      basis[static_cast<size_t>(leave)] = enter;
+      basis_pos[static_cast<size_t>(enter)] = leave;
+      status[static_cast<size_t>(enter)] = VarStatus::kBasic;
+      xb[static_cast<size_t>(leave)] = enter_value;
+      // Product-form update of Binv: eliminate w to e_leave.
+      const double piv = w[static_cast<size_t>(leave)];
+      IGEPA_CHECK(std::abs(piv) > 1e-13) << "zero pivot in revised simplex";
+      const double inv = 1.0 / piv;
+      double* prow = binv.Row(leave);
+      for (int32_t k = 0; k < m; ++k) prow[k] *= inv;
+      for (int32_t i = 0; i < m; ++i) {
+        if (i == leave) continue;
+        const double f = w[static_cast<size_t>(i)];
+        if (f == 0.0) continue;
+        double* row = binv.Row(i);
+        for (int32_t k = 0; k < m; ++k) row[k] -= f * prow[k];
+      }
+    }
+    ++iterations;
+    if (iterations % options_.refactor_every == 0) {
+      IGEPA_RETURN_IF_ERROR(refactor());
+      recompute_xb();
+    }
+  }
+
+  LpSolution sol;
+  sol.iterations = iterations;
+  sol.x.assign(static_cast<size_t>(n), 0.0);
+  for (int32_t j = 0; j < n; ++j) {
+    if (status[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
+      sol.x[static_cast<size_t>(j)] = copy.upper(j);
+    }
+  }
+  for (int32_t i = 0; i < m; ++i) {
+    const int32_t j = basis[static_cast<size_t>(i)];
+    if (j < n) {
+      sol.x[static_cast<size_t>(j)] =
+          std::clamp(xb[static_cast<size_t>(i)], copy.lower(j), copy.upper(j));
+    }
+  }
+  sol.objective = copy.ObjectiveValue(sol.x);
+  if (iterations >= max_iters) {
+    sol.status = SolveStatus::kIterationLimit;
+    sol.upper_bound = kInf;
+    return sol;
+  }
+  sol.status = SolveStatus::kOptimal;
+  sol.upper_bound = sol.objective;
+  // Final duals.
+  sol.duals.assign(static_cast<size_t>(m), 0.0);
+  for (int32_t i = 0; i < m; ++i) {
+    const double cb = obj_of(basis[static_cast<size_t>(i)]);
+    if (cb == 0.0) continue;
+    const double* row = binv.Row(i);
+    for (int32_t k = 0; k < m; ++k) {
+      sol.duals[static_cast<size_t>(k)] += cb * row[k];
+    }
+  }
+  return sol;
+}
+
+}  // namespace lp
+}  // namespace igepa

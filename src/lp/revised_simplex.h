@@ -1,0 +1,52 @@
+#ifndef IGEPA_LP_REVISED_SIMPLEX_H_
+#define IGEPA_LP_REVISED_SIMPLEX_H_
+
+#include <cstdint>
+
+#include "lp/model.h"
+#include "lp/solution.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace lp {
+
+/// Options for RevisedSimplex.
+struct RevisedSimplexOptions {
+  double tolerance = 1e-9;
+  /// Hard pivot budget; 0 = automatic (64 * (rows + cols) + 4096).
+  int64_t max_iterations = 0;
+  /// Pivots between full recomputations of the basis inverse and the basic
+  /// values (numerical hygiene).
+  int64_t refactor_every = 512;
+  /// Switch to Bland's rule after this many pivots; 0 = automatic.
+  int64_t bland_threshold = 0;
+};
+
+/// Revised primal simplex with bounded variables for LPs in *packing
+/// canonical form* (every row `a·x <= b` with `b >= 0`, coefficients >= 0,
+/// bounds `0 <= x <= u`). The all-slack basis is primal feasible, so no
+/// phase 1 is needed. Column storage stays sparse; the basis inverse is kept
+/// dense and updated by product-form pivots — memory O(rows²), per-iteration
+/// O(rows² + nnz).
+///
+/// This is the mid-tier solver of substitution S5: exact like DenseSimplex
+/// but scaling to the |U| ≈ 2000 benchmark LPs where a dense tableau
+/// (rows × cols) no longer fits.
+class RevisedSimplex {
+ public:
+  explicit RevisedSimplex(RevisedSimplexOptions options = {});
+
+  /// Solves `model`, which must be in packing canonical form (checked).
+  /// Upper bounds may be kInf. Returns kOptimal or kIterationLimit
+  /// (packing LPs are never infeasible and are unbounded only with an
+  /// unbounded zero-column variable, which is rejected up front).
+  Result<LpSolution> Solve(const LpModel& model) const;
+
+ private:
+  RevisedSimplexOptions options_;
+};
+
+}  // namespace lp
+}  // namespace igepa
+
+#endif  // IGEPA_LP_REVISED_SIMPLEX_H_

@@ -1,0 +1,31 @@
+#include "lp/solution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igepa {
+namespace lp {
+
+const char* SolveStatusToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "Optimal";
+    case SolveStatus::kApproximate:
+      return "Approximate";
+    case SolveStatus::kInfeasible:
+      return "Infeasible";
+    case SolveStatus::kUnbounded:
+      return "Unbounded";
+    case SolveStatus::kIterationLimit:
+      return "IterationLimit";
+  }
+  return "Unknown";
+}
+
+double LpSolution::RelativeGap() const {
+  const double denom = std::max(1.0, std::abs(upper_bound));
+  return (upper_bound - objective) / denom;
+}
+
+}  // namespace lp
+}  // namespace igepa

@@ -1,0 +1,51 @@
+#ifndef IGEPA_LP_SOLUTION_H_
+#define IGEPA_LP_SOLUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igepa {
+namespace lp {
+
+/// Termination state of an LP solve.
+enum class SolveStatus : uint8_t {
+  /// Proven optimal (within tolerance).
+  kOptimal,
+  /// Feasible solution with a certified duality-gap bound (approximate
+  /// solvers); `objective >= (1 - gap) * upper_bound`.
+  kApproximate,
+  kInfeasible,
+  kUnbounded,
+  /// Iteration budget exhausted; `x` is the best feasible point found (may be
+  /// all-zero for packing LPs).
+  kIterationLimit,
+};
+
+const char* SolveStatusToString(SolveStatus status);
+
+/// Result of an LP solve. `x` is always primal-feasible for terminal states
+/// kOptimal/kApproximate (solvers repair before returning).
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective value of `x`.
+  double objective = 0.0;
+  /// Certified upper bound on the LP optimum (== objective when kOptimal;
+  /// from a feasible dual point otherwise). 0 for infeasible models.
+  double upper_bound = 0.0;
+  /// Primal values, size = model.num_cols().
+  std::vector<double> x;
+  /// Row duals (y >= 0 for <= rows under maximization); empty when the solver
+  /// does not produce them.
+  std::vector<double> duals;
+  /// Simplex pivots / dual iterations performed.
+  int64_t iterations = 0;
+
+  /// Relative duality gap: (upper_bound - objective) / max(1, |upper_bound|).
+  double RelativeGap() const;
+};
+
+}  // namespace lp
+}  // namespace igepa
+
+#endif  // IGEPA_LP_SOLUTION_H_

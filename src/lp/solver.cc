@@ -1,0 +1,51 @@
+#include "lp/solver.h"
+
+namespace igepa {
+namespace lp {
+
+const char* SolverKindToString(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kAuto:
+      return "Auto";
+    case SolverKind::kDenseSimplex:
+      return "DenseSimplex";
+    case SolverKind::kRevisedSimplex:
+      return "RevisedSimplex";
+    case SolverKind::kPackingDual:
+      return "PackingDual";
+  }
+  return "Unknown";
+}
+
+SolverKind ChooseSolver(const LpModel& model, const LpSolverOptions& options) {
+  if (options.kind != SolverKind::kAuto) return options.kind;
+  const int64_t cells =
+      static_cast<int64_t>(model.num_rows()) * model.num_cols();
+  if (!model.IsPackingForm()) {
+    // DenseSimplex is the only general engine.
+    return SolverKind::kDenseSimplex;
+  }
+  if (cells <= options.dense_cell_limit) return SolverKind::kDenseSimplex;
+  if (model.num_rows() <= options.revised_row_limit) {
+    return SolverKind::kRevisedSimplex;
+  }
+  return SolverKind::kPackingDual;
+}
+
+Result<LpSolution> SolveLp(const LpModel& model,
+                           const LpSolverOptions& options) {
+  switch (ChooseSolver(model, options)) {
+    case SolverKind::kDenseSimplex:
+      return DenseSimplex(options.dense).Solve(model);
+    case SolverKind::kRevisedSimplex:
+      return RevisedSimplex(options.revised).Solve(model);
+    case SolverKind::kPackingDual:
+      return PackingDualSolver(options.packing).Solve(model);
+    case SolverKind::kAuto:
+      break;  // unreachable: ChooseSolver never returns kAuto
+  }
+  return Status::Internal("unreachable solver kind");
+}
+
+}  // namespace lp
+}  // namespace igepa

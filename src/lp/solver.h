@@ -1,0 +1,55 @@
+#ifndef IGEPA_LP_SOLVER_H_
+#define IGEPA_LP_SOLVER_H_
+
+#include <cstdint>
+
+#include "lp/dense_simplex.h"
+#include "lp/model.h"
+#include "lp/packing_dual.h"
+#include "lp/revised_simplex.h"
+#include "lp/solution.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace lp {
+
+/// Which engine a Solve call should use.
+enum class SolverKind : uint8_t {
+  /// Pick by model shape: dense simplex for small models, revised simplex for
+  /// medium packing models, Lagrangian dual for large packing models.
+  kAuto,
+  kDenseSimplex,
+  kRevisedSimplex,
+  kPackingDual,
+};
+
+const char* SolverKindToString(SolverKind kind);
+
+/// Combined options for the facade.
+struct LpSolverOptions {
+  SolverKind kind = SolverKind::kAuto;
+  DenseSimplexOptions dense;
+  RevisedSimplexOptions revised;
+  PackingDualOptions packing;
+
+  /// kAuto thresholds: dense tableau is used while rows*cols stays below
+  /// this many cells...
+  int64_t dense_cell_limit = 4'000'000;
+  /// ...and revised simplex while rows stay below this (dense inverse; the
+  /// per-pivot O(rows²) cost makes larger models cheaper to solve with the
+  /// certified-gap dual solver).
+  int32_t revised_row_limit = 600;
+};
+
+/// Solves `model` with the selected (or auto-selected) engine. This is the
+/// entry point the IGEPA core uses; tests exercise the engines directly.
+Result<LpSolution> SolveLp(const LpModel& model,
+                           const LpSolverOptions& options = {});
+
+/// The engine kAuto would pick for this model shape.
+SolverKind ChooseSolver(const LpModel& model, const LpSolverOptions& options);
+
+}  // namespace lp
+}  // namespace igepa
+
+#endif  // IGEPA_LP_SOLVER_H_

@@ -1,0 +1,28 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace igepa {
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  int64_t value = 0;
+  return ParseInt(raw, &value) ? value : fallback;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  double value = 0.0;
+  return ParseDouble(raw, &value) ? value : fallback;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+}  // namespace igepa

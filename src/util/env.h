@@ -1,0 +1,21 @@
+#ifndef IGEPA_UTIL_ENV_H_
+#define IGEPA_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace igepa {
+
+/// Reads an integer environment variable, falling back to `fallback` when the
+/// variable is unset or unparsable. Used by benches for IGEPA_REPEATS etc.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Reads a double environment variable with a fallback.
+double GetEnvDouble(const char* name, double fallback);
+
+/// Reads a string environment variable with a fallback.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_ENV_H_

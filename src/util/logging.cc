@@ -1,0 +1,87 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace igepa {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+int InitialLevelFromEnv() {
+  const char* env = std::getenv("IGEPA_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  const int v = std::atoi(env);
+  if (v < 0) return 0;
+  if (v > 3) return 3;
+  return v;
+}
+
+struct EnvInit {
+  EnvInit() { g_log_level.store(InitialLevelFromEnv()); }
+};
+EnvInit g_env_init;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level));
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load());
+}
+
+namespace internal {
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= g_log_level.load();
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level_) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::cerr.flush();
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] check failed: "
+          << condition << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::cerr.flush();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace igepa

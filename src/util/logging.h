@@ -1,0 +1,90 @@
+#ifndef IGEPA_UTIL_LOGGING_H_
+#define IGEPA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace igepa {
+
+/// Log severities, in increasing order. The process-wide threshold is set via
+/// SetLogLevel or the IGEPA_LOG_LEVEL environment variable (0..3).
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the global minimum severity that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style single-line logger; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows disabled log statements with zero formatting cost.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+bool LogEnabled(LogLevel level);
+
+}  // namespace internal
+}  // namespace igepa
+
+/// Usage: IGEPA_LOG(INFO) << "solved in " << iters << " iterations";
+#define IGEPA_LOG(severity)                                              \
+  if (!::igepa::internal::LogEnabled(::igepa::LogLevel::k##severity)) {} \
+  else /* NOLINT(readability/braces) */                                  \
+    ::igepa::internal::LogMessage(::igepa::LogLevel::k##severity,        \
+                                  __FILE__, __LINE__)                    \
+        .stream()
+
+/// Fatal invariant check: logs and aborts when `cond` is false. Active in all
+/// build types — reserved for programmer errors, not data errors (those
+/// return Status).
+#define IGEPA_CHECK(cond)                                               \
+  if (cond) {}                                                          \
+  else /* NOLINT(readability/braces) */                                 \
+    ::igepa::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+namespace igepa {
+namespace internal {
+
+/// Helper behind IGEPA_CHECK; aborts in the destructor.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_LOGGING_H_

@@ -1,0 +1,84 @@
+#ifndef IGEPA_UTIL_RESULT_H_
+#define IGEPA_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace igepa {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Mirrors arrow::Result / absl::StatusOr.
+///
+/// Typical use:
+/// \code
+///   Result<LpSolution> r = solver.Solve(model);
+///   if (!r.ok()) return r.status();
+///   const LpSolution& sol = *r;
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating an error status out of the
+/// enclosing function, otherwise assigning the value to `lhs`.
+#define IGEPA_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  IGEPA_ASSIGN_OR_RETURN_IMPL_(                            \
+      IGEPA_RESULT_CONCAT_(_igepa_result__, __COUNTER__), lhs, rexpr)
+
+#define IGEPA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define IGEPA_RESULT_CONCAT_(a, b) IGEPA_RESULT_CONCAT_IMPL_(a, b)
+#define IGEPA_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_RESULT_H_

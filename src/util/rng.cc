@@ -1,0 +1,176 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace igepa {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextIndex(uint64_t n) {
+  if (n == 0) return 0;
+  // Lemire-style rejection to remove modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextIndex(span));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::Binomial(int64_t n, double p) {
+  if (n <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const bool flipped = p > 0.5;
+  const double q = flipped ? 1.0 - p : p;
+  int64_t draw;
+  if (static_cast<double>(n) * q < 64.0) {
+    // Inversion by sequential search over the CDF; exact and O(n*q) expected.
+    const double log1mq = std::log1p(-q);
+    int64_t count = 0;
+    int64_t pos = -1;
+    // Geometric skips: number of failures before each success.
+    for (;;) {
+      const double u = NextDouble();
+      const int64_t skip =
+          static_cast<int64_t>(std::floor(std::log1p(-u) / log1mq));
+      pos += skip + 1;
+      if (pos >= n) break;
+      ++count;
+    }
+    draw = count;
+  } else {
+    // Normal approximation with continuity correction. Error is negligible
+    // at n*q >= 64; used only for large-scale degree simulation.
+    const double mean = static_cast<double>(n) * q;
+    const double sd = std::sqrt(mean * (1.0 - q));
+    // Box-Muller.
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double value = std::round(mean + sd * z);
+    value = std::clamp(value, 0.0, static_cast<double>(n));
+    draw = static_cast<int64_t>(value);
+  }
+  return flipped ? n - draw : draw;
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    int64_t k = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++k;
+    }
+    return k;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double value = std::max(0.0, std::round(mean + std::sqrt(mean) * z));
+  return static_cast<int64_t>(value);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF over the (small) support; n is at most a few hundred in all
+  // call sites, so the linear scan is fine and exact.
+  double total = 0.0;
+  for (int64_t k = 1; k <= n; ++k) total += std::pow(static_cast<double>(k), -s);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    if (target <= acc) return k - 1;
+  }
+  return n - 1;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return weights.size();
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += std::max(0.0, weights[i]);
+    if (target <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  if (k >= n) {
+    Shuffle(&pool);
+    return pool;
+  }
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(NextIndex(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace igepa

@@ -1,0 +1,61 @@
+#ifndef IGEPA_UTIL_STATS_H_
+#define IGEPA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace igepa {
+
+/// Streaming moment accumulator (Welford). Used by the experiment harness to
+/// aggregate repeated trials without storing every sample.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch descriptive statistics over a sample vector.
+struct SampleSummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+/// Computes a SampleSummary (copies + sorts internally; fine for harness use).
+SampleSummary Summarize(const std::vector<double>& samples);
+
+/// Linear-interpolation percentile of a *sorted* sample, q in [0,1].
+double SortedPercentile(const std::vector<double>& sorted, double q);
+
+/// Pearson correlation of two equal-length samples; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_STATS_H_

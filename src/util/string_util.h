@@ -1,0 +1,35 @@
+#ifndef IGEPA_UTIL_STRING_UTIL_H_
+#define IGEPA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace igepa {
+
+/// Splits `text` on `sep`, keeping empty fields (CSV semantics).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Fixed-precision double formatting ("%.*f") without locale surprises.
+std::string FormatDouble(double value, int precision);
+
+/// Parses a double/int with full-string validation; returns false on junk.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt(std::string_view text, int64_t* out);
+
+/// Left-pads (or right-pads) `text` with spaces up to `width`.
+std::string PadLeft(std::string_view text, size_t width);
+std::string PadRight(std::string_view text, size_t width);
+
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_STRING_UTIL_H_

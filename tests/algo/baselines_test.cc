@@ -1,0 +1,179 @@
+#include "algo/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace algo {
+namespace {
+
+using core::Arrangement;
+using core::Instance;
+using core::MakeTinyInstance;
+
+TEST(GreedyGgTest, TinyInstanceGreedyTrace) {
+  // Hand trace of GG on the tiny instance. Sorted pairs: (e0,u1)=0.80,
+  // (e0,u0)=0.70 and (e2,u1)=0.70, (e1,u0)=0.65, (e2,u2)=0.45, (e1,u2)=0.35,
+  // (e2,u0)=0.30. GG takes (0,u1); e0 is then full and u1 is at capacity, so
+  // (0,u0) and (2,u1) are skipped; takes (1,u0); takes (2,u2); takes (1,u2)
+  // (e1 has capacity 2, and e1/e2 do not conflict); (2,u0) is skipped (e2
+  // full). Result {(0,u1),(1,u0),(2,u2),(1,u2)}: 0.80+0.65+0.45+0.35 = 2.25,
+  // which here equals the optimum (greedy is lucky on this instance).
+  const Instance instance = MakeTinyInstance();
+  auto result = GreedyGg(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->CheckFeasible(instance).ok());
+  EXPECT_NEAR(result->Utility(instance), core::kTinyOptimum, 1e-9);
+}
+
+TEST(GreedyGgTest, DeterministicAcrossCalls) {
+  const Instance instance = MakeTinyInstance();
+  auto a = GreedyGg(instance);
+  auto b = GreedyGg(instance);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->pairs(), b->pairs());
+}
+
+TEST(RandomUTest, FeasibleOnTiny) {
+  const Instance instance = MakeTinyInstance();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto result = RandomU(instance, &rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->CheckFeasible(instance).ok()) << "seed " << seed;
+    EXPECT_GT(result->size(), 0);
+  }
+}
+
+TEST(RandomVTest, FeasibleOnTiny) {
+  const Instance instance = MakeTinyInstance();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto result = RandomV(instance, &rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->CheckFeasible(instance).ok()) << "seed " << seed;
+    EXPECT_GT(result->size(), 0);
+  }
+}
+
+TEST(RandomUTest, MaximalWithinItsOrder) {
+  // Random-U never leaves an event on the table that it could have taken:
+  // after the run, any unassigned bid must be blocked by capacity or
+  // conflict.
+  Rng master(5);
+  gen::SyntheticConfig config;
+  config.num_events = 20;
+  config.num_users = 40;
+  Rng gen_rng = master.Fork();
+  auto instance = gen::GenerateSynthetic(config, &gen_rng);
+  ASSERT_TRUE(instance.ok());
+  Rng rng = master.Fork();
+  auto result = RandomU(*instance, &rng);
+  ASSERT_TRUE(result.ok());
+  for (core::UserId u = 0; u < instance->num_users(); ++u) {
+    for (core::EventId v : instance->bids(u)) {
+      if (result->Contains(v, u)) continue;
+      const bool event_full =
+          static_cast<int64_t>(result->UsersOf(v).size()) >=
+          instance->event_capacity(v);
+      const bool user_full =
+          static_cast<int64_t>(result->EventsOf(u).size()) >=
+          instance->user_capacity(u);
+      bool conflicted = false;
+      for (core::EventId held : result->EventsOf(u)) {
+        if (instance->Conflicts(held, v)) {
+          conflicted = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(event_full || user_full || conflicted)
+          << "pair (" << v << "," << u << ") was assignable but skipped";
+    }
+  }
+}
+
+TEST(BaselinesTest, GreedyDominatesRandomOnAverage) {
+  Rng master(31);
+  gen::SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 100;
+  config.max_event_capacity = 5;  // contention so ordering matters
+  double greedy_total = 0.0, random_u_total = 0.0, random_v_total = 0.0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = master.Fork();
+    auto instance = gen::GenerateSynthetic(config, &rng);
+    ASSERT_TRUE(instance.ok());
+    auto g = GreedyGg(*instance);
+    ASSERT_TRUE(g.ok());
+    greedy_total += g->Utility(*instance);
+    Rng rng_u = master.Fork();
+    auto ru = RandomU(*instance, &rng_u);
+    ASSERT_TRUE(ru.ok());
+    random_u_total += ru->Utility(*instance);
+    Rng rng_v = master.Fork();
+    auto rv = RandomV(*instance, &rng_v);
+    ASSERT_TRUE(rv.ok());
+    random_v_total += rv->Utility(*instance);
+  }
+  EXPECT_GT(greedy_total, random_u_total);
+  EXPECT_GT(greedy_total, random_v_total);
+}
+
+TEST(BaselinesTest, EmptyBidsGiveEmptyArrangements) {
+  std::vector<core::EventDef> events(3);
+  for (auto& e : events) e.capacity = 2;
+  std::vector<core::UserDef> users(4);
+  for (auto& u : users) u.capacity = 2;  // nobody bids
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(3),
+      std::make_shared<interest::HashUniformInterest>(3, 4, 1),
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>(4, 0.5)),
+      0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+  Rng rng(1);
+  EXPECT_EQ(RandomU(instance, &rng)->size(), 0);
+  EXPECT_EQ(RandomV(instance, &rng)->size(), 0);
+  EXPECT_EQ(GreedyGg(instance)->size(), 0);
+}
+
+TEST(BaselinesTest, ZeroEventCapacityNeverAssigned) {
+  std::vector<core::EventDef> events(2);
+  events[0].capacity = 0;
+  events[1].capacity = 5;
+  std::vector<core::UserDef> users(3);
+  for (auto& u : users) {
+    u.capacity = 2;
+    u.bids = {0, 1};
+  }
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2),
+      std::make_shared<interest::HashUniformInterest>(2, 3, 1),
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>(3, 0.5)),
+      0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+  Rng rng(9);
+  for (int t = 0; t < 5; ++t) {
+    auto ru = RandomU(instance, &rng);
+    ASSERT_TRUE(ru.ok());
+    EXPECT_TRUE(ru->UsersOf(0).empty());
+    auto rv = RandomV(instance, &rng);
+    ASSERT_TRUE(rv.ok());
+    EXPECT_TRUE(rv->UsersOf(0).empty());
+  }
+  auto g = GreedyGg(instance);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->UsersOf(0).empty());
+  EXPECT_EQ(g->UsersOf(1).size(), 3u);
+}
+
+}  // namespace
+}  // namespace algo
+}  // namespace igepa

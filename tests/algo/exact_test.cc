@@ -1,0 +1,138 @@
+#include "algo/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/baselines.h"
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace algo {
+namespace {
+
+using core::Instance;
+using core::MakeTinyInstance;
+
+TEST(ExactTest, TinyInstanceOptimum) {
+  const Instance instance = MakeTinyInstance();
+  ExactStats stats;
+  auto result = SolveExact(instance, {}, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->CheckFeasible(instance).ok());
+  EXPECT_NEAR(stats.optimum, core::kTinyOptimum, 1e-9);
+  EXPECT_NEAR(result->Utility(instance), core::kTinyOptimum, 1e-9);
+  EXPECT_GT(stats.nodes, 0);
+}
+
+TEST(ExactTest, DominatesGreedyOnRandomInstances) {
+  Rng master(123);
+  gen::SyntheticConfig config;
+  config.num_events = 8;
+  config.num_users = 7;
+  config.max_event_capacity = 3;
+  config.max_user_capacity = 3;
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng = master.Fork();
+    auto instance = gen::GenerateSynthetic(config, &rng);
+    ASSERT_TRUE(instance.ok());
+    ExactStats stats;
+    auto exact = SolveExact(*instance, {}, &stats);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    EXPECT_TRUE(exact->CheckFeasible(*instance).ok());
+    auto greedy = GreedyGg(*instance);
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_GE(stats.optimum, greedy->Utility(*instance) - 1e-9)
+        << "exact below greedy on trial " << trial;
+    Rng rng_u = master.Fork();
+    auto random_u = RandomU(*instance, &rng_u);
+    ASSERT_TRUE(random_u.ok());
+    EXPECT_GE(stats.optimum, random_u->Utility(*instance) - 1e-9);
+  }
+}
+
+TEST(ExactTest, NodeBudgetEnforced) {
+  Rng rng(5);
+  gen::SyntheticConfig config;
+  config.num_events = 20;
+  config.num_users = 18;
+  config.max_user_capacity = 4;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  ExactOptions options;
+  options.max_nodes = 10;  // absurdly small
+  auto result = SolveExact(*instance, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExactTest, TruncatedAdmissibleSetsRejected) {
+  Rng rng(6);
+  gen::SyntheticConfig config;
+  config.num_events = 12;
+  config.num_users = 5;
+  config.max_user_capacity = 4;
+  config.min_groups_per_user = 2;
+  config.max_groups_per_user = 2;
+  config.min_conflicts_per_group = 3;
+  config.max_conflicts_per_group = 3;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  ExactOptions options;
+  options.admissible.max_sets_per_user = 2;  // force truncation
+  auto result = SolveExact(*instance, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExactTest, EmptyInstanceHasZeroOptimum) {
+  std::vector<core::EventDef> events(2);
+  std::vector<core::UserDef> users(2);
+  for (auto& u : users) u.capacity = 1;  // no bids
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2),
+      std::make_shared<interest::HashUniformInterest>(2, 2, 1),
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>(2, 0.0)),
+      0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+  ExactStats stats;
+  auto result = SolveExact(instance, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0);
+  EXPECT_EQ(stats.optimum, 0.0);
+}
+
+TEST(ExactTest, SharedCapacityForcesBestSubset) {
+  // Three identical users bidding one capacity-2 event with different
+  // weights via degrees: exact must pick the two heaviest.
+  std::vector<core::EventDef> events(1);
+  events[0].capacity = 2;
+  std::vector<core::UserDef> users(3);
+  for (auto& u : users) {
+    u.capacity = 1;
+    u.bids = {0};
+  }
+  auto interest = std::make_shared<interest::TableInterest>(1, 3);
+  interest->Set(0, 0, 0.2);
+  interest->Set(0, 1, 0.9);
+  interest->Set(0, 2, 0.6);
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(1), interest,
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>(3, 0.0)),
+      1.0);  // pure interest
+  ASSERT_TRUE(instance.Validate().ok());
+  ExactStats stats;
+  auto result = SolveExact(instance, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(stats.optimum, 0.9 + 0.6, 1e-12);
+  EXPECT_TRUE(result->Contains(0, 1));
+  EXPECT_TRUE(result->Contains(0, 2));
+  EXPECT_FALSE(result->Contains(0, 0));
+}
+
+}  // namespace
+}  // namespace algo
+}  // namespace igepa

@@ -1,0 +1,156 @@
+#include "algo/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/baselines.h"
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace algo {
+namespace {
+
+using core::Arrangement;
+using core::Instance;
+using core::MakeTinyInstance;
+
+TEST(LocalSearchTest, EmptyStartFillsFeasiblePairs) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement empty(3, 3);
+  LocalSearchStats stats;
+  auto result = ImproveLocalSearch(instance, empty, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->CheckFeasible(instance).ok());
+  EXPECT_GT(result->size(), 0);
+  EXPECT_GT(stats.additions, 0);
+  EXPECT_EQ(stats.initial_utility, 0.0);
+  EXPECT_GT(stats.final_utility, 0.0);
+}
+
+TEST(LocalSearchTest, NeverDecreasesUtility) {
+  Rng master(17);
+  gen::SyntheticConfig config;
+  config.num_events = 25;
+  config.num_users = 60;
+  config.max_event_capacity = 4;
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng rng = master.Fork();
+    auto instance = gen::GenerateSynthetic(config, &rng);
+    ASSERT_TRUE(instance.ok());
+    Rng rng_u = master.Fork();
+    auto start = RandomU(*instance, &rng_u);
+    ASSERT_TRUE(start.ok());
+    const double before = start->Utility(*instance);
+    LocalSearchStats stats;
+    auto improved = ImproveLocalSearch(*instance, *start, {}, &stats);
+    ASSERT_TRUE(improved.ok());
+    EXPECT_TRUE(improved->CheckFeasible(*instance).ok());
+    EXPECT_GE(improved->Utility(*instance), before - 1e-9);
+    EXPECT_NEAR(stats.initial_utility, before, 1e-9);
+    EXPECT_NEAR(stats.final_utility, improved->Utility(*instance), 1e-9);
+  }
+}
+
+TEST(LocalSearchTest, SwapUpgradesAssignment) {
+  // u holds a low-weight event while a strictly heavier non-conflicting bid
+  // has spare capacity; the swap move must take it.
+  std::vector<core::EventDef> events(2);
+  events[0].capacity = 1;
+  events[1].capacity = 1;
+  std::vector<core::UserDef> users(1);
+  users[0].capacity = 1;
+  users[0].bids = {0, 1};
+  auto interest = std::make_shared<interest::TableInterest>(2, 1);
+  interest->Set(0, 0, 0.2);
+  interest->Set(1, 0, 0.9);
+  auto conflicts = std::make_shared<conflict::MatrixConflict>(2);
+  conflicts->Set(0, 1, true);  // conflicting alternatives: swap, not add
+  Instance instance(
+      std::move(events), std::move(users), std::move(conflicts), interest,
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>{0.0}),
+      1.0);
+  ASSERT_TRUE(instance.Validate().ok());
+  Arrangement start(2, 1);
+  ASSERT_TRUE(start.Add(0, 0).ok());
+  LocalSearchStats stats;
+  auto improved = ImproveLocalSearch(instance, start, {}, &stats);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_TRUE(improved->Contains(1, 0));
+  EXPECT_FALSE(improved->Contains(0, 0));
+  EXPECT_EQ(stats.swaps, 1);
+  EXPECT_NEAR(improved->Utility(instance), 0.9, 1e-12);
+}
+
+TEST(LocalSearchTest, SwapsDisabledLeavesSuboptimal) {
+  std::vector<core::EventDef> events(2);
+  events[0].capacity = 1;
+  events[1].capacity = 1;
+  std::vector<core::UserDef> users(1);
+  users[0].capacity = 1;
+  users[0].bids = {0, 1};
+  auto interest = std::make_shared<interest::TableInterest>(2, 1);
+  interest->Set(0, 0, 0.2);
+  interest->Set(1, 0, 0.9);
+  auto conflicts = std::make_shared<conflict::MatrixConflict>(2);
+  conflicts->Set(0, 1, true);
+  Instance instance(
+      std::move(events), std::move(users), std::move(conflicts), interest,
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>{0.0}),
+      1.0);
+  ASSERT_TRUE(instance.Validate().ok());
+  Arrangement start(2, 1);
+  ASSERT_TRUE(start.Add(0, 0).ok());
+  LocalSearchOptions options;
+  options.enable_swaps = false;
+  auto improved = ImproveLocalSearch(instance, start, options);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_TRUE(improved->Contains(0, 0));  // stuck: add is blocked by conflict
+  EXPECT_NEAR(improved->Utility(instance), 0.2, 1e-12);
+}
+
+TEST(LocalSearchTest, OptimalStartIsFixedPoint) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement optimal(3, 3);
+  ASSERT_TRUE(optimal.Add(0, 1).ok());
+  ASSERT_TRUE(optimal.Add(1, 0).ok());
+  ASSERT_TRUE(optimal.Add(1, 2).ok());
+  ASSERT_TRUE(optimal.Add(2, 2).ok());
+  LocalSearchStats stats;
+  auto improved = ImproveLocalSearch(instance, optimal, {}, &stats);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_NEAR(improved->Utility(instance), core::kTinyOptimum, 1e-9);
+}
+
+TEST(LocalSearchTest, InfeasibleStartRejected) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement bad(3, 3);
+  ASSERT_TRUE(bad.Add(0, 2).ok());  // u2 did not bid e0
+  EXPECT_FALSE(ImproveLocalSearch(instance, bad, {}).ok());
+}
+
+TEST(LocalSearchTest, ImprovesGreedyOnContendedInstances) {
+  Rng master(23);
+  gen::SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 90;
+  config.max_event_capacity = 3;
+  double improvements = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng = master.Fork();
+    auto instance = gen::GenerateSynthetic(config, &rng);
+    ASSERT_TRUE(instance.ok());
+    auto greedy = GreedyGg(*instance);
+    ASSERT_TRUE(greedy.ok());
+    const double before = greedy->Utility(*instance);
+    auto improved = ImproveLocalSearch(*instance, *greedy, {});
+    ASSERT_TRUE(improved.ok());
+    improvements += improved->Utility(*instance) - before;
+  }
+  EXPECT_GE(improvements, 0.0);  // never worse in aggregate
+}
+
+}  // namespace
+}  // namespace algo
+}  // namespace igepa

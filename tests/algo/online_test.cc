@@ -1,0 +1,184 @@
+#include "algo/online.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algo/baselines.h"
+#include "algo/exact.h"
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace algo {
+namespace {
+
+using core::Instance;
+using core::MakeTinyInstance;
+using core::UserId;
+
+std::vector<UserId> IndexOrder(int32_t n) {
+  std::vector<UserId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+TEST(OnlineTest, FeasibleOnTinyAnyOrder) {
+  const Instance instance = MakeTinyInstance();
+  std::vector<UserId> order = IndexOrder(3);
+  do {
+    auto result = OnlineArrange(instance, order, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->CheckFeasible(instance).ok());
+    EXPECT_GT(result->size(), 0);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(OnlineTest, GreedyTraceOnTiny) {
+  // Arrival order u0, u1, u2: u0 greedily takes its best set {e0, e2}
+  // (w = 0.70 + 0.30), which exhausts both unit-capacity events; u1 (bids
+  // {e0, e2}) is starved; u2 takes {e1} (e2 is full). This is exactly the
+  // myopia the offline LP avoids — the optimum gives e0 to u1 instead.
+  const Instance instance = MakeTinyInstance();
+  OnlineStats stats;
+  auto result = OnlineArrange(instance, IndexOrder(3), {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.users_served, 2);
+  EXPECT_EQ(stats.users_empty, 1);
+  EXPECT_TRUE(result->Contains(0, 0));
+  EXPECT_TRUE(result->Contains(2, 0));
+  EXPECT_TRUE(result->EventsOf(1).empty());
+  EXPECT_TRUE(result->Contains(1, 2));
+  EXPECT_NEAR(result->Utility(instance), 0.70 + 0.30 + 0.35, 1e-12);
+}
+
+TEST(OnlineTest, NeverBeatsOfflineOptimum) {
+  Rng master(5);
+  gen::SyntheticConfig config;
+  config.num_events = 8;
+  config.num_users = 7;
+  config.max_event_capacity = 3;
+  config.max_user_capacity = 3;
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng rng = master.Fork();
+    auto instance = gen::GenerateSynthetic(config, &rng);
+    ASSERT_TRUE(instance.ok());
+    ExactStats exact_stats;
+    auto exact = SolveExact(*instance, {}, &exact_stats);
+    ASSERT_TRUE(exact.ok());
+    Rng order_rng = master.Fork();
+    auto online = OnlineArrangeRandomOrder(*instance, &order_rng, {});
+    ASSERT_TRUE(online.ok());
+    EXPECT_LE(online->Utility(*instance), exact_stats.optimum + 1e-9);
+  }
+}
+
+TEST(OnlineTest, ArrivalOrderMatters) {
+  // One seat, two bidders of different weight: the first arrival takes it.
+  std::vector<core::EventDef> events(1);
+  events[0].capacity = 1;
+  std::vector<core::UserDef> users(2);
+  for (auto& u : users) {
+    u.capacity = 1;
+    u.bids = {0};
+  }
+  auto interest = std::make_shared<interest::TableInterest>(1, 2);
+  interest->Set(0, 0, 0.2);
+  interest->Set(0, 1, 0.9);
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(1), interest,
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>(2, 0.0)),
+      1.0);
+  ASSERT_TRUE(instance.Validate().ok());
+  auto weak_first = OnlineArrange(instance, {0, 1}, {});
+  auto strong_first = OnlineArrange(instance, {1, 0}, {});
+  ASSERT_TRUE(weak_first.ok());
+  ASSERT_TRUE(strong_first.ok());
+  EXPECT_NEAR(weak_first->Utility(instance), 0.2, 1e-12);
+  EXPECT_NEAR(strong_first->Utility(instance), 0.9, 1e-12);
+}
+
+TEST(OnlineTest, ThresholdRejectsLukewarmPairs) {
+  // User's best bid is 0.9; with threshold 0.5 the 0.2 event is rejected
+  // even though capacity is free.
+  std::vector<core::EventDef> events(2);
+  events[0].capacity = 1;
+  events[1].capacity = 1;
+  std::vector<core::UserDef> users(1);
+  users[0].capacity = 2;
+  users[0].bids = {0, 1};
+  auto interest = std::make_shared<interest::TableInterest>(2, 1);
+  interest->Set(0, 0, 0.9);
+  interest->Set(1, 0, 0.2);
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2), interest,
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>{0.0}),
+      1.0);
+  ASSERT_TRUE(instance.Validate().ok());
+  OnlineOptions options;
+  options.policy = OnlinePolicy::kThreshold;
+  options.threshold_fraction = 0.5;
+  OnlineStats stats;
+  auto result = OnlineArrange(instance, {0}, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Contains(0, 0));
+  EXPECT_FALSE(result->Contains(1, 0));
+  EXPECT_GT(stats.pairs_rejected_by_threshold, 0);
+  // Greedy policy takes both.
+  auto greedy = OnlineArrange(instance, {0}, {});
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_EQ(greedy->size(), 2);
+}
+
+TEST(OnlineTest, InvalidInputsRejected) {
+  const Instance instance = MakeTinyInstance();
+  EXPECT_FALSE(OnlineArrange(instance, {0, 1}, {}).ok());       // wrong size
+  EXPECT_FALSE(OnlineArrange(instance, {0, 1, 1}, {}).ok());    // duplicate
+  EXPECT_FALSE(OnlineArrange(instance, {0, 1, 5}, {}).ok());    // range
+  OnlineOptions options;
+  options.threshold_fraction = 1.5;
+  EXPECT_FALSE(OnlineArrange(instance, IndexOrder(3), options).ok());
+}
+
+TEST(OnlineTest, GreedyOnlineTracksOfflineGreedyOnAverage) {
+  // Statistically, random-order online greedy should land within a modest
+  // factor of offline GG (it has the same myopic flavour without lookahead).
+  Rng master(17);
+  gen::SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 100;
+  double online_total = 0.0, offline_total = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng = master.Fork();
+    auto instance = gen::GenerateSynthetic(config, &rng);
+    ASSERT_TRUE(instance.ok());
+    Rng order_rng = master.Fork();
+    auto online = OnlineArrangeRandomOrder(*instance, &order_rng, {});
+    ASSERT_TRUE(online.ok());
+    EXPECT_TRUE(online->CheckFeasible(*instance).ok());
+    online_total += online->Utility(*instance);
+    auto offline = GreedyGg(*instance);
+    ASSERT_TRUE(offline.ok());
+    offline_total += offline->Utility(*instance);
+  }
+  EXPECT_GT(online_total, 0.5 * offline_total);
+  EXPECT_LE(online_total, offline_total * 1.05);
+}
+
+TEST(OnlineTest, RandomOrderDeterministicGivenSeed) {
+  const Instance instance = MakeTinyInstance();
+  Rng a(99), b(99);
+  auto ra = OnlineArrangeRandomOrder(instance, &a, {});
+  auto rb = OnlineArrangeRandomOrder(instance, &b, {});
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->pairs(), rb->pairs());
+}
+
+}  // namespace
+}  // namespace algo
+}  // namespace igepa

@@ -1,0 +1,153 @@
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace igepa {
+namespace cli {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun RunTool(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, NoArgsShowsUsageAndFails) {
+  const CliRun run = RunTool({});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.out.find("usage"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  EXPECT_EQ(RunTool({"--help"}).code, 0);
+  EXPECT_EQ(RunTool({"help"}).code, 0);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliRun run = RunTool({"frobnicate"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("frobnicate"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRequiresOut) {
+  const CliRun run = RunTool({"generate", "--kind=synthetic"});
+  EXPECT_NE(run.code, 0);
+  EXPECT_NE(run.err.find("--out"), std::string::npos);
+}
+
+TEST(CliTest, GenerateSolveEvaluateDescribeRoundTrip) {
+  const std::string instance_path = TempPath("cli_instance.csv");
+  const std::string arrangement_path = TempPath("cli_arrangement.csv");
+
+  const CliRun gen = RunTool({"generate", "--kind=synthetic", "--events=15",
+                          "--users=30", "--out=" + instance_path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("|V|=15"), std::string::npos);
+
+  const CliRun solve =
+      RunTool({"solve", "--in=" + instance_path, "--algorithm=lp-packing",
+           "--out=" + arrangement_path});
+  ASSERT_EQ(solve.code, 0) << solve.err;
+  EXPECT_NE(solve.out.find("utility"), std::string::npos);
+
+  const CliRun eval = RunTool({"evaluate", "--in=" + instance_path,
+                           "--arrangement=" + arrangement_path});
+  ASSERT_EQ(eval.code, 0) << eval.err;
+  EXPECT_NE(eval.out.find("feasible: yes"), std::string::npos);
+  EXPECT_NE(eval.out.find("utility"), std::string::npos);
+
+  const CliRun describe = RunTool({"describe", "--in=" + instance_path});
+  ASSERT_EQ(describe.code, 0) << describe.err;
+  EXPECT_NE(describe.out.find("bid-set sizes"), std::string::npos);
+}
+
+TEST(CliTest, SolveEveryAlgorithm) {
+  const std::string instance_path = TempPath("cli_algos.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=12", "--users=20",
+                 "--out=" + instance_path})
+                .code,
+            0);
+  for (const char* algorithm :
+       {"lp-packing", "gg", "random-u", "random-v", "online"}) {
+    const CliRun run = RunTool({"solve", "--in=" + instance_path,
+                            std::string("--algorithm=") + algorithm});
+    EXPECT_EQ(run.code, 0) << algorithm << ": " << run.err;
+    EXPECT_NE(run.out.find(algorithm), std::string::npos);
+  }
+}
+
+TEST(CliTest, SolveUnknownAlgorithmFails) {
+  const std::string instance_path = TempPath("cli_badalgo.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=5", "--users=8",
+                 "--out=" + instance_path})
+                .code,
+            0);
+  const CliRun run =
+      RunTool({"solve", "--in=" + instance_path, "--algorithm=simplex2000"});
+  EXPECT_NE(run.code, 0);
+}
+
+TEST(CliTest, GenerateMeetupKind) {
+  const std::string instance_path = TempPath("cli_meetup.csv");
+  const CliRun run = RunTool({"generate", "--kind=meetup", "--events=40",
+                          "--users=150", "--out=" + instance_path});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("|V|=40"), std::string::npos);
+  const CliRun solve = RunTool({"solve", "--in=" + instance_path,
+                            "--algorithm=gg"});
+  EXPECT_EQ(solve.code, 0) << solve.err;
+}
+
+TEST(CliTest, EvaluateDetectsInfeasibleArrangement) {
+  const std::string instance_path = TempPath("cli_infeasible_inst.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=5", "--users=8",
+                 "--out=" + instance_path})
+                .code,
+            0);
+  // Hand-craft an arrangement with an out-of-bid pair: user 0 on every event
+  // is almost surely infeasible (bids are sparse).
+  const std::string arrangement_path = TempPath("cli_infeasible_arr.csv");
+  {
+    std::ofstream f(arrangement_path);
+    f << "arrangement,5,8\n";
+    for (int v = 0; v < 5; ++v) f << "pair," << v << ",0\n";
+  }
+  const CliRun run = RunTool({"evaluate", "--in=" + instance_path,
+                          "--arrangement=" + arrangement_path});
+  EXPECT_EQ(run.code, 2);
+  EXPECT_NE(run.out.find("INFEASIBLE"), std::string::npos);
+}
+
+TEST(CliTest, MissingFilesSurfaceIoErrors) {
+  EXPECT_NE(RunTool({"solve", "--in=/nonexistent/i.csv"}).code, 0);
+  EXPECT_NE(RunTool({"describe", "--in=/nonexistent/i.csv"}).code, 0);
+  EXPECT_NE(RunTool({"evaluate", "--in=/nonexistent/i.csv",
+                 "--arrangement=/nonexistent/a.csv"})
+                .code,
+            0);
+}
+
+TEST(CliTest, PerCommandHelp) {
+  for (const char* command : {"generate", "solve", "evaluate", "describe"}) {
+    const CliRun run = RunTool({command, "--help"});
+    EXPECT_EQ(run.code, 0) << command;
+    EXPECT_NE(run.out.find("usage"), std::string::npos) << command;
+  }
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace igepa

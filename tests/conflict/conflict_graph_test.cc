@@ -1,0 +1,102 @@
+#include "conflict/conflict_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace igepa {
+namespace conflict {
+namespace {
+
+MatrixConflict TwoClusters() {
+  // Cluster {0,1,2} fully conflicting, cluster {3,4} conflicting, 5 isolated.
+  MatrixConflict m(6);
+  m.Set(0, 1);
+  m.Set(0, 2);
+  m.Set(1, 2);
+  m.Set(3, 4);
+  return m;
+}
+
+TEST(BuildConflictGraphTest, EdgesMirrorConflicts) {
+  const MatrixConflict m = TwoClusters();
+  const graph::Graph g = BuildConflictGraph(m);
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+}
+
+TEST(BuildConflictSubgraphTest, RestrictsAndRelabels) {
+  const MatrixConflict m = TwoClusters();
+  const graph::Graph g = BuildConflictSubgraph(m, {2, 3, 4});
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 1);   // only (3,4) -> local (1,2)
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(ConflictComponentsTest, ClustersGetDistinctLabels) {
+  const MatrixConflict m = TwoClusters();
+  const auto comp = ConflictComponents(m);
+  ASSERT_EQ(comp.size(), 6u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+  const std::set<int32_t> labels(comp.begin(), comp.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(GreedyColoringTest, ColorsAreProper) {
+  Rng rng(7);
+  const MatrixConflict m = MatrixConflict::Bernoulli(40, 0.3, &rng);
+  const auto color = GreedyColoring(m);
+  ASSERT_EQ(color.size(), 40u);
+  for (EventId a = 0; a < 40; ++a) {
+    for (EventId b = a + 1; b < 40; ++b) {
+      if (m.Conflicts(a, b)) {
+        EXPECT_NE(color[static_cast<size_t>(a)], color[static_cast<size_t>(b)])
+            << "conflicting events " << a << "," << b << " share a colour";
+      }
+    }
+  }
+}
+
+TEST(GreedyColoringTest, CliqueNeedsNColors) {
+  Rng rng(8);
+  const MatrixConflict m = MatrixConflict::Bernoulli(10, 1.0, &rng);
+  const auto color = GreedyColoring(m);
+  const std::set<int32_t> distinct(color.begin(), color.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(GreedyColoringTest, ConflictFreeUsesOneColor) {
+  const NoConflict nc(12);
+  const auto color = GreedyColoring(nc);
+  for (int32_t c : color) EXPECT_EQ(c, 0);
+}
+
+TEST(ConflictNeighborsTest, ListsExactlyConflicting) {
+  const MatrixConflict m = TwoClusters();
+  EXPECT_EQ(ConflictNeighbors(m, 0), (std::vector<EventId>{1, 2}));
+  EXPECT_EQ(ConflictNeighbors(m, 4), (std::vector<EventId>{3}));
+  EXPECT_TRUE(ConflictNeighbors(m, 5).empty());
+}
+
+TEST(ConflictComponentsTest, EmptyAndSingleton) {
+  const NoConflict none(0);
+  EXPECT_TRUE(ConflictComponents(none).empty());
+  const NoConflict one(1);
+  EXPECT_EQ(ConflictComponents(one), (std::vector<int32_t>{0}));
+}
+
+}  // namespace
+}  // namespace conflict
+}  // namespace igepa

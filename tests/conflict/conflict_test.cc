@@ -1,0 +1,111 @@
+#include "conflict/conflict.h"
+
+#include <gtest/gtest.h>
+
+namespace igepa {
+namespace conflict {
+namespace {
+
+TEST(MatrixConflictTest, StartsEmpty) {
+  MatrixConflict m(5);
+  EXPECT_EQ(m.num_events(), 5);
+  EXPECT_EQ(m.CountConflicts(), 0);
+  for (EventId a = 0; a < 5; ++a) {
+    for (EventId b = 0; b < 5; ++b) {
+      EXPECT_FALSE(m.Conflicts(a, b));
+    }
+  }
+}
+
+TEST(MatrixConflictTest, SetIsSymmetric) {
+  MatrixConflict m(4);
+  m.Set(1, 3);
+  EXPECT_TRUE(m.Conflicts(1, 3));
+  EXPECT_TRUE(m.Conflicts(3, 1));
+  EXPECT_FALSE(m.Conflicts(1, 2));
+  EXPECT_EQ(m.CountConflicts(), 1);
+  m.Set(3, 1, false);
+  EXPECT_FALSE(m.Conflicts(1, 3));
+}
+
+TEST(MatrixConflictTest, SelfConflictIgnored) {
+  MatrixConflict m(3);
+  m.Set(2, 2);
+  EXPECT_FALSE(m.Conflicts(2, 2));
+  EXPECT_EQ(m.CountConflicts(), 0);
+}
+
+TEST(MatrixConflictTest, ValidatesAsConflictFn) {
+  Rng rng(77);
+  const MatrixConflict m = MatrixConflict::Bernoulli(30, 0.4, &rng);
+  EXPECT_TRUE(ValidateConflictFn(m).ok());
+}
+
+TEST(MatrixConflictTest, BernoulliDensityNearP) {
+  Rng rng(78);
+  const EventId n = 200;
+  const MatrixConflict m = MatrixConflict::Bernoulli(n, 0.3, &rng);
+  const double pairs = n * (n - 1) / 2.0;
+  EXPECT_NEAR(m.CountConflicts() / pairs, 0.3, 0.03);
+}
+
+TEST(MatrixConflictTest, BernoulliExtremes) {
+  Rng rng(79);
+  EXPECT_EQ(MatrixConflict::Bernoulli(20, 0.0, &rng).CountConflicts(), 0);
+  EXPECT_EQ(MatrixConflict::Bernoulli(20, 1.0, &rng).CountConflicts(),
+            20 * 19 / 2);
+}
+
+TEST(MatrixConflictTest, FromFnCopiesExactly) {
+  std::vector<TimeInterval> ivs = {{0, 10}, {5, 15}, {20, 30}};
+  IntervalConflict ic(std::move(ivs));
+  const MatrixConflict m = MatrixConflict::FromFn(ic);
+  for (EventId a = 0; a < 3; ++a) {
+    for (EventId b = 0; b < 3; ++b) {
+      EXPECT_EQ(m.Conflicts(a, b), ic.Conflicts(a, b));
+    }
+  }
+}
+
+TEST(IntervalConflictTest, OverlapImpliesConflict) {
+  std::vector<TimeInterval> ivs = {{0, 60}, {30, 90}, {60, 120}, {200, 260}};
+  IntervalConflict ic(std::move(ivs));
+  EXPECT_TRUE(ic.Conflicts(0, 1));
+  EXPECT_TRUE(ic.Conflicts(1, 2));
+  EXPECT_FALSE(ic.Conflicts(0, 2));  // touch at 60
+  EXPECT_FALSE(ic.Conflicts(0, 3));
+  EXPECT_FALSE(ic.Conflicts(2, 3));
+  EXPECT_TRUE(ValidateConflictFn(ic).ok());
+}
+
+TEST(IntervalConflictTest, SelfNeverConflicts) {
+  IntervalConflict ic({{0, 100}});
+  EXPECT_FALSE(ic.Conflicts(0, 0));
+}
+
+TEST(NoConflictTest, AlwaysFalse) {
+  NoConflict nc(10);
+  EXPECT_EQ(nc.num_events(), 10);
+  for (EventId a = 0; a < 10; ++a) {
+    for (EventId b = 0; b < 10; ++b) {
+      EXPECT_FALSE(nc.Conflicts(a, b));
+    }
+  }
+  EXPECT_TRUE(ValidateConflictFn(nc).ok());
+}
+
+TEST(ConflictFnTest, IsConflictFreeSet) {
+  MatrixConflict m(5);
+  m.Set(0, 1);
+  m.Set(2, 3);
+  EXPECT_TRUE(m.IsConflictFree({0, 2, 4}));
+  EXPECT_TRUE(m.IsConflictFree({1, 3}));
+  EXPECT_FALSE(m.IsConflictFree({0, 1}));
+  EXPECT_FALSE(m.IsConflictFree({0, 2, 3}));
+  EXPECT_TRUE(m.IsConflictFree({}));
+  EXPECT_TRUE(m.IsConflictFree({4}));
+}
+
+}  // namespace
+}  // namespace conflict
+}  // namespace igepa

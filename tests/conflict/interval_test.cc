@@ -1,0 +1,83 @@
+#include "conflict/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace igepa {
+namespace conflict {
+namespace {
+
+TEST(TimeIntervalTest, OverlapBasics) {
+  const TimeInterval a{0, 10};
+  const TimeInterval b{5, 15};
+  const TimeInterval c{10, 20};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));  // touching endpoints do not overlap
+  EXPECT_FALSE(c.Overlaps(a));
+  EXPECT_TRUE(b.Overlaps(c));
+}
+
+TEST(TimeIntervalTest, ContainmentOverlaps) {
+  const TimeInterval outer{0, 100};
+  const TimeInterval inner{40, 60};
+  EXPECT_TRUE(outer.Overlaps(inner));
+  EXPECT_TRUE(inner.Overlaps(outer));
+}
+
+TEST(TimeIntervalTest, SelfOverlap) {
+  const TimeInterval a{3, 8};
+  EXPECT_TRUE(a.Overlaps(a));
+}
+
+TEST(TimeIntervalTest, EmptyIntervalNeverOverlaps) {
+  const TimeInterval empty{5, 5};
+  const TimeInterval full{0, 10};
+  EXPECT_FALSE(empty.Overlaps(full));
+  EXPECT_FALSE(full.Overlaps(empty));
+  EXPECT_FALSE(empty.Overlaps(empty));
+}
+
+TEST(TimeIntervalTest, DurationAndValidity) {
+  EXPECT_EQ((TimeInterval{10, 25}).duration(), 15);
+  EXPECT_TRUE((TimeInterval{1, 1}).valid());
+  EXPECT_FALSE((TimeInterval{2, 1}).valid());
+}
+
+TEST(TimeIntervalTest, Contains) {
+  const TimeInterval a{10, 20};
+  EXPECT_TRUE(a.Contains(10));
+  EXPECT_TRUE(a.Contains(19));
+  EXPECT_FALSE(a.Contains(20));  // exclusive end
+  EXPECT_FALSE(a.Contains(9));
+}
+
+TEST(TimeIntervalTest, Intersect) {
+  const TimeInterval a{0, 10};
+  const TimeInterval b{5, 15};
+  const TimeInterval i = a.Intersect(b);
+  EXPECT_EQ(i, (TimeInterval{5, 10}));
+  const TimeInterval disjoint = a.Intersect(TimeInterval{20, 30});
+  EXPECT_EQ(disjoint.duration(), 0);
+}
+
+TEST(TimeIntervalTest, OverlapIsSymmetricProperty) {
+  // Sweep pairs over a small lattice and verify symmetry + emptiness rules.
+  for (int64_t s1 = 0; s1 < 6; ++s1) {
+    for (int64_t e1 = s1; e1 < 7; ++e1) {
+      for (int64_t s2 = 0; s2 < 6; ++s2) {
+        for (int64_t e2 = s2; e2 < 7; ++e2) {
+          const TimeInterval a{s1, e1};
+          const TimeInterval b{s2, e2};
+          EXPECT_EQ(a.Overlaps(b), b.Overlaps(a));
+          if (a.duration() == 0 || b.duration() == 0) {
+            EXPECT_FALSE(a.Overlaps(b));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace conflict
+}  // namespace igepa

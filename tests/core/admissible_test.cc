@@ -1,0 +1,191 @@
+#include "core/admissible.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace core {
+namespace {
+
+std::set<std::vector<EventId>> AsSet(const AdmissibleSets& sets) {
+  return {sets.sets.begin(), sets.sets.end()};
+}
+
+TEST(AdmissibleTest, TinyInstanceUser0) {
+  // u0: cap 2, bids {0,1,2}, conflict (0,1) -> {0},{1},{2},{0,2},{1,2}.
+  const Instance instance = MakeTinyInstance();
+  const auto sets = EnumerateAdmissibleSetsForUser(instance, 0, {});
+  EXPECT_FALSE(sets.truncated);
+  const auto got = AsSet(sets);
+  const std::set<std::vector<EventId>> expected = {
+      {0}, {1}, {2}, {0, 2}, {1, 2}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AdmissibleTest, TinyInstanceUser1CapacityOne) {
+  // u1: cap 1, bids {0,2} -> singletons only.
+  const Instance instance = MakeTinyInstance();
+  const auto sets = EnumerateAdmissibleSetsForUser(instance, 1, {});
+  const auto got = AsSet(sets);
+  const std::set<std::vector<EventId>> expected = {{0}, {2}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AdmissibleTest, TinyInstanceUser2) {
+  const Instance instance = MakeTinyInstance();
+  const auto sets = EnumerateAdmissibleSetsForUser(instance, 2, {});
+  const auto got = AsSet(sets);
+  const std::set<std::vector<EventId>> expected = {{1}, {2}, {1, 2}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AdmissibleTest, SubsetClosureProperty) {
+  // Every non-empty subset of an admissible set is admissible (the paper's
+  // closure remark) — verified on generated instances without cap pressure.
+  Rng rng(7);
+  gen::SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 40;
+  config.max_user_capacity = 3;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    const auto sets = EnumerateAdmissibleSetsForUser(*instance, u, {});
+    ASSERT_FALSE(sets.truncated);
+    const auto all = AsSet(sets);
+    for (const auto& s : sets.sets) {
+      if (s.size() < 2) continue;
+      for (size_t drop = 0; drop < s.size(); ++drop) {
+        std::vector<EventId> subset;
+        for (size_t i = 0; i < s.size(); ++i) {
+          if (i != drop) subset.push_back(s[i]);
+        }
+        EXPECT_TRUE(all.count(subset) == 1)
+            << "missing subset of an admissible set for user " << u;
+      }
+    }
+  }
+}
+
+TEST(AdmissibleTest, SetsRespectCapacityAndConflicts) {
+  Rng rng(9);
+  gen::SyntheticConfig config;
+  config.num_events = 40;
+  config.num_users = 60;
+  config.p_conflict = 0.4;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  const auto all = EnumerateAdmissibleSets(*instance, {});
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    for (const auto& s : all[static_cast<size_t>(u)].sets) {
+      EXPECT_FALSE(s.empty());
+      EXPECT_LE(static_cast<int64_t>(s.size()), instance->user_capacity(u));
+      for (size_t i = 0; i < s.size(); ++i) {
+        EXPECT_TRUE(instance->HasBid(u, s[i]));
+        for (size_t j = i + 1; j < s.size(); ++j) {
+          EXPECT_FALSE(instance->Conflicts(s[i], s[j]));
+        }
+      }
+      EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    }
+  }
+}
+
+TEST(AdmissibleTest, NoDuplicateSets) {
+  Rng rng(11);
+  gen::SyntheticConfig config;
+  config.num_events = 25;
+  config.num_users = 30;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    const auto sets = EnumerateAdmissibleSetsForUser(*instance, u, {});
+    const auto unique = AsSet(sets);
+    EXPECT_EQ(unique.size(), sets.sets.size()) << "user " << u;
+  }
+}
+
+TEST(AdmissibleTest, CapTruncatesAndPrefersHeavySets) {
+  const Instance instance = MakeTinyInstance();
+  AdmissibleOptions options;
+  options.max_sets_per_user = 2;
+  const auto sets = EnumerateAdmissibleSetsForUser(instance, 0, options);
+  EXPECT_TRUE(sets.truncated);
+  EXPECT_EQ(sets.sets.size(), 2u);
+  // u0 weights: w(e0)=0.70 > w(e1)=0.65 > w(e2)=0.30. DFS explores e0 first,
+  // so the first two sets are {0} and {0,2} — containing the heaviest event.
+  for (const auto& s : sets.sets) {
+    EXPECT_TRUE(std::find(s.begin(), s.end(), 0) != s.end())
+        << "truncated enumeration should keep sets with the heaviest event";
+  }
+}
+
+TEST(AdmissibleTest, ZeroCapacityUserHasNoSets) {
+  std::vector<EventDef> events(2);
+  events[0].capacity = 1;
+  events[1].capacity = 1;
+  std::vector<UserDef> users(1);
+  users[0].capacity = 0;
+  users[0].bids = {0, 1};
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2),
+      std::make_shared<interest::HashUniformInterest>(2, 1, 1),
+      std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
+      0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+  const auto sets = EnumerateAdmissibleSetsForUser(instance, 0, {});
+  EXPECT_TRUE(sets.sets.empty());
+}
+
+TEST(AdmissibleTest, NoBidsNoSets) {
+  std::vector<EventDef> events(2);
+  std::vector<UserDef> users(1);
+  users[0].capacity = 3;
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2),
+      std::make_shared<interest::HashUniformInterest>(2, 1, 1),
+      std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
+      0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+  EXPECT_TRUE(EnumerateAdmissibleSetsForUser(instance, 0, {}).sets.empty());
+}
+
+TEST(AdmissibleTest, SetWeightSumsPairWeights) {
+  const Instance instance = MakeTinyInstance();
+  EXPECT_NEAR(SetWeight(instance, 0, {0, 2}), 0.70 + 0.30, 1e-12);
+  EXPECT_NEAR(SetWeight(instance, 0, {1, 2}), 0.65 + 0.30, 1e-12);
+  EXPECT_NEAR(SetWeight(instance, 2, {1, 2}), 0.35 + 0.45, 1e-12);
+  EXPECT_DOUBLE_EQ(SetWeight(instance, 0, {}), 0.0);
+}
+
+TEST(AdmissibleTest, AllConflictingBidsGiveOnlySingletons) {
+  std::vector<EventDef> events(3);
+  for (auto& e : events) e.capacity = 1;
+  std::vector<UserDef> users(1);
+  users[0].capacity = 3;
+  users[0].bids = {0, 1, 2};
+  auto conflicts = std::make_shared<conflict::MatrixConflict>(3);
+  conflicts->Set(0, 1, true);
+  conflicts->Set(0, 2, true);
+  conflicts->Set(1, 2, true);
+  Instance instance(
+      std::move(events), std::move(users), std::move(conflicts),
+      std::make_shared<interest::HashUniformInterest>(3, 1, 1),
+      std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
+      0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+  const auto sets = EnumerateAdmissibleSetsForUser(instance, 0, {});
+  EXPECT_EQ(sets.sets.size(), 3u);
+  for (const auto& s : sets.sets) EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace igepa

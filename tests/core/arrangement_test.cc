@@ -1,0 +1,139 @@
+#include "core/arrangement.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace core {
+namespace {
+
+TEST(ArrangementTest, AddContainsRemove) {
+  Arrangement m(3, 3);
+  EXPECT_TRUE(m.Add(0, 1).ok());
+  EXPECT_TRUE(m.Contains(0, 1));
+  EXPECT_FALSE(m.Contains(1, 0));
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_TRUE(m.Remove(0, 1).ok());
+  EXPECT_FALSE(m.Contains(0, 1));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(ArrangementTest, DuplicateAddRejected) {
+  Arrangement m(2, 2);
+  ASSERT_TRUE(m.Add(1, 1).ok());
+  EXPECT_EQ(m.Add(1, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(m.size(), 1);
+}
+
+TEST(ArrangementTest, OutOfRangeRejected) {
+  Arrangement m(2, 2);
+  EXPECT_EQ(m.Add(2, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.Add(0, -1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.Remove(5, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArrangementTest, RemoveMissingIsNotFound) {
+  Arrangement m(2, 2);
+  EXPECT_EQ(m.Remove(0, 0).code(), StatusCode::kNotFound);
+}
+
+TEST(ArrangementTest, ViewsAreSorted) {
+  Arrangement m(4, 2);
+  ASSERT_TRUE(m.Add(3, 0).ok());
+  ASSERT_TRUE(m.Add(1, 0).ok());
+  ASSERT_TRUE(m.Add(2, 0).ok());
+  EXPECT_EQ(m.EventsOf(0), (std::vector<EventId>{1, 2, 3}));
+  ASSERT_TRUE(m.Add(1, 1).ok());
+  EXPECT_EQ(m.UsersOf(1), (std::vector<UserId>{0, 1}));
+  EXPECT_TRUE(m.UsersOf(0).empty());
+}
+
+TEST(ArrangementTest, UtilityMatchesHandComputation) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(3, 3);
+  // The known optimum M* = {(0,u1), (1,u0), (1,u2), (2,u2)}.
+  ASSERT_TRUE(m.Add(0, 1).ok());
+  ASSERT_TRUE(m.Add(1, 0).ok());
+  ASSERT_TRUE(m.Add(1, 2).ok());
+  ASSERT_TRUE(m.Add(2, 2).ok());
+  EXPECT_NEAR(m.Utility(instance), kTinyOptimum, 1e-12);
+}
+
+TEST(ArrangementTest, BreakdownSplitsTerms) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(3, 3);
+  ASSERT_TRUE(m.Add(0, 1).ok());  // SI 0.6, D 1.0
+  ASSERT_TRUE(m.Add(1, 2).ok());  // SI 0.7, D 0.0
+  const UtilityBreakdown b = m.Breakdown(instance);
+  EXPECT_NEAR(b.interest_total, 1.3, 1e-12);
+  EXPECT_NEAR(b.degree_total, 1.0, 1e-12);
+  EXPECT_NEAR(b.total, 0.5 * 1.3 + 0.5 * 1.0, 1e-12);
+  EXPECT_NEAR(b.total, m.Utility(instance), 1e-12);
+}
+
+TEST(ArrangementTest, FeasibleOptimalPasses) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(3, 3);
+  ASSERT_TRUE(m.Add(0, 1).ok());
+  ASSERT_TRUE(m.Add(1, 0).ok());
+  ASSERT_TRUE(m.Add(1, 2).ok());
+  ASSERT_TRUE(m.Add(2, 2).ok());
+  EXPECT_TRUE(m.CheckFeasible(instance).ok());
+}
+
+TEST(ArrangementTest, BidConstraintViolationDetected) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(3, 3);
+  ASSERT_TRUE(m.Add(0, 2).ok());  // u2 never bid for e0
+  const Status status = m.CheckFeasible(instance);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("bid constraint"), std::string::npos);
+}
+
+TEST(ArrangementTest, EventCapacityViolationDetected) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(3, 3);
+  ASSERT_TRUE(m.Add(0, 0).ok());
+  ASSERT_TRUE(m.Add(0, 1).ok());  // e0 capacity is 1
+  const Status status = m.CheckFeasible(instance);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("event capacity"), std::string::npos);
+}
+
+TEST(ArrangementTest, UserCapacityViolationDetected) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(3, 3);
+  ASSERT_TRUE(m.Add(0, 1).ok());
+  ASSERT_TRUE(m.Add(2, 1).ok());  // u1 capacity is 1
+  const Status status = m.CheckFeasible(instance);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("user capacity"), std::string::npos);
+}
+
+TEST(ArrangementTest, ConflictViolationDetected) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(3, 3);
+  ASSERT_TRUE(m.Add(0, 0).ok());
+  ASSERT_TRUE(m.Add(1, 0).ok());  // e0 and e1 conflict
+  const Status status = m.CheckFeasible(instance);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("conflict constraint"), std::string::npos);
+}
+
+TEST(ArrangementTest, SizeMismatchDetected) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(2, 3);
+  EXPECT_FALSE(m.CheckFeasible(instance).ok());
+}
+
+TEST(ArrangementTest, EmptyArrangementIsFeasibleWithZeroUtility) {
+  const Instance instance = MakeTinyInstance();
+  Arrangement m(3, 3);
+  EXPECT_TRUE(m.CheckFeasible(instance).ok());
+  EXPECT_EQ(m.Utility(instance), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace igepa

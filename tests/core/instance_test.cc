@@ -1,0 +1,148 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace core {
+namespace {
+
+TEST(InstanceTest, TinyInstanceBasics) {
+  const Instance instance = MakeTinyInstance();
+  EXPECT_EQ(instance.num_events(), 3);
+  EXPECT_EQ(instance.num_users(), 3);
+  EXPECT_DOUBLE_EQ(instance.beta(), 0.5);
+  EXPECT_EQ(instance.event_capacity(0), 1);
+  EXPECT_EQ(instance.event_capacity(1), 2);
+  EXPECT_EQ(instance.user_capacity(1), 1);
+  EXPECT_EQ(instance.bids(0), (std::vector<EventId>{0, 1, 2}));
+  EXPECT_EQ(instance.TotalBids(), 7);
+}
+
+TEST(InstanceTest, BiddersAreDerivedFromBids) {
+  const Instance instance = MakeTinyInstance();
+  EXPECT_EQ(instance.bidders(0), (std::vector<UserId>{0, 1}));
+  EXPECT_EQ(instance.bidders(1), (std::vector<UserId>{0, 2}));
+  EXPECT_EQ(instance.bidders(2), (std::vector<UserId>{0, 1, 2}));
+}
+
+TEST(InstanceTest, HasBid) {
+  const Instance instance = MakeTinyInstance();
+  EXPECT_TRUE(instance.HasBid(0, 1));
+  EXPECT_TRUE(instance.HasBid(1, 0));
+  EXPECT_FALSE(instance.HasBid(1, 1));
+  EXPECT_FALSE(instance.HasBid(2, 0));
+}
+
+TEST(InstanceTest, WeightMatchesDefinition) {
+  const Instance instance = MakeTinyInstance();
+  EXPECT_DOUBLE_EQ(instance.Weight(0, 0), 0.5 * 0.9 + 0.5 * 0.5);  // 0.70
+  EXPECT_DOUBLE_EQ(instance.Weight(0, 1), 0.5 * 0.6 + 0.5 * 1.0);  // 0.80
+  EXPECT_DOUBLE_EQ(instance.Weight(2, 2), 0.5 * 0.9 + 0.5 * 0.0);  // 0.45
+}
+
+TEST(InstanceTest, ConflictsExposed) {
+  const Instance instance = MakeTinyInstance();
+  EXPECT_TRUE(instance.Conflicts(0, 1));
+  EXPECT_TRUE(instance.Conflicts(1, 0));
+  EXPECT_FALSE(instance.Conflicts(0, 2));
+  EXPECT_FALSE(instance.Conflicts(1, 2));
+}
+
+TEST(InstanceTest, ValidateSortsAndDeduplicatesBids) {
+  std::vector<EventDef> events(2);
+  events[0].capacity = 1;
+  events[1].capacity = 1;
+  std::vector<UserDef> users(1);
+  users[0].capacity = 1;
+  users[0].bids = {1, 0, 1, 0};
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2),
+      std::make_shared<interest::HashUniformInterest>(2, 1, 1),
+      std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
+      0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+  EXPECT_EQ(instance.bids(0), (std::vector<EventId>{0, 1}));
+}
+
+TEST(InstanceTest, ValidateRejectsBadBeta) {
+  std::vector<EventDef> events(1);
+  std::vector<UserDef> users(1);
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(1),
+      std::make_shared<interest::HashUniformInterest>(1, 1, 1),
+      std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
+      1.5);
+  EXPECT_EQ(instance.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InstanceTest, ValidateRejectsOutOfRangeBid) {
+  std::vector<EventDef> events(1);
+  events[0].capacity = 1;
+  std::vector<UserDef> users(1);
+  users[0].capacity = 1;
+  users[0].bids = {7};
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(1),
+      std::make_shared<interest::HashUniformInterest>(1, 1, 1),
+      std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
+      0.5);
+  EXPECT_FALSE(instance.Validate().ok());
+}
+
+TEST(InstanceTest, ValidateRejectsComponentSizeMismatch) {
+  std::vector<EventDef> events(2);
+  std::vector<UserDef> users(1);
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(99),  // wrong size
+      std::make_shared<interest::HashUniformInterest>(2, 1, 1),
+      std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
+      0.5);
+  EXPECT_FALSE(instance.Validate().ok());
+}
+
+TEST(InstanceTest, ValidateRejectsNegativeCapacity) {
+  std::vector<EventDef> events(1);
+  events[0].capacity = -1;
+  std::vector<UserDef> users(1);
+  users[0].capacity = 1;
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(1),
+      std::make_shared<interest::HashUniformInterest>(1, 1, 1),
+      std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
+      0.5);
+  EXPECT_FALSE(instance.Validate().ok());
+}
+
+TEST(InstanceTest, BetaZeroAndOneWeights) {
+  // β=1 reduces to pure interest (GEACC objective); β=0 to pure degree.
+  std::vector<EventDef> events(1);
+  events[0].capacity = 1;
+  std::vector<UserDef> users(1);
+  users[0].capacity = 1;
+  users[0].bids = {0};
+  auto interest = std::make_shared<interest::TableInterest>(1, 1);
+  interest->Set(0, 0, 0.3);
+  auto degrees = std::make_shared<graph::TableInteractionModel>(
+      std::vector<double>{0.8});
+  Instance beta1({{1}}, {{1, {0}}},
+                 std::make_shared<conflict::NoConflict>(1), interest, degrees,
+                 1.0);
+  ASSERT_TRUE(beta1.Validate().ok());
+  EXPECT_DOUBLE_EQ(beta1.Weight(0, 0), 0.3);
+  Instance beta0({{1}}, {{1, {0}}},
+                 std::make_shared<conflict::NoConflict>(1), interest, degrees,
+                 0.0);
+  ASSERT_TRUE(beta0.Validate().ok());
+  EXPECT_DOUBLE_EQ(beta0.Weight(0, 0), 0.8);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace igepa

@@ -1,0 +1,186 @@
+#include "core/lp_packing.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace core {
+namespace {
+
+TEST(LpPackingTest, TinyInstanceAlphaOneRecoversOptimum) {
+  // The tiny instance's LP is integral; with α=1 sampling is deterministic
+  // (each user's optimal set has x*=1) and repair never triggers, so
+  // LP-packing returns the exact optimum.
+  const Instance instance = MakeTinyInstance();
+  Rng rng(123);
+  LpPackingStats stats;
+  auto result = LpPacking(instance, &rng, {}, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->CheckFeasible(instance).ok());
+  EXPECT_NEAR(result->Utility(instance), kTinyOptimum, 1e-9);
+  EXPECT_NEAR(stats.lp_objective, kTinyOptimum, 1e-9);
+  EXPECT_EQ(stats.num_columns, 10);
+  EXPECT_EQ(stats.users_sampled, 3);
+  EXPECT_EQ(stats.pairs_repaired, 0);
+  EXPECT_FALSE(stats.admissible_truncated);
+}
+
+TEST(LpPackingTest, OutputAlwaysFeasible) {
+  Rng master(42);
+  gen::SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 60;
+  config.p_conflict = 0.3;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng = master.Fork();
+    auto instance = gen::GenerateSynthetic(config, &rng);
+    ASSERT_TRUE(instance.ok());
+    auto result = LpPacking(*instance, &rng, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->CheckFeasible(*instance).ok()) << "trial " << trial;
+  }
+}
+
+TEST(LpPackingTest, AlphaValidation) {
+  const Instance instance = MakeTinyInstance();
+  Rng rng(1);
+  LpPackingOptions options;
+  options.alpha = 0.0;
+  EXPECT_FALSE(LpPacking(instance, &rng, options).ok());
+  options.alpha = 1.5;
+  EXPECT_FALSE(LpPacking(instance, &rng, options).ok());
+  options.alpha = -0.5;
+  EXPECT_FALSE(LpPacking(instance, &rng, options).ok());
+}
+
+TEST(LpPackingTest, SmallAlphaAssignsFewerUsers) {
+  Rng master(7);
+  gen::SyntheticConfig config;
+  config.num_events = 40;
+  config.num_users = 120;
+  Rng gen_rng = master.Fork();
+  auto instance = gen::GenerateSynthetic(config, &gen_rng);
+  ASSERT_TRUE(instance.ok());
+  double mean_full = 0.0;
+  double mean_tenth = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng_a = master.Fork();
+    LpPackingOptions full;
+    full.alpha = 1.0;
+    auto a = LpPacking(*instance, &rng_a, full);
+    ASSERT_TRUE(a.ok());
+    mean_full += static_cast<double>(a->size());
+    Rng rng_b = master.Fork();
+    LpPackingOptions tenth;
+    tenth.alpha = 0.1;
+    auto b = LpPacking(*instance, &rng_b, tenth);
+    ASSERT_TRUE(b.ok());
+    mean_tenth += static_cast<double>(b->size());
+  }
+  EXPECT_GT(mean_full / trials, 3.0 * mean_tenth / trials)
+      << "α=0.1 should sample roughly 10x fewer sets than α=1";
+}
+
+TEST(LpPackingTest, StatsReportLpValueAboveRealizedUtility) {
+  // The fractional LP dominates any rounded arrangement (Lemma 1 direction).
+  Rng master(99);
+  gen::SyntheticConfig config;
+  config.num_events = 25;
+  config.num_users = 50;
+  Rng gen_rng = master.Fork();
+  auto instance = gen::GenerateSynthetic(config, &gen_rng);
+  ASSERT_TRUE(instance.ok());
+  Rng rng = master.Fork();
+  LpPackingStats stats;
+  auto result = LpPacking(*instance, &rng, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->Utility(*instance), stats.lp_upper_bound + 1e-6);
+  EXPECT_GE(stats.lp_upper_bound, stats.lp_objective - 1e-9);
+}
+
+TEST(LpPackingTest, RepairOrdersAllFeasible) {
+  Rng master(11);
+  gen::SyntheticConfig config;
+  config.num_events = 20;
+  config.num_users = 80;
+  config.max_event_capacity = 3;  // tight capacities force repairs
+  Rng gen_rng = master.Fork();
+  auto instance = gen::GenerateSynthetic(config, &gen_rng);
+  ASSERT_TRUE(instance.ok());
+  for (RepairOrder order : {RepairOrder::kUserIndex, RepairOrder::kRandom,
+                            RepairOrder::kWeightDesc}) {
+    Rng rng = master.Fork();
+    LpPackingOptions options;
+    options.repair_order = order;
+    auto result = LpPacking(*instance, &rng, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->CheckFeasible(*instance).ok());
+  }
+}
+
+TEST(LpPackingTest, TightCapacitiesTriggerRepair) {
+  // One event with capacity 1 and many bidders: with α=1 every user samples
+  // it, and all but one pair must be repaired away.
+  const int32_t n_users = 6;
+  std::vector<EventDef> events(1);
+  events[0].capacity = 1;
+  std::vector<UserDef> users(static_cast<size_t>(n_users));
+  for (auto& u : users) {
+    u.capacity = 1;
+    u.bids = {0};
+  }
+  auto interest = std::make_shared<interest::TableInterest>(1, n_users);
+  for (int32_t u = 0; u < n_users; ++u) interest->Set(0, u, 1.0);
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(1), interest,
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>(static_cast<size_t>(n_users), 0.0)),
+      0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+  Rng rng(3);
+  LpPackingStats stats;
+  auto result = LpPacking(instance, &rng, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->CheckFeasible(instance).ok());
+  EXPECT_LE(result->size(), 1);
+  // LP puts total mass 1 on the event; users sample ~1/6 each, so sampling
+  // variance decides how many need repair — but never a capacity violation.
+  EXPECT_EQ(result->UsersOf(0).size(), static_cast<size_t>(result->size()));
+}
+
+TEST(LpPackingTest, WithPrecomputedSetsMatchesInlineEnumeration) {
+  const Instance instance = MakeTinyInstance();
+  const auto admissible = EnumerateAdmissibleSets(instance, {});
+  Rng rng_a(5);
+  Rng rng_b(5);
+  auto inline_run = LpPacking(instance, &rng_a, {});
+  auto preset_run = LpPackingWithSets(instance, admissible, &rng_b, {});
+  ASSERT_TRUE(inline_run.ok());
+  ASSERT_TRUE(preset_run.ok());
+  EXPECT_EQ(inline_run->pairs(), preset_run->pairs());
+}
+
+TEST(LpPackingTest, DeterministicGivenSeed) {
+  Rng master(2718);
+  gen::SyntheticConfig config;
+  config.num_events = 20;
+  config.num_users = 40;
+  Rng gen_rng = master.Fork();
+  auto instance = gen::GenerateSynthetic(config, &gen_rng);
+  ASSERT_TRUE(instance.ok());
+  Rng rng_a(777);
+  Rng rng_b(777);
+  auto a = LpPacking(*instance, &rng_a, {});
+  auto b = LpPacking(*instance, &rng_b, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->pairs(), b->pairs());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace igepa

@@ -1,0 +1,75 @@
+#ifndef IGEPA_TESTS_CORE_TEST_INSTANCES_H_
+#define IGEPA_TESTS_CORE_TEST_INSTANCES_H_
+
+#include <memory>
+
+#include "conflict/conflict.h"
+#include "core/instance.h"
+#include "graph/interaction_model.h"
+#include "interest/interest.h"
+#include "util/logging.h"
+
+namespace igepa {
+namespace core {
+
+/// Canonical hand-checked 3-event / 3-user instance used across core/algo
+/// tests. Layout:
+///   events:   e0 (cap 1), e1 (cap 2), e2 (cap 1); conflict pair (e0, e1).
+///   users:    u0 (cap 2, bids {0,1,2}), u1 (cap 1, bids {0,2}),
+///             u2 (cap 2, bids {1,2}).
+///   interest: SI(0,u0)=0.9 SI(1,u0)=0.8 SI(2,u0)=0.1
+///             SI(0,u1)=0.6 SI(2,u1)=0.4
+///             SI(1,u2)=0.7 SI(2,u2)=0.9
+///   degrees:  D(u0)=0.5, D(u1)=1.0, D(u2)=0.0;  β = 0.5.
+/// Pair weights w = 0.5·SI + 0.5·D:
+///   u0: w(e0)=0.70 w(e1)=0.65 w(e2)=0.30
+///   u1: w(e0)=0.80 w(e2)=0.70
+///   u2: w(e1)=0.35 w(e2)=0.45
+/// The optimum is M* = {(0,u1), (1,u0), (1,u2), (2,u2)} with utility
+/// 0.80 + 0.65 + 0.35 + 0.45 = 2.25. Optimality certificate (LP duality):
+/// event prices μ = (0.15, 0, 0.45) and user prices π = (0.65, 0.65, 0.35)
+/// are dual-feasible with objective Σπ + Σ c_v·μ_v = 1.65 + 0.60 = 2.25,
+/// matching the integral primal — so LP* = OPT = 2.25 here.
+inline Instance MakeTinyInstance() {
+  std::vector<EventDef> events(3);
+  events[0].capacity = 1;
+  events[1].capacity = 2;
+  events[2].capacity = 1;
+
+  std::vector<UserDef> users(3);
+  users[0].capacity = 2;
+  users[0].bids = {0, 1, 2};
+  users[1].capacity = 1;
+  users[1].bids = {0, 2};
+  users[2].capacity = 2;
+  users[2].bids = {1, 2};
+
+  auto conflicts = std::make_shared<conflict::MatrixConflict>(3);
+  conflicts->Set(0, 1, true);
+
+  auto interest = std::make_shared<interest::TableInterest>(3, 3);
+  interest->Set(0, 0, 0.9);
+  interest->Set(1, 0, 0.8);
+  interest->Set(2, 0, 0.1);
+  interest->Set(0, 1, 0.6);
+  interest->Set(2, 1, 0.4);
+  interest->Set(1, 2, 0.7);
+  interest->Set(2, 2, 0.9);
+
+  auto interaction = std::make_shared<graph::TableInteractionModel>(
+      std::vector<double>{0.5, 1.0, 0.0});
+
+  Instance instance(std::move(events), std::move(users), std::move(conflicts),
+                    std::move(interest), std::move(interaction), 0.5);
+  const Status status = instance.Validate();
+  IGEPA_CHECK(status.ok()) << status;
+  return instance;
+}
+
+/// Utility of the known optimum of MakeTinyInstance().
+inline constexpr double kTinyOptimum = 2.25;
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_TESTS_CORE_TEST_INSTANCES_H_

@@ -1,0 +1,145 @@
+#include "exp/figures.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/report.h"
+
+namespace igepa {
+namespace exp {
+namespace {
+
+TEST(FiguresTest, AllSixSpecsExist) {
+  const auto figures = AllFigures();
+  ASSERT_EQ(figures.size(), 6u);
+  EXPECT_EQ(figures[0].id, "fig1a");
+  EXPECT_EQ(figures[5].id, "fig1f");
+  for (const auto& f : figures) {
+    EXPECT_EQ(f.points.size(), 5u) << f.id;
+  }
+}
+
+TEST(FiguresTest, SweepsChangeOnlyTheirFactor) {
+  const auto a = Fig1a();
+  EXPECT_EQ(a.points[0].config.num_events, 100);
+  EXPECT_EQ(a.points[4].config.num_events, 300);
+  EXPECT_EQ(a.points[0].config.num_users, 2000);  // others stay at defaults
+
+  const auto c = Fig1c();
+  EXPECT_DOUBLE_EQ(c.points[0].config.p_conflict, 0.1);
+  EXPECT_DOUBLE_EQ(c.points[4].config.p_conflict, 0.5);
+  EXPECT_EQ(c.points[2].config.num_events, 200);
+
+  const auto f = Fig1f();
+  EXPECT_EQ(f.points[0].config.max_user_capacity, 2);
+  EXPECT_EQ(f.points[4].config.max_user_capacity, 10);
+}
+
+TEST(FiguresTest, PointLabelsReadable) {
+  EXPECT_EQ(Fig1b().points[4].label, "10000");
+  EXPECT_EQ(Fig1d().points[0].label, "0.1");
+  EXPECT_EQ(Fig1e().points[2].label, "50");
+}
+
+TEST(FiguresTest, RunFigureProducesRows) {
+  // Miniature sweep (tiny sizes, 2 repeats) through the full machinery.
+  FigureSpec spec = Fig1c();
+  spec.points.resize(2);
+  for (auto& point : spec.points) {
+    point.config.num_events = 12;
+    point.config.num_users = 25;
+  }
+  HarnessOptions options;
+  options.repeats = 2;
+  const auto algos = PaperAlgorithms();
+  auto rows = RunFigure(spec, algos, options);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  for (const auto& row : *rows) {
+    ASSERT_EQ(row.summaries.size(), algos.size());
+    for (const auto& s : row.summaries) {
+      EXPECT_EQ(s.utility.count(), 2u);
+    }
+  }
+}
+
+TEST(FiguresTest, ReportPrintsTableAndCsv) {
+  FigureSpec spec = Fig1a();
+  spec.points.resize(1);
+  spec.points[0].config.num_events = 10;
+  spec.points[0].config.num_users = 20;
+  HarnessOptions options;
+  options.repeats = 2;
+  const auto algos = PaperAlgorithms();
+  auto rows = RunFigure(spec, algos, options);
+  ASSERT_TRUE(rows.ok());
+
+  std::ostringstream table;
+  PrintFigureTable(table, spec, algos, *rows);
+  EXPECT_NE(table.str().find("fig1a"), std::string::npos);
+  EXPECT_NE(table.str().find("LP-packing"), std::string::npos);
+  EXPECT_NE(table.str().find("Random-V"), std::string::npos);
+
+  std::ostringstream csv;
+  WriteFigureCsv(csv, spec, algos, *rows);
+  EXPECT_NE(csv.str().find("figure,x,algorithm"), std::string::npos);
+  EXPECT_NE(csv.str().find("fig1a,100,GG,"), std::string::npos);
+}
+
+TEST(FiguresTest, DescribeInstanceMentionsKeyStats) {
+  Rng rng(1);
+  gen::SyntheticConfig config;
+  config.num_events = 15;
+  config.num_users = 30;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  const std::string description = DescribeInstance(*instance);
+  EXPECT_NE(description.find("|V|=15"), std::string::npos);
+  EXPECT_NE(description.find("|U|=30"), std::string::npos);
+  EXPECT_NE(description.find("conflict_pairs="), std::string::npos);
+}
+
+
+TEST(FiguresTest, ComparisonTablePrintsAllAlgorithms) {
+  Rng rng(2);
+  gen::SyntheticConfig config;
+  config.num_events = 10;
+  config.num_users = 20;
+  const auto algos = PaperAlgorithms();
+  HarnessOptions options;
+  options.repeats = 2;
+  auto factory = [config](Rng* r) { return gen::GenerateSynthetic(config, r); };
+  auto summaries = RunComparison(factory, algos, options);
+  ASSERT_TRUE(summaries.ok());
+  std::ostringstream table;
+  PrintComparisonTable(table, "unit-test table", algos, *summaries);
+  EXPECT_NE(table.str().find("unit-test table"), std::string::npos);
+  for (Algorithm a : algos) {
+    EXPECT_NE(table.str().find(AlgorithmName(a)), std::string::npos);
+  }
+  EXPECT_NE(table.str().find("Utility"), std::string::npos);
+  EXPECT_NE(table.str().find("Time [ms]"), std::string::npos);
+}
+
+TEST(FiguresTest, FigureRowSeedsDifferAcrossPoints) {
+  // Each sweep point uses a distinct seed so points are independent draws.
+  FigureSpec spec = Fig1f();
+  spec.points.resize(2);
+  for (auto& p : spec.points) {
+    p.config.num_events = 8;
+    p.config.num_users = 16;
+    p.config.max_user_capacity = 2;  // make both points identical configs
+  }
+  HarnessOptions options;
+  options.repeats = 3;
+  auto rows = RunFigure(spec, {Algorithm::kRandomU}, options);
+  ASSERT_TRUE(rows.ok());
+  // Identical configs but different per-point seeds: means should differ.
+  EXPECT_NE((*rows)[0].summaries[0].utility.mean(),
+            (*rows)[1].summaries[0].utility.mean());
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace igepa

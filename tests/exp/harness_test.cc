@@ -1,0 +1,144 @@
+#include "exp/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace exp {
+namespace {
+
+gen::SyntheticConfig SmallConfig() {
+  gen::SyntheticConfig config;
+  config.num_events = 20;
+  config.num_users = 50;
+  return config;
+}
+
+HarnessOptions FastOptions() {
+  HarnessOptions options;
+  options.repeats = 4;
+  return options;
+}
+
+TEST(HarnessTest, AlgorithmNamesMatchPaper) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kLpPacking), "LP-packing");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kGreedyGg), "GG");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kRandomU), "Random-U");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kRandomV), "Random-V");
+}
+
+TEST(HarnessTest, PaperAlgorithmsAreTheFour) {
+  const auto algos = PaperAlgorithms();
+  ASSERT_EQ(algos.size(), 4u);
+  EXPECT_EQ(algos[0], Algorithm::kLpPacking);
+}
+
+TEST(HarnessTest, RunOnInstanceAllAlgorithms) {
+  const core::Instance instance = core::MakeTinyInstance();
+  for (Algorithm a :
+       {Algorithm::kLpPacking, Algorithm::kGreedyGg, Algorithm::kRandomU,
+        Algorithm::kRandomV, Algorithm::kGreedyLocalSearch,
+        Algorithm::kLpPackingLocalSearch}) {
+    Rng rng(7);
+    auto outcome = RunOnInstance(instance, a, &rng, {});
+    ASSERT_TRUE(outcome.ok()) << AlgorithmName(a) << ": " << outcome.status();
+    EXPECT_GT(outcome->utility, 0.0) << AlgorithmName(a);
+    EXPECT_GE(outcome->seconds, 0.0);
+    EXPECT_GT(outcome->pairs, 0) << AlgorithmName(a);
+  }
+}
+
+TEST(HarnessTest, LpStatsPopulatedForLpPacking) {
+  const core::Instance instance = core::MakeTinyInstance();
+  Rng rng(3);
+  auto outcome = RunOnInstance(instance, Algorithm::kLpPacking, &rng, {});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NEAR(outcome->lp_stats.lp_objective, core::kTinyOptimum, 1e-9);
+  EXPECT_GT(outcome->lp_stats.num_columns, 0);
+}
+
+TEST(HarnessTest, ComparisonAggregatesRepeats) {
+  const auto config = SmallConfig();
+  auto factory = [config](Rng* rng) {
+    return gen::GenerateSynthetic(config, rng);
+  };
+  auto summaries = RunComparison(factory, PaperAlgorithms(), FastOptions());
+  ASSERT_TRUE(summaries.ok()) << summaries.status();
+  ASSERT_EQ(summaries->size(), 4u);
+  for (const auto& s : *summaries) {
+    EXPECT_EQ(s.utility.count(), 4u) << AlgorithmName(s.algorithm);
+    EXPECT_GT(s.utility.mean(), 0.0);
+    EXPECT_GT(s.pairs.mean(), 0.0);
+  }
+}
+
+TEST(HarnessTest, ComparisonIsDeterministicGivenSeed) {
+  const auto config = SmallConfig();
+  auto factory = [config](Rng* rng) {
+    return gen::GenerateSynthetic(config, rng);
+  };
+  HarnessOptions options = FastOptions();
+  options.seed = 555;
+  auto a = RunComparison(factory, PaperAlgorithms(), options);
+  auto b = RunComparison(factory, PaperAlgorithms(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].utility.mean(), (*b)[i].utility.mean());
+  }
+}
+
+TEST(HarnessTest, ReuseInstanceSharesOneInstance) {
+  // With reuse_instance, the deterministic GG must score identically in
+  // every repetition (same instance every time) => zero variance.
+  const auto config = SmallConfig();
+  auto factory = [config](Rng* rng) {
+    return gen::GenerateSynthetic(config, rng);
+  };
+  HarnessOptions options = FastOptions();
+  options.reuse_instance = true;
+  auto summaries =
+      RunComparison(factory, {Algorithm::kGreedyGg}, options);
+  ASSERT_TRUE(summaries.ok());
+  EXPECT_NEAR((*summaries)[0].utility.stddev(), 0.0, 1e-12);
+}
+
+TEST(HarnessTest, FreshInstancesVary) {
+  const auto config = SmallConfig();
+  auto factory = [config](Rng* rng) {
+    return gen::GenerateSynthetic(config, rng);
+  };
+  HarnessOptions options;
+  options.repeats = 6;
+  auto summaries = RunComparison(factory, {Algorithm::kGreedyGg}, options);
+  ASSERT_TRUE(summaries.ok());
+  EXPECT_GT((*summaries)[0].utility.stddev(), 0.0);
+}
+
+TEST(HarnessTest, InvalidRepeatsRejected) {
+  auto factory = [](Rng* rng) {
+    return gen::GenerateSynthetic(gen::SyntheticConfig{}, rng);
+  };
+  HarnessOptions options;
+  options.repeats = 0;
+  EXPECT_FALSE(RunComparison(factory, PaperAlgorithms(), options).ok());
+}
+
+TEST(HarnessTest, LocalSearchVariantsDominateTheirBases) {
+  const auto config = SmallConfig();
+  auto factory = [config](Rng* rng) {
+    return gen::GenerateSynthetic(config, rng);
+  };
+  HarnessOptions options = FastOptions();
+  auto summaries = RunComparison(
+      factory, {Algorithm::kGreedyGg, Algorithm::kGreedyLocalSearch}, options);
+  ASSERT_TRUE(summaries.ok());
+  EXPECT_GE((*summaries)[1].utility.mean(),
+            (*summaries)[0].utility.mean() - 1e-9);
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace igepa

@@ -1,0 +1,165 @@
+#include "gen/meetup_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace igepa {
+namespace gen {
+namespace {
+
+MeetupConfig SmallConfig() {
+  MeetupConfig config;
+  config.num_events = 60;
+  config.num_users = 300;
+  config.num_groups = 25;
+  return config;
+}
+
+TEST(MeetupSimTest, DefaultsMatchPaperStatistics) {
+  const MeetupConfig config;
+  EXPECT_EQ(config.num_events, 190);
+  EXPECT_EQ(config.num_users, 2811);
+  EXPECT_DOUBLE_EQ(config.beta, 0.5);
+}
+
+TEST(MeetupSimTest, GeneratesValidInstance) {
+  Rng rng(1);
+  auto instance = GenerateMeetup(SmallConfig(), &rng);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance->num_events(), 60);
+  EXPECT_EQ(instance->num_users(), 300);
+}
+
+TEST(MeetupSimTest, UserCapacityIsTwiceAttendance) {
+  // c_u = 2·|attended| and attended ⊆ bids, so every capacity is even,
+  // >= 2, and the bid count is c_u/2 + |attended| = c_u (when the top-up
+  // events are distinct) or slightly less.
+  Rng rng(2);
+  auto instance = GenerateMeetup(SmallConfig(), &rng);
+  ASSERT_TRUE(instance.ok());
+  for (int32_t u = 0; u < instance->num_users(); ++u) {
+    const int32_t cap = instance->user_capacity(u);
+    EXPECT_GE(cap, 2);
+    EXPECT_EQ(cap % 2, 0) << "capacity must be 2x attendance";
+    EXPECT_GE(static_cast<int32_t>(instance->bids(u).size()), cap / 2);
+    EXPECT_LE(static_cast<int32_t>(instance->bids(u).size()), cap);
+  }
+}
+
+TEST(MeetupSimTest, EventCapacitiesExplicitOrAllUsers) {
+  Rng rng(3);
+  const MeetupConfig config = SmallConfig();
+  auto instance = GenerateMeetup(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  int32_t explicit_count = 0;
+  for (int32_t v = 0; v < instance->num_events(); ++v) {
+    const int32_t cap = instance->event_capacity(v);
+    if (cap == instance->num_users()) continue;  // "unspecified" rule
+    ++explicit_count;
+    EXPECT_GE(cap, config.min_capacity);
+    EXPECT_LE(cap, config.max_capacity);
+  }
+  // Roughly half the events carry explicit capacities.
+  EXPECT_GT(explicit_count, instance->num_events() / 5);
+  EXPECT_LT(explicit_count, instance->num_events() * 4 / 5);
+}
+
+TEST(MeetupSimTest, ConflictsComeFromTimeOverlap) {
+  Rng rng(4);
+  auto instance = GenerateMeetup(SmallConfig(), &rng);
+  ASSERT_TRUE(instance.ok());
+  // The conflict function must be the interval one, and symmetric/irreflexive.
+  EXPECT_NE(dynamic_cast<const conflict::IntervalConflict*>(
+                &instance->conflict_fn()),
+            nullptr);
+  EXPECT_TRUE(conflict::ValidateConflictFn(instance->conflict_fn()).ok());
+  // Some overlaps should exist with 60 events over 30 evenings.
+  int64_t conflicts = 0;
+  for (int32_t a = 0; a < 60; ++a) {
+    for (int32_t b = a + 1; b < 60; ++b) {
+      if (instance->Conflicts(a, b)) ++conflicts;
+    }
+  }
+  EXPECT_GT(conflicts, 0);
+}
+
+TEST(MeetupSimTest, AttendedEventsAreConflictFreeWithinBids) {
+  // Attendance construction avoids overlapping events, and attended events
+  // are a subset of bids; in particular every user must have at least one
+  // pairwise-conflict-free subset of bids of size >= 1.
+  Rng rng(5);
+  auto instance = GenerateMeetup(SmallConfig(), &rng);
+  ASSERT_TRUE(instance.ok());
+  for (int32_t u = 0; u < instance->num_users(); ++u) {
+    EXPECT_FALSE(instance->bids(u).empty());
+  }
+}
+
+TEST(MeetupSimTest, SocialGraphFromSharedGroups) {
+  Rng rng(6);
+  auto instance = GenerateMeetup(SmallConfig(), &rng);
+  ASSERT_TRUE(instance.ok());
+  const auto* model = dynamic_cast<const graph::GraphInteractionModel*>(
+      &instance->interaction_model());
+  ASSERT_NE(model, nullptr);
+  EXPECT_GT(model->graph().num_edges(), 0);
+  // Degrees normalized into [0, 1].
+  for (int32_t u = 0; u < instance->num_users(); ++u) {
+    EXPECT_GE(instance->Degree(u), 0.0);
+    EXPECT_LE(instance->Degree(u), 1.0);
+  }
+}
+
+TEST(MeetupSimTest, InterestIsCosineOnCategories) {
+  Rng rng(7);
+  auto instance = GenerateMeetup(SmallConfig(), &rng);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_NE(dynamic_cast<const interest::CosineInterest*>(
+                &instance->interest_fn()),
+            nullptr);
+  for (int32_t u = 0; u < 20; ++u) {
+    for (int32_t v = 0; v < 20; ++v) {
+      const double si = instance->Interest(v, u);
+      EXPECT_GE(si, 0.0);
+      EXPECT_LE(si, 1.0);
+    }
+  }
+}
+
+TEST(MeetupSimTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  auto ia = GenerateMeetup(SmallConfig(), &a);
+  auto ib = GenerateMeetup(SmallConfig(), &b);
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  for (int32_t u = 0; u < ia->num_users(); ++u) {
+    EXPECT_EQ(ia->bids(u), ib->bids(u));
+    EXPECT_EQ(ia->user_capacity(u), ib->user_capacity(u));
+  }
+}
+
+TEST(MeetupSimTest, InvalidConfigsRejected) {
+  Rng rng(8);
+  MeetupConfig config = SmallConfig();
+  config.num_groups = 0;
+  EXPECT_FALSE(GenerateMeetup(config, &rng).ok());
+  config = SmallConfig();
+  config.mean_attended = 0.5;
+  EXPECT_FALSE(GenerateMeetup(config, &rng).ok());
+  config = SmallConfig();
+  config.min_duration_min = 100;
+  config.max_duration_min = 50;
+  EXPECT_FALSE(GenerateMeetup(config, &rng).ok());
+}
+
+TEST(MeetupSimTest, PaperScaleGenerates) {
+  Rng rng(9);
+  auto instance = GenerateMeetup(MeetupConfig{}, &rng);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->num_events(), 190);
+  EXPECT_EQ(instance->num_users(), 2811);
+  EXPECT_GT(instance->TotalBids(), 2811);  // everyone bids >= 1
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace igepa

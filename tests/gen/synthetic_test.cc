@@ -1,0 +1,217 @@
+#include "gen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace igepa {
+namespace gen {
+namespace {
+
+TEST(SyntheticTest, DefaultsMatchTableOne) {
+  const SyntheticConfig config;
+  EXPECT_EQ(config.num_events, 200);
+  EXPECT_EQ(config.num_users, 2000);
+  EXPECT_EQ(config.max_event_capacity, 50);
+  EXPECT_EQ(config.max_user_capacity, 4);
+  EXPECT_DOUBLE_EQ(config.p_conflict, 0.3);
+  EXPECT_DOUBLE_EQ(config.p_friend, 0.5);
+  EXPECT_DOUBLE_EQ(config.beta, 0.5);
+}
+
+TEST(SyntheticTest, GeneratesValidInstance) {
+  Rng rng(1);
+  SyntheticConfig config;
+  config.num_events = 50;
+  config.num_users = 200;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance->num_events(), 50);
+  EXPECT_EQ(instance->num_users(), 200);
+  EXPECT_DOUBLE_EQ(instance->beta(), 0.5);
+}
+
+TEST(SyntheticTest, CapacitiesWithinConfiguredRanges) {
+  Rng rng(2);
+  SyntheticConfig config;
+  config.num_events = 80;
+  config.num_users = 150;
+  config.max_event_capacity = 7;
+  config.max_user_capacity = 3;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  for (int32_t v = 0; v < instance->num_events(); ++v) {
+    EXPECT_GE(instance->event_capacity(v), 1);
+    EXPECT_LE(instance->event_capacity(v), 7);
+  }
+  for (int32_t u = 0; u < instance->num_users(); ++u) {
+    EXPECT_GE(instance->user_capacity(u), 1);
+    EXPECT_LE(instance->user_capacity(u), 3);
+  }
+}
+
+TEST(SyntheticTest, EveryUserHasBids) {
+  Rng rng(3);
+  SyntheticConfig config;
+  config.num_events = 40;
+  config.num_users = 120;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  for (int32_t u = 0; u < instance->num_users(); ++u) {
+    EXPECT_FALSE(instance->bids(u).empty()) << "user " << u;
+    EXPECT_LE(instance->bids(u).size(), 8u);  // <= 2 groups x (1 + 3)
+  }
+}
+
+TEST(SyntheticTest, BidsClusterOnConflictingEvents) {
+  // §IV: bids are sampled from sets of conflicting events. Measure the
+  // conflict rate inside bid sets; it must far exceed the background p_cf.
+  Rng rng(4);
+  SyntheticConfig config;
+  config.num_events = 100;
+  config.num_users = 400;
+  config.p_conflict = 0.2;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  int64_t pairs = 0, conflicting = 0;
+  for (int32_t u = 0; u < instance->num_users(); ++u) {
+    const auto& bids = instance->bids(u);
+    for (size_t i = 0; i < bids.size(); ++i) {
+      for (size_t j = i + 1; j < bids.size(); ++j) {
+        ++pairs;
+        if (instance->Conflicts(bids[i], bids[j])) ++conflicting;
+      }
+    }
+  }
+  ASSERT_GT(pairs, 0);
+  const double in_bid_rate =
+      static_cast<double>(conflicting) / static_cast<double>(pairs);
+  EXPECT_GT(in_bid_rate, 2.0 * config.p_conflict)
+      << "dependent bids should be far more conflicting than random pairs";
+}
+
+TEST(SyntheticTest, ConflictRateMatchesPcf) {
+  Rng rng(5);
+  SyntheticConfig config;
+  config.num_events = 150;
+  config.num_users = 10;
+  config.p_conflict = 0.4;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  int64_t pairs = 0, conflicting = 0;
+  for (int32_t a = 0; a < 150; ++a) {
+    for (int32_t b = a + 1; b < 150; ++b) {
+      ++pairs;
+      if (instance->Conflicts(a, b)) ++conflicting;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(conflicting) / pairs, 0.4, 0.02);
+}
+
+TEST(SyntheticTest, DegreeMassTracksPfriend) {
+  Rng rng(6);
+  SyntheticConfig config;
+  config.num_events = 20;
+  config.num_users = 500;
+  config.p_friend = 0.3;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  double total = 0.0;
+  for (int32_t u = 0; u < instance->num_users(); ++u) {
+    total += instance->Degree(u);
+  }
+  EXPECT_NEAR(total / instance->num_users(), 0.3, 0.02);
+}
+
+TEST(SyntheticTest, DegreeModelKicksInAboveThreshold) {
+  Rng rng(7);
+  SyntheticConfig config;
+  config.num_events = 10;
+  config.num_users = 300;
+  config.degree_model_threshold = 100;  // force the binomial model
+  config.p_friend = 0.6;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  double total = 0.0;
+  for (int32_t u = 0; u < instance->num_users(); ++u) {
+    const double d = instance->Degree(u);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    total += d;
+  }
+  EXPECT_NEAR(total / instance->num_users(), 0.6, 0.03);
+}
+
+TEST(SyntheticTest, ExplicitModeOverridesAuto) {
+  Rng rng(8);
+  SyntheticConfig config;
+  config.num_events = 10;
+  config.num_users = 50;
+  config.interaction_mode = InteractionMode::kDegreeModel;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  // Degree model: dynamic_cast proves which implementation was installed.
+  EXPECT_NE(dynamic_cast<const graph::BinomialDegreeModel*>(
+                &instance->interaction_model()),
+            nullptr);
+  Rng rng2(8);
+  config.interaction_mode = InteractionMode::kExplicitGraph;
+  auto instance2 = GenerateSynthetic(config, &rng2);
+  ASSERT_TRUE(instance2.ok());
+  EXPECT_NE(dynamic_cast<const graph::GraphInteractionModel*>(
+                &instance2->interaction_model()),
+            nullptr);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 60;
+  Rng a(99), b(99);
+  auto ia = GenerateSynthetic(config, &a);
+  auto ib = GenerateSynthetic(config, &b);
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  for (int32_t u = 0; u < 60; ++u) {
+    EXPECT_EQ(ia->bids(u), ib->bids(u));
+    EXPECT_EQ(ia->user_capacity(u), ib->user_capacity(u));
+    EXPECT_DOUBLE_EQ(ia->Degree(u), ib->Degree(u));
+  }
+  for (int32_t v = 0; v < 30; ++v) {
+    EXPECT_EQ(ia->event_capacity(v), ib->event_capacity(v));
+  }
+}
+
+TEST(SyntheticTest, InvalidConfigsRejected) {
+  Rng rng(10);
+  SyntheticConfig config;
+  config.num_events = 0;
+  EXPECT_FALSE(GenerateSynthetic(config, &rng).ok());
+  config = SyntheticConfig{};
+  config.p_conflict = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(config, &rng).ok());
+  config = SyntheticConfig{};
+  config.max_user_capacity = 0;
+  EXPECT_FALSE(GenerateSynthetic(config, &rng).ok());
+  config = SyntheticConfig{};
+  config.min_groups_per_user = 3;
+  config.max_groups_per_user = 2;
+  EXPECT_FALSE(GenerateSynthetic(config, &rng).ok());
+}
+
+TEST(SyntheticTest, ZeroConflictProbabilityStillBids) {
+  Rng rng(11);
+  SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 50;
+  config.p_conflict = 0.0;
+  auto instance = GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  for (int32_t u = 0; u < 50; ++u) {
+    EXPECT_FALSE(instance->bids(u).empty());
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace igepa

@@ -1,0 +1,133 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.h"
+
+namespace igepa {
+namespace graph {
+namespace {
+
+TEST(ErdosRenyiTest, PZeroHasNoEdges) {
+  Rng rng(1);
+  auto g = ErdosRenyi(100, 0.0, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0);
+}
+
+TEST(ErdosRenyiTest, POneIsComplete) {
+  Rng rng(2);
+  auto g = ErdosRenyi(20, 1.0, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 20 * 19 / 2);
+  for (NodeId n = 0; n < 20; ++n) EXPECT_EQ(g->Degree(n), 19);
+}
+
+TEST(ErdosRenyiTest, EdgeCountMatchesExpectation) {
+  Rng rng(3);
+  const NodeId n = 400;
+  const double p = 0.1;
+  auto g = ErdosRenyi(n, p, &rng);
+  ASSERT_TRUE(g.ok());
+  const double expected = p * n * (n - 1) / 2.0;
+  const double sd = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), expected, 6.0 * sd);
+}
+
+TEST(ErdosRenyiTest, DensityNearP) {
+  Rng rng(4);
+  auto g = ErdosRenyi(300, 0.5, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(Density(*g), 0.5, 0.02);
+}
+
+TEST(ErdosRenyiTest, InvalidArgsRejected) {
+  Rng rng(5);
+  EXPECT_FALSE(ErdosRenyi(-1, 0.5, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, -0.1, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.1, &rng).ok());
+}
+
+TEST(ErdosRenyiTest, SmallGraphsWork) {
+  Rng rng(6);
+  for (NodeId n : {0, 1, 2}) {
+    auto g = ErdosRenyi(n, 0.7, &rng);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->num_nodes(), n);
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  auto ga = ErdosRenyi(100, 0.2, &a);
+  auto gb = ErdosRenyi(100, 0.2, &b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(ga->num_edges(), gb->num_edges());
+  for (NodeId n = 0; n < 100; ++n) {
+    EXPECT_EQ(ga->Neighbors(n), gb->Neighbors(n));
+  }
+}
+
+TEST(BarabasiAlbertTest, EdgeCountAndConnectivity) {
+  Rng rng(7);
+  auto g = BarabasiAlbert(200, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  // Seed clique of 4 nodes contributes 6 edges; each later node adds <= 3.
+  EXPECT_LE(g->num_edges(), 6 + 196 * 3);
+  EXPECT_GE(g->num_edges(), 196 * 1);
+  EXPECT_EQ(ConnectedComponents(*g), 1);
+}
+
+TEST(BarabasiAlbertTest, HeavyTailHasHubs) {
+  Rng rng(8);
+  auto g = BarabasiAlbert(500, 2, &rng);
+  ASSERT_TRUE(g.ok());
+  int32_t max_degree = 0;
+  for (NodeId n = 0; n < g->num_nodes(); ++n) {
+    max_degree = std::max(max_degree, g->Degree(n));
+  }
+  EXPECT_GT(max_degree, 4 * static_cast<int32_t>(AverageDegree(*g)));
+}
+
+TEST(BarabasiAlbertTest, InvalidArgsRejected) {
+  Rng rng(9);
+  EXPECT_FALSE(BarabasiAlbert(10, 0, &rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(-5, 2, &rng).ok());
+}
+
+TEST(GroupOverlapTest, SharedGroupMakesEdge) {
+  const std::vector<std::vector<NodeId>> groups = {{0, 1, 2}, {2, 3}};
+  auto g = GroupOverlapGraph(5, groups);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(0, 2));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  EXPECT_TRUE(g->HasEdge(2, 3));
+  EXPECT_FALSE(g->HasEdge(0, 3));
+  EXPECT_FALSE(g->HasEdge(1, 3));
+  EXPECT_EQ(g->Degree(4), 0);
+}
+
+TEST(GroupOverlapTest, MultiMembershipNoDuplicateEdges) {
+  const std::vector<std::vector<NodeId>> groups = {{0, 1}, {0, 1}, {1, 0}};
+  auto g = GroupOverlapGraph(2, groups);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+}
+
+TEST(GroupOverlapTest, OutOfRangeMemberRejected) {
+  EXPECT_FALSE(GroupOverlapGraph(2, {{0, 5}}).ok());
+}
+
+TEST(GroupOverlapTest, EmptyGroupsProduceEmptyGraph) {
+  auto g = GroupOverlapGraph(3, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace igepa

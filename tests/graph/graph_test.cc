@@ -1,0 +1,114 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace igepa {
+namespace graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(0);
+  g.Finalize();
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, IsolatedNodes) {
+  Graph g(5);
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 0);
+  for (NodeId n = 0; n < 5; ++n) EXPECT_EQ(g.Degree(n), 0);
+}
+
+TEST(GraphTest, TriangleDegreesAndAdjacency) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 3);
+  for (NodeId n = 0; n < 3; ++n) EXPECT_EQ(g.Degree(n), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_EQ(g.DegreeSum(), 6);
+}
+
+TEST(GraphTest, DuplicateEdgesCollapse) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 1);
+}
+
+TEST(GraphTest, SelfLoopsIgnored) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(1, 1).ok());
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.Degree(1), 0);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphTest, OutOfRangeEdgeRejected) {
+  Graph g(3);
+  EXPECT_FALSE(g.AddEdge(0, 3).ok());
+  EXPECT_FALSE(g.AddEdge(-1, 1).ok());
+  EXPECT_EQ(g.AddEdge(5, 7).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, AddAfterFinalizeRejected) {
+  Graph g(3);
+  g.Finalize();
+  EXPECT_EQ(g.AddEdge(0, 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g(6);
+  ASSERT_TRUE(g.AddEdge(3, 5).ok());
+  ASSERT_TRUE(g.AddEdge(3, 0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  ASSERT_TRUE(g.AddEdge(3, 1).ok());
+  g.Finalize();
+  EXPECT_EQ(g.Neighbors(3), (std::vector<NodeId>{0, 1, 4, 5}));
+  EXPECT_EQ(g.Neighbors(2), (std::vector<NodeId>{}));
+}
+
+TEST(GraphTest, HasEdgeFalseForAbsentPairs) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  g.Finalize();
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, -1));
+  EXPECT_FALSE(g.HasEdge(0, 99));
+}
+
+TEST(GraphTest, FinalizeIsIdempotent) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  g.Finalize();
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, StarGraphDegrees) {
+  const NodeId n = 50;
+  Graph g(n);
+  for (NodeId leaf = 1; leaf < n; ++leaf) {
+    ASSERT_TRUE(g.AddEdge(0, leaf).ok());
+  }
+  g.Finalize();
+  EXPECT_EQ(g.Degree(0), n - 1);
+  for (NodeId leaf = 1; leaf < n; ++leaf) EXPECT_EQ(g.Degree(leaf), 1);
+  EXPECT_EQ(g.num_edges(), n - 1);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace igepa

@@ -1,0 +1,102 @@
+#include "graph/interaction_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/metrics.h"
+
+namespace igepa {
+namespace graph {
+namespace {
+
+TEST(GraphInteractionModelTest, MatchesDegreeCentrality) {
+  Rng rng(10);
+  auto g = ErdosRenyi(60, 0.3, &rng);
+  ASSERT_TRUE(g.ok());
+  const auto expected = AllDegreeCentrality(*g);
+  GraphInteractionModel model(std::move(g).value());
+  ASSERT_EQ(model.num_users(), 60);
+  for (int32_t u = 0; u < 60; ++u) {
+    EXPECT_DOUBLE_EQ(model.Degree(u), expected[static_cast<size_t>(u)]);
+  }
+}
+
+TEST(GraphInteractionModelTest, DegreesInUnitInterval) {
+  Rng rng(11);
+  auto g = ErdosRenyi(40, 0.9, &rng);
+  ASSERT_TRUE(g.ok());
+  GraphInteractionModel model(std::move(g).value());
+  for (int32_t u = 0; u < 40; ++u) {
+    EXPECT_GE(model.Degree(u), 0.0);
+    EXPECT_LE(model.Degree(u), 1.0);
+  }
+}
+
+TEST(BinomialDegreeModelTest, MeanMatchesP) {
+  Rng rng(12);
+  const int32_t n = 3000;
+  const double p = 0.5;
+  BinomialDegreeModel model(n, p, &rng);
+  double sum = 0.0;
+  for (int32_t u = 0; u < n; ++u) {
+    const double d = model.Degree(u);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    sum += d;
+  }
+  // Mean of Binomial(n-1, p)/(n-1) is p; sd of the mean ~ sqrt(p(1-p)/(n-1)/n).
+  EXPECT_NEAR(sum / n, p, 0.005);
+}
+
+TEST(BinomialDegreeModelTest, MatchesExplicitGraphDistribution) {
+  // The degree-only model should match G(n,p) in mean AND spread.
+  const int32_t n = 800;
+  const double p = 0.3;
+  Rng rng1(13), rng2(14);
+  auto g = ErdosRenyi(n, p, &rng1);
+  ASSERT_TRUE(g.ok());
+  GraphInteractionModel explicit_model(std::move(g).value());
+  BinomialDegreeModel implicit_model(n, p, &rng2);
+  double m1 = 0.0, m2 = 0.0, v1 = 0.0, v2 = 0.0;
+  for (int32_t u = 0; u < n; ++u) {
+    m1 += explicit_model.Degree(u);
+    m2 += implicit_model.Degree(u);
+  }
+  m1 /= n;
+  m2 /= n;
+  for (int32_t u = 0; u < n; ++u) {
+    v1 += (explicit_model.Degree(u) - m1) * (explicit_model.Degree(u) - m1);
+    v2 += (implicit_model.Degree(u) - m2) * (implicit_model.Degree(u) - m2);
+  }
+  v1 /= n;
+  v2 /= n;
+  EXPECT_NEAR(m1, m2, 0.01);
+  EXPECT_NEAR(std::sqrt(v1), std::sqrt(v2), 0.005);
+}
+
+TEST(BinomialDegreeModelTest, EdgeCases) {
+  Rng rng(15);
+  BinomialDegreeModel zero(0, 0.5, &rng);
+  EXPECT_EQ(zero.num_users(), 0);
+  BinomialDegreeModel one(1, 0.5, &rng);
+  EXPECT_EQ(one.num_users(), 1);
+  EXPECT_EQ(one.Degree(0), 0.0);
+  BinomialDegreeModel sure(50, 1.0, &rng);
+  for (int32_t u = 0; u < 50; ++u) EXPECT_DOUBLE_EQ(sure.Degree(u), 1.0);
+  BinomialDegreeModel never(50, 0.0, &rng);
+  for (int32_t u = 0; u < 50; ++u) EXPECT_DOUBLE_EQ(never.Degree(u), 0.0);
+}
+
+TEST(TableInteractionModelTest, ReturnsStoredValues) {
+  TableInteractionModel model({0.1, 0.5, 0.9});
+  EXPECT_EQ(model.num_users(), 3);
+  EXPECT_DOUBLE_EQ(model.Degree(0), 0.1);
+  EXPECT_DOUBLE_EQ(model.Degree(1), 0.5);
+  EXPECT_DOUBLE_EQ(model.Degree(2), 0.9);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace igepa

@@ -1,0 +1,109 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace graph {
+namespace {
+
+Graph Triangle() {
+  Graph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.AddEdge(2, 0).ok());
+  g.Finalize();
+  return g;
+}
+
+Graph Path4() {
+  Graph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3).ok());
+  g.Finalize();
+  return g;
+}
+
+TEST(DegreeCentralityTest, MatchesDefinitionSix) {
+  // D(G, u) = |{u' : (u,u') in E}| / (|U| - 1).
+  const Graph g = Path4();
+  EXPECT_DOUBLE_EQ(DegreeCentrality(g, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(DegreeCentrality(g, 1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(DegreeCentrality(g, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(DegreeCentrality(g, 3), 1.0 / 3.0);
+}
+
+TEST(DegreeCentralityTest, SingletonGraphIsZero) {
+  Graph g(1);
+  g.Finalize();
+  EXPECT_EQ(DegreeCentrality(g, 0), 0.0);
+}
+
+TEST(DegreeCentralityTest, CompleteGraphIsOne) {
+  Rng rng(1);
+  auto g = ErdosRenyi(10, 1.0, &rng);
+  ASSERT_TRUE(g.ok());
+  for (NodeId n = 0; n < 10; ++n) {
+    EXPECT_DOUBLE_EQ(DegreeCentrality(*g, n), 1.0);
+  }
+}
+
+TEST(DegreeCentralityTest, AllMatchesSingle) {
+  const Graph g = Path4();
+  const auto all = AllDegreeCentrality(g);
+  ASSERT_EQ(all.size(), 4u);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(all[static_cast<size_t>(n)], DegreeCentrality(g, n));
+  }
+}
+
+TEST(AverageDegreeTest, PathAndTriangle) {
+  EXPECT_DOUBLE_EQ(AverageDegree(Path4()), 6.0 / 4.0);
+  EXPECT_DOUBLE_EQ(AverageDegree(Triangle()), 2.0);
+  Graph empty(0);
+  empty.Finalize();
+  EXPECT_EQ(AverageDegree(empty), 0.0);
+}
+
+TEST(DensityTest, TriangleIsFull) {
+  EXPECT_DOUBLE_EQ(Density(Triangle()), 1.0);
+  EXPECT_DOUBLE_EQ(Density(Path4()), 0.5);
+}
+
+TEST(ClusteringTest, TriangleFullyClustered) {
+  const Graph g = Triangle();
+  for (NodeId n = 0; n < 3; ++n) EXPECT_DOUBLE_EQ(LocalClustering(g, n), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 1.0);
+}
+
+TEST(ClusteringTest, PathHasNoTriangles) {
+  const Graph g = Path4();
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 0.0);
+}
+
+TEST(ClusteringTest, LowDegreeNodesAreZero) {
+  const Graph g = Path4();
+  EXPECT_DOUBLE_EQ(LocalClustering(g, 0), 0.0);  // degree 1
+}
+
+TEST(ConnectedComponentsTest, CountsIslands) {
+  Graph g(6);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  g.Finalize();
+  EXPECT_EQ(ConnectedComponents(g), 4);  // {0,1}, {2,3}, {4}, {5}
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  EXPECT_EQ(ConnectedComponents(Triangle()), 1);
+  Graph empty(0);
+  empty.Finalize();
+  EXPECT_EQ(ConnectedComponents(empty), 0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace igepa

@@ -1,0 +1,133 @@
+#include "interest/interest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace igepa {
+namespace interest {
+namespace {
+
+TEST(HashUniformInterestTest, DeterministicAndInRange) {
+  const HashUniformInterest si(100, 200, 42);
+  EXPECT_EQ(si.num_events(), 100);
+  EXPECT_EQ(si.num_users(), 200);
+  for (int32_t v = 0; v < 100; v += 7) {
+    for (int32_t u = 0; u < 200; u += 13) {
+      const double x = si.Interest(v, u);
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+      EXPECT_DOUBLE_EQ(x, si.Interest(v, u));  // deterministic
+    }
+  }
+}
+
+TEST(HashUniformInterestTest, SameSeedSameTable) {
+  const HashUniformInterest a(50, 50, 7);
+  const HashUniformInterest b(50, 50, 7);
+  for (int32_t v = 0; v < 50; ++v) {
+    for (int32_t u = 0; u < 50; ++u) {
+      EXPECT_DOUBLE_EQ(a.Interest(v, u), b.Interest(v, u));
+    }
+  }
+}
+
+TEST(HashUniformInterestTest, DifferentSeedsDiffer) {
+  const HashUniformInterest a(20, 20, 1);
+  const HashUniformInterest b(20, 20, 2);
+  int equal = 0;
+  for (int32_t v = 0; v < 20; ++v) {
+    for (int32_t u = 0; u < 20; ++u) {
+      if (a.Interest(v, u) == b.Interest(v, u)) ++equal;
+    }
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(HashUniformInterestTest, MarginalsAreUniform) {
+  const HashUniformInterest si(300, 300, 99);
+  double sum = 0.0, sum2 = 0.0;
+  int count = 0;
+  for (int32_t v = 0; v < 300; ++v) {
+    for (int32_t u = 0; u < 300; ++u) {
+      const double x = si.Interest(v, u);
+      sum += x;
+      sum2 += x * x;
+      ++count;
+    }
+  }
+  const double mean = sum / count;
+  const double var = sum2 / count - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(HashUniformInterestTest, NoRowOrColumnStructure) {
+  // Adjacent pairs should be uncorrelated: check that swapping user does not
+  // predict the value.
+  const HashUniformInterest si(100, 100, 5);
+  double cov = 0.0;
+  for (int32_t v = 0; v < 100; ++v) {
+    for (int32_t u = 0; u + 1 < 100; ++u) {
+      cov += (si.Interest(v, u) - 0.5) * (si.Interest(v, u + 1) - 0.5);
+    }
+  }
+  cov /= 100.0 * 99.0;
+  EXPECT_NEAR(cov, 0.0, 0.003);
+}
+
+TEST(TableInterestTest, SetGetAndClamping) {
+  TableInterest t(3, 4);
+  t.Set(1, 2, 0.75);
+  EXPECT_DOUBLE_EQ(t.Interest(1, 2), 0.75);
+  EXPECT_DOUBLE_EQ(t.Interest(0, 0), 0.0);
+  t.Set(0, 0, 1.5);
+  EXPECT_DOUBLE_EQ(t.Interest(0, 0), 1.0);  // clamped
+  t.Set(2, 3, -0.2);
+  EXPECT_DOUBLE_EQ(t.Interest(2, 3), 0.0);  // clamped
+}
+
+TEST(CosineInterestTest, ParallelVectorsGiveOne) {
+  CosineInterest si({{1.0, 2.0, 0.0}}, {{2.0, 4.0, 0.0}});
+  EXPECT_NEAR(si.Interest(0, 0), 1.0, 1e-12);
+}
+
+TEST(CosineInterestTest, OrthogonalVectorsGiveZero) {
+  CosineInterest si({{1.0, 0.0}}, {{0.0, 1.0}});
+  EXPECT_DOUBLE_EQ(si.Interest(0, 0), 0.0);
+}
+
+TEST(CosineInterestTest, ZeroVectorGivesZero) {
+  CosineInterest si({{0.0, 0.0}}, {{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(si.Interest(0, 0), 0.0);
+}
+
+TEST(CosineInterestTest, KnownAngle) {
+  // cos(45°) between (1,0) and (1,1).
+  CosineInterest si({{1.0, 0.0}}, {{1.0, 1.0}});
+  EXPECT_NEAR(si.Interest(0, 0), std::sqrt(0.5), 1e-12);
+}
+
+TEST(CosineInterestTest, MultipleEventsAndUsers) {
+  CosineInterest si({{1, 0}, {0, 1}}, {{1, 0}, {0, 1}, {1, 1}});
+  EXPECT_NEAR(si.Interest(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(si.Interest(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(si.Interest(1, 2), std::sqrt(0.5), 1e-12);
+  EXPECT_EQ(si.num_events(), 2);
+  EXPECT_EQ(si.num_users(), 3);
+}
+
+TEST(CosineInterestTest, ValuesAlwaysInUnitInterval) {
+  CosineInterest si({{0.3, 0.9, 0.1}, {0.5, 0.5, 0.5}},
+                    {{0.2, 0.8, 0.4}, {0.9, 0.0, 0.6}});
+  for (int32_t v = 0; v < 2; ++v) {
+    for (int32_t u = 0; u < 2; ++u) {
+      EXPECT_GE(si.Interest(v, u), 0.0);
+      EXPECT_LE(si.Interest(v, u), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace interest
+}  // namespace igepa

@@ -1,0 +1,151 @@
+#include "io/instance_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "algo/baselines.h"
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+
+namespace igepa {
+namespace io {
+namespace {
+
+using core::Instance;
+using core::MakeTinyInstance;
+
+class InstanceIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(InstanceIoTest, RoundTripTinyInstance) {
+  const Instance original = MakeTinyInstance();
+  const std::string path = TempPath("tiny.csv");
+  ASSERT_TRUE(WriteInstanceCsv(original, path).ok());
+  auto loaded = ReadInstanceCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_events(), original.num_events());
+  EXPECT_EQ(loaded->num_users(), original.num_users());
+  EXPECT_DOUBLE_EQ(loaded->beta(), original.beta());
+  for (int32_t v = 0; v < original.num_events(); ++v) {
+    EXPECT_EQ(loaded->event_capacity(v), original.event_capacity(v));
+    for (int32_t b = 0; b < original.num_events(); ++b) {
+      EXPECT_EQ(loaded->Conflicts(v, b), original.Conflicts(v, b));
+    }
+  }
+  for (int32_t u = 0; u < original.num_users(); ++u) {
+    EXPECT_EQ(loaded->user_capacity(u), original.user_capacity(u));
+    EXPECT_EQ(loaded->bids(u), original.bids(u));
+    EXPECT_DOUBLE_EQ(loaded->Degree(u), original.Degree(u));
+    for (core::EventId v : original.bids(u)) {
+      EXPECT_DOUBLE_EQ(loaded->Interest(v, u), original.Interest(v, u));
+    }
+  }
+}
+
+TEST_F(InstanceIoTest, RoundTripPreservesAlgorithmBehaviour) {
+  // The serialized instance must be algorithm-equivalent: the deterministic
+  // greedy must produce the identical arrangement and utility.
+  Rng rng(11);
+  gen::SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 80;
+  auto original = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("synthetic.csv");
+  ASSERT_TRUE(WriteInstanceCsv(*original, path).ok());
+  auto loaded = ReadInstanceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+
+  auto greedy_orig = algo::GreedyGg(*original);
+  auto greedy_load = algo::GreedyGg(*loaded);
+  ASSERT_TRUE(greedy_orig.ok());
+  ASSERT_TRUE(greedy_load.ok());
+  EXPECT_EQ(greedy_orig->pairs(), greedy_load->pairs());
+  EXPECT_NEAR(greedy_orig->Utility(*original), greedy_load->Utility(*loaded),
+              1e-9);
+}
+
+TEST_F(InstanceIoTest, MissingFileIsIOError) {
+  auto result = ReadInstanceCsv("/nonexistent/dir/instance.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(WriteInstanceCsv(MakeTinyInstance(),
+                             "/nonexistent/dir/instance.csv")
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(InstanceIoTest, CorruptHeaderRejected) {
+  const std::string path = TempPath("corrupt.csv");
+  std::ofstream(path) << "not-an-instance,1,2,3\n";
+  auto result = ReadInstanceCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InstanceIoTest, MalformedRecordRejectedWithLineNumber) {
+  const std::string path = TempPath("badline.csv");
+  std::ofstream(path) << "igepa,1,2,1,0.5\n"
+                      << "event,0,3\n"
+                      << "event,1,3\n"
+                      << "user,0,2,0;1\n"
+                      << "conflict,0,99\n";  // out of range
+  auto result = ReadInstanceCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":5"), std::string::npos)
+      << "error should carry the line number: " << result.status();
+}
+
+TEST_F(InstanceIoTest, UnknownRecordKindRejected) {
+  const std::string path = TempPath("unknown.csv");
+  std::ofstream(path) << "igepa,1,1,1,0.5\n"
+                      << "event,0,1\n"
+                      << "user,0,1,0\n"
+                      << "mystery,1,2\n";
+  auto result = ReadInstanceCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("mystery"), std::string::npos);
+}
+
+TEST_F(InstanceIoTest, ArrangementRoundTrip) {
+  const Instance instance = MakeTinyInstance();
+  auto greedy = algo::GreedyGg(instance);
+  ASSERT_TRUE(greedy.ok());
+  const std::string path = TempPath("arrangement.csv");
+  ASSERT_TRUE(WriteArrangementCsv(*greedy, path).ok());
+  auto loaded = ReadArrangementCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->pairs(), greedy->pairs());
+  EXPECT_NEAR(loaded->Utility(instance), greedy->Utility(instance), 1e-12);
+  EXPECT_TRUE(loaded->CheckFeasible(instance).ok());
+}
+
+TEST_F(InstanceIoTest, EmptyArrangementRoundTrip) {
+  core::Arrangement empty(4, 5);
+  const std::string path = TempPath("empty_arrangement.csv");
+  ASSERT_TRUE(WriteArrangementCsv(empty, path).ok());
+  auto loaded = ReadArrangementCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_events(), 4);
+  EXPECT_EQ(loaded->num_users(), 5);
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(InstanceIoTest, ArrangementDuplicatePairRejected) {
+  const std::string path = TempPath("dup_pairs.csv");
+  std::ofstream(path) << "arrangement,2,2\n"
+                      << "pair,0,1\n"
+                      << "pair,0,1\n";
+  EXPECT_FALSE(ReadArrangementCsv(path).ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace igepa

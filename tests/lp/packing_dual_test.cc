@@ -1,0 +1,128 @@
+#include "lp/packing_dual.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/dense_simplex.h"
+#include "tests/lp/lp_test_util.h"
+
+namespace igepa {
+namespace lp {
+namespace {
+
+TEST(PackingDualTest, SimplePackingNearOptimal) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y in [0,4]. Optimum 12.
+  LpModel m;
+  const int32_t r0 = m.AddRow(Sense::kLe, 4.0);
+  const int32_t r1 = m.AddRow(Sense::kLe, 6.0);
+  m.AddColumn(3.0, 0.0, 4.0, {{r0, 1.0}, {r1, 1.0}});
+  m.AddColumn(2.0, 0.0, 4.0, {{r0, 1.0}, {r1, 3.0}});
+  auto sol = PackingDualSolver().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_LE(m.MaxInfeasibility(sol->x), 1e-9);
+  EXPECT_GE(sol->upper_bound, 12.0 - 1e-6);   // valid UB on the optimum
+  EXPECT_GE(sol->objective, 12.0 * 0.95);     // near-optimal primal
+  EXPECT_LE(sol->objective, 12.0 + 1e-6);
+}
+
+TEST(PackingDualTest, GapIsCertified) {
+  Rng rng(31);
+  LpModel m = RandomPackingLp(&rng, 20, 60);
+  PackingDualOptions opts;
+  opts.target_gap = 0.02;
+  auto sol = PackingDualSolver(opts).Solve(m);
+  ASSERT_TRUE(sol.ok());
+  // The reported pair (objective, upper_bound) must bracket the true optimum.
+  auto exact = DenseSimplex().Solve(m);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(exact->status, SolveStatus::kOptimal);
+  EXPECT_LE(sol->objective, exact->objective + 1e-6);
+  EXPECT_GE(sol->upper_bound, exact->objective - 1e-6);
+  if (sol->status == SolveStatus::kApproximate) {
+    EXPECT_LE(sol->RelativeGap(), opts.target_gap + 1e-9);
+  }
+}
+
+TEST(PackingDualTest, FeasibilityAlwaysHolds) {
+  Rng rng(37);
+  for (int trial = 0; trial < 8; ++trial) {
+    LpModel m = RandomPackingLp(&rng, 15, 50);
+    PackingDualOptions opts;
+    opts.max_iterations = 40;  // starve it: output must STILL be feasible
+    auto sol = PackingDualSolver(opts).Solve(m);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_LE(m.MaxInfeasibility(sol->x), 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(PackingDualTest, ZeroObjectiveShortCircuit) {
+  LpModel m;
+  const int32_t r = m.AddRow(Sense::kLe, 1.0);
+  m.AddColumn(0.0, 0.0, 1.0, {{r, 1.0}});
+  m.AddColumn(-2.0, 0.0, 1.0, {{r, 1.0}});
+  auto sol = PackingDualSolver().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol->objective, 0.0);
+}
+
+TEST(PackingDualTest, UnboundedEmptyColumn) {
+  LpModel m;
+  m.AddRow(Sense::kLe, 1.0);
+  m.AddColumn(2.0, 0.0, kInf, {});
+  auto sol = PackingDualSolver().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kUnbounded);
+}
+
+TEST(PackingDualTest, InfiniteUpperBoundUsesImpliedBound) {
+  // x unbounded above but row x <= 5 implies x <= 5. Optimum 5.
+  LpModel m;
+  const int32_t r = m.AddRow(Sense::kLe, 5.0);
+  m.AddColumn(1.0, 0.0, kInf, {{r, 1.0}});
+  auto sol = PackingDualSolver().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 5.0, 0.1);
+  EXPECT_LE(m.MaxInfeasibility(sol->x), 1e-9);
+}
+
+TEST(PackingDualTest, ZeroRhsRowPinsTouchingColumns) {
+  LpModel m;
+  const int32_t r0 = m.AddRow(Sense::kLe, 0.0);
+  const int32_t r1 = m.AddRow(Sense::kLe, 2.0);
+  m.AddColumn(10.0, 0.0, 1.0, {{r0, 1.0}, {r1, 1.0}});
+  m.AddColumn(1.0, 0.0, 1.0, {{r1, 1.0}});
+  auto sol = PackingDualSolver().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol->objective, 1.0, 0.02);
+}
+
+TEST(PackingDualTest, RejectsNonPackingForm) {
+  LpModel m;
+  m.AddRow(Sense::kEq, 1.0);
+  m.AddColumn(1.0, 0.0, 1.0, {{0, 1.0}});
+  EXPECT_FALSE(PackingDualSolver().Solve(m).ok());
+}
+
+TEST(PackingDualTest, GubPlusCapacityStructure) {
+  // Miniature IGEPA-shaped LP: 3 "users" (GUB rows, rhs 1) choosing among
+  // "sets" that consume one shared "event" capacity row (rhs 2).
+  LpModel m;
+  const int32_t u0 = m.AddRow(Sense::kLe, 1.0);
+  const int32_t u1 = m.AddRow(Sense::kLe, 1.0);
+  const int32_t u2 = m.AddRow(Sense::kLe, 1.0);
+  const int32_t ev = m.AddRow(Sense::kLe, 2.0);
+  m.AddColumn(0.9, 0.0, 1.0, {{u0, 1.0}, {ev, 1.0}});
+  m.AddColumn(0.8, 0.0, 1.0, {{u1, 1.0}, {ev, 1.0}});
+  m.AddColumn(0.7, 0.0, 1.0, {{u2, 1.0}, {ev, 1.0}});
+  // Optimum: pick the two best columns -> 1.7.
+  auto sol = PackingDualSolver().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LE(m.MaxInfeasibility(sol->x), 1e-9);
+  EXPECT_GE(sol->objective, 1.7 * 0.95);
+  EXPECT_GE(sol->upper_bound, 1.7 - 1e-9);
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace igepa

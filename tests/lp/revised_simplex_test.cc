@@ -1,0 +1,136 @@
+#include "lp/revised_simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/dense_simplex.h"
+#include "tests/lp/lp_test_util.h"
+
+namespace igepa {
+namespace lp {
+namespace {
+
+TEST(RevisedSimplexTest, ClassicTwoVariableLp) {
+  LpModel m;
+  const int32_t r0 = m.AddRow(Sense::kLe, 4.0);
+  const int32_t r1 = m.AddRow(Sense::kLe, 6.0);
+  m.AddColumn(3.0, 0.0, kInf, {{r0, 1.0}, {r1, 1.0}});
+  m.AddColumn(2.0, 0.0, kInf, {{r0, 1.0}, {r1, 3.0}});
+  auto sol = RevisedSimplex().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 12.0, 1e-9);
+  ExpectKktOptimal(m, *sol);
+}
+
+TEST(RevisedSimplexTest, RejectsNonPackingForm) {
+  LpModel ge;
+  ge.AddRow(Sense::kGe, 1.0);
+  ge.AddColumn(1.0, 0.0, 1.0, {{0, 1.0}});
+  EXPECT_EQ(RevisedSimplex().Solve(ge).status().code(),
+            StatusCode::kInvalidArgument);
+
+  LpModel neg;
+  neg.AddRow(Sense::kLe, 1.0);
+  neg.AddColumn(1.0, -1.0, 1.0, {{0, 1.0}});
+  EXPECT_FALSE(RevisedSimplex().Solve(neg).ok());
+}
+
+TEST(RevisedSimplexTest, BoundFlipOptimum) {
+  // max 2x + y s.t. x + y <= 10 with x <= 3, y <= 4: x and y both at upper
+  // bounds (7 <= 10 slack stays basic), objective 10.
+  LpModel m;
+  const int32_t r = m.AddRow(Sense::kLe, 10.0);
+  m.AddColumn(2.0, 0.0, 3.0, {{r, 1.0}});
+  m.AddColumn(1.0, 0.0, 4.0, {{r, 1.0}});
+  auto sol = RevisedSimplex().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 10.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 4.0, 1e-9);
+  ExpectKktOptimal(m, *sol);
+}
+
+TEST(RevisedSimplexTest, TightCapacityPrefersBestColumn) {
+  // One shared capacity row; only the most valuable column should be chosen.
+  LpModel m;
+  const int32_t r = m.AddRow(Sense::kLe, 1.0);
+  m.AddColumn(1.0, 0.0, 1.0, {{r, 1.0}});
+  m.AddColumn(3.0, 0.0, 1.0, {{r, 1.0}});
+  m.AddColumn(2.0, 0.0, 1.0, {{r, 1.0}});
+  auto sol = RevisedSimplex().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 1.0, 1e-9);
+  EXPECT_NEAR(sol->x[0] + sol->x[2], 0.0, 1e-9);
+}
+
+TEST(RevisedSimplexTest, FractionalOptimum) {
+  // max x1 + x2 s.t. x1 + 2x2 <= 2, 2x1 + x2 <= 2, x in [0,1]^2.
+  // Symmetric optimum x1 = x2 = 2/3, objective 4/3.
+  LpModel m;
+  const int32_t r0 = m.AddRow(Sense::kLe, 2.0);
+  const int32_t r1 = m.AddRow(Sense::kLe, 2.0);
+  m.AddColumn(1.0, 0.0, 1.0, {{r0, 1.0}, {r1, 2.0}});
+  m.AddColumn(1.0, 0.0, 1.0, {{r0, 2.0}, {r1, 1.0}});
+  auto sol = RevisedSimplex().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 2.0 / 3.0, 1e-9);
+  ExpectKktOptimal(m, *sol);
+}
+
+TEST(RevisedSimplexTest, UnboundedEmptyColumn) {
+  LpModel m;
+  m.AddRow(Sense::kLe, 1.0);
+  m.AddColumn(1.0, 0.0, kInf, {});
+  auto sol = RevisedSimplex().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kUnbounded);
+}
+
+TEST(RevisedSimplexTest, ZeroRhsRowPinsColumns) {
+  LpModel m;
+  const int32_t r0 = m.AddRow(Sense::kLe, 0.0);
+  const int32_t r1 = m.AddRow(Sense::kLe, 4.0);
+  m.AddColumn(5.0, 0.0, 1.0, {{r0, 1.0}});
+  m.AddColumn(1.0, 0.0, 1.0, {{r1, 1.0}});
+  auto sol = RevisedSimplex().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol->objective, 1.0, 1e-9);
+}
+
+TEST(RevisedSimplexTest, MatchesDenseOnMediumRandom) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    LpModel m = RandomPackingLp(&rng, 25, 80);
+    auto dense = DenseSimplex().Solve(m);
+    auto revised = RevisedSimplex().Solve(m);
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(revised.ok());
+    ASSERT_EQ(dense->status, SolveStatus::kOptimal);
+    ASSERT_EQ(revised->status, SolveStatus::kOptimal);
+    EXPECT_NEAR(dense->objective, revised->objective,
+                1e-6 * std::max(1.0, dense->objective))
+        << "trial " << trial;
+    EXPECT_LE(m.MaxInfeasibility(revised->x), 1e-7);
+  }
+}
+
+TEST(RevisedSimplexTest, RefactorizationKeepsAccuracy) {
+  Rng rng(55);
+  LpModel m = RandomPackingLp(&rng, 40, 200);
+  RevisedSimplexOptions opts;
+  opts.refactor_every = 7;  // force frequent refactorizations
+  auto a = RevisedSimplex(opts).Solve(m);
+  auto b = RevisedSimplex().Solve(m);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->objective, b->objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace igepa

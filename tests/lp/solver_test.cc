@@ -1,0 +1,96 @@
+#include "lp/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/lp/lp_test_util.h"
+
+namespace igepa {
+namespace lp {
+namespace {
+
+TEST(SolverFacadeTest, AutoPicksDenseForSmallModels) {
+  Rng rng(1);
+  LpModel m = RandomPackingLp(&rng, 10, 30);
+  EXPECT_EQ(ChooseSolver(m, {}), SolverKind::kDenseSimplex);
+}
+
+TEST(SolverFacadeTest, AutoPicksDenseForGeneralForm) {
+  LpModel m;
+  m.AddRow(Sense::kGe, 1.0);
+  m.AddColumn(-1.0, 0.0, kInf, {{0, 1.0}});
+  LpSolverOptions opts;
+  opts.dense_cell_limit = 0;  // even when "too big", general form -> dense
+  EXPECT_EQ(ChooseSolver(m, opts), SolverKind::kDenseSimplex);
+}
+
+TEST(SolverFacadeTest, AutoPicksRevisedForMediumPacking) {
+  Rng rng(2);
+  LpModel m = RandomPackingLp(&rng, 100, 400);
+  LpSolverOptions opts;
+  opts.dense_cell_limit = 1000;  // force past dense
+  EXPECT_EQ(ChooseSolver(m, opts), SolverKind::kRevisedSimplex);
+}
+
+TEST(SolverFacadeTest, AutoPicksPackingDualForHugePacking) {
+  Rng rng(3);
+  LpModel m = RandomPackingLp(&rng, 50, 100);
+  LpSolverOptions opts;
+  opts.dense_cell_limit = 10;
+  opts.revised_row_limit = 10;
+  EXPECT_EQ(ChooseSolver(m, opts), SolverKind::kPackingDual);
+}
+
+TEST(SolverFacadeTest, ExplicitKindIsRespected) {
+  Rng rng(4);
+  LpModel m = RandomPackingLp(&rng, 5, 10);
+  LpSolverOptions opts;
+  opts.kind = SolverKind::kPackingDual;
+  EXPECT_EQ(ChooseSolver(m, opts), SolverKind::kPackingDual);
+  auto sol = SolveLp(m, opts);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LE(m.MaxInfeasibility(sol->x), 1e-7);
+}
+
+TEST(SolverFacadeTest, EndToEndAllEnginesAgree) {
+  Rng rng(5);
+  LpModel m = RandomPackingLp(&rng, 12, 40);
+  LpSolverOptions dense_opts;
+  dense_opts.kind = SolverKind::kDenseSimplex;
+  LpSolverOptions revised_opts;
+  revised_opts.kind = SolverKind::kRevisedSimplex;
+  LpSolverOptions packing_opts;
+  packing_opts.kind = SolverKind::kPackingDual;
+  packing_opts.packing.target_gap = 0.01;
+  packing_opts.packing.max_iterations = 20000;
+
+  auto dense = SolveLp(m, dense_opts);
+  auto revised = SolveLp(m, revised_opts);
+  auto packing = SolveLp(m, packing_opts);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(revised.ok());
+  ASSERT_TRUE(packing.ok());
+  EXPECT_NEAR(dense->objective, revised->objective, 1e-6);
+  EXPECT_GE(packing->objective, dense->objective * 0.95);
+  EXPECT_LE(packing->objective, dense->objective + 1e-6);
+}
+
+TEST(SolverFacadeTest, KindNamesAreStable) {
+  EXPECT_STREQ(SolverKindToString(SolverKind::kAuto), "Auto");
+  EXPECT_STREQ(SolverKindToString(SolverKind::kDenseSimplex), "DenseSimplex");
+  EXPECT_STREQ(SolverKindToString(SolverKind::kRevisedSimplex),
+               "RevisedSimplex");
+  EXPECT_STREQ(SolverKindToString(SolverKind::kPackingDual), "PackingDual");
+}
+
+TEST(SolveStatusTest, NamesAreStable) {
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kOptimal), "Optimal");
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kApproximate), "Approximate");
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kInfeasible), "Infeasible");
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kUnbounded), "Unbounded");
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kIterationLimit),
+               "IterationLimit");
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace igepa

@@ -1,0 +1,206 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace igepa {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 24);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, NextIndexStaysBelowBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextIndex(17), 17u);
+}
+
+TEST(RngTest, NextIndexIsRoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextIndex(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, 5.0 * std::sqrt(n / 8.0));
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, BinomialBoundsAndEdges) {
+  Rng rng(19);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.Binomial(10, 0.0), 0);
+  EXPECT_EQ(rng.Binomial(10, 1.0), 10);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t d = rng.Binomial(20, 0.4);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 20);
+  }
+}
+
+TEST(RngTest, BinomialSmallNMeanAndVariance) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = static_cast<double>(rng.Binomial(40, 0.25));
+    sum += d;
+    sum2 += d * d;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);     // n*p = 10
+  EXPECT_NEAR(var, 7.5, 0.35);      // n*p*(1-p) = 7.5
+}
+
+TEST(RngTest, BinomialLargeNNormalApproxMean) {
+  Rng rng(29);
+  const int64_t trials = 1999;
+  const double p = 0.5;
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t d = rng.Binomial(trials, p);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, trials);
+    sum += static_cast<double>(d);
+  }
+  EXPECT_NEAR(sum / n, trials * p, 2.0);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(31);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, ZipfPrefersLowRanks) {
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[1], counts[9]);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(RngTest, DiscreteZeroMassReturnsSize) {
+  Rng rng(43);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.Discrete(w), w.size());
+  EXPECT_EQ(rng.Discrete({}), 0u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(53);
+  const auto sample = rng.SampleIndices(50, 12);
+  EXPECT_EQ(sample.size(), 12u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 12u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RngTest, SampleIndicesKGreaterThanNReturnsAll) {
+  Rng rng(59);
+  const auto sample = rng.SampleIndices(5, 99);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.Fork();
+  // The child stream should differ from the parent's continuation.
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (parent.Next() != child.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 12);
+}
+
+}  // namespace
+}  // namespace igepa

@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace igepa {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat rs;
+  rs.Add(4.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of the classic dataset: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatTest, MatchesBatchOnRandomData) {
+  Rng rng(99);
+  std::vector<double> xs;
+  RunningStat rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble(-3.0, 11.0);
+    xs.push_back(x);
+    rs.Add(x);
+  }
+  const SampleSummary sum = Summarize(xs);
+  EXPECT_NEAR(rs.mean(), sum.mean, 1e-9);
+  EXPECT_NEAR(rs.stddev(), sum.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), sum.min);
+  EXPECT_DOUBLE_EQ(rs.max(), sum.max);
+}
+
+TEST(RunningStatTest, Ci95ShrinksWithSamples) {
+  RunningStat small, large;
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) small.Add(rng.NextDouble());
+  for (int i = 0; i < 1000; ++i) large.Add(rng.NextDouble());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const SampleSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, MedianOfOddAndEven) {
+  EXPECT_DOUBLE_EQ(Summarize({3.0, 1.0, 2.0}).median, 2.0);
+  EXPECT_DOUBLE_EQ(Summarize({4.0, 1.0, 2.0, 3.0}).median, 2.5);
+}
+
+TEST(SummarizeTest, Quartiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(static_cast<double>(i));
+  const SampleSummary s = Summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+}
+
+TEST(SortedPercentileTest, EndpointsAndInterpolation) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0.25), 15.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile({5.0}, 0.9), 5.0);
+}
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> ny;
+  for (double v : y) ny.push_back(-v);
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, ny), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputsReturnZero) {
+  EXPECT_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, IndependentSamplesNearZero) {
+  Rng rng(123);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace igepa

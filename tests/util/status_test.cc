@@ -1,0 +1,110 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace igepa {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Infeasible("lp").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::Unbounded("lp").code(), StatusCode::kUnbounded);
+  EXPECT_EQ(Status::IOError("f").message(), "f");
+  EXPECT_FALSE(Status::Internal("boom").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("negative capacity");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: negative capacity");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::OutOfRange("idx"); };
+  auto outer = [&]() -> Status {
+    IGEPA_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto outer = []() -> Status {
+    IGEPA_RETURN_IF_ERROR(Status::OK());
+    return Status::AlreadyExists("tail");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInfeasible), "Infeasible");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnbounded), "Unbounded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fail = []() -> Result<int> { return Status::Internal("x"); };
+  auto chain = [&]() -> Status {
+    IGEPA_ASSIGN_OR_RETURN(int v, fail());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_EQ(chain().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnExtractsValue) {
+  auto make = []() -> Result<int> { return 9; };
+  auto chain = [&]() -> Status {
+    IGEPA_ASSIGN_OR_RETURN(const int v, make());
+    return v == 9 ? Status::OK() : Status::Internal("wrong value");
+  };
+  EXPECT_TRUE(chain().ok());
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace igepa

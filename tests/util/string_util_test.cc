@@ -1,0 +1,76 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace igepa {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "", "z"};
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("benchmark", "bench"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("abc", "bc"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2129.857, 2), "2129.86");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("  -2e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("3.5", &v));
+  EXPECT_FALSE(ParseInt("x", &v));
+}
+
+TEST(PadTest, LeftAndRight) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace igepa
