@@ -1,11 +1,20 @@
 // google-benchmark microbenchmarks for the core pipeline stages: dataset
-// generation, admissible-set enumeration, Algorithm 1 rounding, baselines and
-// the feasibility validator.
+// generation, admissible-set enumeration (legacy nested vs flat catalog),
+// Algorithm 1 rounding, baselines and the feasibility validator.
+//
+// Unless the caller passes --benchmark_out, results are also written to
+// BENCH_micro_core.json (google-benchmark's JSON schema) so successive PRs
+// have a machine-readable perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "algo/baselines.h"
 #include "conflict/conflict_graph.h"
+#include "core/admissible_catalog.h"
 #include "core/lp_packing.h"
 #include "gen/meetup_sim.h"
 #include "gen/synthetic.h"
@@ -54,7 +63,47 @@ void BM_EnumerateAdmissibleSets(benchmark::State& state) {
     benchmark::DoNotOptimize(sets);
   }
 }
-BENCHMARK(BM_EnumerateAdmissibleSets)->Arg(500)->Arg(2000);
+BENCHMARK(BM_EnumerateAdmissibleSets)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_BuildAdmissibleCatalog(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  core::AdmissibleOptions options;
+  options.num_threads = 1;  // apples-to-apples with the serial legacy path
+  for (auto _ : state) {
+    auto catalog = core::AdmissibleCatalog::Build(instance, options);
+    benchmark::DoNotOptimize(catalog);
+  }
+}
+BENCHMARK(BM_BuildAdmissibleCatalog)->Arg(500)->Arg(1000)->Arg(2000);
+
+// The acceptance comparison: everything each pipeline must do before the
+// LP solve can start on the 1k-user synthetic instance. The legacy path
+// enumerates nested vectors and materializes an lp::LpModel
+// unconditionally; the catalog path's flat arena IS the structured solver's
+// input (compare against BM_BuildAdmissibleCatalog/1000), and only the
+// generic-facade tier additionally materializes a model
+// (BM_CatalogEnumerateAndLpBuildFacade).
+void BM_LegacyEnumerateAndLpBuild(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto admissible = core::EnumerateAdmissibleSets(instance, {});
+    auto bench = core::BuildBenchmarkLp(instance, admissible);
+    benchmark::DoNotOptimize(bench);
+  }
+}
+BENCHMARK(BM_LegacyEnumerateAndLpBuild)->Arg(1000);
+
+void BM_CatalogEnumerateAndLpBuildFacade(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  core::AdmissibleOptions options;
+  options.num_threads = 1;
+  for (auto _ : state) {
+    auto catalog = core::AdmissibleCatalog::Build(instance, options);
+    auto bench = core::BuildBenchmarkLp(instance, catalog);
+    benchmark::DoNotOptimize(bench);
+  }
+}
+BENCHMARK(BM_CatalogEnumerateAndLpBuildFacade)->Arg(1000);
 
 void BM_RoundFractional(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
@@ -69,6 +118,29 @@ void BM_RoundFractional(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoundFractional)->Arg(500)->Arg(2000);
+
+void BM_RoundFractionalCatalog(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  const auto catalog = core::AdmissibleCatalog::Build(instance, {});
+  auto fractional = core::SolveBenchmarkLpForPacking(instance, catalog, {});
+  Rng rng(3);
+  for (auto _ : state) {
+    auto arrangement =
+        core::RoundFractional(instance, catalog, *fractional, &rng, {});
+    benchmark::DoNotOptimize(arrangement);
+  }
+}
+BENCHMARK(BM_RoundFractionalCatalog)->Arg(500)->Arg(2000);
+
+void BM_GreedyBestSet(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  const auto catalog = core::AdmissibleCatalog::Build(instance, {});
+  for (auto _ : state) {
+    auto arrangement = algo::GreedyBestSet(instance, catalog);
+    benchmark::DoNotOptimize(arrangement);
+  }
+}
+BENCHMARK(BM_GreedyBestSet)->Arg(2000);
 
 void BM_LpPackingEndToEnd(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
@@ -132,4 +204,30 @@ BENCHMARK(BM_ConflictGraphColoring)->Arg(200);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a default JSON sink: BENCH_micro_core.json in the
+// working directory, unless the caller already chose a --benchmark_out.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Match only the file-sink flag, not --benchmark_out_format.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_core.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verify, end to end: configure, build everything, run the full test
+# suite. Optionally (--bench) also builds and runs bench_micro_core, leaving
+# BENCH_micro_core.json in the build directory for the perf trajectory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    *) echo "usage: scripts/check.sh [--bench]" >&2; exit 2 ;;
+  esac
+done
+
+BENCH_FLAG=""
+if [[ "$RUN_BENCH" == "1" ]]; then
+  BENCH_FLAG="-DIGEPA_BUILD_BENCH=ON"
+fi
+
+cmake -B build -S . ${BENCH_FLAG}
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$RUN_BENCH" == "1" ]]; then
+  (cd build && ./bench_micro_core)
+  echo "bench results: build/BENCH_micro_core.json"
+fi
+
+echo "check.sh: OK"

@@ -98,5 +98,63 @@ Result<Arrangement> GreedyGg(const Instance& instance) {
   return arrangement;
 }
 
+Result<Arrangement> GreedyBestSet(const Instance& instance,
+                                  const core::AdmissibleCatalog& catalog) {
+  if (catalog.num_users() != instance.num_users()) {
+    return Status::InvalidArgument("catalog size mismatch");
+  }
+  const int32_t nu = instance.num_users();
+  const int32_t nv = instance.num_events();
+
+  // Visit users by the weight of their heaviest column, descending.
+  std::vector<UserId> order(static_cast<size_t>(nu));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> best_weight(static_cast<size_t>(nu), 0.0);
+  for (UserId u = 0; u < nu; ++u) {
+    for (int32_t j = catalog.user_columns_begin(u);
+         j < catalog.user_columns_end(u); ++j) {
+      best_weight[static_cast<size_t>(u)] =
+          std::max(best_weight[static_cast<size_t>(u)], catalog.weight(j));
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    return best_weight[static_cast<size_t>(a)] >
+           best_weight[static_cast<size_t>(b)];
+  });
+
+  Arrangement arrangement(nv, nu);
+  std::vector<int32_t> load(static_cast<size_t>(nv), 0);
+  std::vector<int32_t> candidates;
+  for (UserId u : order) {
+    // The user's columns, heaviest first (ties by column id for determinism).
+    candidates.clear();
+    for (int32_t j = catalog.user_columns_begin(u);
+         j < catalog.user_columns_end(u); ++j) {
+      candidates.push_back(j);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](int32_t a, int32_t b) {
+                       return catalog.weight(a) > catalog.weight(b);
+                     });
+    for (int32_t j : candidates) {
+      const auto set = catalog.set(j);
+      bool fits = true;
+      for (EventId v : set) {
+        if (load[static_cast<size_t>(v)] >= instance.event_capacity(v)) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      for (EventId v : set) {
+        ++load[static_cast<size_t>(v)];
+        IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+      }
+      break;  // whole set taken; one set per user
+    }
+  }
+  return arrangement;
+}
+
 }  // namespace algo
 }  // namespace igepa

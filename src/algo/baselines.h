@@ -1,6 +1,7 @@
 #ifndef IGEPA_ALGO_BASELINES_H_
 #define IGEPA_ALGO_BASELINES_H_
 
+#include "core/admissible_catalog.h"
 #include "core/arrangement.h"
 #include "core/instance.h"
 #include "util/result.h"
@@ -26,6 +27,16 @@ Result<core::Arrangement> RandomV(const core::Instance& instance, Rng* rng);
 /// (v, u) for determinism) and insert each pair that keeps the arrangement
 /// feasible. Deterministic. Output is always feasible.
 Result<core::Arrangement> GreedyGg(const core::Instance& instance);
+
+/// GBS (Greedy-Best-Set) — catalog-native set-level greedy, the library's
+/// extension exploiting the AdmissibleCatalog's precomputed column weights:
+/// users are visited by descending best-column weight w(u, S) (ties by user
+/// id); each user takes its heaviest admissible set whose events all still
+/// have residual capacity, whole or not at all. Deterministic; output is
+/// always feasible. Upper-mid baseline between GG (pair-greedy) and
+/// LP-packing (set-LP) in utility.
+Result<core::Arrangement> GreedyBestSet(const core::Instance& instance,
+                                        const core::AdmissibleCatalog& catalog);
 
 }  // namespace algo
 }  // namespace igepa

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "core/admissible_catalog.h"
+
 namespace igepa {
 namespace algo {
 
-using core::AdmissibleSets;
+using core::AdmissibleCatalog;
 using core::Arrangement;
 using core::EventId;
 using core::Instance;
@@ -15,13 +17,13 @@ namespace {
 
 struct SearchState {
   const Instance* instance;
-  const std::vector<AdmissibleSets>* admissible;
-  // Per-user candidate sets sorted by descending weight; index 0 is "empty".
-  std::vector<std::vector<int32_t>> order;    // set indices, -1 for empty
+  const AdmissibleCatalog* catalog;
+  // Per-user candidate columns sorted by descending weight; -1 is "empty".
+  std::vector<std::vector<int32_t>> order;    // global column ids, -1 empty
   std::vector<std::vector<double>> weights;   // parallel to order
   std::vector<double> suffix_best;            // optimistic bound from user u on
   std::vector<int32_t> load;                  // event usage
-  std::vector<int32_t> chosen;                // chosen set index per user
+  std::vector<int32_t> chosen;                // chosen column per user
   std::vector<int32_t> best_chosen;
   double current = 0.0;
   double best = 0.0;
@@ -47,18 +49,17 @@ struct SearchState {
     if (current + suffix_best[static_cast<size_t>(u)] <= best + 1e-12) {
       return;
     }
-    const auto& sets = (*admissible)[static_cast<size_t>(u)].sets;
     const auto& ord = order[static_cast<size_t>(u)];
     const auto& wts = weights[static_cast<size_t>(u)];
     for (size_t k = 0; k < ord.size(); ++k) {
-      const int32_t set_index = ord[k];
-      if (set_index < 0) {
+      const int32_t column = ord[k];
+      if (column < 0) {
         chosen[static_cast<size_t>(u)] = -1;
         Dfs(u + 1);
         if (exhausted) return;
         continue;
       }
-      const auto& set = sets[static_cast<size_t>(set_index)];
+      const auto set = catalog->set(column);
       bool fits = true;
       for (EventId v : set) {
         if (load[static_cast<size_t>(v)] >= instance->event_capacity(v)) {
@@ -69,7 +70,7 @@ struct SearchState {
       if (!fits) continue;
       for (EventId v : set) ++load[static_cast<size_t>(v)];
       current += wts[k];
-      chosen[static_cast<size_t>(u)] = set_index;
+      chosen[static_cast<size_t>(u)] = column;
       Dfs(u + 1);
       current -= wts[k];
       for (EventId v : set) --load[static_cast<size_t>(v)];
@@ -83,19 +84,17 @@ struct SearchState {
 Result<Arrangement> SolveExact(const Instance& instance,
                                const ExactOptions& options,
                                ExactStats* stats) {
-  const std::vector<AdmissibleSets> admissible =
-      core::EnumerateAdmissibleSets(instance, options.admissible);
-  for (const auto& a : admissible) {
-    if (a.truncated) {
-      return Status::FailedPrecondition(
-          "admissible-set enumeration truncated; exact optimum cannot be "
-          "certified (raise AdmissibleOptions::max_sets_per_user)");
-    }
+  const AdmissibleCatalog catalog =
+      AdmissibleCatalog::Build(instance, options.admissible);
+  if (catalog.any_truncated()) {
+    return Status::FailedPrecondition(
+        "admissible-set enumeration truncated; exact optimum cannot be "
+        "certified (raise AdmissibleOptions::max_sets_per_user)");
   }
 
   SearchState state;
   state.instance = &instance;
-  state.admissible = &admissible;
+  state.catalog = &catalog;
   state.max_nodes = options.max_nodes;
   const int32_t nu = instance.num_users();
   state.order.resize(static_cast<size_t>(nu));
@@ -106,13 +105,12 @@ Result<Arrangement> SolveExact(const Instance& instance,
   state.best_chosen = state.chosen;
 
   for (UserId u = 0; u < nu; ++u) {
-    const auto& sets = admissible[static_cast<size_t>(u)].sets;
     auto& ord = state.order[static_cast<size_t>(u)];
     auto& wts = state.weights[static_cast<size_t>(u)];
-    for (int32_t k = 0; k < static_cast<int32_t>(sets.size()); ++k) {
-      ord.push_back(k);
-      wts.push_back(core::SetWeight(instance, u,
-                                    sets[static_cast<size_t>(k)]));
+    for (int32_t j = catalog.user_columns_begin(u);
+         j < catalog.user_columns_end(u); ++j) {
+      ord.push_back(j);
+      wts.push_back(catalog.weight(j));
     }
     ord.push_back(-1);  // the empty choice
     wts.push_back(0.0);
@@ -151,10 +149,9 @@ Result<Arrangement> SolveExact(const Instance& instance,
 
   Arrangement out(instance.num_events(), nu);
   for (UserId u = 0; u < nu; ++u) {
-    const int32_t k = state.best_chosen[static_cast<size_t>(u)];
-    if (k < 0) continue;
-    for (EventId v :
-         admissible[static_cast<size_t>(u)].sets[static_cast<size_t>(k)]) {
+    const int32_t j = state.best_chosen[static_cast<size_t>(u)];
+    if (j < 0) continue;
+    for (EventId v : catalog.set(j)) {
       IGEPA_RETURN_IF_ERROR(out.Add(v, u));
     }
   }

@@ -27,7 +27,8 @@ bool ConflictsWithHeld(const Instance& instance,
 Result<Arrangement> ImproveLocalSearch(const Instance& instance,
                                        Arrangement arrangement,
                                        const LocalSearchOptions& options,
-                                       LocalSearchStats* stats) {
+                                       LocalSearchStats* stats,
+                                       const core::AdmissibleCatalog* catalog) {
   IGEPA_RETURN_IF_ERROR(arrangement.CheckFeasible(instance));
   if (stats != nullptr) {
     *stats = LocalSearchStats{};
@@ -39,10 +40,57 @@ Result<Arrangement> ImproveLocalSearch(const Instance& instance,
         static_cast<int32_t>(arrangement.UsersOf(v).size());
   }
 
+  const bool set_moves =
+      options.enable_set_moves && catalog != nullptr &&
+      catalog->num_users() == instance.num_users();
+
   for (int32_t round = 0; round < options.max_rounds; ++round) {
     bool improved = false;
     for (UserId u = 0; u < instance.num_users(); ++u) {
       const auto& bids = instance.bids(u);
+      // --- Set moves: swap the whole assignment for a heavier catalog
+      // column whose new events still fit. --------------------------------
+      if (set_moves) {
+        const std::vector<EventId> held = arrangement.EventsOf(u);  // copy
+        double held_weight = 0.0;
+        for (EventId v : held) held_weight += instance.Weight(v, u);
+        int32_t best_col = -1;
+        double best_weight = held_weight + 1e-12;
+        for (int32_t j = catalog->user_columns_begin(u);
+             j < catalog->user_columns_end(u); ++j) {
+          if (catalog->weight(j) <= best_weight) continue;
+          bool fits = true;
+          for (EventId v : catalog->set(j)) {
+            if (arrangement.Contains(v, u)) continue;  // already held
+            if (load[static_cast<size_t>(v)] >= instance.event_capacity(v)) {
+              fits = false;
+              break;
+            }
+          }
+          if (fits) {
+            best_col = j;
+            best_weight = catalog->weight(j);
+          }
+        }
+        if (best_col >= 0) {
+          const auto target = catalog->set(best_col);
+          for (EventId v : held) {
+            const bool keep =
+                std::binary_search(target.begin(), target.end(), v);
+            if (!keep) {
+              IGEPA_RETURN_IF_ERROR(arrangement.Remove(v, u));
+              --load[static_cast<size_t>(v)];
+            }
+          }
+          for (EventId v : target) {
+            if (arrangement.Contains(v, u)) continue;
+            IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+            ++load[static_cast<size_t>(v)];
+          }
+          improved = true;
+          if (stats != nullptr) ++stats->set_moves;
+        }
+      }
       // --- Add moves: any feasible missing bid. ---------------------------
       for (EventId v : bids) {
         if (arrangement.Contains(v, u)) continue;

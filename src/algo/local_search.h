@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/admissible_catalog.h"
 #include "core/arrangement.h"
 #include "core/instance.h"
 #include "util/result.h"
@@ -17,6 +18,11 @@ struct LocalSearchOptions {
   int32_t max_rounds = 16;
   /// Enable replace moves (swap a user's assigned event for a better bid).
   bool enable_swaps = true;
+  /// Enable whole-set replacement moves (only active when a catalog is
+  /// supplied): swap a user's entire assignment for a strictly heavier
+  /// admissible set from the catalog when the new events fit residual
+  /// capacities.
+  bool enable_set_moves = true;
 };
 
 /// Diagnostics from one local-search run.
@@ -24,19 +30,25 @@ struct LocalSearchStats {
   int32_t rounds = 0;
   int32_t additions = 0;
   int32_t swaps = 0;
+  /// Whole-set replacements (catalog-driven moves).
+  int32_t set_moves = 0;
   double initial_utility = 0.0;
   double final_utility = 0.0;
 };
 
 /// Hill-climbing post-processor over feasible arrangements — the library's
 /// extension beyond the paper (DESIGN.md §6 ablation): repeatedly applies
-/// (a) *add* moves — insert any feasible missing (v, u) bid pair — and
-/// (b) *swap* moves — replace a user's assigned event v with a strictly
+/// (a) *set* moves — when `catalog` is non-null, replace a user's whole
+/// assignment with a strictly heavier admissible set (the catalog's
+/// precomputed column weights make the candidate scan one flat read) —
+/// (b) *add* moves — insert any feasible missing (v, u) bid pair — and
+/// (c) *swap* moves — replace a user's assigned event v with a strictly
 /// heavier bid v' when doing so stays feasible — until a sweep makes no
 /// progress. Utility never decreases; feasibility is preserved.
 Result<core::Arrangement> ImproveLocalSearch(
     const core::Instance& instance, core::Arrangement start,
-    const LocalSearchOptions& options = {}, LocalSearchStats* stats = nullptr);
+    const LocalSearchOptions& options = {}, LocalSearchStats* stats = nullptr,
+    const core::AdmissibleCatalog* catalog = nullptr);
 
 }  // namespace algo
 }  // namespace igepa

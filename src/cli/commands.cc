@@ -95,7 +95,7 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
   parser.AddString("in", "", "instance CSV path (required)");
   parser.AddString("out", "", "optional arrangement CSV output path");
   parser.AddString("algorithm", "lp-packing",
-                   "lp-packing | gg | random-u | random-v | online");
+                   "lp-packing | gg | gbs | random-u | random-v | online");
   parser.AddDouble("alpha", 1.0, "LP-packing sampling scale in (0,1]");
   parser.AddInt("seed", 42, "random seed for randomized algorithms");
   parser.AddBool("help", false, "show this help");
@@ -120,6 +120,10 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
     arrangement = core::LpPacking(*instance, &rng, options);
   } else if (algorithm == "gg") {
     arrangement = algo::GreedyGg(*instance);
+  } else if (algorithm == "gbs") {
+    const core::AdmissibleCatalog catalog =
+        core::AdmissibleCatalog::Build(*instance, {});
+    arrangement = algo::GreedyBestSet(*instance, catalog);
   } else if (algorithm == "random-u") {
     arrangement = algo::RandomU(*instance, &rng);
   } else if (algorithm == "random-v") {

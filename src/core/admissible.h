@@ -19,8 +19,19 @@ struct AdmissibleOptions {
   /// are explored in descending w(u,v) order, include-branch first), so the
   /// dropped sets are the least valuable ones.
   int32_t max_sets_per_user = 4096;
+  /// Worker threads for AdmissibleCatalog::Build (users are independent, so
+  /// enumeration parallelizes by contiguous user chunks; the result is
+  /// deterministic for any thread count). 0 = hardware concurrency. The
+  /// legacy per-user enumerators below ignore this field.
+  int32_t num_threads = 0;
 };
 
+/// DEPRECATED: the nested per-user representation of the admissible sets A_u.
+/// New code should use core::AdmissibleCatalog (admissible_catalog.h), which
+/// stores every set as a span in one flat CSR arena with precomputed weights
+/// and an inverted event→column index; this struct survives as the reference
+/// implementation for equivalence tests and for callers not yet migrated.
+///
 /// The admissible event sets A_u of one user: every non-empty S ⊆ N_u with
 /// |S| ≤ c_u and no conflicting pair inside S (§III). `sets[k]` is sorted by
 /// event id; `truncated` reports whether the cap bound.
@@ -29,16 +40,20 @@ struct AdmissibleSets {
   bool truncated = false;
 };
 
-/// Enumerates A_u for one user.
+/// Enumerates A_u for one user (still the right tool for streaming/online
+/// settings where no global catalog exists).
 AdmissibleSets EnumerateAdmissibleSetsForUser(const Instance& instance,
                                               UserId u,
                                               const AdmissibleOptions& options);
 
-/// Enumerates A_u for every user.
+/// DEPRECATED: enumerates A_u for every user into the nested representation.
+/// Prefer AdmissibleCatalog::Build, which emits into a flat arena and powers
+/// the whole Algorithm-1 pipeline without re-copying.
 std::vector<AdmissibleSets> EnumerateAdmissibleSets(
     const Instance& instance, const AdmissibleOptions& options = {});
 
-/// Σ_v∈S w(u, v) — the LP objective coefficient w(u, S).
+/// DEPRECATED: Σ_v∈S w(u, v) — the LP objective coefficient w(u, S). The
+/// catalog precomputes this per column (AdmissibleCatalog::weight).
 double SetWeight(const Instance& instance, UserId u,
                  const std::vector<EventId>& set);
 

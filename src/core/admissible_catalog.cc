@@ -1,0 +1,262 @@
+#include "core/admissible_catalog.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace igepa {
+namespace core {
+namespace {
+
+/// DFS over one user's bids (pre-sorted by descending weight), emitting every
+/// conflict-free subset of size <= capacity straight into a flat arena.
+/// Mirrors the legacy SetEnumerator exactly (same emit order, same truncation
+/// semantics) so catalog and legacy paths stay bit-identical.
+class ArenaEnumerator {
+ public:
+  ArenaEnumerator(const Instance& instance, std::vector<EventId> ordered_bids,
+                  int32_t capacity, int32_t max_sets,
+                  std::vector<EventId>* pool, std::vector<int32_t>* set_size)
+      : instance_(instance),
+        bids_(std::move(ordered_bids)),
+        capacity_(capacity),
+        max_sets_(max_sets),
+        pool_(pool),
+        set_size_(set_size) {}
+
+  /// Returns the number of sets emitted; `truncated()` reports cap pressure.
+  int32_t Run() {
+    if (capacity_ <= 0 || bids_.empty() || max_sets_ <= 0) return 0;
+    current_.clear();
+    Dfs(0);
+    return count_;
+  }
+
+  bool truncated() const { return truncated_; }
+
+ private:
+  void Dfs(size_t index) {
+    if (count_ >= max_sets_) {
+      truncated_ = true;
+      return;
+    }
+    if (index == bids_.size()) return;
+    const EventId v = bids_[index];
+    // Include v when it fits and does not conflict with the chosen prefix.
+    if (static_cast<int32_t>(current_.size()) < capacity_ &&
+        CompatibleWithCurrent(v)) {
+      current_.push_back(v);
+      pool_->insert(pool_->end(), current_.begin(), current_.end());
+      set_size_->push_back(static_cast<int32_t>(current_.size()));
+      ++count_;
+      Dfs(index + 1);
+      current_.pop_back();
+    }
+    // Exclude v.
+    Dfs(index + 1);
+  }
+
+  bool CompatibleWithCurrent(EventId v) const {
+    for (EventId chosen : current_) {
+      if (instance_.Conflicts(chosen, v)) return false;
+    }
+    return true;
+  }
+
+  const Instance& instance_;
+  std::vector<EventId> bids_;
+  int32_t capacity_;
+  int32_t max_sets_;
+  std::vector<EventId>* pool_;
+  std::vector<int32_t>* set_size_;
+  std::vector<EventId> current_;
+  int32_t count_ = 0;
+  bool truncated_ = false;
+};
+
+/// The legacy bid order: descending weight, ties by event id.
+std::vector<EventId> OrderedBids(const Instance& instance, UserId u) {
+  std::vector<EventId> ordered = instance.bids(u);
+  std::stable_sort(ordered.begin(), ordered.end(), [&](EventId a, EventId b) {
+    const double wa = instance.Weight(a, u);
+    const double wb = instance.Weight(b, u);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  return ordered;
+}
+
+/// Per-thread enumeration output for one contiguous user chunk.
+struct Shard {
+  std::vector<EventId> pool;
+  std::vector<int32_t> set_size;       // per emitted column
+  std::vector<int32_t> sets_per_user;  // per user in the chunk
+  std::vector<uint8_t> truncated;      // per user in the chunk
+};
+
+void EnumerateChunk(const Instance& instance, UserId begin, UserId end,
+                    const AdmissibleOptions& options, Shard* shard) {
+  shard->sets_per_user.reserve(static_cast<size_t>(end - begin));
+  shard->truncated.reserve(static_cast<size_t>(end - begin));
+  for (UserId u = begin; u < end; ++u) {
+    ArenaEnumerator enumerator(instance, OrderedBids(instance, u),
+                               instance.user_capacity(u),
+                               options.max_sets_per_user, &shard->pool,
+                               &shard->set_size);
+    shard->sets_per_user.push_back(enumerator.Run());
+    shard->truncated.push_back(enumerator.truncated() ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
+  const int32_t nu = num_users();
+  const int32_t nv = instance.num_events();
+  const int32_t cols = static_cast<int32_t>(col_begin_.size()) - 1;
+
+  // Owners, canonical span order and precomputed weights. Sorting each span
+  // ascending and summing in that order reproduces the legacy
+  // sort-then-SetWeight sequence bit for bit.
+  col_user_.resize(static_cast<size_t>(cols));
+  weight_.resize(static_cast<size_t>(cols));
+  for (UserId u = 0; u < nu; ++u) {
+    for (int32_t j = user_begin_[static_cast<size_t>(u)];
+         j < user_begin_[static_cast<size_t>(u) + 1]; ++j) {
+      col_user_[static_cast<size_t>(j)] = u;
+    }
+  }
+  for (int32_t j = 0; j < cols; ++j) {
+    EventId* b = pool_.data() + col_begin_[static_cast<size_t>(j)];
+    EventId* e = pool_.data() + col_begin_[static_cast<size_t>(j) + 1];
+    std::sort(b, e);
+    double w = 0.0;
+    const UserId u = col_user_[static_cast<size_t>(j)];
+    for (const EventId* p = b; p != e; ++p) w += instance.Weight(*p, u);
+    weight_[static_cast<size_t>(j)] = w;
+  }
+
+  any_truncated_ = false;
+  for (uint8_t t : truncated_) any_truncated_ = any_truncated_ || (t != 0);
+
+  // Inverted event→column index: counting sort over the pool. Filling in
+  // ascending column order leaves each event's column list sorted.
+  event_begin_.assign(static_cast<size_t>(nv) + 1, 0);
+  for (EventId v : pool_) ++event_begin_[static_cast<size_t>(v) + 1];
+  for (int32_t v = 0; v < nv; ++v) {
+    event_begin_[static_cast<size_t>(v) + 1] +=
+        event_begin_[static_cast<size_t>(v)];
+  }
+  event_cols_.resize(pool_.size());
+  std::vector<int64_t> cursor(event_begin_.begin(), event_begin_.end() - 1);
+  for (int32_t j = 0; j < cols; ++j) {
+    for (int64_t p = col_begin_[static_cast<size_t>(j)];
+         p < col_begin_[static_cast<size_t>(j) + 1]; ++p) {
+      const EventId v = pool_[static_cast<size_t>(p)];
+      event_cols_[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = j;
+    }
+  }
+}
+
+AdmissibleCatalog AdmissibleCatalog::Build(const Instance& instance,
+                                           const AdmissibleOptions& options) {
+  const int32_t nu = instance.num_users();
+  int32_t threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int32_t>(std::thread::hardware_concurrency());
+  }
+  threads = std::max<int32_t>(1, threads);
+  // Thread spawn cost dwarfs enumeration on small instances.
+  if (nu < 256) threads = 1;
+  threads = std::min(threads, std::max<int32_t>(1, nu));
+
+  std::vector<Shard> shards(static_cast<size_t>(threads));
+  std::vector<UserId> chunk_begin(static_cast<size_t>(threads) + 1);
+  for (int32_t c = 0; c <= threads; ++c) {
+    chunk_begin[static_cast<size_t>(c)] =
+        static_cast<UserId>(static_cast<int64_t>(nu) * c / threads);
+  }
+  if (threads == 1) {
+    EnumerateChunk(instance, 0, nu, options, &shards[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int32_t c = 0; c < threads; ++c) {
+      pool.emplace_back(EnumerateChunk, std::cref(instance),
+                        chunk_begin[static_cast<size_t>(c)],
+                        chunk_begin[static_cast<size_t>(c) + 1],
+                        std::cref(options), &shards[static_cast<size_t>(c)]);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  // Deterministic concatenation in user order, independent of thread count.
+  AdmissibleCatalog out;
+  size_t total_pool = 0;
+  size_t total_cols = 0;
+  for (const Shard& s : shards) {
+    total_pool += s.pool.size();
+    total_cols += s.set_size.size();
+  }
+  out.pool_.reserve(total_pool);
+  out.col_begin_.reserve(total_cols + 1);  // already holds the leading 0
+  out.user_begin_.reserve(static_cast<size_t>(nu) + 1);
+  out.truncated_.reserve(static_cast<size_t>(nu));
+  for (const Shard& s : shards) {
+    out.pool_.insert(out.pool_.end(), s.pool.begin(), s.pool.end());
+    for (int32_t size : s.set_size) {
+      out.col_begin_.push_back(out.col_begin_.back() + size);
+    }
+    for (int32_t count : s.sets_per_user) {
+      out.user_begin_.push_back(out.user_begin_.back() + count);
+    }
+    out.truncated_.insert(out.truncated_.end(), s.truncated.begin(),
+                          s.truncated.end());
+  }
+  out.FinalizeFromPool(instance);
+  return out;
+}
+
+AdmissibleCatalog AdmissibleCatalog::FromLegacy(
+    const Instance& instance, const std::vector<AdmissibleSets>& admissible) {
+  AdmissibleCatalog out;
+  size_t total_pool = 0;
+  size_t total_cols = 0;
+  for (const AdmissibleSets& a : admissible) {
+    total_cols += a.sets.size();
+    for (const auto& s : a.sets) total_pool += s.size();
+  }
+  out.pool_.reserve(total_pool);
+  out.col_begin_.reserve(total_cols + 1);  // already holds the leading 0
+  out.user_begin_.reserve(admissible.size() + 1);
+  out.truncated_.reserve(admissible.size());
+  for (const AdmissibleSets& a : admissible) {
+    for (const auto& s : a.sets) {
+      out.pool_.insert(out.pool_.end(), s.begin(), s.end());
+      out.col_begin_.push_back(out.col_begin_.back() +
+                               static_cast<int64_t>(s.size()));
+    }
+    out.user_begin_.push_back(out.user_begin_.back() +
+                              static_cast<int32_t>(a.sets.size()));
+    out.truncated_.push_back(a.truncated ? 1 : 0);
+  }
+  out.FinalizeFromPool(instance);
+  return out;
+}
+
+std::vector<AdmissibleSets> AdmissibleCatalog::ToLegacy() const {
+  std::vector<AdmissibleSets> out(static_cast<size_t>(num_users()));
+  for (UserId u = 0; u < num_users(); ++u) {
+    AdmissibleSets& a = out[static_cast<size_t>(u)];
+    a.truncated = truncated(u);
+    a.sets.reserve(static_cast<size_t>(num_sets(u)));
+    for (int32_t j = user_columns_begin(u); j < user_columns_end(u); ++j) {
+      const auto span = set(j);
+      a.sets.emplace_back(span.begin(), span.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace igepa

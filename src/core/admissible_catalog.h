@@ -1,0 +1,138 @@
+#ifndef IGEPA_CORE_ADMISSIBLE_CATALOG_H_
+#define IGEPA_CORE_ADMISSIBLE_CATALOG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/admissible.h"
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace igepa {
+namespace core {
+
+/// Flat CSR catalog of every admissible set (LP column) of an instance — the
+/// shared substrate of the whole Algorithm-1 pipeline (enumeration →
+/// benchmark LP → rounding → repair → post-processing).
+///
+/// Every enumerated set lives as one contiguous span inside a single EventId
+/// pool, so the catalog replaces the legacy nested
+/// `std::vector<std::vector<EventId>>` (`AdmissibleSets`) with three flat
+/// arrays plus per-user offset ranges. Consumers operate on views:
+///
+///   * column j (a global id over all users) covers events
+///     `set(j)` = pool[col_begin[j], col_begin[j+1]), sorted ascending;
+///   * user u owns the contiguous column range
+///     [user_columns_begin(u), user_columns_end(u)), in the same order the
+///     legacy enumerator emitted its sets;
+///   * `weight(j)` is the precomputed LP objective coefficient w(u, S)
+///     (summed over the ascending-sorted span, bit-identical to the legacy
+///     per-call `SetWeight`);
+///   * `columns_of_event(v)` is the inverted event→column index: every
+///     column whose set contains v, ascending by column id. The capacity
+///     repair sweep and the structured dual oracle both need this reverse
+///     view.
+///
+/// Columns double as LP columns of the benchmark LP (1)-(4): the catalog IS
+/// the constraint matrix in block-CSR form (one +1 in the owner's user row,
+/// +1 in each event row of the span), so the structured solver consumes it
+/// directly with no materialization step.
+class AdmissibleCatalog {
+ public:
+  /// An empty catalog (zero users, events and columns); assign a built one.
+  AdmissibleCatalog() = default;
+
+  /// Enumerates every user's admissible sets straight into the arena.
+  /// Per-user enumeration is independent, so `options.num_threads` > 1 (or
+  /// 0 = hardware concurrency) splits users into contiguous chunks enumerated
+  /// in parallel; the result is deterministic and identical for every thread
+  /// count.
+  static AdmissibleCatalog Build(const Instance& instance,
+                                 const AdmissibleOptions& options = {});
+
+  /// Converts legacy nested AdmissibleSets (compatibility path; also the
+  /// reference implementation the equivalence tests compare against).
+  static AdmissibleCatalog FromLegacy(
+      const Instance& instance, const std::vector<AdmissibleSets>& admissible);
+
+  /// Converts back to the deprecated nested representation.
+  std::vector<AdmissibleSets> ToLegacy() const;
+
+  int32_t num_users() const {
+    return static_cast<int32_t>(user_begin_.size()) - 1;
+  }
+  int32_t num_events() const {
+    return static_cast<int32_t>(event_begin_.size()) - 1;
+  }
+  int32_t num_columns() const { return static_cast<int32_t>(weight_.size()); }
+  /// Total (user, event) incidences Σ_j |S_j| — the LP's event-row nnz.
+  int64_t num_pairs() const { return static_cast<int64_t>(pool_.size()); }
+
+  /// The events of column j, ascending.
+  std::span<const EventId> set(int32_t j) const {
+    const size_t b = static_cast<size_t>(col_begin_[static_cast<size_t>(j)]);
+    const size_t e =
+        static_cast<size_t>(col_begin_[static_cast<size_t>(j) + 1]);
+    return {pool_.data() + b, e - b};
+  }
+  /// Precomputed w(u, S) of column j.
+  double weight(int32_t j) const { return weight_[static_cast<size_t>(j)]; }
+  /// The user owning column j.
+  UserId user_of(int32_t j) const { return col_user_[static_cast<size_t>(j)]; }
+
+  /// Column range [begin, end) of user u.
+  int32_t user_columns_begin(UserId u) const {
+    return user_begin_[static_cast<size_t>(u)];
+  }
+  int32_t user_columns_end(UserId u) const {
+    return user_begin_[static_cast<size_t>(u) + 1];
+  }
+  int32_t num_sets(UserId u) const {
+    return user_columns_end(u) - user_columns_begin(u);
+  }
+
+  /// True when user u's enumeration hit the per-user cap.
+  bool truncated(UserId u) const {
+    return truncated_[static_cast<size_t>(u)] != 0;
+  }
+  /// True when any user's enumeration was truncated.
+  bool any_truncated() const { return any_truncated_; }
+
+  /// Inverted index: ids of every column whose set contains v, ascending.
+  std::span<const int32_t> columns_of_event(EventId v) const {
+    const size_t b = static_cast<size_t>(event_begin_[static_cast<size_t>(v)]);
+    const size_t e =
+        static_cast<size_t>(event_begin_[static_cast<size_t>(v) + 1]);
+    return {event_cols_.data() + b, e - b};
+  }
+
+  /// Raw CSR arrays for hot loops (the structured dual solver iterates these
+  /// directly).
+  const std::vector<EventId>& pool() const { return pool_; }
+  const std::vector<int64_t>& col_begin() const { return col_begin_; }
+  const std::vector<int32_t>& user_begin() const { return user_begin_; }
+  const std::vector<double>& weights() const { return weight_; }
+  const std::vector<UserId>& col_users() const { return col_user_; }
+
+ private:
+  /// Sorts each span, computes weights, derives col_user_, truncation summary
+  /// and the inverted index. Called by both builders after the pool is laid
+  /// out.
+  void FinalizeFromPool(const Instance& instance);
+
+  std::vector<EventId> pool_;                // all sets, concatenated
+  std::vector<int64_t> col_begin_ = {0};     // size num_columns+1
+  std::vector<int32_t> user_begin_ = {0};    // size num_users+1 (column ids)
+  std::vector<double> weight_;       // per column, w(u, S)
+  std::vector<UserId> col_user_;     // per column owner
+  std::vector<uint8_t> truncated_;   // per user
+  bool any_truncated_ = false;
+  std::vector<int64_t> event_begin_ = {0};  // size num_events+1
+  std::vector<int32_t> event_cols_;   // inverted index, size == pool size
+};
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_ADMISSIBLE_CATALOG_H_

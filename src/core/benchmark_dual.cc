@@ -7,31 +7,22 @@ namespace igepa {
 namespace core {
 
 Result<lp::LpSolution> SolveBenchmarkLpStructured(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
-    const BenchmarkLp& bench, const StructuredDualOptions& options) {
+    const Instance& instance, const AdmissibleCatalog& catalog,
+    const StructuredDualOptions& options) {
   const int32_t nu = instance.num_users();
   const int32_t nv = instance.num_events();
-  const int32_t cols = bench.model.num_cols();
-  if (static_cast<int32_t>(admissible.size()) != nu) {
-    return Status::InvalidArgument("admissible sets size mismatch");
+  const int32_t cols = catalog.num_columns();
+  if (catalog.num_users() != nu) {
+    return Status::InvalidArgument("catalog size mismatch");
   }
 
-  // Per-column data (hot loop friendly): owning user, weight, event list.
-  std::vector<double> weight(static_cast<size_t>(cols), 0.0);
-  std::vector<int32_t> col_user(static_cast<size_t>(cols), 0);
-  std::vector<int32_t> event_offsets(static_cast<size_t>(cols) + 1, 0);
-  std::vector<EventId> event_items;
-  event_items.reserve(static_cast<size_t>(bench.model.num_entries()));
-  for (int32_t j = 0; j < cols; ++j) {
-    const auto [u, k] = bench.column_map[static_cast<size_t>(j)];
-    col_user[static_cast<size_t>(j)] = u;
-    weight[static_cast<size_t>(j)] = bench.model.objective(j);
-    const auto& set =
-        admissible[static_cast<size_t>(u)].sets[static_cast<size_t>(k)];
-    for (EventId v : set) event_items.push_back(v);
-    event_offsets[static_cast<size_t>(j) + 1] =
-        static_cast<int32_t>(event_items.size());
-  }
+  // Hot-loop views straight into the catalog CSR — no per-solve copies.
+  const std::vector<double>& weight = catalog.weights();
+  const std::vector<UserId>& col_user = catalog.col_users();
+  const std::vector<int64_t>& col_begin = catalog.col_begin();
+  const EventId* pool = catalog.pool().data();
+  const std::vector<int32_t>& user_begin = catalog.user_begin();
+
   std::vector<double> capacity(static_cast<size_t>(nv), 0.0);
   for (EventId v = 0; v < nv; ++v) {
     capacity[static_cast<size_t>(v)] =
@@ -42,7 +33,7 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   for (double w : weight) wmax = std::max(wmax, w);
   lp::LpSolution sol;
   sol.x.assign(static_cast<size_t>(cols), 0.0);
-  sol.duals.assign(static_cast<size_t>(bench.model.num_rows()), 0.0);
+  sol.duals.assign(static_cast<size_t>(nu) + static_cast<size_t>(nv), 0.0);
   if (cols == 0 || wmax <= 0.0) {
     sol.status = lp::SolveStatus::kOptimal;
     return sol;
@@ -65,6 +56,7 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   std::vector<int64_t> chosen_count(static_cast<size_t>(cols), 0);
   std::vector<int32_t> current_choice(static_cast<size_t>(nu), -1);
   std::vector<double> xtry(static_cast<size_t>(cols), 0.0);
+  std::vector<double> factor(static_cast<size_t>(cols), 1.0);
   std::vector<double> user_mass(static_cast<size_t>(nu), 0.0);
   std::vector<double> best_x(static_cast<size_t>(cols), 0.0);
   double best_primal = 0.0;
@@ -73,36 +65,45 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   int64_t avg_count = 0;
 
   // Builds a feasible primal from the averaged oracle choices: scale columns
-  // through overloaded events, then greedily refill leftover event capacity
-  // and user mass by descending weight. Returns its objective value.
+  // through overloaded events (found via the inverted event→column index),
+  // then greedily refill leftover event capacity and user mass by descending
+  // weight. Returns its objective value.
   auto extract_primal = [&]() -> double {
-    const double inv = 1.0 / static_cast<double>(std::max<int64_t>(1, avg_count));
+    const double inv =
+        1.0 / static_cast<double>(std::max<int64_t>(1, avg_count));
     std::fill(ext_usage.begin(), ext_usage.end(), 0.0);
     for (int32_t j = 0; j < cols; ++j) {
       const double xj =
           static_cast<double>(chosen_count[static_cast<size_t>(j)]) * inv;
       xtry[static_cast<size_t>(j)] = xj;
       if (xj <= 0.0) continue;
-      for (int32_t e = event_offsets[static_cast<size_t>(j)];
-           e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
-        ext_usage[static_cast<size_t>(event_items[static_cast<size_t>(e)])] += xj;
+      for (int64_t e = col_begin[static_cast<size_t>(j)];
+           e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+        ext_usage[static_cast<size_t>(pool[e])] += xj;
       }
     }
-    // Scale down through overloaded events.
-    for (int32_t j = 0; j < cols; ++j) {
-      double xj = xtry[static_cast<size_t>(j)];
-      if (xj <= 0.0) continue;
-      double factor = 1.0;
-      for (int32_t e = event_offsets[static_cast<size_t>(j)];
-           e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
-        const EventId v = event_items[static_cast<size_t>(e)];
-        const double cap = capacity[static_cast<size_t>(v)];
-        const double used = ext_usage[static_cast<size_t>(v)];
-        if (used > cap) {
-          factor = std::min(factor, cap <= 0.0 ? 0.0 : cap / used);
+    // Scale down through overloaded events: walk each overloaded event's
+    // column list instead of re-scanning every column's events.
+    std::fill(factor.begin(), factor.end(), 1.0);
+    bool any_overload = false;
+    for (EventId v = 0; v < nv; ++v) {
+      const double cap = capacity[static_cast<size_t>(v)];
+      const double used = ext_usage[static_cast<size_t>(v)];
+      if (used <= cap) continue;
+      any_overload = true;
+      const double f = cap <= 0.0 ? 0.0 : cap / used;
+      for (int32_t j : catalog.columns_of_event(v)) {
+        if (xtry[static_cast<size_t>(j)] <= 0.0) continue;
+        factor[static_cast<size_t>(j)] =
+            std::min(factor[static_cast<size_t>(j)], f);
+      }
+    }
+    if (any_overload) {
+      for (int32_t j = 0; j < cols; ++j) {
+        if (xtry[static_cast<size_t>(j)] > 0.0) {
+          xtry[static_cast<size_t>(j)] *= factor[static_cast<size_t>(j)];
         }
       }
-      xtry[static_cast<size_t>(j)] = xj * factor;
     }
     // Exact activities and user masses of the scaled point.
     std::fill(ext_usage.begin(), ext_usage.end(), 0.0);
@@ -111,9 +112,9 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
       const double xj = xtry[static_cast<size_t>(j)];
       if (xj <= 0.0) continue;
       user_mass[static_cast<size_t>(col_user[static_cast<size_t>(j)])] += xj;
-      for (int32_t e = event_offsets[static_cast<size_t>(j)];
-           e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
-        ext_usage[static_cast<size_t>(event_items[static_cast<size_t>(e)])] += xj;
+      for (int64_t e = col_begin[static_cast<size_t>(j)];
+           e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+        ext_usage[static_cast<size_t>(pool[e])] += xj;
       }
     }
     // Greedy polish: refill by descending weight, respecting both the user's
@@ -123,12 +124,11 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
       const int32_t j = by_weight[static_cast<size_t>(jj)];
       double& xj = xtry[static_cast<size_t>(j)];
       const int32_t u = col_user[static_cast<size_t>(j)];
-      double room = std::min(1.0 - xj,
-                             1.0 - user_mass[static_cast<size_t>(u)]);
+      double room = std::min(1.0 - xj, 1.0 - user_mass[static_cast<size_t>(u)]);
       if (room > 1e-12) {
-        for (int32_t e = event_offsets[static_cast<size_t>(j)];
-             e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
-          const EventId v = event_items[static_cast<size_t>(e)];
+        for (int64_t e = col_begin[static_cast<size_t>(j)];
+             e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+          const EventId v = pool[e];
           room = std::min(room, capacity[static_cast<size_t>(v)] -
                                     ext_usage[static_cast<size_t>(v)]);
           if (room <= 1e-12) break;
@@ -136,10 +136,9 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
         if (room > 1e-12) {
           xj += room;
           user_mass[static_cast<size_t>(u)] += room;
-          for (int32_t e = event_offsets[static_cast<size_t>(j)];
-               e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
-            ext_usage[static_cast<size_t>(event_items[static_cast<size_t>(e)])] +=
-                room;
+          for (int64_t e = col_begin[static_cast<size_t>(j)];
+               e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+            ext_usage[static_cast<size_t>(pool[e])] += room;
           }
         }
       }
@@ -156,20 +155,18 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
     std::fill(usage.begin(), usage.end(), 0.0);
     double lagrangian = 0.0;
     for (EventId v = 0; v < nv; ++v) {
-      lagrangian += capacity[static_cast<size_t>(v)] *
-                    mu[static_cast<size_t>(v)];
+      lagrangian += capacity[static_cast<size_t>(v)] * mu[static_cast<size_t>(v)];
     }
     for (UserId u = 0; u < nu; ++u) {
-      const int32_t begin = bench.user_col_begin[static_cast<size_t>(u)];
-      const int32_t end = bench.user_col_begin[static_cast<size_t>(u) + 1];
+      const int32_t begin = user_begin[static_cast<size_t>(u)];
+      const int32_t end = user_begin[static_cast<size_t>(u) + 1];
       double best = 0.0;
       int32_t best_col = -1;
       for (int32_t j = begin; j < end; ++j) {
         double reduced = weight[static_cast<size_t>(j)];
-        for (int32_t e = event_offsets[static_cast<size_t>(j)];
-             e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
-          reduced -=
-              mu[static_cast<size_t>(event_items[static_cast<size_t>(e)])];
+        for (int64_t e = col_begin[static_cast<size_t>(j)];
+             e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+          reduced -= mu[static_cast<size_t>(pool[e])];
         }
         if (reduced > best) {
           best = reduced;
@@ -180,10 +177,9 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
       if (best_col >= 0) {
         lagrangian += best;
         ++chosen_count[static_cast<size_t>(best_col)];
-        for (int32_t e = event_offsets[static_cast<size_t>(best_col)];
-             e < event_offsets[static_cast<size_t>(best_col) + 1]; ++e) {
-          usage[static_cast<size_t>(event_items[static_cast<size_t>(e)])] +=
-              1.0;
+        for (int64_t e = col_begin[static_cast<size_t>(best_col)];
+             e < col_begin[static_cast<size_t>(best_col) + 1]; ++e) {
+          usage[static_cast<size_t>(pool[e])] += 1.0;
         }
       }
     }
@@ -215,8 +211,8 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
     // ---- Projected subgradient step on μ. ----------------------------------
     double gnorm2 = 0.0;
     for (EventId v = 0; v < nv; ++v) {
-      const double g = capacity[static_cast<size_t>(v)] -
-                       usage[static_cast<size_t>(v)];
+      const double g =
+          capacity[static_cast<size_t>(v)] - usage[static_cast<size_t>(v)];
       grad[static_cast<size_t>(v)] = g;
       gnorm2 += g * g;
     }
@@ -251,28 +247,38 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   sol.iterations = std::min<int64_t>(t, options.max_iterations);
   // Duals: μ on event rows; π_u (the oracle value at best μ) on user rows.
   for (UserId u = 0; u < nu; ++u) {
-    const int32_t begin = bench.user_col_begin[static_cast<size_t>(u)];
-    const int32_t end = bench.user_col_begin[static_cast<size_t>(u) + 1];
+    const int32_t begin = user_begin[static_cast<size_t>(u)];
+    const int32_t end = user_begin[static_cast<size_t>(u) + 1];
     double pi = 0.0;
     for (int32_t j = begin; j < end; ++j) {
       double reduced = weight[static_cast<size_t>(j)];
-      for (int32_t e = event_offsets[static_cast<size_t>(j)];
-           e < event_offsets[static_cast<size_t>(j) + 1]; ++e) {
-        reduced -=
-            best_mu[static_cast<size_t>(event_items[static_cast<size_t>(e)])];
+      for (int64_t e = col_begin[static_cast<size_t>(j)];
+           e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+        reduced -= best_mu[static_cast<size_t>(pool[e])];
       }
       pi = std::max(pi, reduced);
     }
-    sol.duals[static_cast<size_t>(bench.UserRow(u))] = pi;
+    sol.duals[static_cast<size_t>(u)] = pi;
   }
   for (EventId v = 0; v < nv; ++v) {
-    sol.duals[static_cast<size_t>(bench.EventRow(instance, v))] =
+    sol.duals[static_cast<size_t>(nu) + static_cast<size_t>(v)] =
         best_mu[static_cast<size_t>(v)];
   }
   const double gap = sol.RelativeGap();
   sol.status = gap <= options.target_gap ? lp::SolveStatus::kApproximate
                                          : lp::SolveStatus::kIterationLimit;
   return sol;
+}
+
+Result<lp::LpSolution> SolveBenchmarkLpStructured(
+    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
+    const BenchmarkLp& bench, const StructuredDualOptions& options) {
+  if (static_cast<int32_t>(admissible.size()) != instance.num_users()) {
+    return Status::InvalidArgument("admissible sets size mismatch");
+  }
+  (void)bench;  // row layout is implicit in the catalog formulation
+  return SolveBenchmarkLpStructured(
+      instance, AdmissibleCatalog::FromLegacy(instance, admissible), options);
 }
 
 }  // namespace core

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/admissible.h"
+#include "core/admissible_catalog.h"
 #include "core/benchmark_lp.h"
 #include "core/instance.h"
 #include "lp/solution.h"
@@ -39,11 +40,24 @@ struct StructuredDualOptions {
 /// sets, automatically satisfying (2)), repaired by per-column scaling on
 /// violated event rows and polished by a capacity-aware greedy fill.
 ///
-/// Returns an lp::LpSolution over the columns of `bench.model`: `x` is
-/// feasible for (1)-(4), `upper_bound` = min_t L(μ_t) certifies the gap, and
-/// `duals` carries μ on the event rows and the final per-user oracle values
-/// π_u on the user rows. Status is kApproximate when the target gap is met,
-/// kIterationLimit otherwise (x is still feasible).
+/// Returns an lp::LpSolution over the catalog's columns: `x` is feasible for
+/// (1)-(4), `upper_bound` = min_t L(μ_t) certifies the gap, and `duals`
+/// carries μ on the event rows ([|U|, |U|+|V|)) and the final per-user oracle
+/// values π_u on the user rows ([0, |U|)). Status is kApproximate when the
+/// target gap is met, kIterationLimit otherwise (x is still feasible).
+///
+/// The solver iterates the catalog CSR directly — weights, per-user column
+/// ranges and event spans are exactly the arrays the subgradient loop needs,
+/// so no per-solve copy or model materialization happens; the primal repair
+/// scales overloaded events through the catalog's inverted event→column
+/// index.
+Result<lp::LpSolution> SolveBenchmarkLpStructured(
+    const Instance& instance, const AdmissibleCatalog& catalog,
+    const StructuredDualOptions& options = {});
+
+/// DEPRECATED compatibility shim over the nested representation: converts to
+/// an AdmissibleCatalog and delegates (bit-identical results; `bench` is only
+/// used for its row layout, which the catalog reproduces).
 Result<lp::LpSolution> SolveBenchmarkLpStructured(
     const Instance& instance, const std::vector<AdmissibleSets>& admissible,
     const BenchmarkLp& bench, const StructuredDualOptions& options = {});

@@ -11,9 +11,20 @@ namespace core {
 Result<Arrangement> LpPacking(const Instance& instance, Rng* rng,
                               const LpPackingOptions& options,
                               LpPackingStats* stats) {
-  const std::vector<AdmissibleSets> admissible =
-      EnumerateAdmissibleSets(instance, options.admissible);
-  return LpPackingWithSets(instance, admissible, rng, options, stats);
+  const AdmissibleCatalog catalog =
+      AdmissibleCatalog::Build(instance, options.admissible);
+  return LpPackingWithCatalog(instance, catalog, rng, options, stats);
+}
+
+Result<Arrangement> LpPackingWithCatalog(const Instance& instance,
+                                         const AdmissibleCatalog& catalog,
+                                         Rng* rng,
+                                         const LpPackingOptions& options,
+                                         LpPackingStats* stats) {
+  IGEPA_ASSIGN_OR_RETURN(
+      FractionalSolution fractional,
+      SolveBenchmarkLpForPacking(instance, catalog, options));
+  return RoundFractional(instance, catalog, fractional, rng, options, stats);
 }
 
 Result<Arrangement> LpPackingWithSets(
@@ -24,6 +35,189 @@ Result<Arrangement> LpPackingWithSets(
       SolveBenchmarkLpForPacking(instance, admissible, options));
   return RoundFractional(instance, admissible, fractional, rng, options,
                          stats);
+}
+
+Result<FractionalSolution> SolveBenchmarkLpForPacking(
+    const Instance& instance, const AdmissibleCatalog& catalog,
+    const LpPackingOptions& options) {
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (catalog.num_users() != instance.num_users()) {
+    return Status::InvalidArgument("catalog size mismatch");
+  }
+  FractionalSolution fractional;
+  bool structured = false;
+  switch (options.benchmark_solver) {
+    case BenchmarkSolverKind::kLpFacade:
+      structured = false;
+      break;
+    case BenchmarkSolverKind::kStructuredDual:
+      structured = true;
+      break;
+    case BenchmarkSolverKind::kAuto: {
+      // Same cell count the legacy path derived from the materialized model
+      // (rows = |U|+|V|), computed here without materializing anything.
+      const int64_t cells =
+          (static_cast<int64_t>(instance.num_users()) + instance.num_events()) *
+          catalog.num_columns();
+      structured = cells > options.solver.dense_cell_limit;
+      break;
+    }
+  }
+  if (structured) {
+    IGEPA_ASSIGN_OR_RETURN(
+        fractional.lp,
+        SolveBenchmarkLpStructured(instance, catalog, options.structured));
+    fractional.structured = true;
+  } else {
+    fractional.bench = BuildBenchmarkLp(instance, catalog);
+    IGEPA_ASSIGN_OR_RETURN(fractional.lp,
+                           lp::SolveLp(fractional.bench.model, options.solver));
+  }
+  if (fractional.lp.status != lp::SolveStatus::kOptimal &&
+      fractional.lp.status != lp::SolveStatus::kApproximate &&
+      fractional.lp.status != lp::SolveStatus::kIterationLimit) {
+    return Status::Internal(std::string("benchmark LP solve failed: ") +
+                            lp::SolveStatusToString(fractional.lp.status));
+  }
+  return fractional;
+}
+
+Result<Arrangement> RoundFractional(const Instance& instance,
+                                    const AdmissibleCatalog& catalog,
+                                    const FractionalSolution& fractional,
+                                    Rng* rng, const LpPackingOptions& options,
+                                    LpPackingStats* stats) {
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (catalog.num_users() != instance.num_users()) {
+    return Status::InvalidArgument("catalog size mismatch");
+  }
+  const lp::LpSolution& lp_sol = fractional.lp;
+  if (static_cast<int32_t>(lp_sol.x.size()) != catalog.num_columns()) {
+    return Status::InvalidArgument("fractional solution size mismatch");
+  }
+  if (stats != nullptr) {
+    stats->lp_objective = lp_sol.objective;
+    stats->lp_upper_bound = lp_sol.upper_bound;
+    stats->lp_iterations = lp_sol.iterations;
+    stats->used_structured_dual = fractional.structured;
+    if (!fractional.structured) {
+      stats->solver_used = lp::ChooseSolver(fractional.bench.model,
+                                            options.solver);
+    }
+    stats->num_columns = catalog.num_columns();
+    stats->admissible_truncated = catalog.any_truncated();
+  }
+
+  // ---- Lines 2-3: sample one admissible set per user with prob α·x*. ------
+  const int32_t nu = instance.num_users();
+  const int32_t nv = instance.num_events();
+  std::vector<int32_t> sampled_col(static_cast<size_t>(nu), -1);
+  for (UserId u = 0; u < nu; ++u) {
+    const int32_t begin = catalog.user_columns_begin(u);
+    const int32_t end = catalog.user_columns_end(u);
+    double r = rng->NextDouble();
+    for (int32_t j = begin; j < end; ++j) {
+      const double mass =
+          options.alpha *
+          std::clamp(lp_sol.x[static_cast<size_t>(j)], 0.0, 1.0);
+      if (r < mass) {
+        sampled_col[static_cast<size_t>(u)] = j;
+        break;
+      }
+      r -= mass;
+    }
+    // Remaining mass: no set sampled for u.
+  }
+  if (stats != nullptr) {
+    stats->users_sampled = static_cast<int32_t>(
+        std::count_if(sampled_col.begin(), sampled_col.end(),
+                      [](int32_t j) { return j >= 0; }));
+  }
+
+  // ---- Lines 4-7: repair event capacity violations. ------------------------
+  // Tentative per-event demand of the sampled sets decides which events can
+  // overflow at all; the inverted event→column index then narrows the checked
+  // path to the users actually contending for those events. Everyone else is
+  // emitted in bulk — identical output to the full legacy sweep, since an
+  // event whose demand fits its capacity can never reject a pair.
+  std::vector<int32_t> demand(static_cast<size_t>(nv), 0);
+  for (UserId u = 0; u < nu; ++u) {
+    const int32_t j = sampled_col[static_cast<size_t>(u)];
+    if (j < 0) continue;
+    for (EventId v : catalog.set(j)) ++demand[static_cast<size_t>(v)];
+  }
+  std::vector<uint8_t> hot(static_cast<size_t>(nv), 0);
+  bool any_hot = false;
+  for (EventId v = 0; v < nv; ++v) {
+    if (demand[static_cast<size_t>(v)] > instance.event_capacity(v)) {
+      hot[static_cast<size_t>(v)] = 1;
+      any_hot = true;
+    }
+  }
+  std::vector<uint8_t> contended(static_cast<size_t>(nu), 0);
+  if (any_hot) {
+    for (EventId v = 0; v < nv; ++v) {
+      if (!hot[static_cast<size_t>(v)]) continue;
+      for (int32_t j : catalog.columns_of_event(v)) {
+        const UserId u = catalog.user_of(j);
+        if (sampled_col[static_cast<size_t>(u)] == j) {
+          contended[static_cast<size_t>(u)] = 1;
+        }
+      }
+    }
+  }
+
+  std::vector<UserId> order(static_cast<size_t>(nu));
+  std::iota(order.begin(), order.end(), 0);
+  switch (options.repair_order) {
+    case RepairOrder::kUserIndex:
+      break;
+    case RepairOrder::kRandom:
+      rng->Shuffle(&order);
+      break;
+    case RepairOrder::kWeightDesc: {
+      std::vector<double> weight(static_cast<size_t>(nu), 0.0);
+      for (UserId u = 0; u < nu; ++u) {
+        const int32_t j = sampled_col[static_cast<size_t>(u)];
+        if (j >= 0) weight[static_cast<size_t>(u)] = catalog.weight(j);
+      }
+      std::stable_sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+        return weight[static_cast<size_t>(a)] > weight[static_cast<size_t>(b)];
+      });
+      break;
+    }
+  }
+
+  Arrangement arrangement(nv, nu);
+  std::vector<int32_t> load(static_cast<size_t>(nv), 0);
+  int32_t repaired = 0;
+  for (UserId u : order) {
+    const int32_t j = sampled_col[static_cast<size_t>(u)];
+    if (j < 0) continue;
+    const auto set = catalog.set(j);
+    if (!contended[static_cast<size_t>(u)]) {
+      for (EventId v : set) {
+        IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+      }
+      continue;
+    }
+    for (EventId v : set) {
+      if (hot[static_cast<size_t>(v)]) {
+        if (load[static_cast<size_t>(v)] >= instance.event_capacity(v)) {
+          ++repaired;  // line 7: drop v from S_u
+          continue;
+        }
+        ++load[static_cast<size_t>(v)];
+      }
+      IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+    }
+  }
+  if (stats != nullptr) stats->pairs_repaired = repaired;
+  return arrangement;
 }
 
 Result<FractionalSolution> SolveBenchmarkLpForPacking(

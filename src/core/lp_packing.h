@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/admissible.h"
+#include "core/admissible_catalog.h"
 #include "core/arrangement.h"
 #include "core/benchmark_dual.h"
 #include "core/benchmark_lp.h"
@@ -79,6 +80,8 @@ struct LpPackingStats {
 /// LP-packing (Algorithm 1): solves the benchmark LP (1)-(4), samples one
 /// admissible set per user with probability α·x*_{u,S}, repairs event
 /// capacity violations with a user sweep, and returns the surviving pairs.
+/// Internally enumerates into an AdmissibleCatalog and runs the flat
+/// pipeline; results are bit-identical to the legacy nested path.
 ///
 /// The returned arrangement is always feasible (CheckFeasible passes). With
 /// α = 1/2 and the exact LP tier, the expected utility is at least OPT/4
@@ -88,8 +91,17 @@ Result<Arrangement> LpPacking(const Instance& instance, Rng* rng,
                               const LpPackingOptions& options = {},
                               LpPackingStats* stats = nullptr);
 
-/// LP-packing on pre-enumerated admissible sets (lets callers reuse the
-/// enumeration across repetitions or inspect it).
+/// LP-packing on a pre-built catalog (lets callers reuse the enumeration
+/// across repetitions or inspect it).
+Result<Arrangement> LpPackingWithCatalog(const Instance& instance,
+                                         const AdmissibleCatalog& catalog,
+                                         Rng* rng,
+                                         const LpPackingOptions& options = {},
+                                         LpPackingStats* stats = nullptr);
+
+/// DEPRECATED: LP-packing on pre-enumerated nested admissible sets. Kept as
+/// the independent legacy pipeline (own LP build + rounding) so equivalence
+/// tests can compare it against the catalog path.
 Result<Arrangement> LpPackingWithSets(
     const Instance& instance, const std::vector<AdmissibleSets>& admissible,
     Rng* rng, const LpPackingOptions& options = {},
@@ -101,19 +113,44 @@ Result<Arrangement> LpPackingWithSets(
 /// experiment harnesses solve it once per instance and re-round many times
 /// (this is how the paper's 50-repetition real-dataset protocol stays cheap).
 struct FractionalSolution {
+  /// Materialized model + column bookkeeping. On the catalog path this is
+  /// only filled when the generic lp:: facade solved line 1 (the structured
+  /// solver reads the catalog CSR directly and leaves it empty); the
+  /// deprecated nested path always fills it.
   BenchmarkLp bench;
   lp::LpSolution lp;
   /// True when the structured block-angular solver produced `lp`.
   bool structured = false;
 };
 
-/// Line 1 of Algorithm 1: build and solve the benchmark LP (1)-(4).
+/// Line 1 of Algorithm 1 over the catalog: solve the benchmark LP (1)-(4),
+/// routing to the structured CSR solver or materializing a model for the
+/// generic facade per `options.benchmark_solver`.
+Result<FractionalSolution> SolveBenchmarkLpForPacking(
+    const Instance& instance, const AdmissibleCatalog& catalog,
+    const LpPackingOptions& options = {});
+
+/// DEPRECATED: line 1 over the nested representation (independent legacy
+/// path; materializes the model unconditionally).
 Result<FractionalSolution> SolveBenchmarkLpForPacking(
     const Instance& instance, const std::vector<AdmissibleSets>& admissible,
     const LpPackingOptions& options = {});
 
-/// Lines 2-8 of Algorithm 1: sample one admissible set per user with
-/// probability α·x*, repair event capacities, emit the surviving pairs.
+/// Lines 2-8 of Algorithm 1 over the catalog: sample one admissible set per
+/// user with probability α·x*, repair event capacities, emit the surviving
+/// pairs. The repair sweep uses the catalog's inverted event→column index to
+/// confine per-event bookkeeping to the (typically few) oversubscribed
+/// events: users whose sampled set touches no overloaded event are emitted
+/// in bulk without capacity checks. Output is identical to the legacy sweep.
+Result<Arrangement> RoundFractional(const Instance& instance,
+                                    const AdmissibleCatalog& catalog,
+                                    const FractionalSolution& fractional,
+                                    Rng* rng,
+                                    const LpPackingOptions& options = {},
+                                    LpPackingStats* stats = nullptr);
+
+/// DEPRECATED: lines 2-8 over the nested representation (requires
+/// `fractional.bench` as produced by the deprecated overload above).
 Result<Arrangement> RoundFractional(const Instance& instance,
                                     const std::vector<AdmissibleSets>& admissible,
                                     const FractionalSolution& fractional,

@@ -1,10 +1,12 @@
 #include "exp/harness.h"
 
+#include "core/admissible_catalog.h"
 #include "util/stopwatch.h"
 
 namespace igepa {
 namespace exp {
 
+using core::AdmissibleCatalog;
 using core::Arrangement;
 using core::Instance;
 
@@ -22,6 +24,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "GG+LS";
     case Algorithm::kLpPackingLocalSearch:
       return "LP-packing+LS";
+    case Algorithm::kGreedyBestSet:
+      return "GBS";
   }
   return "Unknown";
 }
@@ -31,15 +35,36 @@ std::vector<Algorithm> PaperAlgorithms() {
           Algorithm::kGreedyGg};
 }
 
+namespace {
+
+bool NeedsCatalog(Algorithm algorithm) {
+  // Both +LS variants get the catalog so "+LS" means the same improver
+  // (add / swap / set moves) in every table row.
+  return algorithm == Algorithm::kLpPacking ||
+         algorithm == Algorithm::kLpPackingLocalSearch ||
+         algorithm == Algorithm::kGreedyLocalSearch ||
+         algorithm == Algorithm::kGreedyBestSet;
+}
+
+}  // namespace
+
 Result<TrialOutcome> RunOnInstance(const Instance& instance,
                                    Algorithm algorithm, Rng* rng,
                                    const HarnessOptions& options) {
   TrialOutcome outcome;
   Stopwatch watch;
   Result<Arrangement> result = Status::Internal("unset");
+  // The catalog is the shared substrate of every set-based algorithm; build
+  // it once per trial and thread it through.
+  std::unique_ptr<AdmissibleCatalog> catalog;
+  if (NeedsCatalog(algorithm)) {
+    catalog = std::make_unique<AdmissibleCatalog>(
+        AdmissibleCatalog::Build(instance, options.lp.admissible));
+  }
   switch (algorithm) {
     case Algorithm::kLpPacking:
-      result = core::LpPacking(instance, rng, options.lp, &outcome.lp_stats);
+      result = core::LpPackingWithCatalog(instance, *catalog, rng, options.lp,
+                                          &outcome.lp_stats);
       break;
     case Algorithm::kGreedyGg:
       result = algo::GreedyGg(instance);
@@ -50,18 +75,24 @@ Result<TrialOutcome> RunOnInstance(const Instance& instance,
     case Algorithm::kRandomV:
       result = algo::RandomV(instance, rng);
       break;
+    case Algorithm::kGreedyBestSet:
+      result = algo::GreedyBestSet(instance, *catalog);
+      break;
     case Algorithm::kGreedyLocalSearch: {
       IGEPA_ASSIGN_OR_RETURN(Arrangement start, algo::GreedyGg(instance));
       result = algo::ImproveLocalSearch(instance, std::move(start),
-                                        options.local_search);
+                                        options.local_search,
+                                        /*stats=*/nullptr, catalog.get());
       break;
     }
     case Algorithm::kLpPackingLocalSearch: {
       IGEPA_ASSIGN_OR_RETURN(
           Arrangement start,
-          core::LpPacking(instance, rng, options.lp, &outcome.lp_stats));
+          core::LpPackingWithCatalog(instance, *catalog, rng, options.lp,
+                                     &outcome.lp_stats));
       result = algo::ImproveLocalSearch(instance, std::move(start),
-                                        options.local_search);
+                                        options.local_search,
+                                        /*stats=*/nullptr, catalog.get());
       break;
     }
   }
@@ -79,13 +110,14 @@ Result<TrialOutcome> RunOnInstance(const Instance& instance,
 namespace {
 
 /// Per-shared-instance cache of the LP-packing pipeline's expensive,
-/// randomness-free prefix (admissible sets + fractional LP solution). The
-/// real-dataset protocol reuses one instance across all repetitions, and
-/// line 1 of Algorithm 1 depends only on the instance — so it is solved once
-/// and only the sampling/repair (lines 2-8) re-run per repetition.
+/// randomness-free prefix: the admissible catalog and the fractional LP
+/// solution. The real-dataset protocol reuses one instance across all
+/// repetitions, and line 1 of Algorithm 1 depends only on the instance — so
+/// the catalog is built and the LP solved once, and only the sampling/repair
+/// (lines 2-8) re-run per repetition against catalog views.
 struct LpCache {
   bool ready = false;
-  std::vector<core::AdmissibleSets> admissible;
+  AdmissibleCatalog catalog;
   core::FractionalSolution fractional;
 };
 
@@ -96,22 +128,22 @@ Result<TrialOutcome> RunLpPackingCached(const Instance& instance,
   TrialOutcome outcome;
   Stopwatch watch;
   if (!cache->ready) {
-    cache->admissible =
-        core::EnumerateAdmissibleSets(instance, options.lp.admissible);
+    cache->catalog = AdmissibleCatalog::Build(instance, options.lp.admissible);
     IGEPA_ASSIGN_OR_RETURN(cache->fractional,
                            core::SolveBenchmarkLpForPacking(
-                               instance, cache->admissible, options.lp));
+                               instance, cache->catalog, options.lp));
     cache->ready = true;
   }
   IGEPA_ASSIGN_OR_RETURN(
       Arrangement arrangement,
-      core::RoundFractional(instance, cache->admissible, cache->fractional,
-                            rng, options.lp, &outcome.lp_stats));
+      core::RoundFractional(instance, cache->catalog, cache->fractional, rng,
+                            options.lp, &outcome.lp_stats));
   if (algorithm == Algorithm::kLpPackingLocalSearch) {
-    IGEPA_ASSIGN_OR_RETURN(arrangement,
-                           algo::ImproveLocalSearch(instance,
-                                                    std::move(arrangement),
-                                                    options.local_search));
+    IGEPA_ASSIGN_OR_RETURN(
+        arrangement,
+        algo::ImproveLocalSearch(instance, std::move(arrangement),
+                                 options.local_search, /*stats=*/nullptr,
+                                 &cache->catalog));
   }
   outcome.seconds = watch.ElapsedSeconds();
   if (options.check_feasibility) {

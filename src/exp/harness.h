@@ -27,6 +27,8 @@ enum class Algorithm : uint8_t {
   kGreedyLocalSearch,
   /// Extension: LP-packing followed by the local-search improver.
   kLpPackingLocalSearch,
+  /// Extension: catalog-native set-level greedy (algo::GreedyBestSet).
+  kGreedyBestSet,
 };
 
 /// Stable display name ("LP-packing", "GG", ...) matching the paper's tables.

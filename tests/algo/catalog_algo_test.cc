@@ -1,0 +1,120 @@
+// Catalog-threaded algorithm extensions: the GBS set-greedy baseline and the
+// local-search whole-set replacement moves.
+
+#include <gtest/gtest.h>
+
+#include "algo/baselines.h"
+#include "algo/local_search.h"
+#include "core/admissible_catalog.h"
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace algo {
+namespace {
+
+using core::AdmissibleCatalog;
+using core::Instance;
+
+Result<Instance> SmallInstance(uint64_t seed) {
+  Rng rng(seed);
+  gen::SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 80;
+  config.max_event_capacity = 4;
+  return gen::GenerateSynthetic(config, &rng);
+}
+
+TEST(GreedyBestSetTest, FeasibleAndDeterministic) {
+  auto instance = SmallInstance(71);
+  ASSERT_TRUE(instance.ok());
+  const auto catalog = AdmissibleCatalog::Build(*instance, {});
+  auto a = GreedyBestSet(*instance, catalog);
+  auto b = GreedyBestSet(*instance, catalog);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->CheckFeasible(*instance).ok());
+  EXPECT_EQ(a->pairs(), b->pairs());
+  EXPECT_EQ(a->Utility(*instance), b->Utility(*instance));
+  EXPECT_GT(a->size(), 0);
+}
+
+TEST(GreedyBestSetTest, TinyInstanceTakesHeaviestSets) {
+  const Instance instance = core::MakeTinyInstance();
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  auto result = GreedyBestSet(instance, catalog);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->CheckFeasible(instance).ok());
+  // Best-set weights: u0 {0,2} = 1.00, u1 {0} = 0.80, u2 {1,2} = 0.80. u0
+  // goes first and takes {0,2}, exhausting e0 and e2 (capacity 1 each); u1
+  // then fits nothing and u2 falls back to {1} (0.35).
+  EXPECT_TRUE(result->Contains(0, 0));
+  EXPECT_TRUE(result->Contains(2, 0));
+  EXPECT_TRUE(result->Contains(1, 2));
+  EXPECT_EQ(result->size(), 3);
+  EXPECT_NEAR(result->Utility(instance), 1.35, 1e-12);
+}
+
+TEST(GreedyBestSetTest, RejectsMismatchedCatalog) {
+  const Instance tiny = core::MakeTinyInstance();
+  auto other = SmallInstance(73);
+  ASSERT_TRUE(other.ok());
+  const auto catalog = AdmissibleCatalog::Build(*other, {});
+  EXPECT_FALSE(GreedyBestSet(tiny, catalog).ok());
+}
+
+TEST(LocalSearchCatalogTest, SetMovesNeverDecreaseUtilityAndStayFeasible) {
+  auto instance = SmallInstance(79);
+  ASSERT_TRUE(instance.ok());
+  const auto catalog = AdmissibleCatalog::Build(*instance, {});
+  Rng rng(5);
+  auto start = RandomU(*instance, &rng);
+  ASSERT_TRUE(start.ok());
+  const double before = start->Utility(*instance);
+  LocalSearchStats stats;
+  auto improved = ImproveLocalSearch(*instance, *start, {}, &stats, &catalog);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_TRUE(improved->CheckFeasible(*instance).ok());
+  EXPECT_GE(improved->Utility(*instance), before);
+  EXPECT_EQ(stats.final_utility, improved->Utility(*instance));
+}
+
+TEST(LocalSearchCatalogTest, NullCatalogKeepsLegacyBehavior) {
+  auto instance = SmallInstance(83);
+  ASSERT_TRUE(instance.ok());
+  Rng rng_a(9);
+  Rng rng_b(9);
+  auto start_a = RandomU(*instance, &rng_a);
+  auto start_b = RandomU(*instance, &rng_b);
+  ASSERT_TRUE(start_a.ok());
+  ASSERT_TRUE(start_b.ok());
+  LocalSearchStats stats;
+  auto with_null =
+      ImproveLocalSearch(*instance, *start_a, {}, &stats, nullptr);
+  auto default_call = ImproveLocalSearch(*instance, *start_b, {});
+  ASSERT_TRUE(with_null.ok());
+  ASSERT_TRUE(default_call.ok());
+  EXPECT_EQ(stats.set_moves, 0);
+  EXPECT_EQ(with_null->Utility(*instance), default_call->Utility(*instance));
+}
+
+TEST(LocalSearchCatalogTest, SetMovesCanBeDisabled) {
+  auto instance = SmallInstance(89);
+  ASSERT_TRUE(instance.ok());
+  const auto catalog = AdmissibleCatalog::Build(*instance, {});
+  Rng rng(13);
+  auto start = RandomU(*instance, &rng);
+  ASSERT_TRUE(start.ok());
+  LocalSearchOptions options;
+  options.enable_set_moves = false;
+  LocalSearchStats stats;
+  auto improved =
+      ImproveLocalSearch(*instance, *start, options, &stats, &catalog);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_EQ(stats.set_moves, 0);
+}
+
+}  // namespace
+}  // namespace algo
+}  // namespace igepa

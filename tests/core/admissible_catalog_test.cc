@@ -1,0 +1,153 @@
+#include "core/admissible_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/admissible.h"
+#include "gen/synthetic.h"
+#include "tests/core/test_instances.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace core {
+namespace {
+
+Result<Instance> MediumInstance(uint64_t seed) {
+  Rng rng(seed);
+  gen::SyntheticConfig config;
+  config.num_events = 40;
+  config.num_users = 300;  // above the parallel-build threshold
+  config.p_conflict = 0.3;
+  return gen::GenerateSynthetic(config, &rng);
+}
+
+/// Structural equality against the legacy enumeration, span by span.
+void ExpectMatchesLegacy(const Instance& instance,
+                         const AdmissibleCatalog& catalog,
+                         const std::vector<AdmissibleSets>& legacy) {
+  ASSERT_EQ(catalog.num_users(), static_cast<int32_t>(legacy.size()));
+  int32_t expected_cols = 0;
+  for (const auto& a : legacy) expected_cols += static_cast<int32_t>(a.sets.size());
+  ASSERT_EQ(catalog.num_columns(), expected_cols);
+  for (UserId u = 0; u < catalog.num_users(); ++u) {
+    const auto& sets = legacy[static_cast<size_t>(u)].sets;
+    ASSERT_EQ(catalog.num_sets(u), static_cast<int32_t>(sets.size()))
+        << "user " << u;
+    EXPECT_EQ(catalog.truncated(u), legacy[static_cast<size_t>(u)].truncated);
+    for (int32_t k = 0; k < catalog.num_sets(u); ++k) {
+      const int32_t j = catalog.user_columns_begin(u) + k;
+      EXPECT_EQ(catalog.user_of(j), u);
+      const auto span = catalog.set(j);
+      const auto& expected = sets[static_cast<size_t>(k)];
+      ASSERT_EQ(span.size(), expected.size());
+      EXPECT_TRUE(std::equal(span.begin(), span.end(), expected.begin()));
+      // Precomputed weight must match the per-call legacy SetWeight exactly
+      // (same summation order), not just approximately.
+      EXPECT_EQ(catalog.weight(j), SetWeight(instance, u, expected));
+    }
+  }
+}
+
+TEST(AdmissibleCatalogTest, TinyInstanceMatchesLegacyEnumeration) {
+  const Instance instance = MakeTinyInstance();
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  ExpectMatchesLegacy(instance, catalog, EnumerateAdmissibleSets(instance, {}));
+  EXPECT_FALSE(catalog.any_truncated());
+}
+
+TEST(AdmissibleCatalogTest, SyntheticMatchesLegacyEnumeration) {
+  auto instance = MediumInstance(17);
+  ASSERT_TRUE(instance.ok());
+  const auto catalog = AdmissibleCatalog::Build(*instance, {});
+  ExpectMatchesLegacy(*instance, catalog,
+                      EnumerateAdmissibleSets(*instance, {}));
+}
+
+TEST(AdmissibleCatalogTest, FromLegacyRoundTrips) {
+  auto instance = MediumInstance(23);
+  ASSERT_TRUE(instance.ok());
+  const auto legacy = EnumerateAdmissibleSets(*instance, {});
+  const auto catalog = AdmissibleCatalog::FromLegacy(*instance, legacy);
+  ExpectMatchesLegacy(*instance, catalog, legacy);
+  const auto back = catalog.ToLegacy();
+  ASSERT_EQ(back.size(), legacy.size());
+  for (size_t u = 0; u < legacy.size(); ++u) {
+    EXPECT_EQ(back[u].sets, legacy[u].sets);
+    EXPECT_EQ(back[u].truncated, legacy[u].truncated);
+  }
+}
+
+TEST(AdmissibleCatalogTest, ParallelBuildIsDeterministic) {
+  auto instance = MediumInstance(31);
+  ASSERT_TRUE(instance.ok());
+  AdmissibleOptions serial;
+  serial.num_threads = 1;
+  AdmissibleOptions parallel;
+  parallel.num_threads = 4;  // forces the chunked multi-thread path
+  const auto a = AdmissibleCatalog::Build(*instance, serial);
+  const auto b = AdmissibleCatalog::Build(*instance, parallel);
+  EXPECT_EQ(a.pool(), b.pool());
+  EXPECT_EQ(a.col_begin(), b.col_begin());
+  EXPECT_EQ(a.user_begin(), b.user_begin());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.col_users(), b.col_users());
+  EXPECT_EQ(a.any_truncated(), b.any_truncated());
+}
+
+TEST(AdmissibleCatalogTest, InvertedIndexIsExact) {
+  auto instance = MediumInstance(41);
+  ASSERT_TRUE(instance.ok());
+  const auto catalog = AdmissibleCatalog::Build(*instance, {});
+  // Forward reconstruction: the set of columns containing each event.
+  std::vector<std::vector<int32_t>> expected(
+      static_cast<size_t>(instance->num_events()));
+  for (int32_t j = 0; j < catalog.num_columns(); ++j) {
+    for (EventId v : catalog.set(j)) {
+      expected[static_cast<size_t>(v)].push_back(j);
+    }
+  }
+  int64_t total = 0;
+  for (EventId v = 0; v < instance->num_events(); ++v) {
+    const auto cols = catalog.columns_of_event(v);
+    total += static_cast<int64_t>(cols.size());
+    ASSERT_EQ(cols.size(), expected[static_cast<size_t>(v)].size())
+        << "event " << v;
+    EXPECT_TRUE(std::equal(cols.begin(), cols.end(),
+                           expected[static_cast<size_t>(v)].begin()));
+    // Ascending column ids (callers rely on this for deterministic sweeps).
+    EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+  }
+  // Every pool entry appears exactly once in the inverted index.
+  EXPECT_EQ(total, catalog.num_pairs());
+}
+
+TEST(AdmissibleCatalogTest, TruncationFlagMatchesLegacy) {
+  const Instance instance = MakeTinyInstance();
+  AdmissibleOptions options;
+  options.max_sets_per_user = 2;
+  const auto catalog = AdmissibleCatalog::Build(instance, options);
+  const auto legacy = EnumerateAdmissibleSets(instance, options);
+  EXPECT_TRUE(catalog.any_truncated());
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    EXPECT_EQ(catalog.truncated(u), legacy[static_cast<size_t>(u)].truncated)
+        << "user " << u;
+    EXPECT_LE(catalog.num_sets(u), 2);
+  }
+  ExpectMatchesLegacy(instance, catalog, legacy);
+}
+
+TEST(AdmissibleCatalogTest, EmptyCatalogIsConsistent) {
+  AdmissibleCatalog catalog;
+  EXPECT_EQ(catalog.num_users(), 0);
+  EXPECT_EQ(catalog.num_events(), 0);
+  EXPECT_EQ(catalog.num_columns(), 0);
+  EXPECT_EQ(catalog.num_pairs(), 0);
+  EXPECT_FALSE(catalog.any_truncated());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace igepa
