@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI helper: make find_package(GTest REQUIRED) and find_package(benchmark)
+# work regardless of whether the distro's libgtest-dev ships prebuilt
+# libraries or sources only. Builds GoogleTest from /usr/src/googletest into
+# $DEPS_PREFIX exactly once; the prefix is cached across runs by
+# actions/cache, so warm runs skip the build entirely.
+set -euo pipefail
+
+PREFIX="${DEPS_PREFIX:?DEPS_PREFIX must be set}"
+
+if [[ -f "$PREFIX/.gtest-ok" ]]; then
+  echo "ensure_gtest: using cached GoogleTest in $PREFIX"
+  exit 0
+fi
+
+# Prebuilt system libraries are fine too — probe with a throwaway configure.
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/CMakeLists.txt" <<'EOF'
+cmake_minimum_required(VERSION 3.16)
+project(probe CXX)
+find_package(GTest REQUIRED)
+EOF
+if cmake -S "$probe_dir" -B "$probe_dir/b" >/dev/null 2>&1; then
+  echo "ensure_gtest: system GoogleTest found; no prefix build needed"
+  mkdir -p "$PREFIX"
+  touch "$PREFIX/.gtest-ok"
+  exit 0
+fi
+
+if [[ ! -d /usr/src/googletest ]]; then
+  echo "ensure_gtest: no system GTest and no /usr/src/googletest" >&2
+  exit 1
+fi
+
+echo "ensure_gtest: building GoogleTest from /usr/src/googletest"
+build_dir="$(mktemp -d)"
+cmake -S /usr/src/googletest -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_INSTALL_PREFIX="$PREFIX"
+cmake --build "$build_dir" -j "$(nproc)"
+cmake --install "$build_dir"
+rm -rf "$build_dir"
+touch "$PREFIX/.gtest-ok"
+echo "ensure_gtest: installed into $PREFIX"

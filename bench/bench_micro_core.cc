@@ -132,6 +132,45 @@ void BM_RoundFractionalCatalog(benchmark::State& state) {
 }
 BENCHMARK(BM_RoundFractionalCatalog)->Arg(500)->Arg(2000);
 
+// Parallel-vs-serial counters for the shard-parallel pipeline: the same
+// solve at 1, 2 and 8 workers (results are bit-identical; only the wall
+// clock moves). The /1 row IS the serial baseline — speedup(t) =
+// real_time(/1) / real_time(/t).
+void BM_StructuredDualThreads(benchmark::State& state) {
+  const auto instance = MakeInstance(1000);
+  core::AdmissibleOptions enumerate;
+  enumerate.num_threads = 1;
+  const auto catalog = core::AdmissibleCatalog::Build(instance, enumerate);
+  core::StructuredDualOptions options;
+  options.max_iterations = 400;
+  options.num_threads = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    auto sol = core::SolveBenchmarkLpStructured(instance, catalog, options);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_StructuredDualThreads)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RoundFractionalCatalogThreads(benchmark::State& state) {
+  const auto instance = MakeInstance(2000);
+  const auto catalog = core::AdmissibleCatalog::Build(instance, {});
+  auto fractional = core::SolveBenchmarkLpForPacking(instance, catalog, {});
+  core::LpPackingOptions options;
+  options.num_threads = static_cast<int32_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    auto arrangement =
+        core::RoundFractional(instance, catalog, *fractional, &rng, options);
+    benchmark::DoNotOptimize(arrangement);
+  }
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_RoundFractionalCatalogThreads)->Arg(1)->Arg(2)->Arg(8);
+
 void BM_GreedyBestSet(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
   const auto catalog = core::AdmissibleCatalog::Build(instance, {});

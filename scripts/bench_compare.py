@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro_core run against the committed baseline.
+
+Reads two google-benchmark JSON files and compares per-benchmark real_time
+on the benchmarks selected by --filter (default: the catalog enumeration /
+LP-build families, which are the perf trajectory this repo tracks — see
+BENCH_micro_core.json at the repo root). Regressions beyond --warn print a
+warning; beyond --fail the script exits nonzero. Benchmarks present on only
+one side are reported and skipped.
+
+Usage:
+  scripts/bench_compare.py --baseline BENCH_micro_core.json \
+                           --current build/BENCH_micro_core.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+DEFAULT_FILTER = (
+    r"^BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
+    r"EnumerateAdmissibleSets|LegacyEnumerateAndLpBuild|"
+    r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd)"
+)
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced JSON")
+    parser.add_argument("--warn", type=float, default=0.10,
+                        help="warn above this relative slowdown (default 10%%)")
+    parser.add_argument("--fail", type=float, default=0.25,
+                        help="fail above this relative slowdown (default 25%%)")
+    parser.add_argument("--filter", default=DEFAULT_FILTER,
+                        help="regex over benchmark names to compare")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions but always exit 0 (for "
+                             "cross-machine comparisons where absolute "
+                             "timings are indicative only)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    pattern = re.compile(args.filter)
+
+    compared = 0
+    warnings = []
+    failures = []
+    for name in sorted(current):
+        if not pattern.search(name):
+            continue
+        if name not in baseline:
+            print(f"  NEW   {name}: no baseline entry, skipped")
+            continue
+        compared += 1
+        base = baseline[name]
+        cur = current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        tag = "ok"
+        if delta > args.fail:
+            tag = "FAIL"
+            failures.append(name)
+        elif delta > args.warn:
+            tag = "WARN"
+            warnings.append(name)
+        elif delta < -args.warn:
+            tag = "faster"
+        print(f"  {tag:6s}{name}: {base:12.0f} ns -> {cur:12.0f} ns "
+              f"({delta:+.1%})")
+    for name in sorted(baseline):
+        if pattern.search(name) and name not in current:
+            print(f"  GONE  {name}: present in baseline only")
+
+    if compared == 0:
+        print(f"bench_compare: no benchmarks matched {args.filter!r}",
+              file=sys.stderr)
+        return 0 if args.advisory else 2
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s) beyond "
+              f"{args.fail:.0%}: {', '.join(failures)}"
+              + (" [advisory: not failing]" if args.advisory else ""),
+              file=sys.stderr)
+        return 0 if args.advisory else 1
+    print(f"bench_compare: {compared} compared, {len(warnings)} warning(s), "
+          f"0 failures")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

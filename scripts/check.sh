@@ -1,31 +1,77 @@
 #!/usr/bin/env bash
 # Tier-1 verify, end to end: configure, build everything, run the full test
-# suite. Optionally (--bench) also builds and runs bench_micro_core, leaving
-# BENCH_micro_core.json in the build directory for the perf trajectory.
+# suite. This is the single entry point shared by local runs and every CI
+# job — extra arguments are forwarded verbatim to the cmake configure step,
+# and CC/CXX from the environment are honored.
+#
+#   scripts/check.sh [--bench] [--build-dir DIR] [cmake args...]
+#
+#   --bench          also build bench_micro_core (-DIGEPA_BUILD_BENCH=ON) and
+#                    run it, leaving BENCH_micro_core.json in the build dir
+#   --build-dir DIR  configure/build in DIR (default: build)
+#   cmake args       e.g. -DCMAKE_BUILD_TYPE=Debug -DIGEPA_SANITIZE=thread
+#
+# A build directory configured with a *different* compiler or conflicting
+# -D cache values is refused (exit 3) instead of silently reusing the stale
+# cache — CI matrices and sanitizer jobs must each use their own directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
-for arg in "$@"; do
-  case "$arg" in
-    --bench) RUN_BENCH=1 ;;
-    *) echo "usage: scripts/check.sh [--bench]" >&2; exit 2 ;;
+BUILD_DIR=build
+CMAKE_ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bench) RUN_BENCH=1; shift ;;
+    --build-dir) BUILD_DIR="${2:?--build-dir needs a value}"; shift 2 ;;
+    --help|-h)
+      sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) CMAKE_ARGS+=("$1"); shift ;;
   esac
 done
 
-BENCH_FLAG=""
 if [[ "$RUN_BENCH" == "1" ]]; then
-  BENCH_FLAG="-DIGEPA_BUILD_BENCH=ON"
+  CMAKE_ARGS+=("-DIGEPA_BUILD_BENCH=ON")
 fi
 
-cmake -B build -S . ${BENCH_FLAG}
-cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+# ---- Stale-configure guard -------------------------------------------------
+# CMake honors command-line -D values over an existing cache, but it silently
+# IGNORES a changed CC/CXX (or -DCMAKE_*_COMPILER) once a build dir is
+# configured — the one case where reusing the dir produces a build that lies
+# about its toolchain. Refuse that instead of proceeding.
+CACHE="$BUILD_DIR/CMakeCache.txt"
+stale() { echo "check.sh: stale build dir '$BUILD_DIR': $1" >&2
+          echo "check.sh: remove it or pass --build-dir NEW_DIR" >&2
+          exit 3; }
+compiler_guard() { # $1 = cache var name, $2 = requested compiler
+  local cached want
+  cached="$(sed -n "s/^$1:[^=]*=//p" "$CACHE" | head -1)"
+  want="$(command -v "$2" || true)"
+  if [[ -n "$cached" && -n "$want" ]] \
+     && [[ "$(readlink -f "$cached")" != "$(readlink -f "$want")" ]]; then
+    stale "configured with $1=$cached, but $2 was requested"
+  fi
+}
+if [[ -f "$CACHE" ]]; then
+  [[ -n "${CC:-}"  ]] && compiler_guard CMAKE_C_COMPILER "$CC"
+  [[ -n "${CXX:-}" ]] && compiler_guard CMAKE_CXX_COMPILER "$CXX"
+  for arg in "${CMAKE_ARGS[@]}"; do
+    case "$arg" in
+      -DCMAKE_C_COMPILER=*)   compiler_guard CMAKE_C_COMPILER "${arg#*=}" ;;
+      -DCMAKE_CXX_COMPILER=*) compiler_guard CMAKE_CXX_COMPILER "${arg#*=}" ;;
+    esac
+  done
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 if [[ "$RUN_BENCH" == "1" ]]; then
-  (cd build && ./bench_micro_core)
-  echo "bench results: build/BENCH_micro_core.json"
+  (cd "$BUILD_DIR" && ./bench_micro_core)
+  echo "bench results: $BUILD_DIR/BENCH_micro_core.json"
 fi
 
 echo "check.sh: OK"

@@ -98,6 +98,10 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
                    "lp-packing | gg | gbs | random-u | random-v | online");
   parser.AddDouble("alpha", 1.0, "LP-packing sampling scale in (0,1]");
   parser.AddInt("seed", 42, "random seed for randomized algorithms");
+  parser.AddInt("threads", 0,
+                "worker threads for enumeration, LP solve and rounding "
+                "(0 = hardware concurrency; results are identical for every "
+                "value)");
   parser.AddBool("help", false, "show this help");
   if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
   if (parser.GetBool("help")) {
@@ -107,9 +111,13 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
   if (parser.GetString("in").empty()) {
     return Fail(err, Status::InvalidArgument("--in is required"));
   }
+  if (parser.GetInt("threads") < 0) {
+    return Fail(err, Status::InvalidArgument("--threads must be >= 0"));
+  }
   auto instance = io::ReadInstanceCsv(parser.GetString("in"));
   if (!instance.ok()) return Fail(err, instance.status());
 
+  const auto threads = static_cast<int32_t>(parser.GetInt("threads"));
   Rng rng(static_cast<uint64_t>(parser.GetInt("seed")));
   const std::string& algorithm = parser.GetString("algorithm");
   Stopwatch watch;
@@ -117,12 +125,17 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
   if (algorithm == "lp-packing") {
     core::LpPackingOptions options;
     options.alpha = parser.GetDouble("alpha");
+    options.num_threads = threads;
+    options.structured.num_threads = threads;
+    options.admissible.num_threads = threads;
     arrangement = core::LpPacking(*instance, &rng, options);
   } else if (algorithm == "gg") {
     arrangement = algo::GreedyGg(*instance);
   } else if (algorithm == "gbs") {
+    core::AdmissibleOptions admissible;
+    admissible.num_threads = threads;
     const core::AdmissibleCatalog catalog =
-        core::AdmissibleCatalog::Build(*instance, {});
+        core::AdmissibleCatalog::Build(*instance, admissible);
     arrangement = algo::GreedyBestSet(*instance, catalog);
   } else if (algorithm == "random-u") {
     arrangement = algo::RandomU(*instance, &rng);

@@ -1,8 +1,9 @@
 #include "core/admissible_catalog.h"
 
 #include <algorithm>
-#include <thread>
 #include <utility>
+
+#include "util/thread_pool.h"
 
 namespace igepa {
 namespace core {
@@ -161,15 +162,13 @@ void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
 AdmissibleCatalog AdmissibleCatalog::Build(const Instance& instance,
                                            const AdmissibleOptions& options) {
   const int32_t nu = instance.num_users();
-  int32_t threads = options.num_threads;
-  if (threads <= 0) {
-    threads = static_cast<int32_t>(std::thread::hardware_concurrency());
-  }
-  threads = std::max<int32_t>(1, threads);
-  // Thread spawn cost dwarfs enumeration on small instances.
+  int32_t threads = ThreadPool::ResolveThreadCount(options.num_threads, nu);
+  // Pool spawn cost dwarfs enumeration on small instances.
   if (nu < 256) threads = 1;
-  threads = std::min(threads, std::max<int32_t>(1, nu));
 
+  // One chunk per lane; the deterministic concatenation below is in user
+  // order regardless of chunking, so any thread count yields the same
+  // catalog.
   std::vector<Shard> shards(static_cast<size_t>(threads));
   std::vector<UserId> chunk_begin(static_cast<size_t>(threads) + 1);
   for (int32_t c = 0; c <= threads; ++c) {
@@ -179,15 +178,17 @@ AdmissibleCatalog AdmissibleCatalog::Build(const Instance& instance,
   if (threads == 1) {
     EnumerateChunk(instance, 0, nu, options, &shards[0]);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int32_t c = 0; c < threads; ++c) {
-      pool.emplace_back(EnumerateChunk, std::cref(instance),
-                        chunk_begin[static_cast<size_t>(c)],
-                        chunk_begin[static_cast<size_t>(c) + 1],
-                        std::cref(options), &shards[static_cast<size_t>(c)]);
-    }
-    for (auto& t : pool) t.join();
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, threads, /*grain=*/1,
+                     [&](int32_t, int64_t begin, int64_t end) {
+                       for (int64_t c = begin; c < end; ++c) {
+                         EnumerateChunk(instance,
+                                        chunk_begin[static_cast<size_t>(c)],
+                                        chunk_begin[static_cast<size_t>(c) + 1],
+                                        options,
+                                        &shards[static_cast<size_t>(c)]);
+                       }
+                     });
   }
 
   // Deterministic concatenation in user order, independent of thread count.

@@ -2,9 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "util/thread_pool.h"
 
 namespace igepa {
 namespace core {
+
+namespace {
+
+/// Users per oracle shard. The shard partition is a function of |U| only —
+/// never of the thread count — so the shard-order merge below reduces in the
+/// same order no matter how many lanes executed the shards (DESIGN.md §5,
+/// S14).
+constexpr int32_t kUserShardSize = 64;
+
+/// Below this many users the pool spawn outweighs the oracle sweep.
+constexpr int32_t kMinParallelUsers = 128;
+
+}  // namespace
 
 Result<lp::LpSolution> SolveBenchmarkLpStructured(
     const Instance& instance, const AdmissibleCatalog& catalog,
@@ -147,41 +163,101 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
     return value;
   };
 
+  // ---- Shard-parallel oracle plumbing. -------------------------------------
+  // Users are partitioned into fixed-size shards; each shard accumulates its
+  // own usage vector and Lagrangian partial, merged serially in shard order
+  // after the join. Shard outputs are otherwise disjoint (current_choice is
+  // per-user; every chosen_count column belongs to exactly one user), so any
+  // lane schedule computes the same bits, and threads=1 runs the identical
+  // shard structure inline.
+  const int32_t num_shards = (nu + kUserShardSize - 1) / kUserShardSize;
+  std::unique_ptr<ThreadPool> workers;
+  if (nu >= kMinParallelUsers &&
+      ThreadPool::ResolveThreadCount(options.num_threads, num_shards) > 1) {
+    workers = std::make_unique<ThreadPool>(
+        ThreadPool::ResolveThreadCount(options.num_threads, num_shards));
+  }
+  const int32_t num_lanes = workers ? workers->num_threads() : 1;
+  // Scratch sizing: the Lagrangian partials are order-sensitive doubles, so
+  // they get one slot per *shard* (fixed partition, merged in shard order);
+  // the usage accumulators are integer-valued counts — exact in any order —
+  // so one buffer per *lane* suffices, keeping scratch memory and the
+  // per-iteration zero+merge at O(threads·|V|), not O(|U|/64·|V|).
+  std::vector<double> shard_lagrangian(static_cast<size_t>(num_shards), 0.0);
+  std::vector<double> lane_usage(
+      static_cast<size_t>(num_lanes) * static_cast<size_t>(nv), 0.0);
+  const auto run_shards = [&](const std::function<void(int32_t)>& shard_body) {
+    ParallelForRanges(workers.get(), 0, num_shards, /*grain=*/1,
+                      [&shard_body](int64_t b, int64_t e) {
+                        for (int64_t s = b; s < e; ++s) {
+                          shard_body(static_cast<int32_t>(s));
+                        }
+                      });
+  };
+
   const double step0 = options.step_scale * wmax;
   int64_t t = 1;
   std::vector<double> grad(static_cast<size_t>(nv), 0.0);
   for (; t <= options.max_iterations; ++t) {
     // ---- Oracle: best admissible set per user under reduced weights. ------
-    std::fill(usage.begin(), usage.end(), 0.0);
+    std::fill(lane_usage.begin(), lane_usage.end(), 0.0);
+    const auto oracle_chunk = [&](int32_t lane, int64_t sb, int64_t se) {
+      double* lu = lane_usage.data() +
+                   static_cast<size_t>(lane) * static_cast<size_t>(nv);
+      for (int64_t s = sb; s < se; ++s) {
+        const UserId shard_begin = static_cast<UserId>(s) * kUserShardSize;
+        const UserId shard_end =
+            std::min<UserId>(nu, shard_begin + kUserShardSize);
+        double lagr = 0.0;
+        for (UserId u = shard_begin; u < shard_end; ++u) {
+          const int32_t begin = user_begin[static_cast<size_t>(u)];
+          const int32_t end = user_begin[static_cast<size_t>(u) + 1];
+          double best = 0.0;
+          int32_t best_col = -1;
+          for (int32_t j = begin; j < end; ++j) {
+            double reduced = weight[static_cast<size_t>(j)];
+            for (int64_t e = col_begin[static_cast<size_t>(j)];
+                 e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+              reduced -= mu[static_cast<size_t>(pool[e])];
+            }
+            if (reduced > best) {
+              best = reduced;
+              best_col = j;
+            }
+          }
+          current_choice[static_cast<size_t>(u)] = best_col;
+          if (best_col >= 0) {
+            lagr += best;
+            ++chosen_count[static_cast<size_t>(best_col)];
+            for (int64_t e = col_begin[static_cast<size_t>(best_col)];
+                 e < col_begin[static_cast<size_t>(best_col) + 1]; ++e) {
+              lu[pool[e]] += 1.0;
+            }
+          }
+        }
+        shard_lagrangian[static_cast<size_t>(s)] = lagr;
+      }
+    };
+    if (workers) {
+      workers->ParallelFor(0, num_shards, /*grain=*/1, oracle_chunk);
+    } else {
+      oracle_chunk(0, 0, num_shards);
+    }
+    // Deterministic merge: event duals' base term, then the Lagrangian shard
+    // partials in fixed shard order; usage sums are integer-valued doubles
+    // (counts of 1.0), hence exact in any lane order and under any schedule.
     double lagrangian = 0.0;
     for (EventId v = 0; v < nv; ++v) {
       lagrangian += capacity[static_cast<size_t>(v)] * mu[static_cast<size_t>(v)];
     }
-    for (UserId u = 0; u < nu; ++u) {
-      const int32_t begin = user_begin[static_cast<size_t>(u)];
-      const int32_t end = user_begin[static_cast<size_t>(u) + 1];
-      double best = 0.0;
-      int32_t best_col = -1;
-      for (int32_t j = begin; j < end; ++j) {
-        double reduced = weight[static_cast<size_t>(j)];
-        for (int64_t e = col_begin[static_cast<size_t>(j)];
-             e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
-          reduced -= mu[static_cast<size_t>(pool[e])];
-        }
-        if (reduced > best) {
-          best = reduced;
-          best_col = j;
-        }
-      }
-      current_choice[static_cast<size_t>(u)] = best_col;
-      if (best_col >= 0) {
-        lagrangian += best;
-        ++chosen_count[static_cast<size_t>(best_col)];
-        for (int64_t e = col_begin[static_cast<size_t>(best_col)];
-             e < col_begin[static_cast<size_t>(best_col) + 1]; ++e) {
-          usage[static_cast<size_t>(pool[e])] += 1.0;
-        }
-      }
+    for (int32_t s = 0; s < num_shards; ++s) {
+      lagrangian += shard_lagrangian[static_cast<size_t>(s)];
+    }
+    std::fill(usage.begin(), usage.end(), 0.0);
+    for (int32_t lane = 0; lane < num_lanes; ++lane) {
+      const double* lu = lane_usage.data() +
+                         static_cast<size_t>(lane) * static_cast<size_t>(nv);
+      for (EventId v = 0; v < nv; ++v) usage[static_cast<size_t>(v)] += lu[v];
     }
     ++avg_count;
     if (lagrangian < best_ub) {
@@ -246,20 +322,26 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   sol.upper_bound = best_ub;
   sol.iterations = std::min<int64_t>(t, options.max_iterations);
   // Duals: μ on event rows; π_u (the oracle value at best μ) on user rows.
-  for (UserId u = 0; u < nu; ++u) {
-    const int32_t begin = user_begin[static_cast<size_t>(u)];
-    const int32_t end = user_begin[static_cast<size_t>(u) + 1];
-    double pi = 0.0;
-    for (int32_t j = begin; j < end; ++j) {
-      double reduced = weight[static_cast<size_t>(j)];
-      for (int64_t e = col_begin[static_cast<size_t>(j)];
-           e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
-        reduced -= best_mu[static_cast<size_t>(pool[e])];
+  // Per-user writes are disjoint, so the shard sweep is trivially
+  // deterministic.
+  run_shards([&](int32_t s) {
+    const UserId shard_begin = s * kUserShardSize;
+    const UserId shard_end = std::min<UserId>(nu, shard_begin + kUserShardSize);
+    for (UserId u = shard_begin; u < shard_end; ++u) {
+      const int32_t begin = user_begin[static_cast<size_t>(u)];
+      const int32_t end = user_begin[static_cast<size_t>(u) + 1];
+      double pi = 0.0;
+      for (int32_t j = begin; j < end; ++j) {
+        double reduced = weight[static_cast<size_t>(j)];
+        for (int64_t e = col_begin[static_cast<size_t>(j)];
+             e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+          reduced -= best_mu[static_cast<size_t>(pool[e])];
+        }
+        pi = std::max(pi, reduced);
       }
-      pi = std::max(pi, reduced);
+      sol.duals[static_cast<size_t>(u)] = pi;
     }
-    sol.duals[static_cast<size_t>(u)] = pi;
-  }
+  });
   for (EventId v = 0; v < nv; ++v) {
     sol.duals[static_cast<size_t>(nu) + static_cast<size_t>(v)] =
         best_mu[static_cast<size_t>(v)];

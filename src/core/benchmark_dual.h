@@ -23,6 +23,12 @@ struct StructuredDualOptions {
   double step_scale = 1.0;
   /// Iterations between primal extractions / gap checks.
   int64_t check_every = 25;
+  /// Worker threads for the sharded oracle sweep (0 = hardware concurrency).
+  /// Users are partitioned into fixed-size shards whose partial sums merge
+  /// serially in shard order, so results are bit-identical for every thread
+  /// count — threads=1 runs the same shard structure inline (DESIGN.md §5,
+  /// S14). Small instances stay serial regardless.
+  int32_t num_threads = 0;
 };
 
 /// Approximate solver specialized to the benchmark LP's block-angular

@@ -1,12 +1,26 @@
 #include "core/lp_packing.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace igepa {
 namespace core {
+namespace {
+
+/// Users per chunk of the sampling/demand sweeps.
+constexpr int64_t kRoundGrain = 256;
+
+/// Below this many users the rounding stage stays serial (pool spawn costs
+/// more than the sweeps; results are identical either way).
+constexpr int32_t kMinParallelUsers = 512;
+
+}  // namespace
 
 Result<Arrangement> LpPacking(const Instance& instance, Rng* rng,
                               const LpPackingOptions& options,
@@ -115,23 +129,42 @@ Result<Arrangement> RoundFractional(const Instance& instance,
   // ---- Lines 2-3: sample one admissible set per user with prob α·x*. ------
   const int32_t nu = instance.num_users();
   const int32_t nv = instance.num_events();
-  std::vector<int32_t> sampled_col(static_cast<size_t>(nu), -1);
+  // Randomness is pre-drawn serially — one NextDouble per user, in user
+  // order, exactly the stream the serial sweep consumed — so the sampling
+  // sweep itself can shard across users without touching the RNG.
+  std::vector<double> draw(static_cast<size_t>(nu), 0.0);
   for (UserId u = 0; u < nu; ++u) {
-    const int32_t begin = catalog.user_columns_begin(u);
-    const int32_t end = catalog.user_columns_end(u);
-    double r = rng->NextDouble();
-    for (int32_t j = begin; j < end; ++j) {
-      const double mass =
-          options.alpha *
-          std::clamp(lp_sol.x[static_cast<size_t>(j)], 0.0, 1.0);
-      if (r < mass) {
-        sampled_col[static_cast<size_t>(u)] = j;
-        break;
-      }
-      r -= mass;
-    }
-    // Remaining mass: no set sampled for u.
+    draw[static_cast<size_t>(u)] = rng->NextDouble();
   }
+  std::unique_ptr<ThreadPool> workers;
+  if (nu >= kMinParallelUsers &&
+      ThreadPool::ResolveThreadCount(options.num_threads,
+                                     nu / kRoundGrain) > 1) {
+    workers = std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(
+        options.num_threads, nu / kRoundGrain));
+  }
+
+  std::vector<int32_t> sampled_col(static_cast<size_t>(nu), -1);
+  ParallelForRanges(
+      workers.get(), 0, nu, kRoundGrain, [&](int64_t ub, int64_t ue) {
+        for (int64_t uu = ub; uu < ue; ++uu) {
+          const UserId u = static_cast<UserId>(uu);
+          const int32_t begin = catalog.user_columns_begin(u);
+          const int32_t end = catalog.user_columns_end(u);
+          double r = draw[static_cast<size_t>(u)];
+          for (int32_t j = begin; j < end; ++j) {
+            const double mass =
+                options.alpha *
+                std::clamp(lp_sol.x[static_cast<size_t>(j)], 0.0, 1.0);
+            if (r < mass) {
+              sampled_col[static_cast<size_t>(u)] = j;
+              break;
+            }
+            r -= mass;
+          }
+          // Remaining mass: no set sampled for u.
+        }
+      });
   if (stats != nullptr) {
     stats->users_sampled = static_cast<int32_t>(
         std::count_if(sampled_col.begin(), sampled_col.end(),
@@ -143,25 +176,34 @@ Result<Arrangement> RoundFractional(const Instance& instance,
   // overflow at all; the inverted event→column index then narrows the checked
   // path to the users actually contending for those events. Everyone else is
   // emitted in bulk — identical output to the full legacy sweep, since an
-  // event whose demand fits its capacity can never reject a pair.
-  std::vector<int32_t> demand(static_cast<size_t>(nv), 0);
-  for (UserId u = 0; u < nu; ++u) {
-    const int32_t j = sampled_col[static_cast<size_t>(u)];
-    if (j < 0) continue;
-    for (EventId v : catalog.set(j)) ++demand[static_cast<size_t>(v)];
-  }
+  // event whose demand fits its capacity can never reject a pair. Demand
+  // counting uses relaxed per-event atomics: integer increments commute, so
+  // the totals are identical for every thread schedule.
+  std::vector<std::atomic<int32_t>> demand(static_cast<size_t>(nv));
+  ParallelForRanges(workers.get(), 0, nu, kRoundGrain,
+                    [&](int64_t ub, int64_t ue) {
+                      for (int64_t uu = ub; uu < ue; ++uu) {
+                        const int32_t j = sampled_col[static_cast<size_t>(uu)];
+                        if (j < 0) continue;
+                        for (EventId v : catalog.set(j)) {
+                          demand[static_cast<size_t>(v)].fetch_add(
+                              1, std::memory_order_relaxed);
+                        }
+                      }
+                    });
   std::vector<uint8_t> hot(static_cast<size_t>(nv), 0);
-  bool any_hot = false;
+  std::vector<EventId> hot_events;
   for (EventId v = 0; v < nv; ++v) {
-    if (demand[static_cast<size_t>(v)] > instance.event_capacity(v)) {
+    if (demand[static_cast<size_t>(v)].load(std::memory_order_relaxed) >
+        instance.event_capacity(v)) {
       hot[static_cast<size_t>(v)] = 1;
-      any_hot = true;
+      hot_events.push_back(v);
     }
   }
+  const bool any_hot = !hot_events.empty();
   std::vector<uint8_t> contended(static_cast<size_t>(nu), 0);
   if (any_hot) {
-    for (EventId v = 0; v < nv; ++v) {
-      if (!hot[static_cast<size_t>(v)]) continue;
+    for (EventId v : hot_events) {
       for (int32_t j : catalog.columns_of_event(v)) {
         const UserId u = catalog.user_of(j);
         if (sampled_col[static_cast<size_t>(u)] == j) {
@@ -192,8 +234,49 @@ Result<Arrangement> RoundFractional(const Instance& instance,
     }
   }
 
+  // Event-ownership sharding of the sweep: a user keeps a hot event v iff
+  // fewer than c_v contenders precede them in the sweep order — exactly the
+  // pairs the sequential load-counting sweep kept, because dropping v from
+  // S_u never affects u's other events. Each hot event therefore resolves
+  // independently: collect its contenders' sweep ranks (ascending column id,
+  // via the inverted index) and cut at the c_v-th smallest. Ranks are a
+  // permutation (distinct), so the cutoff is unambiguous and deterministic.
+  constexpr int32_t kNoCutoff = std::numeric_limits<int32_t>::max();
+  std::vector<int32_t> rank;
+  std::vector<int32_t> cutoff;
+  if (any_hot) {
+    rank.resize(static_cast<size_t>(nu));
+    for (int32_t i = 0; i < nu; ++i) {
+      rank[static_cast<size_t>(order[static_cast<size_t>(i)])] = i;
+    }
+    cutoff.assign(static_cast<size_t>(nv), kNoCutoff);
+    ParallelForRanges(
+        workers.get(), 0, static_cast<int64_t>(hot_events.size()), /*grain=*/4,
+        [&](int64_t hb, int64_t he) {
+          std::vector<int32_t> contender_ranks;
+          for (int64_t h = hb; h < he; ++h) {
+            const EventId v = hot_events[static_cast<size_t>(h)];
+            contender_ranks.clear();
+            for (int32_t j : catalog.columns_of_event(v)) {
+              const UserId u = catalog.user_of(j);
+              if (sampled_col[static_cast<size_t>(u)] == j) {
+                contender_ranks.push_back(rank[static_cast<size_t>(u)]);
+              }
+            }
+            const auto cap =
+                static_cast<size_t>(std::max(0, instance.event_capacity(v)));
+            if (contender_ranks.size() > cap) {
+              std::nth_element(contender_ranks.begin(),
+                               contender_ranks.begin() +
+                                   static_cast<int64_t>(cap),
+                               contender_ranks.end());
+              cutoff[static_cast<size_t>(v)] = contender_ranks[cap];
+            }
+          }
+        });
+  }
+
   Arrangement arrangement(nv, nu);
-  std::vector<int32_t> load(static_cast<size_t>(nv), 0);
   int32_t repaired = 0;
   for (UserId u : order) {
     const int32_t j = sampled_col[static_cast<size_t>(u)];
@@ -206,12 +289,10 @@ Result<Arrangement> RoundFractional(const Instance& instance,
       continue;
     }
     for (EventId v : set) {
-      if (hot[static_cast<size_t>(v)]) {
-        if (load[static_cast<size_t>(v)] >= instance.event_capacity(v)) {
-          ++repaired;  // line 7: drop v from S_u
-          continue;
-        }
-        ++load[static_cast<size_t>(v)];
+      if (hot[static_cast<size_t>(v)] &&
+          rank[static_cast<size_t>(u)] >= cutoff[static_cast<size_t>(v)]) {
+        ++repaired;  // line 7: drop v from S_u
+        continue;
       }
       IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
     }

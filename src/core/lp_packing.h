@@ -54,6 +54,13 @@ struct LpPackingOptions {
   /// Admissible-set enumeration controls.
   AdmissibleOptions admissible;
   RepairOrder repair_order = RepairOrder::kUserIndex;
+  /// Worker threads for the rounding/repair stage (0 = hardware
+  /// concurrency). Sampling randomness is pre-drawn serially and capacity
+  /// repair resolves per event through the inverted event→column index, so
+  /// the arrangement is bit-identical for every thread count (threads=1 runs
+  /// the same structure inline). The LP tier and enumeration read their own
+  /// knobs (`structured.num_threads`, `admissible.num_threads`).
+  int32_t num_threads = 0;
 };
 
 /// Diagnostics from one LpPacking run.

@@ -1,7 +1,11 @@
 #include "exp/harness.h"
 
+#include <memory>
+#include <utility>
+
 #include "core/admissible_catalog.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace igepa {
 namespace exp {
@@ -214,6 +218,40 @@ Result<std::vector<AlgorithmSummary>> RunComparison(
     }
   }
   return summaries;
+}
+
+Result<std::vector<ScenarioResult>> RunScenarios(
+    const std::vector<Scenario>& scenarios, int32_t num_threads) {
+  const int64_t n = static_cast<int64_t>(scenarios.size());
+  std::vector<Result<std::vector<AlgorithmSummary>>> runs(
+      scenarios.size(), Result<std::vector<AlgorithmSummary>>(
+                            Status::Internal("scenario not run")));
+  // Scenarios are embarrassingly parallel: each RunComparison forks every
+  // stream it needs from its own options.seed, and each lane writes only its
+  // own slot — so the driver's schedule cannot change any result, only the
+  // wall clock.
+  const int32_t threads = ThreadPool::ResolveThreadCount(num_threads, n);
+  const auto run_range = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const Scenario& scenario = scenarios[static_cast<size_t>(i)];
+      runs[static_cast<size_t>(i)] = RunComparison(
+          scenario.factory, scenario.algorithms, scenario.options);
+    }
+  };
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    ParallelForRanges(&pool, 0, n, /*grain=*/1, run_range);
+  } else if (n > 0) {
+    run_range(0, n);
+  }
+  std::vector<ScenarioResult> results;
+  results.reserve(scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    if (!runs[i].ok()) return runs[i].status();
+    results.push_back(ScenarioResult{scenarios[i].name,
+                                     std::move(runs[i]).value()});
+  }
+  return results;
 }
 
 }  // namespace exp

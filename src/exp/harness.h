@@ -90,6 +90,34 @@ Result<std::vector<AlgorithmSummary>> RunComparison(
     const InstanceFactory& factory, const std::vector<Algorithm>& algorithms,
     const HarnessOptions& options);
 
+/// One independent harness configuration for the parallel scenario driver: a
+/// named RunComparison invocation with its own factory, algorithm list and
+/// options (including its own master seed).
+struct Scenario {
+  std::string name;
+  InstanceFactory factory;
+  std::vector<Algorithm> algorithms;
+  HarnessOptions options;
+};
+
+/// RunComparison outcome of one scenario, in the input order of RunScenarios.
+struct ScenarioResult {
+  std::string name;
+  std::vector<AlgorithmSummary> summaries;
+};
+
+/// Runs independent scenarios concurrently on a work-stealing pool
+/// (num_threads <= 0 = hardware concurrency) and returns their results in
+/// input order. Every scenario owns its RNG stream via options.seed, so
+/// results are identical to running the scenarios serially, for any thread
+/// count. On failure, returns the error of the lowest-indexed failing
+/// scenario. Scenario wall-clock fields (TrialOutcome::seconds aggregates)
+/// measure the trial itself and remain meaningful, but concurrent scenarios
+/// do contend for cores — prefer num_threads=1 inside options.lp when the
+/// driver itself is parallel.
+Result<std::vector<ScenarioResult>> RunScenarios(
+    const std::vector<Scenario>& scenarios, int32_t num_threads = 0);
+
 }  // namespace exp
 }  // namespace igepa
 

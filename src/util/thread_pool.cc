@@ -1,0 +1,128 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace igepa {
+
+int32_t ThreadPool::HardwareThreads() {
+  return std::max(1, static_cast<int32_t>(std::thread::hardware_concurrency()));
+}
+
+int32_t ThreadPool::ResolveThreadCount(int32_t requested, int64_t work_items) {
+  int32_t threads = requested > 0 ? requested : HardwareThreads();
+  if (work_items < static_cast<int64_t>(threads)) {
+    threads = static_cast<int32_t>(std::max<int64_t>(1, work_items));
+  }
+  return threads;
+}
+
+ThreadPool::ThreadPool(int32_t num_threads) {
+  num_lanes_ = num_threads > 0 ? num_threads : HardwareThreads();
+  blocks_ = std::vector<Block>(static_cast<size_t>(num_lanes_));
+  workers_.reserve(static_cast<size_t>(num_lanes_) - 1);
+  for (int32_t lane = 1; lane < num_lanes_; ++lane) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, lane);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const RangeBody& body) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t total = end - begin;
+  if (num_lanes_ == 1 || total <= grain) {
+    body(0, begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Contiguous near-equal blocks; lanes beyond the work count get empty
+    // blocks and go straight to stealing.
+    for (int32_t lane = 0; lane < num_lanes_; ++lane) {
+      const int64_t b = begin + total * lane / num_lanes_;
+      const int64_t e = begin + total * (lane + 1) / num_lanes_;
+      blocks_[static_cast<size_t>(lane)].next.store(b,
+                                                    std::memory_order_relaxed);
+      blocks_[static_cast<size_t>(lane)].end = e;
+    }
+    body_ = &body;
+    grain_ = grain;
+    job_open_ = true;
+    active_ = 1;  // the caller's lane
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  RunJob(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  --active_;
+  // A lane leaves RunJob only once every block is fully claimed, and each
+  // claimed chunk is executed by its claimant before it exits — so
+  // active_ == 0 implies every index ran. Closing the job in the same
+  // critical section that observed active_ == 0 keeps late-waking workers
+  // from joining a finished job (they re-check job_open_ under the mutex).
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_open_ = false;
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int32_t lane) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || (epoch_ != seen && job_open_); });
+      if (stop_) return;
+      seen = epoch_;
+      ++active_;
+    }
+    RunJob(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunJob(int32_t lane) {
+  const RangeBody& body = *body_;
+  const int64_t grain = grain_;
+  for (;;) {
+    // Own block first; once drained, steal from the victim with the most
+    // work remaining.
+    int32_t target = -1;
+    Block& own = blocks_[static_cast<size_t>(lane)];
+    if (own.next.load(std::memory_order_relaxed) < own.end) {
+      target = lane;
+    } else {
+      int64_t best_left = 0;
+      for (int32_t b = 0; b < num_lanes_; ++b) {
+        const Block& block = blocks_[static_cast<size_t>(b)];
+        const int64_t left =
+            block.end - block.next.load(std::memory_order_relaxed);
+        if (left > best_left) {
+          best_left = left;
+          target = b;
+        }
+      }
+      if (target < 0) return;  // nothing left anywhere
+    }
+    Block& block = blocks_[static_cast<size_t>(target)];
+    const int64_t start =
+        block.next.fetch_add(grain, std::memory_order_relaxed);
+    if (start >= block.end) continue;  // lost the race; rescan
+    const int64_t stop = std::min(start + grain, block.end);
+    body(lane, start, stop);
+  }
+}
+
+}  // namespace igepa

@@ -1,0 +1,117 @@
+#ifndef IGEPA_UTIL_THREAD_POOL_H_
+#define IGEPA_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace igepa {
+
+/// Small work-stealing fork-join pool for data-parallel loops over index
+/// ranges — the shared substrate of every shard-parallel pipeline stage
+/// (catalog enumeration, sharded structured dual, rounding/repair, scenario
+/// driver).
+///
+/// One ParallelFor call splits [begin, end) into `num_threads()` contiguous
+/// blocks, one per lane (the calling thread is lane 0 and participates). Each
+/// lane drains its own block in grain-sized chunks through an atomic cursor;
+/// a lane whose block is empty steals chunks from the block with the most
+/// work remaining. Workers are spawned once and parked on a condition
+/// variable between jobs, so repeated ParallelFor calls (e.g. one per dual
+/// iteration) cost a wake/notify, not a thread spawn.
+///
+/// Determinism contract: the pool schedules *where* chunks run, never *what*
+/// they compute. Callers that need results bit-identical for every thread
+/// count must make chunk outputs either disjoint (per-index writes) or
+/// order-independent (integer counting), and do any floating-point reduction
+/// over a fixed partition in a fixed order after the join — see the sharded
+/// dual merge (DESIGN.md §5, S14).
+///
+/// Bodies must not throw (a throw escapes a worker and terminates) and must
+/// not call ParallelFor on the same pool re-entrantly.
+class ThreadPool {
+ public:
+  /// body(lane, chunk_begin, chunk_end): lane in [0, num_threads()) — stable
+  /// per executing thread within one ParallelFor, usable for scratch-buffer
+  /// indexing when outputs are order-independent.
+  using RangeBody =
+      std::function<void(int32_t lane, int64_t begin, int64_t end)>;
+
+  /// Spawns num_threads - 1 workers (lane 0 is the caller).
+  /// num_threads <= 0 means hardware concurrency.
+  explicit ThreadPool(int32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, including the calling thread.
+  int32_t num_threads() const { return num_lanes_; }
+
+  /// Runs body over [begin, end) in chunks of at most `grain` (clamped to
+  /// >= 1). Blocks until every index has been processed. Every index is
+  /// covered exactly once. Small ranges (<= grain, or a 1-lane pool) run
+  /// inline on the caller with no synchronization.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const RangeBody& body);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int32_t HardwareThreads();
+
+  /// The effective lane count for a request: `requested` when positive,
+  /// hardware concurrency when <= 0, clamped to [1, work_items].
+  static int32_t ResolveThreadCount(int32_t requested, int64_t work_items);
+
+ private:
+  /// One lane's contiguous block of the active job; lanes fetch_add `next`
+  /// to claim chunks (their own block first, then the fullest victim's).
+  /// Padded so cursors on different lanes do not share a cache line.
+  struct alignas(64) Block {
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+  };
+
+  void WorkerLoop(int32_t lane);
+  /// Claims and executes chunks until no block has work left.
+  void RunJob(int32_t lane);
+
+  int32_t num_lanes_ = 1;
+  std::vector<std::thread> workers_;
+  std::vector<Block> blocks_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;   // bumped per job; workers wake on change
+  bool job_open_ = false;  // gates late wakers out of finished jobs
+  int32_t active_ = 0;   // lanes currently inside RunJob
+  bool stop_ = false;
+
+  // Active-job state; written under mutex_ before the epoch bump.
+  const RangeBody* body_ = nullptr;
+  int64_t grain_ = 1;
+};
+
+/// Chunked loop helper: runs body(chunk_begin, chunk_end) over [begin, end),
+/// spread across `pool` when non-null, inline otherwise. The serial and
+/// parallel paths execute the same chunk bodies, so callers keep one code
+/// path for both.
+inline void ParallelForRanges(
+    ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  if (pool == nullptr) {
+    body(begin, end);
+    return;
+  }
+  pool->ParallelFor(begin, end, grain,
+                    [&body](int32_t, int64_t b, int64_t e) { body(b, e); });
+}
+
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_THREAD_POOL_H_

@@ -140,6 +140,43 @@ TEST(CliTest, MissingFilesSurfaceIoErrors) {
             0);
 }
 
+TEST(CliTest, SolveThreadsKnobIsPurePerformance) {
+  // --threads must never change the arrangement: identical stdout for 1, 2
+  // and 8 workers on the same instance and seed.
+  // 520 users clears every parallel gate (catalog build >= 256, dual oracle
+  // >= 128, rounding >= 512), so --threads=2/8 genuinely exercise the
+  // sharded paths rather than comparing serial to serial.
+  const std::string instance_path = TempPath("cli_threads_inst.csv");
+  // (50 events keeps the instance in the structured-dual tier — far fewer
+  // events make the auto tier pick the dense simplex, which is orders of
+  // magnitude slower at this size.)
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=50",
+                 "--users=520", "--out=" + instance_path})
+                .code,
+            0);
+  // The report line ends with a wall-clock figure; compare everything up to
+  // " pairs in " (utility, breakdown and pair count are the determinism
+  // surface).
+  const auto stable_prefix = [](const std::string& out) {
+    return out.substr(0, out.rfind(" pairs in "));
+  };
+  const CliRun serial = RunTool({"solve", "--in=" + instance_path,
+                             "--algorithm=lp-packing", "--seed=9",
+                             "--threads=1"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_NE(serial.out.rfind(" pairs in "), std::string::npos);
+  for (const char* threads : {"2", "8"}) {
+    const CliRun run = RunTool({"solve", "--in=" + instance_path,
+                            "--algorithm=lp-packing", "--seed=9",
+                            std::string("--threads=") + threads});
+    ASSERT_EQ(run.code, 0) << run.err;
+    EXPECT_EQ(stable_prefix(run.out), stable_prefix(serial.out))
+        << "threads=" << threads;
+  }
+  EXPECT_NE(RunTool({"solve", "--in=" + instance_path, "--threads=-2"}).code,
+            0);
+}
+
 TEST(CliTest, PerCommandHelp) {
   for (const char* command : {"generate", "solve", "evaluate", "describe"}) {
     const CliRun run = RunTool({command, "--help"});

@@ -126,6 +126,54 @@ TEST(HarnessTest, InvalidRepeatsRejected) {
   EXPECT_FALSE(RunComparison(factory, PaperAlgorithms(), options).ok());
 }
 
+TEST(HarnessTest, RunScenariosMatchesSerialRunComparison) {
+  // The parallel scenario driver must be a pure scheduler: same summaries as
+  // running each RunComparison by hand, in input order, for any thread count.
+  auto factory = [](Rng* rng) {
+    return gen::GenerateSynthetic(SmallConfig(), rng);
+  };
+  std::vector<Scenario> scenarios;
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    Scenario scenario;
+    scenario.name = "seed-" + std::to_string(seed);
+    scenario.factory = factory;
+    scenario.algorithms = {Algorithm::kGreedyGg, Algorithm::kRandomU};
+    scenario.options = FastOptions();
+    scenario.options.seed = seed;
+    scenarios.push_back(std::move(scenario));
+  }
+  auto parallel = RunScenarios(scenarios, /*num_threads=*/3);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_EQ(parallel->size(), scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    auto serial = RunComparison(scenarios[i].factory, scenarios[i].algorithms,
+                                scenarios[i].options);
+    ASSERT_TRUE(serial.ok());
+    const ScenarioResult& got = (*parallel)[i];
+    EXPECT_EQ(got.name, scenarios[i].name);
+    ASSERT_EQ(got.summaries.size(), serial->size());
+    for (size_t a = 0; a < serial->size(); ++a) {
+      EXPECT_EQ(got.summaries[a].algorithm, (*serial)[a].algorithm);
+      EXPECT_EQ(got.summaries[a].utility.mean(),
+                (*serial)[a].utility.mean());
+      EXPECT_EQ(got.summaries[a].pairs.mean(), (*serial)[a].pairs.mean());
+    }
+  }
+}
+
+TEST(HarnessTest, RunScenariosEmptyAndErrorPropagation) {
+  EXPECT_TRUE(RunScenarios({}, 4).ok());
+  Scenario bad;
+  bad.name = "bad";
+  bad.factory = [](Rng* rng) {
+    return gen::GenerateSynthetic(SmallConfig(), rng);
+  };
+  bad.algorithms = {Algorithm::kGreedyGg};
+  bad.options.repeats = 0;  // invalid
+  auto result = RunScenarios({bad}, 2);
+  EXPECT_FALSE(result.ok());
+}
+
 TEST(HarnessTest, LocalSearchVariantsDominateTheirBases) {
   const auto config = SmallConfig();
   auto factory = [config](Rng* rng) {

@@ -1,0 +1,153 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace igepa {
+namespace {
+
+TEST(ThreadPoolTest, ReportsLaneCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  ThreadPool one(1);
+  EXPECT_EQ(one.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  constexpr int64_t kN = 10000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int32_t>> hits(kN);
+  pool.ParallelFor(0, kN, /*grain=*/7,
+                   [&](int32_t, int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       hits[static_cast<size_t>(i)].fetch_add(
+                           1, std::memory_order_relaxed);
+                     }
+                   });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, 200, /*grain=*/9,
+                   [&](int32_t, int64_t begin, int64_t end) {
+                     int64_t local = 0;
+                     for (int64_t i = begin; i < end; ++i) local += i;
+                     sum.fetch_add(local, std::memory_order_relaxed);
+                   });
+  // Σ i for i in [100, 200) = (100+199)*100/2.
+  EXPECT_EQ(sum.load(), 14950);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int32_t> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int32_t, int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int32_t, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, MoreLanesThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int32_t>> hits(3);
+  pool.ParallelFor(0, 3, 1, [&](int32_t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  // The dual solver issues one ParallelFor per subgradient iteration; the
+  // pool must survive thousands of back-to-back jobs without losing work.
+  ThreadPool pool(4);
+  constexpr int64_t kN = 64;
+  int64_t expected = 0;
+  std::atomic<int64_t> total{0};
+  for (int32_t job = 0; job < 500; ++job) {
+    expected += kN * job;
+    pool.ParallelFor(0, kN, /*grain=*/3,
+                     [&, job](int32_t, int64_t begin, int64_t end) {
+                       total.fetch_add((end - begin) * job,
+                                       std::memory_order_relaxed);
+                     });
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPoolTest, SkewedWorkIsStolenAndCompletes) {
+  // All the work mass sits in the first block; stealing lanes must finish it.
+  ThreadPool pool(4);
+  constexpr int64_t kN = 256;
+  std::vector<std::atomic<int32_t>> hits(kN);
+  std::atomic<int64_t> burned{0};
+  pool.ParallelFor(0, kN, /*grain=*/1,
+                   [&](int32_t, int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       if (i < kN / 4) {
+                         // Quadratically heavier head of the range.
+                         int64_t acc = 0;
+                         for (int64_t k = 0; k < 20000; ++k) acc += k ^ i;
+                         burned.fetch_add(acc, std::memory_order_relaxed);
+                       }
+                       hits[static_cast<size_t>(i)].fetch_add(
+                           1, std::memory_order_relaxed);
+                     }
+                   });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, LaneIdsAreInRange) {
+  ThreadPool pool(4);
+  std::atomic<int32_t> bad{0};
+  pool.ParallelFor(0, 1000, 5, [&](int32_t lane, int64_t, int64_t) {
+    if (lane < 0 || lane >= 4) bad.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(4, 100), 4);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(4, 2), 2);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(4, 0), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0, 1000),
+            ThreadPool::HardwareThreads());
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-3, 1000),
+            ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, ParallelForRangesInlineWithoutPool) {
+  std::vector<int32_t> hits(50, 0);
+  ParallelForRanges(nullptr, 0, 50, 8, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int32_t h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangesWithPool) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int32_t>> hits(777);
+  ParallelForRanges(&pool, 0, 777, 10, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace igepa
