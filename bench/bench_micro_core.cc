@@ -15,7 +15,10 @@
 #include "algo/baselines.h"
 #include "conflict/conflict_graph.h"
 #include "core/admissible_catalog.h"
+#include "core/benchmark_dual.h"
+#include "core/instance_delta.h"
 #include "core/lp_packing.h"
+#include "gen/delta_stream.h"
 #include "gen/meetup_sim.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
@@ -170,6 +173,98 @@ void BM_RoundFractionalCatalogThreads(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(state.range(0)));
 }
 BENCHMARK(BM_RoundFractionalCatalogThreads)->Arg(1)->Arg(2)->Arg(8);
+
+// Incremental catalog maintenance: one ApplyDelta tick (re-enumerate ~1% of
+// users, tombstone + append + inverted-index patch, auto-compaction at the
+// default thresholds) on the 1k-user instance. Compare against
+// BM_BuildAdmissibleCatalog/1000 — the full rebuild a delta replaces.
+void BM_CatalogApplyDelta(benchmark::State& state) {
+  auto instance = MakeInstance(1000);
+  auto catalog = core::AdmissibleCatalog::Build(instance, {});
+  Rng rng(19);
+  gen::DeltaStreamConfig config;
+  config.num_ticks = 64;
+  config.user_updates_per_tick = static_cast<int32_t>(state.range(0));
+  config.event_updates_per_tick = 1;
+  const auto stream = gen::GenerateDeltaStream(instance, config, &rng);
+  size_t next = 0;
+  int64_t compactions = 0;
+  for (auto _ : state) {
+    const auto& delta = stream[next];
+    next = (next + 1) % stream.size();
+    auto status = core::ApplyDelta(&instance, delta);
+    auto result = catalog.ApplyDelta(instance, delta, {});
+    if (!status.ok() || !result.ok()) {
+      state.SkipWithError("delta apply failed");
+      break;
+    }
+    compactions += result->compacted ? 1 : 0;
+    benchmark::DoNotOptimize(catalog);
+  }
+  state.counters["touched_users"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+  state.counters["compactions"] =
+      benchmark::Counter(static_cast<double>(compactions));
+}
+BENCHMARK(BM_CatalogApplyDelta)->Arg(10)->Arg(50);
+
+// The S15 acceptance comparison: re-solving the benchmark LP after a small
+// delta (10 touched users = 1% of the 1k-user instance), cold (/0) vs warm
+// started from the pre-delta optimum (/1). Warm rescans only the touched
+// users at its first iteration and usually certifies immediately, so the gap
+// between the two rows is the latency the incremental engine saves per tick.
+void BM_StructuredDualWarmVsCold(benchmark::State& state) {
+  auto instance = MakeInstance(1000);
+  auto catalog = core::AdmissibleCatalog::Build(instance, {});
+  core::StructuredDualOptions options;
+  options.num_threads = 1;
+  core::DualWarmStart warm;
+  auto base = core::SolveBenchmarkLpStructured(instance, catalog, options,
+                                               &warm);
+  if (!base.ok()) {
+    state.SkipWithError("base solve failed");
+    return;
+  }
+  Rng rng(23);
+  gen::DeltaStreamConfig config;
+  config.num_ticks = 1;
+  config.user_updates_per_tick = 10;  // 1% of users
+  config.event_updates_per_tick = 1;
+  const auto stream = gen::GenerateDeltaStream(instance, config, &rng);
+  if (!core::ApplyDelta(&instance, stream[0]).ok()) {
+    state.SkipWithError("instance delta failed");
+    return;
+  }
+  auto delta_result = catalog.ApplyDelta(instance, stream[0], {});
+  if (!delta_result.ok()) {
+    state.SkipWithError("catalog delta failed");
+    return;
+  }
+  warm.stale.assign(static_cast<size_t>(instance.num_users()), 0);
+  for (core::UserId u : delta_result->touched_users) {
+    warm.stale[static_cast<size_t>(u)] = 1;
+  }
+  const bool warm_started = state.range(0) != 0;
+  core::StructuredDualOptions solve_options = options;
+  if (warm_started) solve_options.warm = &warm;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto sol =
+        core::SolveBenchmarkLpStructured(instance, catalog, solve_options);
+    if (!sol.ok()) {
+      state.SkipWithError("solve failed");
+      break;
+    }
+    iterations = sol->iterations;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["warm"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+  state.counters["iterations"] =
+      benchmark::Counter(static_cast<double>(iterations));
+}
+BENCHMARK(BM_StructuredDualWarmVsCold)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GreedyBestSet(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));

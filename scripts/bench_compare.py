@@ -21,7 +21,8 @@ import sys
 DEFAULT_FILTER = (
     r"^BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
     r"EnumerateAdmissibleSets|LegacyEnumerateAndLpBuild|"
-    r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd)"
+    r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd|"
+    r"CatalogApplyDelta|StructuredDualWarmVsCold)"
 )
 
 

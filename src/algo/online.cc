@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <numeric>
 
-#include "core/admissible.h"
-
 namespace igepa {
 namespace algo {
 
@@ -14,10 +12,14 @@ using core::Instance;
 using core::UserId;
 
 Result<Arrangement> OnlineArrange(const Instance& instance,
+                                  const core::AdmissibleCatalog& catalog,
                                   const std::vector<UserId>& arrival_order,
                                   const OnlineOptions& options,
                                   OnlineStats* stats) {
   const int32_t nu = instance.num_users();
+  if (catalog.num_users() != nu) {
+    return Status::InvalidArgument("catalog size mismatch");
+  }
   if (static_cast<int32_t>(arrival_order.size()) != nu) {
     return Status::InvalidArgument("arrival order size mismatch");
   }
@@ -38,13 +40,12 @@ Result<Arrangement> OnlineArrange(const Instance& instance,
   for (EventId v = 0; v < instance.num_events(); ++v) {
     residual[static_cast<size_t>(v)] = instance.event_capacity(v);
   }
-  core::AdmissibleOptions admissible_options;
-  admissible_options.max_sets_per_user = options.max_sets_per_user;
 
+  std::vector<EventId> best_set;
   for (UserId u : arrival_order) {
-    // The user's feasible menu right now: bids with residual capacity, and —
-    // under the threshold policy — weight at least the fraction of the
-    // user's best bid weight.
+    // The user's feasible menu right now: their catalog columns, with —
+    // under the threshold policy — every pair weight at least the fraction
+    // of the user's best bid weight.
     double best_bid_weight = 0.0;
     for (EventId v : instance.bids(u)) {
       best_bid_weight = std::max(best_bid_weight, instance.Weight(v, u));
@@ -52,16 +53,21 @@ Result<Arrangement> OnlineArrange(const Instance& instance,
     const double cutoff = options.policy == OnlinePolicy::kThreshold
                               ? options.threshold_fraction * best_bid_weight
                               : 0.0;
-    // Enumerate this user's admissible sets and take the best one whose
-    // events all clear residual capacity and the cutoff.
-    const core::AdmissibleSets sets =
-        core::EnumerateAdmissibleSetsForUser(instance, u, admissible_options);
+    // Walk the user's catalog columns (the enumerator's emit order) and take
+    // the best set whose events all clear residual capacity and the cutoff.
+    // Catalog spans are ascending by event id — the same canonical order the
+    // legacy nested enumerator stored — so checking, summing and emitting in
+    // span order keeps arrangement, stats and floating-point sums
+    // bit-identical to the pre-catalog per-user enumeration loop this
+    // replaced (pinned by OnlineTest.CatalogPathBitIdenticalToLegacy…).
     double best_weight = 0.0;
-    const std::vector<EventId>* best_set = nullptr;
-    for (const auto& set : sets.sets) {
+    bool selected = false;
+    for (int32_t j = catalog.user_columns_begin(u);
+         j < catalog.user_columns_end(u); ++j) {
+      const auto span = catalog.set(j);
       bool ok = true;
       double w = 0.0;
-      for (EventId v : set) {
+      for (EventId v : span) {
         if (residual[static_cast<size_t>(v)] <= 0) {
           ok = false;
           break;
@@ -76,20 +82,32 @@ Result<Arrangement> OnlineArrange(const Instance& instance,
       }
       if (ok && w > best_weight) {
         best_weight = w;
-        best_set = &set;
+        best_set.assign(span.begin(), span.end());
+        selected = true;
       }
     }
-    if (best_set == nullptr) {
+    if (!selected) {
       if (stats != nullptr) ++stats->users_empty;
       continue;
     }
-    for (EventId v : *best_set) {
+    for (EventId v : best_set) {
       --residual[static_cast<size_t>(v)];
       IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
     }
     if (stats != nullptr) ++stats->users_served;
   }
   return arrangement;
+}
+
+Result<Arrangement> OnlineArrange(const Instance& instance,
+                                  const std::vector<UserId>& arrival_order,
+                                  const OnlineOptions& options,
+                                  OnlineStats* stats) {
+  core::AdmissibleOptions admissible_options;
+  admissible_options.max_sets_per_user = options.max_sets_per_user;
+  const core::AdmissibleCatalog catalog =
+      core::AdmissibleCatalog::Build(instance, admissible_options);
+  return OnlineArrange(instance, catalog, arrival_order, options, stats);
 }
 
 Result<Arrangement> OnlineArrangeRandomOrder(const Instance& instance,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/admissible_catalog.h"
 #include "core/arrangement.h"
 #include "core/instance.h"
 #include "util/result.h"
@@ -46,7 +47,21 @@ struct OnlineStats {
 /// capacities at arrival time. Offline algorithms (LP-packing, GG) see the
 /// whole instance; this one never looks ahead. Output is always feasible.
 ///
+/// The per-user menus are catalog views (one span per admissible set), the
+/// same column representation the offline pipeline consumes — the decision
+/// rule only reads the arriving user's own columns and the residual
+/// capacities, so precomputing the menus leaks no lookahead. This overload
+/// reuses a caller-built catalog (e.g. the incremental engine's, kept fresh
+/// by ApplyDelta); dirty catalogs work, since only per-user ranges are read.
+///
 /// `arrival_order` must be a permutation of the users (checked).
+Result<core::Arrangement> OnlineArrange(
+    const core::Instance& instance, const core::AdmissibleCatalog& catalog,
+    const std::vector<core::UserId>& arrival_order,
+    const OnlineOptions& options = {}, OnlineStats* stats = nullptr);
+
+/// OnlineArrange over a catalog built on the fly from
+/// `options.max_sets_per_user`.
 Result<core::Arrangement> OnlineArrange(const core::Instance& instance,
                                         const std::vector<core::UserId>& arrival_order,
                                         const OnlineOptions& options = {},

@@ -2,10 +2,14 @@
 
 #include "algo/baselines.h"
 #include "algo/online.h"
+#include "core/instance_delta.h"
 #include "core/lp_packing.h"
+#include "exp/replay.h"
 #include "exp/report.h"
+#include "gen/delta_stream.h"
 #include "gen/meetup_sim.h"
 #include "gen/synthetic.h"
+#include "io/delta_io.h"
 #include "io/instance_io.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -17,7 +21,7 @@ namespace cli {
 namespace {
 
 constexpr const char* kTopUsage =
-    "usage: igepa <generate|solve|evaluate|describe> [flags]\n"
+    "usage: igepa <generate|solve|evaluate|describe|replay> [flags]\n"
     "run `igepa <command> --help` for per-command flags\n";
 
 int Fail(std::ostream& err, const Status& status) {
@@ -239,6 +243,153 @@ int CmdDescribe(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+// ---- replay ----------------------------------------------------------------
+
+int CmdReplay(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  ArgParser parser("igepa replay",
+                   "stream an InstanceDelta sequence through the incremental "
+                   "arrangement engine and report per-tick latency and "
+                   "objective drift vs a cold re-solve");
+  parser.AddString("in", "",
+                   "instance CSV path (omit to generate a synthetic instance)");
+  parser.AddString("deltas", "",
+                   "delta stream CSV path (omit to generate a synthetic "
+                   "stream)");
+  parser.AddInt("ticks", 10, "number of delta ticks to replay");
+  parser.AddInt("threads", 0,
+                "worker threads for the solves (0 = hardware concurrency; "
+                "results are identical for every value)");
+  parser.AddInt("seed", 20190408, "master seed (generation + rounding)");
+  parser.AddInt("events", 60, "synthetic instance: number of events");
+  parser.AddInt("users", 400, "synthetic instance: number of users");
+  parser.AddInt("updates-per-tick", 4,
+                "synthetic stream: users touched per tick");
+  parser.AddInt("event-updates-per-tick", 1,
+                "synthetic stream: event capacity changes per tick");
+  parser.AddDouble("p-cancel", 0.2,
+                   "synthetic stream: probability a touched user cancels");
+  parser.AddDouble("alpha", 1.0, "LP-packing sampling scale in (0,1]");
+  parser.AddDouble("compact-threshold", 0.25,
+                   "compact the catalog when tombstoned columns exceed this "
+                   "fraction");
+  parser.AddInt("compact-min-dead", 256,
+                "minimum tombstoned columns before compaction triggers");
+  parser.AddDouble("check-tolerance", -1.0,
+                   "exit non-zero when max LP drift vs cold exceeds this "
+                   "(< 0: report only)");
+  parser.AddBool("no-cold", false,
+                 "skip the per-tick cold reference (pure warm latency run)");
+  parser.AddBool("help", false, "show this help");
+  if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
+  if (parser.GetBool("help")) {
+    out << parser.Usage();
+    return 0;
+  }
+  if (parser.GetInt("ticks") <= 0) {
+    return Fail(err, Status::InvalidArgument("--ticks must be > 0"));
+  }
+  if (parser.GetInt("threads") < 0) {
+    return Fail(err, Status::InvalidArgument("--threads must be >= 0"));
+  }
+  if (parser.GetBool("no-cold") && parser.GetDouble("check-tolerance") >= 0) {
+    return Fail(err, Status::InvalidArgument(
+                         "--check-tolerance needs the cold reference "
+                         "(drop --no-cold)"));
+  }
+
+  Rng rng(static_cast<uint64_t>(parser.GetInt("seed")));
+  Result<core::Instance> instance = Status::Internal("unset");
+  if (!parser.GetString("in").empty()) {
+    instance = io::ReadInstanceCsv(parser.GetString("in"));
+  } else {
+    gen::SyntheticConfig config;
+    config.num_events = static_cast<int32_t>(parser.GetInt("events"));
+    config.num_users = static_cast<int32_t>(parser.GetInt("users"));
+    instance = gen::GenerateSynthetic(config, &rng);
+  }
+  if (!instance.ok()) return Fail(err, instance.status());
+
+  std::vector<core::InstanceDelta> stream;
+  if (!parser.GetString("deltas").empty()) {
+    auto loaded = io::ReadDeltaStreamCsv(parser.GetString("deltas"));
+    if (!loaded.ok()) return Fail(err, loaded.status());
+    stream = std::move(*loaded);
+    if (static_cast<int64_t>(stream.size()) > parser.GetInt("ticks") &&
+        parser.Provided("ticks")) {
+      stream.resize(static_cast<size_t>(parser.GetInt("ticks")));
+    }
+  } else {
+    gen::DeltaStreamConfig config;
+    config.num_ticks = static_cast<int32_t>(parser.GetInt("ticks"));
+    config.user_updates_per_tick =
+        static_cast<int32_t>(parser.GetInt("updates-per-tick"));
+    config.event_updates_per_tick =
+        static_cast<int32_t>(parser.GetInt("event-updates-per-tick"));
+    config.p_cancel = parser.GetDouble("p-cancel");
+    stream = gen::GenerateDeltaStream(*instance, config, &rng);
+  }
+
+  exp::ReplayOptions options;
+  options.num_threads = static_cast<int32_t>(parser.GetInt("threads"));
+  options.alpha = parser.GetDouble("alpha");
+  options.compact_tombstone_fraction = parser.GetDouble("compact-threshold");
+  options.compact_min_dead_columns =
+      static_cast<int32_t>(parser.GetInt("compact-min-dead"));
+  options.seed = static_cast<uint64_t>(parser.GetInt("seed")) ^
+                 0x9E3779B97F4A7C15ULL;
+  options.compare_cold = !parser.GetBool("no-cold");
+
+  auto report = exp::RunReplay(*instance, stream, options);
+  if (!report.ok()) return Fail(err, report.status());
+
+  out << "replay: " << exp::DescribeInstance(*instance) << ", "
+      << stream.size() << " ticks\n";
+  out << "tick  users  events  cmpct  live-cols  warm-ms  cold-ms  "
+         "warm-lp  cold-lp  drift\n";
+  for (const exp::ReplayTick& row : report->ticks) {
+    out << row.tick << "  " << row.touched_users << "  "
+        << row.event_updates << "  " << (row.compacted ? "yes" : "no") << "  "
+        << row.live_columns << "  "
+        << FormatDouble(row.warm_seconds * 1e3, 2) << "  "
+        << (options.compare_cold ? FormatDouble(row.cold_seconds * 1e3, 2)
+                                 : std::string("-"))
+        << "  " << FormatDouble(row.warm_lp_objective, 4) << "  "
+        << (options.compare_cold ? FormatDouble(row.cold_lp_objective, 4)
+                                 : std::string("-"))
+        << "  "
+        << (options.compare_cold ? FormatDouble(row.lp_drift, 6)
+                                 : std::string("-"))
+        << "\n";
+  }
+  out << "total warm " << FormatDouble(report->total_warm_seconds * 1e3, 1)
+      << " ms";
+  if (options.compare_cold) {
+    out << ", total cold " << FormatDouble(report->total_cold_seconds * 1e3, 1)
+        << " ms (speedup "
+        << FormatDouble(report->total_warm_seconds > 0
+                            ? report->total_cold_seconds /
+                                  report->total_warm_seconds
+                            : 0.0,
+                        2)
+        << "x), max LP drift " << FormatDouble(report->max_lp_drift, 6);
+  }
+  out << "\n";
+
+  const double tolerance = parser.GetDouble("check-tolerance");
+  if (tolerance >= 0.0) {
+    if (report->max_lp_drift > tolerance) {
+      err << "replay check FAILED: max LP drift "
+          << FormatDouble(report->max_lp_drift, 6) << " > tolerance "
+          << FormatDouble(tolerance, 6) << "\n";
+      return 2;
+    }
+    out << "replay check OK: max LP drift within "
+        << FormatDouble(tolerance, 6) << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -253,6 +404,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "solve") return CmdSolve(rest, out, err);
   if (command == "evaluate") return CmdEvaluate(rest, out, err);
   if (command == "describe") return CmdDescribe(rest, out, err);
+  if (command == "replay") return CmdReplay(rest, out, err);
   err << "unknown command '" << command << "'\n" << kTopUsage;
   return 1;
 }

@@ -19,6 +19,12 @@ namespace cli {
 ///       Checks feasibility and reports the utility breakdown.
 ///   igepa describe --in=FILE
 ///       Prints instance statistics.
+///   igepa replay [--in=FILE] [--deltas=FILE] --ticks=N [--threads=T]
+///                [--check-tolerance=X]
+///       Streams an InstanceDelta sequence through the incremental
+///       arrangement engine (delta-aware catalog + warm-started duals +
+///       localized re-round) and reports per-tick latency and objective
+///       drift against a cold re-solve.
 ///
 /// Returns a process exit code; all human-readable output goes to `out`,
 /// errors to `err`. Exposed as a library function so the test suite drives it

@@ -1,6 +1,7 @@
 #include "core/admissible_catalog.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "util/thread_pool.h"
@@ -111,8 +112,29 @@ void EnumerateChunk(const Instance& instance, UserId begin, UserId end,
 
 }  // namespace
 
+void AdmissibleCatalog::RebuildInvertedIndex(int32_t num_events) {
+  const int32_t cols = static_cast<int32_t>(col_begin_.size()) - 1;
+  // Counting sort over the pool. Filling in ascending column order leaves
+  // each event's column list sorted.
+  event_begin_.assign(static_cast<size_t>(num_events) + 1, 0);
+  for (EventId v : pool_) ++event_begin_[static_cast<size_t>(v) + 1];
+  for (int32_t v = 0; v < num_events; ++v) {
+    event_begin_[static_cast<size_t>(v) + 1] +=
+        event_begin_[static_cast<size_t>(v)];
+  }
+  event_cols_.resize(pool_.size());
+  std::vector<int64_t> cursor(event_begin_.begin(), event_begin_.end() - 1);
+  for (int32_t j = 0; j < cols; ++j) {
+    for (int64_t p = col_begin_[static_cast<size_t>(j)];
+         p < col_begin_[static_cast<size_t>(j) + 1]; ++p) {
+      const EventId v = pool_[static_cast<size_t>(p)];
+      event_cols_[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = j;
+    }
+  }
+}
+
 void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
-  const int32_t nu = num_users();
+  const int32_t nu = static_cast<int32_t>(user_begin_.size()) - 1;
   const int32_t nv = instance.num_events();
   const int32_t cols = static_cast<int32_t>(col_begin_.size()) - 1;
 
@@ -137,26 +159,26 @@ void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
     weight_[static_cast<size_t>(j)] = w;
   }
 
-  any_truncated_ = false;
-  for (uint8_t t : truncated_) any_truncated_ = any_truncated_ || (t != 0);
+  // Canonical state: current per-user ranges mirror the cumulative layout and
+  // every delta structure is empty.
+  user_range_.resize(static_cast<size_t>(nu) * 2);
+  for (UserId u = 0; u < nu; ++u) {
+    user_range_[static_cast<size_t>(u) * 2] =
+        user_begin_[static_cast<size_t>(u)];
+    user_range_[static_cast<size_t>(u) * 2 + 1] =
+        user_begin_[static_cast<size_t>(u) + 1];
+  }
+  dead_.assign(static_cast<size_t>(cols), 0);
+  dead_columns_ = 0;
+  dead_pairs_ = 0;
+  overflow_cols_.assign(static_cast<size_t>(nv), {});
+  overflow_entries_ = 0;
+  canonical_ = true;
 
-  // Inverted event→column index: counting sort over the pool. Filling in
-  // ascending column order leaves each event's column list sorted.
-  event_begin_.assign(static_cast<size_t>(nv) + 1, 0);
-  for (EventId v : pool_) ++event_begin_[static_cast<size_t>(v) + 1];
-  for (int32_t v = 0; v < nv; ++v) {
-    event_begin_[static_cast<size_t>(v) + 1] +=
-        event_begin_[static_cast<size_t>(v)];
-  }
-  event_cols_.resize(pool_.size());
-  std::vector<int64_t> cursor(event_begin_.begin(), event_begin_.end() - 1);
-  for (int32_t j = 0; j < cols; ++j) {
-    for (int64_t p = col_begin_[static_cast<size_t>(j)];
-         p < col_begin_[static_cast<size_t>(j) + 1]; ++p) {
-      const EventId v = pool_[static_cast<size_t>(p)];
-      event_cols_[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = j;
-    }
-  }
+  truncated_users_ = 0;
+  for (uint8_t t : truncated_) truncated_users_ += (t != 0) ? 1 : 0;
+
+  RebuildInvertedIndex(nv);
 }
 
 AdmissibleCatalog AdmissibleCatalog::Build(const Instance& instance,
@@ -257,6 +279,153 @@ std::vector<AdmissibleSets> AdmissibleCatalog::ToLegacy() const {
     }
   }
   return out;
+}
+
+Result<CatalogDeltaResult> AdmissibleCatalog::ApplyDelta(
+    const Instance& instance, const InstanceDelta& delta,
+    const CatalogDeltaOptions& options) {
+  const int32_t nu = num_users();
+  const int32_t nv = num_events();
+  if (instance.num_users() != nu || instance.num_events() != nv) {
+    return Status::InvalidArgument(
+        "ApplyDelta: instance shape does not match catalog (deltas cannot "
+        "add or remove user/event slots)");
+  }
+  CatalogDeltaResult result;
+  result.touched_users = TouchedUsers(delta);
+  for (UserId u : result.touched_users) {
+    if (u < 0 || u >= nu) {
+      return Status::InvalidArgument("ApplyDelta: touched user " +
+                                     std::to_string(u) + " out of range");
+    }
+  }
+  for (const EventCapacityUpdate& up : delta.event_updates) {
+    if (up.event < 0 || up.event >= nv) {
+      return Status::InvalidArgument("ApplyDelta: touched event " +
+                                     std::to_string(up.event) +
+                                     " out of range");
+    }
+  }
+
+  for (UserId u : result.touched_users) {
+    // Tombstone the user's current block; the arena keeps the bytes so stale
+    // column ids remain readable (set/weight) until compaction.
+    const size_t r = static_cast<size_t>(u) * 2;
+    for (int32_t j = user_range_[r]; j < user_range_[r + 1]; ++j) {
+      dead_[static_cast<size_t>(j)] = 1;
+      ++dead_columns_;
+      dead_pairs_ += static_cast<int64_t>(set(j).size());
+      ++result.columns_tombstoned;
+    }
+
+    // Re-enumerate against the mutated instance (same enumerator, same emit
+    // order as Build) and append the new block at the arena end.
+    std::vector<EventId> block_pool;
+    std::vector<int32_t> block_sizes;
+    ArenaEnumerator enumerator(instance, OrderedBids(instance, u),
+                               instance.user_capacity(u),
+                               options.admissible.max_sets_per_user,
+                               &block_pool, &block_sizes);
+    const int32_t count = enumerator.Run();
+    if (truncated_[static_cast<size_t>(u)] != 0) --truncated_users_;
+    truncated_[static_cast<size_t>(u)] = enumerator.truncated() ? 1 : 0;
+    if (truncated_[static_cast<size_t>(u)] != 0) ++truncated_users_;
+
+    const int32_t new_begin = num_columns();
+    size_t cursor = 0;
+    for (int32_t k = 0; k < count; ++k) {
+      const auto size = static_cast<size_t>(block_sizes[static_cast<size_t>(k)]);
+      const int32_t j = num_columns();
+      pool_.insert(pool_.end(), block_pool.begin() + cursor,
+                   block_pool.begin() + cursor + size);
+      cursor += size;
+      col_begin_.push_back(col_begin_.back() + static_cast<int64_t>(size));
+      // Canonical span order + weight, identical to FinalizeFromPool.
+      EventId* b = pool_.data() + col_begin_[static_cast<size_t>(j)];
+      EventId* e = pool_.data() + col_begin_[static_cast<size_t>(j) + 1];
+      std::sort(b, e);
+      double w = 0.0;
+      for (const EventId* p = b; p != e; ++p) w += instance.Weight(*p, u);
+      weight_.push_back(w);
+      col_user_.push_back(u);
+      dead_.push_back(0);
+      // Patch the inverted index in place: appended ids are strictly
+      // increasing, so each event's overflow list stays sorted.
+      for (const EventId* p = b; p != e; ++p) {
+        overflow_cols_[static_cast<size_t>(*p)].push_back(j);
+        ++overflow_entries_;
+      }
+      ++result.columns_appended;
+    }
+    user_range_[r] = new_begin;
+    user_range_[r + 1] = num_columns();
+  }
+
+  if (!result.touched_users.empty()) canonical_ = false;
+
+  if (dead_columns_ >= options.compact_min_dead_columns &&
+      static_cast<double>(dead_columns_) >
+          options.compact_tombstone_fraction *
+              static_cast<double>(num_columns())) {
+    result.column_remap = Compact();
+    result.compacted = true;
+  }
+  return result;
+}
+
+std::vector<int32_t> AdmissibleCatalog::Compact() {
+  const int32_t nu = num_users();
+  const int32_t nv = num_events();
+  const int32_t old_cols = num_columns();
+  const int32_t live_cols = num_live_columns();
+
+  std::vector<int32_t> remap(static_cast<size_t>(old_cols), -1);
+  std::vector<EventId> new_pool;
+  new_pool.reserve(static_cast<size_t>(num_live_pairs()));
+  std::vector<int64_t> new_col_begin;
+  new_col_begin.reserve(static_cast<size_t>(live_cols) + 1);
+  new_col_begin.push_back(0);
+  std::vector<double> new_weight;
+  new_weight.reserve(static_cast<size_t>(live_cols));
+  std::vector<UserId> new_col_user;
+  new_col_user.reserve(static_cast<size_t>(live_cols));
+
+  // Live columns rewritten in user-major order, per-user order preserved —
+  // exactly the layout Build emits for the mutated instance (spans are
+  // already sorted and weights already summed in canonical order, so copying
+  // them is bit-identical to recomputation).
+  user_begin_.assign(1, 0);
+  user_begin_.reserve(static_cast<size_t>(nu) + 1);
+  for (UserId u = 0; u < nu; ++u) {
+    const size_t r = static_cast<size_t>(u) * 2;
+    for (int32_t j = user_range_[r]; j < user_range_[r + 1]; ++j) {
+      const int32_t nj = static_cast<int32_t>(new_weight.size());
+      remap[static_cast<size_t>(j)] = nj;
+      const auto span = set(j);
+      new_pool.insert(new_pool.end(), span.begin(), span.end());
+      new_col_begin.push_back(new_col_begin.back() +
+                              static_cast<int64_t>(span.size()));
+      new_weight.push_back(weight_[static_cast<size_t>(j)]);
+      new_col_user.push_back(u);
+    }
+    user_range_[r] = user_begin_.back();
+    user_begin_.push_back(static_cast<int32_t>(new_weight.size()));
+    user_range_[r + 1] = user_begin_.back();
+  }
+
+  pool_ = std::move(new_pool);
+  col_begin_ = std::move(new_col_begin);
+  weight_ = std::move(new_weight);
+  col_user_ = std::move(new_col_user);
+  dead_.assign(static_cast<size_t>(live_cols), 0);
+  dead_columns_ = 0;
+  dead_pairs_ = 0;
+  overflow_cols_.assign(static_cast<size_t>(nv), {});
+  overflow_entries_ = 0;
+  canonical_ = true;
+  ++ids_revision_;
+  RebuildInvertedIndex(nv);
+  return remap;
 }
 
 }  // namespace core

@@ -7,10 +7,40 @@
 
 #include "core/admissible.h"
 #include "core/instance.h"
+#include "core/instance_delta.h"
 #include "core/types.h"
+#include "util/result.h"
 
 namespace igepa {
 namespace core {
+
+/// Options for AdmissibleCatalog::ApplyDelta.
+struct CatalogDeltaOptions {
+  /// Enumeration knobs for the re-enumerated users (cap, threads ignored —
+  /// delta re-enumeration is serial; deltas are small by assumption).
+  AdmissibleOptions admissible;
+  /// Compact when tombstoned columns exceed this fraction of all columns…
+  double compact_tombstone_fraction = 0.25;
+  /// …and at least this many columns are dead (avoids thrashing on tiny
+  /// catalogs where a single user update crosses the fraction).
+  int32_t compact_min_dead_columns = 256;
+};
+
+/// What one ApplyDelta call did to the catalog.
+struct CatalogDeltaResult {
+  /// Users whose column ranges were re-enumerated (ascending, deduplicated).
+  /// Exactly the users a warm dual restart must rescan.
+  std::vector<UserId> touched_users;
+  int32_t columns_tombstoned = 0;
+  int32_t columns_appended = 0;
+  /// True when tombstone density crossed the threshold and the catalog
+  /// compacted itself; live column ids were renumbered per `column_remap`.
+  bool compacted = false;
+  /// Filled iff `compacted`: old column id → new column id, or -1 for
+  /// tombstoned columns. Callers holding column ids (warm starts, rounding
+  /// state) remap through this.
+  std::vector<int32_t> column_remap;
+};
 
 /// Flat CSR catalog of every admissible set (LP column) of an instance — the
 /// shared substrate of the whole Algorithm-1 pipeline (enumeration →
@@ -29,15 +59,36 @@ namespace core {
 ///   * `weight(j)` is the precomputed LP objective coefficient w(u, S)
 ///     (summed over the ascending-sorted span, bit-identical to the legacy
 ///     per-call `SetWeight`);
-///   * `columns_of_event(v)` is the inverted event→column index: every
-///     column whose set contains v, ascending by column id. The capacity
-///     repair sweep and the structured dual oracle both need this reverse
-///     view.
+///   * `ForEachColumnOfEvent(v, fn)` is the inverted event→column index:
+///     every LIVE column whose set contains v, ascending by column id. The
+///     capacity repair sweep and the structured dual oracle both need this
+///     reverse view.
 ///
 /// Columns double as LP columns of the benchmark LP (1)-(4): the catalog IS
 /// the constraint matrix in block-CSR form (one +1 in the owner's user row,
 /// +1 in each event row of the span), so the structured solver consumes it
 /// directly with no materialization step.
+///
+/// ## Delta maintenance (DESIGN.md S15)
+///
+/// `ApplyDelta` keeps the catalog in sync with an instance mutated by an
+/// `InstanceDelta` without re-enumerating untouched users: a touched user's
+/// current columns are tombstoned in place (a per-column dead bit; the arena
+/// keeps their bytes) and the user's new admissible sets are appended at the
+/// end of the arena, so every surviving column keeps its id. The inverted
+/// event→column index is patched in place: appended columns go to per-event
+/// overflow lists and tombstones are filtered by the dead bit on read. When
+/// tombstone density crosses the configured threshold the catalog compacts —
+/// live columns are rewritten in user-major order, which reproduces
+/// `Build(mutated_instance)` bit for bit — and reports an old→new id remap.
+///
+/// A catalog with tombstones or overflow entries is *dirty*
+/// (`canonical() == false`). Per-user column ranges stay contiguous and
+/// live-only in either state, so every consumer that walks user ranges and
+/// the ForEach inverted index (structured dual, rounding/repair, baselines,
+/// exact solver) works unchanged on dirty catalogs; only the materialized
+/// facade LP requires a canonical catalog (it assumes model column k ==
+/// catalog column k).
 class AdmissibleCatalog {
  public:
   /// An empty catalog (zero users, events and columns); assign a built one.
@@ -56,20 +107,54 @@ class AdmissibleCatalog {
   static AdmissibleCatalog FromLegacy(
       const Instance& instance, const std::vector<AdmissibleSets>& admissible);
 
-  /// Converts back to the deprecated nested representation.
+  /// Converts back to the deprecated nested representation (live columns).
   std::vector<AdmissibleSets> ToLegacy() const;
 
+  /// Re-enumerates exactly the users the delta touches against the
+  /// already-mutated `instance` (call core::ApplyDelta on the instance
+  /// first): tombstones their current columns, appends their new ones, and
+  /// patches the inverted index in place. Event-capacity updates are free —
+  /// admissibility does not depend on c_v. Compacts automatically per
+  /// `options` and reports what happened. O(Σ_{touched u} enumeration(u))
+  /// plus O(catalog) only when compaction triggers.
+  Result<CatalogDeltaResult> ApplyDelta(const Instance& instance,
+                                        const InstanceDelta& delta,
+                                        const CatalogDeltaOptions& options = {});
+
+  /// Drops tombstoned columns and rewrites the arena in user-major order —
+  /// bit-identical to `Build` on the equivalent instance. Returns the old→new
+  /// column id remap (-1 for dead columns) and bumps `ids_revision`.
+  std::vector<int32_t> Compact();
+
   int32_t num_users() const {
-    return static_cast<int32_t>(user_begin_.size()) - 1;
+    return static_cast<int32_t>(user_range_.size() / 2);
   }
   int32_t num_events() const {
     return static_cast<int32_t>(event_begin_.size()) - 1;
   }
+  /// Total column ids ever allocated, including tombstones — the size every
+  /// column-indexed vector (LP x, weights) must have.
   int32_t num_columns() const { return static_cast<int32_t>(weight_.size()); }
-  /// Total (user, event) incidences Σ_j |S_j| — the LP's event-row nnz.
+  int32_t num_dead_columns() const { return dead_columns_; }
+  int32_t num_live_columns() const { return num_columns() - dead_columns_; }
+  /// Total (user, event) incidences Σ_j |S_j| over all column ids (dead
+  /// included) — the arena footprint.
   int64_t num_pairs() const { return static_cast<int64_t>(pool_.size()); }
+  int64_t num_live_pairs() const {
+    return static_cast<int64_t>(pool_.size()) - dead_pairs_;
+  }
 
-  /// The events of column j, ascending.
+  /// True when the catalog has no tombstones or overflow entries — i.e. the
+  /// flat arrays are exactly what Build on the current instance produces.
+  bool canonical() const { return canonical_; }
+  /// Bumped every time live column ids are invalidated (only Compact does).
+  /// Holders of column ids (DualWarmStart, RoundingState) compare this to
+  /// decide whether their ids are still addressable.
+  uint64_t ids_revision() const { return ids_revision_; }
+
+  /// The events of column j, ascending. Valid for dead columns too (the
+  /// arena keeps tombstoned bytes until compaction) — callers retiring stale
+  /// samples rely on that.
   std::span<const EventId> set(int32_t j) const {
     const size_t b = static_cast<size_t>(col_begin_[static_cast<size_t>(j)]);
     const size_t e =
@@ -80,13 +165,16 @@ class AdmissibleCatalog {
   double weight(int32_t j) const { return weight_[static_cast<size_t>(j)]; }
   /// The user owning column j.
   UserId user_of(int32_t j) const { return col_user_[static_cast<size_t>(j)]; }
+  /// False once column j has been tombstoned by ApplyDelta.
+  bool live(int32_t j) const { return dead_[static_cast<size_t>(j)] == 0; }
 
-  /// Column range [begin, end) of user u.
+  /// Column range [begin, end) of user u — always contiguous and live-only,
+  /// in canonical and dirty states alike.
   int32_t user_columns_begin(UserId u) const {
-    return user_begin_[static_cast<size_t>(u)];
+    return user_range_[static_cast<size_t>(u) * 2];
   }
   int32_t user_columns_end(UserId u) const {
-    return user_begin_[static_cast<size_t>(u) + 1];
+    return user_range_[static_cast<size_t>(u) * 2 + 1];
   }
   int32_t num_sets(UserId u) const {
     return user_columns_end(u) - user_columns_begin(u);
@@ -97,9 +185,12 @@ class AdmissibleCatalog {
     return truncated_[static_cast<size_t>(u)] != 0;
   }
   /// True when any user's enumeration was truncated.
-  bool any_truncated() const { return any_truncated_; }
+  bool any_truncated() const { return truncated_users_ > 0; }
 
-  /// Inverted index: ids of every column whose set contains v, ascending.
+  /// Inverted index over the *base* CSR only: every column of the last
+  /// canonical layout whose set contains v, ascending, including tombstones.
+  /// Only meaningful on a canonical catalog — dirty-state consumers must use
+  /// ForEachColumnOfEvent, which filters tombstones and covers appends.
   std::span<const int32_t> columns_of_event(EventId v) const {
     const size_t b = static_cast<size_t>(event_begin_[static_cast<size_t>(v)]);
     const size_t e =
@@ -107,8 +198,28 @@ class AdmissibleCatalog {
     return {event_cols_.data() + b, e - b};
   }
 
+  /// Visits every live column whose set contains v, in ascending column id
+  /// order (base CSR first, then the overflow appends — appended ids are
+  /// always larger, so the concatenation stays sorted). The canonical-state
+  /// fast path is exactly the old span walk.
+  template <typename Fn>
+  void ForEachColumnOfEvent(EventId v, Fn&& fn) const {
+    const size_t b = static_cast<size_t>(event_begin_[static_cast<size_t>(v)]);
+    const size_t e =
+        static_cast<size_t>(event_begin_[static_cast<size_t>(v) + 1]);
+    for (size_t p = b; p < e; ++p) {
+      const int32_t j = event_cols_[p];
+      if (dead_[static_cast<size_t>(j)] == 0) fn(j);
+    }
+    if (overflow_entries_ == 0) return;
+    for (int32_t j : overflow_cols_[static_cast<size_t>(v)]) {
+      if (dead_[static_cast<size_t>(j)] == 0) fn(j);
+    }
+  }
+
   /// Raw CSR arrays for hot loops (the structured dual solver iterates these
-  /// directly).
+  /// directly). `user_begin` reflects the last canonical layout; in dirty
+  /// state use the user_columns_begin/end accessors instead.
   const std::vector<EventId>& pool() const { return pool_; }
   const std::vector<int64_t>& col_begin() const { return col_begin_; }
   const std::vector<int32_t>& user_begin() const { return user_begin_; }
@@ -117,19 +228,31 @@ class AdmissibleCatalog {
 
  private:
   /// Sorts each span, computes weights, derives col_user_, truncation summary
-  /// and the inverted index. Called by both builders after the pool is laid
-  /// out.
+  /// and the inverted index, and resets all delta state (canonical). Called
+  /// by both builders after the pool is laid out.
   void FinalizeFromPool(const Instance& instance);
+  /// Rebuilds event_begin_/event_cols_ from the current pool by counting
+  /// sort (ascending column order ⇒ each event's list sorted).
+  void RebuildInvertedIndex(int32_t num_events);
 
   std::vector<EventId> pool_;                // all sets, concatenated
   std::vector<int64_t> col_begin_ = {0};     // size num_columns+1
-  std::vector<int32_t> user_begin_ = {0};    // size num_users+1 (column ids)
+  std::vector<int32_t> user_begin_ = {0};    // size num_users+1 (column ids,
+                                             // last canonical layout)
+  std::vector<int32_t> user_range_;  // 2 per user: current [begin, end)
   std::vector<double> weight_;       // per column, w(u, S)
   std::vector<UserId> col_user_;     // per column owner
+  std::vector<uint8_t> dead_;        // per column tombstone bit
   std::vector<uint8_t> truncated_;   // per user
-  bool any_truncated_ = false;
-  std::vector<int64_t> event_begin_ = {0};  // size num_events+1
-  std::vector<int32_t> event_cols_;   // inverted index, size == pool size
+  int32_t truncated_users_ = 0;
+  int32_t dead_columns_ = 0;
+  int64_t dead_pairs_ = 0;
+  std::vector<int64_t> event_begin_ = {0};  // size num_events+1 (base CSR)
+  std::vector<int32_t> event_cols_;   // base inverted index
+  std::vector<std::vector<int32_t>> overflow_cols_;  // per event, appended ids
+  int64_t overflow_entries_ = 0;
+  bool canonical_ = true;
+  uint64_t ids_revision_ = 0;
 };
 
 }  // namespace core

@@ -22,9 +22,21 @@ constexpr int32_t kMinParallelUsers = 128;
 
 }  // namespace
 
+void DualWarmStart::Remap(const std::vector<int32_t>& column_remap,
+                          uint64_t new_ids_revision) {
+  for (size_t u = 0; u < choice.size(); ++u) {
+    const int32_t j = choice[u];
+    if (j < 0) continue;
+    choice[u] = (static_cast<size_t>(j) < column_remap.size())
+                    ? column_remap[static_cast<size_t>(j)]
+                    : -1;
+  }
+  catalog_revision = new_ids_revision;
+}
+
 Result<lp::LpSolution> SolveBenchmarkLpStructured(
     const Instance& instance, const AdmissibleCatalog& catalog,
-    const StructuredDualOptions& options) {
+    const StructuredDualOptions& options, DualWarmStart* warm_out) {
   const int32_t nu = instance.num_users();
   const int32_t nv = instance.num_events();
   const int32_t cols = catalog.num_columns();
@@ -33,11 +45,14 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   }
 
   // Hot-loop views straight into the catalog CSR — no per-solve copies.
+  // Column-indexed vectors span every allocated id (tombstones included);
+  // every loop below walks live per-user ranges in user-major order, so dead
+  // columns are never visited and the solve is bit-identical on dirty
+  // (delta-mutated) and canonical catalogs alike.
   const std::vector<double>& weight = catalog.weights();
   const std::vector<UserId>& col_user = catalog.col_users();
   const std::vector<int64_t>& col_begin = catalog.col_begin();
   const EventId* pool = catalog.pool().data();
-  const std::vector<int32_t>& user_begin = catalog.user_begin();
 
   std::vector<double> capacity(static_cast<size_t>(nv), 0.0);
   for (EventId v = 0; v < nv; ++v) {
@@ -46,31 +61,79 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   }
 
   double wmax = 0.0;
-  for (double w : weight) wmax = std::max(wmax, w);
+  for (UserId u = 0; u < nu; ++u) {
+    for (int32_t j = catalog.user_columns_begin(u);
+         j < catalog.user_columns_end(u); ++j) {
+      wmax = std::max(wmax, weight[static_cast<size_t>(j)]);
+    }
+  }
   lp::LpSolution sol;
   sol.x.assign(static_cast<size_t>(cols), 0.0);
   sol.duals.assign(static_cast<size_t>(nu) + static_cast<size_t>(nv), 0.0);
-  if (cols == 0 || wmax <= 0.0) {
+  if (catalog.num_live_columns() == 0 || wmax <= 0.0) {
     sol.status = lp::SolveStatus::kOptimal;
+    if (warm_out != nullptr) {
+      warm_out->mu.assign(static_cast<size_t>(nv), 0.0);
+      warm_out->choice.assign(static_cast<size_t>(nu), -1);
+      warm_out->choice_value.assign(static_cast<size_t>(nu), 0.0);
+      warm_out->stale.clear();
+      warm_out->catalog_revision = catalog.ids_revision();
+    }
     return sol;
   }
 
-  // Columns sorted by descending weight for the greedy polish pass.
-  std::vector<int32_t> by_weight(static_cast<size_t>(cols));
-  for (int32_t j = 0; j < cols; ++j) by_weight[static_cast<size_t>(j)] = j;
+  // Live columns sorted by descending weight for the greedy polish pass.
+  // Ties break by (owner, id): within a user both ids sit in one contiguous
+  // range, so this order is invariant under delta renumbering — a dirty
+  // catalog polishes in exactly the order its compacted twin would.
+  std::vector<int32_t> by_weight;
+  by_weight.reserve(static_cast<size_t>(catalog.num_live_columns()));
+  for (UserId u = 0; u < nu; ++u) {
+    for (int32_t j = catalog.user_columns_begin(u);
+         j < catalog.user_columns_end(u); ++j) {
+      by_weight.push_back(j);
+    }
+  }
   std::sort(by_weight.begin(), by_weight.end(), [&](int32_t a, int32_t b) {
     if (weight[static_cast<size_t>(a)] != weight[static_cast<size_t>(b)]) {
       return weight[static_cast<size_t>(a)] > weight[static_cast<size_t>(b)];
     }
+    const UserId ua = col_user[static_cast<size_t>(a)];
+    const UserId ub = col_user[static_cast<size_t>(b)];
+    if (ua != ub) return ua < ub;
     return a < b;
   });
+  const int32_t live_cols = static_cast<int32_t>(by_weight.size());
+
+  // Warm start: μ seeds the trajectory; cached per-user choices are honored
+  // at the first iteration only (where μ still equals the warm μ) and only
+  // for users whose column ranges did not change — the "re-shard only the
+  // touched users" half of S15.
+  const DualWarmStart* warm = options.warm;
+  const bool warm_mu_ok =
+      warm != nullptr && static_cast<int32_t>(warm->mu.size()) == nv;
+  const bool warm_choices_ok =
+      warm != nullptr && warm_mu_ok &&
+      warm->catalog_revision == catalog.ids_revision() &&
+      static_cast<int32_t>(warm->choice.size()) == nu &&
+      static_cast<int32_t>(warm->choice_value.size()) == nu &&
+      (warm->stale.empty() ||
+       static_cast<int32_t>(warm->stale.size()) == nu);
 
   std::vector<double> mu(static_cast<size_t>(nv), 0.0);
+  if (warm_mu_ok) {
+    for (EventId v = 0; v < nv; ++v) {
+      mu[static_cast<size_t>(v)] = std::max(0.0, warm->mu[static_cast<size_t>(v)]);
+    }
+  }
   std::vector<double> best_mu = mu;
   std::vector<double> usage(static_cast<size_t>(nv), 0.0);
   std::vector<double> ext_usage(static_cast<size_t>(nv), 0.0);
   std::vector<int64_t> chosen_count(static_cast<size_t>(cols), 0);
   std::vector<int32_t> current_choice(static_cast<size_t>(nu), -1);
+  std::vector<double> current_value(static_cast<size_t>(nu), 0.0);
+  std::vector<int32_t> best_choice(static_cast<size_t>(nu), -1);
+  std::vector<double> best_value(static_cast<size_t>(nu), 0.0);
   std::vector<double> xtry(static_cast<size_t>(cols), 0.0);
   std::vector<double> factor(static_cast<size_t>(cols), 1.0);
   std::vector<double> user_mass(static_cast<size_t>(nu), 0.0);
@@ -88,14 +151,17 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
     const double inv =
         1.0 / static_cast<double>(std::max<int64_t>(1, avg_count));
     std::fill(ext_usage.begin(), ext_usage.end(), 0.0);
-    for (int32_t j = 0; j < cols; ++j) {
-      const double xj =
-          static_cast<double>(chosen_count[static_cast<size_t>(j)]) * inv;
-      xtry[static_cast<size_t>(j)] = xj;
-      if (xj <= 0.0) continue;
-      for (int64_t e = col_begin[static_cast<size_t>(j)];
-           e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
-        ext_usage[static_cast<size_t>(pool[e])] += xj;
+    for (UserId u = 0; u < nu; ++u) {
+      for (int32_t j = catalog.user_columns_begin(u);
+           j < catalog.user_columns_end(u); ++j) {
+        const double xj =
+            static_cast<double>(chosen_count[static_cast<size_t>(j)]) * inv;
+        xtry[static_cast<size_t>(j)] = xj;
+        if (xj <= 0.0) continue;
+        for (int64_t e = col_begin[static_cast<size_t>(j)];
+             e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+          ext_usage[static_cast<size_t>(pool[e])] += xj;
+        }
       }
     }
     // Scale down through overloaded events: walk each overloaded event's
@@ -108,14 +174,15 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
       if (used <= cap) continue;
       any_overload = true;
       const double f = cap <= 0.0 ? 0.0 : cap / used;
-      for (int32_t j : catalog.columns_of_event(v)) {
-        if (xtry[static_cast<size_t>(j)] <= 0.0) continue;
+      catalog.ForEachColumnOfEvent(v, [&](int32_t j) {
+        if (xtry[static_cast<size_t>(j)] <= 0.0) return;
         factor[static_cast<size_t>(j)] =
             std::min(factor[static_cast<size_t>(j)], f);
-      }
+      });
     }
     if (any_overload) {
-      for (int32_t j = 0; j < cols; ++j) {
+      for (int32_t jj = 0; jj < live_cols; ++jj) {
+        const int32_t j = by_weight[static_cast<size_t>(jj)];
         if (xtry[static_cast<size_t>(j)] > 0.0) {
           xtry[static_cast<size_t>(j)] *= factor[static_cast<size_t>(j)];
         }
@@ -124,19 +191,22 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
     // Exact activities and user masses of the scaled point.
     std::fill(ext_usage.begin(), ext_usage.end(), 0.0);
     std::fill(user_mass.begin(), user_mass.end(), 0.0);
-    for (int32_t j = 0; j < cols; ++j) {
-      const double xj = xtry[static_cast<size_t>(j)];
-      if (xj <= 0.0) continue;
-      user_mass[static_cast<size_t>(col_user[static_cast<size_t>(j)])] += xj;
-      for (int64_t e = col_begin[static_cast<size_t>(j)];
-           e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
-        ext_usage[static_cast<size_t>(pool[e])] += xj;
+    for (UserId u = 0; u < nu; ++u) {
+      for (int32_t j = catalog.user_columns_begin(u);
+           j < catalog.user_columns_end(u); ++j) {
+        const double xj = xtry[static_cast<size_t>(j)];
+        if (xj <= 0.0) continue;
+        user_mass[static_cast<size_t>(u)] += xj;
+        for (int64_t e = col_begin[static_cast<size_t>(j)];
+             e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+          ext_usage[static_cast<size_t>(pool[e])] += xj;
+        }
       }
     }
     // Greedy polish: refill by descending weight, respecting both the user's
     // residual mass (constraint (2)) and the events' residual capacity (3).
     double value = 0.0;
-    for (int32_t jj = 0; jj < cols; ++jj) {
+    for (int32_t jj = 0; jj < live_cols; ++jj) {
       const int32_t j = by_weight[static_cast<size_t>(jj)];
       double& xj = xtry[static_cast<size_t>(j)];
       const int32_t u = col_user[static_cast<size_t>(j)];
@@ -186,21 +256,22 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   std::vector<double> shard_lagrangian(static_cast<size_t>(num_shards), 0.0);
   std::vector<double> lane_usage(
       static_cast<size_t>(num_lanes) * static_cast<size_t>(nv), 0.0);
-  const auto run_shards = [&](const std::function<void(int32_t)>& shard_body) {
-    ParallelForRanges(workers.get(), 0, num_shards, /*grain=*/1,
-                      [&shard_body](int64_t b, int64_t e) {
-                        for (int64_t s = b; s < e; ++s) {
-                          shard_body(static_cast<int32_t>(s));
-                        }
-                      });
-  };
 
   const double step0 = options.step_scale * wmax;
   int64_t t = 1;
   std::vector<double> grad(static_cast<size_t>(nv), 0.0);
   for (; t <= options.max_iterations; ++t) {
     // ---- Oracle: best admissible set per user under reduced weights. ------
-    std::fill(lane_usage.begin(), lane_usage.end(), 0.0);
+    // At t=1 of a warm restart, users whose column ranges are unchanged reuse
+    // the cached argmax from the previous solve (μ is still the warm μ, so
+    // the cached value IS the scan result, bit for bit); only stale users
+    // rescan. The ownership check below additionally rejects any cached
+    // column id that no longer sits in the user's current range (delta
+    // re-enumeration always moves the range), so a forgotten stale flag on a
+    // user with a cached set degrades to a rescan; a cached "no set" (-1)
+    // has nothing to range-check, which is why the stale mask is part of the
+    // warm-start contract rather than a hint.
+    const bool reuse_choices = warm_choices_ok && t == 1;
     const auto oracle_chunk = [&](int32_t lane, int64_t sb, int64_t se) {
       double* lu = lane_usage.data() +
                    static_cast<size_t>(lane) * static_cast<size_t>(nv);
@@ -210,22 +281,36 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
             std::min<UserId>(nu, shard_begin + kUserShardSize);
         double lagr = 0.0;
         for (UserId u = shard_begin; u < shard_end; ++u) {
-          const int32_t begin = user_begin[static_cast<size_t>(u)];
-          const int32_t end = user_begin[static_cast<size_t>(u) + 1];
+          const int32_t begin = catalog.user_columns_begin(u);
+          const int32_t end = catalog.user_columns_end(u);
           double best = 0.0;
           int32_t best_col = -1;
-          for (int32_t j = begin; j < end; ++j) {
-            double reduced = weight[static_cast<size_t>(j)];
-            for (int64_t e = col_begin[static_cast<size_t>(j)];
-                 e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
-              reduced -= mu[static_cast<size_t>(pool[e])];
+          bool reused = false;
+          if (reuse_choices &&
+              (warm->stale.empty() ||
+               warm->stale[static_cast<size_t>(u)] == 0)) {
+            const int32_t cached = warm->choice[static_cast<size_t>(u)];
+            if (cached < 0 || (cached >= begin && cached < end)) {
+              best_col = cached;
+              best = warm->choice_value[static_cast<size_t>(u)];
+              reused = true;
             }
-            if (reduced > best) {
-              best = reduced;
-              best_col = j;
+          }
+          if (!reused) {
+            for (int32_t j = begin; j < end; ++j) {
+              double reduced = weight[static_cast<size_t>(j)];
+              for (int64_t e = col_begin[static_cast<size_t>(j)];
+                   e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
+                reduced -= mu[static_cast<size_t>(pool[e])];
+              }
+              if (reduced > best) {
+                best = reduced;
+                best_col = j;
+              }
             }
           }
           current_choice[static_cast<size_t>(u)] = best_col;
+          current_value[static_cast<size_t>(u)] = best;
           if (best_col >= 0) {
             lagr += best;
             ++chosen_count[static_cast<size_t>(best_col)];
@@ -238,6 +323,7 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
         shard_lagrangian[static_cast<size_t>(s)] = lagr;
       }
     };
+    std::fill(lane_usage.begin(), lane_usage.end(), 0.0);
     if (workers) {
       workers->ParallelFor(0, num_shards, /*grain=*/1, oracle_chunk);
     } else {
@@ -263,10 +349,17 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
     if (lagrangian < best_ub) {
       best_ub = lagrangian;
       best_mu = mu;
+      best_choice = current_choice;
+      best_value = current_value;
     }
 
     // ---- Periodic primal extraction & certified-gap check. ----------------
-    if (t % options.check_every == 0 || t == options.max_iterations) {
+    // A warm start front-loads one extra check right after the first oracle
+    // sweep: with a near-optimal μ the gap usually certifies immediately, so
+    // a small-delta re-solve costs one sweep over the stale users plus one
+    // primal extraction instead of `check_every` full iterations.
+    if (t % options.check_every == 0 || t == options.max_iterations ||
+        (warm_mu_ok && t == 1)) {
       const double value = extract_primal();
       if (value > best_primal) {
         best_primal = value;
@@ -321,30 +414,21 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   sol.objective = best_primal;
   sol.upper_bound = best_ub;
   sol.iterations = std::min<int64_t>(t, options.max_iterations);
-  // Duals: μ on event rows; π_u (the oracle value at best μ) on user rows.
-  // Per-user writes are disjoint, so the shard sweep is trivially
-  // deterministic.
-  run_shards([&](int32_t s) {
-    const UserId shard_begin = s * kUserShardSize;
-    const UserId shard_end = std::min<UserId>(nu, shard_begin + kUserShardSize);
-    for (UserId u = shard_begin; u < shard_end; ++u) {
-      const int32_t begin = user_begin[static_cast<size_t>(u)];
-      const int32_t end = user_begin[static_cast<size_t>(u) + 1];
-      double pi = 0.0;
-      for (int32_t j = begin; j < end; ++j) {
-        double reduced = weight[static_cast<size_t>(j)];
-        for (int64_t e = col_begin[static_cast<size_t>(j)];
-             e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
-          reduced -= best_mu[static_cast<size_t>(pool[e])];
-        }
-        pi = std::max(pi, reduced);
-      }
-      sol.duals[static_cast<size_t>(u)] = pi;
-    }
-  });
+  // Duals: μ on event rows; π_u (the oracle value at best μ) on user rows —
+  // tracked alongside best_ub, so no extra oracle sweep is needed here.
+  for (UserId u = 0; u < nu; ++u) {
+    sol.duals[static_cast<size_t>(u)] = best_value[static_cast<size_t>(u)];
+  }
   for (EventId v = 0; v < nv; ++v) {
     sol.duals[static_cast<size_t>(nu) + static_cast<size_t>(v)] =
         best_mu[static_cast<size_t>(v)];
+  }
+  if (warm_out != nullptr) {
+    warm_out->mu = best_mu;
+    warm_out->choice = std::move(best_choice);
+    warm_out->choice_value = std::move(best_value);
+    warm_out->stale.clear();
+    warm_out->catalog_revision = catalog.ids_revision();
   }
   const double gap = sol.RelativeGap();
   sol.status = gap <= options.target_gap ? lp::SolveStatus::kApproximate

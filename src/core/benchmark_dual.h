@@ -2,6 +2,7 @@
 #define IGEPA_CORE_BENCHMARK_DUAL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/admissible.h"
 #include "core/admissible_catalog.h"
@@ -12,6 +13,33 @@
 
 namespace igepa {
 namespace core {
+
+/// Warm-start state captured from one structured solve and fed to the next
+/// (DESIGN.md S15). `mu` seeds the event duals; `choice`/`choice_value` are
+/// the per-user oracle argmax (column id, or -1) and value at `mu`, which the
+/// next solve reuses verbatim at its first iteration for every user whose
+/// column range did not change — so a re-solve after a small delta rescans
+/// only the touched users.
+///
+/// Column ids in `choice` address the catalog the warm start was captured
+/// against; `catalog_revision` must equal the catalog's `ids_revision()` for
+/// them to be honored (after a compaction, run Remap with the reported
+/// old→new map to keep them alive). `mu` is event-indexed and always usable.
+struct DualWarmStart {
+  std::vector<double> mu;            // event duals μ ≥ 0, size |V|
+  std::vector<int32_t> choice;       // per-user argmax column at μ, size |U|
+  std::vector<double> choice_value;  // its oracle value (≥ 0), size |U|
+  /// Users whose column ranges changed since capture (1 = must rescan).
+  /// Empty means every cached choice is fresh.
+  std::vector<uint8_t> stale;
+  uint64_t catalog_revision = 0;
+
+  /// Rewrites cached column ids through a compaction remap (old id → new id,
+  /// -1 dead) and adopts the new ids revision. Cached choices of stale users
+  /// may be dead — they are dropped to -1 (the solver rescans them anyway).
+  void Remap(const std::vector<int32_t>& column_remap,
+             uint64_t new_ids_revision);
+};
 
 /// Options for the structured benchmark-LP solver.
 struct StructuredDualOptions {
@@ -29,6 +57,13 @@ struct StructuredDualOptions {
   /// count — threads=1 runs the same shard structure inline (DESIGN.md §5,
   /// S14). Small instances stay serial regardless.
   int32_t num_threads = 0;
+  /// Optional warm start (borrowed; must outlive the solve). Seeds μ, enables
+  /// a gap check after the very first iteration, and — when the cached
+  /// choices address this catalog's ids — rescans only stale users at that
+  /// iteration. A warm start never changes what any single iteration
+  /// computes, only where the trajectory starts, so warm results match a cold
+  /// solve within the certified tolerance 2·target_gap (DESIGN.md S15).
+  const DualWarmStart* warm = nullptr;
 };
 
 /// Approximate solver specialized to the benchmark LP's block-angular
@@ -56,10 +91,17 @@ struct StructuredDualOptions {
 /// ranges and event spans are exactly the arrays the subgradient loop needs,
 /// so no per-solve copy or model materialization happens; the primal repair
 /// scales overloaded events through the catalog's inverted event→column
-/// index.
+/// index. Dirty (delta-mutated, uncompacted) catalogs are first-class: all
+/// loops walk live per-user ranges in user-major order, so the solve is
+/// bit-identical to running on the compacted/rebuilt catalog.
+///
+/// When `warm_out` is non-null it captures the warm-start state of this
+/// solve (μ and per-user choices at the certified best μ) for the next
+/// re-solve; capturing costs nothing extra.
 Result<lp::LpSolution> SolveBenchmarkLpStructured(
     const Instance& instance, const AdmissibleCatalog& catalog,
-    const StructuredDualOptions& options = {});
+    const StructuredDualOptions& options = {},
+    DualWarmStart* warm_out = nullptr);
 
 /// DEPRECATED compatibility shim over the nested representation: converts to
 /// an AdmissibleCatalog and delegates (bit-identical results; `bench` is only

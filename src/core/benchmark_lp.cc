@@ -52,9 +52,12 @@ BenchmarkLp BuildBenchmarkLp(const Instance& instance,
     out.model.AddRow(lp::Sense::kLe,
                      static_cast<double>(instance.event_capacity(v)));
   }
-  out.column_map.reserve(static_cast<size_t>(catalog.num_columns()));
-  out.user_col_begin.assign(catalog.user_begin().begin(),
-                            catalog.user_begin().end());
+  out.column_map.reserve(static_cast<size_t>(catalog.num_live_columns()));
+  out.user_col_begin.assign(static_cast<size_t>(nu) + 1, 0);
+  for (UserId u = 0; u < nu; ++u) {
+    out.user_col_begin[static_cast<size_t>(u) + 1] =
+        out.user_col_begin[static_cast<size_t>(u)] + catalog.num_sets(u);
+  }
   for (UserId u = 0; u < nu; ++u) {
     for (int32_t j = catalog.user_columns_begin(u);
          j < catalog.user_columns_end(u); ++j) {

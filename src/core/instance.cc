@@ -78,6 +78,69 @@ Status Instance::Validate() {
   return Status::OK();
 }
 
+Status Instance::UpdateUser(UserId u, int32_t capacity,
+                            std::vector<EventId> bids) {
+  if (!validated_) {
+    return Status::FailedPrecondition("UpdateUser requires Validate() first");
+  }
+  if (u < 0 || u >= num_users()) {
+    return Status::InvalidArgument("UpdateUser: user " + std::to_string(u) +
+                                   " out of range");
+  }
+  if (capacity < 0) {
+    return Status::InvalidArgument("UpdateUser: negative capacity");
+  }
+  std::sort(bids.begin(), bids.end());
+  bids.erase(std::unique(bids.begin(), bids.end()), bids.end());
+  for (EventId v : bids) {
+    if (v < 0 || v >= num_events()) {
+      return Status::InvalidArgument("UpdateUser: bid for out-of-range event " +
+                                     std::to_string(v));
+    }
+  }
+  UserDef& def = users_[static_cast<size_t>(u)];
+  // Patch the bidder lists: drop u from events no longer bid, insert (keeping
+  // the list sorted by user id) into newly bid events. Both lists are sorted,
+  // so one merge walk finds the symmetric difference.
+  size_t i = 0;
+  size_t k = 0;
+  const std::vector<EventId>& old_bids = def.bids;
+  while (i < old_bids.size() || k < bids.size()) {
+    if (k == bids.size() ||
+        (i < old_bids.size() && old_bids[i] < bids[k])) {
+      std::vector<UserId>& list = bidders_[static_cast<size_t>(old_bids[i])];
+      list.erase(std::lower_bound(list.begin(), list.end(), u));
+      ++i;
+    } else if (i == old_bids.size() || bids[k] < old_bids[i]) {
+      std::vector<UserId>& list = bidders_[static_cast<size_t>(bids[k])];
+      list.insert(std::lower_bound(list.begin(), list.end(), u), u);
+      ++k;
+    } else {
+      ++i;
+      ++k;
+    }
+  }
+  def.capacity = capacity;
+  def.bids = std::move(bids);
+  return Status::OK();
+}
+
+Status Instance::UpdateEventCapacity(EventId v, int32_t capacity) {
+  if (!validated_) {
+    return Status::FailedPrecondition(
+        "UpdateEventCapacity requires Validate() first");
+  }
+  if (v < 0 || v >= num_events()) {
+    return Status::InvalidArgument("UpdateEventCapacity: event " +
+                                   std::to_string(v) + " out of range");
+  }
+  if (capacity < 0) {
+    return Status::InvalidArgument("UpdateEventCapacity: negative capacity");
+  }
+  events_[static_cast<size_t>(v)].capacity = capacity;
+  return Status::OK();
+}
+
 int64_t Instance::TotalBids() const {
   int64_t total = 0;
   for (const auto& u : users_) total += static_cast<int64_t>(u.bids.size());

@@ -93,6 +93,17 @@ class Instance {
   /// bidder lists. Must be called (and return OK) before running algorithms.
   Status Validate();
 
+  /// Replaces user u's capacity and bid set (sorted and deduplicated like
+  /// Validate), patching the per-event bidder lists incrementally — the
+  /// instance-side half of the incremental arrangement engine
+  /// (core/instance_delta.h). Requires a validated instance; the instance
+  /// stays validated on success and is untouched on failure.
+  Status UpdateUser(UserId u, int32_t capacity, std::vector<EventId> bids);
+
+  /// Replaces event v's attendance capacity c_v. Requires a validated
+  /// instance.
+  Status UpdateEventCapacity(EventId v, int32_t capacity);
+
   /// Total bid pairs Σ_u |N_u| (after validation).
   int64_t TotalBids() const;
 

@@ -1,0 +1,75 @@
+#include "core/instance_delta.h"
+
+#include <algorithm>
+#include <string>
+
+namespace igepa {
+namespace core {
+
+Status ApplyDelta(Instance* instance, const InstanceDelta& delta) {
+  const int32_t nu = instance->num_users();
+  const int32_t nv = instance->num_events();
+  // Validate the whole tick before mutating anything, so a malformed delta
+  // leaves the instance untouched.
+  for (const UserUpdate& up : delta.user_updates) {
+    if (up.user < 0 || up.user >= nu) {
+      return Status::InvalidArgument("delta updates out-of-range user " +
+                                     std::to_string(up.user));
+    }
+    if (up.capacity < 0) {
+      return Status::InvalidArgument("delta gives user " +
+                                     std::to_string(up.user) +
+                                     " negative capacity");
+    }
+    for (EventId v : up.bids) {
+      if (v < 0 || v >= nv) {
+        return Status::InvalidArgument(
+            "delta bids user " + std::to_string(up.user) +
+            " on out-of-range event " + std::to_string(v));
+      }
+    }
+  }
+  for (const EventCapacityUpdate& up : delta.event_updates) {
+    if (up.event < 0 || up.event >= nv) {
+      return Status::InvalidArgument("delta updates out-of-range event " +
+                                     std::to_string(up.event));
+    }
+    if (up.capacity < 0) {
+      return Status::InvalidArgument("delta gives event " +
+                                     std::to_string(up.event) +
+                                     " negative capacity");
+    }
+  }
+  for (const UserUpdate& up : delta.user_updates) {
+    IGEPA_RETURN_IF_ERROR(
+        instance->UpdateUser(up.user, up.capacity, up.bids));
+  }
+  for (const EventCapacityUpdate& up : delta.event_updates) {
+    IGEPA_RETURN_IF_ERROR(
+        instance->UpdateEventCapacity(up.event, up.capacity));
+  }
+  return Status::OK();
+}
+
+std::vector<UserId> TouchedUsers(const InstanceDelta& delta) {
+  std::vector<UserId> users;
+  users.reserve(delta.user_updates.size());
+  for (const UserUpdate& up : delta.user_updates) users.push_back(up.user);
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+std::vector<EventId> TouchedEvents(const InstanceDelta& delta) {
+  std::vector<EventId> events;
+  events.reserve(delta.event_updates.size());
+  for (const EventCapacityUpdate& up : delta.event_updates) {
+    events.push_back(up.event);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  return events;
+}
+
+}  // namespace core
+}  // namespace igepa

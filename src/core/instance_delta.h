@@ -1,0 +1,58 @@
+#ifndef IGEPA_CORE_INSTANCE_DELTA_H_
+#define IGEPA_CORE_INSTANCE_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace core {
+
+/// Replacement of one user's registration: the user's capacity and bid set
+/// after the update. An empty bid set models a cancellation (the user stays
+/// in the id space but owns no admissible sets); a later update with bids
+/// models re-registration. The id space itself is fixed — deltas never add
+/// or remove user/event slots.
+struct UserUpdate {
+  UserId user = 0;
+  int32_t capacity = 0;
+  std::vector<EventId> bids;
+};
+
+/// Replacement of one event's attendance capacity c_v. Capacity changes do
+/// not affect admissibility (only the LP's event rows), so they are cheap for
+/// the catalog and only perturb the solve.
+struct EventCapacityUpdate {
+  EventId event = 0;
+  int32_t capacity = 0;
+};
+
+/// One tick of instance mutations — the unit the incremental arrangement
+/// engine consumes. Updates inside a tick are applied in order; a later
+/// update to the same user/event wins.
+struct InstanceDelta {
+  std::vector<UserUpdate> user_updates;
+  std::vector<EventCapacityUpdate> event_updates;
+
+  bool empty() const { return user_updates.empty() && event_updates.empty(); }
+};
+
+/// Applies every update to the (validated) instance in order, patching the
+/// per-event bidder lists incrementally. Fails without side effects on the
+/// first out-of-range id / negative capacity / out-of-range bid.
+Status ApplyDelta(Instance* instance, const InstanceDelta& delta);
+
+/// The users whose registration the delta touches, ascending and deduplicated
+/// — exactly the users whose admissible-set columns must be re-enumerated.
+std::vector<UserId> TouchedUsers(const InstanceDelta& delta);
+
+/// The events whose capacity the delta changes, ascending and deduplicated.
+std::vector<EventId> TouchedEvents(const InstanceDelta& delta);
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_INSTANCE_DELTA_H_

@@ -79,6 +79,16 @@ Result<FractionalSolution> SolveBenchmarkLpForPacking(
       break;
     }
   }
+  // The materialized facade model assumes model column k == catalog column k,
+  // which only holds on a canonical catalog; a delta-mutated one routes to
+  // the structured solver, which walks live ranges directly.
+  if (!catalog.canonical()) {
+    if (options.benchmark_solver == BenchmarkSolverKind::kLpFacade) {
+      return Status::FailedPrecondition(
+          "kLpFacade requires a canonical (compacted) catalog");
+    }
+    structured = true;
+  }
   if (structured) {
     IGEPA_ASSIGN_OR_RETURN(
         fractional.lp,
@@ -102,12 +112,17 @@ Result<Arrangement> RoundFractional(const Instance& instance,
                                     const AdmissibleCatalog& catalog,
                                     const FractionalSolution& fractional,
                                     Rng* rng, const LpPackingOptions& options,
-                                    LpPackingStats* stats) {
+                                    LpPackingStats* stats,
+                                    RoundingState* state_out) {
   if (options.alpha <= 0.0 || options.alpha > 1.0) {
     return Status::InvalidArgument("alpha must be in (0, 1]");
   }
   if (catalog.num_users() != instance.num_users()) {
     return Status::InvalidArgument("catalog size mismatch");
+  }
+  if (state_out != nullptr && options.repair_order != RepairOrder::kUserIndex) {
+    return Status::InvalidArgument(
+        "RoundingState export requires RepairOrder::kUserIndex");
   }
   const lp::LpSolution& lp_sol = fractional.lp;
   if (static_cast<int32_t>(lp_sol.x.size()) != catalog.num_columns()) {
@@ -122,7 +137,7 @@ Result<Arrangement> RoundFractional(const Instance& instance,
       stats->solver_used = lp::ChooseSolver(fractional.bench.model,
                                             options.solver);
     }
-    stats->num_columns = catalog.num_columns();
+    stats->num_columns = catalog.num_live_columns();
     stats->admissible_truncated = catalog.any_truncated();
   }
 
@@ -204,12 +219,12 @@ Result<Arrangement> RoundFractional(const Instance& instance,
   std::vector<uint8_t> contended(static_cast<size_t>(nu), 0);
   if (any_hot) {
     for (EventId v : hot_events) {
-      for (int32_t j : catalog.columns_of_event(v)) {
+      catalog.ForEachColumnOfEvent(v, [&](int32_t j) {
         const UserId u = catalog.user_of(j);
         if (sampled_col[static_cast<size_t>(u)] == j) {
           contended[static_cast<size_t>(u)] = 1;
         }
-      }
+      });
     }
   }
 
@@ -241,7 +256,7 @@ Result<Arrangement> RoundFractional(const Instance& instance,
   // independently: collect its contenders' sweep ranks (ascending column id,
   // via the inverted index) and cut at the c_v-th smallest. Ranks are a
   // permutation (distinct), so the cutoff is unambiguous and deterministic.
-  constexpr int32_t kNoCutoff = std::numeric_limits<int32_t>::max();
+  constexpr int32_t kNoCutoff = kNoRepairCutoff;
   std::vector<int32_t> rank;
   std::vector<int32_t> cutoff;
   if (any_hot) {
@@ -257,12 +272,12 @@ Result<Arrangement> RoundFractional(const Instance& instance,
           for (int64_t h = hb; h < he; ++h) {
             const EventId v = hot_events[static_cast<size_t>(h)];
             contender_ranks.clear();
-            for (int32_t j : catalog.columns_of_event(v)) {
+            catalog.ForEachColumnOfEvent(v, [&](int32_t j) {
               const UserId u = catalog.user_of(j);
               if (sampled_col[static_cast<size_t>(u)] == j) {
                 contender_ranks.push_back(rank[static_cast<size_t>(u)]);
               }
-            }
+            });
             const auto cap =
                 static_cast<size_t>(std::max(0, instance.event_capacity(v)));
             if (contender_ranks.size() > cap) {
@@ -298,6 +313,261 @@ Result<Arrangement> RoundFractional(const Instance& instance,
     }
   }
   if (stats != nullptr) stats->pairs_repaired = repaired;
+  if (state_out != nullptr) {
+    // Under kUserIndex, rank[u] == u, so the exported cutoffs are directly
+    // comparable to user ids (the RoundingState contract).
+    state_out->sampled_col = sampled_col;
+    state_out->demand.resize(static_cast<size_t>(nv));
+    for (EventId v = 0; v < nv; ++v) {
+      state_out->demand[static_cast<size_t>(v)] =
+          demand[static_cast<size_t>(v)].load(std::memory_order_relaxed);
+    }
+    if (any_hot) {
+      state_out->cutoff = cutoff;
+    } else {
+      state_out->cutoff.assign(static_cast<size_t>(nv), kNoCutoff);
+    }
+    state_out->catalog_revision = catalog.ids_revision();
+  }
+  return arrangement;
+}
+
+void RoundingState::Remap(const std::vector<int32_t>& column_remap,
+                          uint64_t new_ids_revision) {
+  for (size_t u = 0; u < sampled_col.size(); ++u) {
+    const int32_t j = sampled_col[u];
+    if (j < 0) continue;
+    sampled_col[u] = (static_cast<size_t>(j) < column_remap.size())
+                         ? column_remap[static_cast<size_t>(j)]
+                         : -1;
+  }
+  catalog_revision = new_ids_revision;
+}
+
+namespace {
+
+/// Repair cutoff of one event from the current samples: the (c_v)-th
+/// smallest contender user id when demand exceeds capacity, else "never
+/// rejects". Contender ids are distinct, so the cutoff is unambiguous.
+int32_t ComputeEventCutoff(const Instance& instance,
+                           const AdmissibleCatalog& catalog,
+                           const std::vector<int32_t>& sampled_col, EventId v,
+                           int32_t event_demand,
+                           std::vector<int32_t>* scratch) {
+  const int32_t cap = instance.event_capacity(v);
+  if (event_demand <= cap) return kNoRepairCutoff;
+  scratch->clear();
+  catalog.ForEachColumnOfEvent(v, [&](int32_t j) {
+    const UserId u = catalog.user_of(j);
+    if (sampled_col[static_cast<size_t>(u)] == j) scratch->push_back(u);
+  });
+  const auto capn = static_cast<size_t>(std::max(0, cap));
+  if (scratch->size() <= capn) return kNoRepairCutoff;
+  std::nth_element(scratch->begin(),
+                   scratch->begin() + static_cast<int64_t>(capn),
+                   scratch->end());
+  return (*scratch)[capn];
+}
+
+/// Emits the arrangement the per-event cutoffs define: pair (v, u) survives
+/// iff u < cutoff[v]. User-index sweep order.
+Result<Arrangement> EmitFromCutoffs(const Instance& instance,
+                                    const AdmissibleCatalog& catalog,
+                                    const std::vector<int32_t>& sampled_col,
+                                    const std::vector<int32_t>& cutoff,
+                                    int32_t* repaired_out) {
+  const int32_t nu = instance.num_users();
+  Arrangement arrangement(instance.num_events(), nu);
+  int32_t repaired = 0;
+  for (UserId u = 0; u < nu; ++u) {
+    const int32_t j = sampled_col[static_cast<size_t>(u)];
+    if (j < 0) continue;
+    for (EventId v : catalog.set(j)) {
+      if (u >= cutoff[static_cast<size_t>(v)]) {
+        ++repaired;  // line 7: drop v from S_u
+        continue;
+      }
+      IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+    }
+  }
+  if (repaired_out != nullptr) *repaired_out = repaired;
+  return arrangement;
+}
+
+}  // namespace
+
+Result<Arrangement> RepairSampledColumns(
+    const Instance& instance, const AdmissibleCatalog& catalog,
+    const std::vector<int32_t>& sampled_col) {
+  const int32_t nu = instance.num_users();
+  const int32_t nv = instance.num_events();
+  if (catalog.num_users() != nu) {
+    return Status::InvalidArgument("catalog size mismatch");
+  }
+  if (static_cast<int32_t>(sampled_col.size()) != nu) {
+    return Status::InvalidArgument("sampled_col size mismatch");
+  }
+  for (UserId u = 0; u < nu; ++u) {
+    const int32_t j = sampled_col[static_cast<size_t>(u)];
+    if (j < 0) continue;
+    if (j >= catalog.num_columns() || !catalog.live(j) ||
+        catalog.user_of(j) != u) {
+      return Status::InvalidArgument("sampled_col[" + std::to_string(u) +
+                                     "] is not a live column of that user");
+    }
+  }
+  std::vector<int32_t> demand(static_cast<size_t>(nv), 0);
+  for (UserId u = 0; u < nu; ++u) {
+    const int32_t j = sampled_col[static_cast<size_t>(u)];
+    if (j < 0) continue;
+    for (EventId v : catalog.set(j)) ++demand[static_cast<size_t>(v)];
+  }
+  std::vector<int32_t> cutoff(static_cast<size_t>(nv), kNoRepairCutoff);
+  std::vector<int32_t> scratch;
+  for (EventId v = 0; v < nv; ++v) {
+    cutoff[static_cast<size_t>(v)] = ComputeEventCutoff(
+        instance, catalog, sampled_col, v, demand[static_cast<size_t>(v)],
+        &scratch);
+  }
+  return EmitFromCutoffs(instance, catalog, sampled_col, cutoff, nullptr);
+}
+
+std::vector<EventId> RetireSamples(const AdmissibleCatalog& catalog,
+                                   const std::vector<UserId>& users,
+                                   RoundingState* state) {
+  std::vector<UserId> unique_users = users;
+  std::sort(unique_users.begin(), unique_users.end());
+  unique_users.erase(std::unique(unique_users.begin(), unique_users.end()),
+                     unique_users.end());
+  std::vector<EventId> touched;
+  for (UserId u : unique_users) {
+    int32_t& j = state->sampled_col[static_cast<size_t>(u)];
+    if (j < 0) continue;
+    for (EventId v : catalog.set(j)) {
+      --state->demand[static_cast<size_t>(v)];
+      touched.push_back(v);
+    }
+    j = -1;
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+Result<Arrangement> RoundFractionalDelta(
+    const Instance& instance, const AdmissibleCatalog& catalog,
+    const FractionalSolution& fractional,
+    const std::vector<UserId>& resample_users,
+    const std::vector<EventId>& touched_events, Rng* rng, RoundingState* state,
+    const LpPackingOptions& options, LpPackingStats* stats) {
+  const int32_t nu = instance.num_users();
+  const int32_t nv = instance.num_events();
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (options.repair_order != RepairOrder::kUserIndex) {
+    return Status::InvalidArgument(
+        "RoundFractionalDelta requires RepairOrder::kUserIndex");
+  }
+  if (catalog.num_users() != nu) {
+    return Status::InvalidArgument("catalog size mismatch");
+  }
+  const lp::LpSolution& lp_sol = fractional.lp;
+  if (static_cast<int32_t>(lp_sol.x.size()) != catalog.num_columns()) {
+    return Status::InvalidArgument("fractional solution size mismatch");
+  }
+  if (state == nullptr ||
+      static_cast<int32_t>(state->sampled_col.size()) != nu ||
+      static_cast<int32_t>(state->demand.size()) != nv ||
+      static_cast<int32_t>(state->cutoff.size()) != nv) {
+    return Status::InvalidArgument("rounding state shape mismatch");
+  }
+  if (state->catalog_revision != catalog.ids_revision()) {
+    return Status::FailedPrecondition(
+        "rounding state addresses a different catalog layout (remap after "
+        "compaction)");
+  }
+  for (EventId v : touched_events) {
+    if (v < 0 || v >= nv) {
+      return Status::InvalidArgument("touched event out of range");
+    }
+  }
+
+  std::vector<UserId> resample = resample_users;
+  std::sort(resample.begin(), resample.end());
+  resample.erase(std::unique(resample.begin(), resample.end()),
+                 resample.end());
+  for (UserId u : resample) {
+    if (u < 0 || u >= nu) {
+      return Status::InvalidArgument("resample user out of range");
+    }
+  }
+
+  std::vector<uint8_t> touched(static_cast<size_t>(nv), 0);
+  for (EventId v : touched_events) touched[static_cast<size_t>(v)] = 1;
+
+  // Re-sample exactly the listed users from the new fractional solution —
+  // one draw per user in ascending user order, so the RNG stream (and thus
+  // the result) is independent of how the caller ordered the list. Samples
+  // not retired beforehand are retired here (valid when no compaction
+  // intervened, since tombstoned spans stay readable).
+  for (UserId u : resample) {
+    int32_t& slot = state->sampled_col[static_cast<size_t>(u)];
+    if (slot >= 0) {
+      for (EventId v : catalog.set(slot)) {
+        --state->demand[static_cast<size_t>(v)];
+        touched[static_cast<size_t>(v)] = 1;
+      }
+      slot = -1;
+    }
+    const int32_t begin = catalog.user_columns_begin(u);
+    const int32_t end = catalog.user_columns_end(u);
+    double r = rng->NextDouble();
+    for (int32_t j = begin; j < end; ++j) {
+      const double mass =
+          options.alpha * std::clamp(lp_sol.x[static_cast<size_t>(j)], 0.0, 1.0);
+      if (r < mass) {
+        slot = j;
+        break;
+      }
+      r -= mass;
+    }
+    if (slot >= 0) {
+      for (EventId v : catalog.set(slot)) {
+        ++state->demand[static_cast<size_t>(v)];
+        touched[static_cast<size_t>(v)] = 1;
+      }
+    }
+  }
+
+  // Event-local repair: only touched events can have a different contender
+  // set than last time, so only they need a fresh cutoff. Untouched events'
+  // contenders are untouched users whose samples did not change — their
+  // stored cutoffs remain exact.
+  std::vector<int32_t> scratch;
+  for (EventId v = 0; v < nv; ++v) {
+    if (touched[static_cast<size_t>(v)] == 0) continue;
+    state->cutoff[static_cast<size_t>(v)] = ComputeEventCutoff(
+        instance, catalog, state->sampled_col, v,
+        state->demand[static_cast<size_t>(v)], &scratch);
+  }
+
+  int32_t repaired = 0;
+  auto arrangement = EmitFromCutoffs(instance, catalog, state->sampled_col,
+                                     state->cutoff, &repaired);
+  if (!arrangement.ok()) return arrangement;
+  if (stats != nullptr) {
+    stats->lp_objective = lp_sol.objective;
+    stats->lp_upper_bound = lp_sol.upper_bound;
+    stats->lp_iterations = lp_sol.iterations;
+    stats->used_structured_dual = fractional.structured;
+    stats->num_columns = catalog.num_live_columns();
+    stats->admissible_truncated = catalog.any_truncated();
+    stats->users_sampled = static_cast<int32_t>(std::count_if(
+        state->sampled_col.begin(), state->sampled_col.end(),
+        [](int32_t j) { return j >= 0; }));
+    stats->pairs_repaired = repaired;
+  }
   return arrangement;
 }
 

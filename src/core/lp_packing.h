@@ -2,6 +2,8 @@
 #define IGEPA_CORE_LP_PACKING_H_
 
 #include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "core/admissible.h"
 #include "core/admissible_catalog.h"
@@ -143,18 +145,84 @@ Result<FractionalSolution> SolveBenchmarkLpForPacking(
     const Instance& instance, const std::vector<AdmissibleSets>& admissible,
     const LpPackingOptions& options = {});
 
+/// Sentinel cutoff meaning "event never rejects" in RoundingState::cutoff.
+inline constexpr int32_t kNoRepairCutoff =
+    std::numeric_limits<int32_t>::max();
+
+/// The rounding pass's per-user/per-event state, exported by RoundFractional
+/// and consumed by the localized delta re-round (DESIGN.md S15). Only defined
+/// for RepairOrder::kUserIndex, where a user's sweep rank IS their id:
+///   * `sampled_col[u]` — the catalog column user u sampled (-1: none);
+///   * `demand[v]` — how many sampled sets contain v;
+///   * `cutoff[v]` — the repair rule: pair (v, u) survives iff
+///     u < cutoff[v] (kNoRepairCutoff when demand fits capacity).
+/// The full arrangement is a pure function of this state
+/// (RepairSampledColumns pins that), which is what makes event-local repair
+/// after a delta exact rather than heuristic.
+struct RoundingState {
+  std::vector<int32_t> sampled_col;  // per user
+  std::vector<int32_t> demand;       // per event
+  std::vector<int32_t> cutoff;       // per event
+  /// ids_revision of the catalog the column ids address.
+  uint64_t catalog_revision = 0;
+
+  /// Rewrites sampled columns through a compaction remap (old id → new id,
+  /// -1 dead) and adopts the new ids revision. Samples already retired via
+  /// RetireSamples are -1 and stay -1; a live sample never maps to -1.
+  void Remap(const std::vector<int32_t>& column_remap,
+             uint64_t new_ids_revision);
+};
+
 /// Lines 2-8 of Algorithm 1 over the catalog: sample one admissible set per
 /// user with probability α·x*, repair event capacities, emit the surviving
 /// pairs. The repair sweep uses the catalog's inverted event→column index to
 /// confine per-event bookkeeping to the (typically few) oversubscribed
 /// events: users whose sampled set touches no overloaded event are emitted
 /// in bulk without capacity checks. Output is identical to the legacy sweep.
+///
+/// When `state_out` is non-null the pass also exports its RoundingState for
+/// later localized re-rounds (requires RepairOrder::kUserIndex).
 Result<Arrangement> RoundFractional(const Instance& instance,
                                     const AdmissibleCatalog& catalog,
                                     const FractionalSolution& fractional,
                                     Rng* rng,
                                     const LpPackingOptions& options = {},
-                                    LpPackingStats* stats = nullptr);
+                                    LpPackingStats* stats = nullptr,
+                                    RoundingState* state_out = nullptr);
+
+/// The canonical repair semantics: given every user's sampled column, emit
+/// the arrangement the sequential user-index capacity-repair sweep produces
+/// (each event v keeps its first c_v contenders by user id). Both the full
+/// rounding pass and the localized delta re-round are pinned to this function
+/// by equivalence tests. Serial reference implementation.
+Result<Arrangement> RepairSampledColumns(const Instance& instance,
+                                         const AdmissibleCatalog& catalog,
+                                         const std::vector<int32_t>& sampled_col);
+
+/// Phase 1 of a delta re-round, called BEFORE AdmissibleCatalog::ApplyDelta
+/// while the listed users' column ids are still addressable: subtracts their
+/// sampled sets from the per-event demand, blanks their samples, and returns
+/// the events those sets touched (ascending, deduplicated) — the events whose
+/// repair cutoffs must be recomputed.
+std::vector<EventId> RetireSamples(const AdmissibleCatalog& catalog,
+                                   const std::vector<UserId>& users,
+                                   RoundingState* state);
+
+/// Phase 2 (after the catalog delta and the warm LP re-solve): re-samples
+/// exactly `resample_users` from the new fractional solution (one RNG draw
+/// per listed user, ascending user order), recomputes repair cutoffs only on
+/// `touched_events` ∪ the events the new samples hit, and emits the full
+/// arrangement. Untouched users keep their previous samples and untouched
+/// events keep their previous cutoffs — both provably unchanged, so the
+/// result equals RepairSampledColumns on the updated sampled_col vector
+/// exactly (pinned by tests). Requires RepairOrder::kUserIndex and a state
+/// whose catalog_revision matches the catalog.
+Result<Arrangement> RoundFractionalDelta(
+    const Instance& instance, const AdmissibleCatalog& catalog,
+    const FractionalSolution& fractional,
+    const std::vector<UserId>& resample_users,
+    const std::vector<EventId>& touched_events, Rng* rng, RoundingState* state,
+    const LpPackingOptions& options = {}, LpPackingStats* stats = nullptr);
 
 /// DEPRECATED: lines 2-8 over the nested representation (requires
 /// `fractional.bench` as produced by the deprecated overload above).

@@ -1,0 +1,176 @@
+#include "exp/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace igepa {
+namespace exp {
+
+using core::AdmissibleCatalog;
+using core::Arrangement;
+using core::CatalogDeltaOptions;
+using core::DualWarmStart;
+using core::FractionalSolution;
+using core::Instance;
+using core::InstanceDelta;
+using core::LpPackingOptions;
+using core::RoundingState;
+using core::StructuredDualOptions;
+using core::UserId;
+
+Result<ReplayReport> RunReplay(Instance instance,
+                               const std::vector<InstanceDelta>& stream,
+                               const ReplayOptions& options) {
+  const int32_t nu = instance.num_users();
+
+  StructuredDualOptions dual = options.dual;
+  dual.num_threads = options.num_threads;
+  core::AdmissibleOptions admissible = options.admissible;
+  admissible.num_threads = options.num_threads;
+  CatalogDeltaOptions delta_options;
+  delta_options.admissible = options.admissible;
+  delta_options.compact_tombstone_fraction = options.compact_tombstone_fraction;
+  delta_options.compact_min_dead_columns = options.compact_min_dead_columns;
+  LpPackingOptions round_options;
+  round_options.alpha = options.alpha;
+  round_options.num_threads = options.num_threads;
+  round_options.structured = dual;
+
+  Rng master(options.seed);
+
+  // ---- Tick 0: cold bootstrap of the incremental state. ---------------------
+  AdmissibleCatalog catalog = AdmissibleCatalog::Build(instance, admissible);
+  DualWarmStart warm;
+  IGEPA_ASSIGN_OR_RETURN(
+      lp::LpSolution base_sol,
+      core::SolveBenchmarkLpStructured(instance, catalog, dual, &warm));
+  FractionalSolution fractional;
+  fractional.lp = std::move(base_sol);
+  fractional.structured = true;
+  RoundingState state;
+  {
+    Rng round_rng = master.Fork();
+    IGEPA_ASSIGN_OR_RETURN(
+        Arrangement base_arr,
+        core::RoundFractional(instance, catalog, fractional, &round_rng,
+                              round_options, /*stats=*/nullptr, &state));
+    IGEPA_RETURN_IF_ERROR(base_arr.CheckFeasible(instance));
+  }
+
+  ReplayReport report;
+  report.ticks.reserve(stream.size());
+
+  for (size_t tick = 0; tick < stream.size(); ++tick) {
+    const InstanceDelta& delta = stream[tick];
+    ReplayTick row;
+    row.tick = static_cast<int32_t>(tick);
+    Rng warm_rng = master.Fork();
+    Rng cold_rng = master.Fork();
+
+    // ---- Warm path: the incremental engine. -------------------------------
+    Stopwatch warm_watch;
+    const std::vector<UserId> touched = core::TouchedUsers(delta);
+    const std::vector<core::EventId> cap_events = core::TouchedEvents(delta);
+    // Validate ids up front: RetireSamples indexes per-user state before
+    // core::ApplyDelta gets a chance to reject the delta.
+    for (UserId u : touched) {
+      if (u < 0 || u >= nu) {
+        return Status::InvalidArgument(
+            "replay tick " + std::to_string(tick) +
+            " updates out-of-range user " + std::to_string(u));
+      }
+    }
+    for (core::EventId v : cap_events) {
+      if (v < 0 || v >= instance.num_events()) {
+        return Status::InvalidArgument(
+            "replay tick " + std::to_string(tick) +
+            " updates out-of-range event " + std::to_string(v));
+      }
+    }
+    // Retire touched users' samples while their column ids are still
+    // addressable (ApplyDelta may compact).
+    std::vector<core::EventId> dirty_events =
+        core::RetireSamples(catalog, touched, &state);
+    dirty_events.insert(dirty_events.end(), cap_events.begin(),
+                        cap_events.end());
+    std::sort(dirty_events.begin(), dirty_events.end());
+    dirty_events.erase(std::unique(dirty_events.begin(), dirty_events.end()),
+                       dirty_events.end());
+
+    IGEPA_RETURN_IF_ERROR(core::ApplyDelta(&instance, delta));
+    IGEPA_ASSIGN_OR_RETURN(
+        core::CatalogDeltaResult delta_result,
+        catalog.ApplyDelta(instance, delta, delta_options));
+    if (delta_result.compacted) {
+      // Surviving column ids were renumbered; keep the cached state alive.
+      state.Remap(delta_result.column_remap, catalog.ids_revision());
+      warm.Remap(delta_result.column_remap, catalog.ids_revision());
+    }
+    warm.stale.assign(static_cast<size_t>(nu), 0);
+    for (UserId u : touched) warm.stale[static_cast<size_t>(u)] = 1;
+
+    StructuredDualOptions warm_dual = dual;
+    warm_dual.warm = &warm;
+    DualWarmStart warm_next;
+    IGEPA_ASSIGN_OR_RETURN(
+        lp::LpSolution warm_sol,
+        core::SolveBenchmarkLpStructured(instance, catalog, warm_dual,
+                                         &warm_next));
+    fractional.lp = std::move(warm_sol);
+    IGEPA_ASSIGN_OR_RETURN(
+        Arrangement warm_arr,
+        core::RoundFractionalDelta(instance, catalog, fractional, touched,
+                                   dirty_events, &warm_rng, &state,
+                                   round_options));
+    row.warm_seconds = warm_watch.ElapsedSeconds();
+    IGEPA_RETURN_IF_ERROR(warm_arr.CheckFeasible(instance));
+    warm = std::move(warm_next);
+
+    row.touched_users = static_cast<int32_t>(touched.size());
+    row.event_updates = static_cast<int32_t>(delta.event_updates.size());
+    row.compacted = delta_result.compacted;
+    row.live_columns = catalog.num_live_columns();
+    row.dead_columns = catalog.num_dead_columns();
+    row.warm_lp_objective = fractional.lp.objective;
+    row.warm_lp_iterations = fractional.lp.iterations;
+    row.warm_utility = warm_arr.Utility(instance);
+
+    // ---- Cold reference: rebuild everything from the mutated instance. ----
+    if (options.compare_cold) {
+      Stopwatch cold_watch;
+      const AdmissibleCatalog cold_catalog =
+          AdmissibleCatalog::Build(instance, admissible);
+      IGEPA_ASSIGN_OR_RETURN(
+          lp::LpSolution cold_sol,
+          core::SolveBenchmarkLpStructured(instance, cold_catalog, dual));
+      FractionalSolution cold_fractional;
+      cold_fractional.lp = std::move(cold_sol);
+      cold_fractional.structured = true;
+      IGEPA_ASSIGN_OR_RETURN(
+          Arrangement cold_arr,
+          core::RoundFractional(instance, cold_catalog, cold_fractional,
+                                &cold_rng, round_options));
+      row.cold_seconds = cold_watch.ElapsedSeconds();
+      IGEPA_RETURN_IF_ERROR(cold_arr.CheckFeasible(instance));
+      row.cold_lp_objective = cold_fractional.lp.objective;
+      row.cold_lp_iterations = cold_fractional.lp.iterations;
+      row.cold_utility = cold_arr.Utility(instance);
+      row.lp_drift = std::abs(row.warm_lp_objective - row.cold_lp_objective) /
+                     std::max(1.0, std::abs(row.cold_lp_objective));
+      report.max_lp_drift = std::max(report.max_lp_drift, row.lp_drift);
+      report.final_cold_lp_objective = row.cold_lp_objective;
+      report.total_cold_seconds += row.cold_seconds;
+    }
+    report.total_warm_seconds += row.warm_seconds;
+    report.final_warm_lp_objective = row.warm_lp_objective;
+    report.ticks.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace exp
+}  // namespace igepa

@@ -1,0 +1,92 @@
+#ifndef IGEPA_EXP_REPLAY_H_
+#define IGEPA_EXP_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/admissible_catalog.h"
+#include "core/benchmark_dual.h"
+#include "core/instance.h"
+#include "core/instance_delta.h"
+#include "core/lp_packing.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace exp {
+
+/// Options for the streaming replay driver.
+struct ReplayOptions {
+  /// Worker threads for the warm and cold solves (0 = hardware concurrency).
+  /// A pure wall-clock knob: results are bit-identical for every value.
+  int32_t num_threads = 0;
+  /// Structured-dual knobs shared by the warm and cold solves.
+  core::StructuredDualOptions dual;
+  /// Enumeration knobs (catalog build and delta re-enumeration).
+  core::AdmissibleOptions admissible;
+  /// Catalog compaction policy.
+  double compact_tombstone_fraction = 0.25;
+  int32_t compact_min_dead_columns = 256;
+  /// Algorithm-1 sampling scale for the rounding passes.
+  double alpha = 1.0;
+  /// Rounding RNG master seed (per-tick streams are forked from it, so
+  /// results do not depend on the thread count).
+  uint64_t seed = 20190408;
+  /// Also run the full cold pipeline (rebuild + cold solve + full re-round)
+  /// every tick, for the latency and objective-drift comparison. Turn off to
+  /// measure pure incremental-engine latency.
+  bool compare_cold = true;
+};
+
+/// One tick of the replay: the incremental (warm) path, and — when
+/// compare_cold — the from-scratch (cold) reference on the same mutated
+/// instance.
+struct ReplayTick {
+  int32_t tick = 0;
+  int32_t touched_users = 0;
+  int32_t event_updates = 0;
+  bool compacted = false;
+  int32_t live_columns = 0;
+  int32_t dead_columns = 0;
+
+  double warm_seconds = 0.0;   // ApplyDelta + warm solve + localized re-round
+  double warm_lp_objective = 0.0;
+  int64_t warm_lp_iterations = 0;
+  double warm_utility = 0.0;   // rounded arrangement utility
+
+  double cold_seconds = 0.0;   // rebuild + cold solve + full re-round
+  double cold_lp_objective = 0.0;
+  int64_t cold_lp_iterations = 0;
+  double cold_utility = 0.0;
+  /// |warm_lp - cold_lp| / max(1, |cold_lp|). Both solves certify
+  /// target_gap, so this stays ≤ ~2·target_gap (DESIGN.md S15).
+  double lp_drift = 0.0;
+};
+
+/// Aggregate replay outcome.
+struct ReplayReport {
+  std::vector<ReplayTick> ticks;
+  double total_warm_seconds = 0.0;
+  double total_cold_seconds = 0.0;
+  double max_lp_drift = 0.0;
+  double final_warm_lp_objective = 0.0;
+  double final_cold_lp_objective = 0.0;
+};
+
+/// The incremental arrangement engine, end to end (DESIGN.md S15): solves the
+/// base instance cold once, then consumes the delta stream tick by tick —
+/// instance patch → catalog ApplyDelta (tombstone/append, auto-compaction) →
+/// warm-started structured dual (rescanning only touched users) → localized
+/// re-round (resampling only touched users, repairing only touched events) —
+/// and reports per-tick latency and objective drift against the cold
+/// pipeline. Every warm arrangement is feasibility-checked; the first
+/// violation aborts the replay with an error.
+///
+/// Takes the instance by value: the replay mutates it tick by tick.
+Result<ReplayReport> RunReplay(core::Instance instance,
+                               const std::vector<core::InstanceDelta>& stream,
+                               const ReplayOptions& options = {});
+
+}  // namespace exp
+}  // namespace igepa
+
+#endif  // IGEPA_EXP_REPLAY_H_

@@ -1,0 +1,75 @@
+#include "gen/delta_stream.h"
+
+#include <algorithm>
+
+namespace igepa {
+namespace gen {
+
+using core::EventCapacityUpdate;
+using core::EventId;
+using core::InstanceDelta;
+using core::UserId;
+using core::UserUpdate;
+
+std::vector<InstanceDelta> GenerateDeltaStream(const core::Instance& instance,
+                                               const DeltaStreamConfig& config,
+                                               Rng* rng) {
+  const int32_t nu = instance.num_users();
+  const int32_t nv = instance.num_events();
+  std::vector<InstanceDelta> stream;
+  if (config.num_ticks <= 0 || nu == 0 || nv == 0) return stream;
+  stream.reserve(static_cast<size_t>(config.num_ticks));
+
+  const int32_t users_per_tick =
+      std::min(config.user_updates_per_tick, nu);
+  const int32_t events_per_tick =
+      std::min(config.event_updates_per_tick, nv);
+  const int32_t min_bids = std::max(1, config.min_bids);
+  const int32_t max_bids = std::max(min_bids, config.max_bids);
+  const int32_t max_cu = std::max(1, config.max_user_capacity);
+
+  for (int32_t tick = 0; tick < config.num_ticks; ++tick) {
+    InstanceDelta delta;
+    // Distinct users this tick; sorted so the stream (and every consumer's
+    // touched-user bookkeeping) is canonical.
+    std::vector<size_t> users =
+        rng->SampleIndices(static_cast<size_t>(nu),
+                           static_cast<size_t>(users_per_tick));
+    std::sort(users.begin(), users.end());
+    for (size_t uu : users) {
+      UserUpdate up;
+      up.user = static_cast<UserId>(uu);
+      if (rng->Bernoulli(config.p_cancel)) {
+        // Cancellation: the slot stays, the registration goes.
+        up.capacity = 0;
+      } else {
+        up.capacity = static_cast<int32_t>(rng->UniformInt(1, max_cu));
+        const auto k = static_cast<size_t>(rng->UniformInt(min_bids, max_bids));
+        std::vector<size_t> bids =
+            rng->SampleIndices(static_cast<size_t>(nv), k);
+        up.bids.reserve(bids.size());
+        for (size_t v : bids) up.bids.push_back(static_cast<EventId>(v));
+        std::sort(up.bids.begin(), up.bids.end());
+      }
+      delta.user_updates.push_back(std::move(up));
+    }
+    std::vector<size_t> events =
+        rng->SampleIndices(static_cast<size_t>(nv),
+                           static_cast<size_t>(events_per_tick));
+    std::sort(events.begin(), events.end());
+    for (size_t vv : events) {
+      EventCapacityUpdate up;
+      up.event = static_cast<EventId>(vv);
+      const int32_t base = instance.event_capacity(up.event);
+      const int32_t half = std::max(1, base / 2);
+      up.capacity = static_cast<int32_t>(
+          rng->UniformInt(std::max(1, base - half), base + half));
+      delta.event_updates.push_back(up);
+    }
+    stream.push_back(std::move(delta));
+  }
+  return stream;
+}
+
+}  // namespace gen
+}  // namespace igepa

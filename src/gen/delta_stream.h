@@ -1,0 +1,44 @@
+#ifndef IGEPA_GEN_DELTA_STREAM_H_
+#define IGEPA_GEN_DELTA_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/instance_delta.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace gen {
+
+/// Configuration of the synthetic mutation stream the replay workload
+/// consumes: per tick, a few users cancel or re-register (fresh capacity and
+/// bid set) and a few events resize — the churn pattern of a live EBSN
+/// (users register/cancel continuously, venues change capacity).
+struct DeltaStreamConfig {
+  int32_t num_ticks = 10;
+  /// Distinct users touched per tick.
+  int32_t user_updates_per_tick = 4;
+  /// Distinct events whose capacity changes per tick.
+  int32_t event_updates_per_tick = 1;
+  /// Probability a touched user cancels (empty bid set) instead of
+  /// re-registering with fresh bids.
+  double p_cancel = 0.2;
+  /// Re-registration: bid-set size Uniform{min_bids..max_bids} over distinct
+  /// events, capacity Uniform{1..max_user_capacity}.
+  int32_t min_bids = 2;
+  int32_t max_bids = 6;
+  int32_t max_user_capacity = 4;
+};
+
+/// Samples a reproducible `num_ticks`-long mutation stream against the base
+/// instance. Event capacities jitter around the BASE instance's values (the
+/// stream is generated up front, before any delta is applied), within
+/// [max(1, c/2), c + max(1, c/2)]. All randomness comes from `rng`.
+std::vector<core::InstanceDelta> GenerateDeltaStream(
+    const core::Instance& instance, const DeltaStreamConfig& config, Rng* rng);
+
+}  // namespace gen
+}  // namespace igepa
+
+#endif  // IGEPA_GEN_DELTA_STREAM_H_

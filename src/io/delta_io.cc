@@ -1,0 +1,130 @@
+#include "io/delta_io.h"
+
+#include <fstream>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace igepa {
+namespace io {
+
+using core::EventCapacityUpdate;
+using core::EventId;
+using core::InstanceDelta;
+using core::UserUpdate;
+
+Status WriteDeltaStreamCsv(const std::vector<InstanceDelta>& stream,
+                           int32_t num_events, int32_t num_users,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << "igepa-deltas,1," << stream.size() << "," << num_events << ","
+      << num_users << "\n";
+  for (size_t t = 0; t < stream.size(); ++t) {
+    out << "tick," << t << "\n";
+    for (const UserUpdate& up : stream[t].user_updates) {
+      out << "user," << up.user << "," << up.capacity << ",";
+      for (size_t i = 0; i < up.bids.size(); ++i) {
+        if (i > 0) out << ";";
+        out << up.bids[i];
+      }
+      out << "\n";
+    }
+    for (const EventCapacityUpdate& up : stream[t].event_updates) {
+      out << "event," << up.event << "," << up.capacity << "\n";
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty delta stream file: " + path);
+  }
+  auto header = Split(Trim(line), ',');
+  if (header.size() != 5 || header[0] != "igepa-deltas" || header[1] != "1") {
+    return Status::InvalidArgument("bad delta stream header in " + path);
+  }
+  int64_t ticks = 0, nv = 0, nu = 0;
+  if (!ParseInt(header[2], &ticks) || !ParseInt(header[3], &nv) ||
+      !ParseInt(header[4], &nu) || ticks < 0 || nv < 0 || nu < 0) {
+    return Status::InvalidArgument("bad delta stream header fields in " + path);
+  }
+
+  // Grown one tick at a time as tick lines arrive — the untrusted header
+  // count is only a promise to check at the end, never an allocation size.
+  std::vector<InstanceDelta> stream;
+  int64_t current = -1;
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto fields = Split(Trim(line), ',');
+    if (fields.empty() || fields[0].empty()) continue;
+    const std::string& kind = fields[0];
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    if (kind == "tick") {
+      int64_t t = 0;
+      if (fields.size() != 2 || !ParseInt(fields[1], &t) || t != current + 1 ||
+          t >= ticks) {
+        return bad("malformed or out-of-order tick line");
+      }
+      current = t;
+      stream.emplace_back();
+    } else if (kind == "user") {
+      if (current < 0) return bad("user line before any tick");
+      int64_t id = 0, cap = 0;
+      if (fields.size() != 4 || !ParseInt(fields[1], &id) ||
+          !ParseInt(fields[2], &cap) || id < 0 || id >= nu || cap < 0) {
+        return bad("malformed user line");
+      }
+      UserUpdate up;
+      up.user = static_cast<core::UserId>(id);
+      up.capacity = static_cast<int32_t>(cap);
+      if (!fields[3].empty()) {
+        for (const auto& tok : Split(fields[3], ';')) {
+          int64_t bid = 0;
+          if (!ParseInt(tok, &bid) || bid < 0 || bid >= nv) {
+            return bad("malformed bid list");
+          }
+          up.bids.push_back(static_cast<EventId>(bid));
+        }
+      }
+      stream[static_cast<size_t>(current)].user_updates.push_back(
+          std::move(up));
+    } else if (kind == "event") {
+      if (current < 0) return bad("event line before any tick");
+      int64_t id = 0, cap = 0;
+      if (fields.size() != 3 || !ParseInt(fields[1], &id) ||
+          !ParseInt(fields[2], &cap) || id < 0 || id >= nv || cap < 0) {
+        return bad("malformed event line");
+      }
+      EventCapacityUpdate up;
+      up.event = static_cast<EventId>(id);
+      up.capacity = static_cast<int32_t>(cap);
+      stream[static_cast<size_t>(current)].event_updates.push_back(up);
+    } else {
+      return bad("unknown line kind '" + kind + "'");
+    }
+  }
+  if (current + 1 != ticks) {
+    return Status::InvalidArgument(path + ": header promises " +
+                                   std::to_string(ticks) + " ticks, found " +
+                                   std::to_string(current + 1));
+  }
+  return stream;
+}
+
+}  // namespace io
+}  // namespace igepa

@@ -1,0 +1,35 @@
+#ifndef IGEPA_IO_DELTA_IO_H_
+#define IGEPA_IO_DELTA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance_delta.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace io {
+
+/// Serializes a delta stream to a sectioned CSV file (the replay workload's
+/// on-disk format):
+///
+///   igepa-deltas,1,<num_ticks>,<num_events>,<num_users>
+///   tick,<index>                          (0-based, strictly increasing)
+///   user,<id>,<capacity>,<bid;bid;...>    (empty bid list = cancellation)
+///   event,<id>,<capacity>
+///
+/// The header's event/user counts record the id space the deltas address, so
+/// a stream can be validated against an instance before replaying.
+Status WriteDeltaStreamCsv(const std::vector<core::InstanceDelta>& stream,
+                           int32_t num_events, int32_t num_users,
+                           const std::string& path);
+
+/// Reads a delta stream written by WriteDeltaStreamCsv, validating ids
+/// against the header's ranges.
+Result<std::vector<core::InstanceDelta>> ReadDeltaStreamCsv(
+    const std::string& path);
+
+}  // namespace io
+}  // namespace igepa
+
+#endif  // IGEPA_IO_DELTA_IO_H_

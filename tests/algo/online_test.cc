@@ -169,6 +169,207 @@ TEST(OnlineTest, GreedyOnlineTracksOfflineGreedyOnAverage) {
   EXPECT_LE(online_total, offline_total * 1.05);
 }
 
+/// The pre-catalog implementation of OnlineArrange, kept verbatim as the
+/// reference half of the bit-identity pin: per-user nested enumeration, sets
+/// evaluated in the enumerator's emission order. The production path now
+/// walks catalog column views instead; arrangement, utility bits and stats
+/// must not move.
+Result<core::Arrangement> LegacyOnlineArrange(
+    const Instance& instance, const std::vector<UserId>& arrival_order,
+    const OnlineOptions& options, OnlineStats* stats) {
+  const int32_t nu = instance.num_users();
+  if (stats != nullptr) *stats = OnlineStats{};
+  core::Arrangement arrangement(instance.num_events(), nu);
+  std::vector<int32_t> residual(static_cast<size_t>(instance.num_events()));
+  for (core::EventId v = 0; v < instance.num_events(); ++v) {
+    residual[static_cast<size_t>(v)] = instance.event_capacity(v);
+  }
+  core::AdmissibleOptions admissible_options;
+  admissible_options.max_sets_per_user = options.max_sets_per_user;
+  for (UserId u : arrival_order) {
+    double best_bid_weight = 0.0;
+    for (core::EventId v : instance.bids(u)) {
+      best_bid_weight = std::max(best_bid_weight, instance.Weight(v, u));
+    }
+    const double cutoff = options.policy == OnlinePolicy::kThreshold
+                              ? options.threshold_fraction * best_bid_weight
+                              : 0.0;
+    const core::AdmissibleSets sets =
+        core::EnumerateAdmissibleSetsForUser(instance, u, admissible_options);
+    double best_weight = 0.0;
+    const std::vector<core::EventId>* best_set = nullptr;
+    for (const auto& set : sets.sets) {
+      bool ok = true;
+      double w = 0.0;
+      for (core::EventId v : set) {
+        if (residual[static_cast<size_t>(v)] <= 0) {
+          ok = false;
+          break;
+        }
+        const double pair_w = instance.Weight(v, u);
+        if (pair_w < cutoff) {
+          ok = false;
+          if (stats != nullptr) ++stats->pairs_rejected_by_threshold;
+          break;
+        }
+        w += pair_w;
+      }
+      if (ok && w > best_weight) {
+        best_weight = w;
+        best_set = &set;
+      }
+    }
+    if (best_set == nullptr) {
+      if (stats != nullptr) ++stats->users_empty;
+      continue;
+    }
+    for (core::EventId v : *best_set) {
+      --residual[static_cast<size_t>(v)];
+      IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
+    }
+    if (stats != nullptr) ++stats->users_served;
+  }
+  return arrangement;
+}
+
+TEST(OnlineTest, CatalogPathBitIdenticalToLegacyEnumeration) {
+  Rng master(123);
+  gen::SyntheticConfig config;
+  config.num_events = 25;
+  config.num_users = 120;
+  config.max_event_capacity = 6;
+  for (OnlinePolicy policy : {OnlinePolicy::kGreedy, OnlinePolicy::kThreshold}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      Rng rng = master.Fork();
+      auto instance = gen::GenerateSynthetic(config, &rng);
+      ASSERT_TRUE(instance.ok());
+      std::vector<UserId> order = IndexOrder(config.num_users);
+      Rng order_rng = master.Fork();
+      order_rng.Shuffle(&order);
+      OnlineOptions options;
+      options.policy = policy;
+      OnlineStats stats;
+      OnlineStats legacy_stats;
+      auto result = OnlineArrange(*instance, order, options, &stats);
+      auto legacy =
+          LegacyOnlineArrange(*instance, order, options, &legacy_stats);
+      ASSERT_TRUE(result.ok());
+      ASSERT_TRUE(legacy.ok());
+      // Same pairs in the same insertion order, same utility bits, same
+      // stats — the satellite's OnlineStats pin.
+      EXPECT_EQ(result->pairs(), legacy->pairs());
+      EXPECT_EQ(result->Utility(*instance), legacy->Utility(*instance));
+      EXPECT_EQ(stats.users_served, legacy_stats.users_served);
+      EXPECT_EQ(stats.users_empty, legacy_stats.users_empty);
+      EXPECT_EQ(stats.pairs_rejected_by_threshold,
+                legacy_stats.pairs_rejected_by_threshold);
+    }
+  }
+}
+
+TEST(OnlineTest, CallerSuppliedCatalogMatchesBuiltInPath) {
+  const Instance instance = MakeTinyInstance();
+  const auto catalog = core::AdmissibleCatalog::Build(instance);
+  OnlineStats with_catalog, without;
+  auto a = OnlineArrange(instance, catalog, IndexOrder(3), {}, &with_catalog);
+  auto b = OnlineArrange(instance, IndexOrder(3), {}, &without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->pairs(), b->pairs());
+  EXPECT_EQ(with_catalog.users_served, without.users_served);
+}
+
+TEST(OnlineTest, ThresholdZeroBehavesLikeGreedy) {
+  // Pair weights are non-negative, so a 0.0 cutoff rejects nothing.
+  Rng master(77);
+  gen::SyntheticConfig config;
+  config.num_events = 15;
+  config.num_users = 60;
+  Rng rng = master.Fork();
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  std::vector<UserId> order = IndexOrder(config.num_users);
+  OnlineOptions threshold;
+  threshold.policy = OnlinePolicy::kThreshold;
+  threshold.threshold_fraction = 0.0;
+  OnlineStats threshold_stats, greedy_stats;
+  auto a = OnlineArrange(*instance, order, threshold, &threshold_stats);
+  auto b = OnlineArrange(*instance, order, {}, &greedy_stats);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->pairs(), b->pairs());
+  EXPECT_EQ(threshold_stats.pairs_rejected_by_threshold, 0);
+  EXPECT_EQ(threshold_stats.users_served, greedy_stats.users_served);
+}
+
+TEST(OnlineTest, ThresholdOneKeepsOnlyTopWeightPairs) {
+  // User's pairs weigh 0.9 and 0.2; fraction 1.0 only admits sets made of
+  // best-weight pairs, so the 0.2 event is rejected despite free capacity.
+  std::vector<core::EventDef> events(2);
+  events[0].capacity = 1;
+  events[1].capacity = 1;
+  std::vector<core::UserDef> users(1);
+  users[0].capacity = 2;
+  users[0].bids = {0, 1};
+  auto interest = std::make_shared<interest::TableInterest>(2, 1);
+  interest->Set(0, 0, 0.9);
+  interest->Set(1, 0, 0.2);
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2), interest,
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>{0.0}),
+      1.0);
+  ASSERT_TRUE(instance.Validate().ok());
+  OnlineOptions options;
+  options.policy = OnlinePolicy::kThreshold;
+  options.threshold_fraction = 1.0;
+  OnlineStats stats;
+  auto result = OnlineArrange(instance, {0}, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Contains(0, 0));
+  EXPECT_FALSE(result->Contains(1, 0));
+  EXPECT_EQ(stats.users_served, 1);
+  EXPECT_GT(stats.pairs_rejected_by_threshold, 0);
+}
+
+TEST(OnlineTest, UserWithNoAdmissiblePairCountsAsEmpty) {
+  // u0 has no bids at all; u1 bids but has zero capacity (no admissible
+  // sets); u2 is a normal user. Both degenerate users must be skipped
+  // gracefully under either policy.
+  std::vector<core::EventDef> events(2);
+  events[0].capacity = 1;
+  events[1].capacity = 1;
+  std::vector<core::UserDef> users(3);
+  users[0].capacity = 2;  // no bids
+  users[1].capacity = 0;  // bids but cannot attend anything
+  users[1].bids = {0, 1};
+  users[2].capacity = 1;
+  users[2].bids = {1};
+  auto interest = std::make_shared<interest::TableInterest>(2, 3);
+  interest->Set(0, 1, 0.8);
+  interest->Set(1, 1, 0.6);
+  interest->Set(1, 2, 0.7);
+  Instance instance(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2), interest,
+      std::make_shared<graph::TableInteractionModel>(
+          std::vector<double>(3, 0.0)),
+      1.0);
+  ASSERT_TRUE(instance.Validate().ok());
+  for (OnlinePolicy policy : {OnlinePolicy::kGreedy, OnlinePolicy::kThreshold}) {
+    OnlineOptions options;
+    options.policy = policy;
+    OnlineStats stats;
+    auto result = OnlineArrange(instance, IndexOrder(3), options, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(stats.users_empty, 2);
+    EXPECT_EQ(stats.users_served, 1);
+    EXPECT_EQ(stats.pairs_rejected_by_threshold, 0);
+    EXPECT_TRUE(result->Contains(1, 2));
+  }
+}
+
 TEST(OnlineTest, RandomOrderDeterministicGivenSeed) {
   const Instance instance = MakeTinyInstance();
   Rng a(99), b(99);

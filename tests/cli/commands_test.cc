@@ -177,8 +177,51 @@ TEST(CliTest, SolveThreadsKnobIsPurePerformance) {
             0);
 }
 
+TEST(CliTest, ReplaySmokeMatchesColdWithinTolerance) {
+  // Small synthetic replay; the driver itself asserts feasibility per tick
+  // and --check-tolerance turns LP drift into the exit code.
+  const CliRun run =
+      RunTool({"replay", "--ticks=3", "--users=120", "--events=20",
+               "--updates-per-tick=3", "--threads=1",
+               "--check-tolerance=0.02"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("replay check OK"), std::string::npos);
+  EXPECT_NE(run.out.find("total warm"), std::string::npos);
+}
+
+TEST(CliTest, ReplayReadsDeltaStreamFile) {
+  const std::string instance_path = TempPath("cli_replay_instance.csv");
+  const std::string deltas_path = TempPath("cli_replay_deltas.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=12",
+                     "--users=40", "--out=" + instance_path})
+                .code,
+            0);
+  {
+    std::ofstream out(deltas_path);
+    out << "igepa-deltas,1,2,12,40\n"
+        << "tick,0\n"
+        << "user,3,2,0;4;7\n"
+        << "event,5,9\n"
+        << "tick,1\n"
+        << "user,3,0,\n";
+  }
+  const CliRun run =
+      RunTool({"replay", "--in=" + instance_path, "--deltas=" + deltas_path,
+               "--threads=1", "--check-tolerance=0.02"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("2 ticks"), std::string::npos);
+}
+
+TEST(CliTest, ReplayRejectsBadFlags) {
+  EXPECT_NE(RunTool({"replay", "--ticks=0"}).code, 0);
+  EXPECT_NE(RunTool({"replay", "--threads=-1"}).code, 0);
+  EXPECT_NE(
+      RunTool({"replay", "--no-cold", "--check-tolerance=0.01"}).code, 0);
+}
+
 TEST(CliTest, PerCommandHelp) {
-  for (const char* command : {"generate", "solve", "evaluate", "describe"}) {
+  for (const char* command :
+       {"generate", "solve", "evaluate", "describe", "replay"}) {
     const CliRun run = RunTool({command, "--help"});
     EXPECT_EQ(run.code, 0) << command;
     EXPECT_NE(run.out.find("usage"), std::string::npos) << command;

@@ -1,0 +1,260 @@
+// Equivalence tests for the incremental catalog (DESIGN.md S15): a catalog
+// maintained by ApplyDelta across a seeded mutation stream must match a
+// from-scratch Build on the mutated instance — live views at every tick,
+// full arrays bit for bit after compaction — and a structured solve on the
+// dirty catalog must be bit-identical to one on the rebuilt catalog.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/admissible_catalog.h"
+#include "core/benchmark_dual.h"
+#include "core/instance_delta.h"
+#include "gen/delta_stream.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace core {
+namespace {
+
+Instance MakeInstance(int32_t users, int32_t events, uint64_t seed) {
+  Rng rng(seed);
+  gen::SyntheticConfig config;
+  config.num_users = users;
+  config.num_events = events;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+std::vector<InstanceDelta> MakeStream(const Instance& instance, int32_t ticks,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  gen::DeltaStreamConfig config;
+  config.num_ticks = ticks;
+  config.user_updates_per_tick = 5;
+  config.event_updates_per_tick = 2;
+  return gen::GenerateDeltaStream(instance, config, &rng);
+}
+
+/// Live views of `catalog` must equal the canonical `reference` user by user:
+/// same sets (content and per-user order), same weight bits, same truncation.
+void ExpectLiveViewsEqual(const AdmissibleCatalog& catalog,
+                          const AdmissibleCatalog& reference) {
+  ASSERT_EQ(catalog.num_users(), reference.num_users());
+  ASSERT_EQ(catalog.num_live_columns(), reference.num_columns());
+  ASSERT_EQ(catalog.num_live_pairs(), reference.num_pairs());
+  for (UserId u = 0; u < catalog.num_users(); ++u) {
+    ASSERT_EQ(catalog.num_sets(u), reference.num_sets(u)) << "user " << u;
+    EXPECT_EQ(catalog.truncated(u), reference.truncated(u));
+    const int32_t cb = catalog.user_columns_begin(u);
+    const int32_t rb = reference.user_columns_begin(u);
+    for (int32_t k = 0; k < catalog.num_sets(u); ++k) {
+      const auto cs = catalog.set(cb + k);
+      const auto rs = reference.set(rb + k);
+      ASSERT_TRUE(std::equal(cs.begin(), cs.end(), rs.begin(), rs.end()))
+          << "user " << u << " set " << k;
+      EXPECT_EQ(catalog.weight(cb + k), reference.weight(rb + k))
+          << "user " << u << " set " << k;
+      EXPECT_TRUE(catalog.live(cb + k));
+      EXPECT_EQ(catalog.user_of(cb + k), u);
+    }
+  }
+  EXPECT_EQ(catalog.any_truncated(), reference.any_truncated());
+}
+
+/// The raw arrays of two canonical catalogs must be identical.
+void ExpectArraysIdentical(const AdmissibleCatalog& a,
+                           const AdmissibleCatalog& b) {
+  EXPECT_EQ(a.pool(), b.pool());
+  EXPECT_EQ(a.col_begin(), b.col_begin());
+  EXPECT_EQ(a.user_begin(), b.user_begin());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.col_users(), b.col_users());
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (EventId v = 0; v < a.num_events(); ++v) {
+    const auto ca = a.columns_of_event(v);
+    const auto cb = b.columns_of_event(v);
+    ASSERT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()))
+        << "event " << v;
+  }
+}
+
+/// The patched inverted index must cover exactly the live incidences.
+void ExpectInvertedIndexConsistent(const AdmissibleCatalog& catalog) {
+  for (EventId v = 0; v < catalog.num_events(); ++v) {
+    std::vector<int32_t> listed;
+    int32_t prev = -1;
+    catalog.ForEachColumnOfEvent(v, [&](int32_t j) {
+      EXPECT_TRUE(catalog.live(j));
+      EXPECT_GT(j, prev) << "not ascending at event " << v;
+      prev = j;
+      const auto span = catalog.set(j);
+      EXPECT_TRUE(std::binary_search(span.begin(), span.end(), v));
+      listed.push_back(j);
+    });
+    // Every live column containing v is listed exactly once.
+    for (UserId u = 0; u < catalog.num_users(); ++u) {
+      for (int32_t j = catalog.user_columns_begin(u);
+           j < catalog.user_columns_end(u); ++j) {
+        const auto span = catalog.set(j);
+        const bool contains = std::binary_search(span.begin(), span.end(), v);
+        const bool is_listed =
+            std::binary_search(listed.begin(), listed.end(), j);
+        EXPECT_EQ(contains, is_listed) << "event " << v << " column " << j;
+      }
+    }
+  }
+}
+
+/// Bidder lists stay exact under incremental user updates.
+void ExpectBiddersConsistent(const Instance& instance) {
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    std::vector<UserId> expect;
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      if (instance.HasBid(u, v)) expect.push_back(u);
+    }
+    EXPECT_EQ(instance.bidders(v), expect) << "event " << v;
+  }
+}
+
+TEST(CatalogDeltaTest, ApplyDeltaMatchesRebuildAtEveryTick) {
+  Instance instance = MakeInstance(120, 30, 7);
+  AdmissibleCatalog catalog = AdmissibleCatalog::Build(instance);
+  const auto stream = MakeStream(instance, 8, 11);
+  CatalogDeltaOptions options;
+  options.compact_min_dead_columns = 1 << 30;  // keep the catalog dirty
+  uint64_t revision = catalog.ids_revision();
+  for (const InstanceDelta& delta : stream) {
+    ASSERT_TRUE(ApplyDelta(&instance, delta).ok());
+    auto result = catalog.ApplyDelta(instance, delta, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->compacted);
+    EXPECT_EQ(result->touched_users, TouchedUsers(delta));
+    // Appends/tombstones never renumber surviving ids.
+    EXPECT_EQ(catalog.ids_revision(), revision);
+    const AdmissibleCatalog reference = AdmissibleCatalog::Build(instance);
+    ExpectLiveViewsEqual(catalog, reference);
+    ExpectInvertedIndexConsistent(catalog);
+    ExpectBiddersConsistent(instance);
+  }
+  EXPECT_FALSE(catalog.canonical());
+  EXPECT_GT(catalog.num_dead_columns(), 0);
+
+  // Compaction reproduces Build on the mutated instance bit for bit.
+  const AdmissibleCatalog reference = AdmissibleCatalog::Build(instance);
+  const auto remap = catalog.Compact();
+  EXPECT_TRUE(catalog.canonical());
+  EXPECT_EQ(catalog.ids_revision(), revision + 1);
+  EXPECT_EQ(catalog.num_dead_columns(), 0);
+  ExpectArraysIdentical(catalog, reference);
+  // The remap relocated every live column onto an identical set.
+  int32_t mapped = 0;
+  for (size_t old = 0; old < remap.size(); ++old) {
+    if (remap[old] >= 0) ++mapped;
+  }
+  EXPECT_EQ(mapped, catalog.num_columns());
+}
+
+TEST(CatalogDeltaTest, AutoCompactionEveryTickStillMatchesRebuild) {
+  Instance instance = MakeInstance(100, 25, 13);
+  AdmissibleCatalog catalog = AdmissibleCatalog::Build(instance);
+  const auto stream = MakeStream(instance, 6, 17);
+  CatalogDeltaOptions options;
+  options.compact_tombstone_fraction = 0.0;
+  options.compact_min_dead_columns = 1;
+  for (const InstanceDelta& delta : stream) {
+    ASSERT_TRUE(ApplyDelta(&instance, delta).ok());
+    auto result = catalog.ApplyDelta(instance, delta, options);
+    ASSERT_TRUE(result.ok());
+    if (result->columns_tombstoned > 0) {
+      EXPECT_TRUE(result->compacted);
+      EXPECT_TRUE(catalog.canonical());
+    }
+    ExpectArraysIdentical(catalog, AdmissibleCatalog::Build(instance));
+  }
+}
+
+TEST(CatalogDeltaTest, CancellationEmptiesAndReRegistrationRestores) {
+  Instance instance = MakeInstance(64, 16, 3);
+  AdmissibleCatalog catalog = AdmissibleCatalog::Build(instance);
+  const UserId victim = 5;
+  ASSERT_GT(catalog.num_sets(victim), 0);
+  const std::vector<EventId> old_bids = instance.bids(victim);
+  const int32_t old_capacity = instance.user_capacity(victim);
+
+  InstanceDelta cancel;
+  cancel.user_updates.push_back({victim, 0, {}});
+  ASSERT_TRUE(ApplyDelta(&instance, cancel).ok());
+  ASSERT_TRUE(catalog.ApplyDelta(instance, cancel).ok());
+  EXPECT_EQ(catalog.num_sets(victim), 0);
+  ExpectLiveViewsEqual(catalog, AdmissibleCatalog::Build(instance));
+
+  InstanceDelta restore;
+  restore.user_updates.push_back({victim, old_capacity, old_bids});
+  ASSERT_TRUE(ApplyDelta(&instance, restore).ok());
+  ASSERT_TRUE(catalog.ApplyDelta(instance, restore).ok());
+  EXPECT_GT(catalog.num_sets(victim), 0);
+  ExpectLiveViewsEqual(catalog, AdmissibleCatalog::Build(instance));
+}
+
+TEST(CatalogDeltaTest, DirtySolveBitIdenticalToRebuiltSolve) {
+  Instance instance = MakeInstance(300, 40, 23);
+  AdmissibleCatalog catalog = AdmissibleCatalog::Build(instance);
+  const auto stream = MakeStream(instance, 4, 29);
+  CatalogDeltaOptions no_compact;
+  no_compact.compact_min_dead_columns = 1 << 30;
+  for (const InstanceDelta& delta : stream) {
+    ASSERT_TRUE(ApplyDelta(&instance, delta).ok());
+    ASSERT_TRUE(catalog.ApplyDelta(instance, delta, no_compact).ok());
+  }
+  ASSERT_FALSE(catalog.canonical());
+  const AdmissibleCatalog reference = AdmissibleCatalog::Build(instance);
+
+  StructuredDualOptions options;
+  options.max_iterations = 600;
+  options.num_threads = 1;
+  auto dirty = SolveBenchmarkLpStructured(instance, catalog, options);
+  auto rebuilt = SolveBenchmarkLpStructured(instance, reference, options);
+  ASSERT_TRUE(dirty.ok());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(dirty->objective, rebuilt->objective);
+  EXPECT_EQ(dirty->upper_bound, rebuilt->upper_bound);
+  EXPECT_EQ(dirty->iterations, rebuilt->iterations);
+  EXPECT_EQ(dirty->duals, rebuilt->duals);
+  // x is column-indexed: compare through the per-user offset mapping.
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const int32_t cb = catalog.user_columns_begin(u);
+    const int32_t rb = reference.user_columns_begin(u);
+    for (int32_t k = 0; k < catalog.num_sets(u); ++k) {
+      EXPECT_EQ(dirty->x[static_cast<size_t>(cb + k)],
+                rebuilt->x[static_cast<size_t>(rb + k)])
+          << "user " << u << " set " << k;
+    }
+  }
+}
+
+TEST(CatalogDeltaTest, RejectsMalformedDeltas) {
+  Instance instance = MakeInstance(32, 8, 1);
+  AdmissibleCatalog catalog = AdmissibleCatalog::Build(instance);
+  InstanceDelta bad_user;
+  bad_user.user_updates.push_back({99, 1, {0}});
+  EXPECT_FALSE(ApplyDelta(&instance, bad_user).ok());
+  EXPECT_FALSE(catalog.ApplyDelta(instance, bad_user).ok());
+  InstanceDelta bad_bid;
+  bad_bid.user_updates.push_back({0, 1, {42}});
+  EXPECT_FALSE(ApplyDelta(&instance, bad_bid).ok());
+  InstanceDelta bad_event;
+  bad_event.event_updates.push_back({-1, 3});
+  EXPECT_FALSE(ApplyDelta(&instance, bad_event).ok());
+  EXPECT_FALSE(catalog.ApplyDelta(instance, bad_event).ok());
+  // Nothing was mutated by the failures.
+  ExpectArraysIdentical(catalog, AdmissibleCatalog::Build(instance));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace igepa

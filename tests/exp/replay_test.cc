@@ -1,0 +1,149 @@
+// Streaming replay driver: end-to-end incremental engine vs cold pipeline.
+
+#include "exp/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "gen/delta_stream.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace exp {
+namespace {
+
+core::Instance MakeInstance(int32_t users, uint64_t seed) {
+  Rng rng(seed);
+  gen::SyntheticConfig config;
+  config.num_users = users;
+  config.num_events = 40;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+std::vector<core::InstanceDelta> MakeStream(const core::Instance& instance,
+                                            int32_t ticks, uint64_t seed) {
+  Rng rng(seed);
+  gen::DeltaStreamConfig config;
+  config.num_ticks = ticks;
+  config.user_updates_per_tick = 4;
+  config.event_updates_per_tick = 1;
+  return gen::GenerateDeltaStream(instance, config, &rng);
+}
+
+TEST(ReplayTest, DriftStaysWithinCertifiedTolerance) {
+  core::Instance instance = MakeInstance(250, 7);
+  const auto stream = MakeStream(instance, 6, 11);
+  ReplayOptions options;
+  options.num_threads = 1;
+  auto report = RunReplay(std::move(instance), stream, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->ticks.size(), stream.size());
+  // Warm and cold both certify target_gap (0.01) ⇒ drift ≤ ~2·gap.
+  EXPECT_LE(report->max_lp_drift, 2.0 * options.dual.target_gap + 1e-9);
+  for (const ReplayTick& row : report->ticks) {
+    EXPECT_GT(row.warm_lp_objective, 0.0);
+    EXPECT_GT(row.warm_utility, 0.0);
+    EXPECT_GT(row.cold_utility, 0.0);
+    EXPECT_GT(row.live_columns, 0);
+    // The warm solve starts at the previous optimum; it must never need more
+    // subgradient iterations than the cold restart.
+    EXPECT_LE(row.warm_lp_iterations, row.cold_lp_iterations);
+  }
+  EXPECT_EQ(report->final_cold_lp_objective,
+            report->ticks.back().cold_lp_objective);
+}
+
+TEST(ReplayTest, ResultsIdenticalForEveryThreadCount) {
+  const auto base = MakeInstance(300, 13);
+  const auto stream = MakeStream(base, 5, 17);
+  ReplayOptions options;
+  options.num_threads = 1;
+  auto serial = RunReplay(base, stream, options);
+  ASSERT_TRUE(serial.ok());
+  for (int32_t threads : {2, 8}) {
+    ReplayOptions threaded = options;
+    threaded.num_threads = threads;
+    auto report = RunReplay(base, stream, threaded);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->ticks.size(), serial->ticks.size());
+    for (size_t t = 0; t < stream.size(); ++t) {
+      EXPECT_EQ(report->ticks[t].warm_lp_objective,
+                serial->ticks[t].warm_lp_objective)
+          << "threads=" << threads << " tick=" << t;
+      EXPECT_EQ(report->ticks[t].warm_utility, serial->ticks[t].warm_utility);
+      EXPECT_EQ(report->ticks[t].cold_lp_objective,
+                serial->ticks[t].cold_lp_objective);
+      EXPECT_EQ(report->ticks[t].cold_utility, serial->ticks[t].cold_utility);
+    }
+  }
+}
+
+TEST(ReplayTest, CompactionIsInvisibleToResults) {
+  // Forcing compaction on every tick renumbers columns constantly; the warm
+  // path's remapped state must produce the exact same per-tick numbers as the
+  // never-compacting run.
+  const auto base = MakeInstance(220, 19);
+  const auto stream = MakeStream(base, 5, 23);
+  ReplayOptions lazy;
+  lazy.num_threads = 1;
+  lazy.compact_min_dead_columns = 1 << 30;  // never
+  ReplayOptions eager = lazy;
+  eager.compact_tombstone_fraction = 0.0;
+  eager.compact_min_dead_columns = 1;  // every tick that tombstones
+  auto lazy_report = RunReplay(base, stream, lazy);
+  auto eager_report = RunReplay(base, stream, eager);
+  ASSERT_TRUE(lazy_report.ok());
+  ASSERT_TRUE(eager_report.ok());
+  bool any_compacted = false;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    any_compacted = any_compacted || eager_report->ticks[t].compacted;
+    EXPECT_FALSE(lazy_report->ticks[t].compacted);
+    EXPECT_EQ(eager_report->ticks[t].warm_lp_objective,
+              lazy_report->ticks[t].warm_lp_objective)
+        << "tick " << t;
+    EXPECT_EQ(eager_report->ticks[t].warm_utility,
+              lazy_report->ticks[t].warm_utility)
+        << "tick " << t;
+    EXPECT_EQ(eager_report->ticks[t].dead_columns, 0);
+  }
+  EXPECT_TRUE(any_compacted);
+}
+
+TEST(ReplayTest, RejectsOutOfRangeDeltaIdsCleanly) {
+  // A delta stream loaded from an untrusted file can address a larger id
+  // space than the instance; the driver must return InvalidArgument before
+  // any per-user state is indexed.
+  core::Instance instance = MakeInstance(50, 37);
+  std::vector<core::InstanceDelta> bad_user(1);
+  bad_user[0].user_updates.push_back({4999, 1, {0}});
+  ReplayOptions options;
+  options.num_threads = 1;
+  EXPECT_FALSE(RunReplay(instance, bad_user, options).ok());
+  std::vector<core::InstanceDelta> bad_event(1);
+  bad_event[0].event_updates.push_back({999, 3});
+  EXPECT_FALSE(RunReplay(instance, bad_event, options).ok());
+}
+
+TEST(ReplayTest, NoColdModeSkipsReference) {
+  core::Instance instance = MakeInstance(150, 29);
+  const auto stream = MakeStream(instance, 3, 31);
+  ReplayOptions options;
+  options.num_threads = 1;
+  options.compare_cold = false;
+  auto report = RunReplay(std::move(instance), stream, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_cold_seconds, 0.0);
+  EXPECT_EQ(report->max_lp_drift, 0.0);
+  for (const ReplayTick& row : report->ticks) {
+    EXPECT_EQ(row.cold_lp_objective, 0.0);
+    EXPECT_GT(row.warm_utility, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace igepa

@@ -1,0 +1,78 @@
+#include "gen/delta_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/instance_delta.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace gen {
+namespace {
+
+core::Instance MakeInstance(uint64_t seed) {
+  Rng rng(seed);
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_events = 20;
+  auto instance = GenerateSynthetic(config, &rng);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(DeltaStreamTest, DeterministicGivenSeed) {
+  const core::Instance instance = MakeInstance(5);
+  DeltaStreamConfig config;
+  config.num_ticks = 6;
+  Rng a(11), b(11);
+  const auto sa = GenerateDeltaStream(instance, config, &a);
+  const auto sb = GenerateDeltaStream(instance, config, &b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t t = 0; t < sa.size(); ++t) {
+    ASSERT_EQ(sa[t].user_updates.size(), sb[t].user_updates.size());
+    for (size_t i = 0; i < sa[t].user_updates.size(); ++i) {
+      EXPECT_EQ(sa[t].user_updates[i].user, sb[t].user_updates[i].user);
+      EXPECT_EQ(sa[t].user_updates[i].bids, sb[t].user_updates[i].bids);
+    }
+  }
+}
+
+TEST(DeltaStreamTest, UpdatesAreValidAndDistinctPerTick) {
+  core::Instance instance = MakeInstance(7);
+  DeltaStreamConfig config;
+  config.num_ticks = 10;
+  config.user_updates_per_tick = 6;
+  config.event_updates_per_tick = 3;
+  Rng rng(13);
+  const auto stream = GenerateDeltaStream(instance, config, &rng);
+  ASSERT_EQ(stream.size(), 10u);
+  for (const core::InstanceDelta& delta : stream) {
+    EXPECT_EQ(delta.user_updates.size(), 6u);
+    EXPECT_EQ(delta.event_updates.size(), 3u);
+    EXPECT_EQ(core::TouchedUsers(delta).size(), 6u);   // distinct
+    EXPECT_EQ(core::TouchedEvents(delta).size(), 3u);  // distinct
+    // Every delta must apply cleanly (ids in range, capacities valid).
+    EXPECT_TRUE(core::ApplyDelta(&instance, delta).ok());
+  }
+}
+
+TEST(DeltaStreamTest, AllCancelWhenPCancelIsOne) {
+  const core::Instance instance = MakeInstance(9);
+  DeltaStreamConfig config;
+  config.num_ticks = 3;
+  config.p_cancel = 1.0;
+  Rng rng(17);
+  const auto stream = GenerateDeltaStream(instance, config, &rng);
+  for (const core::InstanceDelta& delta : stream) {
+    for (const core::UserUpdate& up : delta.user_updates) {
+      EXPECT_TRUE(up.bids.empty());
+      EXPECT_EQ(up.capacity, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace igepa

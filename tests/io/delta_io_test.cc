@@ -1,0 +1,106 @@
+#include "io/delta_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gen/delta_stream.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace io {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(DeltaIoTest, RoundTripPreservesStream) {
+  Rng rng(3);
+  gen::SyntheticConfig config;
+  config.num_users = 60;
+  config.num_events = 15;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  gen::DeltaStreamConfig stream_config;
+  stream_config.num_ticks = 4;
+  stream_config.user_updates_per_tick = 3;
+  stream_config.event_updates_per_tick = 2;
+  stream_config.p_cancel = 0.5;
+  const auto stream = gen::GenerateDeltaStream(*instance, stream_config, &rng);
+  ASSERT_EQ(stream.size(), 4u);
+
+  const std::string path = TempPath("delta_roundtrip.csv");
+  ASSERT_TRUE(WriteDeltaStreamCsv(stream, instance->num_events(),
+                                  instance->num_users(), path)
+                  .ok());
+  auto loaded = ReadDeltaStreamCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), stream.size());
+  for (size_t t = 0; t < stream.size(); ++t) {
+    ASSERT_EQ((*loaded)[t].user_updates.size(),
+              stream[t].user_updates.size());
+    for (size_t i = 0; i < stream[t].user_updates.size(); ++i) {
+      EXPECT_EQ((*loaded)[t].user_updates[i].user,
+                stream[t].user_updates[i].user);
+      EXPECT_EQ((*loaded)[t].user_updates[i].capacity,
+                stream[t].user_updates[i].capacity);
+      EXPECT_EQ((*loaded)[t].user_updates[i].bids,
+                stream[t].user_updates[i].bids);
+    }
+    ASSERT_EQ((*loaded)[t].event_updates.size(),
+              stream[t].event_updates.size());
+    for (size_t i = 0; i < stream[t].event_updates.size(); ++i) {
+      EXPECT_EQ((*loaded)[t].event_updates[i].event,
+                stream[t].event_updates[i].event);
+      EXPECT_EQ((*loaded)[t].event_updates[i].capacity,
+                stream[t].event_updates[i].capacity);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DeltaIoTest, RejectsMalformedFiles) {
+  const std::string path = TempPath("delta_bad.csv");
+  auto write = [&](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  write("not-a-header\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  write("igepa-deltas,1,2,10,20\ntick,1\n");  // ticks out of order
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  write("igepa-deltas,1,1,10,20\ntick,0\nuser,25,1,0\n");  // user out of range
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  write("igepa-deltas,1,1,10,20\ntick,0\nevent,3,-1\n");  // negative capacity
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  write("igepa-deltas,1,2,10,20\ntick,0\n");  // missing tick
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  write("igepa-deltas,1,1,10,20\nuser,1,1,0\n");  // update before any tick
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // A huge tick count in the header must produce a clean error, not an
+  // allocation attempt (the header is untrusted input).
+  write("igepa-deltas,1,99999999999,10,20\ntick,0\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DeltaIoTest, CancellationSerializesAsEmptyBidList) {
+  std::vector<core::InstanceDelta> stream(1);
+  stream[0].user_updates.push_back({2, 0, {}});
+  const std::string path = TempPath("delta_cancel.csv");
+  ASSERT_TRUE(WriteDeltaStreamCsv(stream, 5, 5, path).ok());
+  auto loaded = ReadDeltaStreamCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ((*loaded)[0].user_updates.size(), 1u);
+  EXPECT_TRUE((*loaded)[0].user_updates[0].bids.empty());
+  EXPECT_EQ((*loaded)[0].user_updates[0].capacity, 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace igepa
