@@ -18,10 +18,12 @@
 #include "core/benchmark_dual.h"
 #include "core/instance_delta.h"
 #include "core/lp_packing.h"
+#include "gen/arrival_process.h"
 #include "gen/delta_stream.h"
 #include "gen/meetup_sim.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
+#include "serve/arrangement_service.h"
 #include "util/rng.h"
 
 namespace {
@@ -264,6 +266,47 @@ void BM_StructuredDualWarmVsCold(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(iterations));
 }
 BENCHMARK(BM_StructuredDualWarmVsCold)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// One serving epoch end to end (S16): coalesce `batch` queued single-mutation
+// deltas, run the warm incremental pipeline, publish a snapshot. Sweeping the
+// batch size shows the amortization the epoch loop buys — items_per_second is
+// the service's sustained delta throughput at that batch size.
+void BM_ServeEpoch(benchmark::State& state) {
+  const int32_t batch = static_cast<int32_t>(state.range(0));
+  const auto instance = MakeInstance(1000);
+  Rng rng(27);
+  gen::ArrivalProcessConfig config;
+  config.num_arrivals = 4096;
+  const auto arrivals = gen::GenerateArrivalProcess(instance, config, &rng);
+  serve::ServeOptions options;
+  options.num_threads = 1;
+  options.max_batch = batch;
+  options.queue_capacity = batch;
+  auto service = serve::ArrangementService::Create(instance, options);
+  if (!service.ok()) {
+    state.SkipWithError("service bootstrap failed");
+    return;
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    for (int32_t i = 0; i < batch; ++i) {
+      if (!(*service)->Submit(arrivals[next].delta).ok()) {
+        state.SkipWithError("submit rejected");
+        return;
+      }
+      next = (next + 1) % arrivals.size();
+    }
+    auto metrics = (*service)->RunEpoch();
+    if (!metrics.ok()) {
+      state.SkipWithError("epoch failed");
+      return;
+    }
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ServeEpoch)->Arg(1)->Arg(16)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GreedyBestSet(benchmark::State& state) {

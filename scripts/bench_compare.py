@@ -22,7 +22,7 @@ DEFAULT_FILTER = (
     r"^BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
     r"EnumerateAdmissibleSets|LegacyEnumerateAndLpBuild|"
     r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd|"
-    r"CatalogApplyDelta|StructuredDualWarmVsCold)"
+    r"CatalogApplyDelta|StructuredDualWarmVsCold|ServeEpoch)"
 )
 
 

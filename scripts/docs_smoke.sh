@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Executes every `$ `-prefixed transcript line in docs/GUIDE.md against a
+# built tree, so the documented CLI walkthrough cannot silently rot: a
+# renamed flag, a removed subcommand or a broken pipeline fails this script
+# (and the docs-consistency CI job that runs it).
+#
+# Usage: scripts/docs_smoke.sh [BUILD_DIR]     (default: build)
+#
+# Transcript lines reference binaries as `build/igepa_main`; the build-dir
+# prefix is rewritten to BUILD_DIR so CI can use its own build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [[ ! -x "$BUILD_DIR/igepa_main" ]]; then
+  echo "docs_smoke: $BUILD_DIR/igepa_main is not built" >&2
+  exit 1
+fi
+
+mapfile -t commands < <(sed -n 's/^\$ //p' docs/GUIDE.md)
+if [[ ${#commands[@]} -eq 0 ]]; then
+  echo "docs_smoke: no transcript lines found in docs/GUIDE.md" >&2
+  exit 1
+fi
+
+for cmd in "${commands[@]}"; do
+  cmd="${cmd//build\//$BUILD_DIR/}"
+  echo "+ $cmd"
+  bash -c "$cmd"
+done
+echo "docs_smoke: ${#commands[@]} transcript commands OK"

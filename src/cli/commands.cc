@@ -1,16 +1,26 @@
 #include "cli/commands.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <thread>
+
 #include "algo/baselines.h"
 #include "algo/online.h"
 #include "core/instance_delta.h"
 #include "core/lp_packing.h"
 #include "exp/replay.h"
 #include "exp/report.h"
+#include "exp/serve_driver.h"
+#include "gen/arrival_process.h"
 #include "gen/delta_stream.h"
 #include "gen/meetup_sim.h"
 #include "gen/synthetic.h"
 #include "io/delta_io.h"
 #include "io/instance_io.h"
+#include "serve/arrangement_service.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -19,10 +29,6 @@
 namespace igepa {
 namespace cli {
 namespace {
-
-constexpr const char* kTopUsage =
-    "usage: igepa <generate|solve|evaluate|describe|replay> [flags]\n"
-    "run `igepa <command> --help` for per-command flags\n";
 
 int Fail(std::ostream& err, const Status& status) {
   err << "error: " << status.ToString() << "\n";
@@ -390,22 +396,316 @@ int CmdReplay(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+// ---- serve -----------------------------------------------------------------
+
+void PrintEpochMetrics(std::ostream& out, const serve::EpochMetrics& row) {
+  out << row.epoch << "  " << row.snapshot_version << "  "
+      << row.deltas_coalesced << "  " << row.touched_users << "  "
+      << row.event_updates << "  " << (row.compacted ? "yes" : "no") << "  "
+      << row.live_columns << "  " << FormatDouble(row.epoch_seconds * 1e3, 2)
+      << "  " << FormatDouble(row.lp_objective, 4) << "  "
+      << FormatDouble(row.utility, 4) << "\n";
+}
+
+void PrintServiceStats(std::ostream& out, const serve::ServiceStats& stats) {
+  const double throughput =
+      stats.total_epoch_seconds > 0
+          ? static_cast<double>(stats.deltas_applied) /
+                stats.total_epoch_seconds
+          : 0.0;
+  out << "served " << stats.deltas_applied << " deltas in " << stats.epochs
+      << " epochs (" << stats.deltas_rejected << " rejected, "
+      << stats.deltas_pending << " pending), "
+      << FormatDouble(throughput, 1) << " deltas/sec of epoch time\n"
+      << "epoch ms p50/p99 " << FormatDouble(stats.p50_epoch_seconds * 1e3, 2)
+      << "/" << FormatDouble(stats.p99_epoch_seconds * 1e3, 2)
+      << ", publish-latency ms p50/p99 "
+      << FormatDouble(stats.p50_publish_latency_seconds * 1e3, 2) << "/"
+      << FormatDouble(stats.p99_publish_latency_seconds * 1e3, 2) << "\n"
+      << "snapshot v" << stats.snapshot_version << ": lp "
+      << FormatDouble(stats.lp_objective, 4) << ", utility "
+      << FormatDouble(stats.utility, 4) << "\n";
+}
+
+int CmdServe(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  ArgParser parser(
+      "igepa serve",
+      "run the long-running batched arrangement service over a timestamped "
+      "arrival stream and report per-epoch metrics");
+  parser.AddString("in", "",
+                   "instance CSV path (omit to generate a synthetic instance)");
+  parser.AddString("arrivals", "",
+                   "arrival stream CSV path, '-' = stdin (omit to sample a "
+                   "Poisson stream)");
+  parser.AddInt("count", 200, "synthetic stream: number of arrivals");
+  parser.AddDouble("rate", 200.0,
+                   "synthetic stream: Poisson arrival rate "
+                   "(mutations per second of stream time)");
+  parser.AddDouble("p-cancel", 0.15,
+                   "synthetic stream: cancellation share of the mutation mix");
+  parser.AddDouble("p-event", 0.15,
+                   "synthetic stream: event-capacity share of the mutation "
+                   "mix (the rest re-registers)");
+  parser.AddInt("events", 60, "synthetic instance: number of events");
+  parser.AddInt("users", 400, "synthetic instance: number of users");
+  parser.AddDouble("epoch-ms", 100.0,
+                   "epoch window: stream time per epoch (deterministic mode) "
+                   "or wall-clock cadence (--realtime)");
+  parser.AddInt("max-batch", 256, "most deltas coalesced into one epoch");
+  parser.AddInt("queue-capacity", 1024,
+                "pending deltas beyond this are rejected (backpressure)");
+  parser.AddBool("realtime", false,
+                 "drive the background epoch loop in wall-clock time, "
+                 "replaying arrival gaps scaled by --speed (default: "
+                 "deterministic virtual time)");
+  parser.AddDouble("speed", 50.0, "realtime: replay speedup over stream time");
+  parser.AddInt("threads", 0,
+                "worker threads for the solves (0 = hardware concurrency; "
+                "results are identical for every value)");
+  parser.AddInt("seed", 20190408, "master seed (generation + service RNG)");
+  parser.AddDouble("alpha", 1.0, "LP-packing sampling scale in (0,1]");
+  parser.AddString("sweep", "",
+                   "instead of serving, run the throughput sweep over these "
+                   "comma-separated epoch batch sizes (e.g. 1,16,256)");
+  parser.AddBool("no-cold", false,
+                 "sweep: skip the per-epoch cold-solve drift reference");
+  parser.AddBool("help", false, "show this help");
+  if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
+  if (parser.GetBool("help")) {
+    out << parser.Usage();
+    return 0;
+  }
+  if (parser.GetInt("threads") < 0) {
+    return Fail(err, Status::InvalidArgument("--threads must be >= 0"));
+  }
+  if (parser.GetInt("max-batch") < 1 || parser.GetInt("queue-capacity") < 1) {
+    return Fail(err, Status::InvalidArgument(
+                         "--max-batch and --queue-capacity must be >= 1"));
+  }
+  if (parser.GetDouble("epoch-ms") <= 0) {
+    return Fail(err, Status::InvalidArgument("--epoch-ms must be > 0"));
+  }
+
+  Rng rng(static_cast<uint64_t>(parser.GetInt("seed")));
+  Result<core::Instance> instance = Status::Internal("unset");
+  if (!parser.GetString("in").empty()) {
+    instance = io::ReadInstanceCsv(parser.GetString("in"));
+  } else {
+    gen::SyntheticConfig config;
+    config.num_events = static_cast<int32_t>(parser.GetInt("events"));
+    config.num_users = static_cast<int32_t>(parser.GetInt("users"));
+    instance = gen::GenerateSynthetic(config, &rng);
+  }
+  if (!instance.ok()) return Fail(err, instance.status());
+
+  std::vector<core::ArrivalEvent> arrivals;
+  const std::string& arrivals_path = parser.GetString("arrivals");
+  if (arrivals_path == "-") {
+    auto loaded = io::ReadArrivalStreamCsv(std::cin, "<stdin>");
+    if (!loaded.ok()) return Fail(err, loaded.status());
+    arrivals = std::move(*loaded);
+  } else if (!arrivals_path.empty()) {
+    auto loaded = io::ReadArrivalStreamCsv(arrivals_path);
+    if (!loaded.ok()) return Fail(err, loaded.status());
+    arrivals = std::move(*loaded);
+  } else {
+    gen::ArrivalProcessConfig config;
+    config.num_arrivals = static_cast<int32_t>(parser.GetInt("count"));
+    config.rate_per_second = parser.GetDouble("rate");
+    config.p_cancel = parser.GetDouble("p-cancel");
+    config.p_event_capacity = parser.GetDouble("p-event");
+    config.p_register =
+        std::max(0.0, 1.0 - config.p_cancel - config.p_event_capacity);
+    arrivals = gen::GenerateArrivalProcess(*instance, config, &rng);
+  }
+
+  // ---- Sweep mode: the exp:: throughput driver. ---------------------------
+  if (!parser.GetString("sweep").empty()) {
+    exp::ServeSweepOptions sweep;
+    sweep.batch_sizes.clear();
+    for (const auto& tok : Split(parser.GetString("sweep"), ',')) {
+      int64_t b = 0;
+      if (!ParseInt(tok, &b) || b < 1) {
+        return Fail(err, Status::InvalidArgument(
+                             "--sweep: bad batch size '" + std::string(tok) +
+                             "'"));
+      }
+      sweep.batch_sizes.push_back(static_cast<int32_t>(b));
+    }
+    sweep.num_threads = static_cast<int32_t>(parser.GetInt("threads"));
+    sweep.alpha = parser.GetDouble("alpha");
+    sweep.seed = static_cast<uint64_t>(parser.GetInt("seed")) ^
+                 0x9E3779B97F4A7C15ULL;
+    sweep.compare_cold = !parser.GetBool("no-cold");
+    auto report = exp::RunServeSweep(*instance, arrivals, sweep);
+    if (!report.ok()) return Fail(err, report.status());
+    out << "serve sweep: " << exp::DescribeInstance(*instance) << ", "
+        << arrivals.size() << " arrivals\n";
+    out << "batch  epochs  deltas/s  epoch-ms-p50  epoch-ms-p99  "
+           "publish-ms-p50  publish-ms-p99  max-drift\n";
+    for (const exp::ServeSweepRow& row : report->rows) {
+      out << row.max_batch << "  " << row.epochs << "  "
+          << FormatDouble(row.deltas_per_second, 1) << "  "
+          << FormatDouble(row.p50_epoch_seconds * 1e3, 2) << "  "
+          << FormatDouble(row.p99_epoch_seconds * 1e3, 2) << "  "
+          << FormatDouble(row.p50_publish_latency_seconds * 1e3, 2) << "  "
+          << FormatDouble(row.p99_publish_latency_seconds * 1e3, 2) << "  "
+          << (sweep.compare_cold ? FormatDouble(row.max_lp_drift, 6)
+                                 : std::string("-"))
+          << "\n";
+    }
+    return 0;
+  }
+
+  // ---- Service mode. ------------------------------------------------------
+  serve::ServeOptions options;
+  options.num_threads = static_cast<int32_t>(parser.GetInt("threads"));
+  options.max_batch = static_cast<int32_t>(parser.GetInt("max-batch"));
+  options.queue_capacity =
+      static_cast<int32_t>(parser.GetInt("queue-capacity"));
+  options.epoch_ms = parser.GetDouble("epoch-ms");
+  options.alpha = parser.GetDouble("alpha");
+  options.seed = static_cast<uint64_t>(parser.GetInt("seed")) ^
+                 0x9E3779B97F4A7C15ULL;
+  auto service = serve::ArrangementService::Create(*instance, options);
+  if (!service.ok()) return Fail(err, service.status());
+
+  out << "serve: " << exp::DescribeInstance(*instance) << ", "
+      << arrivals.size() << " arrivals, max-batch " << options.max_batch
+      << ", epoch window " << FormatDouble(options.epoch_ms, 1) << " ms ("
+      << (parser.GetBool("realtime") ? "realtime" : "virtual time") << ")\n";
+  out << "epoch  version  deltas  users  events  cmpct  live-cols  ms  lp  "
+         "utility\n";
+
+  if (parser.GetBool("realtime")) {
+    const double speed = std::max(1e-9, parser.GetDouble("speed"));
+    if (Status s = (*service)->Start(); !s.ok()) return Fail(err, s);
+    Stopwatch wall;
+    for (const core::ArrivalEvent& arrival : arrivals) {
+      const double due = arrival.at_seconds / speed;
+      const double now = wall.ElapsedSeconds();
+      if (due > now) {
+        // Per-arrival wait capped at 10 s wall: a corrupt or far-future
+        // timestamp must not hang the replay.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(std::min(due - now, 10.0)));
+      }
+      // Backpressure drops are tolerated (the service counts them in
+      // deltas_rejected); any other rejection (e.g. out-of-range ids from a
+      // stream addressing a bigger id space than the instance) is fatal,
+      // matching the deterministic mode.
+      if (Status s = (*service)->Submit(arrival.delta);
+          !s.ok() && s.code() != StatusCode::kResourceExhausted) {
+        (void)(*service)->Stop();
+        return Fail(err, s);
+      }
+    }
+    if (Status s = (*service)->Stop(); !s.ok()) return Fail(err, s);
+    for (const serve::EpochMetrics& row : (*service)->MetricsHistory()) {
+      PrintEpochMetrics(out, row);
+    }
+  } else {
+    // Deterministic virtual time: epoch k covers arrivals with timestamps in
+    // [k·W, (k+1)·W); empty windows are skipped, and a full batch forces an
+    // epoch early exactly like the background loop would. A full QUEUE also
+    // forces one (queue-capacity below max-batch would otherwise hit
+    // backpressure before the batch trigger ever fired).
+    const double window = options.epoch_ms / 1e3;
+    double window_end = window;
+    const int32_t force_epoch_at =
+        std::min(options.max_batch, options.queue_capacity);
+    int32_t pending = 0;
+    auto run_epoch = [&]() -> Status {
+      auto metrics = (*service)->RunEpoch();
+      IGEPA_RETURN_IF_ERROR(metrics.status());
+      pending = 0;
+      PrintEpochMetrics(out, *metrics);
+      return Status::OK();
+    };
+    for (const core::ArrivalEvent& arrival : arrivals) {
+      if (pending > 0 && arrival.at_seconds >= window_end) {
+        if (Status s = run_epoch(); !s.ok()) return Fail(err, s);
+      }
+      if (arrival.at_seconds >= window_end) {
+        // Closed-form jump: incrementing in a loop never terminates once
+        // window_end exceeds ~2^52·window (adding one window is below ulp).
+        window_end =
+            (std::floor(arrival.at_seconds / window) + 1.0) * window;
+      }
+      if (Status s = (*service)->Submit(arrival.delta); !s.ok()) {
+        return Fail(err, s);
+      }
+      if (++pending >= force_epoch_at) {
+        if (Status s = run_epoch(); !s.ok()) return Fail(err, s);
+      }
+    }
+    while ((*service)->Stats().deltas_pending > 0) {
+      if (Status s = run_epoch(); !s.ok()) return Fail(err, s);
+    }
+  }
+  PrintServiceStats(out, (*service)->Stats());
+  return 0;
+}
+
+// ---- command registry ------------------------------------------------------
+
+using CommandFn = int (*)(const std::vector<std::string>&, std::ostream&,
+                          std::ostream&);
+
+struct Command {
+  const char* name;
+  const char* summary;
+  CommandFn fn;
+};
+
+/// Every subcommand, in help order. `igepa --help` derives its listing from
+/// this table, so a command cannot exist without being documented
+/// (tests/cli/commands_test.cc pins the inverse: every listed name runs).
+constexpr Command kCommands[] = {
+    {"generate", "sample an IGEPA instance to CSV", CmdGenerate},
+    {"solve", "arrange an instance CSV and report utility", CmdSolve},
+    {"evaluate", "check an arrangement against an instance", CmdEvaluate},
+    {"describe", "print instance statistics", CmdDescribe},
+    {"replay",
+     "stream deltas through the incremental engine, warm vs cold per tick",
+     CmdReplay},
+    {"serve",
+     "run the batched long-running arrangement service over an arrival "
+     "stream",
+     CmdServe},
+};
+
+std::string TopUsage() {
+  std::string usage = "usage: igepa <command> [flags]\n\ncommands:\n";
+  for (const Command& command : kCommands) {
+    usage += "  ";
+    usage += command.name;
+    for (size_t i = std::char_traits<char>::length(command.name); i < 10;
+         ++i) {
+      usage += ' ';
+    }
+    usage += command.summary;
+    usage += "\n";
+  }
+  usage += "\nrun `igepa <command> --help` for per-command flags\n";
+  return usage;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
   if (args.empty() || args[0] == "--help" || args[0] == "help") {
-    out << kTopUsage;
+    out << TopUsage();
     return args.empty() ? 1 : 0;
   }
   const std::string command = args[0];
   const std::vector<std::string> rest(args.begin() + 1, args.end());
-  if (command == "generate") return CmdGenerate(rest, out, err);
-  if (command == "solve") return CmdSolve(rest, out, err);
-  if (command == "evaluate") return CmdEvaluate(rest, out, err);
-  if (command == "describe") return CmdDescribe(rest, out, err);
-  if (command == "replay") return CmdReplay(rest, out, err);
-  err << "unknown command '" << command << "'\n" << kTopUsage;
+  for (const Command& entry : kCommands) {
+    if (command == entry.name) return entry.fn(rest, out, err);
+  }
+  err << "unknown command '" << command << "'\n" << TopUsage();
   return 1;
 }
 

@@ -25,6 +25,15 @@ namespace cli {
 ///       arrangement engine (delta-aware catalog + warm-started duals +
 ///       localized re-round) and reports per-tick latency and objective
 ///       drift against a cold re-solve.
+///   igepa serve [--in=FILE] [--arrivals=FILE|-] [--epoch-ms=W]
+///               [--max-batch=B] [--realtime] [--sweep=1,16,256]
+///       Runs the batched long-running arrangement service
+///       (serve::ArrangementService) over a timestamped arrival stream and
+///       prints per-epoch metrics, or sweeps epoch batch sizes for
+///       throughput (exp::RunServeSweep).
+///
+/// The registered subcommands are listed by `igepa --help`; the listing is
+/// derived from the same table the dispatcher uses.
 ///
 /// Returns a process exit code; all human-readable output goes to `out`,
 /// errors to `err`. Exposed as a library function so the test suite drives it

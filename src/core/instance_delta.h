@@ -40,6 +40,19 @@ struct InstanceDelta {
   bool empty() const { return user_updates.empty() && event_updates.empty(); }
 };
 
+/// One timestamped mutation of a live EBSN — the unit an arrival process
+/// emits and the serving layer consumes. Unlike the tick-structured replay
+/// stream, arrivals carry continuous timestamps and (by convention of the
+/// generators) one mutation each, so batching is decided by the consumer —
+/// the epoch window of serve::ArrangementService — not baked into the
+/// workload. Produced by gen::GenerateArrivalProcess, serialized by
+/// io::WriteArrivalStreamCsv.
+struct ArrivalEvent {
+  /// Seconds since the stream start; nondecreasing across a stream.
+  double at_seconds = 0.0;
+  InstanceDelta delta;
+};
+
 /// Applies every update to the (validated) instance in order, patching the
 /// per-event bidder lists incrementally. Fails without side effects on the
 /// first out-of-range id / negative capacity / out-of-range bid.

@@ -1,0 +1,83 @@
+#include "core/warm_tick.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace igepa {
+namespace core {
+
+Result<WarmTickReport> ApplyWarmTick(Instance* instance,
+                                     AdmissibleCatalog* catalog,
+                                     DualWarmStart* warm,
+                                     RoundingState* rounding_state,
+                                     FractionalSolution* fractional,
+                                     const InstanceDelta& delta, Rng* rng,
+                                     const StructuredDualOptions& dual,
+                                     const CatalogDeltaOptions& delta_options,
+                                     const LpPackingOptions& round_options) {
+  const int32_t nu = instance->num_users();
+  const std::vector<UserId> touched = TouchedUsers(delta);
+  const std::vector<EventId> cap_events = TouchedEvents(delta);
+  // Validate ids up front: RetireSamples indexes per-user state before
+  // core::ApplyDelta gets a chance to reject the delta.
+  for (UserId u : touched) {
+    if (u < 0 || u >= nu) {
+      return Status::InvalidArgument("warm tick updates out-of-range user " +
+                                     std::to_string(u));
+    }
+  }
+  for (EventId v : cap_events) {
+    if (v < 0 || v >= instance->num_events()) {
+      return Status::InvalidArgument("warm tick updates out-of-range event " +
+                                     std::to_string(v));
+    }
+  }
+
+  // Retire touched users' samples while their column ids are still
+  // addressable (ApplyDelta may compact).
+  std::vector<EventId> dirty_events =
+      RetireSamples(*catalog, touched, rounding_state);
+  dirty_events.insert(dirty_events.end(), cap_events.begin(),
+                      cap_events.end());
+  std::sort(dirty_events.begin(), dirty_events.end());
+  dirty_events.erase(std::unique(dirty_events.begin(), dirty_events.end()),
+                     dirty_events.end());
+
+  IGEPA_RETURN_IF_ERROR(ApplyDelta(instance, delta));
+  IGEPA_ASSIGN_OR_RETURN(CatalogDeltaResult delta_result,
+                         catalog->ApplyDelta(*instance, delta, delta_options));
+  if (delta_result.compacted) {
+    // Surviving column ids were renumbered; keep the cached state alive.
+    rounding_state->Remap(delta_result.column_remap, catalog->ids_revision());
+    warm->Remap(delta_result.column_remap, catalog->ids_revision());
+  }
+  warm->stale.assign(static_cast<size_t>(nu), 0);
+  for (UserId u : touched) warm->stale[static_cast<size_t>(u)] = 1;
+
+  StructuredDualOptions warm_dual = dual;
+  warm_dual.warm = warm;
+  DualWarmStart warm_next;
+  IGEPA_ASSIGN_OR_RETURN(
+      lp::LpSolution warm_sol,
+      SolveBenchmarkLpStructured(*instance, *catalog, warm_dual, &warm_next));
+  fractional->lp = std::move(warm_sol);
+
+  IGEPA_ASSIGN_OR_RETURN(
+      Arrangement arrangement,
+      RoundFractionalDelta(*instance, *catalog, *fractional, touched,
+                           dirty_events, rng, rounding_state, round_options));
+  IGEPA_RETURN_IF_ERROR(arrangement.CheckFeasible(*instance));
+  *warm = std::move(warm_next);
+
+  WarmTickReport report;
+  report.arrangement = std::move(arrangement);
+  report.touched_users = static_cast<int32_t>(touched.size());
+  report.event_updates = static_cast<int32_t>(delta.event_updates.size());
+  report.compacted = delta_result.compacted;
+  return report;
+}
+
+}  // namespace core
+}  // namespace igepa

@@ -1,0 +1,65 @@
+#ifndef IGEPA_CORE_WARM_TICK_H_
+#define IGEPA_CORE_WARM_TICK_H_
+
+#include <cstdint>
+
+#include "core/admissible_catalog.h"
+#include "core/arrangement.h"
+#include "core/benchmark_dual.h"
+#include "core/instance.h"
+#include "core/instance_delta.h"
+#include "core/lp_packing.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace core {
+
+/// What one warm tick reports besides mutating the engine state.
+struct WarmTickReport {
+  Arrangement arrangement;
+  int32_t touched_users = 0;
+  int32_t event_updates = 0;
+  bool compacted = false;
+};
+
+/// One warm tick of the incremental engine (DESIGN.md §5 S15) over a single
+/// InstanceDelta — the canonical sequencing both the replay driver
+/// (exp::RunReplay, one tick per stream entry) and the serving layer
+/// (serve::ArrangementService, one tick per coalesced epoch batch) execute.
+/// Having exactly one implementation is what keeps the two paths
+/// bit-identical by construction: an epoch over a coalesced batch IS a
+/// replay tick.
+///
+/// Steps, in the order that matters:
+///   1. validate the delta's ids against the instance (before any state is
+///      indexed);
+///   2. RetireSamples for the touched users while their column ids still
+///      resolve, folding in capacity-touched events (the dirty-event set of
+///      the localized re-round);
+///   3. core::ApplyDelta on the instance, then AdmissibleCatalog::ApplyDelta
+///      (remapping the cached rounding/warm state if the catalog compacted);
+///   4. warm-started structured dual solve with exactly the touched users
+///      marked stale (result into fractional->lp; the new warm-start state
+///      replaces *warm only after the whole tick succeeds);
+///   5. RoundFractionalDelta over the touched users/dirty events, and a
+///      feasibility check of the produced arrangement.
+///
+/// On success every borrowed pointer holds the post-tick state. On error the
+/// tick aborts mid-pipeline and the engine state must be considered
+/// poisoned (both callers stop consuming; ids are validated up front, so
+/// errors only arise from genuine solver/rounding failures).
+Result<WarmTickReport> ApplyWarmTick(Instance* instance,
+                                     AdmissibleCatalog* catalog,
+                                     DualWarmStart* warm,
+                                     RoundingState* rounding_state,
+                                     FractionalSolution* fractional,
+                                     const InstanceDelta& delta, Rng* rng,
+                                     const StructuredDualOptions& dual,
+                                     const CatalogDeltaOptions& delta_options,
+                                     const LpPackingOptions& round_options);
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_WARM_TICK_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/warm_tick.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -20,13 +21,10 @@ using core::InstanceDelta;
 using core::LpPackingOptions;
 using core::RoundingState;
 using core::StructuredDualOptions;
-using core::UserId;
 
 Result<ReplayReport> RunReplay(Instance instance,
                                const std::vector<InstanceDelta>& stream,
                                const ReplayOptions& options) {
-  const int32_t nu = instance.num_users();
-
   StructuredDualOptions dual = options.dual;
   dual.num_threads = options.num_threads;
   core::AdmissibleOptions admissible = options.admissible;
@@ -71,73 +69,24 @@ Result<ReplayReport> RunReplay(Instance instance,
     Rng warm_rng = master.Fork();
     Rng cold_rng = master.Fork();
 
-    // ---- Warm path: the incremental engine. -------------------------------
+    // ---- Warm path: one tick of the shared incremental pipeline
+    // (core::ApplyWarmTick — the same call the serving layer's epochs make).
     Stopwatch warm_watch;
-    const std::vector<UserId> touched = core::TouchedUsers(delta);
-    const std::vector<core::EventId> cap_events = core::TouchedEvents(delta);
-    // Validate ids up front: RetireSamples indexes per-user state before
-    // core::ApplyDelta gets a chance to reject the delta.
-    for (UserId u : touched) {
-      if (u < 0 || u >= nu) {
-        return Status::InvalidArgument(
-            "replay tick " + std::to_string(tick) +
-            " updates out-of-range user " + std::to_string(u));
-      }
-    }
-    for (core::EventId v : cap_events) {
-      if (v < 0 || v >= instance.num_events()) {
-        return Status::InvalidArgument(
-            "replay tick " + std::to_string(tick) +
-            " updates out-of-range event " + std::to_string(v));
-      }
-    }
-    // Retire touched users' samples while their column ids are still
-    // addressable (ApplyDelta may compact).
-    std::vector<core::EventId> dirty_events =
-        core::RetireSamples(catalog, touched, &state);
-    dirty_events.insert(dirty_events.end(), cap_events.begin(),
-                        cap_events.end());
-    std::sort(dirty_events.begin(), dirty_events.end());
-    dirty_events.erase(std::unique(dirty_events.begin(), dirty_events.end()),
-                       dirty_events.end());
-
-    IGEPA_RETURN_IF_ERROR(core::ApplyDelta(&instance, delta));
-    IGEPA_ASSIGN_OR_RETURN(
-        core::CatalogDeltaResult delta_result,
-        catalog.ApplyDelta(instance, delta, delta_options));
-    if (delta_result.compacted) {
-      // Surviving column ids were renumbered; keep the cached state alive.
-      state.Remap(delta_result.column_remap, catalog.ids_revision());
-      warm.Remap(delta_result.column_remap, catalog.ids_revision());
-    }
-    warm.stale.assign(static_cast<size_t>(nu), 0);
-    for (UserId u : touched) warm.stale[static_cast<size_t>(u)] = 1;
-
-    StructuredDualOptions warm_dual = dual;
-    warm_dual.warm = &warm;
-    DualWarmStart warm_next;
-    IGEPA_ASSIGN_OR_RETURN(
-        lp::LpSolution warm_sol,
-        core::SolveBenchmarkLpStructured(instance, catalog, warm_dual,
-                                         &warm_next));
-    fractional.lp = std::move(warm_sol);
-    IGEPA_ASSIGN_OR_RETURN(
-        Arrangement warm_arr,
-        core::RoundFractionalDelta(instance, catalog, fractional, touched,
-                                   dirty_events, &warm_rng, &state,
-                                   round_options));
+    auto tick_report =
+        core::ApplyWarmTick(&instance, &catalog, &warm, &state, &fractional,
+                            delta, &warm_rng, dual, delta_options,
+                            round_options);
+    if (!tick_report.ok()) return tick_report.status();
     row.warm_seconds = warm_watch.ElapsedSeconds();
-    IGEPA_RETURN_IF_ERROR(warm_arr.CheckFeasible(instance));
-    warm = std::move(warm_next);
 
-    row.touched_users = static_cast<int32_t>(touched.size());
-    row.event_updates = static_cast<int32_t>(delta.event_updates.size());
-    row.compacted = delta_result.compacted;
+    row.touched_users = tick_report->touched_users;
+    row.event_updates = tick_report->event_updates;
+    row.compacted = tick_report->compacted;
     row.live_columns = catalog.num_live_columns();
     row.dead_columns = catalog.num_dead_columns();
     row.warm_lp_objective = fractional.lp.objective;
     row.warm_lp_iterations = fractional.lp.iterations;
-    row.warm_utility = warm_arr.Utility(instance);
+    row.warm_utility = tick_report->arrangement.Utility(instance);
 
     // ---- Cold reference: rebuild everything from the mutated instance. ----
     if (options.compare_cold) {
@@ -154,8 +103,10 @@ Result<ReplayReport> RunReplay(Instance instance,
           Arrangement cold_arr,
           core::RoundFractional(instance, cold_catalog, cold_fractional,
                                 &cold_rng, round_options));
-      row.cold_seconds = cold_watch.ElapsedSeconds();
+      // The warm side's ApplyWarmTick runs its feasibility check inside the
+      // timed window, so the cold side must too for a fair comparison.
       IGEPA_RETURN_IF_ERROR(cold_arr.CheckFeasible(instance));
+      row.cold_seconds = cold_watch.ElapsedSeconds();
       row.cold_lp_objective = cold_fractional.lp.objective;
       row.cold_lp_iterations = cold_fractional.lp.iterations;
       row.cold_utility = cold_arr.Utility(instance);

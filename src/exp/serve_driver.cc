@@ -1,0 +1,106 @@
+#include "exp/serve_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "core/admissible_catalog.h"
+#include "core/benchmark_dual.h"
+
+namespace igepa {
+namespace exp {
+
+namespace {
+
+/// Cold LP reference on the (mutated) instance: rebuild + structured solve.
+Result<double> ColdLpObjective(const core::Instance& instance,
+                               const ServeSweepOptions& options) {
+  core::AdmissibleOptions admissible = options.admissible;
+  admissible.num_threads = options.num_threads;
+  const core::AdmissibleCatalog catalog =
+      core::AdmissibleCatalog::Build(instance, admissible);
+  core::StructuredDualOptions dual = options.dual;
+  dual.num_threads = options.num_threads;
+  IGEPA_ASSIGN_OR_RETURN(
+      lp::LpSolution sol,
+      core::SolveBenchmarkLpStructured(instance, catalog, dual));
+  return sol.objective;
+}
+
+}  // namespace
+
+Result<ServeSweepReport> RunServeSweep(
+    const core::Instance& instance,
+    const std::vector<core::ArrivalEvent>& arrivals,
+    const ServeSweepOptions& options) {
+  if (options.batch_sizes.empty()) {
+    return Status::InvalidArgument("ServeSweepOptions: no batch sizes");
+  }
+  ServeSweepReport report;
+  report.rows.reserve(options.batch_sizes.size());
+
+  for (int32_t batch : options.batch_sizes) {
+    if (batch < 1) {
+      return Status::InvalidArgument("ServeSweepOptions: batch size < 1");
+    }
+    serve::ServeOptions serve_options;
+    serve_options.num_threads = options.num_threads;
+    serve_options.max_batch = batch;
+    // The sweep drives epochs itself; the queue only ever holds one batch.
+    serve_options.queue_capacity = batch;
+    serve_options.alpha = options.alpha;
+    serve_options.seed = options.seed;
+    serve_options.dual = options.dual;
+    serve_options.admissible = options.admissible;
+    IGEPA_ASSIGN_OR_RETURN(
+        std::unique_ptr<serve::ArrangementService> service,
+        serve::ArrangementService::Create(instance, serve_options));
+
+    ServeSweepRow row;
+    row.max_batch = batch;
+    int32_t pending = 0;
+    auto run_epoch = [&]() -> Status {
+      IGEPA_ASSIGN_OR_RETURN(serve::EpochMetrics metrics,
+                             service->RunEpoch());
+      pending = 0;
+      if (options.compare_cold && metrics.deltas_coalesced > 0) {
+        IGEPA_ASSIGN_OR_RETURN(
+            double cold, ColdLpObjective(service->instance(), options));
+        const double drift = std::abs(metrics.lp_objective - cold) /
+                             std::max(1.0, std::abs(cold));
+        row.max_lp_drift = std::max(row.max_lp_drift, drift);
+      }
+      return Status::OK();
+    };
+
+    for (const core::ArrivalEvent& arrival : arrivals) {
+      IGEPA_RETURN_IF_ERROR(service->Submit(arrival.delta));
+      if (++pending >= batch) IGEPA_RETURN_IF_ERROR(run_epoch());
+    }
+    while (service->Stats().deltas_pending > 0) {
+      IGEPA_RETURN_IF_ERROR(run_epoch());
+    }
+
+    const serve::ServiceStats stats = service->Stats();
+    row.epochs = stats.epochs;
+    row.deltas_applied = stats.deltas_applied;
+    row.epoch_seconds_total = stats.total_epoch_seconds;
+    row.deltas_per_second =
+        stats.total_epoch_seconds > 0
+            ? static_cast<double>(stats.deltas_applied) /
+                  stats.total_epoch_seconds
+            : 0.0;
+    row.p50_epoch_seconds = stats.p50_epoch_seconds;
+    row.p99_epoch_seconds = stats.p99_epoch_seconds;
+    row.p50_publish_latency_seconds = stats.p50_publish_latency_seconds;
+    row.p99_publish_latency_seconds = stats.p99_publish_latency_seconds;
+    row.final_lp_objective = stats.lp_objective;
+    row.final_utility = stats.utility;
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace exp
+}  // namespace igepa

@@ -1,0 +1,72 @@
+#ifndef IGEPA_EXP_SERVE_DRIVER_H_
+#define IGEPA_EXP_SERVE_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/instance_delta.h"
+#include "serve/arrangement_service.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace exp {
+
+/// Options for the serving-layer throughput sweep.
+struct ServeSweepOptions {
+  /// Epoch batch sizes to sweep (each runs the whole arrival stream through
+  /// a fresh service).
+  std::vector<int32_t> batch_sizes = {1, 16, 256};
+  int32_t num_threads = 0;
+  double alpha = 1.0;
+  uint64_t seed = 20190408;
+  core::StructuredDualOptions dual;
+  core::AdmissibleOptions admissible;
+  /// After every epoch, also run a cold structured solve on the mutated
+  /// instance and record the LP objective drift of the published snapshot —
+  /// the serving analogue of the replay driver's warm-vs-cold check. Cold
+  /// time is excluded from the throughput figures.
+  bool compare_cold = true;
+};
+
+/// One batch size's outcome over the whole arrival stream.
+struct ServeSweepRow {
+  int32_t max_batch = 0;
+  int64_t epochs = 0;
+  int64_t deltas_applied = 0;
+  /// Total warm epoch time (coalesce -> publish), the denominator of
+  /// deltas_per_second.
+  double epoch_seconds_total = 0.0;
+  double deltas_per_second = 0.0;
+  double p50_epoch_seconds = 0.0;
+  double p99_epoch_seconds = 0.0;
+  double p50_publish_latency_seconds = 0.0;
+  double p99_publish_latency_seconds = 0.0;
+  double final_lp_objective = 0.0;
+  double final_utility = 0.0;
+  /// Max per-epoch |warm - cold| / max(1, |cold|) (0 when compare_cold off).
+  /// Both solves certify target_gap, so this stays within ~2·target_gap.
+  double max_lp_drift = 0.0;
+};
+
+/// Aggregate sweep outcome, one row per batch size.
+struct ServeSweepReport {
+  std::vector<ServeSweepRow> rows;
+};
+
+/// Measures the arrangement service's sustained throughput across epoch
+/// batch sizes: for each batch size, a fresh deterministic-mode service is
+/// bootstrapped on a copy of the instance and the arrival stream is pushed
+/// through it, running one epoch whenever max_batch deltas are pending (and
+/// draining at the end). Reports deltas/sec, epoch latency percentiles,
+/// submit->publish latency percentiles, and — when compare_cold — the
+/// per-epoch LP objective drift against from-scratch solves.
+Result<ServeSweepReport> RunServeSweep(
+    const core::Instance& instance,
+    const std::vector<core::ArrivalEvent>& arrivals,
+    const ServeSweepOptions& options = {});
+
+}  // namespace exp
+}  // namespace igepa
+
+#endif  // IGEPA_EXP_SERVE_DRIVER_H_

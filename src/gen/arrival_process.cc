@@ -1,0 +1,73 @@
+#include "gen/arrival_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igepa {
+namespace gen {
+
+using core::ArrivalEvent;
+using core::EventCapacityUpdate;
+using core::EventId;
+using core::UserId;
+using core::UserUpdate;
+
+std::vector<ArrivalEvent> GenerateArrivalProcess(
+    const core::Instance& instance, const ArrivalProcessConfig& config,
+    Rng* rng) {
+  std::vector<ArrivalEvent> stream;
+  const int32_t nu = instance.num_users();
+  const int32_t nv = instance.num_events();
+  if (config.num_arrivals <= 0 || config.rate_per_second <= 0 || nu == 0 ||
+      nv == 0) {
+    return stream;
+  }
+  const double total_mass = std::max(0.0, config.p_register) +
+                            std::max(0.0, config.p_cancel) +
+                            std::max(0.0, config.p_event_capacity);
+  if (total_mass <= 0) return stream;
+  const double p_register = std::max(0.0, config.p_register) / total_mass;
+  const double p_cancel = std::max(0.0, config.p_cancel) / total_mass;
+  const int32_t min_bids = std::max(1, config.min_bids);
+  const int32_t max_bids = std::max(min_bids, config.max_bids);
+  const int32_t max_cu = std::max(1, config.max_user_capacity);
+
+  stream.reserve(static_cast<size_t>(config.num_arrivals));
+  double clock = 0.0;
+  for (int32_t i = 0; i < config.num_arrivals; ++i) {
+    // Exponential(λ) gap via inversion; 1 - U in (0, 1] keeps log finite.
+    clock += -std::log(1.0 - rng->NextDouble()) / config.rate_per_second;
+    ArrivalEvent arrival;
+    arrival.at_seconds = clock;
+
+    const double kind = rng->NextDouble();
+    if (kind < p_register + p_cancel) {
+      UserUpdate up;
+      up.user = static_cast<UserId>(rng->NextIndex(static_cast<uint64_t>(nu)));
+      if (kind < p_register) {
+        up.capacity = static_cast<int32_t>(rng->UniformInt(1, max_cu));
+        const auto k = static_cast<size_t>(rng->UniformInt(min_bids, max_bids));
+        std::vector<size_t> bids =
+            rng->SampleIndices(static_cast<size_t>(nv), k);
+        up.bids.reserve(bids.size());
+        for (size_t v : bids) up.bids.push_back(static_cast<EventId>(v));
+        std::sort(up.bids.begin(), up.bids.end());
+      }  // else: cancellation — capacity 0, empty bid set.
+      arrival.delta.user_updates.push_back(std::move(up));
+    } else {
+      EventCapacityUpdate up;
+      up.event =
+          static_cast<EventId>(rng->NextIndex(static_cast<uint64_t>(nv)));
+      const int32_t base = instance.event_capacity(up.event);
+      const int32_t jitter = std::max(1, base / 2);
+      up.capacity = static_cast<int32_t>(
+          rng->UniformInt(std::max(1, base - jitter), base + jitter));
+      arrival.delta.event_updates.push_back(up);
+    }
+    stream.push_back(std::move(arrival));
+  }
+  return stream;
+}
+
+}  // namespace gen
+}  // namespace igepa

@@ -1,0 +1,51 @@
+#ifndef IGEPA_GEN_ARRIVAL_PROCESS_H_
+#define IGEPA_GEN_ARRIVAL_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/instance_delta.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace gen {
+
+/// Configuration of the Poisson arrival process: mutation inter-arrival gaps
+/// are Exponential(rate_per_second), and each arrival is independently a user
+/// re-registration, a user cancellation, or an event capacity change per the
+/// mix probabilities (p_register + p_cancel + p_event_capacity must be
+/// positive; they are normalized).
+struct ArrivalProcessConfig {
+  /// Total arrivals to emit.
+  int32_t num_arrivals = 1000;
+  /// Mean arrivals per second (the Poisson process intensity λ).
+  double rate_per_second = 100.0;
+  /// Mutation mix (normalized internally).
+  double p_register = 0.70;
+  double p_cancel = 0.15;
+  double p_event_capacity = 0.15;
+  /// Re-registration shape: bid-set size Uniform{min_bids..max_bids} over
+  /// distinct events, capacity Uniform{1..max_user_capacity}.
+  int32_t min_bids = 2;
+  int32_t max_bids = 6;
+  int32_t max_user_capacity = 4;
+};
+
+/// Samples a reproducible Poisson mutation stream against the base instance:
+/// `num_arrivals` single-mutation deltas with Exponential(λ) gaps. Targets
+/// are drawn uniformly (users for register/cancel, events for capacity
+/// changes); event capacities jitter around the BASE instance's values within
+/// [max(1, c/2), c + max(1, c/2)], like GenerateDeltaStream. All randomness
+/// comes from `rng`. Returns an empty stream for a degenerate config
+/// (num_arrivals <= 0, rate <= 0, or an empty instance). Each arrival's
+/// delta carries exactly one mutation: one user update (register/cancel) OR
+/// one event-capacity update (core::ArrivalEvent).
+std::vector<core::ArrivalEvent> GenerateArrivalProcess(
+    const core::Instance& instance, const ArrivalProcessConfig& config,
+    Rng* rng);
+
+}  // namespace gen
+}  // namespace igepa
+
+#endif  // IGEPA_GEN_ARRIVAL_PROCESS_H_

@@ -1,6 +1,8 @@
 #include "io/delta_io.h"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "util/string_util.h"
@@ -12,6 +14,12 @@ using core::EventCapacityUpdate;
 using core::EventId;
 using core::InstanceDelta;
 using core::UserUpdate;
+
+/// Ids, dimensions and capacities live in int32 in core; anything a file
+/// declares beyond this is rejected rather than silently wrapped by the
+/// int64 -> int32 narrowing below (4294967296 would wrap to capacity 0 — a
+/// registration misread as a cancellation).
+constexpr int64_t kMaxId = std::numeric_limits<int32_t>::max();
 
 Status WriteDeltaStreamCsv(const std::vector<InstanceDelta>& stream,
                            int32_t num_events, int32_t num_users,
@@ -56,7 +64,8 @@ Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(const std::string& path) {
   }
   int64_t ticks = 0, nv = 0, nu = 0;
   if (!ParseInt(header[2], &ticks) || !ParseInt(header[3], &nv) ||
-      !ParseInt(header[4], &nu) || ticks < 0 || nv < 0 || nu < 0) {
+      !ParseInt(header[4], &nu) || ticks < 0 || nv < 0 || nu < 0 ||
+      nv > kMaxId || nu > kMaxId) {
     return Status::InvalidArgument("bad delta stream header fields in " + path);
   }
 
@@ -86,7 +95,8 @@ Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(const std::string& path) {
       if (current < 0) return bad("user line before any tick");
       int64_t id = 0, cap = 0;
       if (fields.size() != 4 || !ParseInt(fields[1], &id) ||
-          !ParseInt(fields[2], &cap) || id < 0 || id >= nu || cap < 0) {
+          !ParseInt(fields[2], &cap) || id < 0 || id >= nu || cap < 0 ||
+          cap > kMaxId) {
         return bad("malformed user line");
       }
       UserUpdate up;
@@ -107,7 +117,8 @@ Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(const std::string& path) {
       if (current < 0) return bad("event line before any tick");
       int64_t id = 0, cap = 0;
       if (fields.size() != 3 || !ParseInt(fields[1], &id) ||
-          !ParseInt(fields[2], &cap) || id < 0 || id >= nv || cap < 0) {
+          !ParseInt(fields[2], &cap) || id < 0 || id >= nv || cap < 0 ||
+          cap > kMaxId) {
         return bad("malformed event line");
       }
       EventCapacityUpdate up;
@@ -122,6 +133,169 @@ Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(const std::string& path) {
     return Status::InvalidArgument(path + ": header promises " +
                                    std::to_string(ticks) + " ticks, found " +
                                    std::to_string(current + 1));
+  }
+  return stream;
+}
+
+Status WriteArrivalStreamCsv(const std::vector<core::ArrivalEvent>& stream,
+                             int32_t num_events, int32_t num_users,
+                             const std::string& path) {
+  // Validate everything the reader will check, so a successful write always
+  // round-trips: exactly one mutation per arrival (the format is one line
+  // per arrival and the header promises the line count), ids inside the
+  // declared ranges, capacities nonnegative, and timestamps finite,
+  // nonnegative and nondecreasing.
+  double last_at = 0.0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const core::ArrivalEvent& arrival = stream[i];
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("arrival " + std::to_string(i) + ": " +
+                                     why);
+    };
+    const size_t mutations = arrival.delta.user_updates.size() +
+                             arrival.delta.event_updates.size();
+    if (mutations != 1) {
+      return bad("carries " + std::to_string(mutations) +
+                 " mutations; the arrival format requires exactly one");
+    }
+    if (!std::isfinite(arrival.at_seconds) || arrival.at_seconds < 0 ||
+        arrival.at_seconds < last_at) {
+      return bad("timestamps must be finite, nonnegative and nondecreasing");
+    }
+    last_at = arrival.at_seconds;
+    for (const UserUpdate& up : arrival.delta.user_updates) {
+      if (up.user < 0 || up.user >= num_users || up.capacity < 0) {
+        return bad("user id/capacity outside the declared ranges");
+      }
+      for (EventId v : up.bids) {
+        if (v < 0 || v >= num_events) return bad("bid outside event range");
+      }
+    }
+    for (const EventCapacityUpdate& up : arrival.delta.event_updates) {
+      if (up.event < 0 || up.event >= num_events || up.capacity < 0) {
+        return bad("event id/capacity outside the declared ranges");
+      }
+    }
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out.precision(17);  // round-trip exact doubles
+  out << "igepa-arrivals,1," << stream.size() << "," << num_events << ","
+      << num_users << "\n";
+  for (const core::ArrivalEvent& arrival : stream) {
+    for (const UserUpdate& up : arrival.delta.user_updates) {
+      out << "user," << arrival.at_seconds << "," << up.user << ","
+          << up.capacity << ",";
+      for (size_t i = 0; i < up.bids.size(); ++i) {
+        if (i > 0) out << ";";
+        out << up.bids[i];
+      }
+      out << "\n";
+    }
+    for (const EventCapacityUpdate& up : arrival.delta.event_updates) {
+      out << "event," << arrival.at_seconds << "," << up.event << ","
+          << up.capacity << "\n";
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<core::ArrivalEvent>> ReadArrivalStreamCsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  return ReadArrivalStreamCsv(in, path);
+}
+
+Result<std::vector<core::ArrivalEvent>> ReadArrivalStreamCsv(
+    std::istream& in, const std::string& path) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty arrival stream file: " + path);
+  }
+  auto header = Split(Trim(line), ',');
+  if (header.size() != 5 || header[0] != "igepa-arrivals" ||
+      header[1] != "1") {
+    return Status::InvalidArgument("bad arrival stream header in " + path);
+  }
+  int64_t count = 0, nv = 0, nu = 0;
+  if (!ParseInt(header[2], &count) || !ParseInt(header[3], &nv) ||
+      !ParseInt(header[4], &nu) || count < 0 || nv < 0 || nu < 0 ||
+      nv > kMaxId || nu > kMaxId) {
+    return Status::InvalidArgument("bad arrival stream header fields in " +
+                                   path);
+  }
+
+  // Grown line by line — the untrusted header count is only a promise to
+  // check at the end, never an allocation size.
+  std::vector<core::ArrivalEvent> stream;
+  double last_at = 0.0;
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto fields = Split(Trim(line), ',');
+    if (fields.empty() || fields[0].empty()) continue;
+    const std::string& kind = fields[0];
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    double at = 0.0;
+    core::ArrivalEvent arrival;
+    // Note the std::isfinite guards: `inf`/`nan` parse as doubles and pass
+    // `at < 0` (NaN compares false to everything), but an infinite timestamp
+    // would hang any window-advancing consumer.
+    if (kind == "user") {
+      int64_t id = 0, cap = 0;
+      if (fields.size() != 5 || !ParseDouble(fields[1], &at) ||
+          !ParseInt(fields[2], &id) || !ParseInt(fields[3], &cap) ||
+          !std::isfinite(at) || at < 0 || id < 0 || id >= nu || cap < 0 ||
+          cap > kMaxId) {
+        return bad("malformed user arrival line");
+      }
+      UserUpdate up;
+      up.user = static_cast<core::UserId>(id);
+      up.capacity = static_cast<int32_t>(cap);
+      if (!fields[4].empty()) {
+        for (const auto& tok : Split(fields[4], ';')) {
+          int64_t bid = 0;
+          if (!ParseInt(tok, &bid) || bid < 0 || bid >= nv) {
+            return bad("malformed bid list");
+          }
+          up.bids.push_back(static_cast<EventId>(bid));
+        }
+      }
+      arrival.delta.user_updates.push_back(std::move(up));
+    } else if (kind == "event") {
+      int64_t id = 0, cap = 0;
+      if (fields.size() != 4 || !ParseDouble(fields[1], &at) ||
+          !ParseInt(fields[2], &id) || !ParseInt(fields[3], &cap) ||
+          !std::isfinite(at) || at < 0 || id < 0 || id >= nv || cap < 0 ||
+          cap > kMaxId) {
+        return bad("malformed event arrival line");
+      }
+      EventCapacityUpdate up;
+      up.event = static_cast<EventId>(id);
+      up.capacity = static_cast<int32_t>(cap);
+      arrival.delta.event_updates.push_back(up);
+    } else {
+      return bad("unknown line kind '" + kind + "'");
+    }
+    if (at < last_at) return bad("timestamps must be nondecreasing");
+    last_at = at;
+    arrival.at_seconds = at;
+    stream.push_back(std::move(arrival));
+  }
+  if (static_cast<int64_t>(stream.size()) != count) {
+    return Status::InvalidArgument(
+        path + ": header promises " + std::to_string(count) +
+        " arrivals, found " + std::to_string(stream.size()));
   }
   return stream;
 }

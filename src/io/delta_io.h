@@ -1,6 +1,7 @@
 #ifndef IGEPA_IO_DELTA_IO_H_
 #define IGEPA_IO_DELTA_IO_H_
 
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,34 @@ Status WriteDeltaStreamCsv(const std::vector<core::InstanceDelta>& stream,
 /// against the header's ranges.
 Result<std::vector<core::InstanceDelta>> ReadDeltaStreamCsv(
     const std::string& path);
+
+/// Serializes a timestamped arrival stream (the serving workload's on-disk
+/// format — docs/FORMATS.md):
+///
+///   igepa-arrivals,1,<num_arrivals>,<num_events>,<num_users>
+///   user,<t_seconds>,<id>,<capacity>,<bid;bid;...>   (empty = cancellation)
+///   event,<t_seconds>,<id>,<capacity>
+///
+/// One line per arrival, timestamps nondecreasing. Every arrival must carry
+/// exactly ONE mutation (one user update or one event-capacity update — the
+/// core::ArrivalEvent convention); the writer rejects anything else with
+/// InvalidArgument, since the header promises the line count. Unlike the
+/// tick-sectioned delta stream, the arrival format carries continuous time,
+/// so the consumer (the epoch loop of serve::ArrangementService) chooses its
+/// own batching.
+Status WriteArrivalStreamCsv(const std::vector<core::ArrivalEvent>& stream,
+                             int32_t num_events, int32_t num_users,
+                             const std::string& path);
+
+/// Reads an arrival stream written by WriteArrivalStreamCsv, validating ids
+/// against the header's ranges and timestamps for monotonicity.
+Result<std::vector<core::ArrivalEvent>> ReadArrivalStreamCsv(
+    const std::string& path);
+
+/// Stream-based variant (`igepa serve --arrivals=-` pipes stdin through
+/// this); `label` names the source in error messages.
+Result<std::vector<core::ArrivalEvent>> ReadArrivalStreamCsv(
+    std::istream& in, const std::string& label);
 
 }  // namespace io
 }  // namespace igepa

@@ -1,0 +1,378 @@
+#include "serve/arrangement_service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/warm_tick.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+namespace igepa {
+namespace serve {
+
+using core::Arrangement;
+using core::EventId;
+using core::InstanceDelta;
+
+ArrangementService::ArrangementService(core::Instance instance,
+                                       const ServeOptions& options)
+    : instance_(std::move(instance)),
+      options_(options),
+      master_(options.seed) {
+  dual_ = options_.dual;
+  dual_.num_threads = options_.num_threads;
+  delta_options_.admissible = options_.admissible;
+  delta_options_.compact_tombstone_fraction =
+      options_.compact_tombstone_fraction;
+  delta_options_.compact_min_dead_columns = options_.compact_min_dead_columns;
+  round_options_.alpha = options_.alpha;
+  round_options_.num_threads = options_.num_threads;
+  round_options_.structured = dual_;
+}
+
+Result<std::unique_ptr<ArrangementService>> ArrangementService::Create(
+    core::Instance instance, const ServeOptions& options) {
+  if (options.max_batch < 1) {
+    return Status::InvalidArgument("ServeOptions::max_batch must be >= 1");
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument(
+        "ServeOptions::queue_capacity must be >= 1");
+  }
+  if (options.epoch_ms < 0) {
+    return Status::InvalidArgument("ServeOptions::epoch_ms must be >= 0");
+  }
+  if (options.metrics_history_limit < 1) {
+    return Status::InvalidArgument(
+        "ServeOptions::metrics_history_limit must be >= 1");
+  }
+  std::unique_ptr<ArrangementService> service(
+      new ArrangementService(std::move(instance), options));
+  IGEPA_RETURN_IF_ERROR(service->Bootstrap());
+  return service;
+}
+
+ArrangementService::~ArrangementService() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Destruction cannot drain: discard whatever is still queued.
+    queue_.clear();
+  }
+  Stop();
+}
+
+Status ArrangementService::Bootstrap() {
+  core::AdmissibleOptions admissible = options_.admissible;
+  admissible.num_threads = options_.num_threads;
+  catalog_ = core::AdmissibleCatalog::Build(instance_, admissible);
+  IGEPA_ASSIGN_OR_RETURN(
+      lp::LpSolution base_sol,
+      core::SolveBenchmarkLpStructured(instance_, catalog_, dual_, &warm_));
+  fractional_.lp = std::move(base_sol);
+  fractional_.structured = true;
+  Rng round_rng = master_.Fork();
+  IGEPA_ASSIGN_OR_RETURN(
+      Arrangement base_arr,
+      core::RoundFractional(instance_, catalog_, fractional_, &round_rng,
+                            round_options_, /*stats=*/nullptr,
+                            &rounding_state_));
+  IGEPA_RETURN_IF_ERROR(base_arr.CheckFeasible(instance_));
+  const double utility = base_arr.Utility(instance_);
+  Publish(/*epoch=*/-1, std::move(base_arr), fractional_.lp.objective,
+          utility);
+  return Status::OK();
+}
+
+Status ArrangementService::Submit(InstanceDelta delta) {
+  // Validate against the fixed id space at the door, so a batch epoch can
+  // never fail on ids and a bad client delta cannot poison the engine.
+  const int32_t nu = instance_.num_users();
+  const int32_t nv = instance_.num_events();
+  for (const core::UserUpdate& up : delta.user_updates) {
+    if (up.user < 0 || up.user >= nu) {
+      return Status::InvalidArgument("Submit: out-of-range user " +
+                                     std::to_string(up.user));
+    }
+    if (up.capacity < 0) {
+      return Status::InvalidArgument("Submit: negative capacity for user " +
+                                     std::to_string(up.user));
+    }
+    for (EventId v : up.bids) {
+      if (v < 0 || v >= nv) {
+        return Status::InvalidArgument("Submit: out-of-range bid " +
+                                       std::to_string(v));
+      }
+    }
+  }
+  for (const core::EventCapacityUpdate& up : delta.event_updates) {
+    if (up.event < 0 || up.event >= nv) {
+      return Status::InvalidArgument("Submit: out-of-range event " +
+                                     std::to_string(up.event));
+    }
+    if (up.capacity < 0) {
+      return Status::InvalidArgument("Submit: negative capacity for event " +
+                                     std::to_string(up.event));
+    }
+  }
+
+  bool wake = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (static_cast<int64_t>(queue_.size()) >=
+        static_cast<int64_t>(options_.queue_capacity)) {
+      ++deltas_rejected_;
+      return Status::ResourceExhausted(
+          "Submit: queue full (" + std::to_string(options_.queue_capacity) +
+          " pending deltas)");
+    }
+    ++deltas_submitted_;
+    queue_.push_back({std::move(delta), std::chrono::steady_clock::now()});
+    wake = running_ && static_cast<int64_t>(queue_.size()) >=
+                           static_cast<int64_t>(options_.max_batch);
+  }
+  if (wake) queue_cv_.notify_all();
+  return Status::OK();
+}
+
+Result<EpochMetrics> ArrangementService::RunEpoch() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_) {
+      return Status::FailedPrecondition(
+          "RunEpoch: background epoch loop is running");
+    }
+    if (inline_epoch_) {
+      return Status::FailedPrecondition(
+          "RunEpoch: another RunEpoch is in progress");
+    }
+    if (!last_error_.ok()) return last_error_;
+    // Claimed under the same lock as the running_ check, so Start() cannot
+    // slip a background loop in while this epoch runs unlocked.
+    inline_epoch_ = true;
+  }
+  Result<EpochMetrics> metrics = RunEpochInternal();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    inline_epoch_ = false;
+  }
+  return metrics;
+}
+
+Result<EpochMetrics> ArrangementService::RunEpochInternal() {
+  Stopwatch watch;
+  const auto now = std::chrono::steady_clock::now();
+
+  // Coalesce: pop up to max_batch pending deltas in submit order. Updates
+  // inside an InstanceDelta apply in order with later-wins semantics, so
+  // concatenation IS sequential application of the popped deltas.
+  InstanceDelta batch;
+  int32_t coalesced = 0;
+  double max_queue_delay = 0.0;
+  std::vector<std::chrono::steady_clock::time_point> enqueue_times;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!queue_.empty() && coalesced < options_.max_batch) {
+      Pending& p = queue_.front();
+      batch.user_updates.insert(
+          batch.user_updates.end(),
+          std::make_move_iterator(p.delta.user_updates.begin()),
+          std::make_move_iterator(p.delta.user_updates.end()));
+      batch.event_updates.insert(batch.event_updates.end(),
+                                 p.delta.event_updates.begin(),
+                                 p.delta.event_updates.end());
+      enqueue_times.push_back(p.enqueued);
+      queue_.pop_front();
+      ++coalesced;
+    }
+  }
+  if (!enqueue_times.empty()) {
+    max_queue_delay =
+        std::chrono::duration<double>(now - enqueue_times.front()).count();
+  }
+
+  EpochMetrics metrics;
+  metrics.deltas_coalesced = coalesced;
+  if (coalesced == 0) {
+    // No-op epoch: nothing to solve, nothing published, no RNG consumed.
+    metrics.epoch = next_epoch_;
+    metrics.snapshot_version = next_version_ - 1;
+    metrics.lp_objective = fractional_.lp.objective;
+    return metrics;
+  }
+
+  // ---- One tick of the shared incremental pipeline on the coalesced batch
+  // (core::ApplyWarmTick — the same call a replay tick makes, which is what
+  // keeps the service and the replay driver bit-identical by construction).
+  Rng epoch_rng = master_.Fork();
+  auto tick = core::ApplyWarmTick(&instance_, &catalog_, &warm_,
+                                  &rounding_state_, &fractional_, batch,
+                                  &epoch_rng, dual_, delta_options_,
+                                  round_options_);
+  if (!tick.ok()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    last_error_ = tick.status();
+    return tick.status();
+  }
+
+  metrics.epoch = next_epoch_++;
+  metrics.touched_users = tick->touched_users;
+  metrics.event_updates = tick->event_updates;
+  metrics.compacted = tick->compacted;
+  metrics.live_columns = catalog_.num_live_columns();
+  metrics.lp_objective = fractional_.lp.objective;
+  metrics.lp_iterations = fractional_.lp.iterations;
+  metrics.utility = tick->arrangement.Utility(instance_);
+  metrics.max_queue_delay_seconds = max_queue_delay;
+
+  Publish(metrics.epoch, std::move(tick->arrangement), metrics.lp_objective,
+          metrics.utility);
+  metrics.snapshot_version = next_version_ - 1;
+  metrics.epoch_seconds = watch.ElapsedSeconds();
+
+  {
+    const auto published = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    deltas_applied_ += coalesced;
+    ++epochs_total_;
+    total_epoch_seconds_ += metrics.epoch_seconds;
+    history_.push_back(metrics);
+    while (static_cast<int64_t>(history_.size()) >
+           static_cast<int64_t>(std::max(1, options_.metrics_history_limit))) {
+      history_.pop_front();
+    }
+    PushSample(&epoch_seconds_samples_, &epoch_seconds_next_,
+               metrics.epoch_seconds);
+    for (const auto& enqueued : enqueue_times) {
+      PushSample(&publish_latency_samples_, &publish_latency_next_,
+                 std::chrono::duration<double>(published - enqueued).count());
+    }
+  }
+  return metrics;
+}
+
+void ArrangementService::PushSample(std::vector<double>* ring, size_t* next,
+                                    double value) {
+  if (ring->size() < kLatencySampleCap) {
+    ring->push_back(value);
+  } else {
+    (*ring)[*next] = value;
+    *next = (*next + 1) % kLatencySampleCap;
+  }
+}
+
+void ArrangementService::Publish(int64_t epoch, Arrangement arrangement,
+                                 double lp_objective, double utility) {
+  auto snapshot = std::make_shared<const ArrangementSnapshot>(
+      next_version_++, epoch, std::move(arrangement), lp_objective, utility);
+  // The construction above happens outside the lock; the critical section is
+  // one pointer swap.
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
+}
+
+Status ArrangementService::Start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (running_) {
+    return Status::FailedPrecondition("Start: epoch loop already running");
+  }
+  if (inline_epoch_) {
+    return Status::FailedPrecondition(
+        "Start: a caller-driven RunEpoch is in progress");
+  }
+  if (!last_error_.ok()) return last_error_;
+  if (loop_.joinable()) loop_.join();  // previous loop fully stopped
+  running_ = true;
+  stop_requested_ = false;
+  loop_ = std::thread([this] { BackgroundLoop(); });
+  return Status::OK();
+}
+
+Status ArrangementService::Stop() {
+  // Serialize Stop() calls (including the destructor's): the loser of a
+  // concurrent Stop must wait for the winner's join, not return while the
+  // loop thread is still inside an epoch. The thread handle is additionally
+  // claimed under mutex_ so std::thread::join — which is not thread-safe —
+  // is never entered twice.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  std::thread to_join;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!running_ && !loop_.joinable()) return last_error_;
+    stop_requested_ = true;
+    to_join = std::move(loop_);
+  }
+  queue_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  running_ = false;
+  return last_error_;
+}
+
+void ArrangementService::BackgroundLoop() {
+  const auto period = std::chrono::duration<double, std::milli>(
+      options_.epoch_ms > 0 ? options_.epoch_ms : 1.0);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait_for(lock, period, [this] {
+        return stop_requested_ ||
+               static_cast<int64_t>(queue_.size()) >=
+                   static_cast<int64_t>(options_.max_batch);
+      });
+      if (stop_requested_ && queue_.empty()) break;
+      if (!last_error_.ok()) break;
+    }
+    auto metrics = RunEpochInternal();
+    if (!metrics.ok()) break;  // RunEpochInternal latched last_error_
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+ServiceStats ArrangementService::Stats() const {
+  ServiceStats stats;
+  std::shared_ptr<const ArrangementSnapshot> snap = snapshot();
+  std::vector<double> epoch_sorted;
+  std::vector<double> publish_sorted;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stats.epochs = epochs_total_;
+    stats.total_epoch_seconds = total_epoch_seconds_;
+    stats.deltas_submitted = deltas_submitted_;
+    stats.deltas_applied = deltas_applied_;
+    stats.deltas_rejected = deltas_rejected_;
+    stats.deltas_pending = static_cast<int64_t>(queue_.size());
+    epoch_sorted = epoch_seconds_samples_;  // bounded copies; sort unlocked
+    publish_sorted = publish_latency_samples_;
+  }
+  if (snap != nullptr) {
+    stats.snapshot_version = snap->version();
+    stats.lp_objective = snap->lp_objective();
+    stats.utility = snap->utility();
+  }
+  std::sort(epoch_sorted.begin(), epoch_sorted.end());
+  if (!epoch_sorted.empty()) {
+    stats.p50_epoch_seconds = SortedPercentile(epoch_sorted, 0.50);
+    stats.p99_epoch_seconds = SortedPercentile(epoch_sorted, 0.99);
+  }
+  std::sort(publish_sorted.begin(), publish_sorted.end());
+  if (!publish_sorted.empty()) {
+    stats.p50_publish_latency_seconds = SortedPercentile(publish_sorted, 0.50);
+    stats.p99_publish_latency_seconds = SortedPercentile(publish_sorted, 0.99);
+  }
+  return stats;
+}
+
+std::vector<EpochMetrics> ArrangementService::MetricsHistory() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return std::vector<EpochMetrics>(history_.begin(), history_.end());
+}
+
+Status ArrangementService::last_error() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+}  // namespace serve
+}  // namespace igepa

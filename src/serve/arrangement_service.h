@@ -1,0 +1,328 @@
+#ifndef IGEPA_SERVE_ARRANGEMENT_SERVICE_H_
+#define IGEPA_SERVE_ARRANGEMENT_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/admissible_catalog.h"
+#include "core/arrangement.h"
+#include "core/benchmark_dual.h"
+#include "core/instance.h"
+#include "core/instance_delta.h"
+#include "core/lp_packing.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace serve {
+
+/// Options for ArrangementService.
+struct ServeOptions {
+  /// Worker threads for the catalog build, dual solve and re-round (0 =
+  /// hardware concurrency). A pure wall-clock knob: results are bit-identical
+  /// for every value.
+  int32_t num_threads = 0;
+  /// Most deltas coalesced into one epoch batch (>= 1). Larger batches
+  /// amortize the warm solve over more mutations; smaller ones publish
+  /// fresher snapshots.
+  int32_t max_batch = 256;
+  /// Submit() backpressure bound: pending (not yet epoch-consumed) deltas
+  /// beyond this are rejected with ResourceExhausted (>= 1).
+  int32_t queue_capacity = 1024;
+  /// Background epoch cadence for Start(); RunEpoch() callers pace
+  /// themselves. The loop also wakes early once max_batch deltas are queued.
+  double epoch_ms = 100.0;
+  /// Algorithm-1 sampling scale for the rounding passes.
+  double alpha = 1.0;
+  /// Master seed of the service's RNG stream (see the determinism contract
+  /// below).
+  uint64_t seed = 20190408;
+  /// Structured-dual knobs shared by the bootstrap and every warm epoch.
+  core::StructuredDualOptions dual;
+  /// Enumeration knobs (catalog build and delta re-enumeration).
+  core::AdmissibleOptions admissible;
+  /// Catalog compaction policy (see CatalogDeltaOptions).
+  double compact_tombstone_fraction = 0.25;
+  int32_t compact_min_dead_columns = 256;
+  /// MetricsHistory() keeps at most this many recent epochs (>= 1); older
+  /// entries are dropped so a long-running service's memory stays bounded.
+  int32_t metrics_history_limit = 65536;
+};
+
+/// What one epoch did: how much it coalesced, what the solve cost, and what
+/// it published. Returned by RunEpoch and appended to MetricsHistory().
+struct EpochMetrics {
+  /// 0-based epoch counter (the bootstrap solve is not an epoch).
+  int64_t epoch = 0;
+  /// Snapshot version this epoch published (bootstrap publishes version 1).
+  int64_t snapshot_version = 0;
+  int32_t deltas_coalesced = 0;
+  int32_t touched_users = 0;
+  int32_t event_updates = 0;
+  bool compacted = false;
+  int32_t live_columns = 0;
+  /// Coalesce -> publish wall time.
+  double epoch_seconds = 0.0;
+  /// Queueing delay of the oldest delta in the batch (submit -> epoch start).
+  double max_queue_delay_seconds = 0.0;
+  double lp_objective = 0.0;
+  int64_t lp_iterations = 0;
+  double utility = 0.0;
+};
+
+/// Aggregate service counters plus latency percentiles. Percentiles are
+/// computed over per-epoch solve times and per-delta publish latencies
+/// (submit -> snapshot publish, including queue wait), each over a sliding
+/// window of the most recent ~4k samples so a long-running service's
+/// footprint — and the cost of a Stats() call — stays bounded; the counters
+/// and total_epoch_seconds cover the whole lifetime.
+struct ServiceStats {
+  int64_t epochs = 0;
+  int64_t snapshot_version = 0;
+  int64_t deltas_submitted = 0;
+  int64_t deltas_applied = 0;
+  int64_t deltas_rejected = 0;
+  int64_t deltas_pending = 0;
+  double total_epoch_seconds = 0.0;
+  double p50_epoch_seconds = 0.0;
+  double p99_epoch_seconds = 0.0;
+  double p50_publish_latency_seconds = 0.0;
+  double p99_publish_latency_seconds = 0.0;
+  /// Latest published objective/utility (0 before the first publish).
+  double lp_objective = 0.0;
+  double utility = 0.0;
+};
+
+/// An immutable, internally consistent view of one published arrangement.
+/// Snapshots are shared with readers via shared_ptr, so a reader holding one
+/// keeps it alive for as long as it wants while the service publishes newer
+/// versions behind it — no locks, no torn reads.
+class ArrangementSnapshot {
+ public:
+  ArrangementSnapshot(int64_t version, int64_t epoch,
+                      core::Arrangement arrangement, double lp_objective,
+                      double utility)
+      : version_(version),
+        epoch_(epoch),
+        arrangement_(std::move(arrangement)),
+        lp_objective_(lp_objective),
+        utility_(utility) {}
+
+  /// Monotonically increasing publish counter (bootstrap = 1).
+  int64_t version() const { return version_; }
+  /// The epoch that produced this snapshot (-1 for the bootstrap solve).
+  int64_t epoch() const { return epoch_; }
+  double lp_objective() const { return lp_objective_; }
+  double utility() const { return utility_; }
+
+  /// Events assigned to user u (sorted ascending).
+  const std::vector<core::EventId>& GetAssignment(core::UserId u) const {
+    return arrangement_.EventsOf(u);
+  }
+  /// Users assigned to event v (sorted ascending).
+  const std::vector<core::UserId>& GetEventRoster(core::EventId v) const {
+    return arrangement_.UsersOf(v);
+  }
+  const core::Arrangement& arrangement() const { return arrangement_; }
+
+ private:
+  int64_t version_;
+  int64_t epoch_;
+  core::Arrangement arrangement_;
+  double lp_objective_;
+  double utility_;
+};
+
+/// Long-running, in-process arrangement service over the incremental engine
+/// (DESIGN.md S15/S16): it owns an Instance, its AdmissibleCatalog, the dual
+/// warm-start state and the rounding state, accepts InstanceDelta mutations
+/// through a bounded thread-safe queue, and periodically coalesces the queue
+/// into one batch epoch — instance patch -> catalog ApplyDelta -> warm dual
+/// solve -> localized re-round -> atomic snapshot publish. Concurrent readers
+/// query the latest ArrangementSnapshot through one shared_ptr swap
+/// (a pointer-only critical section readers never wait on epoch work for).
+///
+/// Two driving modes share the identical epoch pipeline:
+///
+///   * Deterministic (single-thread): the caller invokes RunEpoch() whenever
+///     it wants an epoch. No background thread exists, nothing is timed-out,
+///     and epoch outputs are bit-reproducible — equal instance, options,
+///     seed and submit sequence give bit-identical snapshots (pinned by
+///     tests/serve/arrangement_service_test.cc).
+///   * Background: Start() spawns an epoch loop firing every epoch_ms (or as
+///     soon as max_batch deltas are pending); Stop() drains the queue and
+///     joins. Batch boundaries now depend on arrival timing, but each epoch
+///     still computes exactly what RunEpoch would for its batch.
+///
+/// ## Determinism contract
+///
+/// All sampling randomness derives from one master Rng seeded with
+/// options.seed: the bootstrap re-round forks it once, and every epoch that
+/// coalesced at least one delta forks it exactly once more (empty epochs
+/// consume no randomness and publish nothing). An epoch over batch B is
+/// bit-identical to running core::ApplyDelta + AdmissibleCatalog::ApplyDelta
+/// + warm SolveBenchmarkLpStructured + core::RoundFractionalDelta directly on
+/// the coalesced B with the same fork sequence — the service adds queueing,
+/// not arithmetic.
+///
+/// ## Concurrency contract
+///
+/// Submit(), snapshot(), Stats() and MetricsHistory() are thread-safe and may
+/// be called from any thread at any time. Epoch execution is exclusive and
+/// the service enforces it: RunEpoch() fails with FailedPrecondition while
+/// the background loop is running or another RunEpoch() is in flight, and
+/// Start() fails while a caller-driven epoch is in flight — so the engine
+/// state (instance, catalog, warm start, rounding state) is only ever
+/// touched by one epoch runner at a time.
+class ArrangementService {
+ public:
+  /// Solves the instance cold (catalog build + structured dual + full round),
+  /// publishes snapshot version 1, and returns the ready-to-serve service.
+  /// Fails if the bootstrap pipeline fails.
+  static Result<std::unique_ptr<ArrangementService>> Create(
+      core::Instance instance, const ServeOptions& options = {});
+
+  /// Stops the background loop (discarding still-queued deltas) if running.
+  ~ArrangementService();
+
+  ArrangementService(const ArrangementService&) = delete;
+  ArrangementService& operator=(const ArrangementService&) = delete;
+
+  /// Enqueues one mutation batch. Validates ids/capacities against the fixed
+  /// id space up front (InvalidArgument) and applies backpressure when the
+  /// queue is full (ResourceExhausted) — a rejected delta leaves no trace.
+  Status Submit(core::InstanceDelta delta);
+
+  /// Coalesces up to max_batch pending deltas and runs one epoch inline on
+  /// the calling thread. An empty queue is a no-op epoch: metrics with
+  /// deltas_coalesced == 0, no publish, no RNG consumption, and the epoch
+  /// counter does not advance. Fails with FailedPrecondition while the
+  /// background loop is running; an engine failure (solver error, infeasible
+  /// round) is returned and also latched into last_error().
+  Result<EpochMetrics> RunEpoch();
+
+  /// Spawns the background epoch loop. FailedPrecondition if already running
+  /// or the service is poisoned by a previous epoch error.
+  Status Start();
+
+  /// Drains the queue (running as many final epochs as needed), then joins
+  /// the loop. Returns the first epoch error if one occurred. Safe to call
+  /// when not running (no-op OK).
+  Status Stop();
+
+  /// The latest published snapshot (never null after Create). The read is
+  /// one shared_ptr copy under a dedicated pointer mutex that publishers
+  /// hold only for the swap itself — nanoseconds, never during a solve — so
+  /// readers never wait on epoch work; the returned snapshot stays valid
+  /// for as long as the caller holds it. (A std::atomic<shared_ptr> would
+  /// make this read genuinely lock-free, but libstdc++'s _Sp_atomic trips
+  /// TSan — see the comment at snapshot_.)
+  std::shared_ptr<const ArrangementSnapshot> snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return snapshot_;
+  }
+
+  ServiceStats Stats() const;
+  /// The most recent epochs' metrics (up to options.metrics_history_limit),
+  /// in epoch order; no-op epochs excluded.
+  std::vector<EpochMetrics> MetricsHistory() const;
+  /// OK until an epoch fails; then the failure that poisoned the service.
+  Status last_error() const;
+
+  /// The instance as of the last completed epoch. Only meaningful while no
+  /// epoch is executing (deterministic mode, or after Stop()).
+  const core::Instance& instance() const { return instance_; }
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    core::InstanceDelta delta;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  ArrangementService(core::Instance instance, const ServeOptions& options);
+
+  /// The cold bootstrap pipeline; publishes version 1 on success.
+  Status Bootstrap();
+
+  /// Pops up to max_batch pending deltas, runs the warm pipeline, publishes.
+  Result<EpochMetrics> RunEpochInternal();
+
+  void BackgroundLoop();
+
+  void Publish(int64_t epoch, core::Arrangement arrangement,
+               double lp_objective, double utility);
+
+  /// Appends into a latency ring: grows until kLatencySampleCap, then
+  /// overwrites the oldest sample. Caller holds mutex_.
+  static void PushSample(std::vector<double>* ring, size_t* next,
+                         double value);
+
+  // ---- Engine state: owned by whoever runs epochs (no mutex). ----
+  core::Instance instance_;
+  const ServeOptions options_;
+  core::StructuredDualOptions dual_;
+  core::CatalogDeltaOptions delta_options_;
+  core::LpPackingOptions round_options_;
+  core::AdmissibleCatalog catalog_;
+  core::DualWarmStart warm_;
+  core::RoundingState rounding_state_;
+  core::FractionalSolution fractional_;
+  Rng master_;
+  int64_t next_epoch_ = 0;
+  int64_t next_version_ = 1;
+
+  // ---- Published snapshot. Guarded by its own mutex whose critical
+  // sections are a single shared_ptr copy/swap (no allocation, no solver
+  // work), so publishes and reads never contend with epochs. Not
+  // std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic (GCC 12) unlocks
+  // its spinlock with relaxed ordering on the load path, which TSan flags
+  // as a publisher/reader race. ----
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const ArrangementSnapshot> snapshot_;
+
+  /// Sliding-window size of the latency sample rings backing the Stats()
+  /// percentiles.
+  static constexpr size_t kLatencySampleCap = 4096;
+
+  // ---- Queue + metrics: shared between submitters, readers and the epoch
+  // runner. ----
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  std::deque<EpochMetrics> history_;  // bounded by metrics_history_limit
+  // Latency rings: append until kLatencySampleCap, then overwrite oldest.
+  std::vector<double> epoch_seconds_samples_;
+  size_t epoch_seconds_next_ = 0;
+  std::vector<double> publish_latency_samples_;
+  size_t publish_latency_next_ = 0;
+  int64_t epochs_total_ = 0;
+  double total_epoch_seconds_ = 0.0;
+  int64_t deltas_submitted_ = 0;
+  int64_t deltas_applied_ = 0;
+  int64_t deltas_rejected_ = 0;
+  Status last_error_ = Status::OK();
+
+  // ---- Background loop / epoch exclusion. ----
+  /// Serializes Stop() callers; taken before mutex_, never the reverse.
+  std::mutex stop_mutex_;
+  std::thread loop_;
+  bool running_ = false;         // under mutex_
+  bool stop_requested_ = false;  // under mutex_
+  /// True while a caller-driven RunEpoch() is inside the engine; Start()
+  /// refuses while set, closing the check-then-act window between
+  /// RunEpoch()'s running_ check and its engine work.
+  bool inline_epoch_ = false;  // under mutex_
+};
+
+}  // namespace serve
+}  // namespace igepa
+
+#endif  // IGEPA_SERVE_ARRANGEMENT_SERVICE_H_

@@ -1,0 +1,89 @@
+// Throughput sweep driver: the serving layer across epoch batch sizes.
+
+#include "exp/serve_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "gen/arrival_process.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace exp {
+namespace {
+
+TEST(ServeDriverTest, SweepProcessesEveryArrivalPerBatchSize) {
+  Rng rng(61);
+  gen::SyntheticConfig config;
+  config.num_users = 150;
+  config.num_events = 25;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  gen::ArrivalProcessConfig arrivals_config;
+  arrivals_config.num_arrivals = 18;
+  const auto arrivals =
+      gen::GenerateArrivalProcess(*instance, arrivals_config, &rng);
+
+  ServeSweepOptions options;
+  options.batch_sizes = {1, 6};
+  options.num_threads = 1;
+  auto report = RunServeSweep(*instance, arrivals, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->rows.size(), 2u);
+
+  for (const ServeSweepRow& row : report->rows) {
+    EXPECT_EQ(row.deltas_applied, 18);
+    EXPECT_GT(row.epochs, 0);
+    EXPECT_GT(row.epoch_seconds_total, 0.0);
+    EXPECT_GT(row.deltas_per_second, 0.0);
+    EXPECT_GT(row.final_lp_objective, 0.0);
+    EXPECT_GT(row.final_utility, 0.0);
+    EXPECT_LE(row.p50_epoch_seconds, row.p99_epoch_seconds);
+    // Warm and cold both certify target_gap ⇒ drift ≤ ~2·gap.
+    EXPECT_LE(row.max_lp_drift, 2.0 * options.dual.target_gap + 1e-9);
+  }
+  // batch=1 runs one epoch per delta; batch=6 coalesces.
+  EXPECT_EQ(report->rows[0].epochs, 18);
+  EXPECT_EQ(report->rows[1].epochs, 3);
+}
+
+TEST(ServeDriverTest, NoColdModeSkipsDriftReference) {
+  Rng rng(67);
+  gen::SyntheticConfig config;
+  config.num_users = 100;
+  config.num_events = 20;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  gen::ArrivalProcessConfig arrivals_config;
+  arrivals_config.num_arrivals = 8;
+  const auto arrivals =
+      gen::GenerateArrivalProcess(*instance, arrivals_config, &rng);
+  ServeSweepOptions options;
+  options.batch_sizes = {4};
+  options.num_threads = 1;
+  options.compare_cold = false;
+  auto report = RunServeSweep(*instance, arrivals, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows[0].max_lp_drift, 0.0);
+  EXPECT_EQ(report->rows[0].deltas_applied, 8);
+}
+
+TEST(ServeDriverTest, RejectsBadBatchSizes) {
+  Rng rng(71);
+  gen::SyntheticConfig config;
+  config.num_users = 40;
+  config.num_events = 10;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  ServeSweepOptions options;
+  options.batch_sizes = {};
+  EXPECT_FALSE(RunServeSweep(*instance, {}, options).ok());
+  options.batch_sizes = {0};
+  EXPECT_FALSE(RunServeSweep(*instance, {}, options).ok());
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace igepa

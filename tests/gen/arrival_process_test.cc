@@ -1,0 +1,136 @@
+#include "gen/arrival_process.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/instance_delta.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace gen {
+namespace {
+
+core::Instance MakeInstance(uint64_t seed) {
+  Rng rng(seed);
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_events = 20;
+  auto instance = GenerateSynthetic(config, &rng);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(ArrivalProcessTest, EmitsSingleMutationArrivalsInTimeOrder) {
+  const core::Instance instance = MakeInstance(3);
+  Rng rng(5);
+  ArrivalProcessConfig config;
+  config.num_arrivals = 200;
+  config.rate_per_second = 50.0;
+  const auto stream = GenerateArrivalProcess(instance, config, &rng);
+  ASSERT_EQ(stream.size(), 200u);
+  double last = 0.0;
+  int32_t registers = 0, cancels = 0, capacity_changes = 0;
+  for (const core::ArrivalEvent& arrival : stream) {
+    EXPECT_GE(arrival.at_seconds, last);
+    last = arrival.at_seconds;
+    // Exactly one mutation per arrival.
+    ASSERT_EQ(arrival.delta.user_updates.size() +
+                  arrival.delta.event_updates.size(),
+              1u);
+    if (!arrival.delta.user_updates.empty()) {
+      const core::UserUpdate& up = arrival.delta.user_updates[0];
+      ASSERT_GE(up.user, 0);
+      ASSERT_LT(up.user, instance.num_users());
+      if (up.bids.empty()) {
+        ++cancels;
+        EXPECT_EQ(up.capacity, 0);
+      } else {
+        ++registers;
+        EXPECT_GE(up.capacity, 1);
+        EXPECT_TRUE(std::is_sorted(up.bids.begin(), up.bids.end()));
+        EXPECT_TRUE(std::adjacent_find(up.bids.begin(), up.bids.end()) ==
+                    up.bids.end());
+        for (core::EventId v : up.bids) {
+          ASSERT_GE(v, 0);
+          ASSERT_LT(v, instance.num_events());
+        }
+      }
+    } else {
+      ++capacity_changes;
+      const core::EventCapacityUpdate& up = arrival.delta.event_updates[0];
+      ASSERT_GE(up.event, 0);
+      ASSERT_LT(up.event, instance.num_events());
+      EXPECT_GE(up.capacity, 1);
+    }
+  }
+  // The default mix is 70/15/15; with 200 draws every kind must appear.
+  EXPECT_GT(registers, 0);
+  EXPECT_GT(cancels, 0);
+  EXPECT_GT(capacity_changes, 0);
+  EXPECT_GT(registers, cancels);
+  // Poisson(50/sec): 200 arrivals land around the 4-second mark, not at 0
+  // and not at infinity.
+  EXPECT_GT(last, 1.0);
+  EXPECT_LT(last, 20.0);
+}
+
+TEST(ArrivalProcessTest, ReproducibleFromSeed) {
+  const core::Instance instance = MakeInstance(7);
+  ArrivalProcessConfig config;
+  config.num_arrivals = 50;
+  Rng rng_a(11), rng_b(11);
+  const auto a = GenerateArrivalProcess(instance, config, &rng_a);
+  const auto b = GenerateArrivalProcess(instance, config, &rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_seconds, b[i].at_seconds);
+    ASSERT_EQ(a[i].delta.user_updates.size(),
+              b[i].delta.user_updates.size());
+    ASSERT_EQ(a[i].delta.event_updates.size(),
+              b[i].delta.event_updates.size());
+    for (size_t j = 0; j < a[i].delta.user_updates.size(); ++j) {
+      EXPECT_EQ(a[i].delta.user_updates[j].user,
+                b[i].delta.user_updates[j].user);
+      EXPECT_EQ(a[i].delta.user_updates[j].bids,
+                b[i].delta.user_updates[j].bids);
+    }
+  }
+}
+
+TEST(ArrivalProcessTest, DegenerateConfigsReturnEmpty) {
+  const core::Instance instance = MakeInstance(13);
+  Rng rng(17);
+  ArrivalProcessConfig config;
+  config.num_arrivals = 0;
+  EXPECT_TRUE(GenerateArrivalProcess(instance, config, &rng).empty());
+  config.num_arrivals = 10;
+  config.rate_per_second = 0.0;
+  EXPECT_TRUE(GenerateArrivalProcess(instance, config, &rng).empty());
+  config.rate_per_second = 100.0;
+  config.p_register = 0.0;
+  config.p_cancel = 0.0;
+  config.p_event_capacity = 0.0;
+  EXPECT_TRUE(GenerateArrivalProcess(instance, config, &rng).empty());
+}
+
+TEST(ArrivalProcessTest, MixProbabilitiesAreNormalized) {
+  const core::Instance instance = MakeInstance(19);
+  Rng rng(23);
+  ArrivalProcessConfig config;
+  config.num_arrivals = 100;
+  config.p_register = 0.0;
+  config.p_cancel = 0.0;
+  config.p_event_capacity = 5.0;  // all mass on capacity changes
+  const auto stream = GenerateArrivalProcess(instance, config, &rng);
+  ASSERT_EQ(stream.size(), 100u);
+  for (const core::ArrivalEvent& arrival : stream) {
+    EXPECT_TRUE(arrival.delta.user_updates.empty());
+    EXPECT_EQ(arrival.delta.event_updates.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace igepa

@@ -4,8 +4,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "gen/arrival_process.h"
 #include "gen/delta_stream.h"
 #include "gen/synthetic.h"
 #include "util/rng.h"
@@ -88,6 +90,86 @@ TEST(DeltaIoTest, RejectsMalformedFiles) {
   std::remove(path.c_str());
 }
 
+TEST(DeltaIoTest, RejectsTruncatedRows) {
+  const std::string path = TempPath("delta_truncated.csv");
+  auto write = [&](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  // Truncated user row: missing the bid-list field entirely.
+  write("igepa-deltas,1,1,10,20\ntick,0\nuser,3,2\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // Truncated event row: missing the capacity field.
+  write("igepa-deltas,1,1,10,20\ntick,0\nevent,3\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // Truncated tick row.
+  write("igepa-deltas,1,1,10,20\ntick\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // Truncated header (four fields instead of five).
+  write("igepa-deltas,1,1,10\ntick,0\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // Bid list cut mid-number is still parseable digits — but a trailing ';'
+  // produces an empty token, which must be rejected, not read as 0.
+  write("igepa-deltas,1,1,10,20\ntick,0\nuser,3,2,0;\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DeltaIoTest, RejectsOutOfRangeIds) {
+  const std::string path = TempPath("delta_range.csv");
+  auto write = [&](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  // User id at the exclusive bound.
+  write("igepa-deltas,1,1,10,20\ntick,0\nuser,20,1,0\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // Negative user id.
+  write("igepa-deltas,1,1,10,20\ntick,0\nuser,-1,1,0\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // Bid beyond the event range.
+  write("igepa-deltas,1,1,10,20\ntick,0\nuser,3,1,10\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // Event id at the exclusive bound.
+  write("igepa-deltas,1,1,10,20\ntick,0\nevent,10,5\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DeltaIoTest, RejectsCapacitiesBeyondInt32) {
+  // Capacities narrow to int32 in core; 2^32 would wrap to 0 (a registration
+  // misread as a cancellation), so the reader must reject, not truncate.
+  const std::string path = TempPath("delta_capwrap.csv");
+  auto write = [&](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  write("igepa-deltas,1,1,10,20\ntick,0\nuser,3,4294967296,0\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  write("igepa-deltas,1,1,10,20\ntick,0\nevent,3,4294967296\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  // Header dimensions beyond int32 would let ids truncate too.
+  write("igepa-deltas,1,1,10,99999999999\ntick,0\n");
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DeltaIoTest, EmptyAndHeaderOnlyStreams) {
+  const std::string path = TempPath("delta_empty.csv");
+  {
+    std::ofstream out(path);  // zero bytes
+  }
+  EXPECT_FALSE(ReadDeltaStreamCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "igepa-deltas,1,0,10,20\n";  // header promising zero ticks
+  }
+  auto loaded = ReadDeltaStreamCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
 TEST(DeltaIoTest, CancellationSerializesAsEmptyBidList) {
   std::vector<core::InstanceDelta> stream(1);
   stream[0].user_updates.push_back({2, 0, {}});
@@ -98,6 +180,140 @@ TEST(DeltaIoTest, CancellationSerializesAsEmptyBidList) {
   ASSERT_EQ((*loaded)[0].user_updates.size(), 1u);
   EXPECT_TRUE((*loaded)[0].user_updates[0].bids.empty());
   EXPECT_EQ((*loaded)[0].user_updates[0].capacity, 0);
+  std::remove(path.c_str());
+}
+
+TEST(ArrivalIoTest, RoundTripPreservesStream) {
+  Rng rng(41);
+  gen::SyntheticConfig config;
+  config.num_users = 50;
+  config.num_events = 12;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  gen::ArrivalProcessConfig arrivals_config;
+  arrivals_config.num_arrivals = 25;
+  const auto stream =
+      gen::GenerateArrivalProcess(*instance, arrivals_config, &rng);
+  ASSERT_EQ(stream.size(), 25u);
+
+  const std::string path = TempPath("arrivals_roundtrip.csv");
+  ASSERT_TRUE(WriteArrivalStreamCsv(stream, instance->num_events(),
+                                    instance->num_users(), path)
+                  .ok());
+  auto loaded = ReadArrivalStreamCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].at_seconds, stream[i].at_seconds);
+    ASSERT_EQ((*loaded)[i].delta.user_updates.size(),
+              stream[i].delta.user_updates.size());
+    ASSERT_EQ((*loaded)[i].delta.event_updates.size(),
+              stream[i].delta.event_updates.size());
+    for (size_t j = 0; j < stream[i].delta.user_updates.size(); ++j) {
+      EXPECT_EQ((*loaded)[i].delta.user_updates[j].user,
+                stream[i].delta.user_updates[j].user);
+      EXPECT_EQ((*loaded)[i].delta.user_updates[j].capacity,
+                stream[i].delta.user_updates[j].capacity);
+      EXPECT_EQ((*loaded)[i].delta.user_updates[j].bids,
+                stream[i].delta.user_updates[j].bids);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArrivalIoTest, StreamOverloadReadsFromAnyIstream) {
+  std::istringstream in(
+      "igepa-arrivals,1,2,10,20\n"
+      "user,0.5,3,2,0;4\n"
+      "event,1.25,5,9\n");
+  auto loaded = ReadArrivalStreamCsv(in, "<test>");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].at_seconds, 0.5);
+  EXPECT_EQ((*loaded)[0].delta.user_updates[0].user, 3);
+  EXPECT_EQ((*loaded)[1].at_seconds, 1.25);
+  EXPECT_EQ((*loaded)[1].delta.event_updates[0].event, 5);
+}
+
+TEST(ArrivalIoTest, RejectsMalformedFiles) {
+  const std::string path = TempPath("arrivals_bad.csv");
+  auto write = [&](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  // Zero bytes.
+  write("");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Wrong magic.
+  write("igepa-deltas,1,0,10,20\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Decreasing timestamps.
+  write("igepa-arrivals,1,2,10,20\nuser,2.0,3,1,0\nuser,1.0,4,1,0\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Negative timestamp.
+  write("igepa-arrivals,1,1,10,20\nuser,-1.0,3,1,0\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Out-of-range user / event / bid.
+  write("igepa-arrivals,1,1,10,20\nuser,0.1,20,1,0\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  write("igepa-arrivals,1,1,10,20\nevent,0.1,10,5\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  write("igepa-arrivals,1,1,10,20\nuser,0.1,3,1,10\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Capacity beyond int32 would wrap on the narrowing cast.
+  write("igepa-arrivals,1,1,10,20\nuser,0.1,3,4294967296,0\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  write("igepa-arrivals,1,1,10,20\nevent,0.1,5,4294967296\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Non-finite timestamps: `inf` would hang any window-advancing consumer
+  // (window_end += W stops changing once past 2^52·W) and `nan` silently
+  // defeats the nondecreasing check, so both must be rejected on read.
+  write("igepa-arrivals,1,1,10,20\nuser,inf,3,1,0\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  write("igepa-arrivals,1,1,10,20\nuser,nan,3,1,0\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  write("igepa-arrivals,1,1,10,20\nevent,inf,5,9\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Truncated rows.
+  write("igepa-arrivals,1,1,10,20\nuser,0.1,3\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  write("igepa-arrivals,1,1,10,20\nevent,0.1,5\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Count mismatch against the header promise.
+  write("igepa-arrivals,1,3,10,20\nuser,0.1,3,1,0\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  // Unknown line kind.
+  write("igepa-arrivals,1,1,10,20\ntick,0\n");
+  EXPECT_FALSE(ReadArrivalStreamCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ArrivalIoTest, WriterRequiresExactlyOneMutationPerArrival) {
+  const std::string path = TempPath("arrivals_multi.csv");
+  // Two mutations in one arrival: a valid InstanceDelta, but not a valid
+  // arrival — the one-line-per-arrival format cannot represent it, so the
+  // writer must reject instead of producing a file the reader refuses.
+  std::vector<core::ArrivalEvent> multi(1);
+  multi[0].delta.user_updates.push_back({1, 2, {0}});
+  multi[0].delta.event_updates.push_back({3, 5});
+  EXPECT_EQ(WriteArrivalStreamCsv(multi, 10, 20, path).code(),
+            StatusCode::kInvalidArgument);
+  // Zero mutations would silently vanish from the line count: also rejected.
+  std::vector<core::ArrivalEvent> empty(1);
+  EXPECT_EQ(WriteArrivalStreamCsv(empty, 10, 20, path).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ArrivalIoTest, HeaderOnlyStreamIsEmpty) {
+  const std::string path = TempPath("arrivals_empty.csv");
+  {
+    std::ofstream out(path);
+    out << "igepa-arrivals,1,0,10,20\n";
+  }
+  auto loaded = ReadArrivalStreamCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
   std::remove(path.c_str());
 }
 

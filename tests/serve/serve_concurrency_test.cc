@@ -1,0 +1,107 @@
+// Concurrent reader/writer exercise of the arrangement service — the test the
+// TSan CI job runs over the serving layer: background epochs publish
+// snapshots while submitter and reader threads hammer the public API.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gen/arrival_process.h"
+#include "gen/synthetic.h"
+#include "serve/arrangement_service.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace serve {
+namespace {
+
+TEST(ServeConcurrencyTest, ReadersRaceBackgroundEpochsSafely) {
+  Rng rng(51);
+  gen::SyntheticConfig config;
+  config.num_users = 150;
+  config.num_events = 25;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+
+  gen::ArrivalProcessConfig arrivals_config;
+  arrivals_config.num_arrivals = 60;
+  const auto arrivals =
+      gen::GenerateArrivalProcess(*instance, arrivals_config, &rng);
+
+  ServeOptions options;
+  options.num_threads = 1;
+  options.epoch_ms = 1;  // publish as fast as possible
+  options.max_batch = 4;
+  options.seed = 99;
+  const int32_t num_users = instance->num_users();
+  const int32_t num_events = instance->num_events();
+  auto service = ArrangementService::Create(std::move(*instance), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE((*service)->Start().ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> reads{0};
+
+  // Readers: spin over snapshot queries for the whole run. Every view must be
+  // internally consistent no matter how many publishes happen behind it.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      int64_t last_version = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snapshot = (*service)->snapshot();
+        ASSERT_NE(snapshot, nullptr);
+        // Versions only move forward.
+        ASSERT_GE(snapshot->version(), last_version);
+        last_version = snapshot->version();
+        const auto& events =
+            snapshot->GetAssignment((r * 7) % num_users);
+        for (core::EventId v : events) {
+          ASSERT_GE(v, 0);
+          ASSERT_LT(v, num_events);
+        }
+        const auto& roster =
+            snapshot->GetEventRoster((r * 5) % num_events);
+        for (core::UserId u : roster) {
+          ASSERT_GE(u, 0);
+          ASSERT_LT(u, num_users);
+        }
+        const ServiceStats stats = (*service)->Stats();
+        ASSERT_GE(stats.deltas_submitted,
+                  stats.deltas_applied + stats.deltas_pending);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: submit the whole stream, tolerating backpressure.
+  for (const core::ArrivalEvent& arrival : arrivals) {
+    Status status = (*service)->Submit(arrival.delta);
+    ASSERT_TRUE(status.ok() ||
+                status.code() == StatusCode::kResourceExhausted)
+        << status.ToString();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  ASSERT_TRUE((*service)->Stop().ok());
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_GT(reads.load(), 0);
+  const ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.deltas_pending, 0);
+  EXPECT_EQ(stats.deltas_applied, stats.deltas_submitted);
+  EXPECT_TRUE((*service)
+                  ->snapshot()
+                  ->arrangement()
+                  .CheckFeasible((*service)->instance())
+                  .ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace igepa
