@@ -1,6 +1,6 @@
 // google-benchmark microbenchmarks for the core pipeline stages: dataset
-// generation, admissible-set enumeration (legacy nested vs flat catalog),
-// Algorithm 1 rounding, baselines and the feasibility validator.
+// generation, admissible-set enumeration into the flat catalog, kernel
+// re-scoring, Algorithm 1 rounding, baselines and the feasibility validator.
 //
 // Unless the caller passes --benchmark_out, results are also written to
 // BENCH_micro_core.json (google-benchmark's JSON schema) so successive PRs
@@ -61,15 +61,6 @@ void BM_GenerateMeetup(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateMeetup)->Arg(1000);
 
-void BM_EnumerateAdmissibleSets(benchmark::State& state) {
-  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
-  for (auto _ : state) {
-    auto sets = core::EnumerateAdmissibleSets(instance, {});
-    benchmark::DoNotOptimize(sets);
-  }
-}
-BENCHMARK(BM_EnumerateAdmissibleSets)->Arg(500)->Arg(1000)->Arg(2000);
-
 void BM_BuildAdmissibleCatalog(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
   core::AdmissibleOptions options;
@@ -81,23 +72,10 @@ void BM_BuildAdmissibleCatalog(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildAdmissibleCatalog)->Arg(500)->Arg(1000)->Arg(2000);
 
-// The acceptance comparison: everything each pipeline must do before the
-// LP solve can start on the 1k-user synthetic instance. The legacy path
-// enumerates nested vectors and materializes an lp::LpModel
-// unconditionally; the catalog path's flat arena IS the structured solver's
-// input (compare against BM_BuildAdmissibleCatalog/1000), and only the
-// generic-facade tier additionally materializes a model
-// (BM_CatalogEnumerateAndLpBuildFacade).
-void BM_LegacyEnumerateAndLpBuild(benchmark::State& state) {
-  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
-  for (auto _ : state) {
-    auto admissible = core::EnumerateAdmissibleSets(instance, {});
-    auto bench = core::BuildBenchmarkLp(instance, admissible);
-    benchmark::DoNotOptimize(bench);
-  }
-}
-BENCHMARK(BM_LegacyEnumerateAndLpBuild)->Arg(1000);
-
+// Everything the generic-facade tier must do before the LP solve can start
+// on the 1k-user synthetic instance: the catalog's flat arena IS the
+// structured solver's input (compare against BM_BuildAdmissibleCatalog/1000);
+// only this tier additionally materializes an lp::LpModel.
 void BM_CatalogEnumerateAndLpBuildFacade(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
   core::AdmissibleOptions options;
@@ -109,20 +87,6 @@ void BM_CatalogEnumerateAndLpBuildFacade(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CatalogEnumerateAndLpBuildFacade)->Arg(1000);
-
-void BM_RoundFractional(benchmark::State& state) {
-  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
-  const auto admissible = core::EnumerateAdmissibleSets(instance, {});
-  auto fractional =
-      core::SolveBenchmarkLpForPacking(instance, admissible, {});
-  Rng rng(3);
-  for (auto _ : state) {
-    auto arrangement =
-        core::RoundFractional(instance, admissible, *fractional, &rng, {});
-    benchmark::DoNotOptimize(arrangement);
-  }
-}
-BENCHMARK(BM_RoundFractional)->Arg(500)->Arg(2000);
 
 void BM_RoundFractionalCatalog(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
@@ -209,6 +173,51 @@ void BM_CatalogApplyDelta(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(compactions));
 }
 BENCHMARK(BM_CatalogApplyDelta)->Arg(10)->Arg(50);
+
+// Kernel re-scoring, the weight half of the incremental engine. Arg 0: a
+// full-catalog Rescore on the 1k-user instance — the objective-swap path
+// (set_kernel then Rescore), an upper bound on any weight delta and the
+// "rebuild replaced" comparison is BM_BuildAdmissibleCatalog/1000. Arg N>0:
+// one weight-only ApplyDelta tick with N graph-edge + N interest-drift
+// mutations — touched columns only, no tombstones, no re-enumeration.
+void BM_KernelRescore(benchmark::State& state) {
+  auto instance = MakeInstance(1000);
+  auto catalog = core::AdmissibleCatalog::Build(instance, {});
+  const auto mutations = static_cast<int32_t>(state.range(0));
+  int64_t rescored = 0;
+  if (mutations == 0) {
+    for (auto _ : state) {
+      rescored += catalog.Rescore(instance);
+      benchmark::DoNotOptimize(catalog);
+    }
+  } else {
+    Rng rng(23);
+    gen::DeltaStreamConfig config;
+    config.num_ticks = 64;
+    config.user_updates_per_tick = 0;
+    config.event_updates_per_tick = 0;
+    config.graph_updates_per_tick = mutations;
+    config.interest_updates_per_tick = mutations;
+    const auto stream = gen::GenerateDeltaStream(instance, config, &rng);
+    size_t next = 0;
+    for (auto _ : state) {
+      const auto& delta = stream[next];
+      next = (next + 1) % stream.size();
+      auto status = core::ApplyDelta(&instance, delta);
+      auto result = catalog.ApplyDelta(instance, delta, {});
+      if (!status.ok() || !result.ok()) {
+        state.SkipWithError("weight delta failed");
+        break;
+      }
+      rescored += result->columns_rescored;
+      benchmark::DoNotOptimize(catalog);
+    }
+  }
+  state.counters["columns_rescored"] =
+      benchmark::Counter(static_cast<double>(rescored),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_KernelRescore)->Arg(0)->Arg(4)->Arg(16);
 
 // The S15 acceptance comparison: re-solving the benchmark LP after a small
 // delta (10 touched users = 1% of the 1k-user instance), cold (/0) vs warm

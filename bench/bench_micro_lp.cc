@@ -75,42 +75,8 @@ BENCHMARK(BM_PackingDual)
     ->Args({200, 2000})
     ->Args({1000, 10000});
 
-struct BenchmarkLpFixture {
-  core::Instance instance;
-  std::vector<core::AdmissibleSets> admissible;
-  core::BenchmarkLp bench;
-};
-
-BenchmarkLpFixture MakeBenchmarkLp(int32_t users) {
-  Rng rng(7);
-  gen::SyntheticConfig config;
-  config.num_users = users;
-  auto instance = gen::GenerateSynthetic(config, &rng);
-  auto admissible = core::EnumerateAdmissibleSets(*instance, {});
-  auto bench = core::BuildBenchmarkLp(*instance, admissible);
-  return BenchmarkLpFixture{std::move(instance).value(),
-                            std::move(admissible), std::move(bench)};
-}
-
-// Deprecated nested entry point: per call it now pays a full FromLegacy
-// catalog conversion (span sort, weight recompute, inverted index) before
-// the subgradient loop — strictly more than the pre-catalog flat-array copy
-// it replaced, which is the cost of staying on the compatibility shim.
-void BM_StructuredDual_BenchmarkLp(benchmark::State& state) {
-  const auto fixture = MakeBenchmarkLp(static_cast<int32_t>(state.range(0)));
-  for (auto _ : state) {
-    auto sol = core::SolveBenchmarkLpStructured(
-        fixture.instance, fixture.admissible, fixture.bench, {});
-    benchmark::DoNotOptimize(sol);
-  }
-  state.counters["columns"] =
-      static_cast<double>(fixture.bench.model.num_cols());
-}
-BENCHMARK(BM_StructuredDual_BenchmarkLp)->Arg(500)->Arg(2000)->Arg(5000);
-
-// Catalog entry point: the solver iterates the shared CSR directly — the
-// delta against the legacy bench above is the per-solve copy cost the
-// catalog removed.
+// Catalog entry point: the solver iterates the shared CSR directly, no
+// per-solve model copy.
 void BM_StructuredDual_Catalog(benchmark::State& state) {
   Rng rng(7);
   gen::SyntheticConfig config;
@@ -130,9 +96,9 @@ void BM_BuildBenchmarkLp(benchmark::State& state) {
   gen::SyntheticConfig config;
   config.num_users = static_cast<int32_t>(state.range(0));
   auto instance = gen::GenerateSynthetic(config, &rng);
-  const auto admissible = core::EnumerateAdmissibleSets(*instance, {});
+  const auto catalog = core::AdmissibleCatalog::Build(*instance, {});
   for (auto _ : state) {
-    auto bench = core::BuildBenchmarkLp(*instance, admissible);
+    auto bench = core::BuildBenchmarkLp(*instance, catalog);
     benchmark::DoNotOptimize(bench);
   }
 }

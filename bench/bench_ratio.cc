@@ -47,14 +47,14 @@ int main() {
 
     core::LpPackingOptions options;
     options.alpha = 0.5;
-    const auto admissible = core::EnumerateAdmissibleSets(*instance, {});
+    const auto catalog = core::AdmissibleCatalog::Build(*instance, {});
     auto fractional =
-        core::SolveBenchmarkLpForPacking(*instance, admissible, options);
+        core::SolveBenchmarkLpForPacking(*instance, catalog, options);
     if (!fractional.ok()) return 1;
     double total = 0.0;
     for (int32_t t = 0; t < trials; ++t) {
       Rng rng = master.Fork();
-      auto arrangement = core::RoundFractional(*instance, admissible,
+      auto arrangement = core::RoundFractional(*instance, catalog,
                                                *fractional, &rng, options);
       if (!arrangement.ok()) return 1;
       total += arrangement->Utility(*instance);

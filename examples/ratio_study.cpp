@@ -56,14 +56,14 @@ int main() {
     for (const Prepared& p : prepared) {
       core::LpPackingOptions options;
       options.alpha = alpha;
-      const auto admissible = core::EnumerateAdmissibleSets(p.instance, {});
+      const auto catalog = core::AdmissibleCatalog::Build(p.instance, {});
       auto fractional =
-          core::SolveBenchmarkLpForPacking(p.instance, admissible, options);
+          core::SolveBenchmarkLpForPacking(p.instance, catalog, options);
       if (!fractional.ok()) return 1;
       double total = 0.0;
       for (int t = 0; t < kTrials; ++t) {
         Rng rng = master.Fork();
-        auto arrangement = core::RoundFractional(p.instance, admissible,
+        auto arrangement = core::RoundFractional(p.instance, catalog,
                                                  *fractional, &rng, options);
         if (!arrangement.ok()) return 1;
         total += arrangement->Utility(p.instance);

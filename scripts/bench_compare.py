@@ -6,7 +6,10 @@ on the benchmarks selected by --filter (default: the catalog enumeration /
 LP-build families, which are the perf trajectory this repo tracks — see
 BENCH_micro_core.json at the repo root). Regressions beyond --warn print a
 warning; beyond --fail the script exits nonzero. Benchmarks present on only
-one side are reported and skipped.
+one side are classified as added (current only) or removed (baseline only):
+both are listed and counted as warnings so a renamed or dropped benchmark is
+visible in the gate output, but neither fails the run — landing a new
+benchmark (or retiring one) must not need a simultaneous baseline update.
 
 Usage:
   scripts/bench_compare.py --baseline BENCH_micro_core.json \
@@ -20,9 +23,9 @@ import sys
 
 DEFAULT_FILTER = (
     r"^BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
-    r"EnumerateAdmissibleSets|LegacyEnumerateAndLpBuild|"
     r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd|"
-    r"CatalogApplyDelta|StructuredDualWarmVsCold|ServeEpoch)"
+    r"CatalogApplyDelta|StructuredDualWarmVsCold|ServeEpoch|"
+    r"KernelRescore)"
 )
 
 
@@ -62,11 +65,13 @@ def main():
     compared = 0
     warnings = []
     failures = []
+    added = []
+    removed = []
     for name in sorted(current):
         if not pattern.search(name):
             continue
         if name not in baseline:
-            print(f"  NEW   {name}: no baseline entry, skipped")
+            added.append(name)
             continue
         compared += 1
         base = baseline[name]
@@ -85,9 +90,19 @@ def main():
               f"({delta:+.1%})")
     for name in sorted(baseline):
         if pattern.search(name) and name not in current:
-            print(f"  GONE  {name}: present in baseline only")
+            removed.append(name)
+    for name in added:
+        print(f"  ADDED   {name}: current only (no baseline entry yet; "
+              f"regenerate the committed baseline to start tracking it)")
+    for name in removed:
+        print(f"  REMOVED {name}: baseline only (gone from the current run; "
+              f"regenerate the committed baseline to retire it)")
+    if added or removed:
+        print(f"bench_compare: benchmark set changed: {len(added)} added"
+              f" ({', '.join(added) or '-'}), {len(removed)} removed"
+              f" ({', '.join(removed) or '-'})", file=sys.stderr)
 
-    if compared == 0:
+    if compared == 0 and not added and not removed:
         print(f"bench_compare: no benchmarks matched {args.filter!r}",
               file=sys.stderr)
         return 0 if args.advisory else 2
@@ -97,8 +112,9 @@ def main():
               + (" [advisory: not failing]" if args.advisory else ""),
               file=sys.stderr)
         return 0 if args.advisory else 1
-    print(f"bench_compare: {compared} compared, {len(warnings)} warning(s), "
-          f"0 failures")
+    print(f"bench_compare: {compared} compared, "
+          f"{len(warnings) + len(added) + len(removed)} warning(s) "
+          f"({len(added)} added, {len(removed)} removed), 0 failures")
     return 0
 
 

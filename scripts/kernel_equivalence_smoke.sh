@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Kernel-equivalence smoke (CI: the kernel-equivalence job; also runnable
+# locally). Pins the S17 contract end to end at the CLI level:
+#
+#   1. a default-kernel instance serializes as format v1 (pre-kernel bytes);
+#   2. solving it with --kernel=interaction_interest is bit-identical to
+#      solving it with no kernel flag (the baked-bid pipeline pin) — and
+#      --kernel=interest_only actually changes the arrangement;
+#   3. replay over the same v1 instance certifies warm-vs-cold drift with
+#      and without the explicit default kernel, with identical per-tick LP
+#      objectives (timing columns stripped);
+#   4. serve over the same v1 instance publishes identical epoch tables and
+#      final snapshots with and without the explicit default kernel.
+#
+# Usage: scripts/kernel_equivalence_smoke.sh <build-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: kernel_equivalence_smoke.sh <build-dir>}
+igepa="$build_dir/igepa_main"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== generate a default-kernel instance (must be format v1)"
+"$igepa" generate --out "$work/inst.csv" --events 60 --users 400 --seed 7
+head -1 "$work/inst.csv" | grep -q '^igepa,1,' || {
+  echo "FAIL: default-kernel instance did not serialize as v1" >&2
+  head -1 "$work/inst.csv" >&2
+  exit 1
+}
+
+echo "== solve: explicit default kernel is bit-identical to no flag"
+"$igepa" solve --in "$work/inst.csv" --seed 5 --out "$work/plain.csv" >/dev/null
+"$igepa" solve --in "$work/inst.csv" --seed 5 --kernel interaction_interest \
+  --out "$work/pinned.csv" >/dev/null
+diff "$work/plain.csv" "$work/pinned.csv"
+
+echo "== solve: the interaction ablation must change the arrangement"
+"$igepa" solve --in "$work/inst.csv" --seed 5 --kernel interest_only \
+  --out "$work/ablated.csv" >/dev/null
+if diff -q "$work/plain.csv" "$work/ablated.csv" >/dev/null; then
+  echo "FAIL: interest_only produced the default arrangement" >&2
+  exit 1
+fi
+
+echo "== replay: drift certified, per-tick LPs identical under the default"
+strip_replay_ms() {
+  # tick table columns 6/7 are warm-ms/cold-ms — the only nondeterminism.
+  awk '/^tick /{print; next} /^[0-9]+  /{$6="";$7=""}1' "$1" |
+    grep -v '^total warm'
+}
+"$igepa" replay --in "$work/inst.csv" --ticks 6 --threads 2 \
+  --check-tolerance 0.02 > "$work/replay_plain.txt"
+"$igepa" replay --in "$work/inst.csv" --ticks 6 --threads 2 \
+  --kernel interaction_interest --check-tolerance 0.02 \
+  > "$work/replay_pinned.txt"
+diff <(strip_replay_ms "$work/replay_plain.txt") \
+     <(strip_replay_ms "$work/replay_pinned.txt")
+
+echo "== serve: identical epoch tables and final snapshot under the default"
+strip_serve_ms() {
+  # epoch table column 8 is the epoch wall-clock; service stats lines carry
+  # throughput/latency percentiles — keep only epoch rows and the snapshot.
+  awk '/^[0-9]+  /{$8=""; print} /^snapshot /{print}' "$1"
+}
+"$igepa" serve --in "$work/inst.csv" --count 120 --max-batch 16 \
+  > "$work/serve_plain.txt"
+"$igepa" serve --in "$work/inst.csv" --count 120 --max-batch 16 \
+  --kernel interaction_interest > "$work/serve_pinned.txt"
+diff <(strip_serve_ms "$work/serve_plain.txt") \
+     <(strip_serve_ms "$work/serve_pinned.txt")
+
+echo "kernel equivalence smoke: OK"

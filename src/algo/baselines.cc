@@ -74,7 +74,7 @@ Result<Arrangement> GreedyGg(const Instance& instance) {
   candidates.reserve(static_cast<size_t>(instance.TotalBids()));
   for (UserId u = 0; u < instance.num_users(); ++u) {
     for (EventId v : instance.bids(u)) {
-      candidates.emplace_back(instance.Weight(v, u), v, u);
+      candidates.emplace_back(instance.PairWeight(v, u), v, u);
     }
   }
   std::sort(candidates.begin(), candidates.end(),

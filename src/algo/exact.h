@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "core/admissible.h"
+#include "core/admissible_catalog.h"
 #include "core/arrangement.h"
 #include "core/instance.h"
 #include "util/result.h"

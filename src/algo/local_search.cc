@@ -1,6 +1,8 @@
 #include "algo/local_search.h"
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 namespace igepa {
 namespace algo {
@@ -52,8 +54,13 @@ Result<Arrangement> ImproveLocalSearch(const Instance& instance,
       // column whose new events still fit. --------------------------------
       if (set_moves) {
         const std::vector<EventId> held = arrangement.EventsOf(u);  // copy
-        double held_weight = 0.0;
-        for (EventId v : held) held_weight += instance.Weight(v, u);
+        // Score the held set through the kernel's SET utility so it is
+        // comparable with catalog->weight(j): a non-pair-decomposable
+        // kernel (cohesion) otherwise sees the user's own column as a
+        // phantom "improvement" every round. The default kernel's batch
+        // scorer is the same left-to-right pair sum as before.
+        const double held_weight = instance.kernel().ScoreSet(
+            instance, u, std::span<const EventId>(held.data(), held.size()));
         int32_t best_col = -1;
         double best_weight = held_weight + 1e-12;
         for (int32_t j = catalog->user_columns_begin(u);
@@ -114,10 +121,10 @@ Result<Arrangement> ImproveLocalSearch(const Instance& instance,
         swapped = false;
         const std::vector<EventId> held = arrangement.EventsOf(u);  // copy
         for (EventId old_v : held) {
-          const double old_w = instance.Weight(old_v, u);
+          const double old_w = instance.PairWeight(old_v, u);
           for (EventId new_v : bids) {
             if (new_v == old_v || arrangement.Contains(new_v, u)) continue;
-            if (instance.Weight(new_v, u) <= old_w + 1e-12) continue;
+            if (instance.PairWeight(new_v, u) <= old_w + 1e-12) continue;
             if (load[static_cast<size_t>(new_v)] >=
                 instance.event_capacity(new_v)) {
               continue;

@@ -48,7 +48,7 @@ Result<Arrangement> OnlineArrange(const Instance& instance,
     // of the user's best bid weight.
     double best_bid_weight = 0.0;
     for (EventId v : instance.bids(u)) {
-      best_bid_weight = std::max(best_bid_weight, instance.Weight(v, u));
+      best_bid_weight = std::max(best_bid_weight, instance.PairWeight(v, u));
     }
     const double cutoff = options.policy == OnlinePolicy::kThreshold
                               ? options.threshold_fraction * best_bid_weight
@@ -72,7 +72,7 @@ Result<Arrangement> OnlineArrange(const Instance& instance,
           ok = false;
           break;
         }
-        const double pair_w = instance.Weight(v, u);
+        const double pair_w = instance.PairWeight(v, u);
         if (pair_w < cutoff) {
           ok = false;
           if (stats != nullptr) ++stats->pairs_rejected_by_threshold;

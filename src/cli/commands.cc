@@ -35,6 +35,24 @@ int Fail(std::ostream& err, const Status& status) {
   return 1;
 }
 
+constexpr char kKernelHelp[] =
+    "utility kernel scoring w(u,S): interaction_interest | interest_only | "
+    "cohesion (default: whatever the instance file pins; v1 files pin the "
+    "paper's interaction_interest)";
+
+/// Resolves --kernel and installs it on the instance (before any catalog is
+/// built, so every downstream weight comes from the requested objective). An
+/// empty flag keeps the instance's kernel — for v2 CSVs the one the file
+/// pins, otherwise the default.
+Status ApplyKernelFlag(const ArgParser& parser, core::Instance* instance) {
+  const std::string& id = parser.GetString("kernel");
+  if (id.empty()) return Status::OK();
+  auto kernel = core::MakeUtilityKernel(id);
+  IGEPA_RETURN_IF_ERROR(kernel.status());
+  instance->set_kernel(std::move(*kernel));
+  return Status::OK();
+}
+
 // ---- generate --------------------------------------------------------------
 
 int CmdGenerate(const std::vector<std::string>& args, std::ostream& out,
@@ -50,6 +68,7 @@ int CmdGenerate(const std::vector<std::string>& args, std::ostream& out,
   parser.AddDouble("pcf", 0.3, "event conflict probability (synthetic)");
   parser.AddDouble("pdeg", 0.5, "friendship probability (synthetic)");
   parser.AddDouble("beta", 0.5, "interest/interaction balance");
+  parser.AddString("kernel", "", kKernelHelp);
   parser.AddBool("help", false, "show this help");
   if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
   if (parser.GetBool("help")) {
@@ -88,6 +107,11 @@ int CmdGenerate(const std::vector<std::string>& args, std::ostream& out,
                                              "' (synthetic | meetup)"));
   }
   if (!instance.ok()) return Fail(err, instance.status());
+  // A non-default kernel makes the written file format v2 (the kernel record
+  // pins the objective for every later solve/replay/serve of the file).
+  if (Status s = ApplyKernelFlag(parser, &*instance); !s.ok()) {
+    return Fail(err, s);
+  }
   if (Status s = io::WriteInstanceCsv(*instance, parser.GetString("out"));
       !s.ok()) {
     return Fail(err, s);
@@ -112,6 +136,7 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
                 "worker threads for enumeration, LP solve and rounding "
                 "(0 = hardware concurrency; results are identical for every "
                 "value)");
+  parser.AddString("kernel", "", kKernelHelp);
   parser.AddBool("help", false, "show this help");
   if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
   if (parser.GetBool("help")) {
@@ -126,6 +151,9 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
   }
   auto instance = io::ReadInstanceCsv(parser.GetString("in"));
   if (!instance.ok()) return Fail(err, instance.status());
+  if (Status s = ApplyKernelFlag(parser, &*instance); !s.ok()) {
+    return Fail(err, s);
+  }
 
   const auto threads = static_cast<int32_t>(parser.GetInt("threads"));
   Rng rng(static_cast<uint64_t>(parser.GetInt("seed")));
@@ -162,10 +190,16 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
   if (Status s = arrangement->CheckFeasible(*instance); !s.ok()) {
     return Fail(err, s);
   }
+  // KernelUtility is the active kernel's SET objective — the quantity the
+  // solve actually optimized, including non-pair-decomposable bonuses
+  // (cohesion). Under the default kernel it equals the Definition-7
+  // breakdown total; the interest/degree terms stay the Definition-7 split.
   const auto breakdown = arrangement->Breakdown(*instance);
-  out << algorithm << ": utility " << FormatDouble(breakdown.total, 4)
-      << " (interest " << FormatDouble(breakdown.interest_total, 4)
-      << ", degree " << FormatDouble(breakdown.degree_total, 4) << ") over "
+  out << algorithm << " [" << instance->kernel().id() << "]: utility "
+      << FormatDouble(arrangement->KernelUtility(*instance), 4)
+      << " (interest "
+      << FormatDouble(breakdown.interest_total, 4) << ", degree "
+      << FormatDouble(breakdown.degree_total, 4) << ") over "
       << arrangement->size() << " pairs in "
       << FormatDouble(seconds * 1e3, 1) << " ms\n";
   if (!parser.GetString("out").empty()) {
@@ -187,6 +221,7 @@ int CmdEvaluate(const std::vector<std::string>& args, std::ostream& out,
                    "check an arrangement against an instance");
   parser.AddString("in", "", "instance CSV path (required)");
   parser.AddString("arrangement", "", "arrangement CSV path (required)");
+  parser.AddString("kernel", "", kKernelHelp);
   parser.AddBool("help", false, "show this help");
   if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
   if (parser.GetBool("help")) {
@@ -200,6 +235,9 @@ int CmdEvaluate(const std::vector<std::string>& args, std::ostream& out,
   }
   auto instance = io::ReadInstanceCsv(parser.GetString("in"));
   if (!instance.ok()) return Fail(err, instance.status());
+  if (Status s = ApplyKernelFlag(parser, &*instance); !s.ok()) {
+    return Fail(err, s);
+  }
   auto arrangement = io::ReadArrangementCsv(parser.GetString("arrangement"));
   if (!arrangement.ok()) return Fail(err, arrangement.status());
   const Status feasible = arrangement->CheckFeasible(*instance);
@@ -210,7 +248,8 @@ int CmdEvaluate(const std::vector<std::string>& args, std::ostream& out,
   const auto breakdown = arrangement->Breakdown(*instance);
   out << "feasible: yes\n"
       << "pairs: " << arrangement->size() << "\n"
-      << "utility: " << FormatDouble(breakdown.total, 4) << "\n"
+      << "utility: " << FormatDouble(arrangement->KernelUtility(*instance), 4)
+      << "\n"
       << "  interest term (sum SI): "
       << FormatDouble(breakdown.interest_total, 4) << "\n"
       << "  degree term   (sum D) : "
@@ -273,6 +312,12 @@ int CmdReplay(const std::vector<std::string>& args, std::ostream& out,
                 "synthetic stream: users touched per tick");
   parser.AddInt("event-updates-per-tick", 1,
                 "synthetic stream: event capacity changes per tick");
+  parser.AddInt("edge-updates-per-tick", 0,
+                "synthetic stream: friendship-edge mutations per tick "
+                "(weight-only deltas, re-scored through the kernel)");
+  parser.AddInt("interest-updates-per-tick", 0,
+                "synthetic stream: interest-drift mutations per tick "
+                "(weight-only deltas, re-scored through the kernel)");
   parser.AddDouble("p-cancel", 0.2,
                    "synthetic stream: probability a touched user cancels");
   parser.AddDouble("alpha", 1.0, "LP-packing sampling scale in (0,1]");
@@ -284,6 +329,7 @@ int CmdReplay(const std::vector<std::string>& args, std::ostream& out,
   parser.AddDouble("check-tolerance", -1.0,
                    "exit non-zero when max LP drift vs cold exceeds this "
                    "(< 0: report only)");
+  parser.AddString("kernel", "", kKernelHelp);
   parser.AddBool("no-cold", false,
                  "skip the per-tick cold reference (pure warm latency run)");
   parser.AddBool("help", false, "show this help");
@@ -315,6 +361,9 @@ int CmdReplay(const std::vector<std::string>& args, std::ostream& out,
     instance = gen::GenerateSynthetic(config, &rng);
   }
   if (!instance.ok()) return Fail(err, instance.status());
+  if (Status s = ApplyKernelFlag(parser, &*instance); !s.ok()) {
+    return Fail(err, s);
+  }
 
   std::vector<core::InstanceDelta> stream;
   if (!parser.GetString("deltas").empty()) {
@@ -332,6 +381,10 @@ int CmdReplay(const std::vector<std::string>& args, std::ostream& out,
         static_cast<int32_t>(parser.GetInt("updates-per-tick"));
     config.event_updates_per_tick =
         static_cast<int32_t>(parser.GetInt("event-updates-per-tick"));
+    config.graph_updates_per_tick =
+        static_cast<int32_t>(parser.GetInt("edge-updates-per-tick"));
+    config.interest_updates_per_tick =
+        static_cast<int32_t>(parser.GetInt("interest-updates-per-tick"));
     config.p_cancel = parser.GetDouble("p-cancel");
     stream = gen::GenerateDeltaStream(*instance, config, &rng);
   }
@@ -447,6 +500,12 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
   parser.AddDouble("p-event", 0.15,
                    "synthetic stream: event-capacity share of the mutation "
                    "mix (the rest re-registers)");
+  parser.AddDouble("p-edge", 0.0,
+                   "synthetic stream: friendship-edge share of the mutation "
+                   "mix (weight-only deltas)");
+  parser.AddDouble("p-interest", 0.0,
+                   "synthetic stream: interest-drift share of the mutation "
+                   "mix (weight-only deltas)");
   parser.AddInt("events", 60, "synthetic instance: number of events");
   parser.AddInt("users", 400, "synthetic instance: number of users");
   parser.AddDouble("epoch-ms", 100.0,
@@ -465,6 +524,7 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
                 "results are identical for every value)");
   parser.AddInt("seed", 20190408, "master seed (generation + service RNG)");
   parser.AddDouble("alpha", 1.0, "LP-packing sampling scale in (0,1]");
+  parser.AddString("kernel", "", kKernelHelp);
   parser.AddString("sweep", "",
                    "instead of serving, run the throughput sweep over these "
                    "comma-separated epoch batch sizes (e.g. 1,16,256)");
@@ -498,6 +558,9 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
     instance = gen::GenerateSynthetic(config, &rng);
   }
   if (!instance.ok()) return Fail(err, instance.status());
+  if (Status s = ApplyKernelFlag(parser, &*instance); !s.ok()) {
+    return Fail(err, s);
+  }
 
   std::vector<core::ArrivalEvent> arrivals;
   const std::string& arrivals_path = parser.GetString("arrivals");
@@ -515,8 +578,11 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
     config.rate_per_second = parser.GetDouble("rate");
     config.p_cancel = parser.GetDouble("p-cancel");
     config.p_event_capacity = parser.GetDouble("p-event");
+    config.p_graph_edge = parser.GetDouble("p-edge");
+    config.p_interest_drift = parser.GetDouble("p-interest");
     config.p_register =
-        std::max(0.0, 1.0 - config.p_cancel - config.p_event_capacity);
+        std::max(0.0, 1.0 - config.p_cancel - config.p_event_capacity -
+                          config.p_graph_edge - config.p_interest_drift);
     arrivals = gen::GenerateArrivalProcess(*instance, config, &rng);
   }
 

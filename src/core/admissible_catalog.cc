@@ -76,16 +76,75 @@ class ArenaEnumerator {
   bool truncated_ = false;
 };
 
-/// The legacy bid order: descending weight, ties by event id.
+/// The canonical bid order: descending kernel pair weight, ties by event id
+/// (under the default kernel, exactly the legacy descending-w(u,v) order).
+/// Weights are fetched once per bid — one virtual PairWeight call each —
+/// rather than twice per comparison inside the sort.
 std::vector<EventId> OrderedBids(const Instance& instance, UserId u) {
-  std::vector<EventId> ordered = instance.bids(u);
-  std::stable_sort(ordered.begin(), ordered.end(), [&](EventId a, EventId b) {
-    const double wa = instance.Weight(a, u);
-    const double wb = instance.Weight(b, u);
-    if (wa != wb) return wa > wb;
-    return a < b;
-  });
+  const std::vector<EventId>& bids = instance.bids(u);
+  std::vector<std::pair<double, EventId>> keyed;
+  keyed.reserve(bids.size());
+  for (EventId v : bids) keyed.emplace_back(instance.PairWeight(v, u), v);
+  // The (weight desc, id asc) key is total, so plain sort is deterministic.
+  std::sort(keyed.begin(), keyed.end(),
+            [](const std::pair<double, EventId>& a,
+               const std::pair<double, EventId>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<EventId> ordered;
+  ordered.reserve(keyed.size());
+  for (const auto& [w, v] : keyed) ordered.push_back(v);
   return ordered;
+}
+
+/// Scores the contiguous column range [begin, end) of user u through the
+/// instance's kernel, writing into weight[begin..end). The one place column
+/// weights are ever computed — Build, delta re-enumeration and delta
+/// re-scoring all funnel through here.
+void ScoreUserColumns(const Instance& instance, UserId u, int32_t begin,
+                      int32_t end, const std::vector<EventId>& pool,
+                      const std::vector<int64_t>& col_begin,
+                      std::vector<double>* weight,
+                      std::vector<std::span<const EventId>>* scratch) {
+  if (begin >= end) return;
+  scratch->clear();
+  scratch->reserve(static_cast<size_t>(end - begin));
+  for (int32_t j = begin; j < end; ++j) {
+    const size_t b = static_cast<size_t>(col_begin[static_cast<size_t>(j)]);
+    const size_t e =
+        static_cast<size_t>(col_begin[static_cast<size_t>(j) + 1]);
+    scratch->emplace_back(pool.data() + b, e - b);
+  }
+  instance.kernel().ScoreColumns(
+      instance, u, *scratch,
+      std::span<double>(weight->data() + begin,
+                        static_cast<size_t>(end - begin)));
+}
+
+/// Like ScoreUserColumns but over a scattered (ascending) column-id list —
+/// the weight-delta path re-scores exactly the touched columns, wherever
+/// they live in the arena.
+void ScoreColumnIds(const Instance& instance, UserId u,
+                    const std::vector<int32_t>& cols,
+                    const std::vector<EventId>& pool,
+                    const std::vector<int64_t>& col_begin,
+                    std::vector<double>* weight) {
+  if (cols.empty()) return;
+  std::vector<std::span<const EventId>> sets;
+  sets.reserve(cols.size());
+  for (int32_t j : cols) {
+    const size_t b = static_cast<size_t>(col_begin[static_cast<size_t>(j)]);
+    const size_t e =
+        static_cast<size_t>(col_begin[static_cast<size_t>(j) + 1]);
+    sets.emplace_back(pool.data() + b, e - b);
+  }
+  std::vector<double> scores(cols.size());
+  instance.kernel().ScoreColumns(
+      instance, u, sets, std::span<double>(scores.data(), scores.size()));
+  for (size_t k = 0; k < cols.size(); ++k) {
+    (*weight)[static_cast<size_t>(cols[k])] = scores[k];
+  }
 }
 
 /// Per-thread enumeration output for one contiguous user chunk.
@@ -138,9 +197,10 @@ void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
   const int32_t nv = instance.num_events();
   const int32_t cols = static_cast<int32_t>(col_begin_.size()) - 1;
 
-  // Owners, canonical span order and precomputed weights. Sorting each span
-  // ascending and summing in that order reproduces the legacy
-  // sort-then-SetWeight sequence bit for bit.
+  // Owners, canonical span order and precomputed weights. Spans are sorted
+  // ascending, then each user's block is scored in one batch through the
+  // instance's utility kernel (the default kernel's left-to-right pair sum
+  // reproduces the historical fused loop bit for bit).
   col_user_.resize(static_cast<size_t>(cols));
   weight_.resize(static_cast<size_t>(cols));
   for (UserId u = 0; u < nu; ++u) {
@@ -153,10 +213,12 @@ void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
     EventId* b = pool_.data() + col_begin_[static_cast<size_t>(j)];
     EventId* e = pool_.data() + col_begin_[static_cast<size_t>(j) + 1];
     std::sort(b, e);
-    double w = 0.0;
-    const UserId u = col_user_[static_cast<size_t>(j)];
-    for (const EventId* p = b; p != e; ++p) w += instance.Weight(*p, u);
-    weight_[static_cast<size_t>(j)] = w;
+  }
+  std::vector<std::span<const EventId>> scratch;
+  for (UserId u = 0; u < nu; ++u) {
+    ScoreUserColumns(instance, u, user_begin_[static_cast<size_t>(u)],
+                     user_begin_[static_cast<size_t>(u) + 1], pool_,
+                     col_begin_, &weight_, &scratch);
   }
 
   // Canonical state: current per-user ranges mirror the cumulative layout and
@@ -174,6 +236,7 @@ void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
   overflow_cols_.assign(static_cast<size_t>(nv), {});
   overflow_entries_ = 0;
   canonical_ = true;
+  weight_revision_ = 0;
 
   truncated_users_ = 0;
   for (uint8_t t : truncated_) truncated_users_ += (t != 0) ? 1 : 0;
@@ -240,12 +303,13 @@ AdmissibleCatalog AdmissibleCatalog::Build(const Instance& instance,
   return out;
 }
 
-AdmissibleCatalog AdmissibleCatalog::FromLegacy(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible) {
+AdmissibleCatalog AdmissibleCatalog::FromSets(
+    const Instance& instance,
+    const std::vector<EnumeratedUserSets>& admissible) {
   AdmissibleCatalog out;
   size_t total_pool = 0;
   size_t total_cols = 0;
-  for (const AdmissibleSets& a : admissible) {
+  for (const EnumeratedUserSets& a : admissible) {
     total_cols += a.sets.size();
     for (const auto& s : a.sets) total_pool += s.size();
   }
@@ -253,7 +317,7 @@ AdmissibleCatalog AdmissibleCatalog::FromLegacy(
   out.col_begin_.reserve(total_cols + 1);  // already holds the leading 0
   out.user_begin_.reserve(admissible.size() + 1);
   out.truncated_.reserve(admissible.size());
-  for (const AdmissibleSets& a : admissible) {
+  for (const EnumeratedUserSets& a : admissible) {
     for (const auto& s : a.sets) {
       out.pool_.insert(out.pool_.end(), s.begin(), s.end());
       out.col_begin_.push_back(out.col_begin_.back() +
@@ -264,20 +328,6 @@ AdmissibleCatalog AdmissibleCatalog::FromLegacy(
     out.truncated_.push_back(a.truncated ? 1 : 0);
   }
   out.FinalizeFromPool(instance);
-  return out;
-}
-
-std::vector<AdmissibleSets> AdmissibleCatalog::ToLegacy() const {
-  std::vector<AdmissibleSets> out(static_cast<size_t>(num_users()));
-  for (UserId u = 0; u < num_users(); ++u) {
-    AdmissibleSets& a = out[static_cast<size_t>(u)];
-    a.truncated = truncated(u);
-    a.sets.reserve(static_cast<size_t>(num_sets(u)));
-    for (int32_t j = user_columns_begin(u); j < user_columns_end(u); ++j) {
-      const auto span = set(j);
-      a.sets.emplace_back(span.begin(), span.end());
-    }
-  }
   return out;
 }
 
@@ -293,20 +343,9 @@ Result<CatalogDeltaResult> AdmissibleCatalog::ApplyDelta(
   }
   CatalogDeltaResult result;
   result.touched_users = TouchedUsers(delta);
-  for (UserId u : result.touched_users) {
-    if (u < 0 || u >= nu) {
-      return Status::InvalidArgument("ApplyDelta: touched user " +
-                                     std::to_string(u) + " out of range");
-    }
-  }
-  for (const EventCapacityUpdate& up : delta.event_updates) {
-    if (up.event < 0 || up.event >= nv) {
-      return Status::InvalidArgument("ApplyDelta: touched event " +
-                                     std::to_string(up.event) +
-                                     " out of range");
-    }
-  }
+  IGEPA_RETURN_IF_ERROR(ValidateDelta(nv, nu, delta));
 
+  std::vector<std::span<const EventId>> scratch;
   for (UserId u : result.touched_users) {
     // Tombstone the user's current block; the arena keeps the bytes so stale
     // column ids remain readable (set/weight) until compaction.
@@ -340,13 +379,12 @@ Result<CatalogDeltaResult> AdmissibleCatalog::ApplyDelta(
                    block_pool.begin() + cursor + size);
       cursor += size;
       col_begin_.push_back(col_begin_.back() + static_cast<int64_t>(size));
-      // Canonical span order + weight, identical to FinalizeFromPool.
+      // Canonical span order, identical to FinalizeFromPool; the weight slot
+      // is filled by the batch kernel call after the block is laid out.
       EventId* b = pool_.data() + col_begin_[static_cast<size_t>(j)];
       EventId* e = pool_.data() + col_begin_[static_cast<size_t>(j) + 1];
       std::sort(b, e);
-      double w = 0.0;
-      for (const EventId* p = b; p != e; ++p) w += instance.Weight(*p, u);
-      weight_.push_back(w);
+      weight_.push_back(0.0);
       col_user_.push_back(u);
       dead_.push_back(0);
       // Patch the inverted index in place: appended ids are strictly
@@ -357,11 +395,74 @@ Result<CatalogDeltaResult> AdmissibleCatalog::ApplyDelta(
       }
       ++result.columns_appended;
     }
+    ScoreUserColumns(instance, u, new_begin, num_columns(), pool_, col_begin_,
+                     &weight_, &scratch);
     user_range_[r] = new_begin;
     user_range_[r + 1] = num_columns();
   }
 
   if (!result.touched_users.empty()) canonical_ = false;
+
+  // Weight half (graph edges, interest drift): kernel re-scores in place.
+  // Structure — spans, ids, user ranges, inverted index — is untouched, so
+  // this never dirties the catalog. A degree move (graph edge) invalidates
+  // every pair weight of both endpoints; interest drift on (v, u)
+  // invalidates only u's columns whose span contains v.
+  if (delta.has_weight_updates()) {
+    // Sorted endpoint list rather than an O(num_users) flag vector: the
+    // documented delta complexity is touched-only, and a typical weight
+    // delta names a handful of users.
+    std::vector<UserId> full_rescore;
+    full_rescore.reserve(delta.graph_updates.size() * 2);
+    for (const GraphEdgeUpdate& up : delta.graph_updates) {
+      full_rescore.push_back(up.a);
+      full_rescore.push_back(up.b);
+    }
+    std::sort(full_rescore.begin(), full_rescore.end());
+    std::vector<std::pair<UserId, EventId>> drifts;
+    drifts.reserve(delta.interest_updates.size());
+    for (const InterestUpdate& up : delta.interest_updates) {
+      drifts.emplace_back(up.user, up.event);
+    }
+    std::sort(drifts.begin(), drifts.end());
+    drifts.erase(std::unique(drifts.begin(), drifts.end()), drifts.end());
+
+    std::vector<int32_t> cols;
+    for (UserId u : WeightTouchedUsers(delta)) {
+      // Re-enumerated users were already scored fresh against the mutated
+      // instance (which includes the weight updates) at append time.
+      if (std::binary_search(result.touched_users.begin(),
+                             result.touched_users.end(), u)) {
+        continue;
+      }
+      const size_t r = static_cast<size_t>(u) * 2;
+      cols.clear();
+      if (std::binary_search(full_rescore.begin(), full_rescore.end(), u)) {
+        for (int32_t j = user_range_[r]; j < user_range_[r + 1]; ++j) {
+          cols.push_back(j);
+        }
+      } else {
+        const auto first = std::lower_bound(
+            drifts.begin(), drifts.end(), std::make_pair(u, EventId{0}));
+        for (int32_t j = user_range_[r]; j < user_range_[r + 1]; ++j) {
+          const auto span = set(j);
+          for (auto it = first; it != drifts.end() && it->first == u; ++it) {
+            if (std::binary_search(span.begin(), span.end(), it->second)) {
+              cols.push_back(j);
+              break;
+            }
+          }
+        }
+      }
+      if (cols.empty()) continue;  // e.g. interest drift on a non-bid pair
+      ScoreColumnIds(instance, u, cols, pool_, col_begin_, &weight_);
+      result.columns_rescored += static_cast<int32_t>(cols.size());
+      result.rescored_users.push_back(u);
+    }
+  }
+  if (result.columns_appended > 0 || result.columns_rescored > 0) {
+    ++weight_revision_;
+  }
 
   if (dead_columns_ >= options.compact_min_dead_columns &&
       static_cast<double>(dead_columns_) >
@@ -426,6 +527,19 @@ std::vector<int32_t> AdmissibleCatalog::Compact() {
   ++ids_revision_;
   RebuildInvertedIndex(nv);
   return remap;
+}
+
+int32_t AdmissibleCatalog::Rescore(const Instance& instance) {
+  int32_t rescored = 0;
+  std::vector<std::span<const EventId>> scratch;
+  for (UserId u = 0; u < num_users(); ++u) {
+    const size_t r = static_cast<size_t>(u) * 2;
+    ScoreUserColumns(instance, u, user_range_[r], user_range_[r + 1], pool_,
+                     col_begin_, &weight_, &scratch);
+    rescored += user_range_[r + 1] - user_range_[r];
+  }
+  if (rescored > 0) ++weight_revision_;
+  return rescored;
 }
 
 }  // namespace core

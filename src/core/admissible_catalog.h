@@ -5,7 +5,6 @@
 #include <span>
 #include <vector>
 
-#include "core/admissible.h"
 #include "core/instance.h"
 #include "core/instance_delta.h"
 #include "core/types.h"
@@ -13,6 +12,28 @@
 
 namespace igepa {
 namespace core {
+
+/// Options for admissible-set enumeration.
+struct AdmissibleOptions {
+  /// Cap on |A_u| per user. The paper argues |A_u| stays reasonable because
+  /// users bid few events; the cap guards adversarial inputs. When the cap
+  /// binds, enumeration prioritizes sets containing high-weight events (bids
+  /// are explored in descending kernel pair-weight order, include-branch
+  /// first), so the dropped sets are the least valuable ones.
+  int32_t max_sets_per_user = 4096;
+  /// Worker threads for AdmissibleCatalog::Build (users are independent, so
+  /// enumeration parallelizes by contiguous user chunks; the result is
+  /// deterministic for any thread count). 0 = hardware concurrency.
+  int32_t num_threads = 0;
+};
+
+/// One user's admissible sets in nested form — the exchange type of
+/// AdmissibleCatalog::FromSets for callers (tests, external enumerators)
+/// that produce sets outside the catalog's own arena enumeration.
+struct EnumeratedUserSets {
+  std::vector<std::vector<EventId>> sets;
+  bool truncated = false;
+};
 
 /// Options for AdmissibleCatalog::ApplyDelta.
 struct CatalogDeltaOptions {
@@ -28,11 +49,23 @@ struct CatalogDeltaOptions {
 
 /// What one ApplyDelta call did to the catalog.
 struct CatalogDeltaResult {
-  /// Users whose column ranges were re-enumerated (ascending, deduplicated).
-  /// Exactly the users a warm dual restart must rescan.
+  /// Users whose column ranges were re-enumerated (ascending, deduplicated):
+  /// the registration half of the delta.
   std::vector<UserId> touched_users;
+  /// Users whose columns were re-scored through the kernel without
+  /// re-enumeration (ascending, deduplicated): the weight half — graph-edge
+  /// endpoints and interest-drift users, minus any user already
+  /// re-enumerated. touched_users ∪ rescored_users is what a warm dual
+  /// restart must rescan.
+  std::vector<UserId> rescored_users;
   int32_t columns_tombstoned = 0;
   int32_t columns_appended = 0;
+  /// Live columns whose weight slot was rewritten by the kernel re-score
+  /// path (excludes appended columns, which are scored at append time). A
+  /// graph-edge update re-scores every column of both endpoints; an
+  /// interest-drift update re-scores only the user's columns containing the
+  /// drifted event.
+  int32_t columns_rescored = 0;
   /// True when tombstone density crossed the threshold and the catalog
   /// compacted itself; live column ids were renumbered per `column_remap`.
   bool compacted = false;
@@ -47,18 +80,17 @@ struct CatalogDeltaResult {
 /// benchmark LP → rounding → repair → post-processing).
 ///
 /// Every enumerated set lives as one contiguous span inside a single EventId
-/// pool, so the catalog replaces the legacy nested
-/// `std::vector<std::vector<EventId>>` (`AdmissibleSets`) with three flat
-/// arrays plus per-user offset ranges. Consumers operate on views:
+/// pool — three flat arrays plus per-user offset ranges instead of nested
+/// per-user vectors. Consumers operate on views:
 ///
 ///   * column j (a global id over all users) covers events
 ///     `set(j)` = pool[col_begin[j], col_begin[j+1]), sorted ascending;
 ///   * user u owns the contiguous column range
 ///     [user_columns_begin(u), user_columns_end(u)), in the same order the
 ///     legacy enumerator emitted its sets;
-///   * `weight(j)` is the precomputed LP objective coefficient w(u, S)
-///     (summed over the ascending-sorted span, bit-identical to the legacy
-///     per-call `SetWeight`);
+///   * `weight(j)` is the precomputed LP objective coefficient w(u, S),
+///     scored by the instance's UtilityKernel over the ascending-sorted span
+///     at build/delta time;
 ///   * `ForEachColumnOfEvent(v, fn)` is the inverted event→column index:
 ///     every LIVE column whose set contains v, ascending by column id. The
 ///     capacity repair sweep and the structured dual oracle both need this
@@ -102,21 +134,25 @@ class AdmissibleCatalog {
   static AdmissibleCatalog Build(const Instance& instance,
                                  const AdmissibleOptions& options = {});
 
-  /// Converts legacy nested AdmissibleSets (compatibility path; also the
-  /// reference implementation the equivalence tests compare against).
-  static AdmissibleCatalog FromLegacy(
-      const Instance& instance, const std::vector<AdmissibleSets>& admissible);
-
-  /// Converts back to the deprecated nested representation (live columns).
-  std::vector<AdmissibleSets> ToLegacy() const;
+  /// Builds a catalog from externally enumerated per-user sets (one entry
+  /// per user, sets in the order they should become columns). Weights are
+  /// scored through the instance's kernel exactly like Build — the
+  /// equivalence tests feed a reference enumerator through here.
+  static AdmissibleCatalog FromSets(
+      const Instance& instance,
+      const std::vector<EnumeratedUserSets>& admissible);
 
   /// Re-enumerates exactly the users the delta touches against the
   /// already-mutated `instance` (call core::ApplyDelta on the instance
   /// first): tombstones their current columns, appends their new ones, and
   /// patches the inverted index in place. Event-capacity updates are free —
-  /// admissibility does not depend on c_v. Compacts automatically per
-  /// `options` and reports what happened. O(Σ_{touched u} enumeration(u))
-  /// plus O(catalog) only when compaction triggers.
+  /// admissibility does not depend on c_v. Weight-only updates (graph
+  /// edges, interest drift) never re-enumerate: the touched columns are
+  /// re-scored in place through the instance's kernel (spans, ids and the
+  /// inverted index are untouched, so the catalog stays canonical if it
+  /// was). Compacts automatically per `options` and reports what happened.
+  /// O(Σ_{touched u} enumeration(u) + Σ_{rescored u} score(u)) plus
+  /// O(catalog) only when compaction triggers.
   Result<CatalogDeltaResult> ApplyDelta(const Instance& instance,
                                         const InstanceDelta& delta,
                                         const CatalogDeltaOptions& options = {});
@@ -125,6 +161,16 @@ class AdmissibleCatalog {
   /// bit-identical to `Build` on the equivalent instance. Returns the old→new
   /// column id remap (-1 for dead columns) and bumps `ids_revision`.
   std::vector<int32_t> Compact();
+
+  /// Re-scores every live column through the instance's *current* kernel —
+  /// the objective-swap entry point (set_kernel on the instance, then
+  /// Rescore on its catalogs): structure is reused wholesale, only the
+  /// weight array is rewritten. Returns the number of columns re-scored and
+  /// bumps `weight_revision`. Note: enumeration *emit order* under a cap
+  /// depends on the kernel's bid ordering, so a truncated catalog re-scored
+  /// for kernel B can differ from Build under B; uncapped catalogs are
+  /// identical because admissibility is kernel-independent.
+  int32_t Rescore(const Instance& instance);
 
   int32_t num_users() const {
     return static_cast<int32_t>(user_range_.size() / 2);
@@ -151,6 +197,11 @@ class AdmissibleCatalog {
   /// Holders of column ids (DualWarmStart, RoundingState) compare this to
   /// decide whether their ids are still addressable.
   uint64_t ids_revision() const { return ids_revision_; }
+  /// Bumped every time any column weight changes after the initial build
+  /// (delta re-enumeration/re-score, Rescore). Weight caches (per-user
+  /// argmax, snapshots) compare this to detect stale scores; tests assert
+  /// weight-only deltas bump it without moving `ids_revision`.
+  uint64_t weight_revision() const { return weight_revision_; }
 
   /// The events of column j, ascending. Valid for dead columns too (the
   /// arena keeps tombstoned bytes until compaction) — callers retiring stale
@@ -253,6 +304,7 @@ class AdmissibleCatalog {
   int64_t overflow_entries_ = 0;
   bool canonical_ = true;
   uint64_t ids_revision_ = 0;
+  uint64_t weight_revision_ = 0;
 };
 
 }  // namespace core

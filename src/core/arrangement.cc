@@ -1,6 +1,7 @@
 #include "core/arrangement.h"
 
 #include <algorithm>
+#include <span>
 
 namespace igepa {
 namespace core {
@@ -54,7 +55,18 @@ bool Arrangement::Contains(EventId v, UserId u) const {
 
 double Arrangement::Utility(const Instance& instance) const {
   double total = 0.0;
-  for (const auto& [v, u] : pairs_) total += instance.Weight(v, u);
+  for (const auto& [v, u] : pairs_) total += instance.PairWeight(v, u);
+  return total;
+}
+
+double Arrangement::KernelUtility(const Instance& instance) const {
+  double total = 0.0;
+  for (UserId u = 0; u < num_users_; ++u) {
+    const std::vector<EventId>& held = by_user_[static_cast<size_t>(u)];
+    if (held.empty()) continue;
+    total += instance.kernel().ScoreSet(
+        instance, u, std::span<const EventId>(held.data(), held.size()));
+  }
   return total;
 }
 

@@ -61,8 +61,17 @@ class Arrangement {
     return by_event_[static_cast<size_t>(v)];
   }
 
-  /// Utility(M) per Definition 7.
+  /// Utility(M) per Definition 7, as the active kernel's PAIR utility
+  /// Σ_{(v,u)∈M} PairWeight(v, u). Identical to KernelUtility for
+  /// pair-decomposable kernels (all defaults).
   double Utility(const Instance& instance) const;
+
+  /// The active kernel's SET objective Σ_u w(u, M(u)) — each user's assigned
+  /// set scored through UtilityKernel::ScoreColumns, so non-pair-decomposable
+  /// kernels (cohesion) report the value the LP actually optimized. Equals
+  /// Utility (up to summation-order rounding) under pair-decomposable
+  /// kernels.
+  double KernelUtility(const Instance& instance) const;
 
   /// Utility with the interest/degree split.
   UtilityBreakdown Breakdown(const Instance& instance) const;

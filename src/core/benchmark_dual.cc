@@ -436,16 +436,5 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   return sol;
 }
 
-Result<lp::LpSolution> SolveBenchmarkLpStructured(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
-    const BenchmarkLp& bench, const StructuredDualOptions& options) {
-  if (static_cast<int32_t>(admissible.size()) != instance.num_users()) {
-    return Status::InvalidArgument("admissible sets size mismatch");
-  }
-  (void)bench;  // row layout is implicit in the catalog formulation
-  return SolveBenchmarkLpStructured(
-      instance, AdmissibleCatalog::FromLegacy(instance, admissible), options);
-}
-
 }  // namespace core
 }  // namespace igepa

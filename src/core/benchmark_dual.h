@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/admissible.h"
 #include "core/admissible_catalog.h"
 #include "core/benchmark_lp.h"
 #include "core/instance.h"
@@ -102,13 +101,6 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
     const Instance& instance, const AdmissibleCatalog& catalog,
     const StructuredDualOptions& options = {},
     DualWarmStart* warm_out = nullptr);
-
-/// DEPRECATED compatibility shim over the nested representation: converts to
-/// an AdmissibleCatalog and delegates (bit-identical results; `bench` is only
-/// used for its row layout, which the catalog reproduces).
-Result<lp::LpSolution> SolveBenchmarkLpStructured(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
-    const BenchmarkLp& bench, const StructuredDualOptions& options = {});
 
 }  // namespace core
 }  // namespace igepa

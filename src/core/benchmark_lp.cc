@@ -4,41 +4,6 @@ namespace igepa {
 namespace core {
 
 BenchmarkLp BuildBenchmarkLp(const Instance& instance,
-                             const std::vector<AdmissibleSets>& admissible) {
-  BenchmarkLp out;
-  const int32_t nu = instance.num_users();
-  const int32_t nv = instance.num_events();
-  // Constraint (2): one admissible set per user.
-  for (UserId u = 0; u < nu; ++u) {
-    out.model.AddRow(lp::Sense::kLe, 1.0);
-  }
-  // Constraint (3): event capacities.
-  for (EventId v = 0; v < nv; ++v) {
-    out.model.AddRow(lp::Sense::kLe,
-                     static_cast<double>(instance.event_capacity(v)));
-  }
-  out.user_col_begin.assign(static_cast<size_t>(nu) + 1, 0);
-  for (UserId u = 0; u < nu; ++u) {
-    out.user_col_begin[static_cast<size_t>(u)] = out.model.num_cols();
-    const auto& sets = admissible[static_cast<size_t>(u)].sets;
-    for (int32_t k = 0; k < static_cast<int32_t>(sets.size()); ++k) {
-      const auto& set = sets[static_cast<size_t>(k)];
-      std::vector<lp::ColumnEntry> entries;
-      entries.reserve(set.size() + 1);
-      entries.push_back({out.UserRow(u), 1.0});
-      for (EventId v : set) {
-        entries.push_back({out.EventRow(instance, v), 1.0});
-      }
-      out.model.AddColumn(SetWeight(instance, u, set), 0.0, 1.0,
-                          std::move(entries));
-      out.column_map.emplace_back(u, k);
-    }
-  }
-  out.user_col_begin[static_cast<size_t>(nu)] = out.model.num_cols();
-  return out;
-}
-
-BenchmarkLp BuildBenchmarkLp(const Instance& instance,
                              const AdmissibleCatalog& catalog) {
   BenchmarkLp out;
   const int32_t nu = instance.num_users();

@@ -4,7 +4,6 @@
 #include <utility>
 #include <vector>
 
-#include "core/admissible.h"
 #include "core/admissible_catalog.h"
 #include "core/instance.h"
 #include "lp/model.h"
@@ -34,19 +33,12 @@ struct BenchmarkLp {
   }
 };
 
-/// Builds the benchmark LP for `instance` over the given admissible sets
-/// (as produced by EnumerateAdmissibleSets). DEPRECATED: prefer the catalog
-/// overload; the structured solver needs no materialized model at all.
-BenchmarkLp BuildBenchmarkLp(const Instance& instance,
-                             const std::vector<AdmissibleSets>& admissible);
-
 /// Materializes the benchmark LP from catalog views — needed only when the
 /// generic lp:: facade (dense/revised simplex, generic packing dual) solves
 /// line 1; the structured solver (benchmark_dual.h) consumes the catalog CSR
 /// directly. Column j of the model is catalog column j: objective
 /// `catalog.weight(j)`, +1 in the owner's user row and in each event row of
-/// `catalog.set(j)` — identical to the legacy build, so both paths solve the
-/// same model bit for bit.
+/// `catalog.set(j)`.
 BenchmarkLp BuildBenchmarkLp(const Instance& instance,
                              const AdmissibleCatalog& catalog);
 

@@ -16,6 +16,7 @@ Instance::Instance(std::vector<EventDef> events, std::vector<UserDef> users,
       conflicts_(std::move(conflicts)),
       interest_(std::move(interest)),
       interaction_(std::move(interaction)),
+      kernel_(DefaultUtilityKernel()),
       beta_(beta) {}
 
 bool Instance::HasBid(UserId u, EventId v) const {
@@ -138,6 +139,50 @@ Status Instance::UpdateEventCapacity(EventId v, int32_t capacity) {
     return Status::InvalidArgument("UpdateEventCapacity: negative capacity");
   }
   events_[static_cast<size_t>(v)].capacity = capacity;
+  return Status::OK();
+}
+
+Status Instance::UpdateInterest(EventId v, UserId u, double value) {
+  if (!validated_) {
+    return Status::FailedPrecondition(
+        "UpdateInterest requires Validate() first");
+  }
+  if (v < 0 || v >= num_events() || u < 0 || u >= num_users()) {
+    return Status::InvalidArgument("UpdateInterest: pair (" +
+                                   std::to_string(v) + "," +
+                                   std::to_string(u) + ") out of range");
+  }
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return Status::InvalidArgument("UpdateInterest: value " +
+                                   std::to_string(value) +
+                                   " outside [0,1]");
+  }
+  interest_overrides_[InterestKey(v, u)] = value;
+  return Status::OK();
+}
+
+Status Instance::ApplyGraphEdge(UserId a, UserId b, bool add) {
+  if (!validated_) {
+    return Status::FailedPrecondition(
+        "ApplyGraphEdge requires Validate() first");
+  }
+  if (a < 0 || a >= num_users() || b < 0 || b >= num_users()) {
+    return Status::InvalidArgument("ApplyGraphEdge: edge {" +
+                                   std::to_string(a) + "," +
+                                   std::to_string(b) + "} out of range");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("ApplyGraphEdge: self edge on user " +
+                                   std::to_string(a));
+  }
+  if (num_users() <= 1) return Status::OK();  // D is identically 0
+  const double step =
+      1.0 / static_cast<double>(num_users() - 1) * (add ? 1.0 : -1.0);
+  for (UserId endpoint : {a, b}) {
+    const double shifted =
+        std::clamp(Degree(endpoint) + step, 0.0, 1.0);
+    degree_overrides_[endpoint] = shifted;
+  }
   return Status::OK();
 }
 

@@ -2,10 +2,12 @@
 #define IGEPA_CORE_INSTANCE_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "conflict/conflict.h"
 #include "core/types.h"
+#include "core/utility_kernel.h"
 #include "graph/interaction_model.h"
 #include "interest/interest.h"
 #include "util/result.h"
@@ -59,18 +61,49 @@ class Instance {
     return conflicts_->Conflicts(a, b);
   }
 
-  /// SI(l_v, l_u) in [0, 1].
+  /// SI(l_v, l_u) in [0, 1]. Interest-drift deltas (UpdateInterest) overlay
+  /// the base model per pair; an untouched instance pays one empty() branch.
   double Interest(EventId v, UserId u) const {
+    if (!interest_overrides_.empty()) {
+      const auto it = interest_overrides_.find(InterestKey(v, u));
+      if (it != interest_overrides_.end()) return it->second;
+    }
     return interest_->Interest(v, u);
   }
 
-  /// D(G, u) in [0, 1].
-  double Degree(UserId u) const { return interaction_->Degree(u); }
+  /// D(G, u) in [0, 1]. Graph-edge deltas (ApplyGraphEdge) overlay the base
+  /// model per user.
+  double Degree(UserId u) const {
+    if (!degree_overrides_.empty()) {
+      const auto it = degree_overrides_.find(u);
+      if (it != degree_overrides_.end()) return it->second;
+    }
+    return interaction_->Degree(u);
+  }
 
-  /// Pair weight w(u, v) = β·SI(l_v, l_u) + (1-β)·D(G, u) — the per-pair
-  /// utility contribution the algorithms optimize.
+  /// The paper's Definition-6 pair weight
+  /// w(u, v) = β·SI(l_v, l_u) + (1-β)·D(G, u) — the base utility the default
+  /// kernel (InteractionInterestKernel) scores columns with. Algorithms
+  /// should use PairWeight(), which routes through the active kernel.
   double Weight(EventId v, UserId u) const {
     return beta_ * Interest(v, u) + (1.0 - beta_) * Degree(u);
+  }
+
+  /// The active kernel's per-pair utility w(u, v) — what every pair-shaped
+  /// consumer (bid ordering, online/greedy, local search, Utility(M))
+  /// optimizes. Identical to Weight() under the default kernel.
+  double PairWeight(EventId v, UserId u) const {
+    return kernel_->PairWeight(*this, v, u);
+  }
+
+  /// The utility kernel scoring this instance's columns. Never null;
+  /// defaults to InteractionInterestKernel.
+  const UtilityKernel& kernel() const { return *kernel_; }
+  /// Swaps the objective. Catalogs built before the swap keep their old
+  /// weights — rebuild or re-score them (the CLI sets the kernel before any
+  /// catalog exists).
+  void set_kernel(std::shared_ptr<const UtilityKernel> kernel) {
+    if (kernel != nullptr) kernel_ = std::move(kernel);
   }
 
   const conflict::ConflictFn& conflict_fn() const { return *conflicts_; }
@@ -104,16 +137,43 @@ class Instance {
   /// instance.
   Status UpdateEventCapacity(EventId v, int32_t capacity);
 
+  /// Interest drift: overrides SI(l_v, l_u) for one pair with `value` in
+  /// [0, 1]. Requires a validated instance; part of the weight-delta half of
+  /// the incremental engine (the catalog re-scores, never re-enumerates).
+  Status UpdateInterest(EventId v, UserId u, double value);
+
+  /// Graph drift: adds (add=true) or removes a friendship edge {a, b},
+  /// shifting both endpoints' degree centrality by ±1/(|U|−1), clamped to
+  /// [0, 1]. Applied at the degree level — the interaction model's D(G, u)
+  /// is all the utility observes (DESIGN.md S6) — so the instance keeps no
+  /// edge set and cannot reject a duplicate add or a remove of an absent
+  /// edge. Streams derived from a real graph should do that bookkeeping;
+  /// the synthetic generators deliberately skip it and emit *memoryless*
+  /// edge mutations (a bounded random walk on the touched degrees), which
+  /// exercises the same re-score machinery.
+  Status ApplyGraphEdge(UserId a, UserId b, bool add);
+
   /// Total bid pairs Σ_u |N_u| (after validation).
   int64_t TotalBids() const;
 
  private:
+  static uint64_t InterestKey(EventId v, UserId u) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(v)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(u));
+  }
+
   std::vector<EventDef> events_;
   std::vector<UserDef> users_;
   std::vector<std::vector<UserId>> bidders_;
   std::shared_ptr<const conflict::ConflictFn> conflicts_;
   std::shared_ptr<const interest::InterestFn> interest_;
   std::shared_ptr<const graph::InteractionModel> interaction_;
+  std::shared_ptr<const UtilityKernel> kernel_;
+  /// Weight-delta overlays on the shared immutable models. Plain members, so
+  /// instance copies stay independent (mutating one never leaks into the
+  /// other — the same semantics UpdateUser has for bids).
+  std::unordered_map<uint64_t, double> interest_overrides_;
+  std::unordered_map<UserId, double> degree_overrides_;
   double beta_;
   bool validated_ = false;
 };

@@ -6,11 +6,10 @@
 namespace igepa {
 namespace core {
 
-Status ApplyDelta(Instance* instance, const InstanceDelta& delta) {
-  const int32_t nu = instance->num_users();
-  const int32_t nv = instance->num_events();
-  // Validate the whole tick before mutating anything, so a malformed delta
-  // leaves the instance untouched.
+Status ValidateDelta(int32_t num_events, int32_t num_users,
+                     const InstanceDelta& delta) {
+  const int32_t nu = num_users;
+  const int32_t nv = num_events;
   for (const UserUpdate& up : delta.user_updates) {
     if (up.user < 0 || up.user >= nu) {
       return Status::InvalidArgument("delta updates out-of-range user " +
@@ -40,6 +39,38 @@ Status ApplyDelta(Instance* instance, const InstanceDelta& delta) {
                                      " negative capacity");
     }
   }
+  for (const GraphEdgeUpdate& up : delta.graph_updates) {
+    if (up.a < 0 || up.a >= nu || up.b < 0 || up.b >= nu) {
+      return Status::InvalidArgument("delta mutates out-of-range edge {" +
+                                     std::to_string(up.a) + "," +
+                                     std::to_string(up.b) + "}");
+    }
+    if (up.a == up.b) {
+      return Status::InvalidArgument("delta mutates self edge on user " +
+                                     std::to_string(up.a));
+    }
+  }
+  for (const InterestUpdate& up : delta.interest_updates) {
+    if (up.user < 0 || up.user >= nu || up.event < 0 || up.event >= nv) {
+      return Status::InvalidArgument("delta drifts out-of-range pair (" +
+                                     std::to_string(up.event) + "," +
+                                     std::to_string(up.user) + ")");
+    }
+    if (!(up.value >= 0.0 && up.value <= 1.0)) {
+      return Status::InvalidArgument(
+          "delta drifts interest of pair (" + std::to_string(up.event) + "," +
+          std::to_string(up.user) + ") to " + std::to_string(up.value) +
+          " outside [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+Status ApplyDelta(Instance* instance, const InstanceDelta& delta) {
+  // Validate the whole tick before mutating anything, so a malformed delta
+  // leaves the instance untouched.
+  IGEPA_RETURN_IF_ERROR(
+      ValidateDelta(instance->num_events(), instance->num_users(), delta));
   for (const UserUpdate& up : delta.user_updates) {
     IGEPA_RETURN_IF_ERROR(
         instance->UpdateUser(up.user, up.capacity, up.bids));
@@ -48,6 +79,13 @@ Status ApplyDelta(Instance* instance, const InstanceDelta& delta) {
     IGEPA_RETURN_IF_ERROR(
         instance->UpdateEventCapacity(up.event, up.capacity));
   }
+  for (const GraphEdgeUpdate& up : delta.graph_updates) {
+    IGEPA_RETURN_IF_ERROR(instance->ApplyGraphEdge(up.a, up.b, up.add));
+  }
+  for (const InterestUpdate& up : delta.interest_updates) {
+    IGEPA_RETURN_IF_ERROR(
+        instance->UpdateInterest(up.event, up.user, up.value));
+  }
   return Status::OK();
 }
 
@@ -55,6 +93,49 @@ std::vector<UserId> TouchedUsers(const InstanceDelta& delta) {
   std::vector<UserId> users;
   users.reserve(delta.user_updates.size());
   for (const UserUpdate& up : delta.user_updates) users.push_back(up.user);
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+std::vector<UserId> WeightTouchedUsers(const InstanceDelta& delta) {
+  std::vector<UserId> users;
+  users.reserve(delta.graph_updates.size() * 2 +
+                delta.interest_updates.size());
+  for (const GraphEdgeUpdate& up : delta.graph_updates) {
+    users.push_back(up.a);
+    users.push_back(up.b);
+  }
+  for (const InterestUpdate& up : delta.interest_updates) {
+    users.push_back(up.user);
+  }
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+std::vector<UserId> AllTouchedUsers(const InstanceDelta& delta) {
+  std::vector<UserId> users = TouchedUsers(delta);
+  const std::vector<UserId> weight = WeightTouchedUsers(delta);
+  users.insert(users.end(), weight.begin(), weight.end());
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+std::vector<UserId> WarmTouchedUsers(const Instance& instance,
+                                     const InstanceDelta& delta) {
+  std::vector<UserId> users = TouchedUsers(delta);
+  for (const GraphEdgeUpdate& up : delta.graph_updates) {
+    users.push_back(up.a);
+    users.push_back(up.b);
+  }
+  for (const InterestUpdate& up : delta.interest_updates) {
+    if (up.user >= 0 && up.user < instance.num_users() &&
+        instance.HasBid(up.user, up.event)) {
+      users.push_back(up.user);
+    }
+  }
   std::sort(users.begin(), users.end());
   users.erase(std::unique(users.begin(), users.end()), users.end());
   return users;

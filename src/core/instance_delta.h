@@ -30,14 +30,47 @@ struct EventCapacityUpdate {
   int32_t capacity = 0;
 };
 
+/// Friendship-edge mutation {a, b} of the social graph G. Edges never change
+/// admissibility (bids and conflicts are untouched) — only the
+/// degree-of-potential-interaction D(G, ·) of both endpoints, i.e. the
+/// utility-kernel inputs. The catalog answers with a weight re-score of the
+/// endpoints' columns, never a re-enumeration.
+struct GraphEdgeUpdate {
+  UserId a = 0;
+  UserId b = 0;
+  /// true = the friendship forms, false = it dissolves.
+  bool add = true;
+};
+
+/// Interest drift: SI(l_v, l_u) for one (event, user) pair becomes `value`.
+/// Like graph edges this is weight-only — the catalog re-scores exactly the
+/// user's columns containing the event.
+struct InterestUpdate {
+  EventId event = 0;
+  UserId user = 0;
+  double value = 0.0;  // new SI in [0, 1]
+};
+
 /// One tick of instance mutations — the unit the incremental arrangement
 /// engine consumes. Updates inside a tick are applied in order; a later
-/// update to the same user/event wins.
+/// update to the same user/event wins. Registration/capacity updates change
+/// the column *structure*; graph/interest updates change only column
+/// *weights* (the utility kernel's inputs).
 struct InstanceDelta {
   std::vector<UserUpdate> user_updates;
   std::vector<EventCapacityUpdate> event_updates;
+  std::vector<GraphEdgeUpdate> graph_updates;
+  std::vector<InterestUpdate> interest_updates;
 
-  bool empty() const { return user_updates.empty() && event_updates.empty(); }
+  bool empty() const {
+    return user_updates.empty() && event_updates.empty() &&
+           graph_updates.empty() && interest_updates.empty();
+  }
+  /// True when the delta carries graph/interest mutations — the half the
+  /// catalog answers with kernel re-scores instead of re-enumeration.
+  bool has_weight_updates() const {
+    return !graph_updates.empty() || !interest_updates.empty();
+  }
 };
 
 /// One timestamped mutation of a live EBSN — the unit an arrival process
@@ -53,14 +86,41 @@ struct ArrivalEvent {
   InstanceDelta delta;
 };
 
+/// Validates every update of the delta against the given id space: user and
+/// event ranges, nonnegative capacities, bid ranges, edge endpoint ranges
+/// and a != b, interest-drift ranges and value ∈ [0, 1]. THE delta
+/// validation — ApplyDelta, the warm tick's pre-mutation gate, the catalog
+/// and the serving door all call this one function, so a new delta kind's
+/// checks exist exactly once.
+Status ValidateDelta(int32_t num_events, int32_t num_users,
+                     const InstanceDelta& delta);
+
 /// Applies every update to the (validated) instance in order, patching the
-/// per-event bidder lists incrementally. Fails without side effects on the
-/// first out-of-range id / negative capacity / out-of-range bid.
+/// per-event bidder lists incrementally. Validates the whole delta first
+/// (ValidateDelta), so a malformed delta fails without side effects.
 Status ApplyDelta(Instance* instance, const InstanceDelta& delta);
 
 /// The users whose registration the delta touches, ascending and deduplicated
 /// — exactly the users whose admissible-set columns must be re-enumerated.
 std::vector<UserId> TouchedUsers(const InstanceDelta& delta);
+
+/// The users whose column *weights* the delta perturbs without changing
+/// admissibility (graph-edge endpoints and interest-drift users), ascending
+/// and deduplicated — the users the catalog re-scores through the kernel.
+std::vector<UserId> WeightTouchedUsers(const InstanceDelta& delta);
+
+/// TouchedUsers ∪ WeightTouchedUsers — the superset of users the delta can
+/// affect, derivable from the delta alone.
+std::vector<UserId> AllTouchedUsers(const InstanceDelta& delta);
+
+/// The users one warm tick must retire, mark stale and re-sample:
+/// TouchedUsers ∪ graph-edge endpoints ∪ interest-drift users whose drifted
+/// pair is actually one of their bids. Dropping non-bid drifts is exact, not
+/// a heuristic — enumeration only ever includes bid events, so such a drift
+/// changes no column weight. Evaluate against the PRE-delta instance (users
+/// whose bids the tick replaces are already in TouchedUsers).
+std::vector<UserId> WarmTouchedUsers(const Instance& instance,
+                                     const InstanceDelta& delta);
 
 /// The events whose capacity the delta changes, ascending and deduplicated.
 std::vector<EventId> TouchedEvents(const InstanceDelta& delta);

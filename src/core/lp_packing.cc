@@ -41,16 +41,6 @@ Result<Arrangement> LpPackingWithCatalog(const Instance& instance,
   return RoundFractional(instance, catalog, fractional, rng, options, stats);
 }
 
-Result<Arrangement> LpPackingWithSets(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
-    Rng* rng, const LpPackingOptions& options, LpPackingStats* stats) {
-  IGEPA_ASSIGN_OR_RETURN(
-      FractionalSolution fractional,
-      SolveBenchmarkLpForPacking(instance, admissible, options));
-  return RoundFractional(instance, admissible, fractional, rng, options,
-                         stats);
-}
-
 Result<FractionalSolution> SolveBenchmarkLpForPacking(
     const Instance& instance, const AdmissibleCatalog& catalog,
     const LpPackingOptions& options) {
@@ -568,156 +558,6 @@ Result<Arrangement> RoundFractionalDelta(
         [](int32_t j) { return j >= 0; }));
     stats->pairs_repaired = repaired;
   }
-  return arrangement;
-}
-
-Result<FractionalSolution> SolveBenchmarkLpForPacking(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
-    const LpPackingOptions& options) {
-  if (options.alpha <= 0.0 || options.alpha > 1.0) {
-    return Status::InvalidArgument("alpha must be in (0, 1]");
-  }
-  if (static_cast<int32_t>(admissible.size()) != instance.num_users()) {
-    return Status::InvalidArgument("admissible sets size mismatch");
-  }
-  FractionalSolution fractional;
-  fractional.bench = BuildBenchmarkLp(instance, admissible);
-  bool structured = false;
-  switch (options.benchmark_solver) {
-    case BenchmarkSolverKind::kLpFacade:
-      structured = false;
-      break;
-    case BenchmarkSolverKind::kStructuredDual:
-      structured = true;
-      break;
-    case BenchmarkSolverKind::kAuto: {
-      const int64_t cells =
-          static_cast<int64_t>(fractional.bench.model.num_rows()) *
-          fractional.bench.model.num_cols();
-      structured = cells > options.solver.dense_cell_limit;
-      break;
-    }
-  }
-  if (structured) {
-    IGEPA_ASSIGN_OR_RETURN(
-        fractional.lp,
-        SolveBenchmarkLpStructured(instance, admissible, fractional.bench,
-                                   options.structured));
-    fractional.structured = true;
-  } else {
-    IGEPA_ASSIGN_OR_RETURN(fractional.lp,
-                           lp::SolveLp(fractional.bench.model, options.solver));
-  }
-  if (fractional.lp.status != lp::SolveStatus::kOptimal &&
-      fractional.lp.status != lp::SolveStatus::kApproximate &&
-      fractional.lp.status != lp::SolveStatus::kIterationLimit) {
-    return Status::Internal(std::string("benchmark LP solve failed: ") +
-                            lp::SolveStatusToString(fractional.lp.status));
-  }
-  return fractional;
-}
-
-Result<Arrangement> RoundFractional(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
-    const FractionalSolution& fractional, Rng* rng,
-    const LpPackingOptions& options, LpPackingStats* stats) {
-  if (options.alpha <= 0.0 || options.alpha > 1.0) {
-    return Status::InvalidArgument("alpha must be in (0, 1]");
-  }
-  if (static_cast<int32_t>(admissible.size()) != instance.num_users()) {
-    return Status::InvalidArgument("admissible sets size mismatch");
-  }
-  const BenchmarkLp& bench = fractional.bench;
-  const lp::LpSolution& lp_sol = fractional.lp;
-  if (stats != nullptr) {
-    stats->lp_objective = lp_sol.objective;
-    stats->lp_upper_bound = lp_sol.upper_bound;
-    stats->lp_iterations = lp_sol.iterations;
-    stats->used_structured_dual = fractional.structured;
-    stats->solver_used = lp::ChooseSolver(bench.model, options.solver);
-    stats->num_columns = bench.model.num_cols();
-    stats->admissible_truncated = false;
-    for (const auto& a : admissible) {
-      if (a.truncated) {
-        stats->admissible_truncated = true;
-        break;
-      }
-    }
-  }
-
-  // ---- Lines 2-3: sample one admissible set per user with prob α·x*. ------
-  const int32_t nu = instance.num_users();
-  const int32_t nv = instance.num_events();
-  std::vector<int32_t> sampled_set(static_cast<size_t>(nu), -1);
-  for (UserId u = 0; u < nu; ++u) {
-    const int32_t begin = bench.user_col_begin[static_cast<size_t>(u)];
-    const int32_t end = bench.user_col_begin[static_cast<size_t>(u) + 1];
-    double r = rng->NextDouble();
-    for (int32_t j = begin; j < end; ++j) {
-      const double mass =
-          options.alpha *
-          std::clamp(lp_sol.x[static_cast<size_t>(j)], 0.0, 1.0);
-      if (r < mass) {
-        sampled_set[static_cast<size_t>(u)] =
-            bench.column_map[static_cast<size_t>(j)].second;
-        break;
-      }
-      r -= mass;
-    }
-    // Remaining mass: no set sampled for u.
-  }
-  if (stats != nullptr) {
-    stats->users_sampled = static_cast<int32_t>(
-        std::count_if(sampled_set.begin(), sampled_set.end(),
-                      [](int32_t s) { return s >= 0; }));
-  }
-
-  // ---- Lines 4-7: repair event capacity violations. ------------------------
-  std::vector<UserId> order(static_cast<size_t>(nu));
-  std::iota(order.begin(), order.end(), 0);
-  switch (options.repair_order) {
-    case RepairOrder::kUserIndex:
-      break;
-    case RepairOrder::kRandom:
-      rng->Shuffle(&order);
-      break;
-    case RepairOrder::kWeightDesc: {
-      std::vector<double> weight(static_cast<size_t>(nu), 0.0);
-      for (UserId u = 0; u < nu; ++u) {
-        const int32_t k = sampled_set[static_cast<size_t>(u)];
-        if (k >= 0) {
-          weight[static_cast<size_t>(u)] =
-              SetWeight(instance, u,
-                        admissible[static_cast<size_t>(u)].sets
-                            [static_cast<size_t>(k)]);
-        }
-      }
-      std::stable_sort(order.begin(), order.end(), [&](UserId a, UserId b) {
-        return weight[static_cast<size_t>(a)] >
-               weight[static_cast<size_t>(b)];
-      });
-      break;
-    }
-  }
-
-  Arrangement arrangement(nv, nu);
-  std::vector<int32_t> load(static_cast<size_t>(nv), 0);
-  int32_t repaired = 0;
-  for (UserId u : order) {
-    const int32_t k = sampled_set[static_cast<size_t>(u)];
-    if (k < 0) continue;
-    const auto& set =
-        admissible[static_cast<size_t>(u)].sets[static_cast<size_t>(k)];
-    for (EventId v : set) {
-      if (load[static_cast<size_t>(v)] >= instance.event_capacity(v)) {
-        ++repaired;  // line 7: drop v from S_u
-        continue;
-      }
-      ++load[static_cast<size_t>(v)];
-      IGEPA_RETURN_IF_ERROR(arrangement.Add(v, u));
-    }
-  }
-  if (stats != nullptr) stats->pairs_repaired = repaired;
   return arrangement;
 }
 

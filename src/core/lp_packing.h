@@ -5,7 +5,6 @@
 #include <limits>
 #include <vector>
 
-#include "core/admissible.h"
 #include "core/admissible_catalog.h"
 #include "core/arrangement.h"
 #include "core/benchmark_dual.h"
@@ -108,24 +107,15 @@ Result<Arrangement> LpPackingWithCatalog(const Instance& instance,
                                          const LpPackingOptions& options = {},
                                          LpPackingStats* stats = nullptr);
 
-/// DEPRECATED: LP-packing on pre-enumerated nested admissible sets. Kept as
-/// the independent legacy pipeline (own LP build + rounding) so equivalence
-/// tests can compare it against the catalog path.
-Result<Arrangement> LpPackingWithSets(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
-    Rng* rng, const LpPackingOptions& options = {},
-    LpPackingStats* stats = nullptr);
-
 /// The fractional benchmark-LP solution of line 1 of Algorithm 1, kept
 /// together with the column bookkeeping needed by the rounding step.
 /// The LP depends only on the instance — not on the sampling randomness — so
 /// experiment harnesses solve it once per instance and re-round many times
 /// (this is how the paper's 50-repetition real-dataset protocol stays cheap).
 struct FractionalSolution {
-  /// Materialized model + column bookkeeping. On the catalog path this is
-  /// only filled when the generic lp:: facade solved line 1 (the structured
-  /// solver reads the catalog CSR directly and leaves it empty); the
-  /// deprecated nested path always fills it.
+  /// Materialized model + column bookkeeping — only filled when the generic
+  /// lp:: facade solved line 1 (the structured solver reads the catalog CSR
+  /// directly and leaves it empty).
   BenchmarkLp bench;
   lp::LpSolution lp;
   /// True when the structured block-angular solver produced `lp`.
@@ -137,12 +127,6 @@ struct FractionalSolution {
 /// generic facade per `options.benchmark_solver`.
 Result<FractionalSolution> SolveBenchmarkLpForPacking(
     const Instance& instance, const AdmissibleCatalog& catalog,
-    const LpPackingOptions& options = {});
-
-/// DEPRECATED: line 1 over the nested representation (independent legacy
-/// path; materializes the model unconditionally).
-Result<FractionalSolution> SolveBenchmarkLpForPacking(
-    const Instance& instance, const std::vector<AdmissibleSets>& admissible,
     const LpPackingOptions& options = {});
 
 /// Sentinel cutoff meaning "event never rejects" in RoundingState::cutoff.
@@ -223,15 +207,6 @@ Result<Arrangement> RoundFractionalDelta(
     const std::vector<UserId>& resample_users,
     const std::vector<EventId>& touched_events, Rng* rng, RoundingState* state,
     const LpPackingOptions& options = {}, LpPackingStats* stats = nullptr);
-
-/// DEPRECATED: lines 2-8 over the nested representation (requires
-/// `fractional.bench` as produced by the deprecated overload above).
-Result<Arrangement> RoundFractional(const Instance& instance,
-                                    const std::vector<AdmissibleSets>& admissible,
-                                    const FractionalSolution& fractional,
-                                    Rng* rng,
-                                    const LpPackingOptions& options = {},
-                                    LpPackingStats* stats = nullptr);
 
 }  // namespace core
 }  // namespace igepa

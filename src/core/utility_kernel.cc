@@ -1,0 +1,138 @@
+#include "core/utility_kernel.h"
+
+#include <cmath>
+
+#include "core/instance.h"
+#include "util/string_util.h"
+
+namespace igepa {
+namespace core {
+
+void UtilityKernel::ScoreColumns(const Instance& instance, UserId u,
+                                 std::span<const std::span<const EventId>> sets,
+                                 std::span<double> out_weights) const {
+  for (size_t k = 0; k < sets.size(); ++k) {
+    // Left-to-right over the ascending-sorted span — the exact summation
+    // order the pre-kernel catalog used, so the default kernel reproduces
+    // historical weights bit for bit.
+    double w = 0.0;
+    for (EventId v : sets[k]) w += PairWeight(instance, v, u);
+    out_weights[k] = w;
+  }
+}
+
+double UtilityKernel::ScoreSet(const Instance& instance, UserId u,
+                               std::span<const EventId> set) const {
+  double w = 0.0;
+  ScoreColumns(instance, u, std::span<const std::span<const EventId>>(&set, 1),
+               std::span<double>(&w, 1));
+  return w;
+}
+
+const std::string& InteractionInterestKernel::id() const {
+  static const std::string kId = "interaction_interest";
+  return kId;
+}
+
+double InteractionInterestKernel::PairWeight(const Instance& instance,
+                                             EventId v, UserId u) const {
+  return instance.Weight(v, u);
+}
+
+void InteractionInterestKernel::ScoreColumns(
+    const Instance& instance, UserId u,
+    std::span<const std::span<const EventId>> sets,
+    std::span<double> out_weights) const {
+  for (size_t k = 0; k < sets.size(); ++k) {
+    double w = 0.0;
+    for (EventId v : sets[k]) w += instance.Weight(v, u);
+    out_weights[k] = w;
+  }
+}
+
+const std::string& InterestOnlyKernel::id() const {
+  static const std::string kId = "interest_only";
+  return kId;
+}
+
+double InterestOnlyKernel::PairWeight(const Instance& instance, EventId v,
+                                      UserId u) const {
+  return instance.Interest(v, u);
+}
+
+CohesionKernel::CohesionKernel(double gamma)
+    : gamma_(gamma),
+      id_(gamma == 0.25 ? "cohesion"
+                        : "cohesion:" + FormatDouble(gamma, 17)) {}
+
+const std::string& CohesionKernel::id() const { return id_; }
+
+double CohesionKernel::PairWeight(const Instance& instance, EventId v,
+                                  UserId u) const {
+  return instance.Weight(v, u);
+}
+
+void CohesionKernel::ScoreColumns(
+    const Instance& instance, UserId u,
+    std::span<const std::span<const EventId>> sets,
+    std::span<double> out_weights) const {
+  for (size_t k = 0; k < sets.size(); ++k) {
+    if (sets[k].empty()) {
+      out_weights[k] = 0.0;
+      continue;
+    }
+    double w = 0.0;
+    for (EventId v : sets[k]) w += PairWeight(instance, v, u);
+    const double size_bonus =
+        1.0 + gamma_ * static_cast<double>(sets[k].size() - 1);
+    out_weights[k] = w * size_bonus;
+  }
+}
+
+const std::shared_ptr<const UtilityKernel>& DefaultUtilityKernel() {
+  static const std::shared_ptr<const UtilityKernel> kDefault =
+      std::make_shared<InteractionInterestKernel>();
+  return kDefault;
+}
+
+Result<std::shared_ptr<const UtilityKernel>> MakeUtilityKernel(
+    const std::string& id) {
+  if (id == "interaction_interest") {
+    return DefaultUtilityKernel();
+  }
+  if (id == "interest_only") {
+    static const std::shared_ptr<const UtilityKernel> kKernel =
+        std::make_shared<InterestOnlyKernel>();
+    return kKernel;
+  }
+  if (id == "cohesion") {
+    static const std::shared_ptr<const UtilityKernel> kKernel =
+        std::make_shared<CohesionKernel>();
+    return kKernel;
+  }
+  if (id.rfind("cohesion:", 0) == 0) {
+    double gamma = 0.0;
+    if (!ParseDouble(id.substr(9), &gamma) || !(gamma >= 0.0) ||
+        !std::isfinite(gamma)) {
+      return Status::InvalidArgument(
+          "bad cohesion gamma in kernel id '" + id +
+          "' (want cohesion:<finite gamma >= 0>)");
+    }
+    return std::shared_ptr<const UtilityKernel>(
+        std::make_shared<CohesionKernel>(gamma));
+  }
+  std::string known;
+  for (const std::string& k : UtilityKernelIds()) {
+    if (!known.empty()) known += " | ";
+    known += k;
+  }
+  return Status::InvalidArgument("unknown utility kernel '" + id + "' (" +
+                                 known + ")");
+}
+
+std::vector<std::string> UtilityKernelIds() {
+  return {"interaction_interest", "interest_only", "cohesion"};
+}
+
+}  // namespace core
+}  // namespace igepa

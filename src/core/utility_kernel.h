@@ -1,0 +1,137 @@
+#ifndef IGEPA_CORE_UTILITY_KERNEL_H_
+#define IGEPA_CORE_UTILITY_KERNEL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace core {
+
+class Instance;
+
+/// The pluggable objective of the arrangement pipeline: assigns every LP
+/// column its weight w(u, S). Before this subsystem existed the Def.-6
+/// utility was fused into the catalog build (a fixed Σ_v β·SI + (1−β)·D sum);
+/// extracting it lets the whole solve/serve stack re-score columns when the
+/// social graph or interest model drifts, and makes alternative objectives
+/// (ablations, new scenarios) a ~100-line kernel instead of a fork of `gen/`.
+///
+/// Contract:
+///   * Kernels are pure functions of the instance's model state — two calls
+///     on the same state return the same bits. All nondeterminism lives in
+///     the models, never in the kernel.
+///   * `PairWeight` is the per-(event, user) utility. It drives everything
+///     pair-shaped: bid ordering during enumeration, the online/greedy
+///     algorithms, local search and `Arrangement::Utility`. Must be
+///     non-negative for the solvers' zero-lower-bounds to stay valid.
+///   * `ScoreColumns` is the batch column scorer the catalog calls at build
+///     and delta time: `sets[k]` is user `u`'s k-th admissible set as an
+///     ascending-sorted span, `out_weights[k]` receives w(u, sets[k]). The
+///     default implementation sums `PairWeight` left to right over the span
+///     (bit-identical to the historical fused loop); kernels whose set
+///     utility is not pair-decomposable override it.
+class UtilityKernel {
+ public:
+  virtual ~UtilityKernel() = default;
+
+  /// Stable identifier used by the CLI (`--kernel=<id>`) and the instance
+  /// CSV format v2 header (docs/FORMATS.md §1).
+  virtual const std::string& id() const = 0;
+
+  /// w(u, v) >= 0.
+  virtual double PairWeight(const Instance& instance, EventId v,
+                            UserId u) const = 0;
+
+  /// Scores user u's columns in batch; `out_weights.size() == sets.size()`.
+  virtual void ScoreColumns(const Instance& instance, UserId u,
+                            std::span<const std::span<const EventId>> sets,
+                            std::span<double> out_weights) const;
+
+  /// Convenience: w(u, set) for a single ascending-sorted set — a
+  /// one-element ScoreColumns batch. The entry point for consumers holding
+  /// one set per user (Arrangement::KernelUtility, local-search set moves).
+  double ScoreSet(const Instance& instance, UserId u,
+                  std::span<const EventId> set) const;
+};
+
+/// The paper's interaction-aware utility (Definition 6):
+/// w(u, v) = β·SI(l_v, l_u) + (1−β)·D(G, u). The default kernel — pinned
+/// bit-identical to the pre-kernel pipeline on every existing test, example
+/// and CSV instance (the kernel-equivalence CI smoke).
+class InteractionInterestKernel final : public UtilityKernel {
+ public:
+  const std::string& id() const override;
+  double PairWeight(const Instance& instance, EventId v,
+                    UserId u) const override;
+  /// Same sum as the base implementation, but through the non-virtual
+  /// Instance::Weight — one virtual dispatch per batch instead of one per
+  /// (set, event) incidence. This is the catalog build's hot loop.
+  void ScoreColumns(const Instance& instance, UserId u,
+                    std::span<const std::span<const EventId>> sets,
+                    std::span<double> out_weights) const override;
+};
+
+/// Interaction ablation (DESIGN.md §6): w(u, v) = SI(l_v, l_u) — the pure
+/// interest objective, i.e. the Def.-6 utility at β = 1 regardless of the
+/// instance's β. Isolates how much of an arrangement's value the
+/// interaction term is responsible for.
+class InterestOnlyKernel final : public UtilityKernel {
+ public:
+  const std::string& id() const override;
+  double PairWeight(const Instance& instance, EventId v,
+                    UserId u) const override;
+};
+
+/// Scenario kernel: cohesion-weighted set utility. Pairs score like the
+/// default kernel, but a set of k events is worth
+///   w(u, S) = (Σ_{v∈S} w(u, v)) · (1 + γ·(k − 1)),
+/// a superadditive bonus modeling the social value of meeting the same
+/// people across several events (cf. the alternative objectives in the
+/// social-event-scheduling literature). Not pair-decomposable — exercises
+/// the batch `ScoreColumns` override path end to end.
+///
+/// A non-default γ is part of the identity: id() is "cohesion:<γ>" (17
+/// significant digits), which MakeUtilityKernel parses back — so the
+/// instance-format-v2 kernel record round-trips the parameter, not just the
+/// kernel family.
+class CohesionKernel final : public UtilityKernel {
+ public:
+  explicit CohesionKernel(double gamma = 0.25);
+
+  const std::string& id() const override;
+  double PairWeight(const Instance& instance, EventId v,
+                    UserId u) const override;
+  void ScoreColumns(const Instance& instance, UserId u,
+                    std::span<const std::span<const EventId>> sets,
+                    std::span<double> out_weights) const override;
+
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+  std::string id_;
+};
+
+/// The process-wide default kernel (InteractionInterestKernel) every
+/// instance starts with.
+const std::shared_ptr<const UtilityKernel>& DefaultUtilityKernel();
+
+/// Resolves a kernel by id: "interaction_interest" | "interest_only" |
+/// "cohesion[:<gamma>]" (γ ≥ 0, finite; bare "cohesion" = 0.25).
+/// InvalidArgument (listing the known ids) otherwise — including the empty
+/// id; "no kernel requested" is the caller's branch, not a registry value.
+Result<std::shared_ptr<const UtilityKernel>> MakeUtilityKernel(
+    const std::string& id);
+
+/// Every registered kernel id, in the order MakeUtilityKernel documents.
+std::vector<std::string> UtilityKernelIds();
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_UTILITY_KERNEL_H_

@@ -18,22 +18,18 @@ Result<WarmTickReport> ApplyWarmTick(Instance* instance,
                                      const CatalogDeltaOptions& delta_options,
                                      const LpPackingOptions& round_options) {
   const int32_t nu = instance->num_users();
-  const std::vector<UserId> touched = TouchedUsers(delta);
+  // Validate the WHOLE delta up front (the same check core::ApplyDelta
+  // repeats): RetireSamples permanently mutates the rounding state below, so
+  // a delta that would be rejected mid-tick must be rejected before any
+  // state is touched.
+  IGEPA_RETURN_IF_ERROR(
+      ValidateDelta(instance->num_events(), nu, delta));
+  // Registration-touched ∪ weight-touched (with non-bid interest drifts
+  // filtered out — they change no column weight): every one of these users
+  // gets a fresh sample, so they are also exactly the stale set of the warm
+  // dual restart.
+  const std::vector<UserId> touched = WarmTouchedUsers(*instance, delta);
   const std::vector<EventId> cap_events = TouchedEvents(delta);
-  // Validate ids up front: RetireSamples indexes per-user state before
-  // core::ApplyDelta gets a chance to reject the delta.
-  for (UserId u : touched) {
-    if (u < 0 || u >= nu) {
-      return Status::InvalidArgument("warm tick updates out-of-range user " +
-                                     std::to_string(u));
-    }
-  }
-  for (EventId v : cap_events) {
-    if (v < 0 || v >= instance->num_events()) {
-      return Status::InvalidArgument("warm tick updates out-of-range event " +
-                                     std::to_string(v));
-    }
-  }
 
   // Retire touched users' samples while their column ids are still
   // addressable (ApplyDelta may compact).
@@ -75,6 +71,7 @@ Result<WarmTickReport> ApplyWarmTick(Instance* instance,
   report.arrangement = std::move(arrangement);
   report.touched_users = static_cast<int32_t>(touched.size());
   report.event_updates = static_cast<int32_t>(delta.event_updates.size());
+  report.columns_rescored = delta_result.columns_rescored;
   report.compacted = delta_result.compacted;
   return report;
 }

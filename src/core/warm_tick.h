@@ -18,8 +18,12 @@ namespace core {
 /// What one warm tick reports besides mutating the engine state.
 struct WarmTickReport {
   Arrangement arrangement;
+  /// Users re-sampled this tick: registration-touched ∪ weight-touched.
   int32_t touched_users = 0;
   int32_t event_updates = 0;
+  /// Live columns the catalog re-scored through the kernel for the delta's
+  /// graph-edge/interest-drift half (0 for pure registration ticks).
+  int32_t columns_rescored = 0;
   bool compacted = false;
 };
 

@@ -9,6 +9,8 @@ namespace gen {
 using core::ArrivalEvent;
 using core::EventCapacityUpdate;
 using core::EventId;
+using core::GraphEdgeUpdate;
+using core::InterestUpdate;
 using core::UserId;
 using core::UserUpdate;
 
@@ -22,17 +24,34 @@ std::vector<ArrivalEvent> GenerateArrivalProcess(
       nv == 0) {
     return stream;
   }
+  const double p_edge_mass =
+      nu >= 2 ? std::max(0.0, config.p_graph_edge) : 0.0;
   const double total_mass = std::max(0.0, config.p_register) +
                             std::max(0.0, config.p_cancel) +
-                            std::max(0.0, config.p_event_capacity);
+                            std::max(0.0, config.p_event_capacity) +
+                            p_edge_mass +
+                            std::max(0.0, config.p_interest_drift);
   if (total_mass <= 0) return stream;
   const double p_register = std::max(0.0, config.p_register) / total_mass;
   const double p_cancel = std::max(0.0, config.p_cancel) / total_mass;
+  const double p_event =
+      std::max(0.0, config.p_event_capacity) / total_mass;
+  const double p_edge = p_edge_mass / total_mass;
   const int32_t min_bids = std::max(1, config.min_bids);
   const int32_t max_bids = std::max(min_bids, config.max_bids);
   const int32_t max_cu = std::max(1, config.max_user_capacity);
 
   stream.reserve(static_cast<size_t>(config.num_arrivals));
+  const auto sample_event_capacity = [&](core::InstanceDelta* delta) {
+    EventCapacityUpdate up;
+    up.event =
+        static_cast<EventId>(rng->NextIndex(static_cast<uint64_t>(nv)));
+    const int32_t base = instance.event_capacity(up.event);
+    const int32_t jitter = std::max(1, base / 2);
+    up.capacity = static_cast<int32_t>(
+        rng->UniformInt(std::max(1, base - jitter), base + jitter));
+    delta->event_updates.push_back(up);
+  };
   double clock = 0.0;
   for (int32_t i = 0; i < config.num_arrivals; ++i) {
     // Exponential(λ) gap via inversion; 1 - U in (0, 1] keeps log finite.
@@ -54,15 +73,31 @@ std::vector<ArrivalEvent> GenerateArrivalProcess(
         std::sort(up.bids.begin(), up.bids.end());
       }  // else: cancellation — capacity 0, empty bid set.
       arrival.delta.user_updates.push_back(std::move(up));
-    } else {
-      EventCapacityUpdate up;
+    } else if (kind < p_register + p_cancel + p_event) {
+      sample_event_capacity(&arrival.delta);
+    } else if (kind < p_register + p_cancel + p_event + p_edge) {
+      GraphEdgeUpdate up;
+      std::vector<size_t> ends =
+          rng->SampleIndices(static_cast<size_t>(nu), 2);
+      std::sort(ends.begin(), ends.end());
+      up.a = static_cast<UserId>(ends[0]);
+      up.b = static_cast<UserId>(ends[1]);
+      up.add = rng->Bernoulli(config.p_edge_add);
+      arrival.delta.graph_updates.push_back(up);
+    } else if (config.p_interest_drift > 0) {
+      InterestUpdate up;
       up.event =
           static_cast<EventId>(rng->NextIndex(static_cast<uint64_t>(nv)));
-      const int32_t base = instance.event_capacity(up.event);
-      const int32_t jitter = std::max(1, base / 2);
-      up.capacity = static_cast<int32_t>(
-          rng->UniformInt(std::max(1, base - jitter), base + jitter));
-      arrival.delta.event_updates.push_back(up);
+      up.user =
+          static_cast<UserId>(rng->NextIndex(static_cast<uint64_t>(nu)));
+      up.value = rng->NextDouble();
+      arrival.delta.interest_updates.push_back(up);
+    } else {
+      // Catch-all for the sub-ulp probability gap the normalized cumulative
+      // bounds can leave: fall back to an event-capacity update (the
+      // pre-kernel catch-all), so a config with no weight kinds can never
+      // emit one.
+      sample_event_capacity(&arrival.delta);
     }
     stream.push_back(std::move(arrival));
   }

@@ -21,10 +21,19 @@ struct ArrivalProcessConfig {
   int32_t num_arrivals = 1000;
   /// Mean arrivals per second (the Poisson process intensity λ).
   double rate_per_second = 100.0;
-  /// Mutation mix (normalized internally).
+  /// Mutation mix (normalized internally). The weight-delta kinds (graph
+  /// edge, interest drift — arrival format v2) default to 0 so legacy
+  /// configs keep their exact RNG draw sequence. Edge mutations are
+  /// memoryless (no edge-existence bookkeeping — see
+  /// Instance::ApplyGraphEdge).
   double p_register = 0.70;
   double p_cancel = 0.15;
   double p_event_capacity = 0.15;
+  double p_graph_edge = 0.0;
+  double p_interest_drift = 0.0;
+  /// Probability a sampled graph-edge mutation forms (vs dissolves) the
+  /// friendship.
+  double p_edge_add = 0.5;
   /// Re-registration shape: bid-set size Uniform{min_bids..max_bids} over
   /// distinct events, capacity Uniform{1..max_user_capacity}.
   int32_t min_bids = 2;

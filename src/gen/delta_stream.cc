@@ -7,7 +7,9 @@ namespace gen {
 
 using core::EventCapacityUpdate;
 using core::EventId;
+using core::GraphEdgeUpdate;
 using core::InstanceDelta;
+using core::InterestUpdate;
 using core::UserId;
 using core::UserUpdate;
 
@@ -65,6 +67,31 @@ std::vector<InstanceDelta> GenerateDeltaStream(const core::Instance& instance,
       up.capacity = static_cast<int32_t>(
           rng->UniformInt(std::max(1, base - half), base + half));
       delta.event_updates.push_back(up);
+    }
+    // Weight half (v2 streams): drawn only when configured, so legacy
+    // configs replay the exact RNG sequence they always did.
+    if (config.graph_updates_per_tick > 0 && nu >= 2) {
+      for (int32_t e = 0; e < config.graph_updates_per_tick; ++e) {
+        GraphEdgeUpdate up;
+        std::vector<size_t> ends =
+            rng->SampleIndices(static_cast<size_t>(nu), 2);
+        std::sort(ends.begin(), ends.end());
+        up.a = static_cast<UserId>(ends[0]);
+        up.b = static_cast<UserId>(ends[1]);
+        up.add = rng->Bernoulli(config.p_edge_add);
+        delta.graph_updates.push_back(up);
+      }
+    }
+    if (config.interest_updates_per_tick > 0) {
+      for (int32_t e = 0; e < config.interest_updates_per_tick; ++e) {
+        InterestUpdate up;
+        up.event =
+            static_cast<EventId>(rng->NextIndex(static_cast<uint64_t>(nv)));
+        up.user =
+            static_cast<UserId>(rng->NextIndex(static_cast<uint64_t>(nu)));
+        up.value = rng->NextDouble();
+        delta.interest_updates.push_back(up);
+      }
     }
     stream.push_back(std::move(delta));
   }

@@ -29,6 +29,17 @@ struct DeltaStreamConfig {
   int32_t min_bids = 2;
   int32_t max_bids = 6;
   int32_t max_user_capacity = 4;
+  /// Weight-delta mutations per tick (format v2): friendship edges forming /
+  /// dissolving (uniform endpoint pairs, add with probability p_edge_add) and
+  /// interest drift (uniform (event, user) pairs, fresh SI Uniform[0,1]).
+  /// Edge mutations are memoryless — no edge-existence bookkeeping, so the
+  /// touched degrees perform a bounded random walk rather than tracking a
+  /// concrete graph (Instance::ApplyGraphEdge documents the contract).
+  /// Both default to 0, leaving legacy streams — and their RNG draw sequence
+  /// — bit-identical.
+  int32_t graph_updates_per_tick = 0;
+  int32_t interest_updates_per_tick = 0;
+  double p_edge_add = 0.5;
 };
 
 /// Samples a reproducible `num_ticks`-long mutation stream against the base

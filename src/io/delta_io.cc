@@ -12,7 +12,9 @@ namespace io {
 
 using core::EventCapacityUpdate;
 using core::EventId;
+using core::GraphEdgeUpdate;
 using core::InstanceDelta;
+using core::InterestUpdate;
 using core::UserUpdate;
 
 /// Ids, dimensions and capacities live in int32 in core; anything a file
@@ -28,8 +30,16 @@ Status WriteDeltaStreamCsv(const std::vector<InstanceDelta>& stream,
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + path);
   }
-  out << "igepa-deltas,1," << stream.size() << "," << num_events << ","
-      << num_users << "\n";
+  // Version 1 carries only registration/capacity lines; weight-delta lines
+  // (edge/interest) need version 2. Streams without them keep writing v1 so
+  // their bytes — and any older reader — are unaffected.
+  bool weighted = false;
+  for (const InstanceDelta& delta : stream) {
+    weighted = weighted || delta.has_weight_updates();
+  }
+  out.precision(17);  // round-trip exact interest values
+  out << "igepa-deltas," << (weighted ? 2 : 1) << "," << stream.size() << ","
+      << num_events << "," << num_users << "\n";
   for (size_t t = 0; t < stream.size(); ++t) {
     out << "tick," << t << "\n";
     for (const UserUpdate& up : stream[t].user_updates) {
@@ -42,6 +52,14 @@ Status WriteDeltaStreamCsv(const std::vector<InstanceDelta>& stream,
     }
     for (const EventCapacityUpdate& up : stream[t].event_updates) {
       out << "event," << up.event << "," << up.capacity << "\n";
+    }
+    for (const GraphEdgeUpdate& up : stream[t].graph_updates) {
+      out << "edge," << up.a << "," << up.b << "," << (up.add ? 1 : 0)
+          << "\n";
+    }
+    for (const InterestUpdate& up : stream[t].interest_updates) {
+      out << "interest," << up.event << "," << up.user << "," << up.value
+          << "\n";
     }
   }
   out.flush();
@@ -59,9 +77,11 @@ Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(const std::string& path) {
     return Status::IOError("empty delta stream file: " + path);
   }
   auto header = Split(Trim(line), ',');
-  if (header.size() != 5 || header[0] != "igepa-deltas" || header[1] != "1") {
+  if (header.size() != 5 || header[0] != "igepa-deltas" ||
+      (header[1] != "1" && header[1] != "2")) {
     return Status::InvalidArgument("bad delta stream header in " + path);
   }
+  const bool v2 = header[1] == "2";
   int64_t ticks = 0, nv = 0, nu = 0;
   if (!ParseInt(header[2], &ticks) || !ParseInt(header[3], &nv) ||
       !ParseInt(header[4], &nu) || ticks < 0 || nv < 0 || nu < 0 ||
@@ -125,6 +145,34 @@ Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(const std::string& path) {
       up.event = static_cast<EventId>(id);
       up.capacity = static_cast<int32_t>(cap);
       stream[static_cast<size_t>(current)].event_updates.push_back(up);
+    } else if (kind == "edge" && v2) {
+      if (current < 0) return bad("edge line before any tick");
+      int64_t a = 0, b = 0, add = 0;
+      if (fields.size() != 4 || !ParseInt(fields[1], &a) ||
+          !ParseInt(fields[2], &b) || !ParseInt(fields[3], &add) || a < 0 ||
+          a >= nu || b < 0 || b >= nu || a == b || (add != 0 && add != 1)) {
+        return bad("malformed edge line");
+      }
+      GraphEdgeUpdate up;
+      up.a = static_cast<core::UserId>(a);
+      up.b = static_cast<core::UserId>(b);
+      up.add = add == 1;
+      stream[static_cast<size_t>(current)].graph_updates.push_back(up);
+    } else if (kind == "interest" && v2) {
+      if (current < 0) return bad("interest line before any tick");
+      int64_t id = 0, uid = 0;
+      double value = 0.0;
+      if (fields.size() != 4 || !ParseInt(fields[1], &id) ||
+          !ParseInt(fields[2], &uid) || !ParseDouble(fields[3], &value) ||
+          id < 0 || id >= nv || uid < 0 || uid >= nu ||
+          !(value >= 0.0 && value <= 1.0)) {
+        return bad("malformed interest line");
+      }
+      InterestUpdate up;
+      up.event = static_cast<EventId>(id);
+      up.user = static_cast<core::UserId>(uid);
+      up.value = value;
+      stream[static_cast<size_t>(current)].interest_updates.push_back(up);
     } else {
       return bad("unknown line kind '" + kind + "'");
     }
@@ -153,7 +201,9 @@ Status WriteArrivalStreamCsv(const std::vector<core::ArrivalEvent>& stream,
                                      why);
     };
     const size_t mutations = arrival.delta.user_updates.size() +
-                             arrival.delta.event_updates.size();
+                             arrival.delta.event_updates.size() +
+                             arrival.delta.graph_updates.size() +
+                             arrival.delta.interest_updates.size();
     if (mutations != 1) {
       return bad("carries " + std::to_string(mutations) +
                  " mutations; the arrival format requires exactly one");
@@ -176,14 +226,30 @@ Status WriteArrivalStreamCsv(const std::vector<core::ArrivalEvent>& stream,
         return bad("event id/capacity outside the declared ranges");
       }
     }
+    for (const GraphEdgeUpdate& up : arrival.delta.graph_updates) {
+      if (up.a < 0 || up.a >= num_users || up.b < 0 || up.b >= num_users ||
+          up.a == up.b) {
+        return bad("edge endpoints outside the declared ranges");
+      }
+    }
+    for (const InterestUpdate& up : arrival.delta.interest_updates) {
+      if (up.event < 0 || up.event >= num_events || up.user < 0 ||
+          up.user >= num_users || !(up.value >= 0.0 && up.value <= 1.0)) {
+        return bad("interest drift outside the declared ranges");
+      }
+    }
   }
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + path);
   }
+  bool weighted = false;
+  for (const core::ArrivalEvent& arrival : stream) {
+    weighted = weighted || arrival.delta.has_weight_updates();
+  }
   out.precision(17);  // round-trip exact doubles
-  out << "igepa-arrivals,1," << stream.size() << "," << num_events << ","
-      << num_users << "\n";
+  out << "igepa-arrivals," << (weighted ? 2 : 1) << "," << stream.size()
+      << "," << num_events << "," << num_users << "\n";
   for (const core::ArrivalEvent& arrival : stream) {
     for (const UserUpdate& up : arrival.delta.user_updates) {
       out << "user," << arrival.at_seconds << "," << up.user << ","
@@ -197,6 +263,14 @@ Status WriteArrivalStreamCsv(const std::vector<core::ArrivalEvent>& stream,
     for (const EventCapacityUpdate& up : arrival.delta.event_updates) {
       out << "event," << arrival.at_seconds << "," << up.event << ","
           << up.capacity << "\n";
+    }
+    for (const GraphEdgeUpdate& up : arrival.delta.graph_updates) {
+      out << "edge," << arrival.at_seconds << "," << up.a << "," << up.b
+          << "," << (up.add ? 1 : 0) << "\n";
+    }
+    for (const InterestUpdate& up : arrival.delta.interest_updates) {
+      out << "interest," << arrival.at_seconds << "," << up.event << ","
+          << up.user << "," << up.value << "\n";
     }
   }
   out.flush();
@@ -221,9 +295,10 @@ Result<std::vector<core::ArrivalEvent>> ReadArrivalStreamCsv(
   }
   auto header = Split(Trim(line), ',');
   if (header.size() != 5 || header[0] != "igepa-arrivals" ||
-      header[1] != "1") {
+      (header[1] != "1" && header[1] != "2")) {
     return Status::InvalidArgument("bad arrival stream header in " + path);
   }
+  const bool v2 = header[1] == "2";
   int64_t count = 0, nv = 0, nu = 0;
   if (!ParseInt(header[2], &count) || !ParseInt(header[3], &nv) ||
       !ParseInt(header[4], &nu) || count < 0 || nv < 0 || nu < 0 ||
@@ -284,6 +359,35 @@ Result<std::vector<core::ArrivalEvent>> ReadArrivalStreamCsv(
       up.event = static_cast<EventId>(id);
       up.capacity = static_cast<int32_t>(cap);
       arrival.delta.event_updates.push_back(up);
+    } else if (kind == "edge" && v2) {
+      int64_t a = 0, b = 0, add = 0;
+      if (fields.size() != 5 || !ParseDouble(fields[1], &at) ||
+          !ParseInt(fields[2], &a) || !ParseInt(fields[3], &b) ||
+          !ParseInt(fields[4], &add) || !std::isfinite(at) || at < 0 ||
+          a < 0 || a >= nu || b < 0 || b >= nu || a == b ||
+          (add != 0 && add != 1)) {
+        return bad("malformed edge arrival line");
+      }
+      GraphEdgeUpdate up;
+      up.a = static_cast<core::UserId>(a);
+      up.b = static_cast<core::UserId>(b);
+      up.add = add == 1;
+      arrival.delta.graph_updates.push_back(up);
+    } else if (kind == "interest" && v2) {
+      int64_t id = 0, uid = 0;
+      double value = 0.0;
+      if (fields.size() != 5 || !ParseDouble(fields[1], &at) ||
+          !ParseInt(fields[2], &id) || !ParseInt(fields[3], &uid) ||
+          !ParseDouble(fields[4], &value) || !std::isfinite(at) || at < 0 ||
+          id < 0 || id >= nv || uid < 0 || uid >= nu ||
+          !(value >= 0.0 && value <= 1.0)) {
+        return bad("malformed interest arrival line");
+      }
+      InterestUpdate up;
+      up.event = static_cast<EventId>(id);
+      up.user = static_cast<core::UserId>(uid);
+      up.value = value;
+      arrival.delta.interest_updates.push_back(up);
     } else {
       return bad("unknown line kind '" + kind + "'");
     }

@@ -14,13 +14,17 @@ namespace io {
 /// Serializes a delta stream to a sectioned CSV file (the replay workload's
 /// on-disk format):
 ///
-///   igepa-deltas,1,<num_ticks>,<num_events>,<num_users>
+///   igepa-deltas,<version>,<num_ticks>,<num_events>,<num_users>
 ///   tick,<index>                          (0-based, strictly increasing)
 ///   user,<id>,<capacity>,<bid;bid;...>    (empty bid list = cancellation)
 ///   event,<id>,<capacity>
+///   edge,<a>,<b>,<add 0|1>                (v2: friendship edge mutation)
+///   interest,<event>,<user>,<value>       (v2: SI drift, value in [0,1])
 ///
-/// The header's event/user counts record the id space the deltas address, so
-/// a stream can be validated against an instance before replaying.
+/// Version 2 adds the weight-delta lines (edge/interest); the writer emits
+/// the lowest sufficient version, and v1 streams read unchanged. The
+/// header's event/user counts record the id space the deltas address, so a
+/// stream can be validated against an instance before replaying.
 Status WriteDeltaStreamCsv(const std::vector<core::InstanceDelta>& stream,
                            int32_t num_events, int32_t num_users,
                            const std::string& path);
@@ -33,13 +37,15 @@ Result<std::vector<core::InstanceDelta>> ReadDeltaStreamCsv(
 /// Serializes a timestamped arrival stream (the serving workload's on-disk
 /// format — docs/FORMATS.md):
 ///
-///   igepa-arrivals,1,<num_arrivals>,<num_events>,<num_users>
+///   igepa-arrivals,<version>,<num_arrivals>,<num_events>,<num_users>
 ///   user,<t_seconds>,<id>,<capacity>,<bid;bid;...>   (empty = cancellation)
 ///   event,<t_seconds>,<id>,<capacity>
+///   edge,<t_seconds>,<a>,<b>,<add 0|1>               (v2)
+///   interest,<t_seconds>,<event>,<user>,<value>      (v2)
 ///
 /// One line per arrival, timestamps nondecreasing. Every arrival must carry
-/// exactly ONE mutation (one user update or one event-capacity update — the
-/// core::ArrivalEvent convention); the writer rejects anything else with
+/// exactly ONE mutation (one user, event-capacity, edge or interest update —
+/// the core::ArrivalEvent convention); the writer rejects anything else with
 /// InvalidArgument, since the header promises the line count. Unlike the
 /// tick-sectioned delta stream, the arrival format carries continuous time,
 /// so the consumer (the epoch loop of serve::ArrangementService) chooses its

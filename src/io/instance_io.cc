@@ -21,8 +21,17 @@ Status WriteInstanceCsv(const Instance& instance, const std::string& path) {
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + path);
   }
-  out << "igepa,1," << instance.num_events() << "," << instance.num_users()
-      << "," << FormatDouble(instance.beta(), 17) << "\n";
+  // v1 has no kernel record and means "default kernel"; only a non-default
+  // objective needs the v2 header, so default-kernel instances keep writing
+  // byte-identical v1 files.
+  const bool default_kernel =
+      instance.kernel().id() == core::DefaultUtilityKernel()->id();
+  out << "igepa," << (default_kernel ? 1 : 2) << "," << instance.num_events()
+      << "," << instance.num_users() << ","
+      << FormatDouble(instance.beta(), 17) << "\n";
+  if (!default_kernel) {
+    out << "kernel," << instance.kernel().id() << "\n";
+  }
   for (EventId v = 0; v < instance.num_events(); ++v) {
     out << "event," << v << "," << instance.event_capacity(v) << "\n";
   }
@@ -67,9 +76,11 @@ Result<Instance> ReadInstanceCsv(const std::string& path) {
     return Status::IOError("empty instance file: " + path);
   }
   auto header = Split(Trim(line), ',');
-  if (header.size() != 5 || header[0] != "igepa" || header[1] != "1") {
+  if (header.size() != 5 || header[0] != "igepa" ||
+      (header[1] != "1" && header[1] != "2")) {
     return Status::InvalidArgument("bad instance header in " + path);
   }
+  const bool v2 = header[1] == "2";
   int64_t nv = 0, nu = 0;
   double beta = 0.0;
   if (!ParseInt(header[2], &nv) || !ParseInt(header[3], &nu) ||
@@ -84,6 +95,7 @@ Result<Instance> ReadInstanceCsv(const std::string& path) {
   auto interest = std::make_shared<interest::TableInterest>(
       static_cast<int32_t>(nv), static_cast<int32_t>(nu));
   std::vector<double> degrees(static_cast<size_t>(nu), 0.0);
+  std::shared_ptr<const core::UtilityKernel> kernel;
 
   int64_t line_no = 1;
   while (std::getline(in, line)) {
@@ -144,6 +156,13 @@ Result<Instance> ReadInstanceCsv(const std::string& path) {
         return bad("malformed degree line");
       }
       degrees[static_cast<size_t>(u)] = value;
+    } else if (kind == "kernel" && v2) {
+      if (fields.size() != 2 || kernel != nullptr) {
+        return bad("malformed or duplicate kernel line");
+      }
+      auto resolved = core::MakeUtilityKernel(fields[1]);
+      if (!resolved.ok()) return bad(resolved.status().message());
+      kernel = std::move(resolved).value();
     } else {
       return bad("unknown record kind '" + kind + "'");
     }
@@ -153,6 +172,7 @@ Result<Instance> ReadInstanceCsv(const std::string& path) {
       std::make_shared<graph::TableInteractionModel>(std::move(degrees));
   Instance instance(std::move(events), std::move(users), std::move(conflicts),
                     std::move(interest), std::move(interaction), beta);
+  instance.set_kernel(std::move(kernel));  // nullptr keeps the default
   IGEPA_RETURN_IF_ERROR(instance.Validate());
   return instance;
 }

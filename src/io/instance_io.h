@@ -12,7 +12,9 @@ namespace io {
 
 /// Serializes an instance to a sectioned CSV file:
 ///
-///   igepa,1,<num_events>,<num_users>,<beta>
+///   igepa,<version>,<num_events>,<num_users>,<beta>
+///   kernel,<id>                            (v2: the utility kernel scoring
+///                                           this instance's columns)
 ///   event,<id>,<capacity>
 ///   user,<id>,<capacity>,<bid;bid;...>
 ///   conflict,<a>,<b>                       (one line per conflicting pair)
@@ -24,7 +26,14 @@ namespace io {
 /// matrix, interest a table over bid pairs, interaction a degree table. The
 /// re-read instance is therefore *algorithm-equivalent* to the original (all
 /// reachable σ/SI/D evaluations agree) even when the original used implicit
-/// representations (hash interest, interval conflicts).
+/// representations (hash interest, interval conflicts). Live drift state
+/// (UpdateInterest / ApplyGraphEdge overlays) is folded into the tables.
+///
+/// Version 2 (docs/FORMATS.md) additionally pins the objective: a `kernel`
+/// record naming the core::UtilityKernel the instance scores columns with.
+/// The writer emits the lowest sufficient version — instances on the default
+/// kernel keep producing byte-identical v1 files — and v1 files read back
+/// onto the default kernel, so pre-kernel instances solve exactly as before.
 Status WriteInstanceCsv(const core::Instance& instance,
                         const std::string& path);
 

@@ -85,36 +85,12 @@ Status ArrangementService::Bootstrap() {
 }
 
 Status ArrangementService::Submit(InstanceDelta delta) {
-  // Validate against the fixed id space at the door, so a batch epoch can
-  // never fail on ids and a bad client delta cannot poison the engine.
-  const int32_t nu = instance_.num_users();
-  const int32_t nv = instance_.num_events();
-  for (const core::UserUpdate& up : delta.user_updates) {
-    if (up.user < 0 || up.user >= nu) {
-      return Status::InvalidArgument("Submit: out-of-range user " +
-                                     std::to_string(up.user));
-    }
-    if (up.capacity < 0) {
-      return Status::InvalidArgument("Submit: negative capacity for user " +
-                                     std::to_string(up.user));
-    }
-    for (EventId v : up.bids) {
-      if (v < 0 || v >= nv) {
-        return Status::InvalidArgument("Submit: out-of-range bid " +
-                                       std::to_string(v));
-      }
-    }
-  }
-  for (const core::EventCapacityUpdate& up : delta.event_updates) {
-    if (up.event < 0 || up.event >= nv) {
-      return Status::InvalidArgument("Submit: out-of-range event " +
-                                     std::to_string(up.event));
-    }
-    if (up.capacity < 0) {
-      return Status::InvalidArgument("Submit: negative capacity for event " +
-                                     std::to_string(up.event));
-    }
-  }
+  // Validate against the fixed id space at the door (the shared
+  // core::ValidateDelta — one definition of "well-formed delta" for every
+  // consumer), so a batch epoch can never fail on ids and a bad client
+  // delta cannot poison the engine.
+  IGEPA_RETURN_IF_ERROR(core::ValidateDelta(instance_.num_events(),
+                                            instance_.num_users(), delta));
 
   bool wake = false;
   {
@@ -181,6 +157,12 @@ Result<EpochMetrics> ArrangementService::RunEpochInternal() {
       batch.event_updates.insert(batch.event_updates.end(),
                                  p.delta.event_updates.begin(),
                                  p.delta.event_updates.end());
+      batch.graph_updates.insert(batch.graph_updates.end(),
+                                 p.delta.graph_updates.begin(),
+                                 p.delta.graph_updates.end());
+      batch.interest_updates.insert(batch.interest_updates.end(),
+                                    p.delta.interest_updates.begin(),
+                                    p.delta.interest_updates.end());
       enqueue_times.push_back(p.enqueued);
       queue_.pop_front();
       ++coalesced;

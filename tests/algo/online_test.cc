@@ -7,6 +7,7 @@
 #include "algo/baselines.h"
 #include "algo/exact.h"
 #include "gen/synthetic.h"
+#include "tests/core/legacy_reference.h"
 #include "tests/core/test_instances.h"
 
 namespace igepa {
@@ -189,13 +190,14 @@ Result<core::Arrangement> LegacyOnlineArrange(
   for (UserId u : arrival_order) {
     double best_bid_weight = 0.0;
     for (core::EventId v : instance.bids(u)) {
-      best_bid_weight = std::max(best_bid_weight, instance.Weight(v, u));
+      best_bid_weight = std::max(best_bid_weight, instance.PairWeight(v, u));
     }
     const double cutoff = options.policy == OnlinePolicy::kThreshold
                               ? options.threshold_fraction * best_bid_weight
                               : 0.0;
-    const core::AdmissibleSets sets =
-        core::EnumerateAdmissibleSetsForUser(instance, u, admissible_options);
+    const core::EnumeratedUserSets sets =
+        core::testing_reference::ReferenceEnumerateUser(instance, u,
+                                                        admissible_options);
     double best_weight = 0.0;
     const std::vector<core::EventId>* best_set = nullptr;
     for (const auto& set : sets.sets) {
@@ -206,7 +208,7 @@ Result<core::Arrangement> LegacyOnlineArrange(
           ok = false;
           break;
         }
-        const double pair_w = instance.Weight(v, u);
+        const double pair_w = instance.PairWeight(v, u);
         if (pair_w < cutoff) {
           ok = false;
           if (stats != nullptr) ++stats->pairs_rejected_by_threshold;

@@ -105,6 +105,86 @@ TEST(CliTest, SolveEveryAlgorithm) {
   }
 }
 
+TEST(CliTest, SolveEveryKernel) {
+  const std::string instance_path = TempPath("cli_kernels.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=15",
+                     "--users=40", "--seed=1", "--out=" + instance_path})
+                .code,
+            0);
+  std::string default_line, interest_line;
+  for (const char* kernel :
+       {"interaction_interest", "interest_only", "cohesion"}) {
+    const CliRun run = RunTool({"solve", "--in=" + instance_path,
+                                std::string("--kernel=") + kernel});
+    EXPECT_EQ(run.code, 0) << kernel << ": " << run.err;
+    // The report names the active kernel.
+    EXPECT_NE(run.out.find(std::string("[") + kernel + "]"),
+              std::string::npos)
+        << run.out;
+    if (std::string(kernel) == "interaction_interest") default_line = run.out;
+    if (std::string(kernel) == "interest_only") interest_line = run.out;
+  }
+  // No --kernel = the default objective, bit-identical result line modulo
+  // the wall-clock suffix (the pre-kernel pipeline pin at CLI level).
+  auto strip_timing = [](const std::string& line) {
+    return line.substr(0, line.rfind(" in "));
+  };
+  const CliRun plain = RunTool({"solve", "--in=" + instance_path});
+  EXPECT_EQ(plain.code, 0);
+  EXPECT_EQ(strip_timing(plain.out), strip_timing(default_line));
+  // The interest ablation must actually produce a different solve.
+  EXPECT_NE(strip_timing(interest_line).substr(interest_line.find(':')),
+            strip_timing(default_line).substr(default_line.find(':')));
+}
+
+TEST(CliTest, SolveUnknownKernelFailsWithKnownIds) {
+  const std::string instance_path = TempPath("cli_badkernel.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=5", "--users=8",
+                     "--out=" + instance_path})
+                .code,
+            0);
+  const CliRun run =
+      RunTool({"solve", "--in=" + instance_path, "--kernel=mystery"});
+  EXPECT_NE(run.code, 0);
+  EXPECT_NE(run.err.find("interaction_interest"), std::string::npos);
+}
+
+TEST(CliTest, GenerateWithKernelPinsFormatV2) {
+  const std::string instance_path = TempPath("cli_v2.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=10",
+                     "--users=16", "--kernel=interest_only",
+                     "--out=" + instance_path})
+                .code,
+            0);
+  std::ifstream in(instance_path);
+  std::string header, kernel_line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, kernel_line)));
+  EXPECT_EQ(header.rfind("igepa,2,", 0), 0u) << header;
+  EXPECT_EQ(kernel_line, "kernel,interest_only");
+  // Solving the v2 file without --kernel uses the pinned objective.
+  const CliRun run = RunTool({"solve", "--in=" + instance_path});
+  EXPECT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("[interest_only]"), std::string::npos) << run.out;
+}
+
+TEST(CliTest, ReplayWeightDeltasSmoke) {
+  const CliRun run = RunTool(
+      {"replay", "--ticks=4", "--users=120", "--events=25",
+       "--updates-per-tick=1", "--edge-updates-per-tick=2",
+       "--interest-updates-per-tick=2", "--check-tolerance=0.05"});
+  EXPECT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("replay check OK"), std::string::npos) << run.out;
+}
+
+TEST(CliTest, ServeWeightMixSmoke) {
+  const CliRun run = RunTool({"serve", "--users=120", "--events=25",
+                              "--count=30", "--p-edge=0.3",
+                              "--p-interest=0.3", "--max-batch=8"});
+  EXPECT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("served 30 deltas"), std::string::npos) << run.out;
+}
+
 TEST(CliTest, SolveUnknownAlgorithmFails) {
   const std::string instance_path = TempPath("cli_badalgo.csv");
   ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=5", "--users=8",

@@ -6,14 +6,17 @@
 #include <set>
 #include <vector>
 
-#include "core/admissible.h"
 #include "gen/synthetic.h"
+#include "tests/core/legacy_reference.h"
 #include "tests/core/test_instances.h"
 #include "util/rng.h"
 
 namespace igepa {
 namespace core {
 namespace {
+
+using testing_reference::ReferenceEnumerate;
+using testing_reference::ReferenceSetWeight;
 
 Result<Instance> MediumInstance(uint64_t seed) {
   Rng rng(seed);
@@ -24,19 +27,22 @@ Result<Instance> MediumInstance(uint64_t seed) {
   return gen::GenerateSynthetic(config, &rng);
 }
 
-/// Structural equality against the legacy enumeration, span by span.
-void ExpectMatchesLegacy(const Instance& instance,
-                         const AdmissibleCatalog& catalog,
-                         const std::vector<AdmissibleSets>& legacy) {
-  ASSERT_EQ(catalog.num_users(), static_cast<int32_t>(legacy.size()));
+/// Structural equality against the independent reference enumeration
+/// (tests/core/legacy_reference.h), span by span.
+void ExpectMatchesReference(const Instance& instance,
+                            const AdmissibleCatalog& catalog,
+                            const std::vector<EnumeratedUserSets>& reference) {
+  ASSERT_EQ(catalog.num_users(), static_cast<int32_t>(reference.size()));
   int32_t expected_cols = 0;
-  for (const auto& a : legacy) expected_cols += static_cast<int32_t>(a.sets.size());
+  for (const auto& a : reference) {
+    expected_cols += static_cast<int32_t>(a.sets.size());
+  }
   ASSERT_EQ(catalog.num_columns(), expected_cols);
   for (UserId u = 0; u < catalog.num_users(); ++u) {
-    const auto& sets = legacy[static_cast<size_t>(u)].sets;
+    const auto& sets = reference[static_cast<size_t>(u)].sets;
     ASSERT_EQ(catalog.num_sets(u), static_cast<int32_t>(sets.size()))
         << "user " << u;
-    EXPECT_EQ(catalog.truncated(u), legacy[static_cast<size_t>(u)].truncated);
+    EXPECT_EQ(catalog.truncated(u), reference[static_cast<size_t>(u)].truncated);
     for (int32_t k = 0; k < catalog.num_sets(u); ++k) {
       const int32_t j = catalog.user_columns_begin(u) + k;
       EXPECT_EQ(catalog.user_of(j), u);
@@ -44,40 +50,41 @@ void ExpectMatchesLegacy(const Instance& instance,
       const auto& expected = sets[static_cast<size_t>(k)];
       ASSERT_EQ(span.size(), expected.size());
       EXPECT_TRUE(std::equal(span.begin(), span.end(), expected.begin()));
-      // Precomputed weight must match the per-call legacy SetWeight exactly
+      // Precomputed weight must match the reference per-call sum exactly
       // (same summation order), not just approximately.
-      EXPECT_EQ(catalog.weight(j), SetWeight(instance, u, expected));
+      EXPECT_EQ(catalog.weight(j), ReferenceSetWeight(instance, u, expected));
     }
   }
 }
 
-TEST(AdmissibleCatalogTest, TinyInstanceMatchesLegacyEnumeration) {
+TEST(AdmissibleCatalogTest, TinyInstanceMatchesReferenceEnumeration) {
   const Instance instance = MakeTinyInstance();
   const auto catalog = AdmissibleCatalog::Build(instance, {});
-  ExpectMatchesLegacy(instance, catalog, EnumerateAdmissibleSets(instance, {}));
+  ExpectMatchesReference(instance, catalog, ReferenceEnumerate(instance, {}));
   EXPECT_FALSE(catalog.any_truncated());
 }
 
-TEST(AdmissibleCatalogTest, SyntheticMatchesLegacyEnumeration) {
+TEST(AdmissibleCatalogTest, SyntheticMatchesReferenceEnumeration) {
   auto instance = MediumInstance(17);
   ASSERT_TRUE(instance.ok());
   const auto catalog = AdmissibleCatalog::Build(*instance, {});
-  ExpectMatchesLegacy(*instance, catalog,
-                      EnumerateAdmissibleSets(*instance, {}));
+  ExpectMatchesReference(*instance, catalog, ReferenceEnumerate(*instance, {}));
 }
 
-TEST(AdmissibleCatalogTest, FromLegacyRoundTrips) {
+TEST(AdmissibleCatalogTest, FromSetsMatchesBuild) {
   auto instance = MediumInstance(23);
   ASSERT_TRUE(instance.ok());
-  const auto legacy = EnumerateAdmissibleSets(*instance, {});
-  const auto catalog = AdmissibleCatalog::FromLegacy(*instance, legacy);
-  ExpectMatchesLegacy(*instance, catalog, legacy);
-  const auto back = catalog.ToLegacy();
-  ASSERT_EQ(back.size(), legacy.size());
-  for (size_t u = 0; u < legacy.size(); ++u) {
-    EXPECT_EQ(back[u].sets, legacy[u].sets);
-    EXPECT_EQ(back[u].truncated, legacy[u].truncated);
-  }
+  const auto reference = ReferenceEnumerate(*instance, {});
+  const auto from_sets = AdmissibleCatalog::FromSets(*instance, reference);
+  ExpectMatchesReference(*instance, from_sets, reference);
+  // FromSets over the reference enumeration is bit-identical to Build: same
+  // pool, offsets, owners and kernel-scored weights.
+  const auto built = AdmissibleCatalog::Build(*instance, {});
+  EXPECT_EQ(from_sets.pool(), built.pool());
+  EXPECT_EQ(from_sets.col_begin(), built.col_begin());
+  EXPECT_EQ(from_sets.user_begin(), built.user_begin());
+  EXPECT_EQ(from_sets.weights(), built.weights());
+  EXPECT_EQ(from_sets.col_users(), built.col_users());
 }
 
 TEST(AdmissibleCatalogTest, ParallelBuildIsDeterministic) {
@@ -124,19 +131,20 @@ TEST(AdmissibleCatalogTest, InvertedIndexIsExact) {
   EXPECT_EQ(total, catalog.num_pairs());
 }
 
-TEST(AdmissibleCatalogTest, TruncationFlagMatchesLegacy) {
+TEST(AdmissibleCatalogTest, TruncationFlagMatchesReference) {
   const Instance instance = MakeTinyInstance();
   AdmissibleOptions options;
   options.max_sets_per_user = 2;
   const auto catalog = AdmissibleCatalog::Build(instance, options);
-  const auto legacy = EnumerateAdmissibleSets(instance, options);
+  const auto reference = ReferenceEnumerate(instance, options);
   EXPECT_TRUE(catalog.any_truncated());
   for (UserId u = 0; u < instance.num_users(); ++u) {
-    EXPECT_EQ(catalog.truncated(u), legacy[static_cast<size_t>(u)].truncated)
+    EXPECT_EQ(catalog.truncated(u),
+              reference[static_cast<size_t>(u)].truncated)
         << "user " << u;
     EXPECT_LE(catalog.num_sets(u), 2);
   }
-  ExpectMatchesLegacy(instance, catalog, legacy);
+  ExpectMatchesReference(instance, catalog, reference);
 }
 
 TEST(AdmissibleCatalogTest, EmptyCatalogIsConsistent) {

@@ -1,27 +1,48 @@
-#include "core/admissible.h"
+// Admissible-set enumeration semantics, asserted through the catalog API.
+// These assertions predate the catalog (they were written against the legacy
+// per-user `AdmissibleSets` shim deleted after its PR 1 deprecation window);
+// the enumeration contract they pin — capacity, conflicts, closure, cap
+// truncation, weight sums — is unchanged.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
+#include "core/admissible_catalog.h"
 #include "gen/synthetic.h"
+#include "tests/core/legacy_reference.h"
 #include "tests/core/test_instances.h"
 
 namespace igepa {
 namespace core {
 namespace {
 
-std::set<std::vector<EventId>> AsSet(const AdmissibleSets& sets) {
-  return {sets.sets.begin(), sets.sets.end()};
+/// User u's enumerated sets, materialized from the catalog's column range.
+std::vector<std::vector<EventId>> SetsOfUser(const AdmissibleCatalog& catalog,
+                                             UserId u) {
+  std::vector<std::vector<EventId>> out;
+  out.reserve(static_cast<size_t>(catalog.num_sets(u)));
+  for (int32_t j = catalog.user_columns_begin(u); j < catalog.user_columns_end(u);
+       ++j) {
+    const auto span = catalog.set(j);
+    out.emplace_back(span.begin(), span.end());
+  }
+  return out;
+}
+
+std::set<std::vector<EventId>> AsSet(
+    const std::vector<std::vector<EventId>>& sets) {
+  return {sets.begin(), sets.end()};
 }
 
 TEST(AdmissibleTest, TinyInstanceUser0) {
   // u0: cap 2, bids {0,1,2}, conflict (0,1) -> {0},{1},{2},{0,2},{1,2}.
   const Instance instance = MakeTinyInstance();
-  const auto sets = EnumerateAdmissibleSetsForUser(instance, 0, {});
-  EXPECT_FALSE(sets.truncated);
-  const auto got = AsSet(sets);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  EXPECT_FALSE(catalog.truncated(0));
+  const auto got = AsSet(SetsOfUser(catalog, 0));
   const std::set<std::vector<EventId>> expected = {
       {0}, {1}, {2}, {0, 2}, {1, 2}};
   EXPECT_EQ(got, expected);
@@ -30,16 +51,16 @@ TEST(AdmissibleTest, TinyInstanceUser0) {
 TEST(AdmissibleTest, TinyInstanceUser1CapacityOne) {
   // u1: cap 1, bids {0,2} -> singletons only.
   const Instance instance = MakeTinyInstance();
-  const auto sets = EnumerateAdmissibleSetsForUser(instance, 1, {});
-  const auto got = AsSet(sets);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const auto got = AsSet(SetsOfUser(catalog, 1));
   const std::set<std::vector<EventId>> expected = {{0}, {2}};
   EXPECT_EQ(got, expected);
 }
 
 TEST(AdmissibleTest, TinyInstanceUser2) {
   const Instance instance = MakeTinyInstance();
-  const auto sets = EnumerateAdmissibleSetsForUser(instance, 2, {});
-  const auto got = AsSet(sets);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const auto got = AsSet(SetsOfUser(catalog, 2));
   const std::set<std::vector<EventId>> expected = {{1}, {2}, {1, 2}};
   EXPECT_EQ(got, expected);
 }
@@ -54,11 +75,12 @@ TEST(AdmissibleTest, SubsetClosureProperty) {
   config.max_user_capacity = 3;
   auto instance = gen::GenerateSynthetic(config, &rng);
   ASSERT_TRUE(instance.ok());
+  const auto catalog = AdmissibleCatalog::Build(*instance, {});
+  EXPECT_FALSE(catalog.any_truncated());
   for (UserId u = 0; u < instance->num_users(); ++u) {
-    const auto sets = EnumerateAdmissibleSetsForUser(*instance, u, {});
-    ASSERT_FALSE(sets.truncated);
+    const auto sets = SetsOfUser(catalog, u);
     const auto all = AsSet(sets);
-    for (const auto& s : sets.sets) {
+    for (const auto& s : sets) {
       if (s.size() < 2) continue;
       for (size_t drop = 0; drop < s.size(); ++drop) {
         std::vector<EventId> subset;
@@ -80,9 +102,9 @@ TEST(AdmissibleTest, SetsRespectCapacityAndConflicts) {
   config.p_conflict = 0.4;
   auto instance = gen::GenerateSynthetic(config, &rng);
   ASSERT_TRUE(instance.ok());
-  const auto all = EnumerateAdmissibleSets(*instance, {});
+  const auto catalog = AdmissibleCatalog::Build(*instance, {});
   for (UserId u = 0; u < instance->num_users(); ++u) {
-    for (const auto& s : all[static_cast<size_t>(u)].sets) {
+    for (const auto& s : SetsOfUser(catalog, u)) {
       EXPECT_FALSE(s.empty());
       EXPECT_LE(static_cast<int64_t>(s.size()), instance->user_capacity(u));
       for (size_t i = 0; i < s.size(); ++i) {
@@ -103,10 +125,11 @@ TEST(AdmissibleTest, NoDuplicateSets) {
   config.num_users = 30;
   auto instance = gen::GenerateSynthetic(config, &rng);
   ASSERT_TRUE(instance.ok());
+  const auto catalog = AdmissibleCatalog::Build(*instance, {});
   for (UserId u = 0; u < instance->num_users(); ++u) {
-    const auto sets = EnumerateAdmissibleSetsForUser(*instance, u, {});
+    const auto sets = SetsOfUser(catalog, u);
     const auto unique = AsSet(sets);
-    EXPECT_EQ(unique.size(), sets.sets.size()) << "user " << u;
+    EXPECT_EQ(unique.size(), sets.size()) << "user " << u;
   }
 }
 
@@ -114,12 +137,13 @@ TEST(AdmissibleTest, CapTruncatesAndPrefersHeavySets) {
   const Instance instance = MakeTinyInstance();
   AdmissibleOptions options;
   options.max_sets_per_user = 2;
-  const auto sets = EnumerateAdmissibleSetsForUser(instance, 0, options);
-  EXPECT_TRUE(sets.truncated);
-  EXPECT_EQ(sets.sets.size(), 2u);
+  const auto catalog = AdmissibleCatalog::Build(instance, options);
+  EXPECT_TRUE(catalog.truncated(0));
+  const auto sets = SetsOfUser(catalog, 0);
+  EXPECT_EQ(sets.size(), 2u);
   // u0 weights: w(e0)=0.70 > w(e1)=0.65 > w(e2)=0.30. DFS explores e0 first,
   // so the first two sets are {0} and {0,2} — containing the heaviest event.
-  for (const auto& s : sets.sets) {
+  for (const auto& s : sets) {
     EXPECT_TRUE(std::find(s.begin(), s.end(), 0) != s.end())
         << "truncated enumeration should keep sets with the heaviest event";
   }
@@ -139,8 +163,8 @@ TEST(AdmissibleTest, ZeroCapacityUserHasNoSets) {
       std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
       0.5);
   ASSERT_TRUE(instance.Validate().ok());
-  const auto sets = EnumerateAdmissibleSetsForUser(instance, 0, {});
-  EXPECT_TRUE(sets.sets.empty());
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  EXPECT_EQ(catalog.num_sets(0), 0);
 }
 
 TEST(AdmissibleTest, NoBidsNoSets) {
@@ -154,15 +178,32 @@ TEST(AdmissibleTest, NoBidsNoSets) {
       std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
       0.5);
   ASSERT_TRUE(instance.Validate().ok());
-  EXPECT_TRUE(EnumerateAdmissibleSetsForUser(instance, 0, {}).sets.empty());
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  EXPECT_EQ(catalog.num_sets(0), 0);
+  EXPECT_EQ(catalog.num_columns(), 0);
 }
 
-TEST(AdmissibleTest, SetWeightSumsPairWeights) {
+TEST(AdmissibleTest, CatalogWeightsSumPairWeights) {
   const Instance instance = MakeTinyInstance();
-  EXPECT_NEAR(SetWeight(instance, 0, {0, 2}), 0.70 + 0.30, 1e-12);
-  EXPECT_NEAR(SetWeight(instance, 0, {1, 2}), 0.65 + 0.30, 1e-12);
-  EXPECT_NEAR(SetWeight(instance, 2, {1, 2}), 0.35 + 0.45, 1e-12);
-  EXPECT_DOUBLE_EQ(SetWeight(instance, 0, {}), 0.0);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  // Every precomputed column weight is Σ_{v∈S} w(u, v) under the default
+  // (pair-decomposable) kernel.
+  for (int32_t j = 0; j < catalog.num_columns(); ++j) {
+    const auto span = catalog.set(j);
+    EXPECT_DOUBLE_EQ(catalog.weight(j),
+                     testing_reference::ReferenceSetWeight(
+                         instance, catalog.user_of(j),
+                         {span.begin(), span.end()}))
+        << "column " << j;
+  }
+  // Spot-check the hand-computed tiny-instance values.
+  EXPECT_NEAR(testing_reference::ReferenceSetWeight(instance, 0, {0, 2}),
+              0.70 + 0.30, 1e-12);
+  EXPECT_NEAR(testing_reference::ReferenceSetWeight(instance, 0, {1, 2}),
+              0.65 + 0.30, 1e-12);
+  EXPECT_NEAR(testing_reference::ReferenceSetWeight(instance, 2, {1, 2}),
+              0.35 + 0.45, 1e-12);
+  EXPECT_DOUBLE_EQ(testing_reference::ReferenceSetWeight(instance, 0, {}), 0.0);
 }
 
 TEST(AdmissibleTest, AllConflictingBidsGiveOnlySingletons) {
@@ -181,9 +222,10 @@ TEST(AdmissibleTest, AllConflictingBidsGiveOnlySingletons) {
       std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
       0.5);
   ASSERT_TRUE(instance.Validate().ok());
-  const auto sets = EnumerateAdmissibleSetsForUser(instance, 0, {});
-  EXPECT_EQ(sets.sets.size(), 3u);
-  for (const auto& s : sets.sets) EXPECT_EQ(s.size(), 1u);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const auto sets = SetsOfUser(catalog, 0);
+  EXPECT_EQ(sets.size(), 3u);
+  for (const auto& s : sets) EXPECT_EQ(s.size(), 1u);
 }
 
 }  // namespace

@@ -12,15 +12,14 @@ namespace {
 
 struct Prepared {
   Instance instance;
-  std::vector<AdmissibleSets> admissible;
+  AdmissibleCatalog catalog;
   BenchmarkLp bench;
 };
 
 Prepared Prepare(Instance instance) {
-  auto admissible = EnumerateAdmissibleSets(instance, {});
-  auto bench = BuildBenchmarkLp(instance, admissible);
-  return Prepared{std::move(instance), std::move(admissible),
-                  std::move(bench)};
+  auto catalog = AdmissibleCatalog::Build(instance, {});
+  auto bench = BuildBenchmarkLp(instance, catalog);
+  return Prepared{std::move(instance), std::move(catalog), std::move(bench)};
 }
 
 Prepared PrepareSynthetic(uint64_t seed, int32_t events, int32_t users) {
@@ -33,13 +32,28 @@ Prepared PrepareSynthetic(uint64_t seed, int32_t events, int32_t users) {
   return Prepare(std::move(instance).value());
 }
 
+/// max_{S ∈ A_u} (w(u,S) − Σ_{v∈S} μ_v) over the catalog's columns of u,
+/// floored at 0 (the empty set).
+double OracleBest(const Prepared& p, UserId u,
+                  const std::vector<double>& duals) {
+  double best = 0.0;
+  for (int32_t j = p.catalog.user_columns_begin(u);
+       j < p.catalog.user_columns_end(u); ++j) {
+    double reduced = p.catalog.weight(j);
+    for (EventId v : p.catalog.set(j)) {
+      reduced -= duals[static_cast<size_t>(p.bench.EventRow(p.instance, v))];
+    }
+    best = std::max(best, reduced);
+  }
+  return best;
+}
+
 TEST(BenchmarkDualTest, TinyInstanceNearOptimal) {
   Prepared p = Prepare(MakeTinyInstance());
   StructuredDualOptions options;
   options.target_gap = 0.005;
   options.max_iterations = 20000;
-  auto sol = SolveBenchmarkLpStructured(p.instance, p.admissible, p.bench,
-                                        options);
+  auto sol = SolveBenchmarkLpStructured(p.instance, p.catalog, options);
   ASSERT_TRUE(sol.ok()) << sol.status();
   // LP* = 2.25 on the tiny instance (integral; certificate in
   // test_instances.h).
@@ -60,8 +74,7 @@ TEST_P(BenchmarkDualProperty, BracketsExactLpOptimum) {
   StructuredDualOptions options;
   options.target_gap = 0.01;
   options.max_iterations = 30000;
-  auto approx = SolveBenchmarkLpStructured(p.instance, p.admissible, p.bench,
-                                           options);
+  auto approx = SolveBenchmarkLpStructured(p.instance, p.catalog, options);
   ASSERT_TRUE(approx.ok());
   EXPECT_LE(approx->objective, exact->objective + 1e-6);
   EXPECT_GE(approx->upper_bound, exact->objective - 1e-6);
@@ -73,7 +86,7 @@ TEST_P(BenchmarkDualProperty, BracketsExactLpOptimum) {
 
 TEST_P(BenchmarkDualProperty, PrimalRespectsUserMassAndCapacities) {
   Prepared p = PrepareSynthetic(GetParam() ^ 0xBEEF, 20, 50);
-  auto sol = SolveBenchmarkLpStructured(p.instance, p.admissible, p.bench, {});
+  auto sol = SolveBenchmarkLpStructured(p.instance, p.catalog, {});
   ASSERT_TRUE(sol.ok());
   // Per-user mass <= 1 (constraint (2)) and event usage <= c_v (3) — checked
   // via the model's activity machinery.
@@ -93,7 +106,7 @@ TEST(BenchmarkDualTest, UpperBoundIsLagrangianAtReportedDuals) {
   // Recompute L(μ) from the reported duals; it must equal upper_bound (the
   // solver's certificate must be verifiable from its outputs).
   Prepared p = PrepareSynthetic(911, 12, 25);
-  auto sol = SolveBenchmarkLpStructured(p.instance, p.admissible, p.bench, {});
+  auto sol = SolveBenchmarkLpStructured(p.instance, p.catalog, {});
   ASSERT_TRUE(sol.ok());
   double lagrangian = 0.0;
   for (EventId v = 0; v < p.instance.num_events(); ++v) {
@@ -102,32 +115,13 @@ TEST(BenchmarkDualTest, UpperBoundIsLagrangianAtReportedDuals) {
                       p.bench.EventRow(p.instance, v))];
   }
   for (UserId u = 0; u < p.instance.num_users(); ++u) {
-    double best = 0.0;
-    const auto& sets = p.admissible[static_cast<size_t>(u)].sets;
-    for (const auto& set : sets) {
-      double reduced = SetWeight(p.instance, u, set);
-      for (EventId v : set) {
-        reduced -= sol->duals[static_cast<size_t>(
-            p.bench.EventRow(p.instance, v))];
-      }
-      best = std::max(best, reduced);
-    }
-    lagrangian += best;
+    lagrangian += OracleBest(p, u, sol->duals);
   }
   EXPECT_NEAR(lagrangian, sol->upper_bound, 1e-9);
   // And the user-row duals must be exactly those oracle values.
   for (UserId u = 0; u < p.instance.num_users(); ++u) {
-    double best = 0.0;
-    for (const auto& set : p.admissible[static_cast<size_t>(u)].sets) {
-      double reduced = SetWeight(p.instance, u, set);
-      for (EventId v : set) {
-        reduced -= sol->duals[static_cast<size_t>(
-            p.bench.EventRow(p.instance, v))];
-      }
-      best = std::max(best, reduced);
-    }
-    EXPECT_NEAR(best, sol->duals[static_cast<size_t>(p.bench.UserRow(u))],
-                1e-9);
+    EXPECT_NEAR(OracleBest(p, u, sol->duals),
+                sol->duals[static_cast<size_t>(p.bench.UserRow(u))], 1e-9);
   }
 }
 
@@ -144,7 +138,7 @@ TEST(BenchmarkDualTest, EmptyModelShortCircuits) {
       0.5);
   ASSERT_TRUE(instance.Validate().ok());
   Prepared p = Prepare(std::move(instance));
-  auto sol = SolveBenchmarkLpStructured(p.instance, p.admissible, p.bench, {});
+  auto sol = SolveBenchmarkLpStructured(p.instance, p.catalog, {});
   ASSERT_TRUE(sol.ok());
   EXPECT_EQ(sol->status, lp::SolveStatus::kOptimal);
   EXPECT_EQ(sol->objective, 0.0);
@@ -161,13 +155,14 @@ TEST(BenchmarkDualTest, LooseCapacitiesReachNearLpValueFast) {
   auto instance = gen::GenerateSynthetic(config, &rng);
   ASSERT_TRUE(instance.ok());
   Prepared p = Prepare(std::move(instance).value());
-  auto sol = SolveBenchmarkLpStructured(p.instance, p.admissible, p.bench, {});
+  auto sol = SolveBenchmarkLpStructured(p.instance, p.catalog, {});
   ASSERT_TRUE(sol.ok());
   double decoupled = 0.0;
   for (UserId u = 0; u < p.instance.num_users(); ++u) {
     double best = 0.0;
-    for (const auto& set : p.admissible[static_cast<size_t>(u)].sets) {
-      best = std::max(best, SetWeight(p.instance, u, set));
+    for (int32_t j = p.catalog.user_columns_begin(u);
+         j < p.catalog.user_columns_end(u); ++j) {
+      best = std::max(best, p.catalog.weight(j));
     }
     decoupled += best;
   }

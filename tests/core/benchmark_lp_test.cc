@@ -3,16 +3,19 @@
 #include <gtest/gtest.h>
 
 #include "lp/dense_simplex.h"
+#include "tests/core/legacy_reference.h"
 #include "tests/core/test_instances.h"
 
 namespace igepa {
 namespace core {
 namespace {
 
+using testing_reference::ReferenceSetWeight;
+
 TEST(BenchmarkLpTest, RowAndColumnLayout) {
   const Instance instance = MakeTinyInstance();
-  const auto admissible = EnumerateAdmissibleSets(instance, {});
-  const BenchmarkLp bench = BuildBenchmarkLp(instance, admissible);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const BenchmarkLp bench = BuildBenchmarkLp(instance, catalog);
   // Rows: 3 user rows (rhs 1) + 3 event rows (rhs c_v).
   ASSERT_EQ(bench.model.num_rows(), 6);
   for (UserId u = 0; u < 3; ++u) {
@@ -30,26 +33,28 @@ TEST(BenchmarkLpTest, RowAndColumnLayout) {
   EXPECT_TRUE(bench.model.IsPackingForm());
 }
 
-TEST(BenchmarkLpTest, ColumnWeightsAreSetWeights) {
+TEST(BenchmarkLpTest, ColumnWeightsAreKernelSetWeights) {
   const Instance instance = MakeTinyInstance();
-  const auto admissible = EnumerateAdmissibleSets(instance, {});
-  const BenchmarkLp bench = BuildBenchmarkLp(instance, admissible);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const BenchmarkLp bench = BuildBenchmarkLp(instance, catalog);
+  ASSERT_EQ(bench.model.num_cols(), catalog.num_columns());
   for (int32_t j = 0; j < bench.model.num_cols(); ++j) {
-    const auto [u, k] = bench.column_map[static_cast<size_t>(j)];
-    const auto& set = admissible[static_cast<size_t>(u)].sets
-                          [static_cast<size_t>(k)];
-    EXPECT_NEAR(bench.model.objective(j), SetWeight(instance, u, set), 1e-12);
+    const auto span = catalog.set(j);
+    EXPECT_NEAR(bench.model.objective(j),
+                ReferenceSetWeight(instance, catalog.user_of(j),
+                                   {span.begin(), span.end()}),
+                1e-12);
     // Entries: one user row + one row per event of the set.
-    EXPECT_EQ(bench.model.column(j).size(), set.size() + 1);
+    EXPECT_EQ(bench.model.column(j).size(), span.size() + 1);
   }
 }
 
 TEST(BenchmarkLpTest, LpOptimumEqualsIntegralOptimumOnTiny) {
   // Lemma 1: LP* >= OPT. On the tiny instance the LP is integral, so the
-  // dense simplex recovers exactly the hand-computed optimum 2.10.
+  // dense simplex recovers exactly the hand-computed optimum 2.25.
   const Instance instance = MakeTinyInstance();
-  const auto admissible = EnumerateAdmissibleSets(instance, {});
-  const BenchmarkLp bench = BuildBenchmarkLp(instance, admissible);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const BenchmarkLp bench = BuildBenchmarkLp(instance, catalog);
   auto sol = lp::DenseSimplex().Solve(bench.model);
   ASSERT_TRUE(sol.ok());
   ASSERT_EQ(sol->status, lp::SolveStatus::kOptimal);
@@ -58,14 +63,12 @@ TEST(BenchmarkLpTest, LpOptimumEqualsIntegralOptimumOnTiny) {
 
 TEST(BenchmarkLpTest, UserBlocksArePartition) {
   const Instance instance = MakeTinyInstance();
-  const auto admissible = EnumerateAdmissibleSets(instance, {});
-  const BenchmarkLp bench = BuildBenchmarkLp(instance, admissible);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const BenchmarkLp bench = BuildBenchmarkLp(instance, catalog);
   for (UserId u = 0; u < instance.num_users(); ++u) {
     const int32_t begin = bench.user_col_begin[static_cast<size_t>(u)];
     const int32_t end = bench.user_col_begin[static_cast<size_t>(u) + 1];
-    EXPECT_EQ(end - begin,
-              static_cast<int32_t>(
-                  admissible[static_cast<size_t>(u)].sets.size()));
+    EXPECT_EQ(end - begin, catalog.num_sets(u));
     for (int32_t j = begin; j < end; ++j) {
       EXPECT_EQ(bench.column_map[static_cast<size_t>(j)].first, u);
     }
@@ -84,8 +87,8 @@ TEST(BenchmarkLpTest, EmptyInstanceGivesEmptyModel) {
       std::make_shared<graph::TableInteractionModel>(std::vector<double>{0.0}),
       0.5);
   ASSERT_TRUE(instance.Validate().ok());
-  const auto admissible = EnumerateAdmissibleSets(instance, {});
-  const BenchmarkLp bench = BuildBenchmarkLp(instance, admissible);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const BenchmarkLp bench = BuildBenchmarkLp(instance, catalog);
   EXPECT_EQ(bench.model.num_cols(), 0);
   EXPECT_EQ(bench.model.num_rows(), 2);
   auto sol = lp::DenseSimplex().Solve(bench.model);

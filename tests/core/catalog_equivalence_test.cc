@@ -1,16 +1,18 @@
-// Seeded equivalence between the flat AdmissibleCatalog pipeline and the
-// deprecated nested-AdmissibleSets pipeline: both must produce bit-identical
-// LP objectives and, fed the same RNG stream, bit-identical arrangements —
-// on random synthetic instances across both LP tiers and all repair orders.
+// Seeded equivalence between the production catalog pipeline (arena
+// enumeration via AdmissibleCatalog::Build) and an independently enumerated
+// catalog (tests/core/legacy_reference.h fed through FromSets): both must
+// produce bit-identical LP objectives and, fed the same RNG stream,
+// bit-identical arrangements — on random synthetic instances across both LP
+// tiers and all repair orders.
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
-#include "core/admissible.h"
 #include "core/admissible_catalog.h"
 #include "core/lp_packing.h"
 #include "gen/synthetic.h"
+#include "tests/core/legacy_reference.h"
 #include "tests/core/test_instances.h"
 #include "util/rng.h"
 
@@ -32,38 +34,43 @@ Result<Instance> ScarceInstance(uint64_t seed, int32_t users) {
 
 void ExpectEquivalent(const Instance& instance,
                       const LpPackingOptions& options, uint64_t round_seed) {
-  const auto legacy_sets = EnumerateAdmissibleSets(instance, options.admissible);
+  const auto reference_catalog = AdmissibleCatalog::FromSets(
+      instance,
+      testing_reference::ReferenceEnumerate(instance, options.admissible));
   const auto catalog = AdmissibleCatalog::Build(instance, options.admissible);
 
-  auto legacy_lp = SolveBenchmarkLpForPacking(instance, legacy_sets, options);
+  auto reference_lp =
+      SolveBenchmarkLpForPacking(instance, reference_catalog, options);
   auto catalog_lp = SolveBenchmarkLpForPacking(instance, catalog, options);
-  ASSERT_TRUE(legacy_lp.ok()) << legacy_lp.status();
+  ASSERT_TRUE(reference_lp.ok()) << reference_lp.status();
   ASSERT_TRUE(catalog_lp.ok()) << catalog_lp.status();
   // Bit-identical objectives and certificates, not just near-equal.
-  EXPECT_EQ(legacy_lp->lp.objective, catalog_lp->lp.objective);
-  EXPECT_EQ(legacy_lp->lp.upper_bound, catalog_lp->lp.upper_bound);
-  EXPECT_EQ(legacy_lp->structured, catalog_lp->structured);
-  ASSERT_EQ(legacy_lp->lp.x.size(), catalog_lp->lp.x.size());
-  EXPECT_EQ(legacy_lp->lp.x, catalog_lp->lp.x);
+  EXPECT_EQ(reference_lp->lp.objective, catalog_lp->lp.objective);
+  EXPECT_EQ(reference_lp->lp.upper_bound, catalog_lp->lp.upper_bound);
+  EXPECT_EQ(reference_lp->structured, catalog_lp->structured);
+  ASSERT_EQ(reference_lp->lp.x.size(), catalog_lp->lp.x.size());
+  EXPECT_EQ(reference_lp->lp.x, catalog_lp->lp.x);
 
-  Rng rng_legacy(round_seed);
+  Rng rng_reference(round_seed);
   Rng rng_catalog(round_seed);
-  LpPackingStats stats_legacy;
+  LpPackingStats stats_reference;
   LpPackingStats stats_catalog;
-  auto legacy_arr = RoundFractional(instance, legacy_sets, *legacy_lp,
-                                    &rng_legacy, options, &stats_legacy);
+  auto reference_arr =
+      RoundFractional(instance, reference_catalog, *reference_lp,
+                      &rng_reference, options, &stats_reference);
   auto catalog_arr = RoundFractional(instance, catalog, *catalog_lp,
                                      &rng_catalog, options, &stats_catalog);
-  ASSERT_TRUE(legacy_arr.ok()) << legacy_arr.status();
+  ASSERT_TRUE(reference_arr.ok()) << reference_arr.status();
   ASSERT_TRUE(catalog_arr.ok()) << catalog_arr.status();
   EXPECT_TRUE(catalog_arr->CheckFeasible(instance).ok());
   // Same sampled sets, same repair decisions => same pairs and utility bits.
-  EXPECT_EQ(legacy_arr->pairs(), catalog_arr->pairs());
-  EXPECT_EQ(legacy_arr->Utility(instance), catalog_arr->Utility(instance));
-  EXPECT_EQ(stats_legacy.pairs_repaired, stats_catalog.pairs_repaired);
-  EXPECT_EQ(stats_legacy.users_sampled, stats_catalog.users_sampled);
-  EXPECT_EQ(stats_legacy.num_columns, stats_catalog.num_columns);
-  EXPECT_EQ(stats_legacy.admissible_truncated, stats_catalog.admissible_truncated);
+  EXPECT_EQ(reference_arr->pairs(), catalog_arr->pairs());
+  EXPECT_EQ(reference_arr->Utility(instance), catalog_arr->Utility(instance));
+  EXPECT_EQ(stats_reference.pairs_repaired, stats_catalog.pairs_repaired);
+  EXPECT_EQ(stats_reference.users_sampled, stats_catalog.users_sampled);
+  EXPECT_EQ(stats_reference.num_columns, stats_catalog.num_columns);
+  EXPECT_EQ(stats_reference.admissible_truncated,
+            stats_catalog.admissible_truncated);
 }
 
 TEST(CatalogEquivalenceTest, TinyInstanceFacadeTier) {
@@ -116,18 +123,20 @@ TEST(CatalogEquivalenceTest, TruncatedEnumerationStaysEquivalent) {
   ExpectEquivalent(*instance, options, /*round_seed=*/999);
 }
 
-TEST(CatalogEquivalenceTest, EndToEndLpPackingMatchesLegacyWithSets) {
+TEST(CatalogEquivalenceTest, EndToEndLpPackingMatchesReferenceCatalog) {
   auto instance = ScarceInstance(61, 70);
   ASSERT_TRUE(instance.ok());
-  const auto legacy_sets = EnumerateAdmissibleSets(*instance, {});
+  const auto reference_catalog = AdmissibleCatalog::FromSets(
+      *instance, testing_reference::ReferenceEnumerate(*instance, {}));
   Rng rng_a(4242);
   Rng rng_b(4242);
   auto catalog_run = LpPacking(*instance, &rng_a, {});
-  auto legacy_run = LpPackingWithSets(*instance, legacy_sets, &rng_b, {});
+  auto reference_run =
+      LpPackingWithCatalog(*instance, reference_catalog, &rng_b, {});
   ASSERT_TRUE(catalog_run.ok());
-  ASSERT_TRUE(legacy_run.ok());
-  EXPECT_EQ(catalog_run->pairs(), legacy_run->pairs());
-  EXPECT_EQ(catalog_run->Utility(*instance), legacy_run->Utility(*instance));
+  ASSERT_TRUE(reference_run.ok());
+  EXPECT_EQ(catalog_run->pairs(), reference_run->pairs());
+  EXPECT_EQ(catalog_run->Utility(*instance), reference_run->Utility(*instance));
 }
 
 }  // namespace

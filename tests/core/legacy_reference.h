@@ -1,0 +1,117 @@
+#ifndef IGEPA_TESTS_CORE_LEGACY_REFERENCE_H_
+#define IGEPA_TESTS_CORE_LEGACY_REFERENCE_H_
+
+// Test-local reference implementation of per-user admissible-set enumeration
+// and set scoring — a faithful copy of the deleted legacy shim
+// (`core/admissible.{h,cc}`, removed after PR 1's deprecation window). The
+// production pipeline enumerates straight into the catalog arena; keeping an
+// independent nested enumerator HERE (and only here) preserves the
+// equivalence tests' two-implementation structure without shipping dead code.
+
+#include <algorithm>
+#include <vector>
+
+#include "core/admissible_catalog.h"
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace igepa {
+namespace core {
+namespace testing_reference {
+
+/// DFS over the user's bids (pre-sorted by descending kernel pair weight),
+/// emitting every conflict-free subset of size <= capacity until the cap is
+/// hit — the exact emit order the catalog's ArenaEnumerator produces.
+class ReferenceSetEnumerator {
+ public:
+  ReferenceSetEnumerator(const Instance& instance,
+                         std::vector<EventId> ordered_bids, int32_t capacity,
+                         int32_t max_sets)
+      : instance_(instance),
+        bids_(std::move(ordered_bids)),
+        capacity_(capacity),
+        max_sets_(max_sets) {}
+
+  EnumeratedUserSets Run() {
+    EnumeratedUserSets out;
+    if (capacity_ <= 0 || bids_.empty() || max_sets_ <= 0) return out;
+    current_.clear();
+    Dfs(0, &out);
+    // Canonical order inside each set: ascending event id.
+    for (auto& s : out.sets) std::sort(s.begin(), s.end());
+    return out;
+  }
+
+ private:
+  void Dfs(size_t index, EnumeratedUserSets* out) {
+    if (static_cast<int32_t>(out->sets.size()) >= max_sets_) {
+      out->truncated = true;
+      return;
+    }
+    if (index == bids_.size()) return;
+    const EventId v = bids_[index];
+    if (static_cast<int32_t>(current_.size()) < capacity_ &&
+        CompatibleWithCurrent(v)) {
+      current_.push_back(v);
+      out->sets.push_back(current_);
+      Dfs(index + 1, out);
+      current_.pop_back();
+    }
+    Dfs(index + 1, out);
+  }
+
+  bool CompatibleWithCurrent(EventId v) const {
+    for (EventId chosen : current_) {
+      if (instance_.Conflicts(chosen, v)) return false;
+    }
+    return true;
+  }
+
+  const Instance& instance_;
+  std::vector<EventId> bids_;
+  int32_t capacity_;
+  int32_t max_sets_;
+  std::vector<EventId> current_;
+};
+
+/// Enumerates A_u for one user into nested form.
+inline EnumeratedUserSets ReferenceEnumerateUser(
+    const Instance& instance, UserId u, const AdmissibleOptions& options) {
+  std::vector<EventId> ordered = instance.bids(u);
+  std::stable_sort(ordered.begin(), ordered.end(), [&](EventId a, EventId b) {
+    const double wa = instance.PairWeight(a, u);
+    const double wb = instance.PairWeight(b, u);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  ReferenceSetEnumerator enumerator(instance, std::move(ordered),
+                                    instance.user_capacity(u),
+                                    options.max_sets_per_user);
+  return enumerator.Run();
+}
+
+/// Enumerates A_u for every user.
+inline std::vector<EnumeratedUserSets> ReferenceEnumerate(
+    const Instance& instance, const AdmissibleOptions& options = {}) {
+  std::vector<EnumeratedUserSets> out;
+  out.reserve(static_cast<size_t>(instance.num_users()));
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    out.push_back(ReferenceEnumerateUser(instance, u, options));
+  }
+  return out;
+}
+
+/// Σ_v∈S w(u, v) through the instance's kernel — the reference for the
+/// catalog's precomputed column weights under pair-decomposable kernels.
+inline double ReferenceSetWeight(const Instance& instance, UserId u,
+                                 const std::vector<EventId>& set) {
+  double w = 0.0;
+  for (EventId v : set) w += instance.PairWeight(v, u);
+  return w;
+}
+
+}  // namespace testing_reference
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_TESTS_CORE_LEGACY_REFERENCE_H_

@@ -152,13 +152,13 @@ TEST(LpPackingTest, TightCapacitiesTriggerRepair) {
   EXPECT_EQ(result->UsersOf(0).size(), static_cast<size_t>(result->size()));
 }
 
-TEST(LpPackingTest, WithPrecomputedSetsMatchesInlineEnumeration) {
+TEST(LpPackingTest, WithPrecomputedCatalogMatchesInlineEnumeration) {
   const Instance instance = MakeTinyInstance();
-  const auto admissible = EnumerateAdmissibleSets(instance, {});
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
   Rng rng_a(5);
   Rng rng_b(5);
   auto inline_run = LpPacking(instance, &rng_a, {});
-  auto preset_run = LpPackingWithSets(instance, admissible, &rng_b, {});
+  auto preset_run = LpPackingWithCatalog(instance, catalog, &rng_b, {});
   ASSERT_TRUE(inline_run.ok());
   ASSERT_TRUE(preset_run.ok());
   EXPECT_EQ(inline_run->pairs(), preset_run->pairs());

@@ -29,8 +29,8 @@ gen::SyntheticConfig TinyConfig(int32_t events, int32_t users) {
 }
 
 double LpOptimum(const Instance& instance) {
-  const auto admissible = EnumerateAdmissibleSets(instance, {});
-  const BenchmarkLp bench = BuildBenchmarkLp(instance, admissible);
+  const auto catalog = AdmissibleCatalog::Build(instance, {});
+  const BenchmarkLp bench = BuildBenchmarkLp(instance, catalog);
   auto sol = lp::DenseSimplex().Solve(bench.model);
   EXPECT_TRUE(sol.ok());
   EXPECT_EQ(sol->status, lp::SolveStatus::kOptimal);

@@ -3,9 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
 
+#include "conflict/conflict.h"
+#include "core/instance.h"
 #include "graph/generators.h"
 #include "graph/metrics.h"
+#include "interest/interest.h"
+#include "io/instance_io.h"
 
 namespace igepa {
 namespace graph {
@@ -76,6 +83,34 @@ TEST(BinomialDegreeModelTest, MatchesExplicitGraphDistribution) {
   EXPECT_NEAR(std::sqrt(v1), std::sqrt(v2), 0.005);
 }
 
+TEST(BinomialDegreeModelTest, MeanAndVarianceMatchBinomialMarginals) {
+  // D(G, u) = deg(u)/(n-1) with deg(u) ~ Binomial(n-1, p), so the sampled
+  // normalized degrees must reproduce the analytic marginals
+  //   E[D] = p,   Var[D] = p(1-p)/(n-1)
+  // within sampling tolerance — across the p range, not just p = 1/2.
+  const int32_t n = 4000;
+  uint64_t seed = 16;
+  for (double p : {0.1, 0.3, 0.5, 0.8}) {
+    Rng rng(seed++);
+    BinomialDegreeModel model(n, p, &rng);
+    double mean = 0.0;
+    for (int32_t u = 0; u < n; ++u) mean += model.Degree(u);
+    mean /= n;
+    double var = 0.0;
+    for (int32_t u = 0; u < n; ++u) {
+      var += (model.Degree(u) - mean) * (model.Degree(u) - mean);
+    }
+    var /= n - 1;  // unbiased sample variance
+    const double expected_var = p * (1.0 - p) / (n - 1);
+    // Mean: sd of the sample mean is sqrt(Var[D]/n); allow ~4 sigma.
+    EXPECT_NEAR(mean, p, 4.0 * std::sqrt(expected_var / n)) << "p=" << p;
+    // Variance: sampling error of s² is ~Var·sqrt(2/n); allow ~5 sigma.
+    EXPECT_NEAR(var, expected_var,
+                5.0 * expected_var * std::sqrt(2.0 / n))
+        << "p=" << p;
+  }
+}
+
 TEST(BinomialDegreeModelTest, EdgeCases) {
   Rng rng(15);
   BinomialDegreeModel zero(0, 0.5, &rng);
@@ -95,6 +130,46 @@ TEST(TableInteractionModelTest, ReturnsStoredValues) {
   EXPECT_DOUBLE_EQ(model.Degree(0), 0.1);
   EXPECT_DOUBLE_EQ(model.Degree(1), 0.5);
   EXPECT_DOUBLE_EQ(model.Degree(2), 0.9);
+}
+
+TEST(TableInteractionModelTest, InstanceIoRoundTripsDegreesExactly) {
+  // The instance CSV materializes D as a degree table (17 significant
+  // digits), so a TableInteractionModel must survive write → read bit for
+  // bit — including values with no short decimal representation.
+  const std::vector<double> degrees = {0.0, 1.0, 1.0 / 3.0, 0.123456789012345,
+                                       std::nextafter(0.5, 1.0)};
+  const auto n = static_cast<int32_t>(degrees.size());
+  std::vector<core::EventDef> events(2);
+  events[0].capacity = 2;
+  events[1].capacity = 2;
+  std::vector<core::UserDef> users(static_cast<size_t>(n));
+  for (auto& u : users) {
+    u.capacity = 1;
+    u.bids = {0, 1};
+  }
+  core::Instance original(
+      std::move(events), std::move(users),
+      std::make_shared<conflict::NoConflict>(2),
+      std::make_shared<interest::HashUniformInterest>(2, n, 1),
+      std::make_shared<TableInteractionModel>(degrees), 0.5);
+  ASSERT_TRUE(original.Validate().ok());
+
+  const std::string path = ::testing::TempDir() + "/table_model_roundtrip.csv";
+  ASSERT_TRUE(io::WriteInstanceCsv(original, path).ok());
+  auto reread = io::ReadInstanceCsv(path);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  std::remove(path.c_str());
+
+  ASSERT_EQ(reread->num_users(), n);
+  for (int32_t u = 0; u < n; ++u) {
+    EXPECT_EQ(reread->Degree(u), degrees[static_cast<size_t>(u)])
+        << "user " << u;
+    // The pair weight (what the solvers consume) must therefore agree in
+    // bits too.
+    for (core::EventId v = 0; v < 2; ++v) {
+      EXPECT_EQ(reread->PairWeight(v, u), original.PairWeight(v, u));
+    }
+  }
 }
 
 }  // namespace

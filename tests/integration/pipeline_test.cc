@@ -61,8 +61,8 @@ TEST(PipelineTest, LpTiersAgreeOnBenchmarkLp) {
   Rng gen_rng = master.Fork();
   auto instance = gen::GenerateSynthetic(config, &gen_rng);
   ASSERT_TRUE(instance.ok());
-  const auto admissible = core::EnumerateAdmissibleSets(*instance, {});
-  const core::BenchmarkLp bench = core::BuildBenchmarkLp(*instance, admissible);
+  const auto catalog = core::AdmissibleCatalog::Build(*instance, {});
+  const core::BenchmarkLp bench = core::BuildBenchmarkLp(*instance, catalog);
 
   lp::LpSolverOptions dense;
   dense.kind = lp::SolverKind::kDenseSimplex;

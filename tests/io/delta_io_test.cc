@@ -65,6 +65,108 @@ TEST(DeltaIoTest, RoundTripPreservesStream) {
   std::remove(path.c_str());
 }
 
+TEST(DeltaIoTest, WeightDeltasRoundTripViaVersionTwo) {
+  Rng rng(5);
+  gen::SyntheticConfig config;
+  config.num_users = 40;
+  config.num_events = 12;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  gen::DeltaStreamConfig stream_config;
+  stream_config.num_ticks = 3;
+  stream_config.user_updates_per_tick = 1;
+  stream_config.graph_updates_per_tick = 2;
+  stream_config.interest_updates_per_tick = 2;
+  const auto stream = gen::GenerateDeltaStream(*instance, stream_config, &rng);
+  ASSERT_EQ(stream.size(), 3u);
+  for (const auto& delta : stream) ASSERT_TRUE(delta.has_weight_updates());
+
+  const std::string path = TempPath("delta_v2_roundtrip.csv");
+  ASSERT_TRUE(WriteDeltaStreamCsv(stream, instance->num_events(),
+                                  instance->num_users(), path)
+                  .ok());
+  {
+    std::ifstream in(path);
+    std::string header;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+    EXPECT_EQ(header.rfind("igepa-deltas,2,", 0), 0u) << header;
+  }
+  auto loaded = ReadDeltaStreamCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), stream.size());
+  for (size_t t = 0; t < stream.size(); ++t) {
+    ASSERT_EQ((*loaded)[t].graph_updates.size(),
+              stream[t].graph_updates.size());
+    for (size_t i = 0; i < stream[t].graph_updates.size(); ++i) {
+      EXPECT_EQ((*loaded)[t].graph_updates[i].a, stream[t].graph_updates[i].a);
+      EXPECT_EQ((*loaded)[t].graph_updates[i].b, stream[t].graph_updates[i].b);
+      EXPECT_EQ((*loaded)[t].graph_updates[i].add,
+                stream[t].graph_updates[i].add);
+    }
+    ASSERT_EQ((*loaded)[t].interest_updates.size(),
+              stream[t].interest_updates.size());
+    for (size_t i = 0; i < stream[t].interest_updates.size(); ++i) {
+      EXPECT_EQ((*loaded)[t].interest_updates[i].event,
+                stream[t].interest_updates[i].event);
+      EXPECT_EQ((*loaded)[t].interest_updates[i].user,
+                stream[t].interest_updates[i].user);
+      // Written at 17 significant digits, so values round-trip in bits.
+      EXPECT_EQ((*loaded)[t].interest_updates[i].value,
+                stream[t].interest_updates[i].value);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DeltaIoTest, RegistrationOnlyStreamsKeepWritingVersionOne) {
+  std::vector<core::InstanceDelta> stream(1);
+  core::UserUpdate up;
+  up.user = 0;
+  up.capacity = 1;
+  up.bids = {0};
+  stream[0].user_updates.push_back(up);
+  const std::string path = TempPath("delta_v1_still.csv");
+  ASSERT_TRUE(WriteDeltaStreamCsv(stream, 2, 2, path).ok());
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header.rfind("igepa-deltas,1,", 0), 0u) << header;
+  std::remove(path.c_str());
+}
+
+TEST(DeltaIoTest, VersionOneRejectsWeightLines) {
+  const std::string path = TempPath("delta_v1_edge.csv");
+  {
+    std::ofstream out(path);
+    out << "igepa-deltas,1,1,4,4\n"
+        << "tick,0\n"
+        << "edge,0,1,1\n";
+  }
+  auto result = ReadDeltaStreamCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DeltaIoTest, RejectsMalformedWeightLines) {
+  auto expect_bad = [&](const std::string& body) {
+    const std::string path = TempPath("delta_bad_weight.csv");
+    {
+      std::ofstream out(path);
+      out << "igepa-deltas,2,1,4,4\n" << "tick,0\n" << body;
+    }
+    auto result = ReadDeltaStreamCsv(path);
+    EXPECT_FALSE(result.ok()) << body;
+    std::remove(path.c_str());
+  };
+  expect_bad("edge,0,0,1\n");         // self edge
+  expect_bad("edge,0,9,1\n");         // endpoint out of range
+  expect_bad("edge,0,1,2\n");         // add flag not 0/1
+  expect_bad("interest,9,0,0.5\n");   // event out of range
+  expect_bad("interest,0,0,1.5\n");   // value outside [0,1]
+  expect_bad("interest,0,0,nan\n");   // NaN fails the range check
+}
+
 TEST(DeltaIoTest, RejectsMalformedFiles) {
   const std::string path = TempPath("delta_bad.csv");
   auto write = [&](const std::string& content) {
@@ -216,6 +318,65 @@ TEST(ArrivalIoTest, RoundTripPreservesStream) {
                 stream[i].delta.user_updates[j].capacity);
       EXPECT_EQ((*loaded)[i].delta.user_updates[j].bids,
                 stream[i].delta.user_updates[j].bids);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArrivalIoTest, WeightArrivalsRoundTripViaVersionTwo) {
+  Rng rng(9);
+  gen::SyntheticConfig config;
+  config.num_users = 30;
+  config.num_events = 10;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  ASSERT_TRUE(instance.ok());
+  gen::ArrivalProcessConfig arrival_config;
+  arrival_config.num_arrivals = 40;
+  arrival_config.p_graph_edge = 0.3;
+  arrival_config.p_interest_drift = 0.3;
+  const auto stream =
+      gen::GenerateArrivalProcess(*instance, arrival_config, &rng);
+  ASSERT_EQ(stream.size(), 40u);
+  size_t weight_arrivals = 0;
+  for (const auto& arrival : stream) {
+    weight_arrivals += arrival.delta.has_weight_updates() ? 1 : 0;
+  }
+  ASSERT_GT(weight_arrivals, 0u);
+
+  const std::string path = TempPath("arrival_v2_roundtrip.csv");
+  ASSERT_TRUE(WriteArrivalStreamCsv(stream, instance->num_events(),
+                                    instance->num_users(), path)
+                  .ok());
+  {
+    std::ifstream in(path);
+    std::string header;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+    EXPECT_EQ(header.rfind("igepa-arrivals,2,", 0), 0u) << header;
+  }
+  auto loaded = ReadArrivalStreamCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].at_seconds, stream[i].at_seconds);
+    ASSERT_EQ((*loaded)[i].delta.graph_updates.size(),
+              stream[i].delta.graph_updates.size());
+    ASSERT_EQ((*loaded)[i].delta.interest_updates.size(),
+              stream[i].delta.interest_updates.size());
+    if (!stream[i].delta.graph_updates.empty()) {
+      EXPECT_EQ((*loaded)[i].delta.graph_updates[0].a,
+                stream[i].delta.graph_updates[0].a);
+      EXPECT_EQ((*loaded)[i].delta.graph_updates[0].b,
+                stream[i].delta.graph_updates[0].b);
+      EXPECT_EQ((*loaded)[i].delta.graph_updates[0].add,
+                stream[i].delta.graph_updates[0].add);
+    }
+    if (!stream[i].delta.interest_updates.empty()) {
+      EXPECT_EQ((*loaded)[i].delta.interest_updates[0].event,
+                stream[i].delta.interest_updates[0].event);
+      EXPECT_EQ((*loaded)[i].delta.interest_updates[0].user,
+                stream[i].delta.interest_updates[0].user);
+      EXPECT_EQ((*loaded)[i].delta.interest_updates[0].value,
+                stream[i].delta.interest_updates[0].value);
     }
   }
   std::remove(path.c_str());

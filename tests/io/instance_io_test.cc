@@ -72,6 +72,106 @@ TEST_F(InstanceIoTest, RoundTripPreservesAlgorithmBehaviour) {
               1e-9);
 }
 
+TEST_F(InstanceIoTest, DefaultKernelKeepsWritingVersionOne) {
+  // Pre-kernel files must stay byte-compatible: the default objective never
+  // forces the v2 header.
+  const Instance original = MakeTinyInstance();
+  const std::string path = TempPath("tiny_v1.csv");
+  ASSERT_TRUE(WriteInstanceCsv(original, path).ok());
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header.rfind("igepa,1,", 0), 0u) << header;
+  auto loaded = ReadInstanceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->kernel().id(), "interaction_interest");
+}
+
+TEST_F(InstanceIoTest, NonDefaultKernelRoundTripsViaVersionTwo) {
+  Instance original = MakeTinyInstance();
+  auto kernel = core::MakeUtilityKernel("interest_only");
+  ASSERT_TRUE(kernel.ok());
+  original.set_kernel(std::move(*kernel));
+  const std::string path = TempPath("tiny_v2.csv");
+  ASSERT_TRUE(WriteInstanceCsv(original, path).ok());
+  std::ifstream in(path);
+  std::string header, kernel_line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, kernel_line)));
+  EXPECT_EQ(header.rfind("igepa,2,", 0), 0u) << header;
+  EXPECT_EQ(kernel_line, "kernel,interest_only");
+
+  auto loaded = ReadInstanceCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->kernel().id(), "interest_only");
+  // The pinned kernel is live: pair weights follow the ablated objective.
+  for (core::UserId u = 0; u < loaded->num_users(); ++u) {
+    for (core::EventId v : loaded->bids(u)) {
+      EXPECT_EQ(loaded->PairWeight(v, u), loaded->Interest(v, u));
+    }
+  }
+}
+
+TEST_F(InstanceIoTest, CohesionGammaRoundTripsInTheKernelRecord) {
+  // A parameterized kernel id carries its parameter: cohesion with a
+  // non-default γ must come back with the same γ, not the registry default.
+  Instance original = MakeTinyInstance();
+  original.set_kernel(std::make_shared<core::CohesionKernel>(0.9));
+  const std::string path = TempPath("tiny_cohesion.csv");
+  ASSERT_TRUE(WriteInstanceCsv(original, path).ok());
+  auto loaded = ReadInstanceCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->kernel().id(), original.kernel().id());
+  const auto* kernel =
+      dynamic_cast<const core::CohesionKernel*>(&loaded->kernel());
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->gamma(), 0.9);
+}
+
+TEST_F(InstanceIoTest, UnknownKernelRecordIsRejected) {
+  const std::string path = TempPath("bad_kernel.csv");
+  {
+    std::ofstream out(path);
+    out << "igepa,2,1,1,0.5\n"
+        << "kernel,not-a-kernel\n"
+        << "event,0,1\n"
+        << "user,0,1,0\n";
+  }
+  auto result = ReadInstanceCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // v1 files must not smuggle kernel records either.
+  {
+    std::ofstream out(path);
+    out << "igepa,1,1,1,0.5\n"
+        << "kernel,interest_only\n"
+        << "event,0,1\n"
+        << "user,0,1,0\n";
+  }
+  result = ReadInstanceCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InstanceIoTest, DriftOverlaysAreFoldedIntoTheTables) {
+  // Live graph/interest drift state serializes as plain table values: the
+  // re-read instance scores identically without carrying overlay state.
+  Instance original = MakeTinyInstance();
+  ASSERT_TRUE(original.UpdateInterest(1, 0, 0.33).ok());
+  ASSERT_TRUE(original.ApplyGraphEdge(0, 2, /*add=*/true).ok());
+  const std::string path = TempPath("drifted.csv");
+  ASSERT_TRUE(WriteInstanceCsv(original, path).ok());
+  auto loaded = ReadInstanceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  for (core::UserId u = 0; u < original.num_users(); ++u) {
+    EXPECT_EQ(loaded->Degree(u), original.Degree(u));
+    for (core::EventId v : original.bids(u)) {
+      EXPECT_EQ(loaded->Interest(v, u), original.Interest(v, u));
+      EXPECT_EQ(loaded->PairWeight(v, u), original.PairWeight(v, u));
+    }
+  }
+}
+
 TEST_F(InstanceIoTest, MissingFileIsIOError) {
   auto result = ReadInstanceCsv("/nonexistent/dir/instance.csv");
   ASSERT_FALSE(result.ok());

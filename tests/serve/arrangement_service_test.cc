@@ -88,9 +88,11 @@ struct DirectEngine {
     arrangement = std::move(*arr);
   }
 
-  /// One epoch over an already-coalesced batch.
+  /// One epoch over an already-coalesced batch. `touched` mirrors
+  /// core::ApplyWarmTick: WarmTouchedUsers against the pre-delta instance.
   void ApplyBatch(const core::InstanceDelta& batch) {
-    const std::vector<core::UserId> touched = core::TouchedUsers(batch);
+    const std::vector<core::UserId> touched =
+        core::WarmTouchedUsers(instance, batch);
     const std::vector<core::EventId> cap_events = core::TouchedEvents(batch);
     std::vector<core::EventId> dirty =
         core::RetireSamples(catalog, touched, &state);
@@ -180,6 +182,61 @@ TEST(ArrangementServiceTest, EpochMatchesDirectEngineBitForBit) {
   EXPECT_EQ(snapshot->lp_objective(), direct.fractional.lp.objective);
   EXPECT_EQ(snapshot->utility(), direct.arrangement.Utility(direct.instance));
   EXPECT_EQ(snapshot->arrangement().pairs(), direct.arrangement.pairs());
+}
+
+// The weight-delta kinds (graph edges, interest drift) route through the
+// same epoch path and stay pinned to the direct engine bit for bit.
+TEST(ArrangementServiceTest, WeightDeltaEpochMatchesDirectEngineBitForBit) {
+  const core::Instance base = MakeInstance(220, 15);
+  Rng rng(21);
+  gen::ArrivalProcessConfig config;
+  config.num_arrivals = 12;
+  config.p_graph_edge = 0.35;
+  config.p_interest_drift = 0.35;
+  std::vector<core::InstanceDelta> deltas;
+  size_t weight_deltas = 0;
+  for (core::ArrivalEvent& arrival :
+       gen::GenerateArrivalProcess(base, config, &rng)) {
+    weight_deltas += arrival.delta.has_weight_updates() ? 1 : 0;
+    deltas.push_back(std::move(arrival.delta));
+  }
+  ASSERT_GT(weight_deltas, 0u);
+  const ServeOptions options = TestOptions();
+
+  auto service = ArrangementService::Create(base, options);
+  ASSERT_TRUE(service.ok());
+  for (const auto& delta : deltas) {
+    ASSERT_TRUE((*service)->Submit(delta).ok());
+  }
+  auto metrics = (*service)->RunEpoch();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->deltas_coalesced, 12);
+
+  DirectEngine direct(base, options);
+  core::InstanceDelta batch;
+  for (const auto& delta : deltas) {
+    batch.user_updates.insert(batch.user_updates.end(),
+                              delta.user_updates.begin(),
+                              delta.user_updates.end());
+    batch.event_updates.insert(batch.event_updates.end(),
+                               delta.event_updates.begin(),
+                               delta.event_updates.end());
+    batch.graph_updates.insert(batch.graph_updates.end(),
+                               delta.graph_updates.begin(),
+                               delta.graph_updates.end());
+    batch.interest_updates.insert(batch.interest_updates.end(),
+                                  delta.interest_updates.begin(),
+                                  delta.interest_updates.end());
+  }
+  direct.ApplyBatch(batch);
+
+  auto snapshot = (*service)->snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->lp_objective(), direct.fractional.lp.objective);
+  EXPECT_EQ(snapshot->utility(), direct.arrangement.Utility(direct.instance));
+  EXPECT_EQ(snapshot->arrangement().pairs(), direct.arrangement.pairs());
+  EXPECT_TRUE(
+      snapshot->arrangement().CheckFeasible(direct.instance).ok());
 }
 
 // Multiple epochs with interleaved batch sizes stay pinned, including across
