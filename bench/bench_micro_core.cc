@@ -25,6 +25,8 @@
 #include "graph/generators.h"
 #include "serve/arrangement_service.h"
 #include "util/rng.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -104,15 +106,18 @@ BENCHMARK(BM_RoundFractionalCatalog)->Arg(500)->Arg(2000);
 // Parallel-vs-serial counters for the shard-parallel pipeline: the same
 // solve at 1, 2 and 8 workers (results are bit-identical; only the wall
 // clock moves). The /1 row IS the serial baseline — speedup(t) =
-// real_time(/1) / real_time(/t).
+// real_time(/1) / real_time(/t). Every row borrows a pre-spawned pool via
+// options.workers, so the curve measures the sharded sweep itself, not the
+// per-solve thread spawn the borrowed-pool path exists to avoid.
 void BM_StructuredDualThreads(benchmark::State& state) {
   const auto instance = MakeInstance(1000);
   core::AdmissibleOptions enumerate;
   enumerate.num_threads = 1;
   const auto catalog = core::AdmissibleCatalog::Build(instance, enumerate);
+  ThreadPool pool(static_cast<int32_t>(state.range(0)));
   core::StructuredDualOptions options;
   options.max_iterations = 400;
-  options.num_threads = static_cast<int32_t>(state.range(0));
+  options.workers = &pool;
   for (auto _ : state) {
     auto sol = core::SolveBenchmarkLpStructured(instance, catalog, options);
     benchmark::DoNotOptimize(sol);
@@ -127,8 +132,9 @@ void BM_RoundFractionalCatalogThreads(benchmark::State& state) {
   const auto instance = MakeInstance(2000);
   const auto catalog = core::AdmissibleCatalog::Build(instance, {});
   auto fractional = core::SolveBenchmarkLpForPacking(instance, catalog, {});
+  ThreadPool pool(static_cast<int32_t>(state.range(0)));
   core::LpPackingOptions options;
-  options.num_threads = static_cast<int32_t>(state.range(0));
+  options.workers = &pool;
   Rng rng(3);
   for (auto _ : state) {
     auto arrangement =
@@ -139,6 +145,47 @@ void BM_RoundFractionalCatalogThreads(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(state.range(0)));
 }
 BENCHMARK(BM_RoundFractionalCatalogThreads)->Arg(1)->Arg(2)->Arg(8);
+
+// Catalog construction thread curve: enumeration chunks and the SoA scoring
+// finalize share one pool. Bit-identical output at every width; the /1 row
+// is the serial baseline for the speedup table in DESIGN.md §5 (S18).
+void BM_CatalogBuildThreads(benchmark::State& state) {
+  const auto instance = MakeInstance(2000);
+  core::AdmissibleOptions options;
+  options.num_threads = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    auto catalog = core::AdmissibleCatalog::Build(instance, options);
+    benchmark::DoNotOptimize(catalog);
+  }
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_CatalogBuildThreads)->Arg(1)->Arg(2)->Arg(8);
+
+// The SoA batch-scoring entry point in isolation: a full-catalog Rescore on
+// the 1k-user instance with the SIMD dispatch pinned to scalar (/0) vs the
+// detected best level (/1 — AVX2 where available, else the same scalar
+// path). Identical weights bit for bit; columns_per_s is the headline
+// scoring throughput.
+void BM_ScoreColumnsSoA(benchmark::State& state) {
+  const auto instance = MakeInstance(1000);
+  auto catalog = core::AdmissibleCatalog::Build(instance, {});
+  util::simd::ForceLevel(state.range(0) != 0 ? util::simd::DetectedLevel()
+                                             : util::simd::Level::kScalar);
+  int64_t columns = 0;
+  for (auto _ : state) {
+    columns += catalog.Rescore(instance);
+    benchmark::DoNotOptimize(catalog);
+  }
+  util::simd::ResetLevel();
+  state.counters["columns_per_s"] = benchmark::Counter(
+      static_cast<double>(columns), benchmark::Counter::kIsRate);
+  state.counters["simd"] = benchmark::Counter(
+      static_cast<double>(util::simd::DetectedLevel() !=
+                              util::simd::Level::kScalar &&
+                          state.range(0) != 0));
+}
+BENCHMARK(BM_ScoreColumnsSoA)->Arg(0)->Arg(1);
 
 // Incremental catalog maintenance: one ApplyDelta tick (re-enumerate ~1% of
 // users, tombstone + append + inverted-index patch, auto-compaction at the

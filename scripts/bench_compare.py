@@ -11,6 +11,14 @@ both are listed and counted as warnings so a renamed or dropped benchmark is
 visible in the gate output, but neither fails the run — landing a new
 benchmark (or retiring one) must not need a simultaneous baseline update.
 
+The current run is additionally checked for multicore scaling regressions:
+every `BM_*Threads*/N` family must not get SLOWER as N grows — the widest
+row's real_time is compared against the N=1 row of the same family, and a
+family whose widest row exceeds its serial row by --scaling-warn prints a
+warning (never a failure: thread curves are flat on single-core runners, and
+absolute monotonicity is a property of the hardware, not the change under
+review).
+
 Usage:
   scripts/bench_compare.py --baseline BENCH_micro_core.json \
                            --current build/BENCH_micro_core.json
@@ -25,8 +33,37 @@ DEFAULT_FILTER = (
     r"^BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
     r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd|"
     r"CatalogApplyDelta|StructuredDualWarmVsCold|ServeEpoch|"
-    r"KernelRescore)"
+    r"KernelRescore|CatalogBuildThreads|ScoreColumnsSoA)"
 )
+
+THREAD_FAMILY = re.compile(r"^(BM_\w*Threads\w*)/(\d+)$")
+
+
+def scaling_warnings(current, warn_ratio):
+    """Families where the widest thread count runs slower than serial.
+
+    Returns a list of warning strings, one per regressing family. The check
+    is relative within ONE run, so it transfers across machines; it flags
+    the inverted-curve failure mode (threads/8 slower than threads/1) that
+    false sharing and per-call pool spawns produce.
+    """
+    families = {}
+    for name, real_time in current.items():
+        m = THREAD_FAMILY.match(name)
+        if m:
+            families.setdefault(m.group(1), {})[int(m.group(2))] = real_time
+    out = []
+    for family in sorted(families):
+        rows = families[family]
+        if len(rows) < 2 or 1 not in rows:
+            continue
+        serial = rows[1]
+        widest = max(rows)
+        if serial > 0 and rows[widest] > serial * (1.0 + warn_ratio):
+            out.append(
+                f"{family}: /{widest} is {rows[widest] / serial:.2f}x the /1 "
+                f"row — the thread curve regresses instead of scaling")
+    return out
 
 
 def load(path):
@@ -52,6 +89,10 @@ def main():
                         help="fail above this relative slowdown (default 25%%)")
     parser.add_argument("--filter", default=DEFAULT_FILTER,
                         help="regex over benchmark names to compare")
+    parser.add_argument("--scaling-warn", type=float, default=0.10,
+                        help="warn when a BM_*Threads*/N family's widest row "
+                             "is this fraction slower than its /1 row "
+                             "(default 10%%)")
     parser.add_argument("--advisory", action="store_true",
                         help="report regressions but always exit 0 (for "
                              "cross-machine comparisons where absolute "
@@ -102,6 +143,13 @@ def main():
               f" ({', '.join(added) or '-'}), {len(removed)} removed"
               f" ({', '.join(removed) or '-'})", file=sys.stderr)
 
+    scaling = scaling_warnings(current, args.scaling_warn)
+    for line in scaling:
+        print(f"  SCALE  {line}")
+    if scaling:
+        print(f"bench_compare: {len(scaling)} thread-scaling regression "
+              f"warning(s) in the current run", file=sys.stderr)
+
     if compared == 0 and not added and not removed:
         print(f"bench_compare: no benchmarks matched {args.filter!r}",
               file=sys.stderr)
@@ -113,8 +161,9 @@ def main():
               file=sys.stderr)
         return 0 if args.advisory else 1
     print(f"bench_compare: {compared} compared, "
-          f"{len(warnings) + len(added) + len(removed)} warning(s) "
-          f"({len(added)} added, {len(removed)} removed), 0 failures")
+          f"{len(warnings) + len(added) + len(removed) + len(scaling)} "
+          f"warning(s) ({len(added)} added, {len(removed)} removed, "
+          f"{len(scaling)} scaling), 0 failures")
     return 0
 
 

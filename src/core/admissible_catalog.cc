@@ -1,6 +1,7 @@
 #include "core/admissible_catalog.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -78,13 +79,20 @@ class ArenaEnumerator {
 
 /// The canonical bid order: descending kernel pair weight, ties by event id
 /// (under the default kernel, exactly the legacy descending-w(u,v) order).
-/// Weights are fetched once per bid — one virtual PairWeight call each —
-/// rather than twice per comparison inside the sort.
+/// Weights are fetched once per bid through one PairWeightLane batch call
+/// (per-user kernel terms hoisted), rather than twice per comparison inside
+/// the sort.
 std::vector<EventId> OrderedBids(const Instance& instance, UserId u) {
   const std::vector<EventId>& bids = instance.bids(u);
+  std::vector<double> lane(bids.size());
+  instance.kernel().PairWeightLane(instance, u, bids.data(),
+                                   static_cast<int32_t>(bids.size()),
+                                   lane.data());
   std::vector<std::pair<double, EventId>> keyed;
   keyed.reserve(bids.size());
-  for (EventId v : bids) keyed.emplace_back(instance.PairWeight(v, u), v);
+  for (size_t i = 0; i < bids.size(); ++i) {
+    keyed.emplace_back(lane[i], bids[i]);
+  }
   // The (weight desc, id asc) key is total, so plain sort is deterministic.
   std::sort(keyed.begin(), keyed.end(),
             [](const std::pair<double, EventId>& a,
@@ -98,52 +106,109 @@ std::vector<EventId> OrderedBids(const Instance& instance, UserId u) {
   return ordered;
 }
 
+/// Reusable scratch of the SoA scoring fast path (one per scoring lane): a
+/// dense per-event weight lane with fill markers cleared through the touched
+/// list, plus compacted CSR buffers for the scattered-column path. The lane
+/// is what turns scoring from one (hash-overlay-backed) PairWeight call per
+/// (set, event) incidence into one per *distinct* event of the batch.
+struct ScoreScratch {
+  std::vector<double> lane;       // event id → PairWeight(v, u), when filled
+  std::vector<uint8_t> filled;    // per event: lane slot valid for current u
+  std::vector<EventId> touched;   // filled slots to clear after the batch
+  std::vector<double> lane_vals;  // PairWeightLane output, touched order
+  std::vector<EventId> cpool;     // scattered-column path: compacted spans
+  std::vector<int64_t> cbegin;    //   …and their offsets
+  std::vector<double> scores;     //   …and the scored weights to scatter back
+};
+
+/// Gathers PairWeight lanes for every distinct event in
+/// pool[pool_begin, pool_end) — walking the spans themselves (not bids), so
+/// externally enumerated sets (FromSets) are covered too.
+void GatherLane(const Instance& instance, UserId u, const EventId* pool,
+                int64_t pool_begin, int64_t pool_end, ScoreScratch* scratch) {
+  const auto nv = static_cast<size_t>(instance.num_events());
+  if (scratch->lane.size() < nv) {
+    scratch->lane.assign(nv, 0.0);
+    scratch->filled.assign(nv, 0);
+  }
+  scratch->touched.clear();
+  for (int64_t p = pool_begin; p < pool_end; ++p) {
+    const EventId v = pool[p];
+    if (scratch->filled[static_cast<size_t>(v)] == 0) {
+      scratch->filled[static_cast<size_t>(v)] = 1;
+      scratch->touched.push_back(v);
+    }
+  }
+  // One batch call for the whole lane: the kernel hoists its per-user terms
+  // (and the virtual dispatch) out of the per-event loop, then the values
+  // scatter back into dense event-id slots.
+  const int32_t n = static_cast<int32_t>(scratch->touched.size());
+  scratch->lane_vals.resize(static_cast<size_t>(n));
+  instance.kernel().PairWeightLane(instance, u, scratch->touched.data(), n,
+                                   scratch->lane_vals.data());
+  for (int32_t i = 0; i < n; ++i) {
+    scratch->lane[static_cast<size_t>(scratch->touched[i])] =
+        scratch->lane_vals[i];
+  }
+}
+
+void ClearLane(ScoreScratch* scratch) {
+  for (EventId v : scratch->touched) {
+    scratch->filled[static_cast<size_t>(v)] = 0;
+  }
+}
+
 /// Scores the contiguous column range [begin, end) of user u through the
 /// instance's kernel, writing into weight[begin..end). The one place column
 /// weights are ever computed — Build, delta re-enumeration and delta
-/// re-scoring all funnel through here.
+/// re-scoring all funnel through here. SoA form: the per-event weight lane is
+/// gathered once (one PairWeight per distinct event), then the kernel reduces
+/// the CSR columns in batch — bit-identical to the span path, since the same
+/// doubles are summed in the same left-to-right order.
 void ScoreUserColumns(const Instance& instance, UserId u, int32_t begin,
                       int32_t end, const std::vector<EventId>& pool,
                       const std::vector<int64_t>& col_begin,
-                      std::vector<double>* weight,
-                      std::vector<std::span<const EventId>>* scratch) {
+                      std::vector<double>* weight, ScoreScratch* scratch) {
   if (begin >= end) return;
-  scratch->clear();
-  scratch->reserve(static_cast<size_t>(end - begin));
-  for (int32_t j = begin; j < end; ++j) {
-    const size_t b = static_cast<size_t>(col_begin[static_cast<size_t>(j)]);
-    const size_t e =
-        static_cast<size_t>(col_begin[static_cast<size_t>(j) + 1]);
-    scratch->emplace_back(pool.data() + b, e - b);
-  }
-  instance.kernel().ScoreColumns(
-      instance, u, *scratch,
-      std::span<double>(weight->data() + begin,
-                        static_cast<size_t>(end - begin)));
+  GatherLane(instance, u, pool.data(), col_begin[static_cast<size_t>(begin)],
+             col_begin[static_cast<size_t>(end)], scratch);
+  instance.kernel().ScoreColumnsSoA(
+      instance, u, scratch->lane.data(), pool.data(),
+      col_begin.data() + begin, end - begin, weight->data() + begin);
+  ClearLane(scratch);
 }
 
 /// Like ScoreUserColumns but over a scattered (ascending) column-id list —
 /// the weight-delta path re-scores exactly the touched columns, wherever
-/// they live in the arena.
+/// they live in the arena. Spans are compacted into a contiguous scratch CSR
+/// so the same SoA kernel entry point serves both paths.
 void ScoreColumnIds(const Instance& instance, UserId u,
                     const std::vector<int32_t>& cols,
                     const std::vector<EventId>& pool,
                     const std::vector<int64_t>& col_begin,
-                    std::vector<double>* weight) {
+                    std::vector<double>* weight, ScoreScratch* scratch) {
   if (cols.empty()) return;
-  std::vector<std::span<const EventId>> sets;
-  sets.reserve(cols.size());
+  scratch->cpool.clear();
+  scratch->cbegin.clear();
+  scratch->cbegin.push_back(0);
   for (int32_t j : cols) {
     const size_t b = static_cast<size_t>(col_begin[static_cast<size_t>(j)]);
     const size_t e =
         static_cast<size_t>(col_begin[static_cast<size_t>(j) + 1]);
-    sets.emplace_back(pool.data() + b, e - b);
+    scratch->cpool.insert(scratch->cpool.end(), pool.data() + b,
+                          pool.data() + e);
+    scratch->cbegin.push_back(static_cast<int64_t>(scratch->cpool.size()));
   }
-  std::vector<double> scores(cols.size());
-  instance.kernel().ScoreColumns(
-      instance, u, sets, std::span<double>(scores.data(), scores.size()));
+  GatherLane(instance, u, scratch->cpool.data(), 0,
+             static_cast<int64_t>(scratch->cpool.size()), scratch);
+  scratch->scores.resize(cols.size());
+  instance.kernel().ScoreColumnsSoA(
+      instance, u, scratch->lane.data(), scratch->cpool.data(),
+      scratch->cbegin.data(), static_cast<int32_t>(cols.size()),
+      scratch->scores.data());
+  ClearLane(scratch);
   for (size_t k = 0; k < cols.size(); ++k) {
-    (*weight)[static_cast<size_t>(cols[k])] = scores[k];
+    (*weight)[static_cast<size_t>(cols[k])] = scratch->scores[k];
   }
 }
 
@@ -192,7 +257,8 @@ void AdmissibleCatalog::RebuildInvertedIndex(int32_t num_events) {
   }
 }
 
-void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
+void AdmissibleCatalog::FinalizeFromPool(const Instance& instance,
+                                         ThreadPool* workers) {
   const int32_t nu = static_cast<int32_t>(user_begin_.size()) - 1;
   const int32_t nv = instance.num_events();
   const int32_t cols = static_cast<int32_t>(col_begin_.size()) - 1;
@@ -200,7 +266,10 @@ void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
   // Owners, canonical span order and precomputed weights. Spans are sorted
   // ascending, then each user's block is scored in one batch through the
   // instance's utility kernel (the default kernel's left-to-right pair sum
-  // reproduces the historical fused loop bit for bit).
+  // reproduces the historical fused loop bit for bit). Users are independent
+  // — every sort and weight write lands in that user's own slots — so the
+  // sort+score sweep shards across the build pool with identical results for
+  // any lane count.
   col_user_.resize(static_cast<size_t>(cols));
   weight_.resize(static_cast<size_t>(cols));
   for (UserId u = 0; u < nu; ++u) {
@@ -209,16 +278,32 @@ void AdmissibleCatalog::FinalizeFromPool(const Instance& instance) {
       col_user_[static_cast<size_t>(j)] = u;
     }
   }
-  for (int32_t j = 0; j < cols; ++j) {
-    EventId* b = pool_.data() + col_begin_[static_cast<size_t>(j)];
-    EventId* e = pool_.data() + col_begin_[static_cast<size_t>(j) + 1];
-    std::sort(b, e);
-  }
-  std::vector<std::span<const EventId>> scratch;
-  for (UserId u = 0; u < nu; ++u) {
-    ScoreUserColumns(instance, u, user_begin_[static_cast<size_t>(u)],
-                     user_begin_[static_cast<size_t>(u) + 1], pool_,
-                     col_begin_, &weight_, &scratch);
+  const auto finalize_users = [&](int64_t ub, int64_t ue,
+                                  ScoreScratch* scratch) {
+    for (int64_t uu = ub; uu < ue; ++uu) {
+      const auto u = static_cast<UserId>(uu);
+      for (int32_t j = user_begin_[static_cast<size_t>(u)];
+           j < user_begin_[static_cast<size_t>(u) + 1]; ++j) {
+        EventId* b = pool_.data() + col_begin_[static_cast<size_t>(j)];
+        EventId* e = pool_.data() + col_begin_[static_cast<size_t>(j) + 1];
+        std::sort(b, e);
+      }
+      ScoreUserColumns(instance, u, user_begin_[static_cast<size_t>(u)],
+                       user_begin_[static_cast<size_t>(u) + 1], pool_,
+                       col_begin_, &weight_, scratch);
+    }
+  };
+  if (workers != nullptr && workers->num_threads() > 1) {
+    std::vector<ScoreScratch> scratches(
+        static_cast<size_t>(workers->num_threads()));
+    workers->ParallelFor(0, nu, /*grain=*/16,
+                         [&](int32_t lane, int64_t b, int64_t e) {
+                           finalize_users(b, e,
+                                          &scratches[static_cast<size_t>(lane)]);
+                         });
+  } else {
+    ScoreScratch scratch;
+    finalize_users(0, nu, &scratch);
   }
 
   // Canonical state: current per-user ranges mirror the cumulative layout and
@@ -260,20 +345,23 @@ AdmissibleCatalog AdmissibleCatalog::Build(const Instance& instance,
     chunk_begin[static_cast<size_t>(c)] =
         static_cast<UserId>(static_cast<int64_t>(nu) * c / threads);
   }
-  if (threads == 1) {
+  // One pool serves enumeration AND the finalize sort+score sweep below —
+  // the spawn is paid once per build.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  if (pool == nullptr) {
     EnumerateChunk(instance, 0, nu, options, &shards[0]);
   } else {
-    ThreadPool pool(threads);
-    pool.ParallelFor(0, threads, /*grain=*/1,
-                     [&](int32_t, int64_t begin, int64_t end) {
-                       for (int64_t c = begin; c < end; ++c) {
-                         EnumerateChunk(instance,
-                                        chunk_begin[static_cast<size_t>(c)],
-                                        chunk_begin[static_cast<size_t>(c) + 1],
-                                        options,
-                                        &shards[static_cast<size_t>(c)]);
-                       }
-                     });
+    pool->ParallelFor(0, threads, /*grain=*/1,
+                      [&](int32_t, int64_t begin, int64_t end) {
+                        for (int64_t c = begin; c < end; ++c) {
+                          EnumerateChunk(instance,
+                                         chunk_begin[static_cast<size_t>(c)],
+                                         chunk_begin[static_cast<size_t>(c) + 1],
+                                         options,
+                                         &shards[static_cast<size_t>(c)]);
+                        }
+                      });
   }
 
   // Deterministic concatenation in user order, independent of thread count.
@@ -299,7 +387,7 @@ AdmissibleCatalog AdmissibleCatalog::Build(const Instance& instance,
     out.truncated_.insert(out.truncated_.end(), s.truncated.begin(),
                           s.truncated.end());
   }
-  out.FinalizeFromPool(instance);
+  out.FinalizeFromPool(instance, pool.get());
   return out;
 }
 
@@ -327,7 +415,7 @@ AdmissibleCatalog AdmissibleCatalog::FromSets(
                               static_cast<int32_t>(a.sets.size()));
     out.truncated_.push_back(a.truncated ? 1 : 0);
   }
-  out.FinalizeFromPool(instance);
+  out.FinalizeFromPool(instance, /*workers=*/nullptr);
   return out;
 }
 
@@ -345,7 +433,7 @@ Result<CatalogDeltaResult> AdmissibleCatalog::ApplyDelta(
   result.touched_users = TouchedUsers(delta);
   IGEPA_RETURN_IF_ERROR(ValidateDelta(nv, nu, delta));
 
-  std::vector<std::span<const EventId>> scratch;
+  ScoreScratch scratch;
   for (UserId u : result.touched_users) {
     // Tombstone the user's current block; the arena keeps the bytes so stale
     // column ids remain readable (set/weight) until compaction.
@@ -455,7 +543,7 @@ Result<CatalogDeltaResult> AdmissibleCatalog::ApplyDelta(
         }
       }
       if (cols.empty()) continue;  // e.g. interest drift on a non-bid pair
-      ScoreColumnIds(instance, u, cols, pool_, col_begin_, &weight_);
+      ScoreColumnIds(instance, u, cols, pool_, col_begin_, &weight_, &scratch);
       result.columns_rescored += static_cast<int32_t>(cols.size());
       result.rescored_users.push_back(u);
     }
@@ -529,13 +617,37 @@ std::vector<int32_t> AdmissibleCatalog::Compact() {
   return remap;
 }
 
-int32_t AdmissibleCatalog::Rescore(const Instance& instance) {
+int32_t AdmissibleCatalog::Rescore(const Instance& instance,
+                                   int32_t num_threads) {
+  const int32_t nu = num_users();
+  const auto rescore_users = [&](int64_t ub, int64_t ue,
+                                 ScoreScratch* scratch) {
+    for (int64_t uu = ub; uu < ue; ++uu) {
+      const size_t r = static_cast<size_t>(uu) * 2;
+      ScoreUserColumns(instance, static_cast<UserId>(uu), user_range_[r],
+                       user_range_[r + 1], pool_, col_begin_, &weight_,
+                       scratch);
+    }
+  };
+  const int32_t threads =
+      nu >= 256 ? ThreadPool::ResolveThreadCount(
+                      num_threads > 0 ? num_threads : 1, nu)
+                : 1;
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    std::vector<ScoreScratch> scratches(static_cast<size_t>(threads));
+    pool.ParallelFor(0, nu, /*grain=*/16,
+                     [&](int32_t lane, int64_t b, int64_t e) {
+                       rescore_users(b, e,
+                                     &scratches[static_cast<size_t>(lane)]);
+                     });
+  } else {
+    ScoreScratch scratch;
+    rescore_users(0, nu, &scratch);
+  }
   int32_t rescored = 0;
-  std::vector<std::span<const EventId>> scratch;
-  for (UserId u = 0; u < num_users(); ++u) {
+  for (UserId u = 0; u < nu; ++u) {
     const size_t r = static_cast<size_t>(u) * 2;
-    ScoreUserColumns(instance, u, user_range_[r], user_range_[r + 1], pool_,
-                     col_begin_, &weight_, &scratch);
     rescored += user_range_[r + 1] - user_range_[r];
   }
   if (rescored > 0) ++weight_revision_;

@@ -11,6 +11,9 @@
 #include "util/result.h"
 
 namespace igepa {
+
+class ThreadPool;
+
 namespace core {
 
 /// Options for admissible-set enumeration.
@@ -166,11 +169,13 @@ class AdmissibleCatalog {
   /// the objective-swap entry point (set_kernel on the instance, then
   /// Rescore on its catalogs): structure is reused wholesale, only the
   /// weight array is rewritten. Returns the number of columns re-scored and
-  /// bumps `weight_revision`. Note: enumeration *emit order* under a cap
-  /// depends on the kernel's bid ordering, so a truncated catalog re-scored
-  /// for kernel B can differ from Build under B; uncapped catalogs are
-  /// identical because admissibility is kernel-independent.
-  int32_t Rescore(const Instance& instance);
+  /// bumps `weight_revision`. Users re-score independently (disjoint weight
+  /// slots), so `num_threads` > 1 shards them across a pool with bit-identical
+  /// results; the default stays serial. Note: enumeration *emit order* under
+  /// a cap depends on the kernel's bid ordering, so a truncated catalog
+  /// re-scored for kernel B can differ from Build under B; uncapped catalogs
+  /// are identical because admissibility is kernel-independent.
+  int32_t Rescore(const Instance& instance, int32_t num_threads = 1);
 
   int32_t num_users() const {
     return static_cast<int32_t>(user_range_.size() / 2);
@@ -280,8 +285,10 @@ class AdmissibleCatalog {
  private:
   /// Sorts each span, computes weights, derives col_user_, truncation summary
   /// and the inverted index, and resets all delta state (canonical). Called
-  /// by both builders after the pool is laid out.
-  void FinalizeFromPool(const Instance& instance);
+  /// by both builders after the pool is laid out. Span sorting and kernel
+  /// scoring run per user (disjoint slots) across `workers` when non-null —
+  /// deterministic for any lane count; Build reuses its enumeration pool.
+  void FinalizeFromPool(const Instance& instance, ThreadPool* workers);
   /// Rebuilds event_begin_/event_cols_ from the current pool by counting
   /// sort (ascending column order ⇒ each event's list sorted).
   void RebuildInvertedIndex(int32_t num_events);

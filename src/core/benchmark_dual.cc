@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "util/cache_line.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace igepa {
@@ -241,21 +243,41 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
   // lane schedule computes the same bits, and threads=1 runs the identical
   // shard structure inline.
   const int32_t num_shards = (nu + kUserShardSize - 1) / kUserShardSize;
-  std::unique_ptr<ThreadPool> workers;
-  if (nu >= kMinParallelUsers &&
+  ThreadPool* workers = options.workers;
+  std::unique_ptr<ThreadPool> owned_workers;
+  if (workers == nullptr && nu >= kMinParallelUsers &&
       ThreadPool::ResolveThreadCount(options.num_threads, num_shards) > 1) {
-    workers = std::make_unique<ThreadPool>(
+    owned_workers = std::make_unique<ThreadPool>(
         ThreadPool::ResolveThreadCount(options.num_threads, num_shards));
+    workers = owned_workers.get();
   }
   const int32_t num_lanes = workers ? workers->num_threads() : 1;
   // Scratch sizing: the Lagrangian partials are order-sensitive doubles, so
-  // they get one slot per *shard* (fixed partition, merged in shard order);
-  // the usage accumulators are integer-valued counts — exact in any order —
-  // so one buffer per *lane* suffices, keeping scratch memory and the
-  // per-iteration zero+merge at O(threads·|V|), not O(|U|/64·|V|).
-  std::vector<double> shard_lagrangian(static_cast<size_t>(num_shards), 0.0);
+  // they get one slot per *shard* (fixed partition, merged in shard order) —
+  // cache-line padded, since adjacent shards usually run on different lanes
+  // and eight plain doubles per line would false-share on every write. The
+  // usage accumulators are integer-valued counts — exact in any order — so
+  // one buffer per *lane* suffices, keeping scratch memory and the
+  // per-iteration zero+merge at O(threads·|V|), not O(|U|/64·|V|); lanes are
+  // strided to whole cache lines so no two lanes touch the same line.
+  std::vector<util::CachePadded<double>> shard_lagrangian(
+      static_cast<size_t>(num_shards));
+  const size_t usage_stride =
+      util::PaddedStride(static_cast<size_t>(nv), sizeof(double));
   std::vector<double> lane_usage(
-      static_cast<size_t>(num_lanes) * static_cast<size_t>(nv), 0.0);
+      static_cast<size_t>(num_lanes) * usage_stride, 0.0);
+  // Per-lane reduced-cost scratch for the vectorized oracle scan: the
+  // per-column μ-sums of one user's block, computed in batch by
+  // util::simd::SumColumnLanes before the scalar argmax walk.
+  int32_t max_user_cols = 0;
+  for (UserId u = 0; u < nu; ++u) {
+    max_user_cols = std::max(
+        max_user_cols, catalog.user_columns_end(u) - catalog.user_columns_begin(u));
+  }
+  const size_t musum_stride = util::PaddedStride(
+      static_cast<size_t>(std::max(max_user_cols, 1)), sizeof(double));
+  std::vector<double> lane_musum(
+      static_cast<size_t>(num_lanes) * musum_stride, 0.0);
 
   const double step0 = options.step_scale * wmax;
   int64_t t = 1;
@@ -273,8 +295,9 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
     // warm-start contract rather than a hint.
     const bool reuse_choices = warm_choices_ok && t == 1;
     const auto oracle_chunk = [&](int32_t lane, int64_t sb, int64_t se) {
-      double* lu = lane_usage.data() +
-                   static_cast<size_t>(lane) * static_cast<size_t>(nv);
+      double* lu = lane_usage.data() + static_cast<size_t>(lane) * usage_stride;
+      double* musum =
+          lane_musum.data() + static_cast<size_t>(lane) * musum_stride;
       for (int64_t s = sb; s < se; ++s) {
         const UserId shard_begin = static_cast<UserId>(s) * kUserShardSize;
         const UserId shard_end =
@@ -296,16 +319,22 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
               reused = true;
             }
           }
-          if (!reused) {
-            for (int32_t j = begin; j < end; ++j) {
-              double reduced = weight[static_cast<size_t>(j)];
-              for (int64_t e = col_begin[static_cast<size_t>(j)];
-                   e < col_begin[static_cast<size_t>(j) + 1]; ++e) {
-                reduced -= mu[static_cast<size_t>(pool[e])];
-              }
+          if (!reused && begin < end) {
+            // Batched reduced costs: the per-column Σμ over each span is one
+            // SumColumnLanes call (AVX2 when available — μ is already a
+            // dense event-indexed lane, no gather setup needed), then a
+            // scalar argmax walk. The reduction order w − (μ₁+…+μₖ) is fixed
+            // and schedule-independent, so every thread count, warm/cold
+            // restart and dirty/canonical catalog computes the same bits.
+            const int32_t count = end - begin;
+            util::simd::SumColumnLanes(mu.data(), pool,
+                                       col_begin.data() + begin, count, musum);
+            for (int32_t k = 0; k < count; ++k) {
+              const double reduced =
+                  weight[static_cast<size_t>(begin + k)] - musum[k];
               if (reduced > best) {
                 best = reduced;
-                best_col = j;
+                best_col = begin + k;
               }
             }
           }
@@ -320,7 +349,7 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
             }
           }
         }
-        shard_lagrangian[static_cast<size_t>(s)] = lagr;
+        shard_lagrangian[static_cast<size_t>(s)].value = lagr;
       }
     };
     std::fill(lane_usage.begin(), lane_usage.end(), 0.0);
@@ -337,12 +366,12 @@ Result<lp::LpSolution> SolveBenchmarkLpStructured(
       lagrangian += capacity[static_cast<size_t>(v)] * mu[static_cast<size_t>(v)];
     }
     for (int32_t s = 0; s < num_shards; ++s) {
-      lagrangian += shard_lagrangian[static_cast<size_t>(s)];
+      lagrangian += shard_lagrangian[static_cast<size_t>(s)].value;
     }
     std::fill(usage.begin(), usage.end(), 0.0);
     for (int32_t lane = 0; lane < num_lanes; ++lane) {
-      const double* lu = lane_usage.data() +
-                         static_cast<size_t>(lane) * static_cast<size_t>(nv);
+      const double* lu =
+          lane_usage.data() + static_cast<size_t>(lane) * usage_stride;
       for (EventId v = 0; v < nv; ++v) usage[static_cast<size_t>(v)] += lu[v];
     }
     ++avg_count;

@@ -11,6 +11,9 @@
 #include "util/result.h"
 
 namespace igepa {
+
+class ThreadPool;
+
 namespace core {
 
 /// Warm-start state captured from one structured solve and fed to the next
@@ -56,6 +59,13 @@ struct StructuredDualOptions {
   /// count — threads=1 runs the same shard structure inline (DESIGN.md §5,
   /// S14). Small instances stay serial regardless.
   int32_t num_threads = 0;
+  /// Optional caller-owned worker pool (borrowed; must outlive the solve).
+  /// When set, the sharded oracle runs on it directly and `num_threads` is
+  /// ignored — repeated solves (warm ticks, thread-scaling benches) skip the
+  /// per-solve thread spawn, which otherwise dominates short re-solves. The
+  /// pool's lane count is a pure performance knob: results stay bit-identical
+  /// to the self-spawned and serial paths.
+  ThreadPool* workers = nullptr;
   /// Optional warm start (borrowed; must outlive the solve). Seeds μ, enables
   /// a gap check after the very first iteration, and — when the cached
   /// choices address this catalog's ids — rescans only stale users at that

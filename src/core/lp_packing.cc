@@ -1,11 +1,11 @@
 #include "core/lp_packing.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
 #include <memory>
 #include <numeric>
 
+#include "util/cache_line.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -141,17 +141,20 @@ Result<Arrangement> RoundFractional(const Instance& instance,
   for (UserId u = 0; u < nu; ++u) {
     draw[static_cast<size_t>(u)] = rng->NextDouble();
   }
-  std::unique_ptr<ThreadPool> workers;
-  if (nu >= kMinParallelUsers &&
+  ThreadPool* workers = options.workers;
+  std::unique_ptr<ThreadPool> owned_workers;
+  if (workers == nullptr && nu >= kMinParallelUsers &&
       ThreadPool::ResolveThreadCount(options.num_threads,
                                      nu / kRoundGrain) > 1) {
-    workers = std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(
+    owned_workers = std::make_unique<ThreadPool>(ThreadPool::ResolveThreadCount(
         options.num_threads, nu / kRoundGrain));
+    workers = owned_workers.get();
   }
+  const int32_t num_lanes = workers != nullptr ? workers->num_threads() : 1;
 
   std::vector<int32_t> sampled_col(static_cast<size_t>(nu), -1);
   ParallelForRanges(
-      workers.get(), 0, nu, kRoundGrain, [&](int64_t ub, int64_t ue) {
+      workers, 0, nu, kRoundGrain, [&](int64_t ub, int64_t ue) {
         for (int64_t uu = ub; uu < ue; ++uu) {
           const UserId u = static_cast<UserId>(uu);
           const int32_t begin = catalog.user_columns_begin(u);
@@ -181,26 +184,39 @@ Result<Arrangement> RoundFractional(const Instance& instance,
   // overflow at all; the inverted event→column index then narrows the checked
   // path to the users actually contending for those events. Everyone else is
   // emitted in bulk — identical output to the full legacy sweep, since an
-  // event whose demand fits its capacity can never reject a pair. Demand
-  // counting uses relaxed per-event atomics: integer increments commute, so
-  // the totals are identical for every thread schedule.
-  std::vector<std::atomic<int32_t>> demand(static_cast<size_t>(nv));
-  ParallelForRanges(workers.get(), 0, nu, kRoundGrain,
-                    [&](int64_t ub, int64_t ue) {
-                      for (int64_t uu = ub; uu < ue; ++uu) {
-                        const int32_t j = sampled_col[static_cast<size_t>(uu)];
-                        if (j < 0) continue;
-                        for (EventId v : catalog.set(j)) {
-                          demand[static_cast<size_t>(v)].fetch_add(
-                              1, std::memory_order_relaxed);
-                        }
-                      }
-                    });
+  // event whose demand fits its capacity can never reject a pair. Each lane
+  // counts into its own cache-line-strided buffer, merged serially in lane
+  // order afterwards — integer increments commute, so the totals are
+  // identical for every thread schedule, and the sweep writes no shared
+  // lines (the old per-event relaxed atomics false-shared 16 counters per
+  // line, which inverted the thread-scaling curve).
+  const size_t demand_stride =
+      util::PaddedStride(static_cast<size_t>(nv), sizeof(int32_t));
+  std::vector<int32_t> lane_demand(
+      static_cast<size_t>(num_lanes) * demand_stride, 0);
+  const auto demand_chunk = [&](int32_t lane, int64_t ub, int64_t ue) {
+    int32_t* d = lane_demand.data() + static_cast<size_t>(lane) * demand_stride;
+    for (int64_t uu = ub; uu < ue; ++uu) {
+      const int32_t j = sampled_col[static_cast<size_t>(uu)];
+      if (j < 0) continue;
+      for (EventId v : catalog.set(j)) ++d[static_cast<size_t>(v)];
+    }
+  };
+  if (workers != nullptr) {
+    workers->ParallelFor(0, nu, kRoundGrain, demand_chunk);
+  } else {
+    demand_chunk(0, 0, nu);
+  }
+  std::vector<int32_t> demand(static_cast<size_t>(nv), 0);
+  for (int32_t lane = 0; lane < num_lanes; ++lane) {
+    const int32_t* d =
+        lane_demand.data() + static_cast<size_t>(lane) * demand_stride;
+    for (EventId v = 0; v < nv; ++v) demand[static_cast<size_t>(v)] += d[v];
+  }
   std::vector<uint8_t> hot(static_cast<size_t>(nv), 0);
   std::vector<EventId> hot_events;
   for (EventId v = 0; v < nv; ++v) {
-    if (demand[static_cast<size_t>(v)].load(std::memory_order_relaxed) >
-        instance.event_capacity(v)) {
+    if (demand[static_cast<size_t>(v)] > instance.event_capacity(v)) {
       hot[static_cast<size_t>(v)] = 1;
       hot_events.push_back(v);
     }
@@ -255,30 +271,40 @@ Result<Arrangement> RoundFractional(const Instance& instance,
       rank[static_cast<size_t>(order[static_cast<size_t>(i)])] = i;
     }
     cutoff.assign(static_cast<size_t>(nv), kNoCutoff);
-    ParallelForRanges(
-        workers.get(), 0, static_cast<int64_t>(hot_events.size()), /*grain=*/4,
-        [&](int64_t hb, int64_t he) {
-          std::vector<int32_t> contender_ranks;
-          for (int64_t h = hb; h < he; ++h) {
-            const EventId v = hot_events[static_cast<size_t>(h)];
-            contender_ranks.clear();
-            catalog.ForEachColumnOfEvent(v, [&](int32_t j) {
-              const UserId u = catalog.user_of(j);
-              if (sampled_col[static_cast<size_t>(u)] == j) {
-                contender_ranks.push_back(rank[static_cast<size_t>(u)]);
-              }
-            });
-            const auto cap =
-                static_cast<size_t>(std::max(0, instance.event_capacity(v)));
-            if (contender_ranks.size() > cap) {
-              std::nth_element(contender_ranks.begin(),
-                               contender_ranks.begin() +
-                                   static_cast<int64_t>(cap),
-                               contender_ranks.end());
-              cutoff[static_cast<size_t>(v)] = contender_ranks[cap];
-            }
+    // Contender scratch lives per lane, not per chunk: the nth_element arena
+    // grows once to the largest contender set a lane sees and is reused
+    // across every chunk that lane claims (the per-chunk vector was one
+    // malloc/free per 4 hot events, all hammering the same heap lock).
+    std::vector<std::vector<int32_t>> lane_contenders(
+        static_cast<size_t>(num_lanes));
+    const auto repair_chunk = [&](int32_t lane, int64_t hb, int64_t he) {
+      std::vector<int32_t>& contender_ranks =
+          lane_contenders[static_cast<size_t>(lane)];
+      for (int64_t h = hb; h < he; ++h) {
+        const EventId v = hot_events[static_cast<size_t>(h)];
+        contender_ranks.clear();
+        catalog.ForEachColumnOfEvent(v, [&](int32_t j) {
+          const UserId u = catalog.user_of(j);
+          if (sampled_col[static_cast<size_t>(u)] == j) {
+            contender_ranks.push_back(rank[static_cast<size_t>(u)]);
           }
         });
+        const auto cap =
+            static_cast<size_t>(std::max(0, instance.event_capacity(v)));
+        if (contender_ranks.size() > cap) {
+          std::nth_element(contender_ranks.begin(),
+                           contender_ranks.begin() + static_cast<int64_t>(cap),
+                           contender_ranks.end());
+          cutoff[static_cast<size_t>(v)] = contender_ranks[cap];
+        }
+      }
+    };
+    if (workers != nullptr) {
+      workers->ParallelFor(0, static_cast<int64_t>(hot_events.size()),
+                           /*grain=*/4, repair_chunk);
+    } else {
+      repair_chunk(0, 0, static_cast<int64_t>(hot_events.size()));
+    }
   }
 
   Arrangement arrangement(nv, nu);
@@ -307,11 +333,7 @@ Result<Arrangement> RoundFractional(const Instance& instance,
     // Under kUserIndex, rank[u] == u, so the exported cutoffs are directly
     // comparable to user ids (the RoundingState contract).
     state_out->sampled_col = sampled_col;
-    state_out->demand.resize(static_cast<size_t>(nv));
-    for (EventId v = 0; v < nv; ++v) {
-      state_out->demand[static_cast<size_t>(v)] =
-          demand[static_cast<size_t>(v)].load(std::memory_order_relaxed);
-    }
+    state_out->demand = demand;
     if (any_hot) {
       state_out->cutoff = cutoff;
     } else {

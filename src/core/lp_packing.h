@@ -56,12 +56,20 @@ struct LpPackingOptions {
   AdmissibleOptions admissible;
   RepairOrder repair_order = RepairOrder::kUserIndex;
   /// Worker threads for the rounding/repair stage (0 = hardware
-  /// concurrency). Sampling randomness is pre-drawn serially and capacity
-  /// repair resolves per event through the inverted event→column index, so
-  /// the arrangement is bit-identical for every thread count (threads=1 runs
-  /// the same structure inline). The LP tier and enumeration read their own
-  /// knobs (`structured.num_threads`, `admissible.num_threads`).
+  /// concurrency). Sampling randomness is pre-drawn serially, per-event
+  /// demand accumulates in per-lane counters merged in lane order (integer
+  /// counts — exact in any order), and capacity repair resolves per event
+  /// through the inverted event→column index, so the arrangement is
+  /// bit-identical for every thread count (threads=1 runs the same structure
+  /// inline). The LP tier and enumeration read their own knobs
+  /// (`structured.num_threads`, `admissible.num_threads`).
   int32_t num_threads = 0;
+  /// Optional caller-owned worker pool for the rounding/repair sweeps
+  /// (borrowed; must outlive the call). When set, `num_threads` is ignored
+  /// and no per-call pool is spawned — repeated re-rounds (warm ticks,
+  /// thread-scaling benches) reuse parked workers. Pure performance knob:
+  /// results stay bit-identical to the self-spawned and serial paths.
+  ThreadPool* workers = nullptr;
 };
 
 /// Diagnostics from one LpPacking run.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/instance.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace igepa {
@@ -18,6 +19,34 @@ void UtilityKernel::ScoreColumns(const Instance& instance, UserId u,
     double w = 0.0;
     for (EventId v : sets[k]) w += PairWeight(instance, v, u);
     out_weights[k] = w;
+  }
+}
+
+void UtilityKernel::ScoreColumnsSoA(const Instance& instance, UserId u,
+                                    const double* /*event_weight*/,
+                                    const EventId* pool,
+                                    const int64_t* col_begin,
+                                    int32_t num_columns,
+                                    double* out_weights) const {
+  // Generic fallback: rebuild the span batch and defer to the kernel's
+  // ScoreColumns — correct for any override, at AoS cost. The built-in
+  // kernels shadow this with lane reductions.
+  std::vector<std::span<const EventId>> sets;
+  sets.reserve(static_cast<size_t>(num_columns));
+  for (int32_t k = 0; k < num_columns; ++k) {
+    const int64_t b = col_begin[k];
+    const int64_t e = col_begin[k + 1];
+    sets.emplace_back(pool + b, static_cast<size_t>(e - b));
+  }
+  ScoreColumns(instance, u, sets,
+               std::span<double>(out_weights, static_cast<size_t>(num_columns)));
+}
+
+void UtilityKernel::PairWeightLane(const Instance& instance, UserId u,
+                                   const EventId* events, int32_t num_events,
+                                   double* out_weights) const {
+  for (int32_t i = 0; i < num_events; ++i) {
+    out_weights[i] = PairWeight(instance, events[i], u);
   }
 }
 
@@ -39,6 +68,20 @@ double InteractionInterestKernel::PairWeight(const Instance& instance,
   return instance.Weight(v, u);
 }
 
+void InteractionInterestKernel::PairWeightLane(const Instance& instance,
+                                               UserId u, const EventId* events,
+                                               int32_t num_events,
+                                               double* out_weights) const {
+  // Instance::Weight is β·SI(v, u) + (1−β)·D(G, u); the second product only
+  // depends on u, so it is computed once for the lane. Identical operands,
+  // identical order — every entry carries the same bits as Weight(v, u).
+  const double beta = instance.beta();
+  const double degree_term = (1.0 - beta) * instance.Degree(u);
+  for (int32_t i = 0; i < num_events; ++i) {
+    out_weights[i] = beta * instance.Interest(events[i], u) + degree_term;
+  }
+}
+
 void InteractionInterestKernel::ScoreColumns(
     const Instance& instance, UserId u,
     std::span<const std::span<const EventId>> sets,
@@ -50,6 +93,14 @@ void InteractionInterestKernel::ScoreColumns(
   }
 }
 
+void InteractionInterestKernel::ScoreColumnsSoA(
+    const Instance& /*instance*/, UserId /*u*/, const double* event_weight,
+    const EventId* pool, const int64_t* col_begin, int32_t num_columns,
+    double* out_weights) const {
+  util::simd::SumColumnLanes(event_weight, pool, col_begin, num_columns,
+                             out_weights);
+}
+
 const std::string& InterestOnlyKernel::id() const {
   static const std::string kId = "interest_only";
   return kId;
@@ -58,6 +109,26 @@ const std::string& InterestOnlyKernel::id() const {
 double InterestOnlyKernel::PairWeight(const Instance& instance, EventId v,
                                       UserId u) const {
   return instance.Interest(v, u);
+}
+
+void InterestOnlyKernel::PairWeightLane(const Instance& instance, UserId u,
+                                        const EventId* events,
+                                        int32_t num_events,
+                                        double* out_weights) const {
+  for (int32_t i = 0; i < num_events; ++i) {
+    out_weights[i] = instance.Interest(events[i], u);
+  }
+}
+
+void InterestOnlyKernel::ScoreColumnsSoA(const Instance& /*instance*/,
+                                         UserId /*u*/,
+                                         const double* event_weight,
+                                         const EventId* pool,
+                                         const int64_t* col_begin,
+                                         int32_t num_columns,
+                                         double* out_weights) const {
+  util::simd::SumColumnLanes(event_weight, pool, col_begin, num_columns,
+                             out_weights);
 }
 
 CohesionKernel::CohesionKernel(double gamma)
@@ -72,6 +143,17 @@ double CohesionKernel::PairWeight(const Instance& instance, EventId v,
   return instance.Weight(v, u);
 }
 
+void CohesionKernel::PairWeightLane(const Instance& instance, UserId u,
+                                    const EventId* events, int32_t num_events,
+                                    double* out_weights) const {
+  // Same hoist as the default kernel — cohesion pairs ARE Instance::Weight.
+  const double beta = instance.beta();
+  const double degree_term = (1.0 - beta) * instance.Degree(u);
+  for (int32_t i = 0; i < num_events; ++i) {
+    out_weights[i] = beta * instance.Interest(events[i], u) + degree_term;
+  }
+}
+
 void CohesionKernel::ScoreColumns(
     const Instance& instance, UserId u,
     std::span<const std::span<const EventId>> sets,
@@ -81,11 +163,29 @@ void CohesionKernel::ScoreColumns(
       out_weights[k] = 0.0;
       continue;
     }
+    // Non-virtual Instance::Weight, same devirtualization as the default
+    // kernel: PairWeight here IS instance.Weight, and the virtual hop per
+    // (set, event) incidence was the dominant cost of cohesion re-scores.
     double w = 0.0;
-    for (EventId v : sets[k]) w += PairWeight(instance, v, u);
+    for (EventId v : sets[k]) w += instance.Weight(v, u);
     const double size_bonus =
         1.0 + gamma_ * static_cast<double>(sets[k].size() - 1);
     out_weights[k] = w * size_bonus;
+  }
+}
+
+void CohesionKernel::ScoreColumnsSoA(const Instance& /*instance*/,
+                                     UserId /*u*/, const double* event_weight,
+                                     const EventId* pool,
+                                     const int64_t* col_begin,
+                                     int32_t num_columns,
+                                     double* out_weights) const {
+  util::simd::SumColumnLanes(event_weight, pool, col_begin, num_columns,
+                             out_weights);
+  for (int32_t k = 0; k < num_columns; ++k) {
+    const int64_t size = col_begin[k + 1] - col_begin[k];
+    if (size == 0) continue;  // lane sum already wrote the exact 0.0
+    out_weights[k] *= 1.0 + gamma_ * static_cast<double>(size - 1);
   }
 }
 

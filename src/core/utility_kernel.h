@@ -35,6 +35,13 @@ class Instance;
 ///     default implementation sums `PairWeight` left to right over the span
 ///     (bit-identical to the historical fused loop); kernels whose set
 ///     utility is not pair-decomposable override it.
+///   * `ScoreColumnsSoA` is the structure-of-arrays fast path over the same
+///     batch: the caller gathers `event_weight[v] = PairWeight(v, u)` once
+///     per distinct event and hands the columns in CSR form, so a kernel can
+///     reduce contiguous weight lanes (vectorized via util::simd) instead of
+///     paying a hash-map-backed PairWeight per (set, event) incidence. Every
+///     override MUST produce the same bits as its ScoreColumns — thread
+///     counts and SIMD levels are pure performance knobs (DESIGN.md §5 S18).
 class UtilityKernel {
  public:
   virtual ~UtilityKernel() = default;
@@ -47,10 +54,37 @@ class UtilityKernel {
   virtual double PairWeight(const Instance& instance, EventId v,
                             UserId u) const = 0;
 
+  /// Batch form of PairWeight for one user: writes
+  /// `out_weights[i] = PairWeight(instance, events[i], u)`. The catalog's
+  /// SoA lane gather and the bid-ordering pass call this once per
+  /// (user, batch) with the distinct events of the batch, so a kernel can
+  /// hoist per-user work — the default kernel's user-constant (1−β)·D(G, u)
+  /// term, one virtual dispatch for the whole lane — out of the per-event
+  /// loop. Overrides MUST return the same bits as the per-pair loop: any
+  /// hoisted subexpression has to be an expression PairWeight itself
+  /// evaluates, over the exact same operands.
+  virtual void PairWeightLane(const Instance& instance, UserId u,
+                              const EventId* events, int32_t num_events,
+                              double* out_weights) const;
+
   /// Scores user u's columns in batch; `out_weights.size() == sets.size()`.
   virtual void ScoreColumns(const Instance& instance, UserId u,
                             std::span<const std::span<const EventId>> sets,
                             std::span<double> out_weights) const;
+
+  /// SoA batch scorer: column k covers events
+  /// `pool[col_begin[k] .. col_begin[k+1])` (ascending-sorted, the catalog
+  /// CSR layout; col_begin holds num_columns + 1 absolute offsets) and
+  /// `event_weight[v]` is this kernel's PairWeight(v, u), pre-gathered by the
+  /// caller for every event appearing in the batch. Writes w(u, column k)
+  /// into out_weights[k], bit-identical to ScoreColumns on the same sets.
+  /// The base implementation rebuilds spans and defers to ScoreColumns (so
+  /// kernels ignoring the SoA form stay correct); the built-in kernels
+  /// override it with util::simd::SumColumnLanes reductions.
+  virtual void ScoreColumnsSoA(const Instance& instance, UserId u,
+                               const double* event_weight, const EventId* pool,
+                               const int64_t* col_begin, int32_t num_columns,
+                               double* out_weights) const;
 
   /// Convenience: w(u, set) for a single ascending-sorted set — a
   /// one-element ScoreColumns batch. The entry point for consumers holding
@@ -68,12 +102,23 @@ class InteractionInterestKernel final : public UtilityKernel {
   const std::string& id() const override;
   double PairWeight(const Instance& instance, EventId v,
                     UserId u) const override;
+  /// Hoists the user-constant (1−β)·D(G, u) product out of the lane loop —
+  /// same operands, same order, so every entry matches Instance::Weight
+  /// bit for bit.
+  void PairWeightLane(const Instance& instance, UserId u,
+                      const EventId* events, int32_t num_events,
+                      double* out_weights) const override;
   /// Same sum as the base implementation, but through the non-virtual
   /// Instance::Weight — one virtual dispatch per batch instead of one per
   /// (set, event) incidence. This is the catalog build's hot loop.
   void ScoreColumns(const Instance& instance, UserId u,
                     std::span<const std::span<const EventId>> sets,
                     std::span<double> out_weights) const override;
+  /// Pure lane reduction (the pair sum is the whole objective).
+  void ScoreColumnsSoA(const Instance& instance, UserId u,
+                       const double* event_weight, const EventId* pool,
+                       const int64_t* col_begin, int32_t num_columns,
+                       double* out_weights) const override;
 };
 
 /// Interaction ablation (DESIGN.md §6): w(u, v) = SI(l_v, l_u) — the pure
@@ -85,6 +130,15 @@ class InterestOnlyKernel final : public UtilityKernel {
   const std::string& id() const override;
   double PairWeight(const Instance& instance, EventId v,
                     UserId u) const override;
+  /// One virtual hop per lane instead of one per event.
+  void PairWeightLane(const Instance& instance, UserId u,
+                      const EventId* events, int32_t num_events,
+                      double* out_weights) const override;
+  /// Pure lane reduction over the pre-gathered interest weights.
+  void ScoreColumnsSoA(const Instance& instance, UserId u,
+                       const double* event_weight, const EventId* pool,
+                       const int64_t* col_begin, int32_t num_columns,
+                       double* out_weights) const override;
 };
 
 /// Scenario kernel: cohesion-weighted set utility. Pairs score like the
@@ -106,9 +160,18 @@ class CohesionKernel final : public UtilityKernel {
   const std::string& id() const override;
   double PairWeight(const Instance& instance, EventId v,
                     UserId u) const override;
+  /// Pairs score like the default kernel — same hoisted (1−β)·D(G, u) lane.
+  void PairWeightLane(const Instance& instance, UserId u,
+                      const EventId* events, int32_t num_events,
+                      double* out_weights) const override;
   void ScoreColumns(const Instance& instance, UserId u,
                     std::span<const std::span<const EventId>> sets,
                     std::span<double> out_weights) const override;
+  /// Lane reduction followed by the superadditive size bonus per column.
+  void ScoreColumnsSoA(const Instance& instance, UserId u,
+                       const double* event_weight, const EventId* pool,
+                       const int64_t* col_begin, int32_t num_columns,
+                       double* out_weights) const override;
 
   double gamma() const { return gamma_; }
 

@@ -1,0 +1,38 @@
+#ifndef IGEPA_UTIL_CACHE_LINE_H_
+#define IGEPA_UTIL_CACHE_LINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace igepa {
+namespace util {
+
+/// Destructive-interference distance assumed by every per-lane/per-shard
+/// accumulator in the parallel pipeline. Hard-coded rather than
+/// std::hardware_destructive_interference_size, whose value is a compile-time
+/// guess anyway and whose use warns under GCC (-Winterference-size).
+inline constexpr size_t kCacheLineSize = 64;
+
+/// A T padded out to its own cache line. Per-shard/per-lane accumulators that
+/// different threads write concurrently go through this so neighboring slots
+/// never share a line (the false-sharing fix of DESIGN.md §5 S18): a plain
+/// std::vector<double> of shard partials puts 8 shards on one line and turns
+/// every write into cross-core invalidation traffic.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+};
+
+/// Rounds `count` elements of size `elem_size` up to a whole number of cache
+/// lines, returned in elements — the stride for flat per-lane arrays (lane k
+/// starts at k * PaddedStride(...)), so lanes never straddle a shared line.
+constexpr size_t PaddedStride(size_t count, size_t elem_size) {
+  const size_t bytes = count * elem_size;
+  const size_t lines = (bytes + kCacheLineSize - 1) / kCacheLineSize;
+  return lines * kCacheLineSize / elem_size;
+}
+
+}  // namespace util
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_CACHE_LINE_H_

@@ -1,0 +1,145 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <limits>
+#include <string>
+
+#include "util/env.h"
+
+// The AVX2 path compiles whenever the toolchain can target it per-function
+// (GCC/Clang on x86), independent of the global -march flags — runtime
+// dispatch in SumColumnLanes decides whether it ever executes. The cmake
+// option -DIGEPA_SIMD=off defines IGEPA_SIMD_DISABLED and removes the path
+// entirely (the scalar-fallback CI job builds this way).
+#if !defined(IGEPA_SIMD_DISABLED) &&                 \
+    (defined(__x86_64__) || defined(__i386__)) &&    \
+    (defined(__GNUC__) || defined(__clang__))
+#define IGEPA_SIMD_X86_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace igepa {
+namespace util {
+namespace simd {
+namespace {
+
+void SumColumnLanesScalar(const double* lane, const int32_t* pool,
+                          const int64_t* col_begin, int32_t num_columns,
+                          double* out) {
+  for (int32_t k = 0; k < num_columns; ++k) {
+    double acc = 0.0;
+    for (int64_t e = col_begin[static_cast<size_t>(k)];
+         e < col_begin[static_cast<size_t>(k) + 1]; ++e) {
+      acc += lane[pool[e]];
+    }
+    out[k] = acc;
+  }
+}
+
+#if defined(IGEPA_SIMD_X86_AVX2)
+/// Four columns per __m256d, one column per 64-bit lane. Each iteration
+/// gathers the next event id of every still-active column (masked epi32
+/// gather over the block-relative cursors), gathers the corresponding lane
+/// weights (masked pd gather), and accumulates. A column that runs out keeps
+/// its lane masked — the gather substitutes +0.0 — so every column's partial
+/// sums are produced in exactly the scalar left-to-right order and the final
+/// bits match SumColumnLanesScalar (see simd.h for why +0.0 padding is
+/// harmless here).
+__attribute__((target("avx2"))) void SumColumnLanesAvx2(
+    const double* lane, const int32_t* pool, const int64_t* col_begin,
+    int32_t num_columns, double* out) {
+  const int64_t base = col_begin[0];
+  const int32_t* block = pool + base;
+  const __m128i zero32 = _mm_setzero_si128();
+  const __m256d zero64 = _mm256_setzero_pd();
+  int32_t k = 0;
+  for (; k + 4 <= num_columns; k += 4) {
+    alignas(16) int32_t cur[4];
+    alignas(16) int32_t stop[4];
+    for (int i = 0; i < 4; ++i) {
+      cur[i] = static_cast<int32_t>(col_begin[k + i] - base);
+      stop[i] = static_cast<int32_t>(col_begin[k + i + 1] - base);
+    }
+    __m128i vcur = _mm_load_si128(reinterpret_cast<const __m128i*>(cur));
+    const __m128i vstop = _mm_load_si128(reinterpret_cast<const __m128i*>(stop));
+    __m256d acc = zero64;
+    for (;;) {
+      const __m128i active = _mm_cmplt_epi32(vcur, vstop);
+      if (_mm_testz_si128(active, active)) break;
+      const __m128i ids =
+          _mm_mask_i32gather_epi32(zero32, block, vcur, active, 4);
+      const __m256d mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(active));
+      const __m256d w = _mm256_mask_i32gather_pd(zero64, lane, ids, mask, 8);
+      acc = _mm256_add_pd(acc, w);
+      // Active lanes compare to -1; subtracting advances their cursor by 1.
+      vcur = _mm_sub_epi32(vcur, active);
+    }
+    _mm256_storeu_pd(out + k, acc);
+  }
+  if (k < num_columns) {
+    SumColumnLanesScalar(lane, pool, col_begin + k, num_columns - k, out + k);
+  }
+}
+#endif  // IGEPA_SIMD_X86_AVX2
+
+/// -1 = no override; otherwise the forced Level value.
+std::atomic<int> g_forced_level{-1};
+
+Level LevelFromEnv(Level detected) {
+  const std::string v = GetEnvString("IGEPA_SIMD", "auto");
+  if (v == "scalar" || v == "off" || v == "0") return Level::kScalar;
+  // "auto", "avx2" and anything unrecognized trust the CPU probe; requesting
+  // avx2 on a CPU without it must still run (scalar), never fault.
+  return detected;
+}
+
+}  // namespace
+
+Level DetectedLevel() {
+#if defined(IGEPA_SIMD_X86_AVX2)
+  static const bool kHasAvx2 = __builtin_cpu_supports("avx2");
+  return kHasAvx2 ? Level::kAvx2 : Level::kScalar;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level ActiveLevel() {
+  const int forced = g_forced_level.load(std::memory_order_relaxed);
+  const Level detected = DetectedLevel();
+  if (forced >= 0) {
+    const Level f = static_cast<Level>(forced);
+    return static_cast<uint8_t>(f) <= static_cast<uint8_t>(detected) ? f
+                                                                     : detected;
+  }
+  static const Level kEnvLevel = LevelFromEnv(detected);
+  return kEnvLevel;
+}
+
+void ForceLevel(Level level) {
+  g_forced_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ResetLevel() { g_forced_level.store(-1, std::memory_order_relaxed); }
+
+void SumColumnLanes(const double* lane, const int32_t* pool,
+                    const int64_t* col_begin, int32_t num_columns,
+                    double* out) {
+  if (num_columns <= 0) return;
+#if defined(IGEPA_SIMD_X86_AVX2)
+  // Block-relative cursors ride 32-bit gather indices; a single batch wider
+  // than 2^31 incidences (never produced by the per-user catalog layout)
+  // falls back rather than truncating.
+  if (ActiveLevel() == Level::kAvx2 &&
+      col_begin[num_columns] - col_begin[0] <=
+          static_cast<int64_t>(std::numeric_limits<int32_t>::max())) {
+    SumColumnLanesAvx2(lane, pool, col_begin, num_columns, out);
+    return;
+  }
+#endif
+  SumColumnLanesScalar(lane, pool, col_begin, num_columns, out);
+}
+
+}  // namespace simd
+}  // namespace util
+}  // namespace igepa

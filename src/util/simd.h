@@ -1,0 +1,60 @@
+#ifndef IGEPA_UTIL_SIMD_H_
+#define IGEPA_UTIL_SIMD_H_
+
+#include <cstdint>
+
+namespace igepa {
+namespace util {
+namespace simd {
+
+/// Which batch-scoring implementation SumColumnLanes dispatches to.
+enum class Level : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// The level the running CPU supports with the current build flags:
+/// kAvx2 on x86 with AVX2 (unless the build was configured with
+/// -DIGEPA_SIMD=off), kScalar everywhere else. Pure CPUID probe — ignores the
+/// environment and any test override.
+Level DetectedLevel();
+
+/// The level SumColumnLanes will actually use: DetectedLevel() clamped by the
+/// IGEPA_SIMD environment variable ("scalar"/"off" forces the fallback;
+/// "avx2"/"auto"/unset keep the probe result) and by ForceLevel. Cached after
+/// the first call, so it is cheap enough for per-batch dispatch.
+Level ActiveLevel();
+
+/// Test/bench hook: pins ActiveLevel() to `level` (clamped to DetectedLevel —
+/// forcing AVX2 on a CPU without it stays scalar) until ResetLevel(). The
+/// SIMD-vs-scalar property tests and BM_ScoreColumnsSoA flip this to compare
+/// both paths in one process.
+void ForceLevel(Level level);
+
+/// Drops the ForceLevel override; ActiveLevel() re-derives from CPU + env.
+void ResetLevel();
+
+/// The batch column reducer under every ScoreColumnsSoA override: for each of
+/// the `num_columns` CSR columns, sums `lane[pool[e]]` left to right over the
+/// column's span `pool[col_begin[k] .. col_begin[k+1])` into `out[k]`.
+///
+/// The AVX2 path vectorizes ACROSS columns — four columns ride one register,
+/// each column still accumulating strictly left to right in its own 64-bit
+/// lane — so its results are bit-identical to the scalar loop for every
+/// input. (Exhausted lanes of a quad keep adding +0.0, which cannot change
+/// the bits of a sum of non-negative terms; kernel pair weights are
+/// non-negative by the UtilityKernel contract.) That identity is the pinned
+/// dispatch policy: there is no fast-but-approximate mode.
+///
+/// `col_begin` carries `num_columns + 1` absolute offsets into `pool` (the
+/// catalog CSR layout); `lane` is indexed by the EventId values stored in the
+/// pool. Empty columns write 0.0.
+void SumColumnLanes(const double* lane, const int32_t* pool,
+                    const int64_t* col_begin, int32_t num_columns,
+                    double* out);
+
+}  // namespace simd
+}  // namespace util
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_SIMD_H_

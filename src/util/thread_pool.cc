@@ -3,6 +3,22 @@
 #include <algorithm>
 
 namespace igepa {
+namespace {
+
+/// Bounded handoff spin before parking on a condition variable. Long enough
+/// to bridge the gap between back-to-back ParallelFor calls (a few µs),
+/// short enough that a pool left idle falls asleep almost immediately.
+constexpr int32_t kSpinIterations = 4096;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
 
 int32_t ThreadPool::HardwareThreads() {
   return std::max(1, static_cast<int32_t>(std::thread::hardware_concurrency()));
@@ -18,6 +34,7 @@ int32_t ThreadPool::ResolveThreadCount(int32_t requested, int64_t work_items) {
 
 ThreadPool::ThreadPool(int32_t num_threads) {
   num_lanes_ = num_threads > 0 ? num_threads : HardwareThreads();
+  spin_ = num_lanes_ > 1 && num_lanes_ <= HardwareThreads();
   blocks_ = std::vector<Block>(static_cast<size_t>(num_lanes_));
   workers_.reserve(static_cast<size_t>(num_lanes_) - 1);
   for (int32_t lane = 1; lane < num_lanes_; ++lane) {
@@ -62,6 +79,16 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   }
   start_cv_.notify_all();
   RunJob(0);
+  if (spin_) {
+    // Trailing workers usually finish within the grain they already hold;
+    // spin for them so the common case skips the done_cv_ sleep entirely
+    // (active_ == 1 means only the caller's own contribution remains).
+    for (int32_t i = 0;
+         i < kSpinIterations && active_.load(std::memory_order_acquire) != 1;
+         ++i) {
+      CpuRelax();
+    }
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   --active_;
   // A lane leaves RunJob only once every block is fully claimed, and each
@@ -69,7 +96,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // active_ == 0 implies every index ran. Closing the job in the same
   // critical section that observed active_ == 0 keeps late-waking workers
   // from joining a finished job (they re-check job_open_ under the mutex).
-  done_cv_.wait(lock, [this] { return active_ == 0; });
+  done_cv_.wait(lock, [this] { return active_.load() == 0; });
   job_open_ = false;
   body_ = nullptr;
 }
@@ -77,12 +104,26 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
 void ThreadPool::WorkerLoop(int32_t lane) {
   uint64_t seen = 0;
   for (;;) {
+    if (spin_) {
+      // Watch for the next epoch before parking: when ParallelFor calls
+      // arrive back to back (one per dual iteration), the bump lands within
+      // the spin window and the cv wait below returns without sleeping.
+      for (int32_t i = 0; i < kSpinIterations; ++i) {
+        if (stop_.load(std::memory_order_acquire) ||
+            (epoch_.load(std::memory_order_acquire) != seen &&
+             job_open_.load(std::memory_order_acquire))) {
+          break;
+        }
+        CpuRelax();
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock,
-                     [&] { return stop_ || (epoch_ != seen && job_open_); });
-      if (stop_) return;
-      seen = epoch_;
+      start_cv_.wait(lock, [&] {
+        return stop_.load() || (epoch_.load() != seen && job_open_.load());
+      });
+      if (stop_.load()) return;
+      seen = epoch_.load();
       ++active_;
     }
     RunJob(lane);

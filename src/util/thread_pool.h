@@ -86,10 +86,21 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  uint64_t epoch_ = 0;   // bumped per job; workers wake on change
-  bool job_open_ = false;  // gates late wakers out of finished jobs
-  int32_t active_ = 0;   // lanes currently inside RunJob
-  bool stop_ = false;
+  // Job-lifecycle state. Always *written* under mutex_ (the cv protocol
+  // needs that to not lose wakeups), but atomic so the bounded spin phases
+  // can peek without the lock: a worker between jobs spins briefly for the
+  // next epoch before parking on start_cv_, and the caller spins for the
+  // last worker before sleeping on done_cv_. The spin turns the
+  // back-to-back ParallelFor cadence (one call per dual iteration) from two
+  // cv round-trips into two cache-line reads; it is enabled only when the
+  // pool is not oversubscribed (num_threads() <= HardwareThreads()), since
+  // spinning lanes that share a core with the lane they wait on only steal
+  // its cycles.
+  std::atomic<uint64_t> epoch_{0};  // bumped per job; workers wake on change
+  std::atomic<bool> job_open_{false};  // gates late wakers out of done jobs
+  std::atomic<int32_t> active_{0};  // lanes currently inside RunJob
+  std::atomic<bool> stop_{false};
+  bool spin_ = false;  // fixed at construction
 
   // Active-job state; written under mutex_ before the epoch bump.
   const RangeBody* body_ = nullptr;

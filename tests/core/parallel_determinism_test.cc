@@ -13,6 +13,7 @@
 #include "core/lp_packing.h"
 #include "gen/synthetic.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace igepa {
 namespace core {
@@ -109,6 +110,77 @@ TEST(ParallelDeterminismTest, RoundingBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(stats.pairs_repaired, ref_stats.pairs_repaired);
       EXPECT_EQ(rounded->Utility(instance), reference->Utility(instance));
     }
+  }
+}
+
+TEST(ParallelDeterminismTest, CatalogRescoreIdenticalAcrossThreadCounts) {
+  const Instance instance = MakeSeededInstance(505);
+  AdmissibleCatalog reference = AdmissibleCatalog::Build(instance, {});
+  reference.Rescore(instance);
+  for (int32_t threads : kThreadCounts) {
+    AdmissibleCatalog catalog = AdmissibleCatalog::Build(instance, {});
+    EXPECT_EQ(catalog.Rescore(instance, threads),
+              reference.num_live_columns())
+        << "threads=" << threads;
+    EXPECT_EQ(catalog.weights(), reference.weights()) << "threads=" << threads;
+  }
+}
+
+// The borrowed-pool path (options.workers) and the per-shard/per-lane
+// rounding arenas: the same solve + rounding on caller-owned pools of 1, 2
+// and 8 lanes must reproduce the serial run bit for bit, including the
+// exported RoundingState (sampled columns, per-event demand from the lane
+// counters, repair cutoffs) — the arenas only move where counting happens,
+// never what is counted.
+TEST(ParallelDeterminismTest, BorrowedPoolAndRoundingStateIdentical) {
+  const Instance instance = MakeSeededInstance(606);
+  const AdmissibleCatalog catalog = AdmissibleCatalog::Build(instance, {});
+  LpPackingOptions base;
+  base.structured.max_iterations = 300;
+  base.num_threads = 1;
+  auto fractional = SolveBenchmarkLpForPacking(instance, catalog, base);
+  ASSERT_TRUE(fractional.ok()) << fractional.status();
+
+  StructuredDualOptions dual_base;
+  dual_base.max_iterations = 300;
+  dual_base.num_threads = 1;
+  auto dual_reference = SolveBenchmarkLpStructured(instance, catalog,
+                                                   dual_base);
+  ASSERT_TRUE(dual_reference.ok()) << dual_reference.status();
+
+  Rng ref_rng(91);
+  RoundingState ref_state;
+  auto reference = RoundFractional(instance, catalog, *fractional, &ref_rng,
+                                   base, nullptr, &ref_state);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (int32_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+
+    StructuredDualOptions dual_options = dual_base;
+    dual_options.workers = &pool;
+    auto sol = SolveBenchmarkLpStructured(instance, catalog, dual_options);
+    ASSERT_TRUE(sol.ok()) << "lanes=" << threads << ": " << sol.status();
+    EXPECT_EQ(sol->objective, dual_reference->objective)
+        << "lanes=" << threads;
+    EXPECT_EQ(sol->upper_bound, dual_reference->upper_bound);
+    EXPECT_EQ(sol->x, dual_reference->x) << "lanes=" << threads;
+    EXPECT_EQ(sol->duals, dual_reference->duals) << "lanes=" << threads;
+
+    LpPackingOptions options = base;
+    options.workers = &pool;
+    Rng rng(91);
+    RoundingState state;
+    auto rounded = RoundFractional(instance, catalog, *fractional, &rng,
+                                   options, nullptr, &state);
+    ASSERT_TRUE(rounded.ok()) << "lanes=" << threads << ": "
+                              << rounded.status();
+    EXPECT_EQ(rounded->pairs(), reference->pairs()) << "lanes=" << threads;
+    EXPECT_EQ(state.sampled_col, ref_state.sampled_col)
+        << "lanes=" << threads;
+    EXPECT_EQ(state.demand, ref_state.demand) << "lanes=" << threads;
+    EXPECT_EQ(state.cutoff, ref_state.cutoff) << "lanes=" << threads;
+    EXPECT_EQ(state.catalog_revision, ref_state.catalog_revision);
   }
 }
 

@@ -1,0 +1,111 @@
+// SIMD-vs-scalar property tests for the SoA batch-scoring fast path
+// (DESIGN.md §5 S18): for every built-in utility kernel, a catalog built
+// and re-scored with the dispatch pinned to the detected best SIMD level
+// must match the pinned-scalar run bit for bit — weights, pool layout and
+// ApplyDelta re-scores alike. On hosts without AVX2 (or -DIGEPA_SIMD=off
+// builds) both pins resolve to scalar and the tests degenerate to
+// self-consistency, so the suite passes everywhere.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/admissible_catalog.h"
+#include "core/instance_delta.h"
+#include "core/utility_kernel.h"
+#include "gen/delta_stream.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace igepa {
+namespace core {
+namespace {
+
+namespace simd = util::simd;
+
+class SimdLevelGuard {
+ public:
+  ~SimdLevelGuard() { simd::ResetLevel(); }
+};
+
+Instance MakeKernelInstance(uint64_t seed, const std::string& kernel_id) {
+  Rng rng(seed);
+  gen::SyntheticConfig config;
+  config.num_events = 40;
+  config.num_users = 300;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  EXPECT_TRUE(instance.ok());
+  auto kernel = MakeUtilityKernel(kernel_id);
+  EXPECT_TRUE(kernel.ok());
+  instance->set_kernel(*kernel);
+  return std::move(instance).value();
+}
+
+TEST(SimdScoringTest, BuildAndRescoreBitIdenticalAcrossLevelsAllKernels) {
+  SimdLevelGuard guard;
+  for (const std::string& kernel_id : UtilityKernelIds()) {
+    const Instance instance = MakeKernelInstance(1201, kernel_id);
+
+    simd::ForceLevel(simd::Level::kScalar);
+    const AdmissibleCatalog scalar = AdmissibleCatalog::Build(instance, {});
+
+    simd::ForceLevel(simd::DetectedLevel());
+    const AdmissibleCatalog vec = AdmissibleCatalog::Build(instance, {});
+
+    EXPECT_EQ(vec.pool(), scalar.pool()) << kernel_id;
+    EXPECT_EQ(vec.col_begin(), scalar.col_begin()) << kernel_id;
+    EXPECT_EQ(vec.weights(), scalar.weights()) << kernel_id;
+
+    // Rescore through both pins on one catalog: same bits again, and the
+    // threaded rescore path stays identical to the serial one.
+    AdmissibleCatalog rescored = AdmissibleCatalog::Build(instance, {});
+    simd::ForceLevel(simd::Level::kScalar);
+    rescored.Rescore(instance);
+    EXPECT_EQ(rescored.weights(), scalar.weights()) << kernel_id;
+    simd::ForceLevel(simd::DetectedLevel());
+    rescored.Rescore(instance, /*num_threads=*/4);
+    EXPECT_EQ(rescored.weights(), scalar.weights()) << kernel_id;
+  }
+}
+
+TEST(SimdScoringTest, ApplyDeltaRescoresBitIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  for (const std::string& kernel_id : UtilityKernelIds()) {
+    // Two identical instance/catalog universes, advanced by the same delta
+    // stream, one pinned scalar and one pinned to the detected level.
+    Instance scalar_instance = MakeKernelInstance(1301, kernel_id);
+    Instance vec_instance = MakeKernelInstance(1301, kernel_id);
+    simd::ForceLevel(simd::Level::kScalar);
+    AdmissibleCatalog scalar_catalog =
+        AdmissibleCatalog::Build(scalar_instance, {});
+    simd::ForceLevel(simd::DetectedLevel());
+    AdmissibleCatalog vec_catalog = AdmissibleCatalog::Build(vec_instance, {});
+
+    Rng rng(17);
+    gen::DeltaStreamConfig config;
+    config.num_ticks = 6;
+    config.user_updates_per_tick = 3;
+    config.event_updates_per_tick = 1;
+    config.graph_updates_per_tick = 4;
+    config.interest_updates_per_tick = 4;
+    const auto stream =
+        gen::GenerateDeltaStream(scalar_instance, config, &rng);
+
+    for (const auto& delta : stream) {
+      simd::ForceLevel(simd::Level::kScalar);
+      ASSERT_TRUE(ApplyDelta(&scalar_instance, delta).ok());
+      ASSERT_TRUE(scalar_catalog.ApplyDelta(scalar_instance, delta, {}).ok());
+      simd::ForceLevel(simd::DetectedLevel());
+      ASSERT_TRUE(ApplyDelta(&vec_instance, delta).ok());
+      ASSERT_TRUE(vec_catalog.ApplyDelta(vec_instance, delta, {}).ok());
+      ASSERT_EQ(vec_catalog.pool(), scalar_catalog.pool()) << kernel_id;
+      ASSERT_EQ(vec_catalog.weights(), scalar_catalog.weights()) << kernel_id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace igepa

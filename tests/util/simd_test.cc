@@ -1,0 +1,145 @@
+#include "util/simd.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace igepa {
+namespace util {
+namespace simd {
+namespace {
+
+/// The reference semantics SumColumnLanes pins: per column, a strict
+/// left-to-right scalar sum over the column's pool span.
+std::vector<double> ReferenceSums(const std::vector<double>& lane,
+                                  const std::vector<int32_t>& pool,
+                                  const std::vector<int64_t>& col_begin) {
+  const size_t n = col_begin.size() - 1;
+  std::vector<double> out(n, -1.0);
+  for (size_t k = 0; k < n; ++k) {
+    double w = 0.0;
+    for (int64_t e = col_begin[k]; e < col_begin[k + 1]; ++e) {
+      w += lane[static_cast<size_t>(pool[static_cast<size_t>(e)])];
+    }
+    out[k] = w;
+  }
+  return out;
+}
+
+/// A ragged CSR batch with adversarial span lengths: empty columns, single
+/// elements, quad-aligned and quad-straggler lengths, and one long tail, in
+/// shuffled order so no two adjacent lanes of a quad have equal lengths.
+struct Batch {
+  std::vector<double> lane;
+  std::vector<int32_t> pool;
+  std::vector<int64_t> col_begin;
+};
+
+Batch MakeRaggedBatch(uint64_t seed, int32_t num_columns, int32_t num_events,
+                      int64_t pool_offset) {
+  Rng rng(seed);
+  Batch b;
+  b.lane.resize(static_cast<size_t>(num_events));
+  for (double& w : b.lane) w = rng.NextDouble();
+  std::vector<int64_t> lengths;
+  const int64_t shapes[] = {0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 257};
+  for (int32_t k = 0; k < num_columns; ++k) {
+    lengths.push_back(shapes[rng.NextIndex(std::size(shapes))]);
+  }
+  b.pool.assign(static_cast<size_t>(pool_offset), 0);  // dead prefix
+  b.col_begin.push_back(pool_offset);
+  for (int64_t len : lengths) {
+    for (int64_t i = 0; i < len; ++i) {
+      b.pool.push_back(static_cast<int32_t>(rng.NextIndex(
+          static_cast<uint64_t>(num_events))));
+    }
+    b.col_begin.push_back(static_cast<int64_t>(b.pool.size()));
+  }
+  return b;
+}
+
+class SimdLevelGuard {
+ public:
+  ~SimdLevelGuard() { ResetLevel(); }
+};
+
+TEST(SimdSumColumnLanes, MatchesScalarReferenceBitwise) {
+  SimdLevelGuard guard;
+  for (uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    const Batch b = MakeRaggedBatch(seed, /*num_columns=*/203,
+                                    /*num_events=*/500, /*pool_offset=*/0);
+    const auto expected = ReferenceSums(b.lane, b.pool, b.col_begin);
+    const auto n = static_cast<int32_t>(b.col_begin.size() - 1);
+    for (Level level : {Level::kScalar, Level::kAvx2}) {
+      ForceLevel(level);  // clamped to the CPU; scalar==scalar elsewhere
+      std::vector<double> out(static_cast<size_t>(n), -1.0);
+      SumColumnLanes(b.lane.data(), b.pool.data(), b.col_begin.data(), n,
+                     out.data());
+      for (int32_t k = 0; k < n; ++k) {
+        ASSERT_EQ(expected[static_cast<size_t>(k)],
+                  out[static_cast<size_t>(k)])
+            << "seed " << seed << " level " << static_cast<int>(level)
+            << " column " << k;
+      }
+    }
+  }
+}
+
+TEST(SimdSumColumnLanes, HandlesNonZeroPoolBase) {
+  // Catalog batches hand in col_begin offsets that do not start at zero
+  // (a user's block sits mid-pool); the AVX2 gather rebases them to 32-bit.
+  SimdLevelGuard guard;
+  const Batch b = MakeRaggedBatch(/*seed=*/42, /*num_columns=*/67,
+                                  /*num_events=*/128, /*pool_offset=*/1000);
+  const auto expected = ReferenceSums(b.lane, b.pool, b.col_begin);
+  const auto n = static_cast<int32_t>(b.col_begin.size() - 1);
+  for (Level level : {Level::kScalar, Level::kAvx2}) {
+    ForceLevel(level);
+    std::vector<double> out(static_cast<size_t>(n), -1.0);
+    SumColumnLanes(b.lane.data(), b.pool.data(), b.col_begin.data(), n,
+                   out.data());
+    for (int32_t k = 0; k < n; ++k) {
+      ASSERT_EQ(expected[static_cast<size_t>(k)], out[static_cast<size_t>(k)]);
+    }
+  }
+}
+
+TEST(SimdSumColumnLanes, EmptyBatchAndEmptyColumns) {
+  SimdLevelGuard guard;
+  const std::vector<double> lane = {0.5, 0.25};
+  const std::vector<int32_t> pool = {0, 1};
+  for (Level level : {Level::kScalar, Level::kAvx2}) {
+    ForceLevel(level);
+    // num_columns == 0: must not touch out.
+    double sentinel = 3.5;
+    const std::vector<int64_t> none = {0};
+    SumColumnLanes(lane.data(), pool.data(), none.data(), 0, &sentinel);
+    EXPECT_EQ(3.5, sentinel);
+    // All-empty columns write exact +0.0.
+    const std::vector<int64_t> empties = {2, 2, 2, 2, 2, 2};
+    std::vector<double> out(5, -1.0);
+    SumColumnLanes(lane.data(), pool.data(), empties.data(), 5, out.data());
+    for (double w : out) EXPECT_EQ(0.0, w);
+  }
+}
+
+TEST(SimdDispatch, ForceLevelClampsToDetectedAndResets) {
+  SimdLevelGuard guard;
+  ForceLevel(Level::kScalar);
+  EXPECT_EQ(Level::kScalar, ActiveLevel());
+  ForceLevel(Level::kAvx2);
+  // Forcing above the CPU's capability stays at what the CPU can run.
+  EXPECT_EQ(DetectedLevel(), ActiveLevel());
+  ResetLevel();
+  // After reset the level re-derives from CPU + environment; it can only be
+  // at or below the pure CPU probe.
+  EXPECT_LE(static_cast<int>(ActiveLevel()), static_cast<int>(DetectedLevel()));
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace util
+}  // namespace igepa
