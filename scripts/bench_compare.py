@@ -30,10 +30,11 @@ import re
 import sys
 
 DEFAULT_FILTER = (
-    r"^BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
+    r"^(BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
     r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd|"
     r"CatalogApplyDelta|StructuredDualWarmVsCold|ServeEpoch|"
-    r"KernelRescore|CatalogBuildThreads|ScoreColumnsSoA)"
+    r"KernelRescore|CatalogBuildThreads|ScoreColumnsSoA)|"
+    r"LT_Serve(EpochLatency|PublishLatency))"
 )
 
 THREAD_FAMILY = re.compile(r"^(BM_\w*Threads\w*)/(\d+)$")

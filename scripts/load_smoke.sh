@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Load-test smoke (CI: the load-smoke job; also runnable locally). Runs the
+# open-loop Poisson load harness against the background service for a few
+# seconds and applies the ADVISORY SLO policy: absolute latencies never gate
+# (hosted runners are noisy, shared and throttled), but two shapes always
+# mean the service is broken regardless of hardware and do fail:
+#
+#   * zero throughput — the service applied nothing in the whole window;
+#   * an undrained queue — Stop()'s drain left deltas pending, i.e. the
+#     epoch loop wedged.
+#
+# Everything else (p50/p99 epoch + publish latency, applied/s, peak queue
+# depth) is printed and uploaded as google-benchmark JSON so
+# scripts/bench_compare.py can track the LT_Serve* families across runs.
+#
+# Usage: scripts/load_smoke.sh <build-dir> [duration-seconds] [json-out]
+set -euo pipefail
+
+build_dir=${1:?usage: load_smoke.sh <build-dir> [duration-seconds] [json-out]}
+duration=${2:-10}
+json_out=${3:-"$build_dir/BENCH_load_test.json"}
+igepa="$build_dir/igepa_main"
+
+echo "== load test: ${duration}s open-loop run"
+"$igepa" serve --load-test --duration "$duration" --rate 200 \
+  --events 40 --users 300 --seed 19 --json "$json_out"
+
+echo "== SLO check (advisory: only broken-service shapes fail)"
+python3 - "$json_out" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+ctx = report["context"]
+
+failures = []
+if ctx["deltas_applied"] <= 0:
+    failures.append("zero throughput: no delta was applied in the whole run")
+if ctx["final_queue_depth"] != 0:
+    failures.append(
+        f"undrained queue: {ctx['final_queue_depth']} deltas still pending "
+        "after Stop()")
+
+names = {b["name"] for b in report.get("benchmarks", [])}
+expected = {
+    "LT_ServeEpochLatency/p50", "LT_ServeEpochLatency/p99",
+    "LT_ServePublishLatency/p50", "LT_ServePublishLatency/p99",
+}
+missing = expected - names
+if missing:
+    failures.append(f"missing latency entries: {sorted(missing)}")
+
+for b in report.get("benchmarks", []):
+    print(f"  {b['name']}: {b['real_time'] / 1e6:.3f} ms")
+print(f"  applied/s: {ctx['applied_per_second']:.1f}"
+      f"  (rejected {ctx['deltas_rejected']},"
+      f" peak queue {ctx['max_queue_depth']})")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print("load_smoke: SLO check passed")
+EOF

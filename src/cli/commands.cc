@@ -11,6 +11,7 @@
 #include "algo/online.h"
 #include "core/instance_delta.h"
 #include "core/lp_packing.h"
+#include "exp/load_test.h"
 #include "exp/replay.h"
 #include "exp/report.h"
 #include "exp/serve_driver.h"
@@ -530,6 +531,24 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
                    "comma-separated epoch batch sizes (e.g. 1,16,256)");
   parser.AddBool("no-cold", false,
                  "sweep: skip the per-epoch cold-solve drift reference");
+  parser.AddString("durable-dir", "",
+                   "durable state directory (WAL + snapshot checkpoints); if "
+                   "it already holds a snapshot the service RECOVERS from it "
+                   "and resumes the arrival stream where the previous process "
+                   "died, bit-identically");
+  parser.AddInt("checkpoint-every", 16,
+                "durable: snapshot cadence in completed epochs");
+  parser.AddString("out-arrangement", "",
+                   "write the final published arrangement to this CSV (the "
+                   "crash-recovery gate diffs these byte-for-byte)");
+  parser.AddBool("load-test", false,
+                 "instead of serving a stream, run the open-loop Poisson "
+                 "load harness against the background service (--rate, "
+                 "--duration) and report throughput + latency percentiles");
+  parser.AddDouble("duration", 10.0, "load test: arrival-phase seconds");
+  parser.AddString("json", "",
+                   "load test: also write the report as google-benchmark "
+                   "JSON (tracked by scripts/bench_compare.py)");
   parser.AddBool("help", false, "show this help");
   if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
   if (parser.GetBool("help")) {
@@ -560,6 +579,72 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
   if (!instance.ok()) return Fail(err, instance.status());
   if (Status s = ApplyKernelFlag(parser, &*instance); !s.ok()) {
     return Fail(err, s);
+  }
+
+  serve::ServeOptions options;
+  options.num_threads = static_cast<int32_t>(parser.GetInt("threads"));
+  options.max_batch = static_cast<int32_t>(parser.GetInt("max-batch"));
+  options.queue_capacity =
+      static_cast<int32_t>(parser.GetInt("queue-capacity"));
+  options.epoch_ms = parser.GetDouble("epoch-ms");
+  options.alpha = parser.GetDouble("alpha");
+  options.seed = static_cast<uint64_t>(parser.GetInt("seed")) ^
+                 0x9E3779B97F4A7C15ULL;
+  options.durable_dir = parser.GetString("durable-dir");
+  options.checkpoint_every =
+      static_cast<int32_t>(parser.GetInt("checkpoint-every"));
+  if (options.checkpoint_every < 1) {
+    return Fail(err,
+                Status::InvalidArgument("--checkpoint-every must be >= 1"));
+  }
+
+  // ---- Load-test mode: the exp:: open-loop Poisson harness. ---------------
+  if (parser.GetBool("load-test")) {
+    exp::LoadTestOptions load;
+    load.duration_seconds = parser.GetDouble("duration");
+    load.rate_per_second = parser.GetDouble("rate");
+    // A stream of its own (decorrelated from the instance-generation draws).
+    load.seed = static_cast<uint64_t>(parser.GetInt("seed")) ^
+                0xC2B2AE3D27D4EB4FULL;
+    load.arrivals.p_cancel = parser.GetDouble("p-cancel");
+    load.arrivals.p_event_capacity = parser.GetDouble("p-event");
+    load.arrivals.p_graph_edge = parser.GetDouble("p-edge");
+    load.arrivals.p_interest_drift = parser.GetDouble("p-interest");
+    load.arrivals.p_register = std::max(
+        0.0, 1.0 - load.arrivals.p_cancel - load.arrivals.p_event_capacity -
+                 load.arrivals.p_graph_edge - load.arrivals.p_interest_drift);
+    load.serve = options;
+    auto report = exp::RunLoadTest(*instance, load);
+    if (!report.ok()) return Fail(err, report.status());
+    out << "load test: " << exp::DescribeInstance(*instance) << ", "
+        << FormatDouble(load.rate_per_second, 1) << "/s for "
+        << FormatDouble(report->duration_seconds, 2) << " s (drained in "
+        << FormatDouble(report->total_seconds, 2) << " s)\n";
+    out << "arrivals " << report->arrivals_generated << ": "
+        << report->deltas_submitted << " submitted, "
+        << report->deltas_rejected << " rejected, " << report->deltas_applied
+        << " applied in " << report->epochs << " epochs ("
+        << FormatDouble(report->applied_per_second, 1) << " applied/s)\n";
+    out << "queue depth max " << report->max_queue_depth << ", final "
+        << report->final_queue_depth << "\n";
+    out << "epoch ms p50/p99 "
+        << FormatDouble(report->p50_epoch_seconds * 1e3, 2) << "/"
+        << FormatDouble(report->p99_epoch_seconds * 1e3, 2)
+        << ", publish-latency ms p50/p99 "
+        << FormatDouble(report->p50_publish_latency_seconds * 1e3, 2) << "/"
+        << FormatDouble(report->p99_publish_latency_seconds * 1e3, 2) << "\n";
+    out << "final snapshot v" << report->snapshot_version << ": lp "
+        << FormatDouble(report->final_lp_objective, 4) << ", utility "
+        << FormatDouble(report->final_utility, 4) << "\n";
+    if (!parser.GetString("json").empty()) {
+      if (Status s = exp::WriteLoadTestJson(*report, load,
+                                            parser.GetString("json"));
+          !s.ok()) {
+        return Fail(err, s);
+      }
+      out << "wrote " << parser.GetString("json") << "\n";
+    }
+    return 0;
   }
 
   std::vector<core::ArrivalEvent> arrivals;
@@ -625,17 +710,32 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
   }
 
   // ---- Service mode. ------------------------------------------------------
-  serve::ServeOptions options;
-  options.num_threads = static_cast<int32_t>(parser.GetInt("threads"));
-  options.max_batch = static_cast<int32_t>(parser.GetInt("max-batch"));
-  options.queue_capacity =
-      static_cast<int32_t>(parser.GetInt("queue-capacity"));
-  options.epoch_ms = parser.GetDouble("epoch-ms");
-  options.alpha = parser.GetDouble("alpha");
-  options.seed = static_cast<uint64_t>(parser.GetInt("seed")) ^
-                 0x9E3779B97F4A7C15ULL;
-  auto service = serve::ArrangementService::Create(*instance, options);
-  if (!service.ok()) return Fail(err, service.status());
+  // Durable dirs resume: a snapshot already there means a previous process
+  // served part of this arrival stream and died — recover its exact state
+  // and skip the arrivals it provably consumed (Stats().deltas_applied is
+  // the arrival cursor: in the deterministic loop every epoch drains the
+  // whole queue, so the applied count IS the index of the next arrival).
+  std::unique_ptr<serve::ArrangementService> service;
+  size_t resume_at = 0;
+  if (!options.durable_dir.empty()) {
+    auto recovered = serve::ArrangementService::Recover(options);
+    if (recovered.ok()) {
+      service = std::move(*recovered);
+      resume_at = std::min(
+          arrivals.size(),
+          static_cast<size_t>(service->Stats().deltas_applied));
+      out << "recovered from " << options.durable_dir << ": snapshot v"
+          << service->Stats().snapshot_version << ", resuming at arrival "
+          << resume_at << "/" << arrivals.size() << "\n";
+    } else if (recovered.status().code() != StatusCode::kNotFound) {
+      return Fail(err, recovered.status());
+    }
+  }
+  if (service == nullptr) {
+    auto created = serve::ArrangementService::Create(*instance, options);
+    if (!created.ok()) return Fail(err, created.status());
+    service = std::move(*created);
+  }
 
   out << "serve: " << exp::DescribeInstance(*instance) << ", "
       << arrivals.size() << " arrivals, max-batch " << options.max_batch
@@ -646,9 +746,10 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
 
   if (parser.GetBool("realtime")) {
     const double speed = std::max(1e-9, parser.GetDouble("speed"));
-    if (Status s = (*service)->Start(); !s.ok()) return Fail(err, s);
+    if (Status s = service->Start(); !s.ok()) return Fail(err, s);
     Stopwatch wall;
-    for (const core::ArrivalEvent& arrival : arrivals) {
+    for (size_t i = resume_at; i < arrivals.size(); ++i) {
+      const core::ArrivalEvent& arrival = arrivals[i];
       const double due = arrival.at_seconds / speed;
       const double now = wall.ElapsedSeconds();
       if (due > now) {
@@ -661,14 +762,14 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
       // deltas_rejected); any other rejection (e.g. out-of-range ids from a
       // stream addressing a bigger id space than the instance) is fatal,
       // matching the deterministic mode.
-      if (Status s = (*service)->Submit(arrival.delta);
+      if (Status s = service->Submit(arrival.delta);
           !s.ok() && s.code() != StatusCode::kResourceExhausted) {
-        (void)(*service)->Stop();
+        (void)service->Stop();
         return Fail(err, s);
       }
     }
-    if (Status s = (*service)->Stop(); !s.ok()) return Fail(err, s);
-    for (const serve::EpochMetrics& row : (*service)->MetricsHistory()) {
+    if (Status s = service->Stop(); !s.ok()) return Fail(err, s);
+    for (const serve::EpochMetrics& row : service->MetricsHistory()) {
       PrintEpochMetrics(out, row);
     }
   } else {
@@ -683,13 +784,19 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
         std::min(options.max_batch, options.queue_capacity);
     int32_t pending = 0;
     auto run_epoch = [&]() -> Status {
-      auto metrics = (*service)->RunEpoch();
+      auto metrics = service->RunEpoch();
       IGEPA_RETURN_IF_ERROR(metrics.status());
       pending = 0;
       PrintEpochMetrics(out, *metrics);
       return Status::OK();
     };
-    for (const core::ArrivalEvent& arrival : arrivals) {
+    // Resume skips arrivals a recovered snapshot already consumed. Because
+    // force_epoch_at ≤ queue capacity, every run_epoch drains the whole
+    // queue, so the applied count is a clean cursor into the arrival list
+    // and the absolute window boundaries below reproduce the reference
+    // batching exactly.
+    for (size_t i = resume_at; i < arrivals.size(); ++i) {
+      const core::ArrivalEvent& arrival = arrivals[i];
       if (pending > 0 && arrival.at_seconds >= window_end) {
         if (Status s = run_epoch(); !s.ok()) return Fail(err, s);
       }
@@ -699,18 +806,30 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
         window_end =
             (std::floor(arrival.at_seconds / window) + 1.0) * window;
       }
-      if (Status s = (*service)->Submit(arrival.delta); !s.ok()) {
+      if (Status s = service->Submit(arrival.delta); !s.ok()) {
         return Fail(err, s);
       }
       if (++pending >= force_epoch_at) {
         if (Status s = run_epoch(); !s.ok()) return Fail(err, s);
       }
     }
-    while ((*service)->Stats().deltas_pending > 0) {
+    while (service->Stats().deltas_pending > 0) {
       if (Status s = run_epoch(); !s.ok()) return Fail(err, s);
     }
   }
-  PrintServiceStats(out, (*service)->Stats());
+  PrintServiceStats(out, service->Stats());
+  if (const std::string path = parser.GetString("out-arrangement");
+      !path.empty()) {
+    auto snapshot = service->snapshot();
+    if (snapshot == nullptr) {
+      return Fail(err, Status::Internal("service published no snapshot"));
+    }
+    if (Status s = io::WriteArrangementCsv(snapshot->arrangement(), path);
+        !s.ok()) {
+      return Fail(err, s);
+    }
+    out << "arrangement -> " << path << "\n";
+  }
   return 0;
 }
 

@@ -1,0 +1,193 @@
+#include "exp/load_test.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace igepa {
+namespace exp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string JsonDouble(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+void AppendLatencyEntry(std::string* out, const std::string& name,
+                        int family_index, int instance_index, double seconds,
+                        bool last) {
+  *out += "    {\n";
+  *out += "      \"name\": \"" + name + "\",\n";
+  *out += "      \"family_index\": " + std::to_string(family_index) + ",\n";
+  *out += "      \"per_family_instance_index\": " +
+          std::to_string(instance_index) + ",\n";
+  *out += "      \"run_name\": \"" + name + "\",\n";
+  *out += "      \"run_type\": \"iteration\",\n";
+  *out += "      \"repetitions\": 1,\n";
+  *out += "      \"repetition_index\": 0,\n";
+  *out += "      \"threads\": 1,\n";
+  *out += "      \"iterations\": 1,\n";
+  *out += "      \"real_time\": " + JsonDouble(seconds * 1e9) + ",\n";
+  *out += "      \"cpu_time\": " + JsonDouble(seconds * 1e9) + ",\n";
+  *out += "      \"time_unit\": \"ns\"\n";
+  *out += last ? "    }\n" : "    },\n";
+}
+
+}  // namespace
+
+Result<LoadTestReport> RunLoadTest(core::Instance instance,
+                                   const LoadTestOptions& options) {
+  if (options.duration_seconds <= 0) {
+    return Status::InvalidArgument(
+        "LoadTestOptions::duration_seconds must be > 0");
+  }
+  if (options.rate_per_second <= 0) {
+    return Status::InvalidArgument(
+        "LoadTestOptions::rate_per_second must be > 0");
+  }
+
+  // Pre-sample the whole arrival stream: the submit loop then does nothing
+  // but sleep and Submit, so generator cost never shapes the arrival times.
+  gen::ArrivalProcessConfig config = options.arrivals;
+  config.rate_per_second = options.rate_per_second;
+  config.num_arrivals = static_cast<int32_t>(std::max(
+      16.0,
+      std::ceil(options.rate_per_second * options.duration_seconds * 1.5)));
+  Rng arrival_rng(options.seed);
+  std::vector<core::ArrivalEvent> arrivals =
+      gen::GenerateArrivalProcess(instance, config, &arrival_rng);
+
+  IGEPA_ASSIGN_OR_RETURN(
+      std::unique_ptr<serve::ArrangementService> service,
+      serve::ArrangementService::Create(std::move(instance), options.serve));
+  IGEPA_RETURN_IF_ERROR(service->Start());
+
+  LoadTestReport report;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_seconds));
+  for (const core::ArrivalEvent& arrival : arrivals) {
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrival.at_seconds));
+    if (due > deadline) break;
+    std::this_thread::sleep_until(due);
+    ++report.arrivals_generated;
+    const Status submitted = service->Submit(arrival.delta);
+    if (submitted.ok()) {
+      ++report.deltas_submitted;
+    } else if (submitted.code() == StatusCode::kResourceExhausted) {
+      // Open loop: backpressure drops the arrival, it does not slow the
+      // generator. The drop count IS the overload signal.
+      ++report.deltas_rejected;
+    } else {
+      (void)service->Stop();
+      return submitted;
+    }
+    if ((report.arrivals_generated & 0xF) == 0) {
+      const serve::ServiceStats stats = service->Stats();
+      report.max_queue_depth =
+          std::max(report.max_queue_depth, stats.deltas_pending);
+    }
+  }
+  report.duration_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Stop() drains every still-pending delta through final epochs.
+  IGEPA_RETURN_IF_ERROR(service->Stop());
+  report.total_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const serve::ServiceStats stats = service->Stats();
+  report.deltas_applied = stats.deltas_applied;
+  report.epochs = stats.epochs;
+  report.snapshot_version = stats.snapshot_version;
+  report.final_queue_depth = stats.deltas_pending;
+  report.max_queue_depth =
+      std::max(report.max_queue_depth, stats.deltas_pending);
+  report.applied_per_second =
+      report.total_seconds > 0
+          ? static_cast<double>(stats.deltas_applied) / report.total_seconds
+          : 0.0;
+  report.p50_epoch_seconds = stats.p50_epoch_seconds;
+  report.p99_epoch_seconds = stats.p99_epoch_seconds;
+  report.p50_publish_latency_seconds = stats.p50_publish_latency_seconds;
+  report.p99_publish_latency_seconds = stats.p99_publish_latency_seconds;
+  report.final_lp_objective = stats.lp_objective;
+  report.final_utility = stats.utility;
+  return report;
+}
+
+Status WriteLoadTestJson(const LoadTestReport& report,
+                         const LoadTestOptions& options,
+                         const std::string& path) {
+  std::string out;
+  out += "{\n";
+  out += "  \"context\": {\n";
+  out += "    \"executable\": \"igepa serve --load-test\",\n";
+  out += "    \"duration_seconds\": " + JsonDouble(report.duration_seconds) +
+         ",\n";
+  out += "    \"total_seconds\": " + JsonDouble(report.total_seconds) + ",\n";
+  out += "    \"rate_per_second\": " + JsonDouble(options.rate_per_second) +
+         ",\n";
+  out += "    \"max_batch\": " + std::to_string(options.serve.max_batch) +
+         ",\n";
+  out += "    \"epoch_ms\": " + JsonDouble(options.serve.epoch_ms) + ",\n";
+  out += "    \"arrivals_generated\": " +
+         std::to_string(report.arrivals_generated) + ",\n";
+  out += "    \"deltas_submitted\": " +
+         std::to_string(report.deltas_submitted) + ",\n";
+  out += "    \"deltas_rejected\": " + std::to_string(report.deltas_rejected) +
+         ",\n";
+  out += "    \"deltas_applied\": " + std::to_string(report.deltas_applied) +
+         ",\n";
+  out += "    \"epochs\": " + std::to_string(report.epochs) + ",\n";
+  out += "    \"snapshot_version\": " +
+         std::to_string(report.snapshot_version) + ",\n";
+  out += "    \"applied_per_second\": " +
+         JsonDouble(report.applied_per_second) + ",\n";
+  out += "    \"max_queue_depth\": " + std::to_string(report.max_queue_depth) +
+         ",\n";
+  out += "    \"final_queue_depth\": " +
+         std::to_string(report.final_queue_depth) + ",\n";
+  out += "    \"final_lp_objective\": " +
+         JsonDouble(report.final_lp_objective) + ",\n";
+  out += "    \"final_utility\": " + JsonDouble(report.final_utility) + "\n";
+  out += "  },\n";
+  out += "  \"benchmarks\": [\n";
+  AppendLatencyEntry(&out, "LT_ServeEpochLatency/p50", 0, 0,
+                     report.p50_epoch_seconds, false);
+  AppendLatencyEntry(&out, "LT_ServeEpochLatency/p99", 0, 1,
+                     report.p99_epoch_seconds, false);
+  AppendLatencyEntry(&out, "LT_ServePublishLatency/p50", 1, 0,
+                     report.p50_publish_latency_seconds, false);
+  AppendLatencyEntry(&out, "LT_ServePublishLatency/p99", 1, 1,
+                     report.p99_publish_latency_seconds, true);
+  out += "  ]\n";
+  out += "}\n";
+
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file << out;
+  file.flush();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace exp
+}  // namespace igepa

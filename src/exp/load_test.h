@@ -1,0 +1,86 @@
+#ifndef IGEPA_EXP_LOAD_TEST_H_
+#define IGEPA_EXP_LOAD_TEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/instance.h"
+#include "gen/arrival_process.h"
+#include "serve/arrangement_service.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace exp {
+
+/// Options for the open-loop serve load test.
+struct LoadTestOptions {
+  /// Wall-clock length of the arrival phase; the run then drains and stops.
+  double duration_seconds = 10.0;
+  /// Poisson arrival intensity λ (mutations per second). OPEN loop: arrivals
+  /// fire at their pre-sampled times whether or not the service keeps up, so
+  /// an overloaded service shows up as queue growth and rejections instead
+  /// of silently slowing the generator down.
+  double rate_per_second = 200.0;
+  /// Seed of the arrival stream (mutation kinds, targets, gap sequence). The
+  /// service's own sampling seed lives in serve.seed.
+  uint64_t seed = 20190408;
+  /// Mutation mix and shape; num_arrivals/rate_per_second are overridden
+  /// from duration_seconds and rate_per_second above.
+  gen::ArrivalProcessConfig arrivals;
+  /// Service under test (background mode; epoch_ms/max_batch are the knobs
+  /// that matter). durable_dir works too — the WAL/checkpoint cost then
+  /// lands in the measured latencies, which is the point.
+  serve::ServeOptions serve;
+};
+
+/// What the load test observed. Counters cover the whole run (arrival phase
+/// plus drain); percentiles come from the service's sliding sample windows.
+struct LoadTestReport {
+  /// Arrival-phase wall time actually elapsed (close to duration_seconds).
+  double duration_seconds = 0.0;
+  /// Total wall time including the drain.
+  double total_seconds = 0.0;
+  int64_t arrivals_generated = 0;
+  int64_t deltas_submitted = 0;  // accepted by Submit
+  int64_t deltas_rejected = 0;   // backpressure drops (queue full)
+  int64_t deltas_applied = 0;
+  int64_t epochs = 0;
+  int64_t snapshot_version = 0;
+  /// deltas_applied / total_seconds — the sustained mutation throughput.
+  double applied_per_second = 0.0;
+  /// Peak pending-queue depth sampled at submit times.
+  int64_t max_queue_depth = 0;
+  /// Pending deltas after the final drain (0 unless the service errored).
+  int64_t final_queue_depth = 0;
+  double p50_epoch_seconds = 0.0;
+  double p99_epoch_seconds = 0.0;
+  double p50_publish_latency_seconds = 0.0;
+  double p99_publish_latency_seconds = 0.0;
+  double final_lp_objective = 0.0;
+  double final_utility = 0.0;
+};
+
+/// Open-loop load test against a background-mode ArrangementService: samples
+/// a Poisson arrival stream up front, Start()s the service, submits each
+/// delta at its scheduled wall-clock time (dropping on backpressure), then
+/// Stop()s (which drains) and collects the report. Wall-clock results vary
+/// by machine — this is a throughput/latency harness, not a determinism
+/// fixture; the engine arithmetic under it stays deterministic per batch.
+Result<LoadTestReport> RunLoadTest(core::Instance instance,
+                                   const LoadTestOptions& options = {});
+
+/// Writes the report as google-benchmark-schema JSON so bench_compare.py
+/// tracks it alongside the microbenchmarks: the latency percentiles are
+/// `run_type: "iteration"` entries named LT_ServeEpochLatency/p50|p99 and
+/// LT_ServePublishLatency/p50|p99 (real_time in ns, lower is better — the
+/// only shape bench_compare reads); throughput and queue counters go into
+/// the `context` block, where higher-is-better numbers cannot be misread as
+/// latency regressions.
+Status WriteLoadTestJson(const LoadTestReport& report,
+                         const LoadTestOptions& options,
+                         const std::string& path);
+
+}  // namespace exp
+}  // namespace igepa
+
+#endif  // IGEPA_EXP_LOAD_TEST_H_

@@ -30,6 +30,12 @@ Status WriteDeltaStreamCsv(const std::vector<InstanceDelta>& stream,
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + path);
   }
+  return WriteDeltaStreamCsv(stream, num_events, num_users, out, path);
+}
+
+Status WriteDeltaStreamCsv(const std::vector<InstanceDelta>& stream,
+                           int32_t num_events, int32_t num_users,
+                           std::ostream& out, const std::string& path) {
   // Version 1 carries only registration/capacity lines; weight-delta lines
   // (edge/interest) need version 2. Streams without them keep writing v1 so
   // their bytes — and any older reader — are unaffected.
@@ -72,6 +78,11 @@ Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(const std::string& path) {
   if (!in.is_open()) {
     return Status::IOError("cannot open for reading: " + path);
   }
+  return ReadDeltaStreamCsv(in, path);
+}
+
+Result<std::vector<InstanceDelta>> ReadDeltaStreamCsv(std::istream& in,
+                                                      const std::string& path) {
   std::string line;
   if (!std::getline(in, line)) {
     return Status::IOError("empty delta stream file: " + path);

@@ -29,10 +29,22 @@ Status WriteDeltaStreamCsv(const std::vector<core::InstanceDelta>& stream,
                            int32_t num_events, int32_t num_users,
                            const std::string& path);
 
+/// Stream-based variant: the serve WAL frames each record's payload as one
+/// single-tick delta CSV written through this overload; `label` names the
+/// destination in error messages.
+Status WriteDeltaStreamCsv(const std::vector<core::InstanceDelta>& stream,
+                           int32_t num_events, int32_t num_users,
+                           std::ostream& out, const std::string& label);
+
 /// Reads a delta stream written by WriteDeltaStreamCsv, validating ids
 /// against the header's ranges.
 Result<std::vector<core::InstanceDelta>> ReadDeltaStreamCsv(
     const std::string& path);
+
+/// Stream-based variant (WAL record payloads); `label` names the source in
+/// error messages.
+Result<std::vector<core::InstanceDelta>> ReadDeltaStreamCsv(
+    std::istream& in, const std::string& label);
 
 /// Serializes a timestamped arrival stream (the serving workload's on-disk
 /// format — docs/FORMATS.md):

@@ -1,10 +1,14 @@
 #include "serve/arrangement_service.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <csignal>
 #include <string>
 #include <utility>
 
 #include "core/warm_tick.h"
+#include "util/env.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
 
@@ -19,7 +23,8 @@ ArrangementService::ArrangementService(core::Instance instance,
                                        const ServeOptions& options)
     : instance_(std::move(instance)),
       options_(options),
-      master_(options.seed) {
+      master_(options.seed),
+      crash_after_epoch_(GetEnvInt("IGEPA_CRASH_AFTER_EPOCH", -1)) {
   dual_ = options_.dual;
   dual_.num_threads = options_.num_threads;
   delta_options_.admissible = options_.admissible;
@@ -47,9 +52,39 @@ Result<std::unique_ptr<ArrangementService>> ArrangementService::Create(
     return Status::InvalidArgument(
         "ServeOptions::metrics_history_limit must be >= 1");
   }
+  if (options.checkpoint_every < 1) {
+    return Status::InvalidArgument(
+        "ServeOptions::checkpoint_every must be >= 1");
+  }
   std::unique_ptr<ArrangementService> service(
       new ArrangementService(std::move(instance), options));
   IGEPA_RETURN_IF_ERROR(service->Bootstrap());
+  if (!options.durable_dir.empty()) {
+    IGEPA_RETURN_IF_ERROR(service->InitDurable());
+  }
+  return service;
+}
+
+Result<std::unique_ptr<ArrangementService>> ArrangementService::Recover(
+    const ServeOptions& options) {
+  if (options.durable_dir.empty()) {
+    return Status::InvalidArgument(
+        "Recover: ServeOptions::durable_dir must be set");
+  }
+  if (options.checkpoint_every < 1) {
+    return Status::InvalidArgument(
+        "ServeOptions::checkpoint_every must be >= 1");
+  }
+  IGEPA_ASSIGN_OR_RETURN(EngineSnapshot snap,
+                         Checkpointer::Load(options.durable_dir));
+  if (!snap.instance.has_value()) {
+    return Status::Internal("loaded snapshot has no instance");
+  }
+  core::Instance instance = std::move(*snap.instance);
+  snap.instance.reset();
+  std::unique_ptr<ArrangementService> service(
+      new ArrangementService(std::move(instance), options));
+  IGEPA_RETURN_IF_ERROR(service->RestoreAndReplay(std::move(snap)));
   return service;
 }
 
@@ -82,6 +117,219 @@ Status ArrangementService::Bootstrap() {
   Publish(/*epoch=*/-1, std::move(base_arr), fractional_.lp.objective,
           utility);
   return Status::OK();
+}
+
+Status ArrangementService::InitDurable() {
+  IGEPA_RETURN_IF_ERROR(Checkpointer::EnsureDirectory(options_.durable_dir));
+  struct stat st;
+  if (::stat(Checkpointer::SnapshotPath(options_.durable_dir).c_str(), &st) ==
+      0) {
+    return Status::AlreadyExists(
+        "durable directory " + options_.durable_dir +
+        " already holds a snapshot; use ArrangementService::Recover");
+  }
+  // A WAL with no snapshot next to it is unreachable leftovers (its records
+  // address state we no longer have); the epoch-0 checkpoint truncates it.
+  std::vector<WalRecord> orphaned;
+  IGEPA_ASSIGN_OR_RETURN(
+      wal_, DeltaWal::Open(Checkpointer::WalPath(options_.durable_dir),
+                           instance_.num_events(), instance_.num_users(),
+                           &orphaned));
+  return CheckpointInternal();
+}
+
+Status ArrangementService::RestoreAndReplay(EngineSnapshot snap) {
+  const auto nv = static_cast<size_t>(instance_.num_events());
+  const auto nu = static_cast<size_t>(instance_.num_users());
+  // Snapshots are captured against the canonical layout, so a fresh Build on
+  // the embedded instance reproduces exactly the catalog every column id in
+  // the snapshot addresses. ids_revision is only a fence token between the
+  // holders and the catalog — adopting the fresh catalog's value below keeps
+  // the fence closed without persisting the token.
+  core::AdmissibleOptions admissible = options_.admissible;
+  admissible.num_threads = options_.num_threads;
+  catalog_ = core::AdmissibleCatalog::Build(instance_, admissible);
+  const auto cols = static_cast<size_t>(catalog_.num_columns());
+  if (snap.mu.size() != nv || snap.choice.size() != nu ||
+      snap.choice_value.size() != nu ||
+      (!snap.stale.empty() && snap.stale.size() != nu) ||
+      snap.sampled_col.size() != nu || snap.demand.size() != nv ||
+      snap.cutoff.size() != nv || snap.x.size() != cols) {
+    return Status::IOError(
+        "snapshot state sizes do not match the catalog rebuilt from its "
+        "instance");
+  }
+  for (const int32_t j : snap.choice) {
+    if (j < -1 || j >= catalog_.num_columns()) {
+      return Status::IOError("snapshot warm choice out of catalog range");
+    }
+  }
+  for (const int32_t j : snap.sampled_col) {
+    if (j < -1 || j >= catalog_.num_columns()) {
+      return Status::IOError("snapshot sampled column out of catalog range");
+    }
+  }
+
+  warm_.mu = std::move(snap.mu);
+  warm_.choice = std::move(snap.choice);
+  warm_.choice_value = std::move(snap.choice_value);
+  warm_.stale = std::move(snap.stale);
+  warm_.catalog_revision = catalog_.ids_revision();
+  rounding_state_.sampled_col = std::move(snap.sampled_col);
+  rounding_state_.demand = std::move(snap.demand);
+  rounding_state_.cutoff = std::move(snap.cutoff);
+  rounding_state_.catalog_revision = catalog_.ids_revision();
+  fractional_.lp.status = static_cast<lp::SolveStatus>(snap.lp_status);
+  fractional_.lp.objective = snap.lp_objective;
+  fractional_.lp.upper_bound = snap.lp_upper_bound;
+  fractional_.lp.iterations = snap.lp_iterations;
+  fractional_.lp.x = std::move(snap.x);
+  fractional_.lp.duals = std::move(snap.duals);
+  fractional_.structured = true;
+  master_.set_state(snap.rng_state);
+  next_epoch_ = snap.next_epoch;
+  next_version_ = snap.next_version;
+  // Counters restart from what provably reached an epoch; queue-only
+  // submissions died with the process (see the durability contract).
+  deltas_applied_ = snap.deltas_applied;
+  deltas_submitted_ = snap.deltas_applied;
+  epochs_total_ = snap.next_epoch;
+
+  // Republish the checkpointed arrangement — a pure function of sampled_col
+  // (RepairSampledColumns pins that), so it needs no persistence of its own.
+  // It was originally published as version next_version - 1; stepping the
+  // counter back keeps the recovered version numbering identical to the
+  // uninterrupted run's.
+  IGEPA_ASSIGN_OR_RETURN(
+      Arrangement restored,
+      core::RepairSampledColumns(instance_, catalog_,
+                                 rounding_state_.sampled_col));
+  IGEPA_RETURN_IF_ERROR(restored.CheckFeasible(instance_));
+  const double restored_utility = restored.Utility(instance_);
+  --next_version_;
+  Publish(next_epoch_ == 0 ? -1 : next_epoch_ - 1, std::move(restored),
+          fractional_.lp.objective, restored_utility);
+
+  // Replay the WAL tail through the identical warm-tick pipeline. This is
+  // NOT RunEpochInternal: no queue, no WAL re-append, no timing samples, no
+  // crash hook — just the engine arithmetic, which is all that determinism
+  // cares about.
+  std::vector<WalRecord> records;
+  IGEPA_ASSIGN_OR_RETURN(
+      wal_, DeltaWal::Open(Checkpointer::WalPath(options_.durable_dir),
+                           instance_.num_events(), instance_.num_users(),
+                           &records));
+  for (WalRecord& record : records) {
+    if (record.epoch < next_epoch_) {
+      // Logged before the snapshot was taken: the crash hit between the
+      // snapshot rename and the WAL truncate. Already folded in; skip.
+      continue;
+    }
+    if (record.epoch != next_epoch_) {
+      return Status::IOError("WAL gap: expected epoch " +
+                             std::to_string(next_epoch_) + ", found " +
+                             std::to_string(record.epoch));
+    }
+    Rng epoch_rng = master_.Fork();
+    auto tick = core::ApplyWarmTick(&instance_, &catalog_, &warm_,
+                                    &rounding_state_, &fractional_,
+                                    record.batch, &epoch_rng, dual_,
+                                    delta_options_, round_options_);
+    if (!tick.ok()) return tick.status();
+    EpochMetrics metrics;
+    metrics.epoch = next_epoch_++;
+    metrics.deltas_coalesced = record.coalesced;
+    metrics.touched_users = tick->touched_users;
+    metrics.event_updates = tick->event_updates;
+    metrics.compacted = tick->compacted;
+    metrics.live_columns = catalog_.num_live_columns();
+    metrics.lp_objective = fractional_.lp.objective;
+    metrics.lp_iterations = fractional_.lp.iterations;
+    metrics.utility = tick->arrangement.Utility(instance_);
+    Publish(metrics.epoch, std::move(tick->arrangement), metrics.lp_objective,
+            metrics.utility);
+    metrics.snapshot_version = next_version_ - 1;
+    deltas_applied_ += record.coalesced;
+    deltas_submitted_ += record.coalesced;
+    ++epochs_total_;
+    history_.push_back(metrics);
+  }
+  // Fold the replayed tail into a fresh snapshot so the directory is clean
+  // (and a crash loop cannot grow the WAL without bound).
+  return CheckpointInternal();
+}
+
+Status ArrangementService::CheckpointInternal() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("Checkpoint: service is not durable");
+  }
+  if (!catalog_.canonical()) {
+    // Snapshot column ids must address the unique canonical Build layout so
+    // recovery can rebuild the catalog from the instance alone. Compact is
+    // pinned bit-identical to Build, and solves/rounds are pinned
+    // bit-identical on dirty vs compacted catalogs, so canonicalizing here
+    // never changes what the engine computes next.
+    const std::vector<int32_t> remap = catalog_.Compact();
+    warm_.Remap(remap, catalog_.ids_revision());
+    rounding_state_.Remap(remap, catalog_.ids_revision());
+    std::vector<double> new_x(static_cast<size_t>(catalog_.num_columns()),
+                              0.0);
+    for (size_t j = 0; j < remap.size() && j < fractional_.lp.x.size(); ++j) {
+      if (remap[j] >= 0) {
+        new_x[static_cast<size_t>(remap[j])] = fractional_.lp.x[j];
+      }
+    }
+    fractional_.lp.x = std::move(new_x);
+  }
+  EngineSnapshot snap;
+  snap.next_epoch = next_epoch_;
+  snap.next_version = next_version_;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    snap.deltas_applied = deltas_applied_;
+  }
+  snap.rng_state = master_.state();
+  snap.mu = warm_.mu;
+  snap.choice = warm_.choice;
+  snap.choice_value = warm_.choice_value;
+  snap.stale = warm_.stale;
+  snap.sampled_col = rounding_state_.sampled_col;
+  snap.demand = rounding_state_.demand;
+  snap.cutoff = rounding_state_.cutoff;
+  snap.lp_status = static_cast<int32_t>(fractional_.lp.status);
+  snap.lp_objective = fractional_.lp.objective;
+  snap.lp_upper_bound = fractional_.lp.upper_bound;
+  snap.lp_iterations = fractional_.lp.iterations;
+  snap.x = fractional_.lp.x;
+  snap.duals = fractional_.lp.duals;
+  snap.instance.emplace(instance_);
+  IGEPA_RETURN_IF_ERROR(Checkpointer::Write(options_.durable_dir, snap));
+  // Only after the snapshot rename is durable may the WAL shrink; recovery
+  // additionally skips records older than the snapshot, so a crash between
+  // these two steps loses nothing.
+  return wal_->Reset();
+}
+
+Status ArrangementService::Checkpoint() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_) {
+      return Status::FailedPrecondition(
+          "Checkpoint: background epoch loop is running");
+    }
+    if (inline_epoch_) {
+      return Status::FailedPrecondition("Checkpoint: an epoch is in progress");
+    }
+    if (!last_error_.ok()) return last_error_;
+    inline_epoch_ = true;
+  }
+  const Status status = CheckpointInternal();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    inline_epoch_ = false;
+    if (!status.ok() && last_error_.ok()) last_error_ = status;
+  }
+  return status;
 }
 
 Status ArrangementService::Submit(InstanceDelta delta) {
@@ -183,6 +431,19 @@ Result<EpochMetrics> ArrangementService::RunEpochInternal() {
     return metrics;
   }
 
+  // ---- Durability point: the batch is WAL-logged and fsync'd BEFORE the
+  // epoch computes anything, so once this epoch's effects are observable a
+  // crash can always replay them. A failed append poisons the service — the
+  // alternative would be applying a batch that recovery cannot reproduce.
+  if (wal_ != nullptr) {
+    if (Status logged = wal_->Append(next_epoch_, coalesced, batch);
+        !logged.ok()) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      last_error_ = logged;
+      return logged;
+    }
+  }
+
   // ---- One tick of the shared incremental pipeline on the coalesced batch
   // (core::ApplyWarmTick — the same call a replay tick makes, which is what
   // keeps the service and the replay driver bit-identical by construction).
@@ -229,6 +490,22 @@ Result<EpochMetrics> ArrangementService::RunEpochInternal() {
       PushSample(&publish_latency_samples_, &publish_latency_next_,
                  std::chrono::duration<double>(published - enqueued).count());
     }
+  }
+
+  if (wal_ != nullptr && next_epoch_ % options_.checkpoint_every == 0) {
+    if (Status checkpointed = CheckpointInternal(); !checkpointed.ok()) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      last_error_ = checkpointed;
+      return checkpointed;
+    }
+  }
+
+  if (crash_after_epoch_ >= 0 && metrics.epoch == crash_after_epoch_) {
+    // CI kill-point hook (IGEPA_CRASH_AFTER_EPOCH): die unceremoniously
+    // AFTER this epoch became durable and visible — no destructors, no
+    // flushes — so the recovery suite can prove the restart reproduces it
+    // bit for bit.
+    std::raise(SIGKILL);
   }
   return metrics;
 }

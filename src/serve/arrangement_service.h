@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "core/instance.h"
 #include "core/instance_delta.h"
 #include "core/lp_packing.h"
+#include "serve/checkpoint.h"
+#include "serve/delta_wal.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -53,6 +56,17 @@ struct ServeOptions {
   /// MetricsHistory() keeps at most this many recent epochs (>= 1); older
   /// entries are dropped so a long-running service's memory stays bounded.
   int32_t metrics_history_limit = 65536;
+  /// Durable-state directory (DESIGN.md §7). Empty = in-memory only (the
+  /// historical behavior). Non-empty: Create() initializes `<dir>/` with an
+  /// epoch-0 snapshot and a delta WAL, every epoch batch is WAL-logged and
+  /// fsync'd before it runs, and every checkpoint_every epochs the full
+  /// engine state is snapshotted and the WAL truncated. Recover() restarts
+  /// from such a directory bit-identically.
+  std::string durable_dir;
+  /// Snapshot cadence in completed epochs (>= 1, durable mode only). Smaller
+  /// values bound WAL replay length; larger ones amortize the snapshot
+  /// write.
+  int32_t checkpoint_every = 16;
 };
 
 /// What one epoch did: how much it coalesced, what the solve cost, and what
@@ -171,6 +185,20 @@ class ArrangementSnapshot {
 /// the coalesced B with the same fork sequence — the service adds queueing,
 /// not arithmetic.
 ///
+/// ## Durability contract (durable_dir set; DESIGN.md §7)
+///
+/// Every coalesced epoch batch is appended to a delta WAL and fsync'd BEFORE
+/// the epoch executes, and every checkpoint_every epochs the complete engine
+/// state is written as an atomic-rename snapshot and the WAL truncated. After
+/// a crash at ANY instant, Recover() rebuilds the exact pre-crash service —
+/// bit-identical engine state, snapshot version and RNG stream — by loading
+/// the snapshot and replaying the WAL tail through the same warm-tick
+/// pipeline. What durability does NOT cover: deltas still in the submit
+/// queue when the process died (they were never epoch-admitted; an epoch is
+/// the durability unit) and observability state (metrics history, latency
+/// samples, submitted/rejected counters — Stats() counters restart from the
+/// applied count).
+///
 /// ## Concurrency contract
 ///
 /// Submit(), snapshot(), Stats() and MetricsHistory() are thread-safe and may
@@ -187,6 +215,18 @@ class ArrangementService {
   /// Fails if the bootstrap pipeline fails.
   static Result<std::unique_ptr<ArrangementService>> Create(
       core::Instance instance, const ServeOptions& options = {});
+
+  /// Restarts from options.durable_dir: loads the latest snapshot, replays
+  /// the WAL tail through the identical warm-tick pipeline, republishes the
+  /// recovered arrangement, and re-checkpoints so the directory is clean
+  /// again. The recovered service is BIT-IDENTICAL to one that ran the same
+  /// epochs without crashing — same engine state, snapshot version, epoch
+  /// counter and RNG stream (pinned by tests/serve/recovery_test.cc). Only
+  /// deltas that were queued but never reached an epoch are lost (durability
+  /// is epoch-granular: a batch is fsync'd to the WAL before it runs).
+  /// NotFound when the directory holds no snapshot (cold start: use Create).
+  static Result<std::unique_ptr<ArrangementService>> Recover(
+      const ServeOptions& options);
 
   /// Stops the background loop (discarding still-queued deltas) if running.
   ~ArrangementService();
@@ -215,6 +255,12 @@ class ArrangementService {
   /// the loop. Returns the first epoch error if one occurred. Safe to call
   /// when not running (no-op OK).
   Status Stop();
+
+  /// Forces a snapshot checkpoint now (durable mode only; FailedPrecondition
+  /// otherwise, or while the background loop / an inline epoch is running).
+  /// Tests use this to force byte-comparable snapshot files at a chosen
+  /// epoch; production callers can rely on the checkpoint_every cadence.
+  Status Checkpoint();
 
   /// The latest published snapshot (never null after Create). The read is
   /// one shared_ptr copy under a dedicated pointer mutex that publishers
@@ -252,6 +298,20 @@ class ArrangementService {
   /// The cold bootstrap pipeline; publishes version 1 on success.
   Status Bootstrap();
 
+  /// Durable-mode initialization after a successful bootstrap: creates the
+  /// directory, refuses (AlreadyExists) if a snapshot is already there, opens
+  /// the WAL and writes the epoch-0 checkpoint.
+  Status InitDurable();
+
+  /// Recovery body: restore engine state from `snap`, rebuild the catalog,
+  /// republish, replay the WAL tail, re-checkpoint.
+  Status RestoreAndReplay(EngineSnapshot snap);
+
+  /// Compacts to the canonical layout if needed, snapshots the full engine
+  /// state atomically, then truncates the WAL. Caller must hold epoch
+  /// exclusion (or be the epoch runner itself).
+  Status CheckpointInternal();
+
   /// Pops up to max_batch pending deltas, runs the warm pipeline, publishes.
   Result<EpochMetrics> RunEpochInternal();
 
@@ -278,6 +338,17 @@ class ArrangementService {
   Rng master_;
   int64_t next_epoch_ = 0;
   int64_t next_version_ = 1;
+
+  // ---- Durability (null/-1 when durable_dir is empty). Owned by the epoch
+  // runner like the engine state above. ----
+  std::unique_ptr<DeltaWal> wal_;
+  /// Crash-injection hook for the CI kill-point suite: when >= 0 (from the
+  /// IGEPA_CRASH_AFTER_EPOCH environment variable, read once at
+  /// construction), the process raises SIGKILL at the very end of the epoch
+  /// with this id — after its WAL append, publish and any checkpoint, before
+  /// any further work. Replay during Recover() bypasses RunEpochInternal and
+  /// therefore never trips the hook.
+  int64_t crash_after_epoch_ = -1;
 
   // ---- Published snapshot. Guarded by its own mutex whose critical
   // sections are a single shared_ptr copy/swap (no allocation, no solver

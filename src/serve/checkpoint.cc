@@ -1,0 +1,425 @@
+#include "serve/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/instance_io.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace igepa {
+namespace serve {
+namespace {
+
+constexpr char kSnapshotFile[] = "snapshot.igs";
+constexpr char kTmpFile[] = "snapshot.tmp";
+constexpr char kWalFile[] = "wal.log";
+
+// Doubles round-trip as raw IEEE-754 bit patterns: decimal formatting is a
+// determinism hazard (FormatDouble is fixed-precision, not shortest-exact),
+// and a recovered engine must reproduce solves bit for bit.
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string HexU64(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buffer);
+}
+
+bool ParseHexU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+void AppendDoubleVector(std::ostream& out, const char* name,
+                        const std::vector<double>& values) {
+  out << name << "," << values.size() << ",";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ";";
+    out << HexU64(DoubleBits(values[i]));
+  }
+  out << "\n";
+}
+
+template <typename Int>
+void AppendIntVector(std::ostream& out, const char* name,
+                     const std::vector<Int>& values) {
+  out << name << "," << values.size() << ",";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ";";
+    out << static_cast<int64_t>(values[i]);
+  }
+  out << "\n";
+}
+
+/// Line reader over an in-memory snapshot body that can also hand out raw
+/// byte ranges (the embedded instance section contains newlines, so a plain
+/// getline loop cannot parse this format).
+class Cursor {
+ public:
+  explicit Cursor(const std::string& data) : data_(data) {}
+
+  bool NextLine(std::string_view* line) {
+    if (pos_ >= data_.size()) return false;
+    const size_t nl = data_.find('\n', pos_);
+    const size_t end = nl == std::string::npos ? data_.size() : nl;
+    *line = std::string_view(data_).substr(pos_, end - pos_);
+    pos_ = end + 1;
+    return true;
+  }
+
+  bool TakeBytes(size_t count, std::string_view* bytes) {
+    if (pos_ + count > data_.size()) return false;
+    *bytes = std::string_view(data_).substr(pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+Status MalformedError(const std::string& path, const std::string& why) {
+  return Status::IOError("malformed snapshot " + path + ": " + why);
+}
+
+Status ParseDoubleVector(Cursor* cursor, const char* name,
+                         std::vector<double>* out, const std::string& path) {
+  std::string_view line;
+  if (!cursor->NextLine(&line)) {
+    return MalformedError(path, std::string("missing ") + name + " section");
+  }
+  const auto fields = Split(line, ',');
+  int64_t count = 0;
+  if (fields.size() != 3 || fields[0] != name ||
+      !ParseInt(fields[1], &count) || count < 0) {
+    return MalformedError(path, std::string("bad ") + name + " line");
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  if (count == 0) {
+    if (!fields[2].empty()) {
+      return MalformedError(path, std::string(name) + " count/payload mismatch");
+    }
+    return Status::OK();
+  }
+  const auto tokens = Split(fields[2], ';');
+  if (tokens.size() != static_cast<size_t>(count)) {
+    return MalformedError(path, std::string(name) + " count/payload mismatch");
+  }
+  for (const auto& token : tokens) {
+    uint64_t bits = 0;
+    if (!ParseHexU64(token, &bits)) {
+      return MalformedError(path, std::string("bad hex double in ") + name);
+    }
+    out->push_back(BitsToDouble(bits));
+  }
+  return Status::OK();
+}
+
+template <typename Int>
+Status ParseIntVector(Cursor* cursor, const char* name, std::vector<Int>* out,
+                      const std::string& path) {
+  std::string_view line;
+  if (!cursor->NextLine(&line)) {
+    return MalformedError(path, std::string("missing ") + name + " section");
+  }
+  const auto fields = Split(line, ',');
+  int64_t count = 0;
+  if (fields.size() != 3 || fields[0] != name ||
+      !ParseInt(fields[1], &count) || count < 0) {
+    return MalformedError(path, std::string("bad ") + name + " line");
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  if (count == 0) {
+    if (!fields[2].empty()) {
+      return MalformedError(path, std::string(name) + " count/payload mismatch");
+    }
+    return Status::OK();
+  }
+  const auto tokens = Split(fields[2], ';');
+  if (tokens.size() != static_cast<size_t>(count)) {
+    return MalformedError(path, std::string(name) + " count/payload mismatch");
+  }
+  for (const auto& token : tokens) {
+    int64_t value = 0;
+    if (!ParseInt(token, &value)) {
+      return MalformedError(path, std::string("bad integer in ") + name);
+    }
+    out->push_back(static_cast<Int>(value));
+  }
+  return Status::OK();
+}
+
+Status WriteFully(int fd, const void* data, size_t size,
+                  const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write failed on " + path + ": " +
+                             std::strerror(errno));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed on directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Checkpointer::SnapshotPath(const std::string& dir) {
+  return dir + "/" + kSnapshotFile;
+}
+
+std::string Checkpointer::WalPath(const std::string& dir) {
+  return dir + "/" + kWalFile;
+}
+
+Status Checkpointer::EnsureDirectory(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("empty durable directory path");
+  }
+  // Create each prefix in turn (mkdir -p): the durable dir is commonly a
+  // fresh nested path under a test or CI workspace.
+  for (size_t i = 1; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    const std::string prefix = dir.substr(0, i);
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError("cannot create directory " + prefix + ": " +
+                             std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Status Checkpointer::Write(const std::string& dir,
+                           const EngineSnapshot& snapshot) {
+  if (!snapshot.instance.has_value()) {
+    return Status::InvalidArgument("snapshot has no instance");
+  }
+  const std::string path = SnapshotPath(dir);
+
+  std::ostringstream body;
+  body << "igepa-snapshot,1," << snapshot.next_epoch << ","
+       << snapshot.next_version << "," << snapshot.deltas_applied << "\n";
+  body << "rng," << HexU64(snapshot.rng_state[0]) << ","
+       << HexU64(snapshot.rng_state[1]) << "," << HexU64(snapshot.rng_state[2])
+       << "," << HexU64(snapshot.rng_state[3]) << "\n";
+  AppendDoubleVector(body, "mu", snapshot.mu);
+  AppendIntVector(body, "choice", snapshot.choice);
+  AppendDoubleVector(body, "choice_value", snapshot.choice_value);
+  AppendIntVector(body, "stale", snapshot.stale);
+  AppendIntVector(body, "sampled_col", snapshot.sampled_col);
+  AppendIntVector(body, "demand", snapshot.demand);
+  AppendIntVector(body, "cutoff", snapshot.cutoff);
+  body << "lp," << snapshot.lp_status << ","
+       << HexU64(DoubleBits(snapshot.lp_objective)) << ","
+       << HexU64(DoubleBits(snapshot.lp_upper_bound)) << ","
+       << snapshot.lp_iterations << "\n";
+  AppendDoubleVector(body, "x", snapshot.x);
+  AppendDoubleVector(body, "duals", snapshot.duals);
+
+  std::ostringstream instance_out;
+  IGEPA_RETURN_IF_ERROR(io::WriteInstanceCsv(*snapshot.instance, instance_out,
+                                             path, /*dense_interest=*/true));
+  const std::string instance_csv = instance_out.str();
+  body << "instance," << instance_csv.size() << "\n" << instance_csv;
+
+  std::string contents = body.str();
+  contents += "crc," + HexU64(Crc32(contents)).substr(8) + "\n";
+
+  const std::string tmp_path = dir + "/" + kTmpFile;
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + tmp_path + ": " +
+                           std::strerror(errno));
+  }
+  Status write_status = WriteFully(fd, contents.data(), contents.size(),
+                                   tmp_path);
+  if (write_status.ok() && ::fsync(fd) != 0) {
+    write_status = Status::IOError("fsync failed on " + tmp_path + ": " +
+                                   std::strerror(errno));
+  }
+  ::close(fd);
+  if (!write_status.ok()) {
+    ::unlink(tmp_path.c_str());
+    return write_status;
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const Status s = Status::IOError("cannot rename " + tmp_path + " to " +
+                                     path + ": " + std::strerror(errno));
+    ::unlink(tmp_path.c_str());
+    return s;
+  }
+  // The rename itself must be durable before the caller truncates the WAL,
+  // or a crash could leave the old snapshot paired with an emptied log.
+  return FsyncDirectory(dir);
+}
+
+Result<EngineSnapshot> Checkpointer::Load(const std::string& dir) {
+  const std::string path = SnapshotPath(dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("no snapshot at " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("read failed on " + path);
+  }
+  const std::string contents = buffer.str();
+
+  // Split off and verify the trailing CRC line before trusting any field.
+  const size_t crc_pos = contents.rfind("crc,");
+  if (crc_pos == std::string::npos || crc_pos + 13 != contents.size() ||
+      contents.back() != '\n' ||
+      (crc_pos != 0 && contents[crc_pos - 1] != '\n')) {
+    return MalformedError(path, "missing CRC trailer");
+  }
+  uint64_t stored_crc = 0;
+  if (!ParseHexU64(std::string_view(contents).substr(crc_pos + 4, 8),
+                   &stored_crc)) {
+    return MalformedError(path, "bad CRC trailer");
+  }
+  const std::string body = contents.substr(0, crc_pos);
+  if (Crc32(body) != static_cast<uint32_t>(stored_crc)) {
+    return Status::IOError("snapshot CRC mismatch in " + path);
+  }
+
+  Cursor cursor(body);
+  EngineSnapshot snapshot;
+
+  std::string_view line;
+  if (!cursor.NextLine(&line)) return MalformedError(path, "empty snapshot");
+  auto fields = Split(line, ',');
+  if (fields.size() != 5 || fields[0] != "igepa-snapshot" || fields[1] != "1" ||
+      !ParseInt(fields[2], &snapshot.next_epoch) ||
+      !ParseInt(fields[3], &snapshot.next_version) ||
+      !ParseInt(fields[4], &snapshot.deltas_applied) ||
+      snapshot.next_epoch < 0 || snapshot.next_version < 1 ||
+      snapshot.deltas_applied < 0) {
+    return MalformedError(path, "bad header");
+  }
+
+  if (!cursor.NextLine(&line)) return MalformedError(path, "missing rng line");
+  fields = Split(line, ',');
+  if (fields.size() != 5 || fields[0] != "rng") {
+    return MalformedError(path, "bad rng line");
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    if (!ParseHexU64(fields[i + 1], &snapshot.rng_state[i])) {
+      return MalformedError(path, "bad rng word");
+    }
+  }
+
+  IGEPA_RETURN_IF_ERROR(ParseDoubleVector(&cursor, "mu", &snapshot.mu, path));
+  IGEPA_RETURN_IF_ERROR(
+      ParseIntVector(&cursor, "choice", &snapshot.choice, path));
+  IGEPA_RETURN_IF_ERROR(
+      ParseDoubleVector(&cursor, "choice_value", &snapshot.choice_value, path));
+  IGEPA_RETURN_IF_ERROR(
+      ParseIntVector(&cursor, "stale", &snapshot.stale, path));
+  IGEPA_RETURN_IF_ERROR(
+      ParseIntVector(&cursor, "sampled_col", &snapshot.sampled_col, path));
+  IGEPA_RETURN_IF_ERROR(
+      ParseIntVector(&cursor, "demand", &snapshot.demand, path));
+  IGEPA_RETURN_IF_ERROR(
+      ParseIntVector(&cursor, "cutoff", &snapshot.cutoff, path));
+
+  if (!cursor.NextLine(&line)) return MalformedError(path, "missing lp line");
+  fields = Split(line, ',');
+  int64_t lp_status = 0;
+  uint64_t objective_bits = 0, upper_bits = 0;
+  if (fields.size() != 5 || fields[0] != "lp" ||
+      !ParseInt(fields[1], &lp_status) ||
+      !ParseHexU64(fields[2], &objective_bits) ||
+      !ParseHexU64(fields[3], &upper_bits) ||
+      !ParseInt(fields[4], &snapshot.lp_iterations)) {
+    return MalformedError(path, "bad lp line");
+  }
+  snapshot.lp_status = static_cast<int32_t>(lp_status);
+  snapshot.lp_objective = BitsToDouble(objective_bits);
+  snapshot.lp_upper_bound = BitsToDouble(upper_bits);
+
+  IGEPA_RETURN_IF_ERROR(ParseDoubleVector(&cursor, "x", &snapshot.x, path));
+  IGEPA_RETURN_IF_ERROR(
+      ParseDoubleVector(&cursor, "duals", &snapshot.duals, path));
+
+  if (!cursor.NextLine(&line)) {
+    return MalformedError(path, "missing instance section");
+  }
+  fields = Split(line, ',');
+  int64_t instance_len = 0;
+  if (fields.size() != 2 || fields[0] != "instance" ||
+      !ParseInt(fields[1], &instance_len) || instance_len < 0) {
+    return MalformedError(path, "bad instance length line");
+  }
+  std::string_view instance_csv;
+  if (!cursor.TakeBytes(static_cast<size_t>(instance_len), &instance_csv)) {
+    return MalformedError(path, "truncated instance section");
+  }
+  std::istringstream instance_in{std::string(instance_csv)};
+  auto instance = io::ReadInstanceCsv(instance_in, path + "[instance]");
+  if (!instance.ok()) return instance.status();
+  snapshot.instance.emplace(std::move(*instance));
+
+  if (cursor.NextLine(&line) && !Trim(line).empty()) {
+    return MalformedError(path, "trailing garbage after instance section");
+  }
+  return snapshot;
+}
+
+}  // namespace serve
+}  // namespace igepa

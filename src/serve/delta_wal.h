@@ -1,0 +1,104 @@
+#ifndef IGEPA_SERVE_DELTA_WAL_H_
+#define IGEPA_SERVE_DELTA_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance_delta.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace serve {
+
+/// One durably logged epoch batch: the coalesced delta the epoch ran (or will
+/// run) over, the epoch id it ran as, and how many Submit()-granularity
+/// deltas the batch coalesced (the publish-latency / arrival-cursor unit —
+/// the coalesced InstanceDelta alone cannot recover it).
+struct WalRecord {
+  int64_t epoch = 0;
+  int32_t coalesced = 0;
+  core::InstanceDelta batch;
+};
+
+/// Append-only write-ahead log of admitted epoch batches — the delta half of
+/// the serve durability pair (DESIGN.md §7; the snapshot half is
+/// serve::Checkpointer). Every record is appended and fsync'd BEFORE its
+/// epoch executes, so a crash at any instant loses at most the queued
+/// not-yet-epoched deltas, never an applied batch.
+///
+/// ## Record framing (docs/FORMATS.md)
+///
+/// Binary, little-endian, 24-byte header then payload:
+///
+///   bytes [0,4)   magic "IGWL"
+///   bytes [4,8)   u32 payload length
+///   bytes [8,16)  u64 epoch id
+///   bytes [16,20) u32 coalesced delta count
+///   bytes [20,24) u32 CRC-32 over bytes [4,20) + payload
+///
+/// The payload is one single-tick delta CSV (io::WriteDeltaStreamCsv — the
+/// same bytes a replay workload file holds), so a WAL is inspectable with the
+/// existing tooling once unframed.
+///
+/// ## Tail handling
+///
+/// A crash mid-append leaves a prefix of the final record. Open() classifies:
+///   * header or payload extending past EOF, or a CRC mismatch on the FINAL
+///     record — a torn/corrupt tail: truncated away, the intact prefix is
+///     returned (this is the expected crash shape; append is one write);
+///   * bad magic, an implausible length, a non-monotonic epoch, or a CRC
+///     mismatch with further data behind it — real corruption: IOError, no
+///     truncation (recovery must not silently drop acknowledged records).
+class DeltaWal {
+ public:
+  static constexpr size_t kHeaderSize = 24;
+
+  /// Opens (creating if absent) the WAL at `path`, scans and validates every
+  /// record into `records_out` (in append order), truncates a torn tail, and
+  /// returns the handle positioned for appending. `num_events`/`num_users`
+  /// bound the id space of the payload CSVs written through Append.
+  static Result<std::unique_ptr<DeltaWal>> Open(
+      const std::string& path, int32_t num_events, int32_t num_users,
+      std::vector<WalRecord>* records_out);
+
+  ~DeltaWal();
+  DeltaWal(const DeltaWal&) = delete;
+  DeltaWal& operator=(const DeltaWal&) = delete;
+
+  /// Appends one record and fsyncs before returning — when Append returns OK
+  /// the batch survives any crash.
+  Status Append(int64_t epoch, int32_t coalesced,
+                const core::InstanceDelta& batch);
+
+  /// Empties the log (after a checkpoint has captured everything it holds)
+  /// and fsyncs. Records logged before the snapshot's epoch are additionally
+  /// skipped at recovery, so a crash between the snapshot rename and this
+  /// truncate is harmless.
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+  /// Bytes of intact records currently in the log.
+  int64_t size_bytes() const { return size_bytes_; }
+
+ private:
+  DeltaWal(std::string path, int fd, int64_t size_bytes, int32_t num_events,
+           int32_t num_users)
+      : path_(std::move(path)),
+        fd_(fd),
+        size_bytes_(size_bytes),
+        num_events_(num_events),
+        num_users_(num_users) {}
+
+  std::string path_;
+  int fd_ = -1;
+  int64_t size_bytes_ = 0;
+  int32_t num_events_ = 0;
+  int32_t num_users_ = 0;
+};
+
+}  // namespace serve
+}  // namespace igepa
+
+#endif  // IGEPA_SERVE_DELTA_WAL_H_

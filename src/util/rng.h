@@ -1,6 +1,7 @@
 #ifndef IGEPA_UTIL_RNG_H_
 #define IGEPA_UTIL_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -79,6 +80,14 @@ class Rng {
   /// Returns a child generator with a stream derived from this one; used to
   /// give each repetition/component an independent reproducible stream.
   Rng Fork();
+
+  /// The four xoshiro256** state words, for checkpoint serialization
+  /// (serve durability). A generator restored via set_state continues the
+  /// exact sequence the captured one would have produced.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,113 @@
+// exp::RunLoadTest: the open-loop harness terminates, accounts for every
+// arrival, and emits bench_compare-parseable JSON. Wall-clock numbers are
+// machine-dependent, so assertions stick to invariants (conservation,
+// drained queues, well-formed output), never latency values.
+
+#include "exp/load_test.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace igepa {
+namespace exp {
+namespace {
+
+core::Instance MakeInstance() {
+  Rng rng(33);
+  gen::SyntheticConfig config;
+  config.num_users = 80;
+  config.num_events = 12;
+  auto instance = gen::GenerateSynthetic(config, &rng);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+LoadTestOptions ShortRun() {
+  LoadTestOptions options;
+  options.duration_seconds = 0.3;
+  options.rate_per_second = 100.0;
+  options.seed = 99;
+  options.serve.num_threads = 1;
+  options.serve.seed = 7;
+  options.serve.epoch_ms = 20;
+  return options;
+}
+
+TEST(LoadTestTest, ShortRunAccountsForEveryArrival) {
+  auto report = RunLoadTest(MakeInstance(), ShortRun());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->arrivals_generated, 0);
+  EXPECT_EQ(report->arrivals_generated,
+            report->deltas_submitted + report->deltas_rejected);
+  // Stop() drains: everything accepted was applied, nothing left queued.
+  EXPECT_EQ(report->deltas_applied, report->deltas_submitted);
+  EXPECT_EQ(report->final_queue_depth, 0);
+  EXPECT_GE(report->total_seconds, report->duration_seconds);
+  EXPECT_GT(report->epochs, 0);
+  EXPECT_GT(report->snapshot_version, 0);
+  EXPECT_GT(report->applied_per_second, 0.0);
+  EXPECT_GT(report->final_lp_objective, 0.0);
+}
+
+TEST(LoadTestTest, RejectsBadOptions) {
+  LoadTestOptions bad = ShortRun();
+  bad.duration_seconds = 0;
+  EXPECT_FALSE(RunLoadTest(MakeInstance(), bad).ok());
+  bad = ShortRun();
+  bad.rate_per_second = -1;
+  EXPECT_FALSE(RunLoadTest(MakeInstance(), bad).ok());
+}
+
+TEST(LoadTestTest, JsonReportIsWellFormedForBenchCompare) {
+  const LoadTestOptions options = ShortRun();
+  auto report = RunLoadTest(MakeInstance(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string path = testing::TempDir() + "/load_test_report.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteLoadTestJson(*report, options, path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const std::string json((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  // The shape bench_compare.py keys on: iteration entries named LT_* with a
+  // real_time in ns, plus the context counters for humans.
+  for (const char* needle :
+       {"\"benchmarks\"", "\"context\"", "\"run_type\": \"iteration\"",
+        "\"name\": \"LT_ServeEpochLatency/p50\"",
+        "\"name\": \"LT_ServeEpochLatency/p99\"",
+        "\"name\": \"LT_ServePublishLatency/p50\"",
+        "\"name\": \"LT_ServePublishLatency/p99\"",
+        "\"time_unit\": \"ns\"", "\"applied_per_second\"",
+        "\"max_queue_depth\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  // Balanced braces/brackets — cheap structural sanity without a parser.
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(LoadTestTest, WriteJsonFailsOnUnwritablePath) {
+  const LoadTestOptions options = ShortRun();
+  LoadTestReport report;
+  EXPECT_EQ(
+      WriteLoadTestJson(report, options, "/nonexistent-dir/x.json").code(),
+      StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace igepa

@@ -1,0 +1,241 @@
+// DeltaWal: record framing round trip, torn-tail truncation (the expected
+// crash shape), and the corruption shapes that must be refused rather than
+// silently dropped (docs/FORMATS.md WAL section).
+
+#include "serve/delta_wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/instance_delta.h"
+
+namespace igepa {
+namespace serve {
+namespace {
+
+constexpr int32_t kNv = 8;
+constexpr int32_t kNu = 32;
+
+std::string WalPath(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+core::InstanceDelta MakeBatch(int variant) {
+  core::InstanceDelta batch;
+  batch.user_updates.push_back(
+      {/*user=*/variant % kNu, /*capacity=*/1 + variant % 3,
+       /*bids=*/{variant % kNv, (variant + 1) % kNv}});
+  batch.event_updates.push_back({/*event=*/variant % kNv,
+                                 /*capacity=*/5 + variant});
+  return batch;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(DeltaWalTest, AppendReopenRoundTripsRecords) {
+  const std::string path = WalPath("wal_roundtrip.log");
+  std::vector<WalRecord> records;
+  auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ((*wal)->size_bytes(), 0);
+
+  ASSERT_TRUE((*wal)->Append(0, 3, MakeBatch(0)).ok());
+  ASSERT_TRUE((*wal)->Append(1, 1, MakeBatch(1)).ok());
+  ASSERT_TRUE((*wal)->Append(5, 2, MakeBatch(2)).ok());  // epoch gaps are fine
+  wal->reset();  // close; reopen must see everything
+
+  auto reopened = DeltaWal::Open(path, kNv, kNu, &records);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].epoch, 0);
+  EXPECT_EQ(records[0].coalesced, 3);
+  EXPECT_EQ(records[1].epoch, 1);
+  EXPECT_EQ(records[2].epoch, 5);
+  EXPECT_EQ(records[2].coalesced, 2);
+  ASSERT_EQ(records[1].batch.user_updates.size(), 1u);
+  EXPECT_EQ(records[1].batch.user_updates[0].user,
+            MakeBatch(1).user_updates[0].user);
+  EXPECT_EQ(records[1].batch.user_updates[0].bids,
+            MakeBatch(1).user_updates[0].bids);
+  ASSERT_EQ(records[2].batch.event_updates.size(), 1u);
+  EXPECT_EQ(records[2].batch.event_updates[0].capacity,
+            MakeBatch(2).event_updates[0].capacity);
+
+  // Appending after a reopen continues the log.
+  ASSERT_TRUE((*reopened)->Append(6, 1, MakeBatch(3)).ok());
+  reopened->reset();
+  ASSERT_TRUE(DeltaWal::Open(path, kNv, kNu, &records).ok());
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[3].epoch, 6);
+}
+
+TEST(DeltaWalTest, TornTailIsTruncatedAndPrefixSurvives) {
+  const std::string path = WalPath("wal_torn.log");
+  std::vector<WalRecord> records;
+  {
+    auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(0, 1, MakeBatch(0)).ok());
+    ASSERT_TRUE((*wal)->Append(1, 1, MakeBatch(1)).ok());
+  }
+  const std::string intact = FileBytes(path);
+
+  // Every proper prefix of the final record is a valid torn tail: mid-header,
+  // exactly at the header boundary, and mid-payload. Record 0's framed size
+  // (the surviving prefix length) comes from a log holding only record 0.
+  size_t first_end = 0;
+  const std::string solo_path = WalPath("wal_torn_solo.log");
+  {
+    auto wal = DeltaWal::Open(solo_path, kNv, kNu, &records);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(0, 1, MakeBatch(0)).ok());
+    first_end = static_cast<size_t>((*wal)->size_bytes());
+  }
+  for (const size_t cut :
+       {first_end + 7, first_end + DeltaWal::kHeaderSize, intact.size() - 3}) {
+    ASSERT_LT(cut, intact.size());
+    WriteBytes(path, intact.substr(0, cut));
+    auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+    ASSERT_TRUE(wal.ok()) << "cut at " << cut << ": "
+                          << wal.status().ToString();
+    ASSERT_EQ(records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(records[0].epoch, 0);
+    // The tail was physically truncated, not just skipped.
+    EXPECT_EQ((*wal)->size_bytes(), static_cast<int64_t>(first_end));
+    EXPECT_EQ(FileBytes(path).size(), first_end);
+    // And the log accepts appends cleanly after the repair.
+    ASSERT_TRUE((*wal)->Append(1, 1, MakeBatch(1)).ok());
+  }
+}
+
+TEST(DeltaWalTest, CorruptFinalRecordCrcIsTruncated) {
+  const std::string path = WalPath("wal_crc_tail.log");
+  std::vector<WalRecord> records;
+  size_t first_end = 0;
+  {
+    auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(0, 1, MakeBatch(0)).ok());
+    first_end = static_cast<size_t>((*wal)->size_bytes());
+    ASSERT_TRUE((*wal)->Append(1, 1, MakeBatch(1)).ok());
+  }
+  std::string bytes = FileBytes(path);
+  bytes.back() ^= 0x5A;  // flip payload bits of the FINAL record
+  WriteBytes(path, bytes);
+
+  auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ((*wal)->size_bytes(), static_cast<int64_t>(first_end));
+}
+
+TEST(DeltaWalTest, CorruptRecordMidFileIsAnError) {
+  const std::string path = WalPath("wal_crc_mid.log");
+  std::vector<WalRecord> records;
+  size_t first_end = 0;
+  {
+    auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(0, 1, MakeBatch(0)).ok());
+    first_end = static_cast<size_t>((*wal)->size_bytes());
+    ASSERT_TRUE((*wal)->Append(1, 1, MakeBatch(1)).ok());
+  }
+  std::string bytes = FileBytes(path);
+  bytes[first_end - 1] ^= 0x5A;  // corrupt record 0's payload: NOT the tail
+  WriteBytes(path, bytes);
+
+  auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kIOError);
+  // No truncation on refusal: the evidence is preserved.
+  EXPECT_EQ(FileBytes(path), bytes);
+}
+
+TEST(DeltaWalTest, BadMagicIsAnError) {
+  const std::string path = WalPath("wal_magic.log");
+  std::vector<WalRecord> records;
+  {
+    auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(0, 1, MakeBatch(0)).ok());
+  }
+  std::string bytes = FileBytes(path);
+  bytes[0] = 'X';
+  WriteBytes(path, bytes);
+  auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kIOError);
+}
+
+TEST(DeltaWalTest, NonMonotonicEpochIsAnError) {
+  const std::string path = WalPath("wal_epoch.log");
+  std::vector<WalRecord> records;
+  {
+    auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(4, 1, MakeBatch(0)).ok());
+    ASSERT_TRUE((*wal)->Append(3, 1, MakeBatch(1)).ok());  // append can't know
+  }
+  auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kIOError);
+}
+
+TEST(DeltaWalTest, ResetEmptiesTheLog) {
+  const std::string path = WalPath("wal_reset.log");
+  std::vector<WalRecord> records;
+  auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(0, 1, MakeBatch(0)).ok());
+  ASSERT_GT((*wal)->size_bytes(), 0);
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ((*wal)->size_bytes(), 0);
+  // Post-reset appends start a fresh epoch sequence.
+  ASSERT_TRUE((*wal)->Append(7, 1, MakeBatch(1)).ok());
+  wal->reset();
+  ASSERT_TRUE(DeltaWal::Open(path, kNv, kNu, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].epoch, 7);
+}
+
+TEST(DeltaWalTest, WeightDeltasRoundTrip) {
+  const std::string path = WalPath("wal_weights.log");
+  std::vector<WalRecord> records;
+  core::InstanceDelta batch;
+  batch.graph_updates.push_back({/*a=*/1, /*b=*/2, /*add=*/true});
+  batch.interest_updates.push_back({/*event=*/4, /*user=*/3,
+                                    /*value=*/0.3125});
+  {
+    auto wal = DeltaWal::Open(path, kNv, kNu, &records);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(0, 1, batch).ok());
+  }
+  ASSERT_TRUE(DeltaWal::Open(path, kNv, kNu, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].batch.graph_updates.size(), 1u);
+  EXPECT_TRUE(records[0].batch.graph_updates[0].add);
+  EXPECT_EQ(records[0].batch.graph_updates[0].b, 2);
+  ASSERT_EQ(records[0].batch.interest_updates.size(), 1u);
+  EXPECT_EQ(records[0].batch.interest_updates[0].value, 0.3125);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace igepa
