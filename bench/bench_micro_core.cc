@@ -18,6 +18,7 @@
 #include "core/benchmark_dual.h"
 #include "core/instance_delta.h"
 #include "core/lp_packing.h"
+#include "core/sharded_solver.h"
 #include "gen/arrival_process.h"
 #include "gen/delta_stream.h"
 #include "gen/meetup_sim.h"
@@ -385,6 +386,23 @@ void BM_LpPackingEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_LpPackingEndToEnd)->Arg(500)->Arg(2000);
 
+// The two-level sharded solver end to end (decompose, coordinate, legalize)
+// at a fixed 4-shard split — the same pipeline bench_sharded runs at 20k/100k
+// users, kept here at micro scale so the tracked trajectory catches
+// coordination-loop regressions cheaply. items_per_second is users/sec.
+void BM_ShardedSolve(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  core::ShardedSolveOptions options;
+  options.num_shards = 4;
+  for (auto _ : state) {
+    Rng rng(3);
+    auto arrangement = core::ShardedSolve(instance, &rng, options);
+    benchmark::DoNotOptimize(arrangement);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShardedSolve)->Arg(2000)->Unit(benchmark::kMillisecond);
+
 void BM_GreedyGg(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
   for (auto _ : state) {
@@ -460,6 +478,16 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  // The library_build_type the JSON reports describes google-benchmark's own
+  // build, not this tree's; stamp the igepa compile mode so bench_compare can
+  // refuse debug-build baselines.
+  benchmark::AddCustomContext("igepa_build_type",
+#ifdef NDEBUG
+                              "release"
+#else
+                              "debug"
+#endif
+  );
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -33,7 +33,7 @@ DEFAULT_FILTER = (
     r"^(BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
     r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd|"
     r"CatalogApplyDelta|StructuredDualWarmVsCold|ServeEpoch|"
-    r"KernelRescore|CatalogBuildThreads|ScoreColumnsSoA)|"
+    r"KernelRescore|CatalogBuildThreads|ScoreColumnsSoA|ShardedSolve)|"
     r"LT_Serve(EpochLatency|PublishLatency))"
 )
 
@@ -78,6 +78,47 @@ def load(path):
     return out
 
 
+def load_rates(path):
+    """items_per_second per benchmark, where reported (users/sec for
+    BM_ShardedSolve, deltas/sec for BM_ServeEpoch)."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        if "items_per_second" in bench:
+            out[bench["name"]] = float(bench["items_per_second"])
+    return out
+
+
+def build_type_warnings(baseline_path, current_path):
+    """Warn when either JSON was produced by a non-Release library build.
+
+    Timings from a debug build are meaningless as a baseline (the committed
+    BENCH_micro_core.json must come from Release) and meaningless as a
+    current run (every comparison against a Release baseline would read as a
+    huge regression).
+    """
+    out = []
+    for label, path in (("baseline", baseline_path), ("current", current_path)):
+        try:
+            with open(path) as f:
+                context = json.load(f).get("context", {})
+        except (OSError, ValueError):
+            continue
+        # igepa_build_type is stamped by the bench binaries and describes
+        # this tree's compile mode; library_build_type (the fallback, for
+        # JSONs predating the stamp) describes google-benchmark's own build.
+        build = context.get("igepa_build_type",
+                            context.get("library_build_type", ""))
+        if build and build != "release":
+            out.append(f"{label} {path} was produced by a '{build}' build — "
+                       f"timings are not comparable; regenerate from a "
+                       f"Release build (cmake -DCMAKE_BUILD_TYPE=Release)")
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -102,7 +143,15 @@ def main():
 
     baseline = load(args.baseline)
     current = load(args.current)
+    rates = load_rates(args.current)
     pattern = re.compile(args.filter)
+
+    build_warnings = build_type_warnings(args.baseline, args.current)
+    for line in build_warnings:
+        print(f"  BUILD  {line}")
+    if build_warnings:
+        print(f"bench_compare: {len(build_warnings)} debug-build warning(s)",
+              file=sys.stderr)
 
     compared = 0
     warnings = []
@@ -128,8 +177,9 @@ def main():
             warnings.append(name)
         elif delta < -args.warn:
             tag = "faster"
+        rate = f"  [{rates[name]:,.0f} items/s]" if name in rates else ""
         print(f"  {tag:6s}{name}: {base:12.0f} ns -> {cur:12.0f} ns "
-              f"({delta:+.1%})")
+              f"({delta:+.1%}){rate}")
     for name in sorted(baseline):
         if pattern.search(name) and name not in current:
             removed.append(name)
@@ -162,9 +212,9 @@ def main():
               file=sys.stderr)
         return 0 if args.advisory else 1
     print(f"bench_compare: {compared} compared, "
-          f"{len(warnings) + len(added) + len(removed) + len(scaling)} "
+          f"{len(warnings) + len(added) + len(removed) + len(scaling) + len(build_warnings)} "
           f"warning(s) ({len(added)} added, {len(removed)} removed, "
-          f"{len(scaling)} scaling), 0 failures")
+          f"{len(scaling)} scaling, {len(build_warnings)} build), 0 failures")
     return 0
 
 

@@ -11,6 +11,7 @@
 #include "algo/online.h"
 #include "core/instance_delta.h"
 #include "core/lp_packing.h"
+#include "core/sharded_solver.h"
 #include "exp/load_test.h"
 #include "exp/replay.h"
 #include "exp/report.h"
@@ -18,7 +19,9 @@
 #include "gen/arrival_process.h"
 #include "gen/delta_stream.h"
 #include "gen/meetup_sim.h"
+#include "gen/streaming_gen.h"
 #include "gen/synthetic.h"
+#include "io/binary_instance.h"
 #include "io/delta_io.h"
 #include "io/instance_io.h"
 #include "serve/arrangement_service.h"
@@ -54,13 +57,31 @@ Status ApplyKernelFlag(const ArgParser& parser, core::Instance* instance) {
   return Status::OK();
 }
 
+/// Loads an instance from either on-disk format, auto-detected by magic:
+/// `igepa-bin,3` files open through the mmap view (FORMATS.md §8) and
+/// materialize without ever allocating a dense interest table; anything else
+/// goes through the CSV reader. Every instance-consuming subcommand routes
+/// here, so binary instances work wherever CSV ones do.
+Result<core::Instance> LoadInstanceAuto(const std::string& path) {
+  if (io::SniffBinaryInstance(path)) {
+    IGEPA_ASSIGN_OR_RETURN(io::InstanceView view, io::InstanceView::Open(path));
+    return io::MaterializeInstance(
+        std::make_shared<const io::InstanceView>(std::move(view)));
+  }
+  return io::ReadInstanceCsv(path);
+}
+
 // ---- generate --------------------------------------------------------------
 
 int CmdGenerate(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err) {
   ArgParser parser("igepa generate", "sample an IGEPA instance to CSV");
   parser.AddString("kind", "synthetic", "generator: synthetic | meetup");
-  parser.AddString("out", "", "output CSV path (required)");
+  parser.AddString("out", "", "output path (required)");
+  parser.AddBool("binary", false,
+                 "stream an igepa-bin,3 binary instance (FORMATS.md §8) "
+                 "instead of CSV — bounded memory at any |U| (synthetic "
+                 "only)");
   parser.AddInt("seed", 20190408, "random seed");
   parser.AddInt("events", 200, "number of events |V|");
   parser.AddInt("users", 2000, "number of users |U|");
@@ -92,8 +113,28 @@ int CmdGenerate(const std::vector<std::string>& args, std::ostream& out,
     config.p_conflict = parser.GetDouble("pcf");
     config.p_friend = parser.GetDouble("pdeg");
     config.beta = parser.GetDouble("beta");
+    if (parser.GetBool("binary")) {
+      // The streaming path: the instance is never held in memory, so this is
+      // the only route that reaches |U| in the millions.
+      const std::string kernel_id =
+          parser.GetString("kernel").empty()
+              ? core::DefaultUtilityKernel()->id()
+              : parser.GetString("kernel");
+      auto written = gen::GenerateSyntheticBinary(config, &rng, kernel_id,
+                                                  parser.GetString("out"));
+      if (!written.ok()) return Fail(err, written.status());
+      out << "wrote " << parser.GetString("out") << ": igepa-bin,3, "
+          << config.num_events << " events, " << config.num_users
+          << " users, " << written->num_bids << " bids, "
+          << written->num_conflicts << " conflicts [" << kernel_id << "]\n";
+      return 0;
+    }
     instance = gen::GenerateSynthetic(config, &rng);
   } else if (kind == "meetup") {
+    if (parser.GetBool("binary")) {
+      return Fail(err, Status::InvalidArgument(
+                           "--binary supports --kind synthetic only"));
+    }
     gen::MeetupConfig config;
     if (parser.Provided("events")) {
       config.num_events = static_cast<int32_t>(parser.GetInt("events"));
@@ -127,7 +168,7 @@ int CmdGenerate(const std::vector<std::string>& args, std::ostream& out,
 int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   ArgParser parser("igepa solve", "arrange an instance CSV");
-  parser.AddString("in", "", "instance CSV path (required)");
+  parser.AddString("in", "", "instance path, CSV or igepa-bin,3 (required)");
   parser.AddString("out", "", "optional arrangement CSV output path");
   parser.AddString("algorithm", "lp-packing",
                    "lp-packing | gg | gbs | random-u | random-v | online");
@@ -137,6 +178,14 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
                 "worker threads for enumeration, LP solve and rounding "
                 "(0 = hardware concurrency; results are identical for every "
                 "value)");
+  parser.AddBool("sharded", false,
+                 "two-level sharded solve (lp-packing only): per-shard "
+                 "catalogs + warm duals, coordinated event prices, one "
+                 "global legalize sweep — the 100k+/1M-user path");
+  parser.AddInt("shards", 0,
+                "sharded solve: shard count (0 = derive from shard width; "
+                "results are identical for every thread count at a fixed "
+                "shard count)");
   parser.AddString("kernel", "", kKernelHelp);
   parser.AddBool("help", false, "show this help");
   if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
@@ -150,7 +199,10 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
   if (parser.GetInt("threads") < 0) {
     return Fail(err, Status::InvalidArgument("--threads must be >= 0"));
   }
-  auto instance = io::ReadInstanceCsv(parser.GetString("in"));
+  if (parser.GetInt("shards") < 0) {
+    return Fail(err, Status::InvalidArgument("--shards must be >= 0"));
+  }
+  auto instance = LoadInstanceAuto(parser.GetString("in"));
   if (!instance.ok()) return Fail(err, instance.status());
   if (Status s = ApplyKernelFlag(parser, &*instance); !s.ok()) {
     return Fail(err, s);
@@ -159,9 +211,21 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
   const auto threads = static_cast<int32_t>(parser.GetInt("threads"));
   Rng rng(static_cast<uint64_t>(parser.GetInt("seed")));
   const std::string& algorithm = parser.GetString("algorithm");
+  if (parser.GetBool("sharded") && algorithm != "lp-packing") {
+    return Fail(err, Status::InvalidArgument(
+                         "--sharded requires --algorithm lp-packing"));
+  }
   Stopwatch watch;
   Result<core::Arrangement> arrangement = Status::Internal("unset");
-  if (algorithm == "lp-packing") {
+  core::ShardedSolveStats sharded_stats;
+  if (algorithm == "lp-packing" && parser.GetBool("sharded")) {
+    core::ShardedSolveOptions options;
+    options.alpha = parser.GetDouble("alpha");
+    options.num_shards = static_cast<int32_t>(parser.GetInt("shards"));
+    options.num_threads = threads;
+    arrangement =
+        core::ShardedSolve(*instance, &rng, options, &sharded_stats);
+  } else if (algorithm == "lp-packing") {
     core::LpPackingOptions options;
     options.alpha = parser.GetDouble("alpha");
     options.num_threads = threads;
@@ -203,6 +267,16 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
       << FormatDouble(breakdown.degree_total, 4) << ") over "
       << arrangement->size() << " pairs in "
       << FormatDouble(seconds * 1e3, 1) << " ms\n";
+  if (parser.GetBool("sharded")) {
+    out << "sharded: " << sharded_stats.num_shards << " shards, "
+        << sharded_stats.num_columns << " columns, lp objective "
+        << FormatDouble(sharded_stats.lp_objective, 4) << " (ub "
+        << FormatDouble(sharded_stats.lp_upper_bound, 4) << ", gap "
+        << FormatDouble(sharded_stats.gap, 4) << "), "
+        << sharded_stats.coordination_iterations
+        << " coordination iterations, " << sharded_stats.pairs_repaired
+        << " pairs repaired\n";
+  }
   if (!parser.GetString("out").empty()) {
     if (Status s =
             io::WriteArrangementCsv(*arrangement, parser.GetString("out"));
@@ -220,7 +294,7 @@ int CmdEvaluate(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err) {
   ArgParser parser("igepa evaluate",
                    "check an arrangement against an instance");
-  parser.AddString("in", "", "instance CSV path (required)");
+  parser.AddString("in", "", "instance path, CSV or igepa-bin,3 (required)");
   parser.AddString("arrangement", "", "arrangement CSV path (required)");
   parser.AddString("kernel", "", kKernelHelp);
   parser.AddBool("help", false, "show this help");
@@ -234,7 +308,7 @@ int CmdEvaluate(const std::vector<std::string>& args, std::ostream& out,
     return Fail(err,
                 Status::InvalidArgument("--in and --arrangement are required"));
   }
-  auto instance = io::ReadInstanceCsv(parser.GetString("in"));
+  auto instance = LoadInstanceAuto(parser.GetString("in"));
   if (!instance.ok()) return Fail(err, instance.status());
   if (Status s = ApplyKernelFlag(parser, &*instance); !s.ok()) {
     return Fail(err, s);
@@ -263,7 +337,7 @@ int CmdEvaluate(const std::vector<std::string>& args, std::ostream& out,
 int CmdDescribe(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err) {
   ArgParser parser("igepa describe", "print instance statistics");
-  parser.AddString("in", "", "instance CSV path (required)");
+  parser.AddString("in", "", "instance path, CSV or igepa-bin,3 (required)");
   parser.AddBool("help", false, "show this help");
   if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
   if (parser.GetBool("help")) {
@@ -273,7 +347,7 @@ int CmdDescribe(const std::vector<std::string>& args, std::ostream& out,
   if (parser.GetString("in").empty()) {
     return Fail(err, Status::InvalidArgument("--in is required"));
   }
-  auto instance = io::ReadInstanceCsv(parser.GetString("in"));
+  auto instance = LoadInstanceAuto(parser.GetString("in"));
   if (!instance.ok()) return Fail(err, instance.status());
   out << exp::DescribeInstance(*instance) << "\n";
   // Bid-size histogram: a quick shape check for generated datasets.
@@ -286,6 +360,38 @@ int CmdDescribe(const std::vector<std::string>& args, std::ostream& out,
     out << " " << size << ":" << count;
   }
   out << "\n";
+  return 0;
+}
+
+// ---- convert ---------------------------------------------------------------
+
+int CmdConvert(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  ArgParser parser("igepa convert",
+                   "convert an instance between CSV (FORMATS.md §1) and the "
+                   "igepa-bin,3 memory-mapped binary format (§8); direction "
+                   "is auto-detected from the input's magic");
+  parser.AddString("in", "", "input instance path (required)");
+  parser.AddString("out", "", "output instance path (required)");
+  parser.AddBool("help", false, "show this help");
+  if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
+  if (parser.GetBool("help")) {
+    out << parser.Usage();
+    return 0;
+  }
+  if (parser.GetString("in").empty() || parser.GetString("out").empty()) {
+    return Fail(err, Status::InvalidArgument("--in and --out are required"));
+  }
+  const std::string& in_path = parser.GetString("in");
+  const std::string& out_path = parser.GetString("out");
+  const bool to_csv = io::SniffBinaryInstance(in_path);
+  if (Status s = to_csv ? io::ConvertBinaryToCsv(in_path, out_path)
+                        : io::ConvertCsvToBinary(in_path, out_path);
+      !s.ok()) {
+    return Fail(err, s);
+  }
+  out << "converted " << in_path << " -> " << out_path << " ("
+      << (to_csv ? "binary -> csv" : "csv -> binary") << ")\n";
   return 0;
 }
 
@@ -852,6 +958,8 @@ constexpr Command kCommands[] = {
     {"solve", "arrange an instance CSV and report utility", CmdSolve},
     {"evaluate", "check an arrangement against an instance", CmdEvaluate},
     {"describe", "print instance statistics", CmdDescribe},
+    {"convert", "convert an instance between CSV and igepa-bin,3 binary",
+     CmdConvert},
     {"replay",
      "stream deltas through the incremental engine, warm vs cold per tick",
      CmdReplay},

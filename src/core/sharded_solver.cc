@@ -1,0 +1,573 @@
+#include "core/sharded_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "core/lp_packing.h"
+#include "core/utility_kernel.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
+
+namespace igepa {
+namespace core {
+namespace {
+
+/// Interest/interaction adapters that serve a shard's local user ids by
+/// delegating to the parent instance at `base + local_u` — overlays
+/// (UpdateInterest drift) included, so shard catalogs score exactly the
+/// weights the monolithic catalog would. The parent is borrowed: shard
+/// instances never outlive the ShardedSolve call.
+class ShardInterestFn final : public interest::InterestFn {
+ public:
+  ShardInterestFn(const Instance* parent, UserId base, int32_t num_local)
+      : parent_(parent), base_(base), num_local_(num_local) {}
+  int32_t num_events() const override { return parent_->num_events(); }
+  int32_t num_users() const override { return num_local_; }
+  double Interest(int32_t event, int32_t user) const override {
+    return parent_->Interest(event, base_ + user);
+  }
+
+ private:
+  const Instance* parent_;
+  UserId base_;
+  int32_t num_local_;
+};
+
+class ShardInteractionModel final : public graph::InteractionModel {
+ public:
+  ShardInteractionModel(const Instance* parent, UserId base, int32_t num_local)
+      : parent_(parent), base_(base), num_local_(num_local) {}
+  int32_t num_users() const override { return num_local_; }
+  double Degree(int32_t user) const override {
+    return parent_->Degree(base_ + user);
+  }
+
+ private:
+  const Instance* parent_;
+  UserId base_;
+  int32_t num_local_;
+};
+
+/// One level-1 unit: a contiguous user range with its own sub-instance,
+/// catalog and warm-dual state.
+struct Shard {
+  UserId user_begin = 0;
+  UserId user_end = 0;
+  std::unique_ptr<Instance> instance;
+  std::unique_ptr<AdmissibleCatalog> catalog;
+  DualWarmStart warm;
+  int64_t level1_iterations = 0;
+
+  int32_t num_local_users() const { return user_end - user_begin; }
+};
+
+/// Global greedy-polish order: one entry per catalog column across every
+/// shard, sorted heaviest first with a unique (owner, shard, column) tiebreak
+/// so the order — and therefore the polish — is deterministic.
+struct ColumnRef {
+  double weight;
+  UserId global_user;
+  int32_t shard;
+  int32_t col;
+};
+
+Status ValidateOptions(const ShardedSolveOptions& options) {
+  if (options.users_per_shard < 1) {
+    return Status::InvalidArgument("users_per_shard must be >= 1");
+  }
+  if (options.num_shards < 0) {
+    return Status::InvalidArgument("num_shards must be >= 0");
+  }
+  if (!(options.alpha > 0.0 && options.alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (options.coordination_gap <= 0.0 ||
+      options.coordination_max_iterations < 1 || options.check_every < 1 ||
+      options.step_scale <= 0.0) {
+    return Status::InvalidArgument("invalid coordination parameters");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<UserId> ShardUserBounds(int32_t num_users,
+                                    const ShardedSolveOptions& options) {
+  if (num_users <= 0) return {0};
+  const int32_t per = std::max(1, options.users_per_shard);
+  int32_t k = options.num_shards > 0 ? options.num_shards
+                                     : (num_users + per - 1) / per;
+  k = std::clamp(k, 1, num_users);
+  // Balanced contiguous partition: the first (num_users mod k) shards carry
+  // one extra user. A pure function of (num_users, k).
+  std::vector<UserId> bounds(static_cast<size_t>(k) + 1, 0);
+  const int32_t base = num_users / k;
+  const int32_t extra = num_users % k;
+  for (int32_t s = 0; s < k; ++s) {
+    bounds[static_cast<size_t>(s) + 1] =
+        bounds[static_cast<size_t>(s)] + base + (s < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
+Result<Arrangement> ShardedSolve(const Instance& instance, Rng* rng,
+                                 const ShardedSolveOptions& options,
+                                 ShardedSolveStats* stats) {
+  IGEPA_RETURN_IF_ERROR(ValidateOptions(options));
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  const int32_t nv = instance.num_events();
+  const int32_t nu = instance.num_users();
+  if (nu == 0 || nv == 0) return Arrangement(nv, nu);
+
+  const std::vector<UserId> bounds = ShardUserBounds(nu, options);
+  const int32_t num_shards = static_cast<int32_t>(bounds.size()) - 1;
+  ThreadPool* pool = options.workers;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(
+        ThreadPool::ResolveThreadCount(options.num_threads, num_shards));
+    pool = owned_pool.get();
+  }
+
+  // ---- Level 1: independent per-shard catalogs + warm solves. --------------
+  // Shard instances see 1/K-scaled event capacities (capacity only feeds the
+  // LP rows, never the admissible-set enumeration), so each shard prices its
+  // fair slice of every event and the averaged duals land near the global
+  // clearing prices.
+  IGEPA_ASSIGN_OR_RETURN(
+      std::shared_ptr<const UtilityKernel> kernel,
+      MakeUtilityKernel(instance.kernel().id()));
+  std::vector<Shard> shards(static_cast<size_t>(num_shards));
+  std::vector<Status> shard_status(static_cast<size_t>(num_shards),
+                                   Status::OK());
+  pool->ParallelFor(0, num_shards, 1, [&](int32_t, int64_t b, int64_t e) {
+    for (int64_t si = b; si < e; ++si) {
+      Shard& shard = shards[static_cast<size_t>(si)];
+      shard.user_begin = bounds[static_cast<size_t>(si)];
+      shard.user_end = bounds[static_cast<size_t>(si) + 1];
+      const int32_t local = shard.num_local_users();
+      std::vector<EventDef> events(static_cast<size_t>(nv));
+      for (EventId v = 0; v < nv; ++v) {
+        events[static_cast<size_t>(v)].capacity =
+            (instance.event_capacity(v) + num_shards - 1) / num_shards;
+      }
+      std::vector<UserDef> users(static_cast<size_t>(local));
+      for (int32_t lu = 0; lu < local; ++lu) {
+        const UserId gu = shard.user_begin + lu;
+        users[static_cast<size_t>(lu)].capacity = instance.user_capacity(gu);
+        users[static_cast<size_t>(lu)].bids = instance.bids(gu);
+      }
+      shard.instance = std::make_unique<Instance>(
+          std::move(events), std::move(users), instance.conflict_ptr(),
+          std::make_shared<ShardInterestFn>(&instance, shard.user_begin,
+                                            local),
+          std::make_shared<ShardInteractionModel>(&instance, shard.user_begin,
+                                                  local),
+          instance.beta());
+      shard.instance->set_kernel(kernel);
+      if (Status s = shard.instance->Validate(); !s.ok()) {
+        shard_status[static_cast<size_t>(si)] = std::move(s);
+        continue;
+      }
+      AdmissibleOptions admissible = options.admissible;
+      admissible.num_threads = 1;  // shards are the parallel unit
+      shard.catalog = std::make_unique<AdmissibleCatalog>(
+          AdmissibleCatalog::Build(*shard.instance, admissible));
+      StructuredDualOptions level1 = options.level1;
+      level1.num_threads = 1;
+      level1.workers = nullptr;
+      level1.warm = nullptr;
+      auto solved = SolveBenchmarkLpStructured(*shard.instance, *shard.catalog,
+                                               level1, &shard.warm);
+      if (!solved.ok()) {
+        shard_status[static_cast<size_t>(si)] = solved.status();
+        continue;
+      }
+      shard.level1_iterations = solved->iterations;
+    }
+  });
+  for (const Status& s : shard_status) {
+    IGEPA_RETURN_IF_ERROR(s);
+  }
+
+  int64_t total_columns = 0;
+  int64_t level1_iterations = 0;
+  int32_t max_user_cols = 0;
+  for (const Shard& shard : shards) {
+    total_columns += shard.catalog->num_columns();
+    level1_iterations += shard.level1_iterations;
+    for (int32_t lu = 0; lu < shard.num_local_users(); ++lu) {
+      max_user_cols = std::max(max_user_cols,
+                               shard.catalog->user_columns_end(lu) -
+                                   shard.catalog->user_columns_begin(lu));
+    }
+  }
+  if (stats != nullptr) {
+    *stats = ShardedSolveStats{};
+    stats->num_shards = num_shards;
+    stats->num_columns = static_cast<int32_t>(total_columns);
+    stats->level1_iterations = level1_iterations;
+  }
+  if (total_columns == 0) return Arrangement(nv, nu);
+
+  // ---- Level 2: coordinate the shared event prices. ------------------------
+  // Seed μ with the shard-average of the level-1 duals (summed in shard
+  // order) and run projected subgradient descent on the global Lagrangian,
+  // whose oracle term decomposes exactly across shards.
+  std::vector<double> caps(static_cast<size_t>(nv));
+  for (EventId v = 0; v < nv; ++v) {
+    caps[static_cast<size_t>(v)] =
+        static_cast<double>(instance.event_capacity(v));
+  }
+  std::vector<double> mu(static_cast<size_t>(nv), 0.0);
+  for (const Shard& shard : shards) {
+    for (EventId v = 0; v < nv; ++v) {
+      mu[static_cast<size_t>(v)] += shard.warm.mu[static_cast<size_t>(v)];
+    }
+  }
+  for (double& m : mu) m /= static_cast<double>(num_shards);
+
+  double wmax = 0.0;
+  std::vector<ColumnRef> by_weight;
+  by_weight.reserve(static_cast<size_t>(total_columns));
+  for (int32_t si = 0; si < num_shards; ++si) {
+    const Shard& shard = shards[static_cast<size_t>(si)];
+    const auto& weights = shard.catalog->weights();
+    const auto& owners = shard.catalog->col_users();
+    for (int32_t j = 0; j < shard.catalog->num_columns(); ++j) {
+      const double w = weights[static_cast<size_t>(j)];
+      wmax = std::max(wmax, w);
+      by_weight.push_back(ColumnRef{w, shard.user_begin + owners[j], si, j});
+    }
+  }
+  std::sort(by_weight.begin(), by_weight.end(),
+            [](const ColumnRef& a, const ColumnRef& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.global_user != b.global_user) {
+                return a.global_user < b.global_user;
+              }
+              return a.col < b.col;
+            });
+  if (wmax <= 0.0) wmax = 1.0;
+
+  // Per-shard working state; every cross-shard reduction merges these in
+  // shard index order, which is what pins bit-identity at any thread count.
+  std::vector<std::vector<int32_t>> choice(static_cast<size_t>(num_shards));
+  std::vector<std::vector<int64_t>> count(static_cast<size_t>(num_shards));
+  std::vector<std::vector<double>> usage(static_cast<size_t>(num_shards));
+  std::vector<std::vector<double>> x(static_cast<size_t>(num_shards));
+  std::vector<std::vector<double>> best_x(static_cast<size_t>(num_shards));
+  std::vector<double> partial(static_cast<size_t>(num_shards), 0.0);
+  std::vector<std::vector<double>> musum(static_cast<size_t>(num_shards));
+  for (int32_t si = 0; si < num_shards; ++si) {
+    const int32_t cols = shards[static_cast<size_t>(si)].catalog->num_columns();
+    choice[static_cast<size_t>(si)].assign(
+        static_cast<size_t>(shards[static_cast<size_t>(si)].num_local_users()),
+        -1);
+    count[static_cast<size_t>(si)].assign(static_cast<size_t>(cols), 0);
+    usage[static_cast<size_t>(si)].assign(static_cast<size_t>(nv), 0.0);
+    x[static_cast<size_t>(si)].assign(static_cast<size_t>(cols), 0.0);
+    best_x[static_cast<size_t>(si)].assign(static_cast<size_t>(cols), 0.0);
+    musum[static_cast<size_t>(si)].assign(
+        static_cast<size_t>(std::max(1, max_user_cols)), 0.0);
+  }
+  std::vector<double> used(static_cast<size_t>(nv), 0.0);
+  std::vector<double> factor(static_cast<size_t>(nv), 1.0);
+  std::vector<double> user_mass(static_cast<size_t>(nu), 0.0);
+
+  double best_ub = std::numeric_limits<double>::infinity();
+  double best_primal = -std::numeric_limits<double>::infinity();
+  double gap = std::numeric_limits<double>::infinity();
+  int64_t avg_started_at = 1;
+  int64_t iterations_run = 0;
+
+  // Fractional extraction: suffix-averaged choice frequencies, scaled down
+  // on overloaded events (each column by the min factor over its events, so
+  // post-scale usage provably fits), then greedily polished heaviest-first.
+  const auto extract_primal = [&](int64_t avg_count) {
+    std::fill(used.begin(), used.end(), 0.0);
+    std::fill(user_mass.begin(), user_mass.end(), 0.0);
+    for (int32_t si = 0; si < num_shards; ++si) {
+      const Shard& shard = shards[static_cast<size_t>(si)];
+      auto& xs = x[static_cast<size_t>(si)];
+      const auto& cs = count[static_cast<size_t>(si)];
+      for (int32_t j = 0; j < shard.catalog->num_columns(); ++j) {
+        xs[static_cast<size_t>(j)] =
+            static_cast<double>(cs[static_cast<size_t>(j)]) /
+            static_cast<double>(avg_count);
+        for (EventId v : shard.catalog->set(j)) {
+          used[static_cast<size_t>(v)] += xs[static_cast<size_t>(j)];
+        }
+      }
+    }
+    for (EventId v = 0; v < nv; ++v) {
+      factor[static_cast<size_t>(v)] =
+          used[static_cast<size_t>(v)] > caps[static_cast<size_t>(v)]
+              ? caps[static_cast<size_t>(v)] / used[static_cast<size_t>(v)]
+              : 1.0;
+    }
+    std::fill(used.begin(), used.end(), 0.0);
+    for (int32_t si = 0; si < num_shards; ++si) {
+      const Shard& shard = shards[static_cast<size_t>(si)];
+      auto& xs = x[static_cast<size_t>(si)];
+      for (int32_t j = 0; j < shard.catalog->num_columns(); ++j) {
+        if (xs[static_cast<size_t>(j)] <= 0.0) continue;
+        double f = 1.0;
+        for (EventId v : shard.catalog->set(j)) {
+          f = std::min(f, factor[static_cast<size_t>(v)]);
+        }
+        xs[static_cast<size_t>(j)] *= f;
+        const UserId gu = shard.user_begin + shard.catalog->user_of(j);
+        user_mass[static_cast<size_t>(gu)] += xs[static_cast<size_t>(j)];
+        for (EventId v : shard.catalog->set(j)) {
+          used[static_cast<size_t>(v)] += xs[static_cast<size_t>(j)];
+        }
+      }
+    }
+    for (const ColumnRef& ref : by_weight) {
+      const Shard& shard = shards[static_cast<size_t>(ref.shard)];
+      double& xj = x[static_cast<size_t>(ref.shard)][static_cast<size_t>(
+          ref.col)];
+      double room = std::min(1.0 - xj,
+                             1.0 - user_mass[static_cast<size_t>(
+                                       ref.global_user)]);
+      for (EventId v : shard.catalog->set(ref.col)) {
+        room = std::min(room, caps[static_cast<size_t>(v)] -
+                                  used[static_cast<size_t>(v)]);
+        if (room <= 1e-12) break;
+      }
+      if (room <= 1e-12) continue;
+      xj += room;
+      user_mass[static_cast<size_t>(ref.global_user)] += room;
+      for (EventId v : shard.catalog->set(ref.col)) {
+        used[static_cast<size_t>(v)] += room;
+      }
+    }
+    double objective = 0.0;
+    for (int32_t si = 0; si < num_shards; ++si) {
+      const Shard& shard = shards[static_cast<size_t>(si)];
+      const auto& weights = shard.catalog->weights();
+      double shard_obj = 0.0;
+      for (int32_t j = 0; j < shard.catalog->num_columns(); ++j) {
+        shard_obj += weights[static_cast<size_t>(j)] *
+                     x[static_cast<size_t>(si)][static_cast<size_t>(j)];
+      }
+      objective += shard_obj;
+    }
+    return objective;
+  };
+
+  for (int64_t t = 1; t <= options.coordination_max_iterations; ++t) {
+    iterations_run = t;
+    // Oracle sweep, one shard per work item: SIMD-batched μ sums over each
+    // user's columns, first-best argmax (ties → lowest column id).
+    pool->ParallelFor(0, num_shards, 1, [&](int32_t, int64_t b, int64_t e) {
+      for (int64_t si = b; si < e; ++si) {
+        const Shard& shard = shards[static_cast<size_t>(si)];
+        const AdmissibleCatalog& catalog = *shard.catalog;
+        const int32_t* cat_pool = catalog.pool().data();
+        const int64_t* col_begin = catalog.col_begin().data();
+        const double* weights = catalog.weights().data();
+        auto& shard_choice = choice[static_cast<size_t>(si)];
+        auto& shard_count = count[static_cast<size_t>(si)];
+        auto& shard_usage = usage[static_cast<size_t>(si)];
+        double& shard_partial = partial[static_cast<size_t>(si)];
+        double* scratch = musum[static_cast<size_t>(si)].data();
+        shard_partial = 0.0;
+        std::fill(shard_usage.begin(), shard_usage.end(), 0.0);
+        for (int32_t lu = 0; lu < shard.num_local_users(); ++lu) {
+          const int32_t begin = catalog.user_columns_begin(lu);
+          const int32_t span = catalog.user_columns_end(lu) - begin;
+          int32_t best_col = -1;
+          double best = 0.0;
+          if (span > 0) {
+            util::simd::SumColumnLanes(mu.data(), cat_pool, col_begin + begin,
+                                       span, scratch);
+            for (int32_t k = 0; k < span; ++k) {
+              const double value = weights[begin + k] - scratch[k];
+              if (value > best) {
+                best = value;
+                best_col = begin + k;
+              }
+            }
+          }
+          shard_choice[static_cast<size_t>(lu)] = best_col;
+          if (best_col >= 0) {
+            shard_partial += best;
+            shard_count[static_cast<size_t>(best_col)] += 1;
+            for (EventId v : catalog.set(best_col)) {
+              shard_usage[static_cast<size_t>(v)] += 1.0;
+            }
+          }
+        }
+      }
+    });
+
+    // Merge in shard order: the Lagrangian value and the usage subgradient.
+    double lagrangian = 0.0;
+    for (EventId v = 0; v < nv; ++v) {
+      lagrangian += caps[static_cast<size_t>(v)] * mu[static_cast<size_t>(v)];
+    }
+    for (int32_t si = 0; si < num_shards; ++si) {
+      lagrangian += partial[static_cast<size_t>(si)];
+    }
+    best_ub = std::min(best_ub, lagrangian);
+
+    bool done = false;
+    if (t % options.check_every == 0 || t == 1 ||
+        t == options.coordination_max_iterations) {
+      const int64_t avg_count = t - avg_started_at + 1;
+      const double objective = extract_primal(avg_count);
+      if (objective > best_primal) {
+        best_primal = objective;
+        for (int32_t si = 0; si < num_shards; ++si) {
+          best_x[static_cast<size_t>(si)] = x[static_cast<size_t>(si)];
+        }
+      }
+      gap = (best_ub - best_primal) / std::max(1.0, std::abs(best_ub));
+      if (gap <= options.coordination_gap) done = true;
+    }
+    if (done) break;
+
+    double gnorm2 = 0.0;
+    for (EventId v = 0; v < nv; ++v) {
+      double g = caps[static_cast<size_t>(v)];
+      for (int32_t si = 0; si < num_shards; ++si) {
+        g -= usage[static_cast<size_t>(si)][static_cast<size_t>(v)];
+      }
+      factor[static_cast<size_t>(v)] = g;  // reuse as gradient scratch
+      gnorm2 += g * g;
+    }
+    if (gnorm2 <= 1e-18) {
+      // Complementary slackness: the current iterate clears every market, so
+      // L(μ) is optimal. Re-extract from this single iterate and stop.
+      for (auto& shard_count : count) {
+        std::fill(shard_count.begin(), shard_count.end(), 0);
+      }
+      for (int32_t si = 0; si < num_shards; ++si) {
+        for (int32_t c : choice[static_cast<size_t>(si)]) {
+          if (c >= 0) count[static_cast<size_t>(si)][static_cast<size_t>(c)] = 1;
+        }
+      }
+      const double objective = extract_primal(1);
+      if (objective > best_primal) {
+        best_primal = objective;
+        for (int32_t si = 0; si < num_shards; ++si) {
+          best_x[static_cast<size_t>(si)] = x[static_cast<size_t>(si)];
+        }
+      }
+      gap = (best_ub - best_primal) / std::max(1.0, std::abs(best_ub));
+      break;
+    }
+    const double step =
+        options.step_scale * wmax /
+        std::sqrt(static_cast<double>(t) * gnorm2);
+    for (EventId v = 0; v < nv; ++v) {
+      mu[static_cast<size_t>(v)] = std::max(
+          0.0, mu[static_cast<size_t>(v)] - step * factor[static_cast<size_t>(v)]);
+    }
+    // Doubling restart of the averaging window (same cadence as the
+    // monolithic solver): each window is twice as long as the last, so the
+    // average forgets the pre-convergence iterates geometrically.
+    if (t + 1 >= 2 * avg_started_at) {
+      for (auto& shard_count : count) {
+        std::fill(shard_count.begin(), shard_count.end(), 0);
+      }
+      avg_started_at = t + 1;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->lp_objective = best_primal;
+    stats->lp_upper_bound = best_ub;
+    stats->gap = gap;
+    stats->coordination_iterations = iterations_run;
+  }
+
+  // ---- Legalize: one global rounding/repair sweep. -------------------------
+  // RoundFractional's exact semantics lifted across shards: one pre-drawn
+  // uniform per user in GLOBAL user order, α·x sampling down the user's
+  // column range, per-event demand, and the first-c_v-contenders-by-user-id
+  // cutoff rule (pair (v, u) survives iff u < cutoff[v]).
+  std::vector<std::vector<int32_t>> sampled(static_cast<size_t>(num_shards));
+  for (int32_t si = 0; si < num_shards; ++si) {
+    sampled[static_cast<size_t>(si)].assign(
+        static_cast<size_t>(shards[static_cast<size_t>(si)].num_local_users()),
+        -1);
+  }
+  for (int32_t si = 0, gu = 0; si < num_shards; ++si) {
+    const Shard& shard = shards[static_cast<size_t>(si)];
+    const auto& xs = best_x[static_cast<size_t>(si)];
+    for (int32_t lu = 0; lu < shard.num_local_users(); ++lu, ++gu) {
+      double r = rng->NextDouble();
+      const int32_t begin = shard.catalog->user_columns_begin(lu);
+      const int32_t end = shard.catalog->user_columns_end(lu);
+      for (int32_t j = begin; j < end; ++j) {
+        const double mass =
+            options.alpha *
+            std::clamp(xs[static_cast<size_t>(j)], 0.0, 1.0);
+        if (r < mass) {
+          sampled[static_cast<size_t>(si)][static_cast<size_t>(lu)] = j;
+          break;
+        }
+        r -= mass;
+      }
+    }
+  }
+  std::vector<int32_t> demand(static_cast<size_t>(nv), 0);
+  for (int32_t si = 0; si < num_shards; ++si) {
+    const Shard& shard = shards[static_cast<size_t>(si)];
+    for (int32_t lu = 0; lu < shard.num_local_users(); ++lu) {
+      const int32_t j = sampled[static_cast<size_t>(si)][static_cast<size_t>(lu)];
+      if (j < 0) continue;
+      for (EventId v : shard.catalog->set(j)) {
+        ++demand[static_cast<size_t>(v)];
+      }
+    }
+  }
+  std::vector<int32_t> cutoff(static_cast<size_t>(nv), kNoRepairCutoff);
+  std::vector<UserId> contenders;
+  for (EventId v = 0; v < nv; ++v) {
+    const int32_t cap = instance.event_capacity(v);
+    if (demand[static_cast<size_t>(v)] <= cap) continue;
+    contenders.clear();
+    for (int32_t si = 0; si < num_shards; ++si) {
+      const Shard& shard = shards[static_cast<size_t>(si)];
+      shard.catalog->ForEachColumnOfEvent(v, [&](int32_t j) {
+        const int32_t owner = shard.catalog->user_of(j);
+        if (sampled[static_cast<size_t>(si)][static_cast<size_t>(owner)] == j) {
+          contenders.push_back(shard.user_begin + owner);
+        }
+      });
+    }
+    if (static_cast<int32_t>(contenders.size()) <= cap) continue;
+    std::nth_element(contenders.begin(), contenders.begin() + cap,
+                     contenders.end());
+    cutoff[static_cast<size_t>(v)] = contenders[static_cast<size_t>(cap)];
+  }
+  Arrangement arrangement(nv, nu);
+  int32_t repaired = 0;
+  for (int32_t si = 0; si < num_shards; ++si) {
+    const Shard& shard = shards[static_cast<size_t>(si)];
+    for (int32_t lu = 0; lu < shard.num_local_users(); ++lu) {
+      const int32_t j = sampled[static_cast<size_t>(si)][static_cast<size_t>(lu)];
+      if (j < 0) continue;
+      const UserId gu = shard.user_begin + lu;
+      for (EventId v : shard.catalog->set(j)) {
+        if (gu < cutoff[static_cast<size_t>(v)]) {
+          IGEPA_RETURN_IF_ERROR(arrangement.Add(v, gu));
+        } else {
+          ++repaired;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->pairs_repaired = repaired;
+  return arrangement;
+}
+
+}  // namespace core
+}  // namespace igepa

@@ -1,0 +1,163 @@
+#include "gen/streaming_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "conflict/conflict_graph.h"
+#include "core/utility_kernel.h"
+#include "interest/interest.h"
+#include "io/binary_instance.h"
+
+namespace igepa {
+namespace gen {
+
+using core::EventId;
+using core::UserId;
+
+namespace {
+
+/// SplitMix64-style substream seed for user `u`: Rng's own constructor runs
+/// SplitMix64 over the result, so consecutive users land in statistically
+/// independent streams.
+uint64_t UserSeed(uint64_t base, UserId u) {
+  return base ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(u) + 1));
+}
+
+/// One user's draws, identical in both passes (each pass constructs a fresh
+/// Rng from UserSeed, so replay is exact). Mirrors GenerateSynthetic's bid
+/// model: capacity Uniform{1..max}, then `groups` anchor events each pulling
+/// a cluster of conflict neighbours. `bids` comes back sorted, deduplicated.
+int32_t GenerateUserBids(const SyntheticConfig& config,
+                         const std::vector<std::vector<EventId>>& neighbours,
+                         Rng* user_rng, std::vector<EventId>* bids) {
+  const int32_t nv = config.num_events;
+  const int32_t capacity = static_cast<int32_t>(
+      user_rng->UniformInt(1, config.max_user_capacity));
+  bids->clear();
+  const int64_t groups = user_rng->UniformInt(config.min_groups_per_user,
+                                              config.max_groups_per_user);
+  for (int64_t g = 0; g < groups; ++g) {
+    const EventId anchor =
+        static_cast<EventId>(user_rng->NextIndex(static_cast<uint64_t>(nv)));
+    bids->push_back(anchor);
+    const auto& conflict_pool = neighbours[static_cast<size_t>(anchor)];
+    const int64_t want = user_rng->UniformInt(config.min_conflicts_per_group,
+                                              config.max_conflicts_per_group);
+    if (!conflict_pool.empty()) {
+      const auto picks = user_rng->SampleIndices(
+          conflict_pool.size(),
+          static_cast<size_t>(std::min<int64_t>(
+              want, static_cast<int64_t>(conflict_pool.size()))));
+      for (size_t index : picks) bids->push_back(conflict_pool[index]);
+    } else {
+      for (int64_t k = 0; k < want; ++k) {
+        bids->push_back(static_cast<EventId>(
+            user_rng->NextIndex(static_cast<uint64_t>(nv))));
+      }
+    }
+  }
+  std::sort(bids->begin(), bids->end());
+  bids->erase(std::unique(bids->begin(), bids->end()), bids->end());
+  return capacity;
+}
+
+}  // namespace
+
+Result<StreamingGenStats> GenerateSyntheticBinary(const SyntheticConfig& config,
+                                                  Rng* rng,
+                                                  const std::string& kernel_id,
+                                                  const std::string& path) {
+  if (config.num_events <= 0 || config.num_users <= 0) {
+    return Status::InvalidArgument("num_events/num_users must be positive");
+  }
+  if (config.max_event_capacity < 1 || config.max_user_capacity < 1) {
+    return Status::InvalidArgument("capacities must be >= 1");
+  }
+  if (config.p_conflict < 0.0 || config.p_conflict > 1.0 ||
+      config.p_friend < 0.0 || config.p_friend > 1.0) {
+    return Status::InvalidArgument("probabilities must be in [0,1]");
+  }
+  if (config.min_groups_per_user < 1 ||
+      config.max_groups_per_user < config.min_groups_per_user ||
+      config.min_conflicts_per_group < 0 ||
+      config.max_conflicts_per_group < config.min_conflicts_per_group) {
+    return Status::InvalidArgument("invalid bid-model parameters");
+  }
+  // Fail before touching the output file if the kernel id is unknown.
+  IGEPA_RETURN_IF_ERROR(core::MakeUtilityKernel(kernel_id).status());
+
+  const int32_t nv = config.num_events;
+  const int32_t nu = config.num_users;
+
+  // |U|-independent state: conflict matrix (O(|V|²) bits), neighbour lists,
+  // event capacities. Master-stream draw order is fixed and documented.
+  const conflict::MatrixConflict conflicts =
+      conflict::MatrixConflict::Bernoulli(nv, config.p_conflict, rng);
+  std::vector<std::vector<EventId>> neighbours(static_cast<size_t>(nv));
+  for (EventId v = 0; v < nv; ++v) {
+    neighbours[static_cast<size_t>(v)] =
+        conflict::ConflictNeighbors(conflicts, v);
+  }
+  std::vector<int32_t> event_caps(static_cast<size_t>(nv));
+  for (auto& cap : event_caps) {
+    cap = static_cast<int32_t>(rng->UniformInt(1, config.max_event_capacity));
+  }
+  const uint64_t user_seed_base = rng->Next();
+  const interest::HashUniformInterest interest_fn(
+      nv, nu, rng->Next() ^ config.interest_seed_salt);
+
+  // Pass 1 — replay every user just to learn the binding header count.
+  StreamingGenStats stats;
+  std::vector<EventId> bids;
+  for (UserId u = 0; u < nu; ++u) {
+    Rng user_rng(UserSeed(user_seed_base, u));
+    GenerateUserBids(config, neighbours, &user_rng, &bids);
+    stats.num_bids += static_cast<int64_t>(bids.size());
+  }
+  stats.num_conflicts = conflicts.CountConflicts();
+
+  io::BinaryInstanceHeader header;
+  header.num_events = nv;
+  header.num_users = nu;
+  header.num_bids = stats.num_bids;
+  header.num_conflicts = stats.num_conflicts;
+  header.beta = config.beta;
+  header.kernel_id = kernel_id;
+  IGEPA_ASSIGN_OR_RETURN(io::BinaryInstanceWriter writer,
+                         io::BinaryInstanceWriter::Create(path, header));
+  for (EventId v = 0; v < nv; ++v) {
+    IGEPA_RETURN_IF_ERROR(writer.AddEvent(event_caps[static_cast<size_t>(v)]));
+  }
+
+  // Pass 2 — replay again, this time streaming each record straight into the
+  // writer. Degree uses the binomial model inline (one Binomial draw after
+  // the bid draws), so no per-user state outlives its AddUser call.
+  const double denom = nu > 1 ? static_cast<double>(nu - 1) : 1.0;
+  std::vector<double> interest;
+  for (UserId u = 0; u < nu; ++u) {
+    Rng user_rng(UserSeed(user_seed_base, u));
+    const int32_t capacity =
+        GenerateUserBids(config, neighbours, &user_rng, &bids);
+    interest.clear();
+    interest.reserve(bids.size());
+    for (EventId v : bids) interest.push_back(interest_fn.Interest(v, u));
+    const double degree =
+        nu > 1
+            ? static_cast<double>(user_rng.Binomial(nu - 1, config.p_friend)) /
+                  denom
+            : 0.0;
+    IGEPA_RETURN_IF_ERROR(writer.AddUser(capacity, bids, interest, degree));
+  }
+  for (EventId a = 0; a < nv; ++a) {
+    for (EventId b = a + 1; b < nv; ++b) {
+      if (conflicts.Conflicts(a, b)) {
+        IGEPA_RETURN_IF_ERROR(writer.AddConflict(a, b));
+      }
+    }
+  }
+  IGEPA_RETURN_IF_ERROR(writer.Finish());
+  return stats;
+}
+
+}  // namespace gen
+}  // namespace igepa

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <set>
 
 #include "conflict/conflict_graph.h"
 #include "graph/generators.h"
@@ -56,11 +55,19 @@ Result<Instance> GenerateSynthetic(const SyntheticConfig& config, Rng* rng) {
   }
 
   // --- Users: capacities Uniform{1..max}; dependent bids. ------------------
+  // Bids collect into one reused scratch vector (sort + unique afterwards)
+  // instead of a per-user node-based std::set: every RNG draw below is
+  // unconditional on what was already collected, so the random stream — and
+  // the resulting sorted deduplicated bid set — is identical to the historic
+  // std::set version, without 100k+ users paying an allocation per bid.
   std::vector<UserDef> users(static_cast<size_t>(nu));
+  std::vector<EventId> bids;
+  bids.reserve(static_cast<size_t>(config.max_groups_per_user) *
+               static_cast<size_t>(1 + config.max_conflicts_per_group));
   for (auto& user : users) {
     user.capacity =
         static_cast<int32_t>(rng->UniformInt(1, config.max_user_capacity));
-    std::set<EventId> bids;
+    bids.clear();
     const int64_t groups = rng->UniformInt(config.min_groups_per_user,
                                            config.max_groups_per_user);
     for (int64_t g = 0; g < groups; ++g) {
@@ -68,7 +75,7 @@ Result<Instance> GenerateSynthetic(const SyntheticConfig& config, Rng* rng) {
       // "similar and often conflicting" alternatives the user hedges across.
       const EventId anchor =
           static_cast<EventId>(rng->NextIndex(static_cast<uint64_t>(nv)));
-      bids.insert(anchor);
+      bids.push_back(anchor);
       const auto& conflict_pool = neighbours[static_cast<size_t>(anchor)];
       const int64_t want = rng->UniformInt(config.min_conflicts_per_group,
                                            config.max_conflicts_per_group);
@@ -77,17 +84,20 @@ Result<Instance> GenerateSynthetic(const SyntheticConfig& config, Rng* rng) {
             conflict_pool.size(),
             static_cast<size_t>(std::min<int64_t>(
                 want, static_cast<int64_t>(conflict_pool.size()))));
-        for (size_t index : picks) bids.insert(conflict_pool[index]);
+        for (size_t index : picks) bids.push_back(conflict_pool[index]);
       } else {
         // Conflict-free regime (p_cf = 0): fall back to unrelated events so
         // the bid-set size distribution stays comparable.
         for (int64_t k = 0; k < want; ++k) {
-          bids.insert(
+          bids.push_back(
               static_cast<EventId>(rng->NextIndex(static_cast<uint64_t>(nv))));
         }
       }
     }
+    std::sort(bids.begin(), bids.end());
+    bids.erase(std::unique(bids.begin(), bids.end()), bids.end());
     user.bids.assign(bids.begin(), bids.end());
+    user.bids.shrink_to_fit();
   }
 
   // --- Interest: pairwise Uniform[0,1] without storage. --------------------

@@ -1,0 +1,906 @@
+#include "io/binary_instance.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "conflict/conflict.h"
+#include "core/utility_kernel.h"
+#include "graph/interaction_model.h"
+#include "interest/interest.h"
+#include "io/instance_io.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace igepa {
+namespace io {
+
+using core::EventId;
+using core::UserId;
+
+namespace {
+
+constexpr char kMagic[8] = {'i', 'g', 'e', 'p', 'a', 'b', 'i', 'n'};
+constexpr uint32_t kVersion = 3;
+/// Trailer end-marker ("IGB3" little-endian) behind the CRC word: a file cut
+/// mid-CRC-write still fails loudly instead of validating a torn trailer.
+constexpr uint32_t kTrailerMagic = 0x33424749;
+constexpr uint64_t kHeaderSize = 64;
+constexpr size_t kCursorFlushBytes = 1u << 20;
+/// Sanity bound on the header's kernel-id length: ids are short strings, so
+/// anything larger is a corrupt length field, not a real kernel.
+constexpr uint32_t kMaxKernelIdBytes = 4096;
+
+uint64_t Align8(uint64_t n) { return (n + 7u) & ~uint64_t{7}; }
+
+void PutU32(char* p, uint32_t v) {
+  p[0] = static_cast<char>(v);
+  p[1] = static_cast<char>(v >> 8);
+  p[2] = static_cast<char>(v >> 16);
+  p[3] = static_cast<char>(v >> 24);
+}
+
+void PutU64(char* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+Status WriteFullyAt(int fd, const void* data, size_t size, uint64_t offset,
+                    const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  uint64_t off = offset;
+  while (remaining > 0) {
+    const ssize_t n = ::pwrite(fd, p, remaining, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite failed on " + path + ": " +
+                             std::strerror(errno));
+    }
+    p += n;
+    off += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Section layout: offsets are a pure function of the header counts. Every
+/// section starts 8-byte aligned (int32 sections are padded with zeros).
+struct Layout {
+  uint64_t kernel_off, event_off, ucap_off, boff_off, pool_off, intr_off,
+      deg_off, conf_off, trailer_off, file_size;
+
+  static Layout Of(int32_t nv, int32_t nu, int64_t nbids, int64_t nconf,
+                   uint32_t kernel_len) {
+    Layout l;
+    l.kernel_off = kHeaderSize;
+    l.event_off = l.kernel_off + Align8(kernel_len);
+    l.ucap_off = l.event_off + Align8(static_cast<uint64_t>(nv) * 4);
+    l.boff_off = l.ucap_off + Align8(static_cast<uint64_t>(nu) * 4);
+    l.pool_off = l.boff_off + (static_cast<uint64_t>(nu) + 1) * 8;
+    l.intr_off = l.pool_off + Align8(static_cast<uint64_t>(nbids) * 4);
+    l.deg_off = l.intr_off + static_cast<uint64_t>(nbids) * 8;
+    l.conf_off = l.deg_off + static_cast<uint64_t>(nu) * 8;
+    l.trailer_off = l.conf_off + static_cast<uint64_t>(nconf) * 8;
+    l.file_size = l.trailer_off + 8;
+    return l;
+  }
+};
+
+}  // namespace
+
+// ---- BinaryInstanceWriter ---------------------------------------------------
+
+struct BinaryInstanceWriter::Impl {
+  struct Cursor {
+    uint64_t next_off = 0;  // file offset of the next flushed byte
+    std::string buf;
+  };
+
+  std::string path;
+  int fd = -1;
+  BinaryInstanceHeader header;
+  Layout layout;
+  Cursor events, ucaps, boffs, pools, intrs, degs, confs;
+  int64_t events_added = 0;
+  int64_t users_added = 0;
+  int64_t bids_added = 0;
+  int64_t conflicts_added = 0;
+  EventId last_conflict_a = -1;
+  EventId last_conflict_b = -1;
+  bool finished = false;
+  /// First IO failure; later Add calls short-circuit on it so a caller that
+  /// only checks Finish() still sees the original error.
+  Status deferred;
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  Status Flush(Cursor* c) {
+    if (c->buf.empty()) return Status::OK();
+    IGEPA_RETURN_IF_ERROR(
+        WriteFullyAt(fd, c->buf.data(), c->buf.size(), c->next_off, path));
+    c->next_off += c->buf.size();
+    c->buf.clear();
+    return Status::OK();
+  }
+
+  void Append(Cursor* c, const char* data, size_t size) {
+    if (!deferred.ok()) return;
+    c->buf.append(data, size);
+    if (c->buf.size() >= kCursorFlushBytes) deferred = Flush(c);
+  }
+
+  void AppendU32(Cursor* c, uint32_t v) {
+    char b[4];
+    PutU32(b, v);
+    Append(c, b, 4);
+  }
+
+  void AppendU64(Cursor* c, uint64_t v) {
+    char b[8];
+    PutU64(b, v);
+    Append(c, b, 8);
+  }
+
+  void AppendF64(Cursor* c, double v) {
+    AppendU64(c, std::bit_cast<uint64_t>(v));
+  }
+};
+
+BinaryInstanceWriter::BinaryInstanceWriter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+BinaryInstanceWriter::BinaryInstanceWriter(BinaryInstanceWriter&&) noexcept =
+    default;
+BinaryInstanceWriter& BinaryInstanceWriter::operator=(
+    BinaryInstanceWriter&&) noexcept = default;
+BinaryInstanceWriter::~BinaryInstanceWriter() = default;
+
+Result<BinaryInstanceWriter> BinaryInstanceWriter::Create(
+    const std::string& path, const BinaryInstanceHeader& header) {
+  if (header.num_events < 0 || header.num_users < 0 || header.num_bids < 0 ||
+      header.num_conflicts < 0) {
+    return Status::InvalidArgument("binary instance counts must be >= 0");
+  }
+  if (header.beta < 0.0 || header.beta > 1.0 || !std::isfinite(header.beta)) {
+    return Status::InvalidArgument("beta must be in [0, 1]");
+  }
+  if (header.kernel_id.empty() || header.kernel_id.size() > kMaxKernelIdBytes) {
+    return Status::InvalidArgument("kernel id must be non-empty and short");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->path = path;
+  impl->header = header;
+  impl->layout =
+      Layout::Of(header.num_events, header.num_users, header.num_bids,
+                 header.num_conflicts,
+                 static_cast<uint32_t>(header.kernel_id.size()));
+  // O_RDWR, not O_WRONLY: Finish() reads the file back for the CRC sweep.
+  impl->fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (impl->fd < 0) {
+    return Status::IOError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+
+  // Header + kernel id + the (<= 7-byte) inter-section alignment pads, all of
+  // which are known now. Everything after is cursor-streamed.
+  char head[kHeaderSize] = {};
+  std::memcpy(head, kMagic, sizeof(kMagic));
+  PutU32(head + 8, kVersion);
+  PutU32(head + 12, static_cast<uint32_t>(header.kernel_id.size()));
+  PutU32(head + 16, static_cast<uint32_t>(header.num_events));
+  PutU32(head + 20, static_cast<uint32_t>(header.num_users));
+  PutU64(head + 24, static_cast<uint64_t>(header.num_bids));
+  PutU64(head + 32, static_cast<uint64_t>(header.num_conflicts));
+  PutU64(head + 40, std::bit_cast<uint64_t>(header.beta));
+  IGEPA_RETURN_IF_ERROR(WriteFullyAt(impl->fd, head, kHeaderSize, 0, path));
+  IGEPA_RETURN_IF_ERROR(WriteFullyAt(impl->fd, header.kernel_id.data(),
+                                     header.kernel_id.size(),
+                                     impl->layout.kernel_off, path));
+  const Layout& l = impl->layout;
+  const uint64_t pad_from[] = {l.kernel_off + header.kernel_id.size(),
+                               l.event_off + static_cast<uint64_t>(
+                                                 header.num_events) * 4,
+                               l.ucap_off +
+                                   static_cast<uint64_t>(header.num_users) * 4,
+                               l.pool_off +
+                                   static_cast<uint64_t>(header.num_bids) * 4};
+  const uint64_t pad_to[] = {l.event_off, l.ucap_off, l.boff_off, l.intr_off};
+  const char zeros[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    if (pad_to[i] > pad_from[i]) {
+      IGEPA_RETURN_IF_ERROR(WriteFullyAt(
+          impl->fd, zeros, pad_to[i] - pad_from[i], pad_from[i], path));
+    }
+  }
+
+  impl->events.next_off = l.event_off;
+  impl->ucaps.next_off = l.ucap_off;
+  impl->boffs.next_off = l.boff_off;
+  impl->pools.next_off = l.pool_off;
+  impl->intrs.next_off = l.intr_off;
+  impl->degs.next_off = l.deg_off;
+  impl->confs.next_off = l.conf_off;
+  return BinaryInstanceWriter(std::move(impl));
+}
+
+Status BinaryInstanceWriter::AddEvent(int32_t capacity) {
+  Impl* w = impl_.get();
+  if (!w->deferred.ok()) return w->deferred;
+  if (w->events_added >= w->header.num_events) {
+    return Status::InvalidArgument("more events than the header declares");
+  }
+  if (capacity < 0) return Status::InvalidArgument("event capacity < 0");
+  w->AppendU32(&w->events, static_cast<uint32_t>(capacity));
+  ++w->events_added;
+  return w->deferred;
+}
+
+Status BinaryInstanceWriter::AddUser(int32_t capacity,
+                                     std::span<const EventId> bids,
+                                     std::span<const double> interest,
+                                     double degree) {
+  Impl* w = impl_.get();
+  if (!w->deferred.ok()) return w->deferred;
+  if (w->users_added >= w->header.num_users) {
+    return Status::InvalidArgument("more users than the header declares");
+  }
+  if (capacity < 0) return Status::InvalidArgument("user capacity < 0");
+  if (bids.size() != interest.size()) {
+    return Status::InvalidArgument("one interest value per bid required");
+  }
+  if (w->bids_added + static_cast<int64_t>(bids.size()) >
+      w->header.num_bids) {
+    return Status::InvalidArgument("more bids than the header declares");
+  }
+  EventId prev = -1;
+  for (size_t i = 0; i < bids.size(); ++i) {
+    const EventId v = bids[i];
+    if (v <= prev || v >= w->header.num_events) {
+      return Status::InvalidArgument(
+          "user bids must be strictly ascending event ids in range");
+    }
+    if (!(interest[i] >= 0.0 && interest[i] <= 1.0)) {
+      return Status::InvalidArgument("interest values must be in [0, 1]");
+    }
+    prev = v;
+  }
+  if (!(degree >= 0.0 && degree <= 1.0)) {
+    return Status::InvalidArgument("degree must be in [0, 1]");
+  }
+  w->AppendU32(&w->ucaps, static_cast<uint32_t>(capacity));
+  w->AppendU64(&w->boffs, static_cast<uint64_t>(w->bids_added));
+  for (size_t i = 0; i < bids.size(); ++i) {
+    w->AppendU32(&w->pools, static_cast<uint32_t>(bids[i]));
+    w->AppendF64(&w->intrs, interest[i]);
+  }
+  w->AppendF64(&w->degs, degree);
+  w->bids_added += static_cast<int64_t>(bids.size());
+  ++w->users_added;
+  return w->deferred;
+}
+
+Status BinaryInstanceWriter::AddConflict(EventId a, EventId b) {
+  Impl* w = impl_.get();
+  if (!w->deferred.ok()) return w->deferred;
+  if (w->conflicts_added >= w->header.num_conflicts) {
+    return Status::InvalidArgument("more conflicts than the header declares");
+  }
+  if (a < 0 || b >= w->header.num_events || a >= b) {
+    return Status::InvalidArgument("conflict pair must satisfy 0 <= a < b < |V|");
+  }
+  if (a < w->last_conflict_a ||
+      (a == w->last_conflict_a && b <= w->last_conflict_b)) {
+    return Status::InvalidArgument(
+        "conflict pairs must be strictly ascending lexicographically");
+  }
+  w->AppendU32(&w->confs, static_cast<uint32_t>(a));
+  w->AppendU32(&w->confs, static_cast<uint32_t>(b));
+  w->last_conflict_a = a;
+  w->last_conflict_b = b;
+  ++w->conflicts_added;
+  return w->deferred;
+}
+
+Status BinaryInstanceWriter::Finish() {
+  Impl* w = impl_.get();
+  if (w->finished) return Status::FailedPrecondition("Finish called twice");
+  w->finished = true;
+  if (!w->deferred.ok()) return w->deferred;
+  if (w->events_added != w->header.num_events ||
+      w->users_added != w->header.num_users ||
+      w->bids_added != w->header.num_bids ||
+      w->conflicts_added != w->header.num_conflicts) {
+    return Status::InvalidArgument(
+        "record counts do not match the declared header counts");
+  }
+  // Close the bid-offset section: boff[num_users] = num_bids.
+  w->AppendU64(&w->boffs, static_cast<uint64_t>(w->bids_added));
+  for (Impl::Cursor* c : {&w->events, &w->ucaps, &w->boffs, &w->pools,
+                          &w->intrs, &w->degs, &w->confs}) {
+    IGEPA_RETURN_IF_ERROR(w->Flush(c));
+  }
+  // CRC sweep over everything before the trailer, then the trailer itself.
+  uint32_t crc = 0;
+  uint64_t off = 0;
+  char buf[1 << 16];
+  while (off < w->layout.trailer_off) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(sizeof(buf), w->layout.trailer_off - off));
+    const ssize_t n = ::pread(w->fd, buf, want, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread failed on " + w->path + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("short file during CRC sweep: " + w->path);
+    }
+    crc = Crc32Update(crc, buf, static_cast<size_t>(n));
+    off += static_cast<uint64_t>(n);
+  }
+  char trailer[8];
+  PutU32(trailer, crc);
+  PutU32(trailer + 4, kTrailerMagic);
+  IGEPA_RETURN_IF_ERROR(
+      WriteFullyAt(w->fd, trailer, 8, w->layout.trailer_off, w->path));
+  if (::close(w->fd) != 0) {
+    w->fd = -1;
+    return Status::IOError("close failed on " + w->path + ": " +
+                           std::strerror(errno));
+  }
+  w->fd = -1;
+  return Status::OK();
+}
+
+// ---- InstanceView -----------------------------------------------------------
+
+InstanceView::InstanceView(InstanceView&& other) noexcept { *this = std::move(other); }
+
+InstanceView& InstanceView::operator=(InstanceView&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    num_events_ = other.num_events_;
+    num_users_ = other.num_users_;
+    num_bids_ = other.num_bids_;
+    num_conflicts_ = other.num_conflicts_;
+    beta_ = other.beta_;
+    kernel_id_ = std::move(other.kernel_id_);
+    event_cap_ = other.event_cap_;
+    user_cap_ = other.user_cap_;
+    bid_off_ = other.bid_off_;
+    pool_ = other.pool_;
+    interest_ = other.interest_;
+    degree_ = other.degree_;
+    conflicts_ = other.conflicts_;
+  }
+  return *this;
+}
+
+InstanceView::~InstanceView() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+Result<InstanceView> InstanceView::Open(const std::string& path) {
+  static_assert(std::endian::native == std::endian::little,
+                "igepa-bin,3 is pinned little-endian");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Status::IOError("fstat failed on " + path + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < kHeaderSize + 8) {
+    ::close(fd);
+    return Status::IOError("not an igepa-bin,3 file (too short): " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    return Status::IOError("mmap failed on " + path + ": " +
+                           std::strerror(errno));
+  }
+  InstanceView view;
+  view.map_ = map;
+  view.map_size_ = static_cast<size_t>(size);
+  const auto* base = static_cast<const unsigned char*>(map);
+
+  const auto refuse = [&](const std::string& why) -> Status {
+    return Status::IOError("invalid igepa-bin,3 file " + path + ": " + why);
+  };
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return refuse("bad magic");
+  }
+  if (GetU32(base + 8) != kVersion) return refuse("unsupported version");
+  const uint32_t kernel_len = GetU32(base + 12);
+  const int32_t nv = static_cast<int32_t>(GetU32(base + 16));
+  const int32_t nu = static_cast<int32_t>(GetU32(base + 20));
+  const int64_t nbids = static_cast<int64_t>(GetU64(base + 24));
+  const int64_t nconf = static_cast<int64_t>(GetU64(base + 32));
+  const double beta = std::bit_cast<double>(GetU64(base + 40));
+  if (kernel_len == 0 || kernel_len > kMaxKernelIdBytes) {
+    return refuse("implausible kernel id length");
+  }
+  if (nv < 0 || nu < 0 || nbids < 0 || nconf < 0) {
+    return refuse("negative section counts");
+  }
+  if (!(beta >= 0.0 && beta <= 1.0)) return refuse("beta out of [0, 1]");
+  const Layout l = Layout::Of(nv, nu, nbids, nconf, kernel_len);
+  if (l.file_size != size) {
+    return refuse("size mismatch (truncated or trailing garbage)");
+  }
+  if (GetU32(base + l.trailer_off + 4) != kTrailerMagic) {
+    return refuse("missing trailer magic");
+  }
+  const uint32_t crc = Crc32(base, l.trailer_off);
+  if (crc != GetU32(base + l.trailer_off)) {
+    return refuse("CRC mismatch (tampered or torn write)");
+  }
+
+  view.num_events_ = nv;
+  view.num_users_ = nu;
+  view.num_bids_ = nbids;
+  view.num_conflicts_ = nconf;
+  view.beta_ = beta;
+  view.kernel_id_.assign(reinterpret_cast<const char*>(base + l.kernel_off),
+                         kernel_len);
+  view.event_cap_ = reinterpret_cast<const int32_t*>(base + l.event_off);
+  view.user_cap_ = reinterpret_cast<const int32_t*>(base + l.ucap_off);
+  view.bid_off_ = reinterpret_cast<const int64_t*>(base + l.boff_off);
+  view.pool_ = reinterpret_cast<const int32_t*>(base + l.pool_off);
+  view.interest_ = reinterpret_cast<const double*>(base + l.intr_off);
+  view.degree_ = reinterpret_cast<const double*>(base + l.deg_off);
+  view.conflicts_ = reinterpret_cast<const int32_t*>(base + l.conf_off);
+
+  // Structural validation up front so every accessor can be an unchecked
+  // read: offsets monotone and closed, bids ascending in range, conflicts
+  // sorted, values in [0, 1]. One linear pass over sections the CRC sweep
+  // already paged in.
+  if (view.bid_off_[0] != 0 || view.bid_off_[nu] != nbids) {
+    return refuse("bid offsets do not close over the pool");
+  }
+  for (UserId u = 0; u < nu; ++u) {
+    if (view.user_cap_[u] < 0) return refuse("negative user capacity");
+    const int64_t b = view.bid_off_[u];
+    const int64_t e = view.bid_off_[u + 1];
+    if (b > e) return refuse("bid offsets not monotone");
+    EventId prev = -1;
+    for (int64_t i = b; i < e; ++i) {
+      const EventId v = view.pool_[i];
+      if (v <= prev || v >= nv) return refuse("bid pool not ascending in range");
+      if (!(view.interest_[i] >= 0.0 && view.interest_[i] <= 1.0)) {
+        return refuse("interest out of [0, 1]");
+      }
+      prev = v;
+    }
+    if (!(view.degree_[u] >= 0.0 && view.degree_[u] <= 1.0)) {
+      return refuse("degree out of [0, 1]");
+    }
+  }
+  for (EventId v = 0; v < nv; ++v) {
+    if (view.event_cap_[v] < 0) return refuse("negative event capacity");
+  }
+  EventId pa = -1, pb = -1;
+  for (int64_t i = 0; i < nconf; ++i) {
+    const EventId a = view.conflicts_[2 * i];
+    const EventId b = view.conflicts_[2 * i + 1];
+    if (a < 0 || b >= nv || a >= b) return refuse("bad conflict pair");
+    if (a < pa || (a == pa && b <= pb)) return refuse("conflicts not sorted");
+    pa = a;
+    pb = b;
+  }
+  return view;
+}
+
+bool InstanceView::HasBid(UserId u, EventId v) const {
+  const auto span = bids(u);
+  return std::binary_search(span.begin(), span.end(), v);
+}
+
+double InstanceView::Interest(EventId v, UserId u) const {
+  const int64_t b = bid_off_[u];
+  const int64_t e = bid_off_[u + 1];
+  const int32_t* lo = std::lower_bound(pool_ + b, pool_ + e, v);
+  if (lo == pool_ + e || *lo != v) return 0.0;
+  return interest_[lo - pool_];
+}
+
+bool InstanceView::Conflicts(EventId a, EventId b) const {
+  if (a == b) return false;
+  const EventId lo = std::min(a, b);
+  const EventId hi = std::max(a, b);
+  int64_t left = 0;
+  int64_t right = num_conflicts_;
+  while (left < right) {
+    const int64_t mid = left + (right - left) / 2;
+    const EventId ma = conflicts_[2 * mid];
+    const EventId mb = conflicts_[2 * mid + 1];
+    if (ma < lo || (ma == lo && mb < hi)) {
+      left = mid + 1;
+    } else if (ma == lo && mb == hi) {
+      return true;
+    } else {
+      right = mid;
+    }
+  }
+  return false;
+}
+
+// ---- Materialization --------------------------------------------------------
+
+namespace {
+
+/// Interest/interaction/conflict functions that serve reads straight out of a
+/// shared mmap view — the glue that makes a view-backed core::Instance cost
+/// O(total bids) RAM instead of a dense |V|×|U| table.
+class ViewInterestFn final : public interest::InterestFn {
+ public:
+  explicit ViewInterestFn(std::shared_ptr<const InstanceView> view)
+      : view_(std::move(view)) {}
+  int32_t num_events() const override { return view_->num_events(); }
+  int32_t num_users() const override { return view_->num_users(); }
+  double Interest(int32_t event, int32_t user) const override {
+    return view_->Interest(event, user);
+  }
+
+ private:
+  std::shared_ptr<const InstanceView> view_;
+};
+
+class ViewInteractionModel final : public graph::InteractionModel {
+ public:
+  explicit ViewInteractionModel(std::shared_ptr<const InstanceView> view)
+      : view_(std::move(view)) {}
+  int32_t num_users() const override { return view_->num_users(); }
+  double Degree(int32_t user) const override { return view_->Degree(user); }
+
+ private:
+  std::shared_ptr<const InstanceView> view_;
+};
+
+class ViewConflictFn final : public conflict::ConflictFn {
+ public:
+  explicit ViewConflictFn(std::shared_ptr<const InstanceView> view)
+      : view_(std::move(view)) {}
+  conflict::EventId num_events() const override { return view_->num_events(); }
+  bool Conflicts(conflict::EventId a, conflict::EventId b) const override {
+    return view_->Conflicts(a, b);
+  }
+
+ private:
+  std::shared_ptr<const InstanceView> view_;
+};
+
+}  // namespace
+
+Result<core::Instance> MaterializeInstance(
+    std::shared_ptr<const InstanceView> view) {
+  if (view == nullptr) return Status::InvalidArgument("null view");
+  IGEPA_ASSIGN_OR_RETURN(std::shared_ptr<const core::UtilityKernel> kernel,
+                         core::MakeUtilityKernel(view->kernel_id()));
+  const int32_t nv = view->num_events();
+  const int32_t nu = view->num_users();
+  std::vector<core::EventDef> events(static_cast<size_t>(nv));
+  for (EventId v = 0; v < nv; ++v) {
+    events[static_cast<size_t>(v)].capacity = view->event_capacity(v);
+  }
+  std::vector<core::UserDef> users(static_cast<size_t>(nu));
+  for (UserId u = 0; u < nu; ++u) {
+    auto& user = users[static_cast<size_t>(u)];
+    user.capacity = view->user_capacity(u);
+    const auto bids = view->bids(u);
+    user.bids.assign(bids.begin(), bids.end());
+  }
+  core::Instance instance(std::move(events), std::move(users),
+                          std::make_shared<ViewConflictFn>(view),
+                          std::make_shared<ViewInterestFn>(view),
+                          std::make_shared<ViewInteractionModel>(view),
+                          view->beta());
+  instance.set_kernel(std::move(kernel));
+  IGEPA_RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+bool SniffBinaryInstance(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char head[sizeof(kMagic)] = {};
+  if (!in.read(head, sizeof(head))) return false;
+  return std::memcmp(head, kMagic, sizeof(kMagic)) == 0;
+}
+
+// ---- Instance → binary ------------------------------------------------------
+
+Status WriteInstanceBinary(const core::Instance& instance,
+                           const std::string& path) {
+  const int32_t nv = instance.num_events();
+  const int32_t nu = instance.num_users();
+  BinaryInstanceHeader header;
+  header.num_events = nv;
+  header.num_users = nu;
+  header.num_bids = instance.TotalBids();
+  header.beta = instance.beta();
+  header.kernel_id = instance.kernel().id();
+  int64_t nconf = 0;
+  for (EventId a = 0; a < nv; ++a) {
+    for (EventId b = a + 1; b < nv; ++b) {
+      if (instance.Conflicts(a, b)) ++nconf;
+    }
+  }
+  header.num_conflicts = nconf;
+  IGEPA_ASSIGN_OR_RETURN(BinaryInstanceWriter writer,
+                         BinaryInstanceWriter::Create(path, header));
+  for (EventId v = 0; v < nv; ++v) {
+    IGEPA_RETURN_IF_ERROR(writer.AddEvent(instance.event_capacity(v)));
+  }
+  std::vector<double> interest;
+  for (UserId u = 0; u < nu; ++u) {
+    const std::vector<EventId>& bids = instance.bids(u);
+    interest.clear();
+    interest.reserve(bids.size());
+    for (EventId v : bids) interest.push_back(instance.Interest(v, u));
+    IGEPA_RETURN_IF_ERROR(writer.AddUser(instance.user_capacity(u), bids,
+                                         interest, instance.Degree(u)));
+  }
+  for (EventId a = 0; a < nv; ++a) {
+    for (EventId b = a + 1; b < nv; ++b) {
+      if (instance.Conflicts(a, b)) {
+        IGEPA_RETURN_IF_ERROR(writer.AddConflict(a, b));
+      }
+    }
+  }
+  return writer.Finish();
+}
+
+// ---- CSV ↔ binary conversion ------------------------------------------------
+
+namespace {
+
+struct CsvHeader {
+  int32_t num_events = 0;
+  int32_t num_users = 0;
+  double beta = 0.0;
+  bool v2 = false;
+};
+
+Status ParseCsvHeader(std::istream& in, const std::string& path,
+                      CsvHeader* out) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty instance file: " + path);
+  }
+  const auto header = Split(Trim(line), ',');
+  if (header.size() != 5 || header[0] != "igepa" ||
+      (header[1] != "1" && header[1] != "2")) {
+    return Status::InvalidArgument("bad instance header in " + path);
+  }
+  out->v2 = header[1] == "2";
+  int64_t nv = 0, nu = 0;
+  if (!ParseInt(header[2], &nv) || !ParseInt(header[3], &nu) ||
+      !ParseDouble(header[4], &out->beta) || nv < 0 || nu < 0) {
+    return Status::InvalidArgument("bad instance header fields in " + path);
+  }
+  out->num_events = static_cast<int32_t>(nv);
+  out->num_users = static_cast<int32_t>(nu);
+  return Status::OK();
+}
+
+/// Parses a `user` line's bid field into `bids`, normalized (sorted,
+/// deduplicated, ids validated against nv).
+Status ParseUserBids(const std::string& field, int32_t nv,
+                     std::vector<EventId>* bids) {
+  bids->clear();
+  if (field.empty()) return Status::OK();
+  for (const auto& token : Split(field, ';')) {
+    int64_t v = 0;
+    if (!ParseInt(token, &v) || v < 0 || v >= nv) {
+      return Status::InvalidArgument("bad bid id '" + std::string(token) + "'");
+    }
+    bids->push_back(static_cast<EventId>(v));
+  }
+  std::sort(bids->begin(), bids->end());
+  bids->erase(std::unique(bids->begin(), bids->end()), bids->end());
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ConvertCsvToBinary(const std::string& csv_path,
+                          const std::string& bin_path) {
+  // Pass 1 — counts: per-user bid-list sizes (normalized), conflict pairs and
+  // the kernel id. Flat arrays only; the dense |V|×|U| interest table the CSV
+  // reader allocates never exists on this path.
+  std::ifstream in(csv_path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + csv_path);
+  }
+  CsvHeader header;
+  IGEPA_RETURN_IF_ERROR(ParseCsvHeader(in, csv_path, &header));
+  const int32_t nv = header.num_events;
+  const int32_t nu = header.num_users;
+  std::string kernel_id = core::DefaultUtilityKernel()->id();
+  std::vector<int64_t> bid_off(static_cast<size_t>(nu) + 1, 0);
+  std::vector<EventId> scratch_bids;
+  std::vector<std::pair<EventId, EventId>> conflicts;
+  std::string line;
+  const auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument(why + " in " + csv_path);
+  };
+  while (std::getline(in, line)) {
+    const auto trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = Split(trimmed, ',');
+    const auto& kind = fields[0];
+    if (kind == "user") {
+      if (fields.size() != 4) return bad("bad user line");
+      int64_t id = 0;
+      if (!ParseInt(fields[1], &id) || id < 0 || id >= nu) {
+        return bad("user id out of range");
+      }
+      IGEPA_RETURN_IF_ERROR(ParseUserBids(fields[3], nv, &scratch_bids));
+      bid_off[static_cast<size_t>(id) + 1] =
+          static_cast<int64_t>(scratch_bids.size());
+    } else if (kind == "conflict") {
+      if (fields.size() != 3) return bad("bad conflict line");
+      int64_t a = 0, b = 0;
+      if (!ParseInt(fields[1], &a) || !ParseInt(fields[2], &b) || a < 0 ||
+          b < 0 || a >= nv || b >= nv || a == b) {
+        return bad("conflict ids out of range");
+      }
+      conflicts.emplace_back(static_cast<EventId>(std::min(a, b)),
+                             static_cast<EventId>(std::max(a, b)));
+    } else if (kind == "kernel") {
+      if (!header.v2) return bad("kernel record requires format version 2");
+      if (fields.size() != 2 || fields[1].empty()) return bad("bad kernel line");
+      kernel_id = fields[1];
+    } else if (kind != "event" && kind != "interest" && kind != "degree") {
+      return bad("unknown line kind '" + std::string(kind) + "'");
+    }
+  }
+  std::sort(conflicts.begin(), conflicts.end());
+  conflicts.erase(std::unique(conflicts.begin(), conflicts.end()),
+                  conflicts.end());
+  for (UserId u = 0; u < nu; ++u) bid_off[u + 1] += bid_off[u];
+  const int64_t num_bids = bid_off[static_cast<size_t>(nu)];
+
+  // Pass 2 — structure: capacities and the bid pool land in flat arrays at
+  // their pass-1 offsets.
+  std::vector<int32_t> event_cap(static_cast<size_t>(nv), 0);
+  std::vector<int32_t> user_cap(static_cast<size_t>(nu), 0);
+  std::vector<EventId> pool(static_cast<size_t>(num_bids), 0);
+  in.clear();
+  in.seekg(0);
+  std::getline(in, line);  // header, already parsed
+  while (std::getline(in, line)) {
+    const auto trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = Split(trimmed, ',');
+    const auto& kind = fields[0];
+    if (kind == "event") {
+      if (fields.size() != 3) return bad("bad event line");
+      int64_t id = 0, cap = 0;
+      if (!ParseInt(fields[1], &id) || !ParseInt(fields[2], &cap) || id < 0 ||
+          id >= nv || cap < 0) {
+        return bad("bad event fields");
+      }
+      event_cap[static_cast<size_t>(id)] = static_cast<int32_t>(cap);
+    } else if (kind == "user") {
+      int64_t id = 0, cap = 0;
+      if (!ParseInt(fields[1], &id) || !ParseInt(fields[2], &cap) || cap < 0) {
+        return bad("bad user fields");
+      }
+      user_cap[static_cast<size_t>(id)] = static_cast<int32_t>(cap);
+      IGEPA_RETURN_IF_ERROR(ParseUserBids(fields[3], nv, &scratch_bids));
+      std::copy(scratch_bids.begin(), scratch_bids.end(),
+                pool.begin() + bid_off[static_cast<size_t>(id)]);
+    }
+  }
+
+  // Pass 3 — values: interest lands at its pool slot (binary search in the
+  // user's bid span); non-bid pairs are unrepresentable in v3 and dropped,
+  // which is algorithm-equivalent (only bid pairs are ever evaluated).
+  std::vector<double> interest(static_cast<size_t>(num_bids), 0.0);
+  std::vector<double> degree(static_cast<size_t>(nu), 0.0);
+  in.clear();
+  in.seekg(0);
+  std::getline(in, line);
+  while (std::getline(in, line)) {
+    const auto trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = Split(trimmed, ',');
+    const auto& kind = fields[0];
+    if (kind == "interest") {
+      if (fields.size() != 4) return bad("bad interest line");
+      int64_t v = 0, u = 0;
+      double value = 0.0;
+      if (!ParseInt(fields[1], &v) || !ParseInt(fields[2], &u) ||
+          !ParseDouble(fields[3], &value) || v < 0 || v >= nv || u < 0 ||
+          u >= nu || value < 0.0 || value > 1.0) {
+        return bad("bad interest fields");
+      }
+      const int64_t b = bid_off[static_cast<size_t>(u)];
+      const int64_t e = bid_off[static_cast<size_t>(u) + 1];
+      const auto it = std::lower_bound(pool.begin() + b, pool.begin() + e,
+                                       static_cast<EventId>(v));
+      if (it != pool.begin() + e && *it == static_cast<EventId>(v)) {
+        interest[static_cast<size_t>(it - pool.begin())] = value;
+      }
+    } else if (kind == "degree") {
+      if (fields.size() != 3) return bad("bad degree line");
+      int64_t u = 0;
+      double value = 0.0;
+      if (!ParseInt(fields[1], &u) || !ParseDouble(fields[2], &value) ||
+          u < 0 || u >= nu || value < 0.0 || value > 1.0) {
+        return bad("bad degree fields");
+      }
+      degree[static_cast<size_t>(u)] = value;
+    }
+  }
+  in.close();
+
+  BinaryInstanceHeader bin_header;
+  bin_header.num_events = nv;
+  bin_header.num_users = nu;
+  bin_header.num_bids = num_bids;
+  bin_header.num_conflicts = static_cast<int64_t>(conflicts.size());
+  bin_header.beta = header.beta;
+  bin_header.kernel_id = kernel_id;
+  IGEPA_ASSIGN_OR_RETURN(BinaryInstanceWriter writer,
+                         BinaryInstanceWriter::Create(bin_path, bin_header));
+  for (EventId v = 0; v < nv; ++v) {
+    IGEPA_RETURN_IF_ERROR(writer.AddEvent(event_cap[static_cast<size_t>(v)]));
+  }
+  for (UserId u = 0; u < nu; ++u) {
+    const int64_t b = bid_off[static_cast<size_t>(u)];
+    const int64_t e = bid_off[static_cast<size_t>(u) + 1];
+    IGEPA_RETURN_IF_ERROR(writer.AddUser(
+        user_cap[static_cast<size_t>(u)],
+        std::span<const EventId>(pool.data() + b, static_cast<size_t>(e - b)),
+        std::span<const double>(interest.data() + b,
+                                static_cast<size_t>(e - b)),
+        degree[static_cast<size_t>(u)]));
+  }
+  for (const auto& [a, b] : conflicts) {
+    IGEPA_RETURN_IF_ERROR(writer.AddConflict(a, b));
+  }
+  return writer.Finish();
+}
+
+Status ConvertBinaryToCsv(const std::string& bin_path,
+                          const std::string& csv_path) {
+  IGEPA_ASSIGN_OR_RETURN(InstanceView view, InstanceView::Open(bin_path));
+  auto shared = std::make_shared<const InstanceView>(std::move(view));
+  IGEPA_ASSIGN_OR_RETURN(core::Instance instance, MaterializeInstance(shared));
+  return WriteInstanceCsv(instance, csv_path);
+}
+
+}  // namespace io
+}  // namespace igepa

@@ -41,8 +41,8 @@ TEST(CliTest, HelpListsEveryRegisteredSubcommand) {
   // this pins that every subcommand the tool accepts is also documented.
   const CliRun help = RunTool({"--help"});
   ASSERT_EQ(help.code, 0);
-  for (const char* command :
-       {"generate", "solve", "evaluate", "describe", "replay", "serve"}) {
+  for (const char* command : {"generate", "solve", "evaluate", "describe",
+                              "convert", "replay", "serve"}) {
     EXPECT_NE(help.out.find(command), std::string::npos)
         << "igepa --help does not list '" << command << "'";
     // And each listed command actually dispatches (its --help succeeds).
@@ -205,6 +205,101 @@ TEST(CliTest, GenerateMeetupKind) {
   const CliRun solve = RunTool({"solve", "--in=" + instance_path,
                             "--algorithm=gg"});
   EXPECT_EQ(solve.code, 0) << solve.err;
+}
+
+TEST(CliTest, ConvertRoundTripIsByteIdenticalAndSolvable) {
+  const std::string csv1 = TempPath("cli_convert1.csv");
+  const std::string bin = TempPath("cli_convert.bin");
+  const std::string csv2 = TempPath("cli_convert2.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=20",
+                     "--users=60", "--seed=4", "--out=" + csv1})
+                .code,
+            0);
+  const CliRun to_bin = RunTool({"convert", "--in=" + csv1, "--out=" + bin});
+  ASSERT_EQ(to_bin.code, 0) << to_bin.err;
+  EXPECT_NE(to_bin.out.find("csv -> binary"), std::string::npos);
+  const CliRun to_csv = RunTool({"convert", "--in=" + bin, "--out=" + csv2});
+  ASSERT_EQ(to_csv.code, 0) << to_csv.err;
+  EXPECT_NE(to_csv.out.find("binary -> csv"), std::string::npos);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  ASSERT_FALSE(slurp(csv1).empty());
+  EXPECT_EQ(slurp(csv1), slurp(csv2));
+
+  // solve/evaluate/describe accept the binary file directly (auto-detected),
+  // and produce the same result line as the CSV. Strip the timing suffix.
+  const auto stable_prefix = [](const std::string& out) {
+    return out.substr(0, out.rfind(" pairs in "));
+  };
+  const CliRun solve_csv =
+      RunTool({"solve", "--in=" + csv1, "--seed=2", "--algorithm=lp-packing"});
+  const CliRun solve_bin =
+      RunTool({"solve", "--in=" + bin, "--seed=2", "--algorithm=lp-packing"});
+  ASSERT_EQ(solve_csv.code, 0) << solve_csv.err;
+  ASSERT_EQ(solve_bin.code, 0) << solve_bin.err;
+  EXPECT_EQ(stable_prefix(solve_csv.out), stable_prefix(solve_bin.out));
+  EXPECT_EQ(RunTool({"describe", "--in=" + bin}).code, 0);
+}
+
+TEST(CliTest, GenerateBinaryWritesSolvableV3) {
+  const std::string bin = TempPath("cli_genbin.bin");
+  const CliRun gen =
+      RunTool({"generate", "--kind=synthetic", "--events=15", "--users=200",
+               "--seed=6", "--binary", "--out=" + bin});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("igepa-bin,3"), std::string::npos) << gen.out;
+  const CliRun solve = RunTool({"solve", "--in=" + bin});
+  EXPECT_EQ(solve.code, 0) << solve.err;
+  // --binary only exists for the synthetic kind.
+  EXPECT_NE(RunTool({"generate", "--kind=meetup", "--events=10", "--users=50",
+                     "--binary", "--out=" + TempPath("cli_genbin2.bin")})
+                .code,
+            0);
+}
+
+TEST(CliTest, SolveShardedIsThreadCountInvariant) {
+  const std::string bin = TempPath("cli_sharded.bin");
+  const std::string arr1 = TempPath("cli_sharded1.csv");
+  const std::string arr2 = TempPath("cli_sharded2.csv");
+  ASSERT_EQ(RunTool({"generate", "--kind=synthetic", "--events=20",
+                     "--users=600", "--seed=8", "--binary", "--out=" + bin})
+                .code,
+            0);
+  const CliRun a =
+      RunTool({"solve", "--in=" + bin, "--algorithm=lp-packing", "--sharded",
+               "--shards=3", "--seed=5", "--threads=1", "--out=" + arr1});
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_NE(a.out.find("sharded: 3 shards"), std::string::npos) << a.out;
+  const CliRun b =
+      RunTool({"solve", "--in=" + bin, "--algorithm=lp-packing", "--sharded",
+               "--shards=3", "--seed=5", "--threads=4", "--out=" + arr2});
+  ASSERT_EQ(b.code, 0) << b.err;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string arrangement = slurp(arr1);
+  ASSERT_FALSE(arrangement.empty());
+  EXPECT_EQ(arrangement, slurp(arr2));
+  // --sharded is an lp-packing mode, not a standalone algorithm.
+  EXPECT_NE(
+      RunTool({"solve", "--in=" + bin, "--algorithm=gg", "--sharded"}).code,
+      0);
+}
+
+TEST(CliTest, ConvertRejectsBadArguments) {
+  EXPECT_NE(RunTool({"convert", "--in=/nonexistent/i.csv",
+                     "--out=" + TempPath("cli_convert_out.bin")})
+                .code,
+            0);
+  EXPECT_NE(RunTool({"convert", "--in=" + TempPath("nope.csv")}).code, 0);
 }
 
 TEST(CliTest, EvaluateDetectsInfeasibleArrangement) {
