@@ -366,6 +366,59 @@ void BM_ServeEpoch(benchmark::State& state) {
 BENCHMARK(BM_ServeEpoch)->Arg(1)->Arg(16)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+// Background serve, submit-to-drain, at pipeline depth D (the --pipeline-depth
+// knob): one iteration Start()s the service, bursts a fixed single-mutation
+// stream through it and Stop()s (which drains). Depth 1 is the sequential
+// background loop; deeper runs overlap coalesce/publish with the solve, so
+// items_per_second across the args shows what stage overlap buys on an
+// in-memory service (the WAL-fsync amortization on top of this is measured by
+// the durable load-smoke harness, not here).
+void BM_ServePipelined(benchmark::State& state) {
+  const int32_t depth = static_cast<int32_t>(state.range(0));
+  constexpr int32_t kDeltas = 64;
+  const auto instance = MakeInstance(1000);
+  Rng rng(29);
+  gen::ArrivalProcessConfig config;
+  config.num_arrivals = kDeltas;
+  const auto arrivals = gen::GenerateArrivalProcess(instance, config, &rng);
+  serve::ServeOptions options;
+  options.num_threads = 1;
+  options.max_batch = 1;
+  options.queue_capacity = kDeltas;
+  options.epoch_ms = 0.2;
+  options.pipeline_depth = depth;
+  auto service = serve::ArrangementService::Create(instance, options);
+  if (!service.ok()) {
+    state.SkipWithError("service bootstrap failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!(*service)->Start().ok()) {
+      state.SkipWithError("start failed");
+      return;
+    }
+    for (const core::ArrivalEvent& arrival : arrivals) {
+      while (true) {
+        const Status submitted = (*service)->Submit(arrival.delta);
+        if (submitted.ok()) break;
+        if (submitted.code() != StatusCode::kResourceExhausted) {
+          state.SkipWithError("submit failed");
+          return;
+        }
+      }
+    }
+    if (!(*service)->Stop().ok()) {
+      state.SkipWithError("stop failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kDeltas);
+}
+// Real time, not CPU: the work happens on the service's stage threads while
+// the bench thread sleeps in Submit/Stop.
+BENCHMARK(BM_ServePipelined)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
 void BM_GreedyBestSet(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
   const auto catalog = core::AdmissibleCatalog::Build(instance, {});

@@ -32,9 +32,10 @@ import sys
 DEFAULT_FILTER = (
     r"^(BM_(BuildAdmissibleCatalog|CatalogEnumerateAndLpBuildFacade|"
     r"StructuredDualThreads|RoundFractionalCatalog|LpPackingEndToEnd|"
-    r"CatalogApplyDelta|StructuredDualWarmVsCold|ServeEpoch|"
+    r"CatalogApplyDelta|StructuredDualWarmVsCold|ServeEpoch|ServePipelined|"
     r"KernelRescore|CatalogBuildThreads|ScoreColumnsSoA|ShardedSolve)|"
-    r"LT_Serve(EpochLatency|PublishLatency))"
+    r"LT_Serve(EpochLatency|PublishLatency|StageIngest|StageSolve|"
+    r"StageCommit))"
 )
 
 THREAD_FAMILY = re.compile(r"^(BM_\w*Threads\w*)/(\d+)$")

@@ -63,3 +63,83 @@ if failures:
     sys.exit(1)
 print("load_smoke: SLO check passed")
 EOF
+
+echo "== pipelined throughput gate (durable, fsync-bound config)"
+# Group commit is what pipelining buys: with --max-batch 1 every epoch
+# appends + fsyncs the WAL, so the sequential loop is fsync-bound while
+# the pipelined ingest stage amortises one fsync over up to
+# --pipeline-depth admitted batches. The gate therefore runs the SAME
+# durable single-thread config twice — sequential vs --pipeline-depth 32
+# — and requires the pipelined run to apply >= 3x as many deltas/s.
+# The durable dirs live under the build dir on purpose: the CI workspace
+# is a real disk, and putting them on tmpfs would erase the fsync cost
+# (and with it the speedup being gated).
+gate_duration=2
+seq_dir="$build_dir/load-smoke-seq-state"
+pipe_dir="$build_dir/load-smoke-pipe-state"
+seq_json="$build_dir/BENCH_load_seq.json"
+pipe_json="$build_dir/BENCH_load_pipelined.json"
+rm -rf "$seq_dir" "$pipe_dir"
+
+gate_flags=(--load-test --duration "$gate_duration" --rate 60000 --events 6
+  --users 30 --threads 1 --max-batch 1 --epoch-ms 1 --queue-capacity 8192
+  --checkpoint-every 100000 --seed 19)
+"$igepa" serve "${gate_flags[@]}" --durable-dir "$seq_dir" --json "$seq_json"
+"$igepa" serve "${gate_flags[@]}" --durable-dir "$pipe_dir" \
+  --pipeline-depth 32 --json "$pipe_json"
+rm -rf "$seq_dir" "$pipe_dir"
+
+python3 - "$seq_json" "$pipe_json" <<'EOF'
+import json
+import sys
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    rows = {b["name"]: float(b["real_time"])
+            for b in report.get("benchmarks", [])}
+    return report["context"], rows
+
+seq_ctx, seq_rows = load(sys.argv[1])
+pipe_ctx, pipe_rows = load(sys.argv[2])
+
+failures = []
+seq_rate = float(seq_ctx["applied_per_second"])
+pipe_rate = float(pipe_ctx["applied_per_second"])
+speedup = pipe_rate / seq_rate if seq_rate > 0 else float("inf")
+print(f"  sequential: {seq_rate:,.0f} applied/s"
+      f"  (applied {seq_ctx['deltas_applied']})")
+print(f"  pipelined:  {pipe_rate:,.0f} applied/s"
+      f"  (applied {pipe_ctx['deltas_applied']},"
+      f" depth {pipe_ctx['pipeline_depth']})")
+print(f"  speedup: {speedup:.2f}x (gate: >= 3x)")
+if seq_rate <= 0:
+    failures.append("sequential run applied nothing")
+if speedup < 3.0:
+    failures.append(
+        f"pipelined durable serve is only {speedup:.2f}x the sequential "
+        "run; group commit should buy >= 3x on an fsync-bound config")
+if int(pipe_ctx.get("pipeline_depth", 0)) != 32:
+    failures.append("pipelined JSON does not record pipeline_depth=32")
+
+# The stage families are the pipelined run's observability contract
+# (tracked by scripts/bench_compare.py); their absolute values stay
+# advisory — hosted-runner latencies never gate.
+stage_names = {f"LT_ServeStage{stage}/{q}"
+               for stage in ("Ingest", "Solve", "Commit")
+               for q in ("p50", "p99")}
+missing = stage_names - set(pipe_rows)
+if missing:
+    failures.append(f"missing stage-latency entries: {sorted(missing)}")
+for name in sorted(stage_names & set(pipe_rows)):
+    print(f"  advisory {name}: {pipe_rows[name] / 1e6:.3f} ms")
+for name in ("LT_ServeEpochLatency/p99", "LT_ServePublishLatency/p99"):
+    if name in pipe_rows:
+        print(f"  advisory {name}: {pipe_rows[name] / 1e6:.3f} ms")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print("load_smoke: pipelined throughput gate passed")
+EOF

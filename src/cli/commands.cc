@@ -582,6 +582,16 @@ void PrintServiceStats(std::ostream& out, const serve::ServiceStats& stats) {
       << ", publish-latency ms p50/p99 "
       << FormatDouble(stats.p50_publish_latency_seconds * 1e3, 2) << "/"
       << FormatDouble(stats.p99_publish_latency_seconds * 1e3, 2) << "\n"
+      << "stage ms p50/p99 ingest "
+      << FormatDouble(stats.p50_ingest_seconds * 1e3, 2) << "/"
+      << FormatDouble(stats.p99_ingest_seconds * 1e3, 2) << ", solve "
+      << FormatDouble(stats.p50_solve_seconds * 1e3, 2) << "/"
+      << FormatDouble(stats.p99_solve_seconds * 1e3, 2) << ", commit "
+      << FormatDouble(stats.p50_commit_seconds * 1e3, 2) << "/"
+      << FormatDouble(stats.p99_commit_seconds * 1e3, 2)
+      << " (pipeline depth " << stats.pipeline_depth << ", queue peaks "
+      << stats.engine_queue_peak << "/" << stats.commit_queue_peak
+      << ", ingest stalls " << stats.ingest_stalls << ")\n"
       << "snapshot v" << stats.snapshot_version << ": lp "
       << FormatDouble(stats.lp_objective, 4) << ", utility "
       << FormatDouble(stats.utility, 4) << "\n";
@@ -621,6 +631,10 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
   parser.AddInt("max-batch", 256, "most deltas coalesced into one epoch");
   parser.AddInt("queue-capacity", 1024,
                 "pending deltas beyond this are rejected (backpressure)");
+  parser.AddInt("pipeline-depth", 1,
+                "background epoch pipelining: 1 = sequential epochs, >= 2 "
+                "overlaps coalesce+WAL, solve and publish on stage threads "
+                "(bit-identical snapshots for the same admitted batches)");
   parser.AddBool("realtime", false,
                  "drive the background epoch loop in wall-clock time, "
                  "replaying arrival gaps scaled by --speed (default: "
@@ -668,6 +682,9 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
     return Fail(err, Status::InvalidArgument(
                          "--max-batch and --queue-capacity must be >= 1"));
   }
+  if (parser.GetInt("pipeline-depth") < 1) {
+    return Fail(err, Status::InvalidArgument("--pipeline-depth must be >= 1"));
+  }
   if (parser.GetDouble("epoch-ms") <= 0) {
     return Fail(err, Status::InvalidArgument("--epoch-ms must be > 0"));
   }
@@ -697,6 +714,8 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
   options.seed = static_cast<uint64_t>(parser.GetInt("seed")) ^
                  0x9E3779B97F4A7C15ULL;
   options.durable_dir = parser.GetString("durable-dir");
+  options.pipeline_depth =
+      static_cast<int32_t>(parser.GetInt("pipeline-depth"));
   options.checkpoint_every =
       static_cast<int32_t>(parser.GetInt("checkpoint-every"));
   if (options.checkpoint_every < 1) {
@@ -739,6 +758,16 @@ int CmdServe(const std::vector<std::string>& args, std::ostream& out,
         << ", publish-latency ms p50/p99 "
         << FormatDouble(report->p50_publish_latency_seconds * 1e3, 2) << "/"
         << FormatDouble(report->p99_publish_latency_seconds * 1e3, 2) << "\n";
+    out << "stage ms p50/p99 ingest "
+        << FormatDouble(report->p50_ingest_seconds * 1e3, 2) << "/"
+        << FormatDouble(report->p99_ingest_seconds * 1e3, 2) << ", solve "
+        << FormatDouble(report->p50_solve_seconds * 1e3, 2) << "/"
+        << FormatDouble(report->p99_solve_seconds * 1e3, 2) << ", commit "
+        << FormatDouble(report->p50_commit_seconds * 1e3, 2) << "/"
+        << FormatDouble(report->p99_commit_seconds * 1e3, 2)
+        << " (pipeline depth " << report->pipeline_depth << ", queue peaks "
+        << report->engine_queue_peak << "/" << report->commit_queue_peak
+        << ", ingest stalls " << report->ingest_stalls << ")\n";
     out << "final snapshot v" << report->snapshot_version << ": lp "
         << FormatDouble(report->final_lp_objective, 4) << ", utility "
         << FormatDouble(report->final_utility, 4) << "\n";

@@ -58,6 +58,19 @@ struct LoadTestReport {
   double p99_publish_latency_seconds = 0.0;
   double final_lp_objective = 0.0;
   double final_utility = 0.0;
+  /// ---- Pipeline observability (ServeOptions::pipeline_depth; stage
+  /// percentiles are meaningful in sequential runs too, the queue counters
+  /// only when pipeline_depth >= 2). ----
+  int32_t pipeline_depth = 1;
+  double p50_ingest_seconds = 0.0;
+  double p99_ingest_seconds = 0.0;
+  double p50_solve_seconds = 0.0;
+  double p99_solve_seconds = 0.0;
+  double p50_commit_seconds = 0.0;
+  double p99_commit_seconds = 0.0;
+  int64_t engine_queue_peak = 0;
+  int64_t commit_queue_peak = 0;
+  int64_t ingest_stalls = 0;
 };
 
 /// Open-loop load test against a background-mode ArrangementService: samples
@@ -71,11 +84,12 @@ Result<LoadTestReport> RunLoadTest(core::Instance instance,
 
 /// Writes the report as google-benchmark-schema JSON so bench_compare.py
 /// tracks it alongside the microbenchmarks: the latency percentiles are
-/// `run_type: "iteration"` entries named LT_ServeEpochLatency/p50|p99 and
-/// LT_ServePublishLatency/p50|p99 (real_time in ns, lower is better — the
-/// only shape bench_compare reads); throughput and queue counters go into
-/// the `context` block, where higher-is-better numbers cannot be misread as
-/// latency regressions.
+/// `run_type: "iteration"` entries named LT_ServeEpochLatency/p50|p99,
+/// LT_ServePublishLatency/p50|p99 and the per-stage families
+/// LT_ServeStageIngest|Solve|Commit/p50|p99 (real_time in ns, lower is
+/// better — the only shape bench_compare reads); throughput, pipeline depth
+/// and queue counters go into the `context` block, where higher-is-better
+/// numbers cannot be misread as latency regressions.
 Status WriteLoadTestJson(const LoadTestReport& report,
                          const LoadTestOptions& options,
                          const std::string& path);

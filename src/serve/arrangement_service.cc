@@ -24,7 +24,9 @@ ArrangementService::ArrangementService(core::Instance instance,
     : instance_(std::move(instance)),
       options_(options),
       master_(options.seed),
-      crash_after_epoch_(GetEnvInt("IGEPA_CRASH_AFTER_EPOCH", -1)) {
+      crash_after_epoch_(GetEnvInt("IGEPA_CRASH_AFTER_EPOCH", -1)),
+      crash_at_stage_(
+          static_cast<int32_t>(GetEnvInt("IGEPA_CRASH_AT_STAGE", -1))) {
   dual_ = options_.dual;
   dual_.num_threads = options_.num_threads;
   delta_options_.admissible = options_.admissible;
@@ -56,6 +58,18 @@ Result<std::unique_ptr<ArrangementService>> ArrangementService::Create(
     return Status::InvalidArgument(
         "ServeOptions::checkpoint_every must be >= 1");
   }
+  if (options.pipeline_depth < 1) {
+    return Status::InvalidArgument(
+        "ServeOptions::pipeline_depth must be >= 1");
+  }
+  if (options.halt_at_stage < 0 || options.halt_at_stage > 2) {
+    return Status::InvalidArgument(
+        "ServeOptions::halt_at_stage must be in [0, 2]");
+  }
+  if (options.stage_jitter_max_micros < 0) {
+    return Status::InvalidArgument(
+        "ServeOptions::stage_jitter_max_micros must be >= 0");
+  }
   std::unique_ptr<ArrangementService> service(
       new ArrangementService(std::move(instance), options));
   IGEPA_RETURN_IF_ERROR(service->Bootstrap());
@@ -74,6 +88,10 @@ Result<std::unique_ptr<ArrangementService>> ArrangementService::Recover(
   if (options.checkpoint_every < 1) {
     return Status::InvalidArgument(
         "ServeOptions::checkpoint_every must be >= 1");
+  }
+  if (options.pipeline_depth < 1) {
+    return Status::InvalidArgument(
+        "ServeOptions::pipeline_depth must be >= 1");
   }
   IGEPA_ASSIGN_OR_RETURN(EngineSnapshot snap,
                          Checkpointer::Load(options.durable_dir));
@@ -193,6 +211,7 @@ Status ArrangementService::RestoreAndReplay(EngineSnapshot snap) {
   // submissions died with the process (see the durability contract).
   deltas_applied_ = snap.deltas_applied;
   deltas_submitted_ = snap.deltas_applied;
+  applied_cursor_ = snap.deltas_applied;
   epochs_total_ = snap.next_epoch;
 
   // Republish the checkpointed arrangement — a pure function of sampled_col
@@ -251,6 +270,7 @@ Status ArrangementService::RestoreAndReplay(EngineSnapshot snap) {
     metrics.snapshot_version = next_version_ - 1;
     deltas_applied_ += record.coalesced;
     deltas_submitted_ += record.coalesced;
+    applied_cursor_ += record.coalesced;
     ++epochs_total_;
     history_.push_back(metrics);
   }
@@ -284,10 +304,11 @@ Status ArrangementService::CheckpointInternal() {
   EngineSnapshot snap;
   snap.next_epoch = next_epoch_;
   snap.next_version = next_version_;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    snap.deltas_applied = deltas_applied_;
-  }
+  // The ENGINE's applied cursor, not the commit-side deltas_applied_: in
+  // pipelined mode the latter lags by in-flight commit tasks, and a snapshot
+  // must describe the engine state it captures. Sequentially the two are
+  // always equal here, so snapshot bytes are unchanged.
+  snap.deltas_applied = applied_cursor_;
   snap.rng_state = master_.state();
   snap.mu = warm_.mu;
   snap.choice = warm_.choice;
@@ -306,8 +327,15 @@ Status ArrangementService::CheckpointInternal() {
   IGEPA_RETURN_IF_ERROR(Checkpointer::Write(options_.durable_dir, snap));
   // Only after the snapshot rename is durable may the WAL shrink; recovery
   // additionally skips records older than the snapshot, so a crash between
-  // these two steps loses nothing.
-  return wal_->Reset();
+  // these two steps loses nothing. In pipelined mode the ingest stage may
+  // have appended records the engine has not applied yet — those are NOT in
+  // this snapshot, so the truncate is skipped and recovery's stale-record
+  // skip drops the already-captured prefix instead.
+  std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+  if (wal_last_appended_epoch_ < next_epoch_) {
+    return wal_->Reset();
+  }
+  return Status::OK();
 }
 
 Status ArrangementService::Checkpoint() {
@@ -383,43 +411,52 @@ Result<EpochMetrics> ArrangementService::RunEpoch() {
   return metrics;
 }
 
-Result<EpochMetrics> ArrangementService::RunEpochInternal() {
-  Stopwatch watch;
-  const auto now = std::chrono::steady_clock::now();
-
+ArrangementService::EpochTask ArrangementService::CoalesceLocked() {
   // Coalesce: pop up to max_batch pending deltas in submit order. Updates
   // inside an InstanceDelta apply in order with later-wins semantics, so
   // concatenation IS sequential application of the popped deltas.
-  InstanceDelta batch;
-  int32_t coalesced = 0;
-  double max_queue_delay = 0.0;
-  std::vector<std::chrono::steady_clock::time_point> enqueue_times;
+  EpochTask task;
+  task.started = std::chrono::steady_clock::now();
+  while (!queue_.empty() && task.coalesced < options_.max_batch) {
+    Pending& p = queue_.front();
+    task.batch.user_updates.insert(
+        task.batch.user_updates.end(),
+        std::make_move_iterator(p.delta.user_updates.begin()),
+        std::make_move_iterator(p.delta.user_updates.end()));
+    task.batch.event_updates.insert(task.batch.event_updates.end(),
+                                    p.delta.event_updates.begin(),
+                                    p.delta.event_updates.end());
+    task.batch.graph_updates.insert(task.batch.graph_updates.end(),
+                                    p.delta.graph_updates.begin(),
+                                    p.delta.graph_updates.end());
+    task.batch.interest_updates.insert(task.batch.interest_updates.end(),
+                                       p.delta.interest_updates.begin(),
+                                       p.delta.interest_updates.end());
+    task.enqueue_times.push_back(p.enqueued);
+    queue_.pop_front();
+    ++task.coalesced;
+  }
+  if (!task.enqueue_times.empty()) {
+    task.max_queue_delay_seconds =
+        std::chrono::duration<double>(task.started - task.enqueue_times.front())
+            .count();
+  }
+  return task;
+}
+
+Result<EpochMetrics> ArrangementService::RunEpochInternal() {
+  Stopwatch watch;
+
+  EpochTask task;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    while (!queue_.empty() && coalesced < options_.max_batch) {
-      Pending& p = queue_.front();
-      batch.user_updates.insert(
-          batch.user_updates.end(),
-          std::make_move_iterator(p.delta.user_updates.begin()),
-          std::make_move_iterator(p.delta.user_updates.end()));
-      batch.event_updates.insert(batch.event_updates.end(),
-                                 p.delta.event_updates.begin(),
-                                 p.delta.event_updates.end());
-      batch.graph_updates.insert(batch.graph_updates.end(),
-                                 p.delta.graph_updates.begin(),
-                                 p.delta.graph_updates.end());
-      batch.interest_updates.insert(batch.interest_updates.end(),
-                                    p.delta.interest_updates.begin(),
-                                    p.delta.interest_updates.end());
-      enqueue_times.push_back(p.enqueued);
-      queue_.pop_front();
-      ++coalesced;
-    }
+    task = CoalesceLocked();
   }
-  if (!enqueue_times.empty()) {
-    max_queue_delay =
-        std::chrono::duration<double>(now - enqueue_times.front()).count();
-  }
+  const int32_t coalesced = task.coalesced;
+  InstanceDelta batch = std::move(task.batch);
+  std::vector<std::chrono::steady_clock::time_point> enqueue_times =
+      std::move(task.enqueue_times);
+  const double max_queue_delay = task.max_queue_delay_seconds;
 
   EpochMetrics metrics;
   metrics.deltas_coalesced = coalesced;
@@ -436,13 +473,16 @@ Result<EpochMetrics> ArrangementService::RunEpochInternal() {
   // crash can always replay them. A failed append poisons the service — the
   // alternative would be applying a batch that recovery cannot reproduce.
   if (wal_ != nullptr) {
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
     if (Status logged = wal_->Append(next_epoch_, coalesced, batch);
         !logged.ok()) {
       std::unique_lock<std::mutex> lock(mutex_);
       last_error_ = logged;
       return logged;
     }
+    wal_last_appended_epoch_ = next_epoch_;
   }
+  metrics.ingest_seconds = watch.ElapsedSeconds();
 
   // ---- One tick of the shared incremental pipeline on the coalesced batch
   // (core::ApplyWarmTick — the same call a replay tick makes, which is what
@@ -467,11 +507,15 @@ Result<EpochMetrics> ArrangementService::RunEpochInternal() {
   metrics.lp_iterations = fractional_.lp.iterations;
   metrics.utility = tick->arrangement.Utility(instance_);
   metrics.max_queue_delay_seconds = max_queue_delay;
+  metrics.solve_seconds = watch.ElapsedSeconds() - metrics.ingest_seconds;
+  applied_cursor_ += coalesced;
 
   Publish(metrics.epoch, std::move(tick->arrangement), metrics.lp_objective,
           metrics.utility);
   metrics.snapshot_version = next_version_ - 1;
   metrics.epoch_seconds = watch.ElapsedSeconds();
+  metrics.commit_seconds =
+      metrics.epoch_seconds - metrics.ingest_seconds - metrics.solve_seconds;
 
   {
     const auto published = std::chrono::steady_clock::now();
@@ -486,6 +530,12 @@ Result<EpochMetrics> ArrangementService::RunEpochInternal() {
     }
     PushSample(&epoch_seconds_samples_, &epoch_seconds_next_,
                metrics.epoch_seconds);
+    PushSample(&ingest_seconds_samples_, &ingest_seconds_next_,
+               metrics.ingest_seconds);
+    PushSample(&solve_seconds_samples_, &solve_seconds_next_,
+               metrics.solve_seconds);
+    PushSample(&commit_seconds_samples_, &commit_seconds_next_,
+               metrics.commit_seconds);
     for (const auto& enqueued : enqueue_times) {
       PushSample(&publish_latency_samples_, &publish_latency_next_,
                  std::chrono::duration<double>(published - enqueued).count());
@@ -522,10 +572,14 @@ void ArrangementService::PushSample(std::vector<double>* ring, size_t* next,
 
 void ArrangementService::Publish(int64_t epoch, Arrangement arrangement,
                                  double lp_objective, double utility) {
-  auto snapshot = std::make_shared<const ArrangementSnapshot>(
-      next_version_++, epoch, std::move(arrangement), lp_objective, utility);
-  // The construction above happens outside the lock; the critical section is
-  // one pointer swap.
+  InstallSnapshot(std::make_shared<const ArrangementSnapshot>(
+      next_version_++, epoch, std::move(arrangement), lp_objective, utility));
+}
+
+void ArrangementService::InstallSnapshot(
+    std::shared_ptr<const ArrangementSnapshot> snapshot) {
+  // Snapshot construction happens before this call (outside the lock); the
+  // critical section is one pointer swap.
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   snapshot_ = std::move(snapshot);
 }
@@ -543,7 +597,15 @@ Status ArrangementService::Start() {
   if (loop_.joinable()) loop_.join();  // previous loop fully stopped
   running_ = true;
   stop_requested_ = false;
-  loop_ = std::thread([this] { BackgroundLoop(); });
+  if (options_.pipeline_depth > 1) {
+    engine_queue_ =
+        std::make_shared<StageQueue<EpochTask>>(options_.pipeline_depth);
+    commit_queue_ =
+        std::make_shared<StageQueue<CommitTask>>(options_.pipeline_depth);
+    loop_ = std::thread([this] { PipelineLoop(); });
+  } else {
+    loop_ = std::thread([this] { BackgroundLoop(); });
+  }
   return Status::OK();
 }
 
@@ -589,11 +651,253 @@ void ArrangementService::BackgroundLoop() {
   running_ = false;
 }
 
+// ---- Pipelined background mode (pipeline_depth >= 2; DESIGN.md §7). Three
+// stage threads — ingest, engine, commit — with strictly partitioned state:
+// ingest owns the submit queue drain and all WAL appends, the engine is the
+// ONLY writer of engine state (instance/catalog/warm/rounding/fractional/
+// master RNG/epoch+version counters) and the only checkpoint taker, commit
+// owns the snapshot install and the mutex_-guarded bookkeeping. Handoffs are
+// by-value through bounded StageQueues, so no stage ever aliases another's
+// mutable data, and the queue mutexes give the cross-thread happens-before.
+
+void ArrangementService::PipelineLoop() {
+  std::thread engine([this] { EngineStage(); });
+  std::thread commit([this] { CommitStage(); });
+  IngestStage();
+  // Close front to back: the engine drains whatever ingest admitted, then
+  // closes the commit queue itself; the extra Close here is an idempotent
+  // safety net for the engine-error path.
+  engine_queue_->Close();
+  engine.join();
+  commit_queue_->Close();
+  commit.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void ArrangementService::IngestStage() {
+  const auto period = std::chrono::duration<double, std::milli>(
+      options_.epoch_ms > 0 ? options_.epoch_ms : 1.0);
+  Rng jitter(options_.stage_jitter_seed ^ 0xA11CE0FULL);
+  // Epoch ids are assigned here, in admit order; the engine consumes them in
+  // the same order (FIFO queue) and advances next_epoch_ in lockstep. Stable
+  // to read once at stage start: the engine thread does not exist yet.
+  int64_t ingest_epoch = next_epoch_;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait_for(lock, period, [this] {
+        return stop_requested_ ||
+               static_cast<int64_t>(queue_.size()) >=
+                   static_cast<int64_t>(options_.max_batch);
+      });
+      if (!last_error_.ok()) return;
+      if (halted_.load(std::memory_order_acquire)) return;
+      if (stop_requested_ && queue_.empty()) return;
+    }
+    MaybeJitter(&jitter);
+    if (halted_.load(std::memory_order_acquire)) return;
+    Stopwatch ingest_watch;
+    // Admit up to pipeline_depth epoch batches per wakeup so one fsync below
+    // covers the whole group (group commit) — the durability cost amortizes
+    // with depth while each batch still becomes durable before its handoff.
+    std::vector<EpochTask> group;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!queue_.empty() && static_cast<int32_t>(group.size()) <
+                                    options_.pipeline_depth) {
+        EpochTask task = CoalesceLocked();
+        if (task.coalesced == 0) break;
+        task.epoch = ingest_epoch++;
+        group.push_back(std::move(task));
+      }
+    }
+    if (group.empty()) continue;
+    if (wal_ != nullptr) {
+      std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+      Status logged = Status::OK();
+      for (const EpochTask& task : group) {
+        logged = wal_->Append(task.epoch, task.coalesced, task.batch,
+                              /*sync=*/false);
+        if (!logged.ok()) break;
+      }
+      if (logged.ok()) logged = wal_->Sync();
+      if (!logged.ok()) {
+        // A batch that might not be durable must never reach the engine —
+        // recovery could not reproduce its effects. Poison and shut down.
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          if (last_error_.ok()) last_error_ = logged;
+        }
+        engine_queue_->Close();
+        return;
+      }
+      wal_last_appended_epoch_ = group.back().epoch;
+    }
+    const double ingest_seconds =
+        ingest_watch.ElapsedSeconds() / static_cast<double>(group.size());
+    for (EpochTask& task : group) {
+      task.ingest_seconds = ingest_seconds;
+      const int64_t epoch = task.epoch;
+      // Stage-0 boundary: the batch is durable but not handed off — a crash
+      // or halt here leaves a WAL record the engine never applied, which
+      // recovery replays.
+      if (StageBoundary(0, epoch)) return;
+      if (!engine_queue_->Push(std::move(task))) return;  // engine failed
+    }
+  }
+}
+
+void ArrangementService::EngineStage() {
+  Rng jitter(options_.stage_jitter_seed ^ 0xE46142ULL);
+  auto fail = [this](const Status& status) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (last_error_.ok()) last_error_ = status;
+    }
+    // Unblock a pushing ingest and a popping commit; PipelineLoop joins.
+    engine_queue_->Close();
+    commit_queue_->Close();
+  };
+  EpochTask task;
+  while (engine_queue_->Pop(&task)) {
+    if (halted_.load(std::memory_order_acquire)) continue;  // drain-discard
+    MaybeJitter(&jitter);
+    if (task.epoch != next_epoch_) {
+      fail(Status::Internal("pipeline epoch out of order: ingest handed " +
+                            std::to_string(task.epoch) + ", engine expects " +
+                            std::to_string(next_epoch_)));
+      return;
+    }
+    Stopwatch solve_watch;
+    // The fork happens strictly after the ingest stage made this batch
+    // durable (queue handoff order), preserving WAL-before-fork; exactly one
+    // fork per non-empty epoch in epoch order keeps the RNG stream — and so
+    // every published arrangement — bit-identical to the sequential loop.
+    Rng epoch_rng = master_.Fork();
+    auto tick = core::ApplyWarmTick(&instance_, &catalog_, &warm_,
+                                    &rounding_state_, &fractional_, task.batch,
+                                    &epoch_rng, dual_, delta_options_,
+                                    round_options_);
+    if (!tick.ok()) {
+      fail(tick.status());
+      return;
+    }
+    CommitTask out;
+    out.metrics.epoch = next_epoch_++;
+    out.metrics.deltas_coalesced = task.coalesced;
+    out.metrics.touched_users = tick->touched_users;
+    out.metrics.event_updates = tick->event_updates;
+    out.metrics.compacted = tick->compacted;
+    out.metrics.live_columns = catalog_.num_live_columns();
+    out.metrics.lp_objective = fractional_.lp.objective;
+    out.metrics.lp_iterations = fractional_.lp.iterations;
+    out.metrics.utility = tick->arrangement.Utility(instance_);
+    out.metrics.max_queue_delay_seconds = task.max_queue_delay_seconds;
+    out.metrics.ingest_seconds = task.ingest_seconds;
+    applied_cursor_ += task.coalesced;
+    // Version assignment and snapshot construction stay in the engine (the
+    // sole owner of next_version_) so a checkpoint taken below captures the
+    // same counters a sequential run would; the commit stage only swaps the
+    // pointer in.
+    out.snapshot = std::make_shared<const ArrangementSnapshot>(
+        next_version_++, out.metrics.epoch, std::move(tick->arrangement),
+        out.metrics.lp_objective, out.metrics.utility);
+    out.metrics.snapshot_version = next_version_ - 1;
+    out.enqueue_times = std::move(task.enqueue_times);
+    out.started = task.started;
+    if (wal_ != nullptr && next_epoch_ % options_.checkpoint_every == 0) {
+      if (Status checkpointed = CheckpointInternal(); !checkpointed.ok()) {
+        fail(checkpointed);
+        return;
+      }
+    }
+    out.metrics.solve_seconds = solve_watch.ElapsedSeconds();
+    // Stage-1 boundary: applied and (possibly) checkpointed, never
+    // published — recovery rebuilds this state from the WAL record.
+    if (StageBoundary(1, out.metrics.epoch)) continue;
+    if (!commit_queue_->Push(std::move(out))) return;
+  }
+  commit_queue_->Close();
+}
+
+void ArrangementService::CommitStage() {
+  Rng jitter(options_.stage_jitter_seed ^ 0xC03317ULL);
+  CommitTask task;
+  while (commit_queue_->Pop(&task)) {
+    if (halted_.load(std::memory_order_acquire)) continue;  // drain-discard
+    MaybeJitter(&jitter);
+    Stopwatch commit_watch;
+    InstallSnapshot(std::move(task.snapshot));
+    const auto published = std::chrono::steady_clock::now();
+    task.metrics.commit_seconds = commit_watch.ElapsedSeconds();
+    task.metrics.epoch_seconds =
+        std::chrono::duration<double>(published - task.started).count();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      deltas_applied_ += task.metrics.deltas_coalesced;
+      ++epochs_total_;
+      total_epoch_seconds_ += task.metrics.epoch_seconds;
+      history_.push_back(task.metrics);
+      while (static_cast<int64_t>(history_.size()) >
+             static_cast<int64_t>(
+                 std::max(1, options_.metrics_history_limit))) {
+        history_.pop_front();
+      }
+      PushSample(&epoch_seconds_samples_, &epoch_seconds_next_,
+                 task.metrics.epoch_seconds);
+      PushSample(&ingest_seconds_samples_, &ingest_seconds_next_,
+                 task.metrics.ingest_seconds);
+      PushSample(&solve_seconds_samples_, &solve_seconds_next_,
+                 task.metrics.solve_seconds);
+      PushSample(&commit_seconds_samples_, &commit_seconds_next_,
+                 task.metrics.commit_seconds);
+      for (const auto& enqueued : task.enqueue_times) {
+        PushSample(&publish_latency_samples_, &publish_latency_next_,
+                   std::chrono::duration<double>(published - enqueued).count());
+      }
+    }
+    // Stage-2 boundary: the epoch is fully visible (matches the sequential
+    // IGEPA_CRASH_AFTER_EPOCH kill point).
+    StageBoundary(2, task.metrics.epoch);
+  }
+}
+
+bool ArrangementService::StageBoundary(int32_t stage, int64_t epoch) {
+  if (crash_after_epoch_ >= 0 && epoch == crash_after_epoch_) {
+    const int32_t crash_stage = crash_at_stage_ >= 0 ? crash_at_stage_ : 2;
+    if (stage == crash_stage) {
+      // CI kill-point hook: die unceremoniously — no destructors, no
+      // flushes — so the recovery suite can prove the restart reproduces
+      // the durable state bit for bit.
+      std::raise(SIGKILL);
+    }
+  }
+  if (options_.halt_after_epoch >= 0 && epoch == options_.halt_after_epoch &&
+      stage == options_.halt_at_stage) {
+    halted_.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+void ArrangementService::MaybeJitter(Rng* jitter_rng) {
+  if (options_.stage_jitter_max_micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(jitter_rng->NextIndex(
+      static_cast<uint64_t>(options_.stage_jitter_max_micros) + 1)));
+}
+
 ServiceStats ArrangementService::Stats() const {
   ServiceStats stats;
+  stats.pipeline_depth = options_.pipeline_depth;
   std::shared_ptr<const ArrangementSnapshot> snap = snapshot();
   std::vector<double> epoch_sorted;
   std::vector<double> publish_sorted;
+  std::vector<double> ingest_sorted;
+  std::vector<double> solve_sorted;
+  std::vector<double> commit_sorted;
+  std::shared_ptr<StageQueue<EpochTask>> engine_queue;
+  std::shared_ptr<StageQueue<CommitTask>> commit_queue;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     stats.epochs = epochs_total_;
@@ -604,22 +908,37 @@ ServiceStats ArrangementService::Stats() const {
     stats.deltas_pending = static_cast<int64_t>(queue_.size());
     epoch_sorted = epoch_seconds_samples_;  // bounded copies; sort unlocked
     publish_sorted = publish_latency_samples_;
+    ingest_sorted = ingest_seconds_samples_;
+    solve_sorted = solve_seconds_samples_;
+    commit_sorted = commit_seconds_samples_;
+    engine_queue = engine_queue_;
+    commit_queue = commit_queue_;
   }
   if (snap != nullptr) {
     stats.snapshot_version = snap->version();
     stats.lp_objective = snap->lp_objective();
     stats.utility = snap->utility();
   }
-  std::sort(epoch_sorted.begin(), epoch_sorted.end());
-  if (!epoch_sorted.empty()) {
-    stats.p50_epoch_seconds = SortedPercentile(epoch_sorted, 0.50);
-    stats.p99_epoch_seconds = SortedPercentile(epoch_sorted, 0.99);
+  if (engine_queue != nullptr) {
+    const StageQueueStats qs = engine_queue->stats();
+    stats.engine_queue_peak = qs.peak_size;
+    stats.ingest_stalls = qs.push_waits;
   }
-  std::sort(publish_sorted.begin(), publish_sorted.end());
-  if (!publish_sorted.empty()) {
-    stats.p50_publish_latency_seconds = SortedPercentile(publish_sorted, 0.50);
-    stats.p99_publish_latency_seconds = SortedPercentile(publish_sorted, 0.99);
+  if (commit_queue != nullptr) {
+    stats.commit_queue_peak = commit_queue->stats().peak_size;
   }
+  auto fill = [](std::vector<double>* sorted, double* p50, double* p99) {
+    std::sort(sorted->begin(), sorted->end());
+    if (sorted->empty()) return;
+    *p50 = SortedPercentile(*sorted, 0.50);
+    *p99 = SortedPercentile(*sorted, 0.99);
+  };
+  fill(&epoch_sorted, &stats.p50_epoch_seconds, &stats.p99_epoch_seconds);
+  fill(&publish_sorted, &stats.p50_publish_latency_seconds,
+       &stats.p99_publish_latency_seconds);
+  fill(&ingest_sorted, &stats.p50_ingest_seconds, &stats.p99_ingest_seconds);
+  fill(&solve_sorted, &stats.p50_solve_seconds, &stats.p99_solve_seconds);
+  fill(&commit_sorted, &stats.p50_commit_seconds, &stats.p99_commit_seconds);
   return stats;
 }
 

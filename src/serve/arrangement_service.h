@@ -1,6 +1,7 @@
 #ifndef IGEPA_SERVE_ARRANGEMENT_SERVICE_H_
 #define IGEPA_SERVE_ARRANGEMENT_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -21,6 +22,7 @@
 #include "serve/delta_wal.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/stage_queue.h"
 
 namespace igepa {
 namespace serve {
@@ -67,6 +69,40 @@ struct ServeOptions {
   /// values bound WAL replay length; larger ones amortize the snapshot
   /// write.
   int32_t checkpoint_every = 16;
+  /// Background epoch pipelining (DESIGN.md §7). 1 = the historical
+  /// sequential loop: each epoch runs coalesce -> WAL -> solve -> publish to
+  /// completion before the next starts. >= 2 splits the background loop into
+  /// three stage threads — ingest (coalesce + WAL group-append), engine
+  /// (RNG fork + warm solve + checkpoint), commit (snapshot install +
+  /// bookkeeping) — connected by bounded StageQueues of this capacity, so
+  /// epoch k+1's coalesce and fsync overlap epoch k's solve, and the WAL
+  /// fsync is amortized over up to pipeline_depth epoch batches. Deterministic
+  /// pins survive unchanged: for the same admitted batch sequence the
+  /// pipelined run publishes bit-identical snapshots to the sequential loop
+  /// (the engine stage is the only RNG consumer and the only engine-state
+  /// writer), and WAL append + fsync still happen strictly before the fork.
+  /// Caller-driven RunEpoch() is always sequential regardless of this knob.
+  int32_t pipeline_depth = 1;
+  /// ---- Test-only hooks (the interleaving-stress and kill-point suites;
+  /// production callers leave all of these at their defaults). ----
+  /// Seeded per-stage schedule jitter: when nonzero, every pipeline stage
+  /// sleeps a random [0, stage_jitter_max_micros] us (from an Rng forked off
+  /// this seed per stage) before each unit of work, randomizing stage
+  /// interleavings reproducibly per seed. No effect on outputs — only on
+  /// schedules.
+  uint64_t stage_jitter_seed = 0;
+  int32_t stage_jitter_max_micros = 0;
+  /// In-process stage-boundary "crash": when halt_after_epoch >= 0, the
+  /// pipeline freezes exactly at stage halt_at_stage (0 = ingest, after that
+  /// epoch's WAL batch is durable but before its handoff; 1 = engine, after
+  /// apply + any checkpoint but before the publish handoff; 2 = commit, after
+  /// the publish) of that epoch: the halting stage latches the service
+  /// halted, every stage stops doing work (no further WAL appends, applies,
+  /// checkpoints or publishes), and Stop() joins without draining — the
+  /// in-process equivalent of SIGKILL at that boundary, so gtest can assert
+  /// recovery without forking. Background pipelined mode only.
+  int64_t halt_after_epoch = -1;
+  int32_t halt_at_stage = 2;
 };
 
 /// What one epoch did: how much it coalesced, what the solve cost, and what
@@ -88,6 +124,16 @@ struct EpochMetrics {
   double lp_objective = 0.0;
   int64_t lp_iterations = 0;
   double utility = 0.0;
+  /// Per-stage wall time (filled in sequential mode too, where the three
+  /// stages run back to back on one thread): ingest = coalesce + WAL
+  /// append/fsync (a group-committed pipelined fsync is apportioned evenly
+  /// over the batches it covered), solve = warm apply/rescore/dual/re-round,
+  /// commit = snapshot install + bookkeeping. In pipelined mode
+  /// epoch_seconds additionally includes inter-stage queue residency, so it
+  /// can exceed the stage sum.
+  double ingest_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double commit_seconds = 0.0;
 };
 
 /// Aggregate service counters plus latency percentiles. Percentiles are
@@ -111,6 +157,23 @@ struct ServiceStats {
   /// Latest published objective/utility (0 before the first publish).
   double lp_objective = 0.0;
   double utility = 0.0;
+  /// ---- Pipeline observability (ServeOptions::pipeline_depth; the stage
+  /// percentiles are filled in sequential mode too, the queue counters only
+  /// by pipelined background runs — they keep the last run's values after
+  /// Stop()). ----
+  int32_t pipeline_depth = 1;
+  double p50_ingest_seconds = 0.0;
+  double p99_ingest_seconds = 0.0;
+  double p50_solve_seconds = 0.0;
+  double p99_solve_seconds = 0.0;
+  double p50_commit_seconds = 0.0;
+  double p99_commit_seconds = 0.0;
+  /// Peak occupancy of the ingest->engine and engine->commit handoff queues.
+  int64_t engine_queue_peak = 0;
+  int64_t commit_queue_peak = 0;
+  /// Times the ingest stage blocked pushing into a full engine queue
+  /// (backpressure: the solve stage is the bottleneck).
+  int64_t ingest_stalls = 0;
 };
 
 /// An immutable, internally consistent view of one published arrangement.
@@ -275,6 +338,13 @@ class ArrangementService {
   }
 
   ServiceStats Stats() const;
+  /// Pending (submitted, not yet epoch-consumed) delta count. A cheap
+  /// counter read for hot loops — Stats() computes five sorted percentile
+  /// windows per call, far too heavy to sample per submit.
+  int64_t PendingDeltas() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(queue_.size());
+  }
   /// The most recent epochs' metrics (up to options.metrics_history_limit),
   /// in epoch order; no-op epochs excluded.
   std::vector<EpochMetrics> MetricsHistory() const;
@@ -291,6 +361,28 @@ class ArrangementService {
   struct Pending {
     core::InstanceDelta delta;
     std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// One admitted epoch batch in flight from ingest to engine. Immutable
+  /// after Push: the ingest stage builds it, moves it into the queue and
+  /// never touches it again.
+  struct EpochTask {
+    int64_t epoch = 0;
+    int32_t coalesced = 0;
+    core::InstanceDelta batch;
+    std::vector<std::chrono::steady_clock::time_point> enqueue_times;
+    std::chrono::steady_clock::time_point started;
+    double max_queue_delay_seconds = 0.0;
+    double ingest_seconds = 0.0;
+  };
+
+  /// One solved epoch in flight from engine to commit: the finished metrics
+  /// and the constructed-but-not-yet-installed snapshot.
+  struct CommitTask {
+    EpochMetrics metrics;
+    std::shared_ptr<const ArrangementSnapshot> snapshot;
+    std::vector<std::chrono::steady_clock::time_point> enqueue_times;
+    std::chrono::steady_clock::time_point started;
   };
 
   ArrangementService(core::Instance instance, const ServeOptions& options);
@@ -317,8 +409,39 @@ class ArrangementService {
 
   void BackgroundLoop();
 
+  // ---- Pipelined background mode (pipeline_depth >= 2; DESIGN.md §7).
+  // PipelineLoop runs on the loop_ thread: it spawns the engine and commit
+  // stage threads, runs the ingest stage inline, then closes the handoff
+  // queues front to back and joins. ----
+  void PipelineLoop();
+  /// Coalesce + WAL group-append stage: admits up to pipeline_depth epoch
+  /// batches per wakeup, appends them all, fsyncs ONCE, then hands each to
+  /// the engine — so a task in the engine queue is always durable, and the
+  /// fsync cost is amortized over the group.
+  void IngestStage();
+  /// The only RNG consumer and the only engine-state writer: fork -> warm
+  /// tick -> version assignment + snapshot construction -> checkpoint
+  /// cadence.
+  void EngineStage();
+  /// Snapshot install (pointer swap) + counters/history/latency bookkeeping.
+  void CommitStage();
+  /// Pops up to max_batch pending deltas into one EpochTask (no epoch id
+  /// assigned). Caller holds mutex_. Returns coalesced == 0 when the queue
+  /// was empty.
+  EpochTask CoalesceLocked();
+  /// Stage-boundary hooks: SIGKILL (IGEPA_CRASH_AFTER_EPOCH +
+  /// IGEPA_CRASH_AT_STAGE) or in-process halt (ServeOptions::halt_*) when
+  /// `epoch` completes stage `stage`. Returns true when the service just
+  /// halted (the caller must stop handing the epoch onward).
+  bool StageBoundary(int32_t stage, int64_t epoch);
+  /// Sleeps a seeded random [0, stage_jitter_max_micros] us when jitter is
+  /// enabled (schedule randomization for the interleaving-stress suite).
+  void MaybeJitter(Rng* jitter_rng);
+
   void Publish(int64_t epoch, core::Arrangement arrangement,
                double lp_objective, double utility);
+  /// The swap half of Publish: installs an already constructed snapshot.
+  void InstallSnapshot(std::shared_ptr<const ArrangementSnapshot> snapshot);
 
   /// Appends into a latency ring: grows until kLatencySampleCap, then
   /// overwrites the oldest sample. Caller holds mutex_.
@@ -338,10 +461,26 @@ class ArrangementService {
   Rng master_;
   int64_t next_epoch_ = 0;
   int64_t next_version_ = 1;
+  /// Deltas the ENGINE has applied — distinct from the mutex_-guarded
+  /// deltas_applied_, which in pipelined mode lags behind by in-flight commit
+  /// tasks. Checkpoints capture this cursor so a recovered service's applied
+  /// count matches its engine state regardless of where the commit stage was
+  /// at the crash; sequentially the two are always equal at checkpoint time,
+  /// so snapshot bytes are unchanged from the pre-pipeline format.
+  int64_t applied_cursor_ = 0;
 
-  // ---- Durability (null/-1 when durable_dir is empty). Owned by the epoch
-  // runner like the engine state above. ----
+  // ---- Durability (null/-1 when durable_dir is empty). The WAL handle and
+  // the appended-epoch watermark are guarded by wal_mutex_: in pipelined mode
+  // the ingest stage appends while the engine stage checkpoints. ----
+  std::mutex wal_mutex_;
   std::unique_ptr<DeltaWal> wal_;
+  /// Highest epoch id ever appended to the WAL (-1 before the first append);
+  /// under wal_mutex_. A checkpoint may truncate the WAL only when this is
+  /// < next_epoch_ — i.e. no record appended by the ingest stage is still
+  /// waiting for its engine apply. When records ARE in flight the truncate is
+  /// skipped; recovery's skip-stale-records pass drops the already-applied
+  /// prefix instead.
+  int64_t wal_last_appended_epoch_ = -1;
   /// Crash-injection hook for the CI kill-point suite: when >= 0 (from the
   /// IGEPA_CRASH_AFTER_EPOCH environment variable, read once at
   /// construction), the process raises SIGKILL at the very end of the epoch
@@ -349,6 +488,10 @@ class ArrangementService {
   /// any further work. Replay during Recover() bypasses RunEpochInternal and
   /// therefore never trips the hook.
   int64_t crash_after_epoch_ = -1;
+  /// Stage-granular variant for pipelined runs (IGEPA_CRASH_AT_STAGE; -1 =
+  /// unset, meaning stage 2 — the end-of-epoch boundary, matching the
+  /// sequential hook). Only consulted when crash_after_epoch_ >= 0.
+  int32_t crash_at_stage_ = -1;
 
   // ---- Published snapshot. Guarded by its own mutex whose critical
   // sections are a single shared_ptr copy/swap (no allocation, no solver
@@ -374,6 +517,12 @@ class ArrangementService {
   size_t epoch_seconds_next_ = 0;
   std::vector<double> publish_latency_samples_;
   size_t publish_latency_next_ = 0;
+  std::vector<double> ingest_seconds_samples_;
+  size_t ingest_seconds_next_ = 0;
+  std::vector<double> solve_seconds_samples_;
+  size_t solve_seconds_next_ = 0;
+  std::vector<double> commit_seconds_samples_;
+  size_t commit_seconds_next_ = 0;
   int64_t epochs_total_ = 0;
   double total_epoch_seconds_ = 0.0;
   int64_t deltas_submitted_ = 0;
@@ -391,6 +540,17 @@ class ArrangementService {
   /// refuses while set, closing the check-then-act window between
   /// RunEpoch()'s running_ check and its engine work.
   bool inline_epoch_ = false;  // under mutex_
+
+  // ---- Pipelined background mode. The handoff queues are created per
+  // Start() (capacity = pipeline_depth) and kept as shared_ptrs so Stats()
+  // can read their occupancy counters during and after the run. ----
+  std::shared_ptr<StageQueue<EpochTask>> engine_queue_;
+  std::shared_ptr<StageQueue<CommitTask>> commit_queue_;
+  /// Latched by a stage hitting its halt boundary (ServeOptions::halt_*):
+  /// every stage checks it before doing work — no further WAL appends,
+  /// applies, checkpoints or publishes — and Stop() skips the final drain,
+  /// freezing the service exactly as a SIGKILL at that boundary would.
+  std::atomic<bool> halted_{false};
 };
 
 }  // namespace serve

@@ -185,7 +185,7 @@ DeltaWal::~DeltaWal() {
 }
 
 Status DeltaWal::Append(int64_t epoch, int32_t coalesced,
-                        const core::InstanceDelta& batch) {
+                        const core::InstanceDelta& batch, bool sync) {
   std::ostringstream payload_out;
   IGEPA_RETURN_IF_ERROR(io::WriteDeltaStreamCsv(
       {batch}, num_events_, num_users_, payload_out, path_));
@@ -203,11 +203,19 @@ Status DeltaWal::Append(int64_t epoch, int32_t coalesced,
   std::memcpy(record.data() + kHeaderSize, payload.data(), payload.size());
 
   IGEPA_RETURN_IF_ERROR(WriteFully(fd_, record.data(), record.size(), path_));
-  if (::fsync(fd_) != 0) {
+  if (sync && ::fsync(fd_) != 0) {
     return Status::IOError("fsync failed on " + path_ + ": " +
                            std::strerror(errno));
   }
   size_bytes_ += static_cast<int64_t>(record.size());
+  return Status::OK();
+}
+
+Status DeltaWal::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed on " + path_ + ": " +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 

@@ -67,10 +67,17 @@ class DeltaWal {
   DeltaWal(const DeltaWal&) = delete;
   DeltaWal& operator=(const DeltaWal&) = delete;
 
-  /// Appends one record and fsyncs before returning — when Append returns OK
-  /// the batch survives any crash.
+  /// Appends one record. With sync (the default) it fsyncs before returning —
+  /// when Append returns OK the batch survives any crash. With sync = false
+  /// the record is only written: the caller MUST call Sync() before treating
+  /// the batch as admitted (the pipelined serve path appends a group of epoch
+  /// batches unsynced and pays one fsync for all of them — group commit).
   Status Append(int64_t epoch, int32_t coalesced,
-                const core::InstanceDelta& batch);
+                const core::InstanceDelta& batch, bool sync = true);
+
+  /// Fsyncs everything appended so far; the durability barrier paired with
+  /// Append(..., /*sync=*/false).
+  Status Sync();
 
   /// Empties the log (after a checkpoint has captured everything it holds)
   /// and fsyncs. Records logged before the snapshot's epoch are additionally

@@ -1,0 +1,126 @@
+#ifndef IGEPA_UTIL_STAGE_QUEUE_H_
+#define IGEPA_UTIL_STAGE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace igepa {
+
+/// Occupancy counters of one StageQueue, for pipeline observability: how much
+/// flowed through, how full the stage ran, and how often either side blocked
+/// on the other (pushed waits = the producer outran the consumer; pop waits =
+/// the consumer starved). Snapshot-consistent: taken under the queue mutex.
+struct StageQueueStats {
+  int64_t pushed = 0;
+  int64_t popped = 0;
+  int64_t peak_size = 0;
+  /// Push() calls that had to wait for space (backpressure onto the producer
+  /// stage — the bounded-capacity guarantee doing its job).
+  int64_t push_waits = 0;
+  /// Pop() calls that had to wait for an item (the consumer stage idled).
+  int64_t pop_waits = 0;
+};
+
+/// A bounded blocking MPMC handoff queue between pipeline stages: the
+/// reusable primitive under ArrangementService's epoch pipeline (DESIGN.md
+/// §7). Items move by value (stage handoffs carry immutable batches — the
+/// producer must not retain references into a pushed item), capacity bounds
+/// the stage's in-flight work, and Close() drains cleanly: pushes fail
+/// immediately, pops keep succeeding until the queue is empty and only then
+/// report closed — so a pipeline shuts down by closing queues front to back
+/// without losing admitted work.
+///
+/// All operations are thread-safe. The queue's mutex acquire/release pairs
+/// give the usual happens-before: everything the producer wrote before
+/// Push() is visible to the consumer after the matching Pop().
+template <typename T>
+class StageQueue {
+ public:
+  explicit StageQueue(int64_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  StageQueue(const StageQueue&) = delete;
+  StageQueue& operator=(const StageQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) if the
+  /// queue is or becomes closed before space frees up.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (static_cast<int64_t>(items_.size()) >= capacity_ && !closed_) {
+      ++stats_.push_waits;
+      not_full_.wait(lock, [this] {
+        return closed_ || static_cast<int64_t>(items_.size()) < capacity_;
+      });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    if (static_cast<int64_t>(items_.size()) > stats_.peak_size) {
+      stats_.peak_size = static_cast<int64_t>(items_.size());
+    }
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns false only when the queue is
+  /// closed AND drained — every successfully pushed item is popped exactly
+  /// once, in push order.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty() && !closed_) {
+      ++stats_.pop_waits;
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    }
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: subsequent (and blocked) pushes fail, pops drain what
+  /// remains then fail. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+  StageQueueStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  StageQueueStats stats_;
+};
+
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_STAGE_QUEUE_H_

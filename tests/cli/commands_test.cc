@@ -522,6 +522,49 @@ TEST(CliTest, ServeRejectsBadFlags) {
   EXPECT_NE(RunTool({"serve", "--sweep=1,zero"}).code, 0);
   EXPECT_NE(RunTool({"serve", "--in=/nonexistent/i.csv"}).code, 0);
   EXPECT_NE(RunTool({"serve", "--arrivals=/nonexistent/a.csv"}).code, 0);
+  EXPECT_NE(RunTool({"serve", "--pipeline-depth=0"}).code, 0);
+}
+
+TEST(CliTest, ServeHelpDocumentsPipelineDepth) {
+  const CliRun help = RunTool({"serve", "--help"});
+  ASSERT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("--pipeline-depth"), std::string::npos) << help.out;
+}
+
+TEST(CliTest, ServePipelinedRealtimePrintsStageMetrics) {
+  const CliRun run =
+      RunTool({"serve", "--users=80", "--events=12", "--count=10",
+               "--rate=500", "--epoch-ms=5", "--realtime", "--speed=100",
+               "--threads=1", "--pipeline-depth=3"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("served 10 deltas"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("stage ms p50/p99"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("pipeline depth 3"), std::string::npos) << run.out;
+}
+
+TEST(CliTest, ServePipelinedLoadTestReportsStageFamilies) {
+  const std::string json_path = TempPath("cli_pipelined_load.json");
+  const CliRun run =
+      RunTool({"serve", "--load-test", "--users=60", "--events=12",
+               "--rate=2000", "--duration=0.3", "--epoch-ms=1",
+               "--max-batch=8", "--threads=1", "--pipeline-depth=4",
+               "--json=" + json_path});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("load test:"), std::string::npos);
+  EXPECT_NE(run.out.find("stage ms p50/p99"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("pipeline depth 4"), std::string::npos) << run.out;
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.is_open());
+  const std::string json((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  for (const char* family :
+       {"LT_ServeStageIngest/p50", "LT_ServeStageIngest/p99",
+        "LT_ServeStageSolve/p50", "LT_ServeStageSolve/p99",
+        "LT_ServeStageCommit/p50", "LT_ServeStageCommit/p99",
+        "\"pipeline_depth\": 4"}) {
+    EXPECT_NE(json.find(family), std::string::npos)
+        << "load-test JSON is missing " << family;
+  }
 }
 
 }  // namespace

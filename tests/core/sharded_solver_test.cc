@@ -3,10 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "conflict/conflict.h"
 #include "core/lp_packing.h"
 #include "gen/synthetic.h"
+#include "graph/interaction_model.h"
+#include "interest/interest.h"
+#include "io/binary_instance.h"
 #include "tests/core/test_instances.h"
 #include "util/logging.h"
 
@@ -161,6 +169,125 @@ TEST(ShardedSolverTest, SingleShardStillLegalizesFeasibly) {
   // scaling slack.
   EXPECT_GE(stats.lp_upper_bound, stats.lp_objective);
   EXPECT_LE(stats.lp_objective, kTinyOptimum * 1.01);
+}
+
+TEST(ShardedSolverTest, MoreShardsThanUsersClampsToOnePerUser) {
+  // Asking for 64 shards over 3 users must clamp to 3 single-user shards and
+  // solve exactly as num_shards=3 would: the layout — and therefore the
+  // arrangement — is a pure function of the CLAMPED count.
+  const Instance instance = MakeTinyInstance();
+  ShardedSolveOptions options;
+  options.num_shards = 64;
+  Rng rng_clamped(13);
+  ShardedSolveStats stats;
+  auto clamped = ShardedSolve(instance, &rng_clamped, options, &stats);
+  ASSERT_TRUE(clamped.ok()) << clamped.status();
+  EXPECT_EQ(stats.num_shards, 3);
+  EXPECT_TRUE(clamped->CheckFeasible(instance).ok());
+
+  options.num_shards = 3;
+  Rng rng_exact(13);
+  auto exact = ShardedSolve(instance, &rng_exact, options);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(clamped->pairs(), exact->pairs());
+}
+
+TEST(ShardedSolverTest, SingleShardTracksMonolithicOnSynthetic) {
+  // K=1 is the degenerate decomposition: one catalog, coordination over one
+  // shard. It is not the same code path as LpPacking, but it solves the same
+  // LP — the utilities must agree within the sampling slack.
+  const Instance instance = MakeSynthetic(53, 25, 800);
+  Rng rng_mono(17);
+  auto mono = LpPacking(instance, &rng_mono, {});
+  ASSERT_TRUE(mono.ok()) << mono.status();
+
+  ShardedSolveOptions options;
+  options.num_shards = 1;
+  Rng rng_shard(17);
+  ShardedSolveStats stats;
+  auto sharded = ShardedSolve(instance, &rng_shard, options, &stats);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_EQ(stats.num_shards, 1);
+  EXPECT_TRUE(sharded->CheckFeasible(instance).ok());
+  EXPECT_GT(sharded->Utility(instance), 0.9 * mono->Utility(instance));
+}
+
+TEST(ShardedSolverTest, ShardOfEmptyBidUsersContributesNothingAndBreaksNothing) {
+  // 12 users over 4 events where the LAST four users bid on nothing: with 3
+  // contiguous shards the third shard's oracle has no admissible column for
+  // any of its users. Its level-1 LP and every coordination oracle pass must
+  // degenerate to zero without tripping the solver, and the legalize sweep
+  // must leave those users unassigned.
+  std::vector<EventDef> events(4);
+  for (EventDef& event : events) event.capacity = 3;
+  std::vector<UserDef> users(12);
+  auto interest = std::make_shared<interest::TableInterest>(4, 12);
+  std::vector<double> degrees(12, 0.25);
+  for (int32_t u = 0; u < 8; ++u) {
+    users[static_cast<size_t>(u)].capacity = 2;
+    users[static_cast<size_t>(u)].bids = {u % 4, (u + 1) % 4};
+    interest->Set(u % 4, u, 0.6 + 0.05 * u);
+    interest->Set((u + 1) % 4, u, 0.3);
+  }
+  for (int32_t u = 8; u < 12; ++u) {
+    users[static_cast<size_t>(u)].capacity = 2;  // capacity but no bids
+  }
+  Instance instance(std::move(events), std::move(users),
+                    std::make_shared<conflict::MatrixConflict>(4),
+                    std::move(interest),
+                    std::make_shared<graph::TableInteractionModel>(degrees),
+                    0.5);
+  ASSERT_TRUE(instance.Validate().ok());
+
+  ShardedSolveOptions options;
+  options.num_shards = 3;  // shard 2 = users [8, 12): all empty-bid
+  Rng rng(29);
+  ShardedSolveStats stats;
+  auto arrangement = ShardedSolve(instance, &rng, options, &stats);
+  ASSERT_TRUE(arrangement.ok()) << arrangement.status();
+  EXPECT_EQ(stats.num_shards, 3);
+  EXPECT_TRUE(arrangement->CheckFeasible(instance).ok());
+  EXPECT_GT(arrangement->Utility(instance), 0.0);
+  for (UserId u = 8; u < 12; ++u) {
+    EXPECT_TRUE(arrangement->EventsOf(u).empty()) << "user " << u;
+  }
+}
+
+TEST(ShardedSolverTest, BinaryBackedInstanceMatchesInMemoryBitForBit) {
+  // The mmap path (WriteInstanceBinary -> InstanceView -> Materialize) feeds
+  // the same weights through adapters instead of in-memory tables; the
+  // sharded solve over it must be indistinguishable — pairs, objective,
+  // bound and iteration counts.
+  const Instance in_memory = MakeSynthetic(61, 20, 600);
+  const std::string path =
+      testing::TempDir() + "/sharded_binary_instance.bin";
+  std::remove(path.c_str());
+  ASSERT_TRUE(io::WriteInstanceBinary(in_memory, path).ok());
+  auto view = io::InstanceView::Open(path);
+  ASSERT_TRUE(view.ok()) << view.status();
+  auto materialized = io::MaterializeInstance(
+      std::make_shared<io::InstanceView>(std::move(*view)));
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+
+  ShardedSolveOptions options;
+  options.num_shards = 3;
+  Rng rng_mem(41);
+  ShardedSolveStats stats_mem;
+  auto from_memory = ShardedSolve(in_memory, &rng_mem, options, &stats_mem);
+  ASSERT_TRUE(from_memory.ok()) << from_memory.status();
+  Rng rng_bin(41);
+  ShardedSolveStats stats_bin;
+  auto from_binary =
+      ShardedSolve(*materialized, &rng_bin, options, &stats_bin);
+  ASSERT_TRUE(from_binary.ok()) << from_binary.status();
+
+  EXPECT_EQ(from_memory->pairs(), from_binary->pairs());
+  EXPECT_EQ(stats_mem.lp_objective, stats_bin.lp_objective);
+  EXPECT_EQ(stats_mem.lp_upper_bound, stats_bin.lp_upper_bound);
+  EXPECT_EQ(stats_mem.coordination_iterations,
+            stats_bin.coordination_iterations);
+  EXPECT_EQ(from_memory->Utility(in_memory),
+            from_binary->Utility(*materialized));
 }
 
 TEST(ShardedSolverTest, InvalidOptionsAreRejected) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -317,6 +318,88 @@ TEST(RecoveryTest, RepeatedCrashRecoverCyclesStayPinned) {
   EXPECT_EQ(got.lp_objective, want.lp_objective);
   EXPECT_EQ(got.utility, want.utility);
   EXPECT_EQ(got.pairs, want.pairs);
+}
+
+// Pipelined kill sweep, one level deeper than the epoch-granular sweep
+// above: the in-process halt hook freezes the pipeline at EVERY stage
+// boundary (0 = batch durable but not handed to the engine, 1 = applied and
+// possibly checkpointed but not published, 2 = published) of chosen epochs —
+// the SIGKILL-equivalent points a 3-deep pipeline adds over the sequential
+// loop. Recovery must land on SOME consistent prefix of the submit order:
+// at least the halt epoch's batch survives (it was durable before the
+// boundary), and whatever count A survived must be byte-identical to a
+// sequential run over the first A deltas. Group-committed WAL appends and
+// in-flight stage tasks make A itself schedule-dependent; the byte pin is
+// what rules out every torn state.
+TEST(RecoveryTest, PipelinedStageBoundaryHaltsRecoverBitIdentically) {
+  const core::Instance base = MakeInstance(100, 201);
+  const auto deltas = MakeDeltas(base, 6, 202);
+  const int64_t total = static_cast<int64_t>(deltas.size());
+
+  // Per-prefix sequential references, built lazily: forced-checkpoint
+  // snapshot bytes after the first `applied` deltas, one epoch each.
+  std::map<int64_t, std::string> ref_bytes;
+  auto reference_bytes = [&](int64_t applied) {
+    auto it = ref_bytes.find(applied);
+    if (it == ref_bytes.end()) {
+      const std::string dir =
+          StateDir("recovery_stage_ref_" + std::to_string(applied));
+      ServeOptions options = DurableOptions(dir);
+      options.max_batch = 1;
+      auto service = ArrangementService::Create(base, options);
+      EXPECT_TRUE(service.ok()) << service.status().ToString();
+      RunEpochs(service->get(), deltas, 0, static_cast<size_t>(applied));
+      EXPECT_TRUE((*service)->Checkpoint().ok());
+      it = ref_bytes
+               .emplace(applied, FileBytes(Checkpointer::SnapshotPath(dir)))
+               .first;
+    }
+    return it->second;
+  };
+
+  for (const int64_t halt_epoch : {0, 2, 4}) {
+    for (int32_t stage = 0; stage <= 2; ++stage) {
+      const std::string label = "halt epoch " + std::to_string(halt_epoch) +
+                                " stage " + std::to_string(stage);
+      const std::string dir =
+          StateDir("recovery_stage_" + std::to_string(halt_epoch) + "_" +
+                   std::to_string(stage));
+      ServeOptions options = DurableOptions(dir);
+      options.max_batch = 1;
+      options.pipeline_depth = 3;
+      options.epoch_ms = 0.2;
+      // A frozen pipeline stops draining: the queue must hold the whole
+      // stream or the submitter would spin on backpressure forever.
+      options.queue_capacity = 64;
+      options.stage_jitter_seed = static_cast<uint64_t>(7 * halt_epoch + stage);
+      options.stage_jitter_max_micros = 100;
+      options.halt_after_epoch = halt_epoch;
+      options.halt_at_stage = stage;
+      {
+        auto service = ArrangementService::Create(base, options);
+        ASSERT_TRUE(service.ok()) << label;
+        ASSERT_TRUE((*service)->Start().ok()) << label;
+        for (const core::InstanceDelta& delta : deltas) {
+          ASSERT_TRUE((*service)->Submit(delta).ok()) << label;
+        }
+        // Stop() joins without draining once the halt latches; dropping the
+        // frozen service here is the crash.
+        ASSERT_TRUE((*service)->Stop().ok()) << label;
+      }
+      ServeOptions recover_options = options;
+      recover_options.halt_after_epoch = -1;  // recovered service runs free
+      auto recovered = ArrangementService::Recover(recover_options);
+      ASSERT_TRUE(recovered.ok())
+          << label << ": " << recovered.status().ToString();
+      const int64_t applied = (*recovered)->Stats().deltas_applied;
+      EXPECT_GE(applied, halt_epoch + 1) << label;
+      EXPECT_LE(applied, total) << label;
+      ASSERT_TRUE((*recovered)->Checkpoint().ok()) << label;
+      EXPECT_EQ(FileBytes(Checkpointer::SnapshotPath(dir)),
+                reference_bytes(applied))
+          << label << " recovered " << applied << " deltas";
+    }
+  }
 }
 
 TEST(RecoveryTest, RecoverValidatesOptions) {

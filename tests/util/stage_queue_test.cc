@@ -1,0 +1,136 @@
+// StageQueue: the bounded blocking handoff primitive under the pipelined
+// serve loop. Pins FIFO order, capacity backpressure, the close-then-drain
+// shutdown contract, and the occupancy counters the serve stats surface.
+
+#include "util/stage_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace igepa {
+namespace {
+
+TEST(StageQueueTest, PopsInPushOrder) {
+  StageQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    EXPECT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(StageQueueTest, CapacityIsClampedToAtLeastOne) {
+  StageQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1);
+}
+
+TEST(StageQueueTest, PushBlocksUntilSpaceFreesUp) {
+  StageQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  bool second_pushed = false;
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    second_pushed = true;
+  });
+  // push_waits increments BEFORE the producer blocks, so spinning on it
+  // proves the producer is genuinely parked on a full queue before we pop.
+  while (queue.stats().push_waits < 1) std::this_thread::yield();
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.Pop(&out));  // blocks until the producer lands 2
+  EXPECT_EQ(out, 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed);
+  EXPECT_GE(queue.stats().push_waits, 1);
+}
+
+TEST(StageQueueTest, CloseDrainsThenFails) {
+  StageQueue<int> queue(8);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));  // closed: push fails immediately
+  int out = -1;
+  EXPECT_TRUE(queue.Pop(&out));  // still draining
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(&out));  // closed AND drained
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(StageQueueTest, CloseUnblocksWaitingProducerAndConsumer) {
+  StageQueue<int> full(1);
+  ASSERT_TRUE(full.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.Push(2)); });
+  StageQueue<int> empty(1);
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(empty.Pop(&out));
+  });
+  full.Close();
+  empty.Close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(StageQueueTest, MoveOnlyItemsFlowThrough) {
+  StageQueue<std::unique_ptr<int>> queue(2);
+  ASSERT_TRUE(queue.Push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.Pop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StageQueueTest, StatsCountFlowAndPeak) {
+  StageQueue<int> queue(4);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.Push(i));
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  ASSERT_TRUE(queue.Push(3));
+  const StageQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.pushed, 4);
+  EXPECT_EQ(stats.popped, 1);
+  EXPECT_EQ(stats.peak_size, 3);
+}
+
+TEST(StageQueueTest, ManyProducersOneConsumerDeliversEverythingOnce) {
+  StageQueue<int64_t> queue(4);
+  constexpr int kProducers = 4;
+  constexpr int64_t kPerProducer = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int64_t> seen_counts(kProducers * kPerProducer, 0);
+  std::thread consumer([&] {
+    int64_t item = 0;
+    for (int64_t n = 0; n < kProducers * kPerProducer; ++n) {
+      ASSERT_TRUE(queue.Pop(&item));
+      ++seen_counts[static_cast<size_t>(item)];
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  for (const int64_t count : seen_counts) EXPECT_EQ(count, 1);
+  const StageQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.pushed, kProducers * kPerProducer);
+  EXPECT_EQ(stats.popped, kProducers * kPerProducer);
+  EXPECT_LE(stats.peak_size, queue.capacity());
+}
+
+}  // namespace
+}  // namespace igepa
