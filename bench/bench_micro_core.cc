@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -455,6 +456,33 @@ void BM_ShardedSolve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ShardedSolve)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// The same 4-shard solve with catalogs spilled to the igepa-cat,1 file and a
+// pathological one-shard residency budget — every shard acquisition evicts,
+// so the tracked trajectory prices the worst-case mmap/munmap overhead of
+// the budgeted path against BM_ShardedSolve's in-memory row.
+void BM_ShardedSolveSpill(benchmark::State& state) {
+  const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));
+  core::ShardedSolveStats stats;
+  core::ShardedSolveOptions options;
+  options.num_shards = 4;
+  options.memory_budget_bytes = uint64_t{1} << 40;  // probe: all resident
+  {
+    Rng rng(3);
+    auto arrangement = core::ShardedSolve(instance, &rng, options, &stats);
+    benchmark::DoNotOptimize(arrangement);
+  }
+  options.memory_budget_bytes = stats.shard_footprint_bytes;
+  for (auto _ : state) {
+    Rng rng(3);
+    auto arrangement = core::ShardedSolve(instance, &rng, options, &stats);
+    benchmark::DoNotOptimize(arrangement);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["evictions"] =
+      benchmark::Counter(static_cast<double>(stats.evictions));
+}
+BENCHMARK(BM_ShardedSolveSpill)->Arg(2000)->Unit(benchmark::kMillisecond);
 
 void BM_GreedyGg(benchmark::State& state) {
   const auto instance = MakeInstance(static_cast<int32_t>(state.range(0)));

@@ -12,11 +12,19 @@
 #      a different objective;
 #   4. both sharded runs must certify a small coordination gap, and the
 #      second solve must reproduce the first bit-for-bit when repeated
-#      (determinism at the process level).
+#      (determinism at the process level);
+#   5. the solve runs again with --memory-budget-mb (default 8, override via
+#      SCALE_BUDGET_MB): catalogs spill to the igepa-cat,1 file, level 2 runs
+#      on mmapped views under the residency manager, and the arrangement must
+#      be byte-identical to the unbudgeted run — eviction and repage are
+#      bit-invisible. When SCALE_VCAP_MB is set the budgeted solve runs under
+#      a hard `ulimit -v` address-space cap (with MALLOC_ARENA_MAX=2 so glibc
+#      does not reserve per-thread arenas), proving the budget actually bounds
+#      the process: the unbudgeted path cannot run under the same cap.
 #
 # Wall-clock timings land in a small JSON artifact for trend visibility
-# (absolute seconds are advisory on shared runners — only the agreement and
-# determinism checks gate).
+# (absolute seconds are advisory on shared runners — only the agreement,
+# determinism and bit-identity checks gate).
 #
 # Usage: scripts/scale_smoke.sh <build-dir> [users] [timing-json]
 set -euo pipefail
@@ -88,6 +96,40 @@ cmp "$work/sharded.csv" "$work/sharded2.csv" || {
   exit 1
 }
 
+budget_mb=${SCALE_BUDGET_MB:-8}
+vcap_mb=${SCALE_VCAP_MB:-}
+echo "== budgeted solve: catalogs spilled, --memory-budget-mb $budget_mb" \
+     "${vcap_mb:+(under ulimit -v ${vcap_mb}MB)}"
+t0=$(now_ms)
+if [[ -n "$vcap_mb" ]]; then
+  ( ulimit -v $(( vcap_mb * 1024 ))
+    MALLOC_ARENA_MAX=2 "$igepa" solve --in "$work/instance.bin" \
+      --algorithm lp-packing --sharded --seed 7 \
+      --memory-budget-mb "$budget_mb" --out "$work/budgeted.csv" ) \
+    | tee "$work/budgeted.log"
+else
+  solve "$work/budgeted.csv" "$work/budgeted.log" \
+    --memory-budget-mb "$budget_mb"
+fi
+t_budgeted=$(( $(now_ms) - t0 ))
+grep -q "^residency:" "$work/budgeted.log" || {
+  echo "FAIL: budgeted solve did not report residency stats" >&2
+  exit 1
+}
+cmp "$work/sharded.csv" "$work/budgeted.csv" || {
+  echo "FAIL: budgeted (spilled) solve diverged from the in-memory" \
+       "arrangement — eviction must be bit-invisible" >&2
+  exit 1
+}
+echo "   byte-identical to the in-memory arrangement"
+
+residency_field() { # <n-th number in the residency line>
+  grep "^residency:" "$work/budgeted.log" | grep -o '[0-9]\+' | sed -n "$1p"
+}
+spill_bytes=$(residency_field 1)
+page_ins=$(residency_field 3)
+evictions=$(residency_field 4)
+
 if [[ -n "$timing_json" ]]; then
   cat > "$timing_json" <<EOF
 {
@@ -95,13 +137,18 @@ if [[ -n "$timing_json" ]]; then
   "generate_ms": $t_generate,
   "sharded_solve_ms": $t_sharded,
   "single_shard_solve_ms": $t_single,
+  "budgeted_solve_ms": $t_budgeted,
   "sharded_utility": $u_sharded,
   "single_shard_utility": $u_single,
-  "certified_gap": $g_sharded
+  "certified_gap": $g_sharded,
+  "memory_budget_mb": $budget_mb,
+  "spill_bytes": ${spill_bytes:-0},
+  "page_ins": ${page_ins:-0},
+  "evictions": ${evictions:-0}
 }
 EOF
   echo "== timings written to $timing_json"
 fi
 
 echo "scale smoke OK: $users users, sharded ${t_sharded}ms," \
-     "single-shard ${t_single}ms"
+     "single-shard ${t_single}ms, budgeted ${t_budgeted}ms"

@@ -186,6 +186,13 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
                 "sharded solve: shard count (0 = derive from shard width; "
                 "results are identical for every thread count at a fixed "
                 "shard count)");
+  parser.AddInt("memory-budget-mb", 0,
+                "sharded solve: catalog residency budget in MB (0 = keep "
+                "all shard catalogs in RAM). When set, catalogs spill to a "
+                "per-run igepa-cat,1 file after level 1 and level 2 runs on "
+                "mmapped views under an LRU manager, bounding peak catalog "
+                "RSS by (budget + one shard); results are byte-identical "
+                "for any budget");
   parser.AddString("kernel", "", kKernelHelp);
   parser.AddBool("help", false, "show this help");
   if (Status s = parser.Parse(args); !s.ok()) return Fail(err, s);
@@ -215,6 +222,15 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
     return Fail(err, Status::InvalidArgument(
                          "--sharded requires --algorithm lp-packing"));
   }
+  const int64_t memory_budget_mb = parser.GetInt("memory-budget-mb");
+  if (memory_budget_mb < 0) {
+    return Fail(err, Status::InvalidArgument(
+                         "--memory-budget-mb must be >= 0"));
+  }
+  if (memory_budget_mb > 0 && !parser.GetBool("sharded")) {
+    return Fail(err, Status::InvalidArgument(
+                         "--memory-budget-mb requires --sharded"));
+  }
   Stopwatch watch;
   Result<core::Arrangement> arrangement = Status::Internal("unset");
   core::ShardedSolveStats sharded_stats;
@@ -223,6 +239,8 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
     options.alpha = parser.GetDouble("alpha");
     options.num_shards = static_cast<int32_t>(parser.GetInt("shards"));
     options.num_threads = threads;
+    options.memory_budget_bytes =
+        static_cast<uint64_t>(memory_budget_mb) << 20;
     arrangement =
         core::ShardedSolve(*instance, &rng, options, &sharded_stats);
   } else if (algorithm == "lp-packing") {
@@ -276,6 +294,15 @@ int CmdSolve(const std::vector<std::string>& args, std::ostream& out,
         << sharded_stats.coordination_iterations
         << " coordination iterations, " << sharded_stats.pairs_repaired
         << " pairs repaired\n";
+    if (memory_budget_mb > 0) {
+      out << "residency: spilled " << sharded_stats.spill_bytes
+          << " catalog bytes (largest shard "
+          << sharded_stats.shard_footprint_bytes << "), "
+          << sharded_stats.page_ins << " page-ins, "
+          << sharded_stats.evictions << " evictions, peak "
+          << sharded_stats.peak_resident_shards << " resident shards ("
+          << sharded_stats.peak_resident_bytes << " bytes)\n";
+    }
   }
   if (!parser.GetString("out").empty()) {
     if (Status s =

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/catalog_lanes.h"
 #include "core/instance.h"
 #include "core/instance_delta.h"
 #include "core/types.h"
@@ -281,6 +282,27 @@ class AdmissibleCatalog {
   const std::vector<int32_t>& user_begin() const { return user_begin_; }
   const std::vector<double>& weights() const { return weight_; }
   const std::vector<UserId>& col_users() const { return col_user_; }
+
+  /// Borrowing raw-pointer view of the flat arrays in the CatalogLanes lane
+  /// contract shared with the mmap-backed io::CatalogView. Only meaningful on
+  /// a canonical() catalog (no tombstones, no overflow appends) — exactly the
+  /// state a freshly built shard catalog is in; this is the export half of
+  /// the spill path (DESIGN.md §8).
+  CatalogLanes Lanes() const {
+    CatalogLanes lanes;
+    lanes.num_users = num_users();
+    lanes.num_events = num_events();
+    lanes.num_columns = num_columns();
+    lanes.num_pairs = num_pairs();
+    lanes.pool = pool_.data();
+    lanes.col_begin = col_begin_.data();
+    lanes.user_begin = user_begin_.data();
+    lanes.weight = weight_.data();
+    lanes.col_user = col_user_.data();
+    lanes.event_begin = event_begin_.data();
+    lanes.event_cols = event_cols_.data();
+    return lanes;
+  }
 
  private:
   /// Sorts each span, computes weights, derives col_user_, truncation summary

@@ -1,0 +1,61 @@
+#ifndef IGEPA_CORE_CATALOG_LANES_H_
+#define IGEPA_CORE_CATALOG_LANES_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/types.h"
+
+namespace igepa {
+namespace core {
+
+/// Raw-pointer view over a *canonical* catalog's flat CSR arrays — the lane
+/// contract shared by the in-RAM `AdmissibleCatalog` (via `Lanes()`) and the
+/// memory-mapped `io::CatalogView` (via `lanes()`). The sharded solver's
+/// level-2 coordination loop and global legalize sweep consume only this
+/// struct, so the spilled and in-memory paths run literally the same code
+/// over identical array contents — which is what makes catalog eviction and
+/// repage bit-invisible to results (DESIGN.md §8).
+///
+/// Canonical means no tombstones and no overflow appends: every array is
+/// exactly what `AdmissibleCatalog::Build` produced. Freshly built shard
+/// catalogs are always canonical. The pointers borrow; the owner (catalog or
+/// mapping) must outlive every read.
+struct CatalogLanes {
+  int32_t num_users = 0;
+  int32_t num_events = 0;
+  int32_t num_columns = 0;
+  int64_t num_pairs = 0;  // Σ_j |S_j| — pool and event_cols entries
+
+  const EventId* pool = nullptr;       // num_pairs, sets concatenated
+  const int64_t* col_begin = nullptr;  // num_columns + 1
+  const int32_t* user_begin = nullptr; // num_users + 1 (column ids)
+  const double* weight = nullptr;      // num_columns
+  const UserId* col_user = nullptr;    // num_columns, column owner
+  const int64_t* event_begin = nullptr;  // num_events + 1 (inverted index)
+  const int32_t* event_cols = nullptr;   // num_pairs, columns per event
+
+  /// The events of column j, ascending.
+  std::span<const EventId> set(int32_t j) const {
+    const int64_t b = col_begin[j];
+    return {pool + b, static_cast<size_t>(col_begin[j + 1] - b)};
+  }
+  /// Column range [begin, end) of user u (contiguous, canonical layout).
+  int32_t user_columns_begin(UserId u) const { return user_begin[u]; }
+  int32_t user_columns_end(UserId u) const { return user_begin[u + 1]; }
+  /// The user owning column j.
+  UserId user_of(int32_t j) const { return col_user[j]; }
+
+  /// Visits every column whose set contains v, ascending by column id.
+  template <typename Fn>
+  void ForEachColumnOfEvent(EventId v, Fn&& fn) const {
+    const int64_t b = event_begin[v];
+    const int64_t e = event_begin[v + 1];
+    for (int64_t p = b; p < e; ++p) fn(event_cols[p]);
+  }
+};
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_CATALOG_LANES_H_

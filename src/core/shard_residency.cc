@@ -1,0 +1,118 @@
+#include "core/shard_residency.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace igepa {
+namespace core {
+
+ShardResidency::Lease::Lease(Lease&& other) noexcept
+    : owner_(std::exchange(other.owner_, nullptr)),
+      index_(std::exchange(other.index_, -1)),
+      lanes_(std::exchange(other.lanes_, nullptr)) {}
+
+ShardResidency::Lease& ShardResidency::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    owner_ = std::exchange(other.owner_, nullptr);
+    index_ = std::exchange(other.index_, -1);
+    lanes_ = std::exchange(other.lanes_, nullptr);
+  }
+  return *this;
+}
+
+ShardResidency::Lease::~Lease() { Release(); }
+
+void ShardResidency::Lease::Release() {
+  if (owner_ != nullptr) {
+    owner_->Unpin(index_);
+    owner_ = nullptr;
+    lanes_ = nullptr;
+  }
+}
+
+ShardResidency::ShardResidency(const io::CatalogSpill* spill,
+                               uint64_t budget_bytes)
+    : spill_(spill), budget_bytes_(budget_bytes) {
+  const uint64_t largest = std::max<uint64_t>(spill->max_section_bytes(), 1);
+  max_pinned_ = static_cast<int32_t>(std::clamp<uint64_t>(
+      budget_bytes / largest, 1, static_cast<uint64_t>(spill->num_catalogs())));
+  entries_.resize(static_cast<size_t>(spill->num_catalogs()));
+}
+
+Result<ShardResidency::Lease> ShardResidency::Acquire(int32_t index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Entry& entry = entries_[static_cast<size_t>(index)];
+  for (;;) {
+    if (entry.resident) {  // LRU hit — pin, no paging
+      if (entry.pins++ == 0) ++pinned_count_;
+      entry.tick = ++clock_;
+      return Lease(this, index, &entry.view.lanes());
+    }
+    // A miss consumes a pin slot; wait until the budget admits one more
+    // distinct pinned section. Residents can be evicted, pins cannot.
+    if (pinned_count_ < max_pinned_) break;
+    slot_free_.wait(lock);
+  }
+
+  // Evict unpinned sections, least recently used first, until the new one
+  // fits the budget (or nothing evictable remains — then the pin-slot cap
+  // alone bounds residency at <= budget + one section).
+  const uint64_t need = spill_->section_bytes(index);
+  while (resident_bytes_ + need > budget_bytes_ &&
+         resident_count_ > pinned_count_) {
+    int32_t victim = -1;
+    uint64_t oldest = 0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (e.resident && e.pins == 0 && (victim < 0 || e.tick < oldest)) {
+        victim = static_cast<int32_t>(i);
+        oldest = e.tick;
+      }
+    }
+    if (victim < 0) break;
+    Entry& ev = entries_[static_cast<size_t>(victim)];
+    resident_bytes_ -= spill_->section_bytes(victim);
+    --resident_count_;
+    ev.view = io::CatalogView();  // munmap
+    ev.resident = false;
+    ++stats_.evictions;
+  }
+
+  // Mapping under the lock keeps the bookkeeping trivially consistent; mmap
+  // of an already-cached file range is microseconds, not worth dropping the
+  // lock for.
+  auto mapped = spill_->Map(index);
+  if (!mapped.ok()) return mapped.status();
+  entry.view = std::move(mapped).value();
+  entry.resident = true;
+  entry.pins = 1;
+  entry.tick = ++clock_;
+  ++pinned_count_;
+  ++resident_count_;
+  resident_bytes_ += need;
+  ++stats_.page_ins;
+  stats_.peak_resident_shards =
+      std::max(stats_.peak_resident_shards, resident_count_);
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, resident_bytes_);
+  return Lease(this, index, &entry.view.lanes());
+}
+
+void ShardResidency::Unpin(int32_t index) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[static_cast<size_t>(index)];
+    if (--entry.pins == 0) --pinned_count_;
+  }
+  slot_free_.notify_all();
+}
+
+ResidencyStats ShardResidency::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace core
+}  // namespace igepa

@@ -1,0 +1,110 @@
+#ifndef IGEPA_CORE_SHARD_RESIDENCY_H_
+#define IGEPA_CORE_SHARD_RESIDENCY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/catalog_lanes.h"
+#include "io/catalog_spill.h"
+#include "util/result.h"
+
+namespace igepa {
+namespace core {
+
+/// Residency counters for one sharded solve, merged into ShardedSolveStats
+/// and surfaced by `solve --sharded` (ISSUE satellite 1).
+struct ResidencyStats {
+  uint64_t page_ins = 0;            ///< sections mapped in (first map + repage)
+  uint64_t evictions = 0;           ///< sections munmapped to make room
+  int32_t peak_resident_shards = 0; ///< max concurrently mapped sections
+  uint64_t peak_resident_bytes = 0; ///< max summed bytes of mapped sections
+};
+
+/// LRU residency manager over a sealed io::CatalogSpill: at most
+/// `budget_bytes` of catalog sections stay mapped, plus the one section a
+/// waiter is about to map — so peak catalog RSS is bounded by
+/// (budget + one shard's footprint) regardless of shard count.
+///
+/// `Acquire(si)` returns a pinned RAII Lease whose `lanes()` is exactly the
+/// CatalogLanes the in-memory path serves from AdmissibleCatalog::Lanes();
+/// a pinned section is never evicted, an unpinned one survives in LRU order
+/// until space is needed. When the budget admits fewer distinct sections
+/// than there are concurrent acquirers, excess acquirers block on a
+/// condition variable until a lease drops — each solver worker holds at most
+/// one lease at a time, so this cannot deadlock. Eviction and repage only
+/// unmap/remap identical read-only bytes, so they are bit-invisible to
+/// results by construction.
+class ShardResidency {
+ public:
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    const CatalogLanes& lanes() const { return *lanes_; }
+    bool held() const { return owner_ != nullptr; }
+    /// Unpins early (destruction does the same).
+    void Release();
+
+   private:
+    friend class ShardResidency;
+    Lease(ShardResidency* owner, int32_t index, const CatalogLanes* lanes)
+        : owner_(owner), index_(index), lanes_(lanes) {}
+    ShardResidency* owner_ = nullptr;
+    int32_t index_ = -1;
+    const CatalogLanes* lanes_ = nullptr;
+  };
+
+  /// `spill` must be sealed and outlive this manager. A budget below one
+  /// section's footprint still admits exactly one resident section (the
+  /// +one-shard slack in the RSS bound); rejecting such budgets with a clear
+  /// error is the solver's job, where the footprint is known with context.
+  ShardResidency(const io::CatalogSpill* spill, uint64_t budget_bytes);
+
+  ShardResidency(const ShardResidency&) = delete;
+  ShardResidency& operator=(const ShardResidency&) = delete;
+
+  /// Pins section `index`, mapping it first if not resident (evicting
+  /// unpinned LRU sections to honor the budget) and blocking while the
+  /// budget's pin slots are exhausted. Thread-safe.
+  Result<Lease> Acquire(int32_t index);
+
+  ResidencyStats stats() const;
+  /// Distinct sections the budget lets be pinned at once (>= 1).
+  int32_t max_pinned() const { return max_pinned_; }
+
+ private:
+  friend class Lease;
+  void Unpin(int32_t index);
+
+  struct Entry {
+    io::CatalogView view;
+    int32_t pins = 0;
+    uint64_t tick = 0;  // LRU clock value at last touch
+    bool resident = false;
+  };
+
+  const io::CatalogSpill* spill_;
+  const uint64_t budget_bytes_;
+  int32_t max_pinned_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::vector<Entry> entries_;  // sized num_catalogs, never resized
+  uint64_t clock_ = 0;
+  uint64_t resident_bytes_ = 0;
+  int32_t resident_count_ = 0;
+  int32_t pinned_count_ = 0;
+  ResidencyStats stats_;
+};
+
+}  // namespace core
+}  // namespace igepa
+
+#endif  // IGEPA_CORE_SHARD_RESIDENCY_H_

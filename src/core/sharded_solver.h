@@ -2,6 +2,7 @@
 #define IGEPA_CORE_SHARDED_SOLVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/admissible_catalog.h"
@@ -50,6 +51,21 @@ struct ShardedSolveOptions {
   /// Optional caller-owned pool (borrowed; must outlive the call). When set,
   /// `num_threads` is ignored.
   ThreadPool* workers = nullptr;
+  /// Catalog residency budget in bytes (0 = keep every shard catalog in RAM,
+  /// the classic path). When set, each shard's catalog spills once into a
+  /// per-run `igepa-cat,1` file right after its level-1 warm solve and is
+  /// dropped from RAM; level 2 and the global legalize sweep run on mmapped
+  /// CatalogView lanes under an LRU ShardResidency manager, so peak catalog
+  /// RSS is bounded by (budget + one shard's footprint). Must be at least the
+  /// largest single shard's catalog footprint — smaller budgets are rejected
+  /// with an InvalidArgument naming the measured minimum. Eviction and repage
+  /// are bit-invisible: the arrangement is byte-identical to the in-memory
+  /// path for any budget (pinned by test).
+  uint64_t memory_budget_bytes = 0;
+  /// Directory for the spill file (empty = $TMPDIR, else /tmp). The file is
+  /// unlinked as soon as it is sealed — mappings are served from the kept
+  /// file descriptor, so a crash never leaks a spill file.
+  std::string spill_dir;
 
   ShardedSolveOptions() {
     level1.target_gap = 0.05;
@@ -71,6 +87,14 @@ struct ShardedSolveStats {
   int64_t coordination_iterations = 0;
   /// Pairs dropped by the global legalize sweep.
   int32_t pairs_repaired = 0;
+  /// Residency diagnostics — populated only on budgeted runs
+  /// (memory_budget_bytes > 0), all zero otherwise.
+  uint64_t spill_bytes = 0;            ///< total igepa-cat,1 section payload
+  uint64_t shard_footprint_bytes = 0;  ///< largest single shard's section
+  uint64_t page_ins = 0;               ///< sections mapped (first map + repage)
+  uint64_t evictions = 0;              ///< sections unmapped to honor budget
+  int32_t peak_resident_shards = 0;    ///< max concurrently mapped sections
+  uint64_t peak_resident_bytes = 0;    ///< max summed mapped section bytes
 };
 
 /// Two-level sharded LP-packing for instances past the single-catalog comfort

@@ -1,0 +1,79 @@
+#ifndef IGEPA_UTIL_MMAP_H_
+#define IGEPA_UTIL_MMAP_H_
+
+#include <sys/mman.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+
+namespace igepa {
+namespace util {
+
+/// RAII read-only, private memory mapping of one file range — the paging
+/// primitive under io::CatalogView and core::ShardResidency. munmap on
+/// destruction drops the pages from this process's resident set; the kernel
+/// page cache keeps the file data, so re-mapping an evicted range later is a
+/// soft fault, not a disk read. Move-only.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+  MappedRegion(MappedRegion&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedRegion& operator=(MappedRegion&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+  ~MappedRegion() { Reset(); }
+
+  /// Maps [offset, offset + size) of `fd` read-only. `offset` must be
+  /// page-aligned (mmap's contract); the fd may be closed afterwards — the
+  /// mapping holds its own reference to the file.
+  static Result<MappedRegion> Map(int fd, uint64_t offset, size_t size,
+                                  const std::string& what) {
+    MappedRegion region;
+    if (size == 0) return region;
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd,
+                       static_cast<off_t>(offset));
+    if (map == MAP_FAILED) {
+      return Status::IOError("mmap failed on " + what + ": " +
+                             std::strerror(errno));
+    }
+    region.data_ = map;
+    region.size_ = size;
+    return region;
+  }
+
+  const void* data() const { return data_; }
+  const unsigned char* bytes() const {
+    return static_cast<const unsigned char*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+  void Reset() {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace util
+}  // namespace igepa
+
+#endif  // IGEPA_UTIL_MMAP_H_

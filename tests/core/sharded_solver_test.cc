@@ -308,6 +308,121 @@ TEST(ShardedSolverTest, InvalidOptionsAreRejected) {
   EXPECT_FALSE(ShardedSolve(instance, nullptr, options).ok());
 }
 
+TEST(ShardedSolverTest, SpilledSolveMatchesInMemoryBitForBit) {
+  const Instance instance = MakeSynthetic(23, 40, 600);
+  ShardedSolveOptions options;
+  options.num_shards = 4;
+
+  Rng rng_mem(9);
+  ShardedSolveStats stats_mem;
+  auto in_memory = ShardedSolve(instance, &rng_mem, options, &stats_mem);
+  ASSERT_TRUE(in_memory.ok()) << in_memory.status();
+  EXPECT_EQ(stats_mem.spill_bytes, 0u);
+  EXPECT_EQ(stats_mem.page_ins, 0u);
+
+  // A generous budget (everything resident) and the pathological minimum
+  // (exactly one shard's footprint, forcing an eviction on nearly every
+  // acquisition) must both reproduce the in-memory arrangement and LP state
+  // byte for byte — eviction/repage only remaps identical read-only bytes.
+  ShardedSolveOptions generous = options;
+  generous.memory_budget_bytes = uint64_t{1} << 30;
+  Rng rng_gen(9);
+  ShardedSolveStats stats_gen;
+  auto spilled = ShardedSolve(instance, &rng_gen, generous, &stats_gen);
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+  EXPECT_EQ(in_memory->pairs(), spilled->pairs());
+  EXPECT_EQ(stats_mem.lp_objective, stats_gen.lp_objective);
+  EXPECT_EQ(stats_mem.lp_upper_bound, stats_gen.lp_upper_bound);
+  EXPECT_EQ(stats_mem.gap, stats_gen.gap);
+  EXPECT_EQ(stats_mem.coordination_iterations,
+            stats_gen.coordination_iterations);
+  EXPECT_EQ(stats_mem.pairs_repaired, stats_gen.pairs_repaired);
+  EXPECT_GT(stats_gen.spill_bytes, 0u);
+  EXPECT_GT(stats_gen.shard_footprint_bytes, 0u);
+  EXPECT_GT(stats_gen.page_ins, 0u);
+  EXPECT_EQ(stats_gen.evictions, 0u);  // budget holds every shard
+  EXPECT_EQ(stats_gen.peak_resident_shards, stats_gen.num_shards);
+
+  ShardedSolveOptions pathological = options;
+  pathological.memory_budget_bytes = stats_gen.shard_footprint_bytes;
+  Rng rng_path(9);
+  ShardedSolveStats stats_path;
+  auto evicting = ShardedSolve(instance, &rng_path, pathological, &stats_path);
+  ASSERT_TRUE(evicting.ok()) << evicting.status();
+  EXPECT_EQ(in_memory->pairs(), evicting->pairs());
+  EXPECT_EQ(stats_mem.lp_objective, stats_path.lp_objective);
+  EXPECT_EQ(stats_mem.lp_upper_bound, stats_path.lp_upper_bound);
+  EXPECT_EQ(stats_mem.gap, stats_path.gap);
+  EXPECT_EQ(stats_mem.coordination_iterations,
+            stats_path.coordination_iterations);
+  EXPECT_EQ(stats_mem.pairs_repaired, stats_path.pairs_repaired);
+  EXPECT_GT(stats_path.evictions, 0u);
+  EXPECT_GT(stats_path.page_ins, stats_gen.page_ins);
+  // The residency bound: never more resident bytes than budget + one shard.
+  EXPECT_LE(stats_path.peak_resident_bytes,
+            pathological.memory_budget_bytes +
+                stats_path.shard_footprint_bytes);
+  EXPECT_EQ(in_memory->Utility(instance), evicting->Utility(instance));
+}
+
+TEST(ShardedSolverTest, SpilledSolveIsThreadCountInvariant) {
+  const Instance instance = MakeSynthetic(29, 30, 400);
+  ShardedSolveOptions options;
+  options.num_shards = 5;
+  ShardedSolveStats want_stats;
+  Arrangement want(0, 0);
+  {
+    Rng rng(5);
+    auto solved = ShardedSolve(instance, &rng, options, &want_stats);
+    ASSERT_TRUE(solved.ok()) << solved.status();
+    want = std::move(*solved);
+  }
+  for (int32_t threads : {1, 2, 7}) {
+    ShardedSolveOptions budgeted = options;
+    budgeted.num_threads = threads;
+    // Tight enough that workers contend for pin slots.
+    budgeted.memory_budget_bytes = uint64_t{2} << 20;
+    Rng rng(5);
+    ShardedSolveStats stats;
+    auto solved = ShardedSolve(instance, &rng, budgeted, &stats);
+    ASSERT_TRUE(solved.ok()) << solved.status();
+    EXPECT_EQ(want.pairs(), solved->pairs()) << "threads=" << threads;
+    EXPECT_EQ(want_stats.lp_objective, stats.lp_objective);
+    EXPECT_EQ(want_stats.coordination_iterations,
+              stats.coordination_iterations);
+  }
+}
+
+TEST(ShardedSolverTest, BudgetBelowOneShardIsRejectedNamingTheMinimum) {
+  const Instance instance = MakeSynthetic(31, 30, 300);
+  ShardedSolveOptions options;
+  options.num_shards = 3;
+  options.memory_budget_bytes = 1;  // below any real catalog footprint
+  Rng rng(3);
+  auto solved = ShardedSolve(instance, &rng, options);
+  ASSERT_FALSE(solved.ok());
+  EXPECT_EQ(solved.status().code(), StatusCode::kInvalidArgument);
+  // The error names the measured minimum, in bytes and as a flag value.
+  EXPECT_NE(solved.status().message().find("needs at least"),
+            std::string::npos)
+      << solved.status();
+  EXPECT_NE(solved.status().message().find("--memory-budget-mb"),
+            std::string::npos)
+      << solved.status();
+
+  // The named minimum is real: a budget of exactly one shard's measured
+  // footprint is accepted.
+  ShardedSolveOptions generous = options;
+  generous.memory_budget_bytes = uint64_t{1} << 30;
+  Rng rng_probe(3);
+  ShardedSolveStats probe_stats;
+  ASSERT_TRUE(ShardedSolve(instance, &rng_probe, generous, &probe_stats).ok());
+  ShardedSolveOptions minimum = options;
+  minimum.memory_budget_bytes = probe_stats.shard_footprint_bytes;
+  Rng rng_min(3);
+  EXPECT_TRUE(ShardedSolve(instance, &rng_min, minimum).ok());
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace igepa
